@@ -1,0 +1,239 @@
+(* Benchmark and experiment harness: regenerates every table and figure of
+   the paper's evaluation, plus the design-choice ablations from DESIGN.md
+   and Bechamel microbenchmarks of the toolchain itself.
+
+     dune exec bench/main.exe             -- everything
+     dune exec bench/main.exe table2      -- one experiment
+   Experiments: table1 table2 figure3 table3 figure2 expansion dilation
+                kernel_cpi distortion buffer_sweep pagemap corruption
+                os_structure drain_ablation trace_format micro          *)
+
+open Systrace
+module Experiments = Systrace_validate.Experiments
+module Table = Systrace_util.Table
+
+let heading title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+(* The measured/predicted matrix is expensive; compute it once on demand. *)
+let matrix =
+  lazy
+    (let t0 = Unix.gettimeofday () in
+     let m =
+       Experiments.run_matrix
+         ~progress:(fun s ->
+           Printf.eprintf "  [%6.1fs] running %s\n%!"
+             (Unix.gettimeofday () -. t0)
+             s)
+         ()
+     in
+     Printf.eprintf "  matrix complete in %.1fs\n%!"
+       (Unix.gettimeofday () -. t0);
+     m)
+
+let exp_table1 () =
+  heading "Table 1: experimental workloads";
+  Table.print (Experiments.table1 ())
+
+let exp_table2 () =
+  heading "Table 2: run times, measured and predicted";
+  Table.print (Experiments.table2 (Lazy.force matrix))
+
+let exp_figure3 () =
+  heading "Figure 3: error in predicted execution times (Ultrix)";
+  Table.print (Experiments.figure3 (Lazy.force matrix))
+
+let exp_table3 () =
+  heading "Table 3: TLB misses, measured and predicted";
+  Table.print (Experiments.table3 (Lazy.force matrix))
+
+let exp_figure2 () =
+  heading "Figure 2: instrumentation by epoxie";
+  print_string (Experiments.figure2 ())
+
+let exp_expansion () =
+  heading "Text expansion: epoxie vs pixie (paper 3.2)";
+  Table.print (Experiments.expansion_table ())
+
+let exp_dilation () =
+  heading "Time dilation of instrumented execution (paper 4.1)";
+  Table.print (Experiments.dilation_table (Lazy.force matrix))
+
+let exp_kernel_cpi () =
+  heading "Kernel vs user CPI (paper 3.4)";
+  Table.print (Experiments.kernel_cpi_table (Lazy.force matrix))
+
+let exp_distortion () =
+  heading "Instrumentation distortion of the traced system (paper 4.1)";
+  Table.print (Experiments.distortion_table ())
+
+let exp_buffer_sweep () =
+  heading "Ablation: in-kernel buffer size vs analysis transitions (paper 4.3)";
+  Table.print (Experiments.buffer_sweep_table ())
+
+let exp_pagemap () =
+  heading "Ablation: page-mapping policy sensitivity (paper 4.4)";
+  Table.print (Experiments.pagemap_table ())
+
+(* Trace-format ablation (DESIGN.md): one-word records vs Tunix-style
+   records that carry the block length inline. *)
+let exp_corruption () =
+  heading "Defensive tracing: fault injection (paper 4.3)";
+  Table.print (Experiments.corruption_table ())
+
+let exp_os_structure () =
+  heading "OS structure vs memory behaviour (companion study [7])";
+  Table.print (Experiments.os_structure_table (Lazy.force matrix))
+
+let exp_drain_ablation () =
+  heading "Ablation: drain-on-kernel-entry vs flush-when-full (paper 3.1)";
+  Table.print (Experiments.drain_ablation_table ())
+
+let exp_trace_format () =
+  heading "Ablation: trace format density (one-word vs Tunix records)";
+  let e = Workloads.Suite.find "egrep" in
+  let words, run =
+    capture_trace [ e.Workloads.Suite.program () ] e.Workloads.Suite.files
+  in
+  let s = run.parse_stats in
+  let t =
+    Table.create ~title:"" ~headers:[ "format"; "words"; "bytes/instruction" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right ]
+  in
+  let insts = float_of_int s.Tracing.Parser.insts in
+  let one_word = Array.length words in
+  let tunix = one_word + s.Tracing.Parser.bb_records in
+  Table.add_row t
+    [ "one-word records (Ultrix/Mach)"; string_of_int one_word;
+      Printf.sprintf "%.2f" (4.0 *. float_of_int one_word /. insts) ];
+  Table.add_row t
+    [ "record + length (Tunix)"; string_of_int tunix;
+      Printf.sprintf "%.2f" (4.0 *. float_of_int tunix /. insts) ];
+  (* and the stored-trace density when the words leave the machine through
+     the delta/varint compressor ("the trace takes less space and less
+     time to write", 3.5 — here applied to the tape of 3.4) *)
+  let zbytes = String.length (Tracing.Compress.pack words) in
+  Table.add_row t
+    [ Printf.sprintf "one-word, compressed (%.1fx)"
+        (4.0 *. float_of_int one_word /. float_of_int zbytes);
+      string_of_int ((zbytes + 3) / 4);
+      Printf.sprintf "%.2f" (float_of_int zbytes /. insts) ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the toolchain                            *)
+
+let exp_micro () =
+  heading "Microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  (* machine interpreter throughput *)
+  let interp_test =
+    let open Isa in
+    let a = Asm.create "spin" in
+    Asm.global a "_start";
+    Asm.label a "_start";
+    Asm.la a Reg.t2 "buf";
+    Asm.label a "loop";
+    Asm.lw a Reg.t3 0 Reg.t2;
+    Asm.addiu a Reg.t3 Reg.t3 1;
+    Asm.sw a Reg.t3 0 Reg.t2;
+    Asm.i a (Insn.J (Sym "loop"));
+    Asm.nop a;
+    Asm.dlabel a "buf";
+    Asm.space a 64;
+    let exe =
+      Link.link ~name:"spin" ~text_base:0x80001000 ~data_base:0x80008000
+        ~entry:"_start" [ Asm.to_obj a ]
+    in
+    Test.make ~name:"machine: interpret 50k instructions"
+      (Staged.stage (fun () ->
+           let m = Machine.Machine.create () in
+           Machine.Machine.load_exe_phys m exe ~text_pa:0x1000 ~data_pa:0x8000;
+           m.Machine.Machine.pc <- exe.Isa.Exe.entry;
+           m.Machine.Machine.npc <- exe.Isa.Exe.entry + 4;
+           ignore (Machine.Machine.run m ~max_insns:50_000)))
+  in
+  (* trace parsing + memory simulation throughput over a captured trace *)
+  let e = Workloads.Suite.find "egrep" in
+  let words, run =
+    capture_trace [ e.Workloads.Suite.program () ] e.Workloads.Suite.files
+  in
+  let base_cfg = default_memsim_cfg ~system:run.system in
+  let parse_test =
+    Test.make
+      ~name:
+        (Printf.sprintf "tracesim: parse+simulate %d-word trace"
+           (Array.length words))
+      (Staged.stage (fun () -> ignore (replay ~system:run.system ~memsim_cfg:base_cfg words)))
+  in
+  (* instrumentation speed *)
+  let instr_test =
+    let prog = e.Workloads.Suite.program () in
+    Test.make ~name:"epoxie: instrument the egrep modules"
+      (Staged.stage (fun () ->
+           ignore
+             (Epoxie.Epoxie.instrument_modules prog.Systrace_kernel.Builder.modules)))
+  in
+  (* stored-trace compression throughput (dump -z path) *)
+  let compress_test =
+    Test.make
+      ~name:
+        (Printf.sprintf "compress: pack %d-word trace" (Array.length words))
+      (Staged.stage (fun () -> ignore (Tracing.Compress.pack words)))
+  in
+  let tests = [ interp_test; parse_test; instr_test; compress_test ] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.5) ~kde:(Some 100) ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"systrace" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+        Printf.printf "  %-48s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-48s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", exp_table1);
+    ("table2", exp_table2);
+    ("figure3", exp_figure3);
+    ("table3", exp_table3);
+    ("figure2", exp_figure2);
+    ("expansion", exp_expansion);
+    ("dilation", exp_dilation);
+    ("kernel_cpi", exp_kernel_cpi);
+    ("distortion", exp_distortion);
+    ("buffer_sweep", exp_buffer_sweep);
+    ("pagemap", exp_pagemap);
+    ("corruption", exp_corruption);
+    ("os_structure", exp_os_structure);
+    ("drain_ablation", exp_drain_ablation);
+    ("trace_format", exp_trace_format);
+    ("micro", exp_micro);
+  ]
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> List.iter (fun (_, f) -> f ()) experiments
+  | [| _; name |] -> (
+    match List.assoc_opt name experiments with
+    | Some f -> f ()
+    | None ->
+      Printf.eprintf "unknown experiment %S; available: %s\n" name
+        (String.concat " " (List.map fst experiments));
+      exit 1)
+  | _ ->
+    Printf.eprintf "usage: %s [experiment]\n" Sys.argv.(0);
+    exit 1

@@ -1,0 +1,372 @@
+(* systrace command-line interface.
+
+     systrace list                       -- the workload suite
+     systrace run WORKLOAD [--os mach]   -- untraced run, ground-truth counters
+     systrace trace WORKLOAD [-n N]      -- traced run, print trace stats
+                                            (and the first N references)
+     systrace validate WORKLOAD          -- measured vs predicted, one workload
+*)
+
+open Cmdliner
+open Systrace
+
+let os_conv =
+  Arg.enum [ ("ultrix", Validate.Ultrix); ("mach", Validate.Mach) ]
+
+let os_arg =
+  Arg.(
+    value
+    & opt os_conv Validate.Ultrix
+    & info [ "os" ] ~docv:"OS" ~doc:"System personality: ultrix or mach.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Page-map / RNG seed.")
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,systrace list)).")
+
+let find_workload name =
+  match List.find_opt (fun e -> e.Workloads.Suite.name = name) Workloads.Suite.all with
+  | Some e -> e
+  | None ->
+    Printf.eprintf "unknown workload %S; try 'systrace list'\n" name;
+    exit 1
+
+let os_of = function Validate.Ultrix -> Ultrix | Validate.Mach -> Mach
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Workloads.Suite.entry) ->
+        Printf.printf "%-10s %s\n" e.Workloads.Suite.name
+          e.Workloads.Suite.description)
+      Workloads.Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the workload suite (Table 1).")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run name os seed =
+    let e = find_workload name in
+    let sys =
+      run_measured ~os:(os_of os) ~seed
+        [ e.Workloads.Suite.program () ]
+        e.Workloads.Suite.files
+    in
+    let m = sys.Systrace_kernel.Builder.machine in
+    let c = m.Machine.Machine.c in
+    Printf.printf "console: %S\n" (Systrace_kernel.Builder.console sys);
+    Printf.printf "cycles: %d (%.4f s at 25 MHz)\n" m.Machine.Machine.cycles
+      (float_of_int m.Machine.Machine.cycles /. 25e6);
+    Printf.printf "instructions: %d (user %d, kernel %d, idle %d)\n"
+      c.Machine.Machine.instructions c.Machine.Machine.user_instructions
+      c.Machine.Machine.kernel_instructions c.Machine.Machine.idle_instructions;
+    Printf.printf "user TLB misses: %d   kernel TLB misses: %d\n"
+      c.Machine.Machine.utlb_misses c.Machine.Machine.ktlb_misses;
+    Printf.printf "icache misses: %d   dcache misses: %d   wb stalls: %d\n"
+      (Machine.Machine.icache_misses m)
+      (Machine.Machine.dcache_misses m)
+      (Machine.Machine.wb_stalls m);
+    Printf.printf "syscalls: %d   interrupts: %d   disk reads: %d writes: %d\n"
+      c.Machine.Machine.syscalls c.Machine.Machine.interrupts
+      m.Machine.Machine.disk.Machine.Disk.reads
+      m.Machine.Machine.disk.Machine.Disk.writes
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload untraced; print measured counters.")
+    Term.(const run $ workload_arg $ os_arg $ seed_arg)
+
+let trace_cmd =
+  let run name os seed nshow =
+    let e = find_workload name in
+    let shown = ref 0 in
+    let on_event ev =
+      if !shown < nshow then begin
+        incr shown;
+        match ev with
+        | Inst { addr; pid; kernel } ->
+          Printf.printf "I %08x pid=%d%s\n" addr pid
+            (if kernel then " K" else "")
+        | Data { addr; pid; kernel; is_load; _ } ->
+          Printf.printf "%c %08x pid=%d%s\n"
+            (if is_load then 'L' else 'S')
+            addr pid
+            (if kernel then " K" else "")
+      end
+    in
+    let r =
+      run_traced ~os:(os_of os) ~seed ~on_event
+        [ e.Workloads.Suite.program () ]
+        e.Workloads.Suite.files
+    in
+    let s = r.parse_stats in
+    Printf.printf "console: %S\n" r.console;
+    Printf.printf
+      "trace: %d words, %d block records, %d markers\n\
+       references: %d instructions (%d user / %d kernel, %d idle), %d data\n\
+       drains: %d   pid switches: %d   nested-exception markers: %d\n\
+       mode transitions: %d\n"
+      s.Tracing.Parser.words s.Tracing.Parser.bb_records
+      s.Tracing.Parser.markers s.Tracing.Parser.insts
+      s.Tracing.Parser.user_insts s.Tracing.Parser.kernel_insts
+      s.Tracing.Parser.idle_insts s.Tracing.Parser.datas
+      s.Tracing.Parser.drains s.Tracing.Parser.pid_switches
+      s.Tracing.Parser.exc_markers s.Tracing.Parser.mode_transitions
+  in
+  let nshow =
+    Arg.(
+      value & opt int 0
+      & info [ "n"; "show" ] ~doc:"Print the first N reconstructed references.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a workload traced; print trace statistics.")
+    Term.(const run $ workload_arg $ os_arg $ seed_arg $ nshow)
+
+let profile_cmd =
+  (* The paper's "reference counting tools ... dynamic count of the number
+     of times each instruction in the kernel was executed", used to
+     identify anomalous system activity (§4.3). *)
+  let run name os seed topn =
+    let e = find_workload name in
+    let cfg =
+      {
+        Systrace_kernel.Builder.default_config with
+        Systrace_kernel.Builder.personality =
+          (match os with Validate.Ultrix -> Systrace_kernel.Kcfg.Ultrix
+                       | Validate.Mach -> Systrace_kernel.Kcfg.Mach);
+        machine_cfg =
+          { Machine.Machine.default_config with Machine.Machine.count_exec = true };
+        seed;
+      }
+    in
+    let sys =
+      run_measured ~os:(os_of os) ~seed ~config:cfg
+        [ e.Workloads.Suite.program () ]
+        e.Workloads.Suite.files
+    in
+    let m = sys.Systrace_kernel.Builder.machine in
+    let kexe = sys.Systrace_kernel.Builder.kernel_exe in
+    (* Aggregate kernel text counts by nearest symbol. *)
+    let rev = Hashtbl.create 256 in
+    Hashtbl.iter
+      (fun sym addr ->
+        if addr >= 0x80000000 then
+          match Hashtbl.find_opt rev addr with
+          | Some old when String.length old <= String.length sym -> ()
+          | _ -> Hashtbl.replace rev addr sym)
+      kexe.Isa.Exe.symbols;
+    let sym_addrs =
+      List.sort compare (Hashtbl.fold (fun a _ acc -> a :: acc) rev [])
+    in
+    let counts = Hashtbl.create 256 in
+    let user_total = ref 0 in
+    let ktext_words = Array.length kexe.Isa.Exe.text in
+    Array.iteri
+      (fun w n ->
+        if n > 0 then
+          if w < ktext_words then begin
+            let va = 0x80000000 + (w * 4) in
+            let sym =
+              let rec best acc = function
+                | a :: rest when a <= va -> best a rest
+                | _ -> acc
+              in
+              let a = best 0x80000000 sym_addrs in
+              Option.value ~default:"?" (Hashtbl.find_opt rev a)
+            in
+            Hashtbl.replace counts sym
+              (n + Option.value ~default:0 (Hashtbl.find_opt counts sym))
+          end
+          else user_total := !user_total + n)
+      m.Machine.Machine.exec_counts;
+    let rows =
+      List.sort (fun (_, a) (_, b) -> compare b a)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+    in
+    Printf.printf "instruction execution profile for %s (%s):
+" name
+      (Validate.os_name os);
+    Printf.printf "  %-40s %12s
+" "kernel routine" "instructions";
+    List.iteri
+      (fun i (sym, n) ->
+        if i < topn then Printf.printf "  %-40s %12d
+" sym n)
+      rows;
+    Printf.printf "  %-40s %12d
+" "(user + DMA'd text)" !user_total
+  in
+  let topn =
+    Arg.(value & opt int 15 & info [ "top" ] ~doc:"Rows to display.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Per-instruction execution counts (the reference-counting tool of \
+          paper 4.3), aggregated by kernel routine.")
+    Term.(const run $ workload_arg $ os_arg $ seed_arg $ topn)
+
+let validate_cmd =
+  let run name os seed =
+    let e = find_workload name in
+    let spec =
+      {
+        Validate.wname = e.Workloads.Suite.name;
+        files = e.Workloads.Suite.files;
+        programs = [ e.Workloads.Suite.program () ];
+      }
+    in
+    let row = Validate.run_workload ~seed os spec in
+    let m = row.Validate.r_measured and p = row.Validate.r_predicted in
+    Printf.printf "%s under %s:\n" name (Validate.os_name os);
+    Printf.printf "  measured:  %.4f s (%d cycles), %d user TLB misses\n"
+      m.Validate.m_seconds m.Validate.m_cycles m.Validate.m_utlb;
+    Printf.printf "  predicted: %.4f s, %d user TLB misses\n"
+      p.Validate.p_breakdown.Tracesim.Predict.seconds p.Validate.p_utlb;
+    Printf.printf "  error: %.1f%%   dilation: %.1fx\n"
+      (Validate.percent_error row) (Validate.dilation row);
+    Format.printf "  breakdown: %a@." Tracesim.Predict.pp
+      p.Validate.p_breakdown
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Measured vs predicted execution time for one workload.")
+    Term.(const run $ workload_arg $ os_arg $ seed_arg)
+
+let dump_cmd =
+  (* Capture a workload's system trace to a file (the "traces on tape"
+     of paper 3.4). *)
+  let run name os seed out compress =
+    let e = find_workload name in
+    let words, r =
+      capture_trace ~os:(os_of os) ~seed
+        [ e.Workloads.Suite.program () ]
+        e.Workloads.Suite.files
+    in
+    Tracing.Tracefile.save ~compress out words;
+    Printf.printf "wrote %d trace words (%d references) to %s%s\n"
+      (Array.length words)
+      (r.parse_stats.Tracing.Parser.insts + r.parse_stats.Tracing.Parser.datas)
+      out
+      (if compress then
+         Printf.sprintf " (delta/varint, %.1fx smaller)"
+           (1.0 /. Tracing.Compress.ratio words)
+       else "")
+  in
+  let out =
+    Arg.(value & opt string "trace.strc"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let compress =
+    Arg.(value & flag
+         & info [ "z"; "compress" ]
+             ~doc:"Delta/varint-compress the stored trace (format v2).")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Capture a workload's system trace to a file.")
+    Term.(const run $ workload_arg $ os_arg $ seed_arg $ out $ compress)
+
+let analyze_cmd =
+  (* Offline analysis of a stored trace: rebuild the same traced system
+     (deterministic for a given workload/os/seed) for its block tables and
+     page map, then drive the memory-system simulation from the file. *)
+  let run name os seed file =
+    let e = find_workload name in
+    let words = Tracing.Tracefile.load file in
+    let open Systrace_kernel in
+    let cfg =
+      {
+        Builder.default_config with
+        Builder.traced = true;
+        seed;
+        personality =
+          (match os with Validate.Ultrix -> Kcfg.Ultrix
+                       | Validate.Mach -> Kcfg.Mach);
+        pagemap =
+          (match os with Validate.Ultrix -> Kcfg.Careful
+                       | Validate.Mach -> Kcfg.Random);
+      }
+    in
+    let programs =
+      match os with
+      | Validate.Ultrix -> [ e.Workloads.Suite.program () ]
+      | Validate.Mach ->
+        [
+          Builder.program ~is_server:true "uxserver"
+            [ Workloads.Ux_server.make
+                ~file_plan:(Builder.file_plan e.Workloads.Suite.files) ();
+              Workloads.Userlib.make () ];
+          e.Workloads.Suite.program ();
+        ]
+    in
+    let sys = Builder.build ~cfg ~programs ~files:e.Workloads.Suite.files () in
+    let mem, parse = replay ~system:sys ~memsim_cfg:(default_memsim_cfg ~system:sys) words in
+    Printf.printf
+      "%s: %d words -> %d instructions (%d user / %d kernel), %d data refs\n"
+      file (Array.length words) parse.Tracing.Parser.insts
+      parse.Tracing.Parser.user_insts parse.Tracing.Parser.kernel_insts
+      parse.Tracing.Parser.datas;
+    Printf.printf
+      "memory system: %d icache misses, %d dcache read misses, %d wb stalls, \
+       %d user TLB misses\n"
+      mem.Tracesim.Memsim.icache_misses mem.Tracesim.Memsim.dcache_read_misses
+      mem.Tracesim.Memsim.wb_stalls mem.Tracesim.Memsim.utlb_misses
+  in
+  let file =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Trace file from $(b,systrace dump).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Analyze a stored trace offline (workload name selects the \
+             matching block tables).")
+    Term.(const run $ workload_arg $ os_arg $ seed_arg $ file)
+
+let disasm_cmd =
+  (* objdump-style listing of a workload binary, original or epoxie-
+     instrumented. *)
+  let run name instrumented symbol =
+    let e = find_workload name in
+    let prog = e.Workloads.Suite.program () in
+    let open Isa in
+    let crt = Systrace_kernel.Builder.crt0 ~traced:instrumented ~user_buf_pages:4 in
+    let mods =
+      if instrumented then
+        let imods, _ = Epoxie.Epoxie.instrument_modules prog.Systrace_kernel.Builder.modules in
+        (crt :: imods) @ [ Epoxie.Runtime.make Epoxie.Runtime.User ]
+      else crt :: prog.Systrace_kernel.Builder.modules
+    in
+    let exe =
+      Link.link ~name ~text_base:Systrace_kernel.Kcfg.user_text_va
+        ~data_base:Systrace_kernel.Kcfg.user_data_va ~entry:"_start" mods
+    in
+    match symbol with
+    | None -> print_string (Exe.disassemble exe)
+    | Some sym ->
+      let lo = Exe.symbol exe sym in
+      print_string (Exe.disassemble ~lo ~hi:(lo + 400) exe)
+  in
+  let instrumented =
+    Arg.(value & flag & info [ "instrumented"; "i" ]
+           ~doc:"Disassemble the epoxie-instrumented binary.")
+  in
+  let symbol =
+    Arg.(value & opt (some string) None
+         & info [ "symbol"; "s" ] ~doc:"Start at SYMBOL (e.g. main).")
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a workload binary.")
+    Term.(const run $ workload_arg $ instrumented $ symbol)
+
+let () =
+  let doc = "software methods for system address tracing" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "systrace" ~doc)
+          [ list_cmd; run_cmd; trace_cmd; validate_cmd; profile_cmd; disasm_cmd;
+            dump_cmd; analyze_cmd ]))

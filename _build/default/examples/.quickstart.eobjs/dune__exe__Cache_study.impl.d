@@ -1,0 +1,1 @@
+examples/cache_study.ml: Array List Printf Systrace Tracesim Tracing Workloads

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Asm Buffer Char Format Insn Isa Printf Reg Systrace Systrace_kernel Tracesim Validate Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Isa Printf Reg Systrace Systrace_kernel Tracing Workloads

@@ -1,0 +1,1 @@
+examples/tlb_study.ml: Array List Printf Systrace Tracesim Tracing Workloads

@@ -1,0 +1,1 @@
+examples/trace_kernel_activity.ml: Asm Char Hashtbl Insn Isa Option Printf Reg String Systrace Systrace_kernel Tracing Workloads

@@ -1,0 +1,125 @@
+(* Bringing your own workload: the full journey a user of the tracing
+   system takes — write a program against the mini libc, run it measured,
+   run it traced, and predict its execution time from the trace alone,
+   paper-style.
+
+     dune exec examples/custom_workload.exe                            *)
+
+open Systrace
+module Builder = Systrace_kernel.Builder
+
+(* A small "database": builds a hash table of key/value pairs read from a
+   file, then serves a burst of lookups and reports a hit count. *)
+let kvstore_program () : Builder.program =
+  let open Isa in
+  let a = Asm.create "kvstore" in
+  let nbuckets = 512 in
+  Asm.func a "main" ~frame:16 ~saves:[ Reg.s0; Reg.s1; Reg.s2 ] (fun () ->
+      (* load the whole input: records of two words (key, value) *)
+      Asm.la a Reg.a0 "$fname";
+      Asm.jal a "u_open";
+      Asm.move a Reg.s0 Reg.v0;
+      Asm.la a Reg.s1 "$records";
+      Asm.label a "$ld";
+      Asm.move a Reg.a0 Reg.s0;
+      Asm.move a Reg.a1 Reg.s1;
+      Asm.li a Reg.a2 2048;
+      Asm.jal a "u_read";
+      Asm.blez a Reg.v0 "$insert";
+      Asm.nop a;
+      Asm.i a (Insn.J (Sym "$ld"));
+      Asm.addu a Reg.s1 Reg.s1 Reg.v0;
+      (* insert every record: bucket = key mod nbuckets; chain through the
+         per-record link word *)
+      Asm.label a "$insert";
+      Asm.la a Reg.t0 "$records";
+      Asm.label a "$ins_loop";
+      Asm.sltu a Reg.t1 Reg.t0 Reg.s1;
+      Asm.beqz a Reg.t1 "$lookup";
+      Asm.nop a;
+      Asm.lw a Reg.t2 0 Reg.t0;            (* key *)
+      Asm.andi a Reg.t3 Reg.t2 (nbuckets - 1);
+      Asm.sll a Reg.t3 Reg.t3 2;
+      Asm.la a Reg.t4 "$buckets";
+      Asm.addu a Reg.t4 Reg.t4 Reg.t3;
+      Asm.lw a Reg.t5 0 Reg.t4;            (* old head *)
+      Asm.sw a Reg.t5 8 Reg.t0;            (* record.link = old head *)
+      Asm.sw a Reg.t0 0 Reg.t4;            (* head = record *)
+      Asm.i a (Insn.J (Sym "$ins_loop"));
+      Asm.addiu a Reg.t0 Reg.t0 12;
+      (* lookups: an LCG picks keys; count how many are present *)
+      Asm.label a "$lookup";
+      Asm.li a Reg.s2 0;                   (* hits *)
+      Asm.li a Reg.t6 20000;               (* probes *)
+      Asm.li a Reg.t7 7;                   (* lcg state *)
+      Asm.label a "$probe";
+      Asm.blez a Reg.t6 "$report";
+      Asm.nop a;
+      Asm.li a Reg.t0 1103515245;
+      Asm.mul a Reg.t7 Reg.t7 Reg.t0;
+      Asm.addiu a Reg.t7 Reg.t7 12345;
+      Asm.srl a Reg.t1 Reg.t7 7;
+      Asm.andi a Reg.t1 Reg.t1 0x3FF;      (* key space: 0..1023 *)
+      Asm.andi a Reg.t2 Reg.t1 (nbuckets - 1);
+      Asm.sll a Reg.t2 Reg.t2 2;
+      Asm.la a Reg.t3 "$buckets";
+      Asm.addu a Reg.t3 Reg.t3 Reg.t2;
+      Asm.lw a Reg.t4 0 Reg.t3;            (* chain head *)
+      Asm.label a "$chain";
+      Asm.beqz a Reg.t4 "$miss";
+      Asm.nop a;
+      Asm.lw a Reg.t5 0 Reg.t4;
+      Asm.beq a Reg.t5 Reg.t1 "$hit";
+      Asm.nop a;
+      Asm.i a (Insn.J (Sym "$chain"));
+      Asm.lw a Reg.t4 8 Reg.t4;
+      Asm.label a "$hit";
+      Asm.addiu a Reg.s2 Reg.s2 1;
+      Asm.label a "$miss";
+      Asm.i a (Insn.J (Sym "$probe"));
+      Asm.addiu a Reg.t6 Reg.t6 (-1);
+      Asm.label a "$report";
+      Asm.move a Reg.a0 Reg.s2;
+      Asm.jal a "print_uint";
+      Asm.li a Reg.v0 0);
+  Asm.dlabel a "$fname";
+  Asm.asciiz a "kv.in";
+  Asm.align a 4;
+  Asm.dlabel a "$buckets";
+  Asm.space a (nbuckets * 4);
+  Asm.align a 4;
+  Asm.dlabel a "$records";
+  Asm.space a 32768;
+  Builder.program "kvstore" [ Asm.to_obj a; Workloads.Userlib.make () ]
+
+let files =
+  let b = Buffer.create 8192 in
+  let r = ref 17 in
+  for _ = 1 to 600 do
+    r := ((!r * 75) + 74) mod 65537;
+    let key = !r land 0x3FF and value = !r lsr 3 in
+    let word v =
+      for k = 0 to 3 do
+        Buffer.add_char b (Char.chr ((v lsr (8 * k)) land 0xFF))
+      done
+    in
+    word key;
+    word value;
+    word 0 (* link slot *)
+  done;
+  [ { Builder.fname = "kv.in"; data = Buffer.contents b; writable_bytes = 0 } ]
+
+let () =
+  let spec =
+    { Validate.wname = "kvstore"; files; programs = [ kvstore_program () ] }
+  in
+  Printf.printf "validating the custom kvstore workload under Ultrix...\n%!";
+  let row = Validate.run_workload Validate.Ultrix spec in
+  let m = row.Validate.r_measured and p = row.Validate.r_predicted in
+  Printf.printf "  console:   %S\n" m.Validate.m_console;
+  Printf.printf "  measured:  %.4f s (%d user TLB misses)\n"
+    m.Validate.m_seconds m.Validate.m_utlb;
+  Printf.printf "  predicted: %.4f s (%d user TLB misses)  error %.1f%%\n"
+    p.Validate.p_breakdown.Tracesim.Predict.seconds p.Validate.p_utlb
+    (Validate.percent_error row);
+  Format.printf "  %a@." Tracesim.Predict.pp p.Validate.p_breakdown

@@ -1,0 +1,281 @@
+(** Systrace: software methods for system address tracing.
+
+    A full reimplementation of the WRL/CMU software tracing systems
+    (Chen, Wall, Borg: "Software Methods for System Address Tracing",
+    HotOS 1993 / WRL Research Report 94/6): link-time instrumentation
+    (epoxie), traced Ultrix- and Mach-style kernels running on a simulated
+    DECstation-class machine, the one-word trace format with its parsing
+    library, and the trace-driven memory-system simulation used to
+    validate the traces against direct measurement.
+
+    Layering (bottom up):
+    - {!Isa}: instruction set, assembler eDSL, object files, linker.
+    - {!Machine}: the simulated hardware (CPU, TLB, caches, devices).
+    - {!Tracing}: trace format, buffers ABI, parsing library.
+    - {!Epoxie}: link-time instrumentation and the pixie baseline.
+    - {!Kernel}: the traced operating system and its boot builder.
+    - {!Tracesim}: trace-driven memory-system simulation and prediction.
+    - {!Workloads}: the Table 1 workload suite.
+    - {!Validate}: measured-vs-predicted experiment harness.
+
+    The functions at the top of this module cover the common journeys:
+    run a program under a traced system and consume its address trace. *)
+
+module Isa = struct
+  module Reg = Systrace_isa.Reg
+  module Insn = Systrace_isa.Insn
+  module Encode = Systrace_isa.Encode
+  module Asm = Systrace_isa.Asm
+  module Objfile = Systrace_isa.Objfile
+  module Bb = Systrace_isa.Bb
+  module Link = Systrace_isa.Link
+  module Exe = Systrace_isa.Exe
+end
+
+module Machine = struct
+  module Addr = Systrace_machine.Addr
+  module Machine = Systrace_machine.Machine
+  module Tlb = Systrace_machine.Tlb
+  module Cache = Systrace_machine.Cache
+  module Disk = Systrace_machine.Disk
+end
+
+module Tracing = struct
+  module Abi = Systrace_tracing.Abi
+  module Format = Systrace_tracing.Format_
+  module Bbtable = Systrace_tracing.Bbtable
+  module Parser = Systrace_tracing.Parser
+  module Tracefile = Systrace_tracing.Tracefile
+  module Compress = Systrace_tracing.Compress
+end
+
+module Epoxie = struct
+  module Epoxie = Systrace_epoxie.Epoxie
+  module Runtime = Systrace_epoxie.Runtime
+  module Bbmap = Systrace_epoxie.Bbmap
+  module Pixie = Systrace_epoxie.Pixie
+  module Rewrite = Systrace_epoxie.Rewrite
+end
+
+module Kernel = struct
+  module Kcfg = Systrace_kernel.Kcfg
+  module Builder = Systrace_kernel.Builder
+end
+
+module Tracesim = struct
+  module Memsim = Systrace_tracesim.Memsim
+  module Predict = Systrace_tracesim.Predict
+  module Sim_cache = Systrace_tracesim.Sim_cache
+  module Sim_cache_assoc = Systrace_tracesim.Sim_cache_assoc
+  module Sim_tlb = Systrace_tracesim.Sim_tlb
+  module Sim_wb = Systrace_tracesim.Sim_wb
+end
+
+module Workloads = struct
+  module Suite = Systrace_workloads.Suite
+  module Userlib = Systrace_workloads.Userlib
+  module Ux_server = Systrace_workloads.Ux_server
+end
+
+module Validate = Systrace_validate.Validate
+module Experiments = Systrace_validate.Experiments
+
+(* ------------------------------------------------------------------ *)
+
+type os = Validate.os = Ultrix | Mach
+
+(** One parsed reference from a system trace, in the original binary's
+    address space. *)
+type event =
+  | Inst of { addr : int; pid : int; kernel : bool }
+  | Data of { addr : int; pid : int; kernel : bool; is_load : bool; bytes : int }
+
+type traced_run = {
+  console : string;                       (** program console output *)
+  parse_stats : Systrace_tracing.Parser.stats; (** trace inventory *)
+  machine : Systrace_machine.Machine.t;   (** the halted traced machine *)
+  system : Systrace_kernel.Builder.t;     (** the whole booted system *)
+}
+
+(** [run_traced ~os ~on_event programs files] boots a traced system with
+    the given user programs (instrumenting them and the kernel with
+    epoxie), runs it to completion, and streams every reconstructed
+    instruction and data reference of the original binaries to
+    [on_event] — exactly the analysis-program position of Figure 1.
+
+    Programs are built from the assembler eDSL ({!Isa.Asm}); link them
+    against {!Workloads.Userlib} for the system-call wrappers. *)
+let run_traced ?(os = Ultrix) ?(seed = 1) ?(on_event = fun (_ : event) -> ())
+    ?(on_words = fun (_ : int array) (_ : int) -> ())
+    ?(config = Systrace_kernel.Builder.default_config)
+    (programs : Systrace_kernel.Builder.program list)
+    (files : Systrace_kernel.Builder.file_spec list) : traced_run =
+  let open Systrace_kernel in
+  let cfg =
+    {
+      config with
+      Builder.traced = true;
+      seed;
+      personality = (match os with Ultrix -> Kcfg.Ultrix | Mach -> Kcfg.Mach);
+      pagemap = (match os with Ultrix -> Kcfg.Careful | Mach -> Kcfg.Random);
+    }
+  in
+  let programs =
+    match os with
+    | Ultrix -> programs
+    | Mach ->
+      {
+        Builder.pname = "uxserver";
+        modules =
+          [
+            Systrace_workloads.Ux_server.make
+              ~file_plan:(Builder.file_plan files) ();
+            Systrace_workloads.Userlib.make ();
+          ];
+        heap_pages = 4;
+        is_server = true;
+        notrace = false;
+      }
+      :: programs
+  in
+  let t = Builder.build ~cfg ~programs ~files () in
+  let parser =
+    Systrace_tracing.Parser.create ~kernel_bbs:(Option.get t.Builder.kernel_bbs) ()
+  in
+  List.iter
+    (fun (pi : Builder.proc_info) ->
+      Systrace_tracing.Parser.register_pid parser ~pid:pi.pid
+        (Option.get pi.bbs))
+    t.Builder.procs;
+  Systrace_tracing.Parser.set_handlers parser
+    {
+      Systrace_tracing.Parser.on_inst =
+        (fun addr pid kernel -> on_event (Inst { addr; pid; kernel }));
+      on_data =
+        (fun addr pid kernel is_load bytes ->
+          on_event (Data { addr; pid; kernel; is_load; bytes }));
+    };
+  t.Builder.trace_sink <-
+    Some
+      (fun words len ->
+        on_words words len;
+        Systrace_tracing.Parser.feed parser words ~len);
+  (match Builder.run t ~max_insns:2_000_000_000 with
+  | Systrace_machine.Machine.Halt -> ()
+  | Systrace_machine.Machine.Limit -> failwith "Systrace.run_traced: no halt");
+  Builder.drain_final t;
+  let live =
+    List.filter_map
+      (fun (pi : Builder.proc_info) ->
+        if pi.prog.Builder.is_server then Some pi.pid else None)
+      t.Builder.procs
+  in
+  Systrace_tracing.Parser.finish ~live parser;
+  {
+    console = Builder.console t;
+    parse_stats = Systrace_tracing.Parser.stats parser;
+    machine = t.Builder.machine;
+    system = t;
+  }
+
+(** [run_measured] boots the same system untraced and returns it after
+    completion; the machine's ground-truth counters are the "direct
+    measurement" side of the paper's validation. *)
+let run_measured ?(os = Ultrix) ?(seed = 1)
+    ?(config = Systrace_kernel.Builder.default_config)
+    (programs : Systrace_kernel.Builder.program list)
+    (files : Systrace_kernel.Builder.file_spec list) :
+    Systrace_kernel.Builder.t =
+  let open Systrace_kernel in
+  let cfg =
+    {
+      config with
+      Builder.traced = false;
+      seed;
+      personality = (match os with Ultrix -> Kcfg.Ultrix | Mach -> Kcfg.Mach);
+      pagemap = (match os with Ultrix -> Kcfg.Careful | Mach -> Kcfg.Random);
+    }
+  in
+  let programs =
+    match os with
+    | Ultrix -> programs
+    | Mach ->
+      {
+        Builder.pname = "uxserver";
+        modules =
+          [
+            Systrace_workloads.Ux_server.make
+              ~file_plan:(Builder.file_plan files) ();
+            Systrace_workloads.Userlib.make ();
+          ];
+        heap_pages = 4;
+        is_server = true;
+        notrace = false;
+      }
+      :: programs
+  in
+  let t = Builder.build ~cfg ~programs ~files () in
+  (match Builder.run t ~max_insns:2_000_000_000 with
+  | Systrace_machine.Machine.Halt -> ()
+  | Systrace_machine.Machine.Limit -> failwith "Systrace.run_measured: no halt");
+  t
+
+(** Capture a traced run's raw in-kernel trace words as well as parsing
+    them — useful for replaying one trace through several memory-system
+    configurations, the paper's core use case ("trace analysis that must
+    be done off-line against stored traces is unacceptable" for the
+    authors' 64MB-class traces, but replay is exactly what the analysis
+    program does with each buffer-full). *)
+let capture_trace ?os ?seed ?config programs files : int array * traced_run =
+  let chunks = ref [] in
+  let run =
+    run_traced ?os ?seed ?config
+      ~on_words:(fun words len -> chunks := Array.sub words 0 len :: !chunks)
+      programs files
+  in
+  (Array.concat (List.rev !chunks), run)
+
+(** Replay a captured trace through a fresh trace-driven memory-system
+    simulation (see {!Tracesim.Memsim}) — the mechanism behind the cache
+    and TLB studies the traces were built for. *)
+let replay ~(system : Systrace_kernel.Builder.t) ~(memsim_cfg : Systrace_tracesim.Memsim.config)
+    (words : int array) : Systrace_tracesim.Memsim.stats * Systrace_tracing.Parser.stats =
+  let open Systrace_kernel in
+  let parser =
+    Systrace_tracing.Parser.create
+      ~kernel_bbs:(Option.get system.Builder.kernel_bbs) ()
+  in
+  List.iter
+    (fun (pi : Builder.proc_info) ->
+      Systrace_tracing.Parser.register_pid parser ~pid:pi.pid
+        (Option.get pi.bbs))
+    system.Builder.procs;
+  let sim = Systrace_tracesim.Memsim.create memsim_cfg in
+  Systrace_tracing.Parser.set_handlers parser
+    (Systrace_tracesim.Memsim.handlers sim);
+  Systrace_tracing.Parser.feed parser words ~len:(Array.length words);
+  (Systrace_tracesim.Memsim.stats sim, Systrace_tracing.Parser.stats parser)
+
+(** The memory-system configuration of the simulated DECstation, for
+    {!replay} studies that vary one parameter at a time. *)
+let default_memsim_cfg ~(system : Systrace_kernel.Builder.t) :
+    Systrace_tracesim.Memsim.config =
+  let mcfg = system.Systrace_kernel.Builder.cfg.Systrace_kernel.Builder.machine_cfg in
+  {
+    Systrace_tracesim.Memsim.icache_bytes =
+      mcfg.Systrace_machine.Machine.icache_bytes;
+    icache_line = mcfg.Systrace_machine.Machine.icache_line;
+    icache_ways = 1;
+    dcache_bytes = mcfg.Systrace_machine.Machine.dcache_bytes;
+    dcache_line = mcfg.Systrace_machine.Machine.dcache_line;
+    dcache_ways = 1;
+    read_miss_penalty = mcfg.Systrace_machine.Machine.read_miss_penalty;
+    uncached_penalty = mcfg.Systrace_machine.Machine.uncached_penalty;
+    wb_depth = mcfg.Systrace_machine.Machine.wb_depth;
+    wb_drain = mcfg.Systrace_machine.Machine.wb_drain;
+    pagemap = Systrace_kernel.Builder.extract_pagemap system;
+    pt_base = Systrace_kernel.Kcfg.pt_base_va;
+    utlb_handler_insns = 8;
+    ktlb_handler_insns = 24;
+    tlb_entries = 64;
+  }

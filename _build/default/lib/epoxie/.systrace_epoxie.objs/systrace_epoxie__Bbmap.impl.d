@@ -1,0 +1,1 @@
+lib/epoxie/bbmap.ml: Bbtable Epoxie Exe List Systrace_isa Systrace_tracing

@@ -1,0 +1,1 @@
+lib/epoxie/bbmap.mli: Bbtable Epoxie Exe Systrace_isa Systrace_tracing

@@ -1,0 +1,1 @@
+lib/epoxie/epoxie.ml: Abi Array Bb Hashtbl Insn List Objfile Option Printf Reg Rewrite Systrace_isa Systrace_tracing

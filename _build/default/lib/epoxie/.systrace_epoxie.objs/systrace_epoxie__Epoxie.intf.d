@@ -1,0 +1,1 @@
+lib/epoxie/epoxie.mli: Insn Objfile Rewrite Systrace_isa

@@ -1,0 +1,1 @@
+lib/epoxie/mahler.ml: Abi Array Bb Bbtable Hashtbl Insn List Objfile Printf Reg Rewrite Systrace_isa Systrace_tracing

@@ -1,0 +1,1 @@
+lib/epoxie/mahler.mli: Bbtable Objfile Systrace_isa Systrace_tracing

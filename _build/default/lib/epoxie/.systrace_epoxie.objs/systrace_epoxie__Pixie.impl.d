@@ -1,0 +1,1 @@
+lib/epoxie/pixie.ml: Asm Bb Hashtbl Insn List Objfile Reg Systrace_isa

@@ -1,0 +1,1 @@
+lib/epoxie/pixie.mli: Objfile Systrace_isa

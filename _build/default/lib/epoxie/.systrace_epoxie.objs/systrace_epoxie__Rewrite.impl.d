@@ -1,0 +1,1 @@
+lib/epoxie/rewrite.ml: Abi Hashtbl Insn List Objfile Printf Reg Systrace_isa Systrace_tracing

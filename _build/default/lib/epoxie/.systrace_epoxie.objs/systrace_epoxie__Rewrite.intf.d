@@ -1,0 +1,1 @@
+lib/epoxie/rewrite.mli: Insn Objfile Systrace_isa

@@ -1,0 +1,1 @@
+lib/epoxie/runtime.ml: Abi Asm Epoxie Insn List Objfile Printf Reg Systrace_isa Systrace_tracing

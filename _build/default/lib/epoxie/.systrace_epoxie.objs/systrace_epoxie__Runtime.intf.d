@@ -1,0 +1,1 @@
+lib/epoxie/runtime.mli: Objfile Systrace_isa

@@ -1,0 +1,263 @@
+(* epoxie: link-time instrumentation for address tracing (paper, §3.2).
+
+   Rewrites object modules, inserting trace-collecting code at the beginning
+   of each basic block and before every memory instruction of the original
+   program text:
+
+     fopen:                      fopen:
+                                   sw    ra, 0($t7)       ; save ra
+                                   jal   bbtrace
+                                   addiu $zero, $zero, N  ; trace-word count
+                                 $bb17:                   ; <- record address
+       addiu sp, sp, -24          addiu sp, sp, -24
+       sw    ra, 20(sp)           jal   memtrace
+                                   addiu $zero, sp, 20    ; hazard no-op
+                                   sw    ra, 20(sp)
+       ...                        ...
+
+   The jal to bbtrace captures the address of the first instruction of the
+   instrumented block body (its return address) — that address is the
+   block's trace record, mapped back to the original binary through the
+   static table built by [Bbmap].  The load-immediate-to-$zero in the jal's
+   delay slot carries the number of trace words the block generates, which
+   bbtrace uses for its buffer-room check.
+
+   Memory instructions normally ride in the delay slot of their jal
+   memtrace, executing before memtrace decodes them to recover the
+   reference address.  Hazard cases (the instruction reads or writes $ra or
+   $at, or a load overwrites its own base register) use a no-op with the
+   same base register and offset in the delay slot, with the real
+   instruction issued after the call; the rare hazard whose base register
+   is the scratch register $at is traced by a short inline sequence
+   instead.
+
+   Because all operands are still symbolic at this stage, every address
+   correction implied by the text expansion happens statically in the
+   linker — the defining property of link-time instrumentation (no runtime
+   translation table, unlike pixie). *)
+
+open Systrace_isa
+open Systrace_tracing
+open Rewrite
+
+type bb_desc = {
+  anchor : string;                  (* label at instrumented block body *)
+  orig_index : int;                 (* first-insn index in the original module *)
+  ninsns : int;                     (* original block length *)
+  mems : (int * int * bool) array;  (* original (pos, bytes, is_load) *)
+}
+
+let sym_bbtrace = "bbtrace"
+let sym_memtrace = "memtrace"
+
+(* ------------------------------------------------------------------ *)
+(* Protected ranges: [Objfile.protected] functions are steal-rewritten but
+   not traced.  A protected function extends from its label to the next
+   global label. *)
+
+let protected_ranges (obj : Objfile.t) =
+  let ranges = ref [] in
+  let open_at = ref None in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | Objfile.Label l ->
+        (match !open_at with
+        | Some start when Objfile.SSet.mem l obj.globals ->
+          ranges := (start, !idx) :: !ranges;
+          open_at := None
+        | _ -> ());
+        if Objfile.SSet.mem l obj.protected then open_at := Some !idx
+      | Objfile.Insn _ -> incr idx)
+    obj.text;
+  (match !open_at with Some start -> ranges := (start, !idx) :: !ranges | None -> ());
+  !ranges
+
+let in_ranges ranges i = List.exists (fun (lo, hi) -> i >= lo && i < hi) ranges
+
+(* ------------------------------------------------------------------ *)
+(* Memory-instruction wrapping                                          *)
+
+let wrap_mem (m : Insn.t) : titem list =
+  let base, off =
+    match Insn.mem_base_offset m with
+    | Some (b, Insn.Imm o) -> (b, o)
+    | Some (_, _) -> raise (Unrewritable "memory offset is symbolic")
+    | None -> assert false
+  in
+  let uses = Insn.uses m and defs = Insn.defs m in
+  let hazard =
+    List.mem Reg.ra uses || List.mem Reg.ra defs || List.mem Reg.at defs
+    || (match m with Insn.Load (_, rt, b, _) -> rt = b | _ -> false)
+  in
+  if not hazard then
+    [ TInsn (Insn.Jal (Sym sym_memtrace), false); TInsn (m, true) ]
+  else if base <> Reg.at && base <> Reg.ra then
+    [
+      TInsn (Insn.Jal (Sym sym_memtrace), false);
+      (* No-op in the delay slot carrying the base register and offset for
+         memtrace to decode; the real instruction issues after the call. *)
+      TInsn (Insn.Alui (ADDIU, Reg.zero, base, Imm off), false);
+      TInsn (m, true);
+    ]
+  else begin
+    (* The base register is $at or $ra, which the runtime's exit sequence
+       clobbers/restores: compute the effective address up front into a
+       borrowed register X ($t0, or $t1 if the instruction touches $t0),
+       record it with memtrace_direct_X — the cursor update stays inside
+       the runtime's text range, which the kernel's drain logic treats as
+       a critical section — and re-issue the instruction X-relative. *)
+    let touches r = List.mem r uses || List.mem r defs in
+    let x, slot, direct =
+      if touches Reg.t0 then (Reg.t1, Abi.book_scratch4, "memtrace_direct_t1")
+      else (Reg.t0, Abi.book_scratch3, "memtrace_direct_t0")
+    in
+    let rebased =
+      match m with
+      | Insn.Load (w, rt, _, _) -> Insn.Load (w, rt, x, Imm 0)
+      | Insn.Store (w, rt, _, _) -> Insn.Store (w, rt, x, Imm 0)
+      | Insn.Fload (ft, _, _) -> Insn.Fload (ft, x, Imm 0)
+      | Insn.Fstore (ft, _, _) -> Insn.Fstore (ft, x, Imm 0)
+      | _ -> assert false
+    in
+    let restore =
+      if List.mem x (Insn.defs rebased) then []
+      else [ TInsn (Insn.Load (W, x, Abi.xreg_book, Imm slot), false) ]
+    in
+    [
+      TInsn (Insn.Store (W, x, Abi.xreg_book, Imm slot), false);
+      TInsn (Insn.Alui (ADDIU, x, base, Imm off), false);
+      TInsn (Insn.Jal (Sym direct), false);
+      TInsn (Insn.nop, false);
+      TInsn (rebased, true);
+    ]
+    @ restore
+  end
+
+(* Keep the bookkeeping copy of $ra current: bbtrace and memtrace restore
+   $ra from the saved slot, so any original instruction that redefines $ra
+   mid-block (a load into $ra, an ALU result into $ra) must refresh the
+   slot, or a later memtrace in the same block would restore a stale
+   value. *)
+let resave_ra =
+  TInsn (Insn.Store (W, Reg.ra, Abi.xreg_book, Imm Abi.book_saved_ra), false)
+
+let defines_ra i = List.mem Reg.ra (Insn.defs i)
+
+let wrap_pass (items : titem list) : titem list =
+  List.concat_map
+    (function
+      | TLabel _ as l -> [ l ]
+      | TInsn (m, true) when Insn.is_mem m ->
+        wrap_mem m @ (if defines_ra m then [ resave_ra ] else [])
+      | TInsn (i, true) when (not (Insn.is_control i)) && defines_ra i ->
+        [ TInsn (i, true); resave_ra ]
+      | item -> [ item ])
+    items
+
+(* ------------------------------------------------------------------ *)
+(* Block segmentation of the original item list                         *)
+
+type segment = {
+  labels : string list;          (* labels at the block entry *)
+  block : Bb.block;
+}
+
+let segments (obj : Objfile.t) =
+  let blocks = Bb.analyze obj.text in
+  let insns =
+    Array.of_list
+      (List.filter_map
+         (function Objfile.Insn i -> Some i | Objfile.Label _ -> None)
+         obj.text)
+  in
+  (* Collect labels preceding each instruction index. *)
+  let labels_at = Hashtbl.create 64 in
+  let trailing = ref [] in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | Objfile.Label l ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt labels_at !idx) in
+        Hashtbl.replace labels_at !idx (cur @ [ l ])
+      | Objfile.Insn _ -> incr idx)
+    obj.text;
+  (match Hashtbl.find_opt labels_at !idx with
+  | Some ls when !idx = Array.length insns -> trailing := ls
+  | _ -> ());
+  let segs =
+    List.map
+      (fun (b : Bb.block) ->
+        {
+          labels = Option.value ~default:[] (Hashtbl.find_opt labels_at b.start);
+          block = b;
+        })
+      blocks
+  in
+  (segs, insns, !trailing)
+
+(* ------------------------------------------------------------------ *)
+(* Main entry                                                           *)
+
+let instrument_obj (obj : Objfile.t) : Objfile.t * bb_desc list =
+  if obj.no_instrument then (obj, [])
+  else begin
+    let segs, insns, trailing = segments obj in
+    let prot = protected_ranges obj in
+    let descs = ref [] in
+    let out = ref [] in
+    let emit item = out := item :: !out in
+    List.iteri
+      (fun k seg ->
+        let b = seg.block in
+        List.iter (fun l -> emit (TLabel l)) seg.labels;
+        let body =
+          let items = ref [] in
+          for i = b.start + b.len - 1 downto b.start do
+            items := TInsn (insns.(i), true) :: !items
+          done;
+          Rewrite.rewrite !items
+        in
+        if in_ranges prot b.start then
+          (* Protected: steal-rewritten, but no tracing code. *)
+          List.iter emit body
+        else begin
+          let anchor = Printf.sprintf "$bb%d" k in
+          let nwords = 1 + List.length b.mems in
+          emit (TInsn (Insn.Store (W, Reg.ra, Abi.xreg_book, Imm Abi.book_saved_ra), false));
+          emit (TInsn (Insn.Jal (Sym sym_bbtrace), false));
+          emit (TInsn (Insn.trace_count_nop nwords, false));
+          emit (TLabel anchor);
+          List.iter emit (wrap_pass body);
+          descs :=
+            {
+              anchor;
+              orig_index = b.start;
+              ninsns = b.len;
+              mems = Array.of_list b.mems |> Array.map (fun (m : Bb.mem_ref) ->
+                         (m.pos, m.bytes, m.is_load));
+            }
+            :: !descs
+        end)
+      segs;
+    List.iter (fun l -> emit (TLabel l)) trailing;
+    let text = untag_items (List.rev !out) in
+    let obj' = Objfile.validate { obj with text } in
+    (obj', List.rev !descs)
+  end
+
+(* Instrument a set of modules; returns the rewritten modules plus the
+   per-module block descriptors.  The caller links the result together with
+   the matching tracing runtime ([Runtime.make]). *)
+let instrument_modules (mods : Objfile.t list) :
+    Objfile.t list * (string * bb_desc list) list =
+  let results = List.map (fun m -> (m.Objfile.name, instrument_obj m)) mods in
+  ( List.map (fun (_, (m, _)) -> m) results,
+    List.map (fun (name, (_, descs)) -> (name, descs)) results )
+
+(* Text growth factor of instrumentation, over the given modules. *)
+let expansion ~original ~instrumented =
+  let count ms =
+    List.fold_left (fun n m -> n + Objfile.insn_count m) 0 ms
+  in
+  float_of_int (count instrumented) /. float_of_int (count original)

@@ -1,0 +1,19 @@
+(** pixie-style instrumentation baseline (paper §3.2).
+
+    pixie rewrites executables, without symbol/relocation information:
+    address correction partly happens at run time and registers cannot be
+    stolen, so every trace point spills and reloads registers around
+    itself — the 4-6x text growth the paper contrasts with epoxie. *)
+
+open Systrace_isa
+
+val runtime : buf_va:int -> buf_bytes:int -> Objfile.t
+(** Cursor, spill slots and a reset helper (the cursor lives in memory —
+    no stolen register to keep it in). *)
+
+val instrument_obj : Objfile.t -> first_id:int -> Objfile.t * int
+(** Returns the rewritten module and the next free block id. *)
+
+val instrument_modules : Objfile.t list -> Objfile.t list
+
+val expansion : original:Objfile.t list -> instrumented:Objfile.t list -> float

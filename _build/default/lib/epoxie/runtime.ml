@@ -1,0 +1,213 @@
+(* The tracing runtime: bbtrace and memtrace.
+
+   These routines are part of the tracing system and are never themselves
+   instrumented ([no_instrument]).  Register discipline (see
+   [Systrace_tracing.Abi]):
+
+     $t7 (xreg_book)   bookkeeping area: saved ra, shadows, scratch slots
+     $t8 (xreg_cursor) trace cursor
+     $t9 (xreg_limit)  cursor high-water mark
+     $at               designated clobber (dead at every call site)
+     everything else   preserved via the scratch slots
+
+   bbtrace: called from the 3-instruction block preamble.  Its return
+   address IS the trace record for the block.  It reads the trace-word
+   count from the special no-op in its own delay slot (at ra-4), checks
+   buffer room, stores the record with a single sw, restores the original
+   $ra from the bookkeeping area and returns through $at.
+
+   memtrace: called with the memory instruction (or its hazard no-op) in
+   the delay slot.  It partially decodes that instruction word — loaded
+   from text at ra-4 — to find the base register and 16-bit offset,
+   dispatches through a 32-entry jump table to read the base register's
+   value, and stores the effective address into the trace buffer.
+
+   The full-buffer path differs by variant:
+     - User: raise the trace-flush system call; the kernel drains the
+       per-process buffer into the in-kernel buffer and resets the saved
+       cursor.
+     - Kernel: writes go directly to the in-kernel buffer, which cannot be
+       drained at an arbitrary point (paper, §3.3: "servicing the full
+       buffer is a complicated operation, and cannot be scheduled
+       arbitrarily").  bbtrace sets a need-analysis flag and keeps writing
+       into the buffer's slack region; the kernel switches modes at the
+       next safe point.  When kernel tracing is off, the cursor runs in a
+       one-page discard region and simply wraps. *)
+
+open Systrace_isa
+open Systrace_tracing
+
+type variant = User | Kernel
+
+let book = Abi.xreg_book
+let cursor = Abi.xreg_cursor
+let limit = Abi.xreg_limit
+
+let s0 = Abi.book_scratch0
+let s1 = Abi.book_scratch1
+let s2 = Abi.book_scratch2
+let s5 = Abi.book_scratch5
+
+let make variant : Objfile.t =
+  let a = Asm.create ~no_instrument:true "trt" in
+  let open Asm in
+  (* ---------------- bbtrace ---------------- *)
+  global a Epoxie.sym_bbtrace;
+  label a Epoxie.sym_bbtrace;
+  (* Kernel variant: a nested interrupt would advance the shared cursor
+     inside the reserve/fill window, so the whole routine runs with
+     interrupts disabled.  ($at is dead at every call site; an interrupt
+     in the pre-disable window restores it from the exception frame and
+     re-executes.)  User-mode trace writes cannot nest — exceptions are
+     handled entirely in the kernel — so the user variant needs none of
+     this. *)
+  (match variant with
+  | Kernel ->
+    i a (Insn.Mfc0 (Reg.at, C0_status));
+    sw a Reg.at s5 book;
+    andi a Reg.at Reg.at 0xFFFE;
+    i a (Insn.Mtc0 (Reg.at, C0_status))
+  | User -> ());
+  sw a Reg.t0 s0 book;
+  lw a Reg.t0 (-4) Reg.ra;            (* the count no-op word *)
+  andi a Reg.t0 Reg.t0 0xFFFF;        (* word count (always small, positive) *)
+  sll a Reg.t0 Reg.t0 2;              (* bytes *)
+  addu a Reg.t0 cursor Reg.t0;        (* prospective end of block's trace *)
+  sltu a Reg.t0 limit Reg.t0;         (* limit < end ? *)
+  bnez a Reg.t0 "$bb_full";
+  label a "$bb_resume";
+  (* Reserve the slot before filling it: a nested exception between the
+     two instructions then writes AFTER the reservation, and the record is
+     filled in on resume — no overwrite, no hole. *)
+  addiu a cursor cursor 4;
+  sw a Reg.ra (-4) cursor;            (* the block record: one store *)
+  (match variant with
+  | Kernel ->
+    lw a Reg.t0 s5 book;
+    i a (Insn.Mtc0 (Reg.t0, C0_status))
+  | User -> ());
+  move a Reg.at Reg.ra;               (* return through $at... *)
+  lw a Reg.ra Abi.book_saved_ra book; (* ...restoring the original $ra *)
+  i a (Insn.Jr Reg.at);
+  lw a Reg.t0 s0 book;                (* delay slot: restore t0 *)
+  (* full-buffer path *)
+  label a "$bb_full";
+  (match variant with
+  | User ->
+    (* Trace-flush syscall: kernel drains and resets the saved cursor. *)
+    sw a Reg.v0 s1 book;
+    li a Reg.v0 Abi.sys_trace_flush;
+    syscall a;
+    lw a Reg.v0 s1 book;
+    j_ a "$bb_resume"
+  | Kernel ->
+    la a Reg.at Abi.sym_ktrace_need;
+    lw a Reg.t0 0 Reg.at;
+    bnez a Reg.t0 "$bb_resume";       (* already flagged: keep writing *)
+    la a Reg.at "ktrace_on";
+    lw a Reg.t0 0 Reg.at;
+    beqz a Reg.t0 "$bb_wrap";
+    (* Tracing on: request analysis at the next safe point, continue into
+       the slack region. *)
+    la a Reg.at Abi.sym_ktrace_need;
+    addiu a Reg.t0 Reg.zero 1;
+    sw a Reg.t0 0 Reg.at;
+    j_ a "$bb_resume";
+    (* Tracing off: the cursor runs in the discard page; wrap it. *)
+    label a "$bb_wrap";
+    la a Reg.at "ktrace_discard_base";
+    lw a cursor 0 Reg.at;
+    j_ a "$bb_resume");
+  (* ---------------- memtrace ---------------- *)
+  global a Epoxie.sym_memtrace;
+  label a Epoxie.sym_memtrace;
+  sw a Reg.t0 s0 book;
+  (match variant with
+  | Kernel ->
+    (* $at may carry the base register here, so the disable uses t0
+       (already saved). *)
+    i a (Insn.Mfc0 (Reg.t0, C0_status));
+    sw a Reg.t0 s5 book;
+    andi a Reg.t0 Reg.t0 0xFFFE;
+    i a (Insn.Mtc0 (Reg.t0, C0_status))
+  | User -> ());
+  sw a Reg.t1 s1 book;
+  sw a Reg.t2 s2 book;
+  lw a Reg.t0 (-4) Reg.ra;            (* delay-slot instruction word *)
+  srl a Reg.t1 Reg.t0 21;
+  andi a Reg.t1 Reg.t1 31;            (* base register number *)
+  sll a Reg.t1 Reg.t1 2;
+  la a Reg.t2 "$mt_table";
+  addu a Reg.t2 Reg.t2 Reg.t1;
+  lw a Reg.t2 0 Reg.t2;               (* snippet address *)
+  sll a Reg.t0 Reg.t0 16;
+  i a (Insn.Jr Reg.t2);
+  i a (Insn.Shift (SRA, Reg.t0, Reg.t0, 16)); (* delay: t0 = signed offset *)
+  (* Per-register snippets: compute t1 = base + offset.  The scratch
+     registers read their entry values back from the bookkeeping slots;
+     stolen registers can never be a base (steal-rewriting removed them). *)
+  for r = 0 to 31 do
+    label a (Printf.sprintf "$mt_r%d" r);
+    if r = Reg.t0 || r = Reg.t1 || r = Reg.t2 then begin
+      let slot = if r = Reg.t0 then s0 else if r = Reg.t1 then s1 else s2 in
+      lw a Reg.t1 slot book;
+      i a (Insn.J (Sym "$mt_store"));
+      addu a Reg.t1 Reg.t1 Reg.t0
+    end
+    else if r = book || r = cursor || r = limit then
+      i a (Insn.Break 0xBAD)
+    else begin
+      i a (Insn.J (Sym "$mt_store"));
+      addu a Reg.t1 r Reg.t0
+    end
+  done;
+  label a "$mt_store";
+  addiu a cursor cursor 4;            (* reserve, then fill (see bbtrace) *)
+  sw a Reg.t1 (-4) cursor;            (* the data-address entry: one store *)
+  (match variant with
+  | Kernel ->
+    lw a Reg.t0 s5 book;
+    i a (Insn.Mtc0 (Reg.t0, C0_status))
+  | User -> ());
+  lw a Reg.t0 s0 book;
+  lw a Reg.t2 s2 book;
+  move a Reg.at Reg.ra;
+  lw a Reg.ra Abi.book_saved_ra book;
+  i a (Insn.Jr Reg.at);
+  lw a Reg.t1 s1 book;                (* delay slot *)
+  (* ---------------- memtrace_direct_t0 / _t1 ----------------
+     For hazard cases whose base register is $at or $ra, inline code
+     precomputes the effective address into a borrowed register and these
+     routines record it; the borrowed register keeps the address so the
+     caller re-issues the memory instruction relative to it.  Keeping the
+     cursor update inside the runtime's text range lets the kernel treat
+     it as a critical section for buffer drains. *)
+  List.iter
+    (fun (name, x) ->
+      global a name;
+      label a name;
+      (match variant with
+      | Kernel ->
+        i a (Insn.Mfc0 (Reg.at, C0_status));
+        sw a Reg.at s5 book;
+        andi a Reg.at Reg.at 0xFFFE;
+        i a (Insn.Mtc0 (Reg.at, C0_status))
+      | User -> ());
+      addiu a cursor cursor 4;
+      sw a x (-4) cursor;
+      (match variant with
+      | Kernel ->
+        lw a Reg.at s5 book;
+        i a (Insn.Mtc0 (Reg.at, C0_status))
+      | User -> ());
+      move a Reg.at Reg.ra;
+      lw a Reg.ra Abi.book_saved_ra book;
+      i a (Insn.Jr Reg.at);
+      nop a)
+    [ ("memtrace_direct_t0", Reg.t0); ("memtrace_direct_t1", Reg.t1) ];
+  (* Dispatch table *)
+  dlabel a "$mt_table";
+  for r = 0 to 31 do
+    addr a (Printf.sprintf "$mt_r%d" r)
+  done;
+  to_obj a

@@ -1,0 +1,15 @@
+(** The tracing runtime: bbtrace, memtrace and the direct-store variants.
+
+    Uninstrumented object code linked into every traced program (User
+    variant) and into the traced kernel (Kernel variant).  See the .ml for
+    the register discipline; the variants differ in the full-buffer path
+    (user: trace-flush system call; kernel: set the need-analysis flag and
+    keep writing into the slack, or wrap in the discard page when kernel
+    tracing is off) and in that kernel trace writes run with interrupts
+    disabled, because a nested exception advances the shared cursor. *)
+
+open Systrace_isa
+
+type variant = User | Kernel
+
+val make : variant -> Objfile.t

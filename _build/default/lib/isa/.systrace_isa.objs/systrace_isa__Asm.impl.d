@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Insn Int64 List Objfile Printf Reg

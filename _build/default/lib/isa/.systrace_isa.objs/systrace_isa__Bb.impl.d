@@ -1,0 +1,1 @@
+lib/isa/bb.ml: Array Insn List Objfile

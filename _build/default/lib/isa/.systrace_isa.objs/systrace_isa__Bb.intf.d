@@ -1,0 +1,1 @@
+lib/isa/bb.mli: Objfile

@@ -1,0 +1,1 @@
+lib/isa/exe.ml: Array Buffer Bytes Hashtbl Insn Printf

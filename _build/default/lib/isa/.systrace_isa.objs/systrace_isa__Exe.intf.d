@@ -1,0 +1,1 @@
+lib/isa/exe.mli: Bytes Hashtbl Insn

@@ -1,0 +1,1 @@
+lib/isa/link.ml: Array Bytes Encode Exe Hashtbl Insn Int32 List Objfile Printf String

@@ -1,0 +1,1 @@
+lib/isa/link.mli: Exe Objfile

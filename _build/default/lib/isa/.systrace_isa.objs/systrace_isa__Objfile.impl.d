@@ -1,0 +1,1 @@
+lib/isa/objfile.ml: Hashtbl Insn List Printf Set String

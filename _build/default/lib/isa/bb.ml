@@ -1,0 +1,89 @@
+(* Basic-block analysis of object-module text.
+
+   Both instrumentation tools (Mahler on the Titan, epoxie on the
+   DECstation) rely on basic blocks and their contents being identifiable at
+   link time.  A block leader is the first instruction, any labelled
+   instruction (labels are conservatively treated as potential branch
+   targets), or the instruction after a control transfer's delay slot.  The
+   delay slot belongs to the block of its branch.
+
+   The static description recorded per block — instruction count and the
+   position and size of each memory reference — is what the trace parsing
+   library later uses to reconstruct the exact interleaving of instruction
+   and data references from a one-word-per-block trace record. *)
+
+type mem_ref = {
+  pos : int;       (* instruction offset within the block *)
+  bytes : int;     (* access size *)
+  is_load : bool;
+}
+
+type block = {
+  start : int;               (* instruction index within the module's text *)
+  len : int;                 (* number of instructions *)
+  mems : mem_ref list;       (* in execution order *)
+}
+
+(* Instruction array and, for each instruction index, whether it leads a
+   block. *)
+let leaders (items : Objfile.titem list) =
+  let insns =
+    Array.of_list
+      (List.filter_map
+         (function Objfile.Insn i -> Some i | Objfile.Label _ -> None)
+         items)
+  in
+  let n = Array.length insns in
+  let lead = Array.make (max n 1) false in
+  if n > 0 then lead.(0) <- true;
+  (* Labels mark the next instruction as a leader. *)
+  let idx = ref 0 in
+  List.iter
+    (function
+      | Objfile.Label _ -> if !idx < n then lead.(!idx) <- true
+      | Objfile.Insn _ -> incr idx)
+    items;
+  (* The instruction after a delay slot is a leader. *)
+  Array.iteri
+    (fun i insn ->
+      if Insn.is_control insn && i + 2 < n then lead.(i + 2) <- true)
+    insns;
+  (insns, lead)
+
+let mem_refs insns start len =
+  let refs = ref [] in
+  for k = len - 1 downto 0 do
+    let insn = insns.(start + k) in
+    if Insn.is_mem insn then
+      refs :=
+        { pos = k; bytes = Insn.mem_bytes insn; is_load = Insn.is_load insn }
+        :: !refs
+  done;
+  !refs
+
+let analyze (items : Objfile.titem list) : block list =
+  let insns, lead = leaders items in
+  let n = Array.length insns in
+  let rec blocks i acc =
+    if i >= n then List.rev acc
+    else begin
+      (* Find the end of the block starting at [i]. *)
+      let rec scan j =
+        if j >= n then n
+        else if j > i && lead.(j) then j
+        else if Insn.is_control insns.(j) then
+          (* Block extends through the delay slot. *)
+          min n (j + 2)
+        else scan (j + 1)
+      in
+      let stop = scan i in
+      let len = stop - i in
+      let b = { start = i; len; mems = mem_refs insns i len } in
+      blocks stop (b :: acc)
+    end
+  in
+  blocks 0 []
+
+(* Number of trace words a block generates under the epoxie format:
+   one block record plus one word per memory reference. *)
+let trace_words b = 1 + List.length b.mems

@@ -1,0 +1,26 @@
+(** Basic-block analysis of object-module text.
+
+    A leader is the first instruction, any labelled instruction, or the
+    instruction after a control transfer's delay slot; the delay slot
+    belongs to its branch's block.  The static per-block description —
+    instruction count plus the position and size of every memory
+    reference — is what the trace parsing library uses to reconstruct the
+    interleaved reference stream from one-word block records. *)
+
+type mem_ref = {
+  pos : int;       (** instruction offset within the block *)
+  bytes : int;
+  is_load : bool;
+}
+
+type block = {
+  start : int;     (** instruction index within the module's text *)
+  len : int;
+  mems : mem_ref list;
+}
+
+val analyze : Objfile.titem list -> block list
+
+val trace_words : block -> int
+(** Trace words the block generates under the epoxie format: one record
+    plus one word per memory reference. *)

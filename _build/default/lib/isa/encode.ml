@@ -1,0 +1,363 @@
+(* Binary encoding of instructions into 32-bit words.
+
+   The machine keeps real encoded instructions in simulated memory: the
+   epoxie runtime's [memtrace] routine loads the word in its branch delay
+   slot and partially decodes it to find the base register and offset of the
+   memory reference, exactly as in the paper.  Encoding therefore has to be a
+   faithful bijection, checked by a round-trip property test.
+
+   Layout (own opcode map, MIPS-like formats):
+     R-type:  op[31:26]=0  rs[25:21] rt[20:16] rd[15:11] sa[10:6] funct[5:0]
+     I-type:  op[31:26]    rs[25:21] rt[20:16] imm[15:0]
+     J-type:  op[31:26]    index[25:0]  (word index within 256MB region)
+
+   Branch immediates are signed word offsets relative to the delay slot
+   (pc + 4), so both [encode] and [decode] take the instruction's address. *)
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let mask16 = 0xFFFF
+let mask32 = 0xFFFFFFFF
+
+let signed16 v =
+  let v = v land mask16 in
+  if v >= 0x8000 then v - 0x10000 else v
+
+let check_signed16 what v =
+  if v < -32768 || v > 32767 then err "%s immediate %d out of signed 16-bit range" what v
+
+let check_unsigned16 what v =
+  if v < 0 || v > 65535 then err "%s immediate %d out of unsigned 16-bit range" what v
+
+(* Opcodes *)
+let op_regimm = 1
+let op_j = 2
+let op_jal = 3
+let op_beq = 4
+let op_bne = 5
+let op_blez = 6
+let op_bgtz = 7
+let op_addi = 8
+let op_addiu = 9
+let op_slti = 10
+let op_sltiu = 11
+let op_andi = 12
+let op_ori = 13
+let op_xori = 14
+let op_lui = 15
+let op_cop0 = 16
+let op_cop1 = 17
+let op_lb = 32
+let op_lh = 33
+let op_lw = 35
+let op_lbu = 36
+let op_lhu = 37
+let op_sb = 40
+let op_sh = 41
+let op_sw = 43
+let op_cache = 47
+let op_ldc1 = 53
+let op_sdc1 = 61
+
+(* SPECIAL functs *)
+let f_sll = 0
+let f_srl = 2
+let f_sra = 3
+let f_sllv = 4
+let f_srlv = 6
+let f_srav = 7
+let f_jr = 8
+let f_jalr = 9
+let f_syscall = 12
+let f_break = 13
+let f_hcall = 15
+let f_mul = 24
+let f_mulh = 25
+let f_div = 26
+let f_rem = 27
+let f_add = 32
+let f_addu = 33
+let f_sub = 34
+let f_subu = 35
+let f_and = 36
+let f_or = 37
+let f_xor = 38
+let f_nor = 39
+let f_slt = 42
+let f_sltu = 43
+
+(* COP1 fmt-D functs *)
+let fd_add = 0
+let fd_sub = 1
+let fd_mul = 2
+let fd_div = 3
+let fd_abs = 5
+let fd_mov = 6
+let fd_neg = 7
+let fd_trunc = 13
+let fd_cvtdw = 33
+let fd_ceq = 50
+let fd_clt = 60
+let fd_cle = 62
+
+let alu_funct : Insn.alu -> int = function
+  | ADD -> f_add | ADDU -> f_addu | SUB -> f_sub | SUBU -> f_subu
+  | AND -> f_and | OR -> f_or | XOR -> f_xor | NOR -> f_nor
+  | SLT -> f_slt | SLTU -> f_sltu | SLLV -> f_sllv | SRLV -> f_srlv
+  | SRAV -> f_srav | MUL -> f_mul | MULH -> f_mulh | DIV -> f_div
+  | REM -> f_rem
+
+let shift_funct : Insn.shift -> int = function
+  | SLL -> f_sll | SRL -> f_srl | SRA -> f_sra
+
+let alui_op : Insn.alui -> int = function
+  | ADDI -> op_addi | ADDIU -> op_addiu | SLTI -> op_slti | SLTIU -> op_sltiu
+  | ANDI -> op_andi | ORI -> op_ori | XORI -> op_xori
+
+let alui_signed : Insn.alui -> bool = function
+  | ADDI | ADDIU | SLTI | SLTIU -> true
+  | ANDI | ORI | XORI -> false
+
+let cp0_num : Insn.cp0 -> int = function
+  | C0_index -> 0 | C0_random -> 1 | C0_entrylo -> 2 | C0_context -> 4
+  | C0_badvaddr -> 8 | C0_count -> 9 | C0_entryhi -> 10 | C0_status -> 12
+  | C0_cause -> 13 | C0_epc -> 14 | C0_prid -> 15
+
+let cp0_of_num = function
+  | 0 -> Insn.C0_index | 1 -> C0_random | 2 -> C0_entrylo | 4 -> C0_context
+  | 8 -> C0_badvaddr | 9 -> C0_count | 10 -> C0_entryhi | 12 -> C0_status
+  | 13 -> C0_cause | 14 -> C0_epc | 15 -> C0_prid
+  | n -> err "unknown cp0 register %d" n
+
+let fop_funct : Insn.fop -> int = function
+  | FADD -> fd_add | FSUB -> fd_sub | FMUL -> fd_mul | FDIV -> fd_div
+  | FABS -> fd_abs | FNEG -> fd_neg | FMOV -> fd_mov
+  | CVTDW -> fd_cvtdw | TRUNCWD -> fd_trunc
+
+let fcond_funct : Insn.fcond -> int = function
+  | FEQ -> fd_ceq | FLT -> fd_clt | FLE -> fd_cle
+
+let rtype ~rs ~rt ~rd ~sa ~funct =
+  (rs lsl 21) lor (rt lsl 16) lor (rd lsl 11) lor (sa lsl 6) lor funct
+
+let itype ~op ~rs ~rt ~imm =
+  (op lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor (imm land mask16)
+
+let imm_value what = function
+  | Insn.Imm n -> n
+  | Insn.Lo s | Insn.Hi s -> err "%s: unresolved symbol %S" what s
+
+let branch_imm ~pc target =
+  match target with
+  | Insn.Sym s -> err "branch: unresolved symbol %S" s
+  | Insn.Abs a ->
+    if a land 3 <> 0 then err "branch target 0x%x not word aligned" a;
+    let off = (a - (pc + 4)) asr 2 in
+    check_signed16 "branch offset" off;
+    off
+
+let jump_index ~pc target =
+  match target with
+  | Insn.Sym s -> err "jump: unresolved symbol %S" s
+  | Insn.Abs a ->
+    if a land 3 <> 0 then err "jump target 0x%x not word aligned" a;
+    if (a land 0xF0000000) <> ((pc + 4) land 0xF0000000) then
+      err "jump target 0x%x outside current 256MB region of pc 0x%x" a pc;
+    (a lsr 2) land 0x3FFFFFF
+
+let load_op : Insn.width -> int = function
+  | B -> op_lb | BU -> op_lbu | H -> op_lh | HU -> op_lhu | W -> op_lw
+
+let store_op : Insn.width -> int = function
+  | B | BU -> op_sb
+  | H | HU -> op_sh
+  | W -> op_sw
+
+let encode ~pc (i : Insn.t) =
+  let w =
+    match i with
+    | Alu (op, rd, rs, rt) -> rtype ~rs ~rt ~rd ~sa:0 ~funct:(alu_funct op)
+    | Alui (op, rt, rs, im) ->
+      let v = imm_value "alui" im in
+      if alui_signed op then check_signed16 "alui" v
+      else check_unsigned16 "alui" v;
+      itype ~op:(alui_op op) ~rs ~rt ~imm:v
+    | Shift (op, rd, rt, sa) ->
+      if sa < 0 || sa > 31 then err "shift amount %d out of range" sa;
+      rtype ~rs:0 ~rt ~rd ~sa ~funct:(shift_funct op)
+    | Lui (rt, im) ->
+      let v = imm_value "lui" im in
+      check_unsigned16 "lui" v;
+      itype ~op:op_lui ~rs:0 ~rt ~imm:v
+    | Load (w, rt, base, off) ->
+      let v = imm_value "load" off in
+      check_signed16 "load offset" v;
+      itype ~op:(load_op w) ~rs:base ~rt ~imm:v
+    | Store (w, rt, base, off) ->
+      let v = imm_value "store" off in
+      check_signed16 "store offset" v;
+      itype ~op:(store_op w) ~rs:base ~rt ~imm:v
+    | Fload (ft, base, off) ->
+      let v = imm_value "l.d" off in
+      check_signed16 "l.d offset" v;
+      itype ~op:op_ldc1 ~rs:base ~rt:ft ~imm:v
+    | Fstore (ft, base, off) ->
+      let v = imm_value "s.d" off in
+      check_signed16 "s.d offset" v;
+      itype ~op:op_sdc1 ~rs:base ~rt:ft ~imm:v
+    | Beq (rs, rt, t) -> itype ~op:op_beq ~rs ~rt ~imm:(branch_imm ~pc t)
+    | Bne (rs, rt, t) -> itype ~op:op_bne ~rs ~rt ~imm:(branch_imm ~pc t)
+    | Blez (rs, t) -> itype ~op:op_blez ~rs ~rt:0 ~imm:(branch_imm ~pc t)
+    | Bgtz (rs, t) -> itype ~op:op_bgtz ~rs ~rt:0 ~imm:(branch_imm ~pc t)
+    | Bltz (rs, t) -> itype ~op:op_regimm ~rs ~rt:0 ~imm:(branch_imm ~pc t)
+    | Bgez (rs, t) -> itype ~op:op_regimm ~rs ~rt:1 ~imm:(branch_imm ~pc t)
+    | J t -> (op_j lsl 26) lor jump_index ~pc t
+    | Jal t -> (op_jal lsl 26) lor jump_index ~pc t
+    | Jr rs -> rtype ~rs ~rt:0 ~rd:0 ~sa:0 ~funct:f_jr
+    | Jalr (rd, rs) -> rtype ~rs ~rt:0 ~rd ~sa:0 ~funct:f_jalr
+    | Syscall -> rtype ~rs:0 ~rt:0 ~rd:0 ~sa:0 ~funct:f_syscall
+    | Break code ->
+      if code < 0 || code >= 1 lsl 20 then err "break code %d out of range" code;
+      (code lsl 6) lor f_break
+    | Hcall code ->
+      if code < 0 || code >= 1 lsl 20 then err "hcall code %d out of range" code;
+      (code lsl 6) lor f_hcall
+    | Mfc0 (rt, c) -> itype ~op:op_cop0 ~rs:0 ~rt ~imm:(cp0_num c lsl 11)
+    | Mtc0 (rt, c) -> itype ~op:op_cop0 ~rs:4 ~rt ~imm:(cp0_num c lsl 11)
+    | Tlbr -> (op_cop0 lsl 26) lor (16 lsl 21) lor 1
+    | Tlbwi -> (op_cop0 lsl 26) lor (16 lsl 21) lor 2
+    | Tlbwr -> (op_cop0 lsl 26) lor (16 lsl 21) lor 6
+    | Tlbp -> (op_cop0 lsl 26) lor (16 lsl 21) lor 8
+    | Rfe -> (op_cop0 lsl 26) lor (16 lsl 21) lor 16
+    | Mfc1 (rt, fs) -> itype ~op:op_cop1 ~rs:0 ~rt ~imm:(fs lsl 11)
+    | Mtc1 (rt, fs) -> itype ~op:op_cop1 ~rs:4 ~rt ~imm:(fs lsl 11)
+    | Bc1f t -> itype ~op:op_cop1 ~rs:8 ~rt:0 ~imm:(branch_imm ~pc t)
+    | Bc1t t -> itype ~op:op_cop1 ~rs:8 ~rt:1 ~imm:(branch_imm ~pc t)
+    | Fop (op, fd, fs, ft) ->
+      (op_cop1 lsl 26) lor (17 lsl 21) lor (ft lsl 16) lor (fs lsl 11)
+      lor (fd lsl 6) lor fop_funct op
+    | Fcmp (c, fs, ft) ->
+      (op_cop1 lsl 26) lor (17 lsl 21) lor (ft lsl 16) lor (fs lsl 11)
+      lor fcond_funct c
+    | Cache (cop, base, off) ->
+      let v = imm_value "cache" off in
+      check_signed16 "cache offset" v;
+      itype ~op:op_cache ~rs:base ~rt:cop ~imm:v
+  in
+  w land mask32
+
+let decode ~pc w =
+  let op = (w lsr 26) land 0x3F in
+  let rs = (w lsr 21) land 0x1F in
+  let rt = (w lsr 16) land 0x1F in
+  let rd = (w lsr 11) land 0x1F in
+  let sa = (w lsr 6) land 0x1F in
+  let funct = w land 0x3F in
+  let imm_u = w land mask16 in
+  let imm_s = signed16 w in
+  let btarget = Insn.Abs (pc + 4 + (imm_s lsl 2)) in
+  let jtarget =
+    Insn.Abs (((pc + 4) land 0xF0000000) lor ((w land 0x3FFFFFF) lsl 2))
+  in
+  match op with
+  | 0 -> (
+    match funct with
+    | f when f = f_sll -> Insn.Shift (SLL, rd, rt, sa)
+    | f when f = f_srl -> Shift (SRL, rd, rt, sa)
+    | f when f = f_sra -> Shift (SRA, rd, rt, sa)
+    | f when f = f_jr -> Jr rs
+    | f when f = f_jalr -> Jalr (rd, rs)
+    | f when f = f_syscall -> Syscall
+    | f when f = f_break -> Break ((w lsr 6) land 0xFFFFF)
+    | f when f = f_hcall -> Hcall ((w lsr 6) land 0xFFFFF)
+    | f when f = f_sllv -> Alu (SLLV, rd, rs, rt)
+    | f when f = f_srlv -> Alu (SRLV, rd, rs, rt)
+    | f when f = f_srav -> Alu (SRAV, rd, rs, rt)
+    | f when f = f_mul -> Alu (MUL, rd, rs, rt)
+    | f when f = f_mulh -> Alu (MULH, rd, rs, rt)
+    | f when f = f_div -> Alu (DIV, rd, rs, rt)
+    | f when f = f_rem -> Alu (REM, rd, rs, rt)
+    | f when f = f_add -> Alu (ADD, rd, rs, rt)
+    | f when f = f_addu -> Alu (ADDU, rd, rs, rt)
+    | f when f = f_sub -> Alu (SUB, rd, rs, rt)
+    | f when f = f_subu -> Alu (SUBU, rd, rs, rt)
+    | f when f = f_and -> Alu (AND, rd, rs, rt)
+    | f when f = f_or -> Alu (OR, rd, rs, rt)
+    | f when f = f_xor -> Alu (XOR, rd, rs, rt)
+    | f when f = f_nor -> Alu (NOR, rd, rs, rt)
+    | f when f = f_slt -> Alu (SLT, rd, rs, rt)
+    | f when f = f_sltu -> Alu (SLTU, rd, rs, rt)
+    | f -> err "decode: bad SPECIAL funct %d (word 0x%08x at 0x%x)" f w pc)
+  | 1 -> (
+    match rt with
+    | 0 -> Bltz (rs, btarget)
+    | 1 -> Bgez (rs, btarget)
+    | _ -> err "decode: bad REGIMM rt %d" rt)
+  | 2 -> J jtarget
+  | 3 -> Jal jtarget
+  | 4 -> Beq (rs, rt, btarget)
+  | 5 -> Bne (rs, rt, btarget)
+  | 6 -> Blez (rs, btarget)
+  | 7 -> Bgtz (rs, btarget)
+  | 8 -> Alui (ADDI, rt, rs, Imm imm_s)
+  | 9 -> Alui (ADDIU, rt, rs, Imm imm_s)
+  | 10 -> Alui (SLTI, rt, rs, Imm imm_s)
+  | 11 -> Alui (SLTIU, rt, rs, Imm imm_s)
+  | 12 -> Alui (ANDI, rt, rs, Imm imm_u)
+  | 13 -> Alui (ORI, rt, rs, Imm imm_u)
+  | 14 -> Alui (XORI, rt, rs, Imm imm_u)
+  | 15 -> Lui (rt, Imm imm_u)
+  | 16 -> (
+    match rs with
+    | 0 -> Mfc0 (rt, cp0_of_num rd)
+    | 4 -> Mtc0 (rt, cp0_of_num rd)
+    | 16 -> (
+      match funct with
+      | 1 -> Tlbr
+      | 2 -> Tlbwi
+      | 6 -> Tlbwr
+      | 8 -> Tlbp
+      | 16 -> Rfe
+      | f -> err "decode: bad COP0 funct %d" f)
+    | _ -> err "decode: bad COP0 rs %d" rs)
+  | 17 -> (
+    match rs with
+    | 0 -> Mfc1 (rt, rd)
+    | 4 -> Mtc1 (rt, rd)
+    | 8 -> if rt = 0 then Bc1f btarget else Bc1t btarget
+    | 17 -> (
+      let ft = rt and fs = rd and fd = sa in
+      match funct with
+      | f when f = fd_add -> Fop (FADD, fd, fs, ft)
+      | f when f = fd_sub -> Fop (FSUB, fd, fs, ft)
+      | f when f = fd_mul -> Fop (FMUL, fd, fs, ft)
+      | f when f = fd_div -> Fop (FDIV, fd, fs, ft)
+      | f when f = fd_abs -> Fop (FABS, fd, fs, ft)
+      | f when f = fd_mov -> Fop (FMOV, fd, fs, ft)
+      | f when f = fd_neg -> Fop (FNEG, fd, fs, ft)
+      | f when f = fd_cvtdw -> Fop (CVTDW, fd, fs, ft)
+      | f when f = fd_trunc -> Fop (TRUNCWD, fd, fs, ft)
+      | f when f = fd_ceq -> Fcmp (FEQ, fs, ft)
+      | f when f = fd_clt -> Fcmp (FLT, fs, ft)
+      | f when f = fd_cle -> Fcmp (FLE, fs, ft)
+      | f -> err "decode: bad COP1 funct %d" f)
+    | _ -> err "decode: bad COP1 rs %d" rs)
+  | 32 -> Load (B, rt, rs, Imm imm_s)
+  | 33 -> Load (H, rt, rs, Imm imm_s)
+  | 35 -> Load (W, rt, rs, Imm imm_s)
+  | 36 -> Load (BU, rt, rs, Imm imm_s)
+  | 37 -> Load (HU, rt, rs, Imm imm_s)
+  | 40 -> Store (B, rt, rs, Imm imm_s)
+  | 41 -> Store (H, rt, rs, Imm imm_s)
+  | 43 -> Store (W, rt, rs, Imm imm_s)
+  | 47 -> Cache (rt, rs, Imm imm_s)
+  | 53 -> Fload (rt, rs, Imm imm_s)
+  | 61 -> Fstore (rt, rs, Imm imm_s)
+  | _ -> err "decode: bad opcode %d (word 0x%08x at 0x%x)" op w pc
+
+(* Extract base register and signed offset from an encoded memory (or
+   memory-shaped no-op) instruction word, as memtrace does when it partially
+   decodes its delay slot.  Works for any I-type layout. *)
+let base_offset_of_word w = ((w lsr 21) land 0x1F, signed16 w)

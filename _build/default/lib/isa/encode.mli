@@ -1,0 +1,21 @@
+(** Binary encoding of instructions into 32-bit words.
+
+    The machine keeps encoded instructions in simulated memory: the
+    tracing runtime's memtrace loads the word in its delay slot and
+    partially decodes it, exactly as in the paper.  [encode]/[decode] are
+    inverse for resolved instructions (branch offsets are PC-relative, so
+    both take the instruction's address); this is checked by a round-trip
+    property test. *)
+
+exception Error of string
+
+val encode : pc:int -> Insn.t -> int
+(** Raises {!Error} on unresolved operands, out-of-range immediates,
+    misaligned or out-of-region targets. *)
+
+val decode : pc:int -> int -> Insn.t
+(** Raises {!Error} on undefined encodings. *)
+
+val base_offset_of_word : int -> int * int
+(** [(base register, sign-extended 16-bit offset)] of an encoded I-type
+    word — what memtrace extracts from its delay slot. *)

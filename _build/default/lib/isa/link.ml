@@ -1,0 +1,232 @@
+(* Linker: lays out object modules, resolves symbolic operands, encodes.
+
+   Local labels resolve within their module first, then against the global
+   symbol table; every local label is also exported to the executable's
+   symbol table under "module::label" so post-link tools (epoxie's
+   basic-block map construction, the validation harness) can find exact
+   addresses. *)
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type layout = {
+  text_base : int;
+  data_base : int;
+}
+
+let align_up v n = (v + n - 1) land lnot (n - 1)
+
+(* First pass: assign addresses to every text and data label. Returns
+   (per-module local envs, global env, total text words, data size). *)
+let assign_addresses layout (mods : Objfile.t list) =
+  let globals : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let module_names = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Objfile.t) ->
+      if Hashtbl.mem module_names m.name then
+        err "duplicate module name %S" m.name;
+      Hashtbl.add module_names m.name ())
+    mods;
+  (* Text layout *)
+  let locals = Hashtbl.create 16 in
+  let pc = ref layout.text_base in
+  List.iter
+    (fun (m : Objfile.t) ->
+      let env = Hashtbl.create 64 in
+      Hashtbl.add locals m.name env;
+      (* Synthetic symbol marking the module's first instruction, used by
+         epoxie's block-map construction. *)
+      Hashtbl.add env "$text_start" !pc;
+      List.iter
+        (function
+          | Objfile.Label l ->
+            if Hashtbl.mem env l then err "%s: duplicate label %S" m.name l;
+            Hashtbl.add env l !pc
+          | Objfile.Insn _ -> pc := !pc + 4)
+        m.text)
+    mods;
+  let text_words = (!pc - layout.text_base) / 4 in
+  (* Data layout *)
+  let daddr = ref layout.data_base in
+  List.iter
+    (fun (m : Objfile.t) ->
+      daddr := align_up !daddr 8;
+      let env = Hashtbl.find locals m.name in
+      (* Labels bind to the *aligned* start of the next datum: a label
+         preceding a word must point at the word, not at the unaligned
+         position after an odd-length string. *)
+      let pending = ref [] in
+      let bind () =
+        List.iter
+          (fun l ->
+            if Hashtbl.mem env l then err "%s: duplicate label %S" m.name l;
+            Hashtbl.add env l !daddr)
+          (List.rev !pending);
+        pending := []
+      in
+      List.iter
+        (function
+          | Objfile.Dlabel l -> pending := l :: !pending
+          | Objfile.Dword _ | Objfile.Daddr _ ->
+            daddr := align_up !daddr 4;
+            bind ();
+            daddr := !daddr + 4
+          | Objfile.Dbytes s ->
+            bind ();
+            daddr := !daddr + String.length s
+          | Objfile.Dspace n ->
+            bind ();
+            daddr := !daddr + n
+          | Objfile.Dalign n ->
+            daddr := align_up !daddr n;
+            bind ())
+        m.data;
+      bind ())
+    mods;
+  let data_size = !daddr - layout.data_base in
+  (* Export globals *)
+  List.iter
+    (fun (m : Objfile.t) ->
+      let env = Hashtbl.find locals m.name in
+      Objfile.SSet.iter
+        (fun g ->
+          match Hashtbl.find_opt env g with
+          | Some a ->
+            if Hashtbl.mem globals g then
+              err "global symbol %S defined in multiple modules" g;
+            Hashtbl.add globals g a
+          | None -> err "%s: global %S has no definition" m.name g)
+        m.globals)
+    mods;
+  (locals, globals, text_words, data_size)
+
+let lookup ~mname ~local ~globals sym =
+  match Hashtbl.find_opt local sym with
+  | Some a -> a
+  | None -> (
+    match Hashtbl.find_opt globals sym with
+    | Some a -> a
+    | None -> err "%s: undefined symbol %S" mname sym)
+
+(* Resolve the symbolic operands of one instruction. [Lo] is only legal in
+   zero-extending immediate contexts (ORI/ANDI/XORI), which is how [Asm.la]
+   emits it; a [Lo] in a sign-extended context would silently corrupt
+   addresses with bit 15 set. *)
+let resolve_insn ~mname ~local ~globals (insn : Insn.t) : Insn.t =
+  let find = lookup ~mname ~local ~globals in
+  let imm ~zero_extend = function
+    | Insn.Imm n -> Insn.Imm n
+    | Insn.Hi s -> Insn.Imm ((find s lsr 16) land 0xFFFF)
+    | Insn.Lo s ->
+      if not zero_extend then
+        err "%s: %%lo(%s) used in a sign-extending context" mname s;
+      Insn.Imm (find s land 0xFFFF)
+  in
+  let target = function
+    | Insn.Abs a -> Insn.Abs a
+    | Insn.Sym s -> Insn.Abs (find s)
+  in
+  match insn with
+  | Alui (op, rt, rs, im) ->
+    let ze = match op with ANDI | ORI | XORI -> true | _ -> false in
+    Alui (op, rt, rs, imm ~zero_extend:ze im)
+  | Lui (rt, im) -> Lui (rt, imm ~zero_extend:true im)
+  | Load (w, rt, b, im) -> Load (w, rt, b, imm ~zero_extend:false im)
+  | Store (w, rt, b, im) -> Store (w, rt, b, imm ~zero_extend:false im)
+  | Fload (ft, b, im) -> Fload (ft, b, imm ~zero_extend:false im)
+  | Fstore (ft, b, im) -> Fstore (ft, b, imm ~zero_extend:false im)
+  | Cache (op, b, im) -> Cache (op, b, imm ~zero_extend:false im)
+  | Beq (rs, rt, t) -> Beq (rs, rt, target t)
+  | Bne (rs, rt, t) -> Bne (rs, rt, target t)
+  | Blez (rs, t) -> Blez (rs, target t)
+  | Bgtz (rs, t) -> Bgtz (rs, target t)
+  | Bltz (rs, t) -> Bltz (rs, target t)
+  | Bgez (rs, t) -> Bgez (rs, target t)
+  | J t -> J (target t)
+  | Jal t -> Jal (target t)
+  | Bc1t t -> Bc1t (target t)
+  | Bc1f t -> Bc1f (target t)
+  | ( Alu _ | Shift _ | Jr _ | Jalr _ | Syscall | Break _ | Hcall _
+    | Mfc0 _ | Mtc0 _ | Tlbr | Tlbwi | Tlbwr | Tlbp | Rfe | Mfc1 _ | Mtc1 _
+    | Fop _ | Fcmp _ ) as i -> i
+
+let link ?(traced = false) ~name ~text_base ~data_base ~entry
+    (mods : Objfile.t list) : Exe.t =
+  let mods = List.map Objfile.validate mods in
+  let layout = { text_base; data_base } in
+  let locals, globals, text_words, data_size =
+    assign_addresses layout mods
+  in
+  let text = Array.make text_words 0 in
+  let text_insns = Array.make text_words Insn.nop in
+  let data = Bytes.make data_size '\000' in
+  let symbols = Hashtbl.create 512 in
+  Hashtbl.iter (fun g a -> Hashtbl.replace symbols g a) globals;
+  List.iter
+    (fun (m : Objfile.t) ->
+      let env = Hashtbl.find locals m.name in
+      Hashtbl.iter
+        (fun l a -> Hashtbl.replace symbols (m.name ^ "::" ^ l) a)
+        env)
+    mods;
+  (* Second pass: resolve and encode text, build the data image. *)
+  let idx = ref 0 in
+  List.iter
+    (fun (m : Objfile.t) ->
+      let local = Hashtbl.find locals m.name in
+      List.iter
+        (function
+          | Objfile.Label _ -> ()
+          | Objfile.Insn insn ->
+            let pc = text_base + (!idx * 4) in
+            let resolved =
+              resolve_insn ~mname:m.name ~local ~globals insn
+            in
+            text_insns.(!idx) <- resolved;
+            (try text.(!idx) <- Encode.encode ~pc resolved
+             with Encode.Error e ->
+               err "%s: at 0x%x: %s (%s)" m.name pc e (Insn.to_string insn));
+            incr idx)
+        m.text)
+    mods;
+  let daddr = ref data_base in
+  let put_word v =
+    daddr := align_up !daddr 4;
+    let off = !daddr - data_base in
+    Bytes.set_int32_le data off (Int32.of_int (v land 0xFFFFFFFF));
+    daddr := !daddr + 4
+  in
+  List.iter
+    (fun (m : Objfile.t) ->
+      daddr := align_up !daddr 8;
+      let local = Hashtbl.find locals m.name in
+      List.iter
+        (function
+          | Objfile.Dlabel _ -> ()
+          | Objfile.Dword v -> put_word v
+          | Objfile.Daddr (s, addend) ->
+            put_word (lookup ~mname:m.name ~local ~globals s + addend)
+          | Objfile.Dbytes s ->
+            Bytes.blit_string s 0 data (!daddr - data_base) (String.length s);
+            daddr := !daddr + String.length s
+          | Objfile.Dspace n -> daddr := !daddr + n
+          | Objfile.Dalign n -> daddr := align_up !daddr n)
+        m.data)
+    mods;
+  let entry_addr =
+    match Hashtbl.find_opt globals entry with
+    | Some a -> a
+    | None -> err "entry symbol %S undefined" entry
+  in
+  {
+    Exe.name;
+    entry = entry_addr;
+    text_base;
+    text;
+    text_insns;
+    data_base;
+    data;
+    symbols;
+    traced;
+  }

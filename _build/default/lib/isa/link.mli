@@ -1,0 +1,21 @@
+(** Linker: lays out object modules, resolves symbolic operands, encodes.
+
+    Local labels resolve within their module first, then against the
+    global symbol table; every local label is also exported to the
+    executable under "module::label" (plus the synthetic
+    "module::$text_start"), so post-link tools — epoxie's block-map
+    construction, the validation harness — can find exact addresses. *)
+
+exception Error of string
+
+val link :
+  ?traced:bool ->
+  name:string ->
+  text_base:int ->
+  data_base:int ->
+  entry:string ->
+  Objfile.t list ->
+  Exe.t
+(** Raises {!Error} on undefined or duplicate symbols, [%lo] in a
+    sign-extending context, duplicate module names, or encoding failures
+    (annotated with module and address). *)

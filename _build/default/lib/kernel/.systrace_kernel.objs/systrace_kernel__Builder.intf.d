@@ -1,0 +1,1 @@
+lib/kernel/builder.mli: Bbtable Exe Kcfg Machine Objfile Systrace_isa Systrace_machine Systrace_tracing Systrace_util

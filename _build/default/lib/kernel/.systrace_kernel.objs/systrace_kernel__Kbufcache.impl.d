@@ -1,0 +1,1 @@
+lib/kernel/kbufcache.ml: Asm Insn Kcfg Objfile Reg Systrace_isa Systrace_machine

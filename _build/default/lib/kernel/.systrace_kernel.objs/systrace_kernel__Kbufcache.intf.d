@@ -1,0 +1,1 @@
+lib/kernel/kbufcache.mli: Systrace_isa

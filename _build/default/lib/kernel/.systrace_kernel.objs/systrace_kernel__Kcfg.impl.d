@@ -1,0 +1,1 @@
+lib/kernel/kcfg.ml: Systrace_tracing

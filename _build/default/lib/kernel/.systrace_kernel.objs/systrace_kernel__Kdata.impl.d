@@ -1,0 +1,1 @@
+lib/kernel/kdata.ml: Asm Kcfg Objfile Systrace_isa Systrace_tracing

@@ -1,0 +1,1 @@
+lib/kernel/kdata.mli: Systrace_isa

@@ -1,0 +1,1 @@
+lib/kernel/khandlers.ml: Abi Asm Insn Kcfg Objfile Reg Systrace_isa Systrace_machine Systrace_tracing

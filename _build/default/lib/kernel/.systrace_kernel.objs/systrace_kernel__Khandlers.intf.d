@@ -1,0 +1,1 @@
+lib/kernel/khandlers.mli: Systrace_isa

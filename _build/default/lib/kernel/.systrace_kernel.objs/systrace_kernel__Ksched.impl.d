@@ -1,0 +1,1 @@
+lib/kernel/ksched.ml: Asm Insn Kcfg Objfile Reg Systrace_isa Systrace_machine Systrace_tracing

@@ -1,0 +1,1 @@
+lib/kernel/ksched.mli: Systrace_isa

@@ -1,0 +1,1 @@
+lib/kernel/kstubs.ml: Abi Asm Format_ Fun Insn Kcfg List Objfile Reg Systrace_isa Systrace_tracing

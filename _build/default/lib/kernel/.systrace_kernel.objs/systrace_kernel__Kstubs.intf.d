@@ -1,0 +1,1 @@
+lib/kernel/kstubs.mli: Systrace_isa

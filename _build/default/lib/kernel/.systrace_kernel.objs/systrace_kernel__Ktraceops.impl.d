@@ -1,0 +1,1 @@
+lib/kernel/ktraceops.ml: Abi Asm Format_ Insn Kcfg Objfile Reg Systrace_isa Systrace_tracing

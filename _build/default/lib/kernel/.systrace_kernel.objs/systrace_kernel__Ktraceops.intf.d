@@ -1,0 +1,1 @@
+lib/kernel/ktraceops.mli: Systrace_isa

@@ -1,0 +1,628 @@
+(* Buffer cache, file I/O and the disk driver (instrumented kernel code).
+
+   Files are named contiguous extents on disk, registered in [filetab] by
+   the boot builder.  Reads go through a small buffer cache with
+   sequential read-ahead (the behaviour behind compress's prediction error
+   in Figure 3); the Ultrix personality writes through to disk
+   synchronously — the "conservative write policy" of §4.4 — while under
+   Mach file I/O happens in the user-level UX server through the raw
+   disk-read/write syscalls at the end of this module.
+
+   Blocking discipline: system calls never hold kernel stack state while
+   sleeping.  A handler that must wait either returns disposition 1
+   (retry: the EPC is rewound and the syscall re-executes when the process
+   wakes) or disposition 2 (sleep: effects are complete, the process just
+   waits for the disk before resuming). *)
+
+open Systrace_isa
+
+let dev_kseg1 = 0xA0000000 + Systrace_machine.Addr.device_base_pa
+
+let make () : Objfile.t =
+  let a = Asm.create "kbufcache" in
+  let open Asm in
+  let lgv reg sym = la a reg sym; lw a reg 0 reg in
+  let module A = Systrace_machine.Addr in
+  (* ---------------------------------------------------------------- *)
+  (* kbuf_get(a0 = disk block) -> v0 = kseg0 page address, or 0 after
+     arranging to wait (waitchan set; caller returns disposition 1).
+     Clobbers t0-t7, a1-a3. *)
+  func a "kbuf_get" ~frame:8 ~saves:[ Reg.s0; Reg.s1 ] (fun () ->
+      lgv Reg.t0 "knbufs";
+      la a Reg.t1 "bufhdrs";
+      li a Reg.t2 0;
+      (* pass 1: search for the block *)
+      label a "$bg_scan";
+      beq a Reg.t2 Reg.t0 "$bg_miss";
+      nop a;
+      lw a Reg.t3 Kcfg.buf_block Reg.t1;
+      bne a Reg.t3 Reg.a0 "$bg_next";
+      nop a;
+      lw a Reg.t4 Kcfg.buf_state Reg.t1;
+      addiu a Reg.t5 Reg.t4 (-1);
+      beqz a Reg.t5 "$bg_hit";
+      nop a;
+      (* in flight: wait on it *)
+      lgv Reg.t6 "curpcb";
+      sw a Reg.a0 Kcfg.pcb_waitchan Reg.t6;
+      li a Reg.v0 0;
+      j_ a "kbuf_get$epilogue";
+      label a "$bg_hit";
+      lgv Reg.t6 "kticks";
+      sw a Reg.t6 Kcfg.buf_lru Reg.t1;
+      lw a Reg.v0 Kcfg.buf_page Reg.t1;
+      j_ a "kbuf_get$epilogue";
+      label a "$bg_next";
+      addiu a Reg.t2 Reg.t2 1;
+      i a (Insn.J (Sym "$bg_scan"));
+      addiu a Reg.t1 Reg.t1 Kcfg.buf_entry_size;
+      (* pass 2: choose a victim: first empty, else clean with oldest lru *)
+      label a "$bg_miss";
+      move a Reg.s0 Reg.zero;           (* best hdr (0 = none) *)
+      li a Reg.s1 0x7FFFFFFF;           (* best lru *)
+      la a Reg.t1 "bufhdrs";
+      li a Reg.t2 0;
+      label a "$bv_scan";
+      beq a Reg.t2 Reg.t0 "$bv_done";
+      nop a;
+      lw a Reg.t3 Kcfg.buf_state Reg.t1;
+      bnez a Reg.t3 "$bv_maybe_clean";
+      nop a;
+      (* empty: take it immediately *)
+      move a Reg.s0 Reg.t1;
+      j_ a "$bv_done";
+      label a "$bv_maybe_clean";
+      addiu a Reg.t4 Reg.t3 (-1);
+      bnez a Reg.t4 "$bv_next";         (* in flight: skip *)
+      nop a;
+      lw a Reg.t5 Kcfg.buf_dirty Reg.t1;
+      bnez a Reg.t5 "$bv_next";         (* dirty: skip (written back below) *)
+      nop a;
+      lw a Reg.t6 Kcfg.buf_lru Reg.t1;
+      sltu a Reg.t7 Reg.t6 Reg.s1;
+      beqz a Reg.t7 "$bv_next";
+      nop a;
+      move a Reg.s0 Reg.t1;
+      move a Reg.s1 Reg.t6;
+      label a "$bv_next";
+      addiu a Reg.t2 Reg.t2 1;
+      i a (Insn.J (Sym "$bv_scan"));
+      addiu a Reg.t1 Reg.t1 Kcfg.buf_entry_size;
+      label a "$bv_done";
+      bnez a Reg.s0 "$bv_have";
+      nop a;
+      (* nothing reclaimable: wait for any disk completion *)
+      lgv Reg.t6 "curpcb";
+      li a Reg.t5 (-5);
+      sw a Reg.t5 Kcfg.pcb_waitchan Reg.t6;
+      li a Reg.v0 0;
+      j_ a "kbuf_get$epilogue";
+      label a "$bv_have";
+      (* device free? *)
+      li a Reg.t3 dev_kseg1;
+      lw a Reg.t4 A.dev_disk_status Reg.t3;
+      beqz a Reg.t4 "$bv_issue";
+      nop a;
+      lgv Reg.t6 "curpcb";
+      li a Reg.t5 (-5);
+      sw a Reg.t5 Kcfg.pcb_waitchan Reg.t6;
+      li a Reg.v0 0;
+      j_ a "kbuf_get$epilogue";
+      label a "$bv_issue";
+      sw a Reg.a0 Kcfg.buf_block Reg.s0;
+      li a Reg.t5 2;
+      sw a Reg.t5 Kcfg.buf_state Reg.s0;
+      sw a Reg.zero Kcfg.buf_dirty Reg.s0;
+      (* issue the read: addr = page - kseg0 *)
+      lw a Reg.t6 Kcfg.buf_page Reg.s0;
+      lui a Reg.t7 0x8000;
+      subu a Reg.t6 Reg.t6 Reg.t7;
+      sw a Reg.a0 A.dev_disk_block Reg.t3;
+      sw a Reg.t6 A.dev_disk_addr Reg.t3;
+      li a Reg.t5 1;
+      sw a Reg.t5 A.dev_disk_count Reg.t3;
+      sw a Reg.t5 A.dev_disk_cmd Reg.t3;
+      lgv Reg.t6 "curpcb";
+      sw a Reg.a0 Kcfg.pcb_waitchan Reg.t6;
+      li a Reg.v0 0);
+  (* ---------------------------------------------------------------- *)
+  (* kbuf_prefetch(a0 = block): non-blocking sequential read-ahead.     *)
+  func a "kbuf_prefetch" ~frame:0 ~saves:[] (fun () ->
+      (* already cached or in flight? *)
+      lgv Reg.t0 "knbufs";
+      la a Reg.t1 "bufhdrs";
+      li a Reg.t2 0;
+      label a "$pf_scan";
+      beq a Reg.t2 Reg.t0 "$pf_miss";
+      nop a;
+      lw a Reg.t3 Kcfg.buf_block Reg.t1;
+      lw a Reg.t4 Kcfg.buf_state Reg.t1;
+      beqz a Reg.t4 "$pf_next";
+      nop a;
+      beq a Reg.t3 Reg.a0 "kbuf_prefetch$epilogue";
+      nop a;
+      label a "$pf_next";
+      addiu a Reg.t2 Reg.t2 1;
+      i a (Insn.J (Sym "$pf_scan"));
+      addiu a Reg.t1 Reg.t1 Kcfg.buf_entry_size;
+      label a "$pf_miss";
+      (* device busy? give up *)
+      li a Reg.t5 dev_kseg1;
+      lw a Reg.t6 A.dev_disk_status Reg.t5;
+      bnez a Reg.t6 "kbuf_prefetch$epilogue";
+      nop a;
+      (* take the first empty or clean header; give up if none *)
+      la a Reg.t1 "bufhdrs";
+      li a Reg.t2 0;
+      label a "$pv_scan";
+      beq a Reg.t2 Reg.t0 "kbuf_prefetch$epilogue";
+      nop a;
+      lw a Reg.t4 Kcfg.buf_state Reg.t1;
+      beqz a Reg.t4 "$pv_take";
+      nop a;
+      addiu a Reg.t3 Reg.t4 (-1);
+      bnez a Reg.t3 "$pv_next";
+      nop a;
+      lw a Reg.t3 Kcfg.buf_dirty Reg.t1;
+      beqz a Reg.t3 "$pv_take";
+      nop a;
+      label a "$pv_next";
+      addiu a Reg.t2 Reg.t2 1;
+      i a (Insn.J (Sym "$pv_scan"));
+      addiu a Reg.t1 Reg.t1 Kcfg.buf_entry_size;
+      label a "$pv_take";
+      sw a Reg.a0 Kcfg.buf_block Reg.t1;
+      li a Reg.t3 2;
+      sw a Reg.t3 Kcfg.buf_state Reg.t1;
+      sw a Reg.zero Kcfg.buf_dirty Reg.t1;
+      lw a Reg.t6 Kcfg.buf_page Reg.t1;
+      lui a Reg.t7 0x8000;
+      subu a Reg.t6 Reg.t6 Reg.t7;
+      sw a Reg.a0 A.dev_disk_block Reg.t5;
+      sw a Reg.t6 A.dev_disk_addr Reg.t5;
+      li a Reg.t3 1;
+      sw a Reg.t3 A.dev_disk_count Reg.t5;
+      sw a Reg.t3 A.dev_disk_cmd Reg.t5);
+  (* ---------------------------------------------------------------- *)
+  (* kread_file(a0 = fd, a1 = ubuf, a2 = len) -> v0 bytes / v1 disp     *)
+  func a "kread_file" ~frame:24 ~saves:[ Reg.s0; Reg.s1; Reg.s2; Reg.s3 ]
+    (fun () ->
+      (* s0 = fd slot address; s1 = file entry; s2 = pos; s3 = n *)
+      addiu a Reg.a0 Reg.a0 (-3);        (* console fds 0-2 reserved *)
+      lgv Reg.t0 "curpcb";
+      sltiu a Reg.t1 Reg.a0 Kcfg.max_fds;
+      beqz a Reg.t1 "$rd_bad";
+      sll a Reg.t2 Reg.a0 3;
+      addu a Reg.s0 Reg.t0 Reg.t2;
+      addiu a Reg.s0 Reg.s0 Kcfg.pcb_fds;
+      lw a Reg.t3 0 Reg.s0;               (* file id *)
+      bltz a Reg.t3 "$rd_bad";
+      nop a;
+      (* file entry = filetab + id*24 *)
+      sll a Reg.t4 Reg.t3 4;
+      sll a Reg.t5 Reg.t3 3;
+      addu a Reg.t4 Reg.t4 Reg.t5;
+      la a Reg.t5 "filetab";
+      addu a Reg.s1 Reg.t4 Reg.t5;
+      lw a Reg.s2 4 Reg.s0;               (* pos *)
+      lw a Reg.t6 Kcfg.file_size_bytes Reg.s1;
+      sltu a Reg.t7 Reg.s2 Reg.t6;
+      beqz a Reg.t7 "$rd_eof";
+      nop a;
+      (* block = start + pos>>12 *)
+      lw a Reg.t1 Kcfg.file_start_block Reg.s1;
+      srl a Reg.t2 Reg.s2 12;
+      addu a Reg.a0 Reg.t1 Reg.t2;
+      sw a Reg.a1 0 Reg.sp;               (* spill ubuf, len *)
+      sw a Reg.a2 4 Reg.sp;
+      jal a "kbuf_get";
+      bnez a Reg.v0 "$rd_have";
+      nop a;
+      li a Reg.v1 1;
+      j_ a "kread_file$epilogue";
+      label a "$rd_have";
+      lw a Reg.a1 0 Reg.sp;
+      lw a Reg.a2 4 Reg.sp;
+      (* n = min(len, 4096 - off, size - pos) *)
+      andi a Reg.t0 Reg.s2 0xFFF;         (* off *)
+      addu a Reg.v0 Reg.v0 Reg.t0;        (* src = page + off *)
+      li a Reg.t1 4096;
+      subu a Reg.t1 Reg.t1 Reg.t0;
+      sltu a Reg.t2 Reg.t1 Reg.a2;
+      beqz a Reg.t2 "$rd_n1";
+      move a Reg.s3 Reg.t1;
+      j_ a "$rd_n2";
+      label a "$rd_n1";
+      move a Reg.s3 Reg.a2;
+      label a "$rd_n2";
+      lw a Reg.t3 Kcfg.file_size_bytes Reg.s1;
+      subu a Reg.t3 Reg.t3 Reg.s2;
+      sltu a Reg.t4 Reg.t3 Reg.s3;
+      beqz a Reg.t4 "$rd_copy";
+      nop a;
+      move a Reg.s3 Reg.t3;
+      label a "$rd_copy";
+      (* copy s3 bytes from v0 (kseg0) to a1 (user); word loop when both
+         word-aligned and a whole number of words *)
+      move a Reg.t0 Reg.v0;
+      move a Reg.t1 Reg.a1;
+      addu a Reg.t2 Reg.t0 Reg.s3;
+      or_ a Reg.t3 Reg.t0 Reg.t1;
+      or_ a Reg.t3 Reg.t3 Reg.s3;
+      andi a Reg.t3 Reg.t3 3;
+      bnez a Reg.t3 "$rd_bloop";
+      nop a;
+      label a "$rd_wloop";
+      beq a Reg.t0 Reg.t2 "$rd_done";
+      nop a;
+      lw a Reg.t4 0 Reg.t0;
+      sw a Reg.t4 0 Reg.t1;
+      addiu a Reg.t0 Reg.t0 4;
+      i a (Insn.J (Sym "$rd_wloop"));
+      addiu a Reg.t1 Reg.t1 4;
+      label a "$rd_bloop";
+      beq a Reg.t0 Reg.t2 "$rd_done";
+      nop a;
+      lbu a Reg.t4 0 Reg.t0;
+      sb a Reg.t4 0 Reg.t1;
+      addiu a Reg.t0 Reg.t0 1;
+      i a (Insn.J (Sym "$rd_bloop"));
+      addiu a Reg.t1 Reg.t1 1;
+      label a "$rd_done";
+      (* pos += n *)
+      addu a Reg.s2 Reg.s2 Reg.s3;
+      sw a Reg.s2 4 Reg.s0;
+      (* read-ahead: next block, if it exists *)
+      lw a Reg.t1 Kcfg.file_start_block Reg.s1;
+      srl a Reg.t2 Reg.s2 12;
+      addu a Reg.a0 Reg.t1 Reg.t2;
+      addiu a Reg.a0 Reg.a0 1;
+      subu a Reg.t3 Reg.a0 Reg.t1;
+      sll a Reg.t3 Reg.t3 12;
+      lw a Reg.t4 Kcfg.file_size_bytes Reg.s1;
+      sltu a Reg.t5 Reg.t3 Reg.t4;
+      beqz a Reg.t5 "$rd_ret";
+      nop a;
+      jal a "kbuf_prefetch";
+      label a "$rd_ret";
+      move a Reg.v0 Reg.s3;
+      li a Reg.v1 0;
+      j_ a "kread_file$epilogue";
+      label a "$rd_eof";
+      li a Reg.v0 0;
+      li a Reg.v1 0;
+      j_ a "kread_file$epilogue";
+      label a "$rd_bad";
+      li a Reg.v0 (-1);
+      li a Reg.v1 0);
+  (* ---------------------------------------------------------------- *)
+  (* kwrite_file(a0 = fd, a1 = ubuf, a2 = len): Ultrix synchronous
+     write-through. *)
+  func a "kwrite_file" ~frame:24 ~saves:[ Reg.s0; Reg.s1; Reg.s2; Reg.s3 ]
+    (fun () ->
+      addiu a Reg.a0 Reg.a0 (-3);        (* console fds 0-2 reserved *)
+      lgv Reg.t0 "curpcb";
+      sltiu a Reg.t1 Reg.a0 Kcfg.max_fds;
+      beqz a Reg.t1 "$wr_bad";
+      sll a Reg.t2 Reg.a0 3;
+      addu a Reg.s0 Reg.t0 Reg.t2;
+      addiu a Reg.s0 Reg.s0 Kcfg.pcb_fds;
+      lw a Reg.t3 0 Reg.s0;
+      bltz a Reg.t3 "$wr_bad";
+      nop a;
+      sll a Reg.t4 Reg.t3 4;
+      sll a Reg.t5 Reg.t3 3;
+      addu a Reg.t4 Reg.t4 Reg.t5;
+      la a Reg.t5 "filetab";
+      addu a Reg.s1 Reg.t4 Reg.t5;
+      lw a Reg.s2 4 Reg.s0;
+      lw a Reg.t6 Kcfg.file_size_bytes Reg.s1;
+      sltu a Reg.t7 Reg.s2 Reg.t6;
+      beqz a Reg.t7 "$wr_eof";
+      nop a;
+      (* the disk must be free before we commit to the synchronous write *)
+      li a Reg.t1 dev_kseg1;
+      lw a Reg.t2 A.dev_disk_status Reg.t1;
+      beqz a Reg.t2 "$wr_getblk";
+      nop a;
+      lgv Reg.t3 "curpcb";
+      li a Reg.t4 (-5);
+      sw a Reg.t4 Kcfg.pcb_waitchan Reg.t3;
+      li a Reg.v1 1;
+      j_ a "kwrite_file$epilogue";
+      label a "$wr_getblk";
+      lw a Reg.t1 Kcfg.file_start_block Reg.s1;
+      srl a Reg.t2 Reg.s2 12;
+      addu a Reg.a0 Reg.t1 Reg.t2;
+      sw a Reg.a1 0 Reg.sp;
+      sw a Reg.a2 4 Reg.sp;
+      sw a Reg.a0 8 Reg.sp;               (* the block number *)
+      jal a "kbuf_get";
+      bnez a Reg.v0 "$wr_have";
+      nop a;
+      li a Reg.v1 1;
+      j_ a "kwrite_file$epilogue";
+      label a "$wr_have";
+      lw a Reg.a1 0 Reg.sp;
+      lw a Reg.a2 4 Reg.sp;
+      (* n = min(len, 4096-off, size-pos) *)
+      andi a Reg.t0 Reg.s2 0xFFF;
+      move a Reg.s3 Reg.v0;               (* page *)
+      addu a Reg.v0 Reg.v0 Reg.t0;        (* dst = page + off *)
+      li a Reg.t1 4096;
+      subu a Reg.t1 Reg.t1 Reg.t0;
+      sltu a Reg.t2 Reg.t1 Reg.a2;
+      beqz a Reg.t2 "$wr_n1";
+      nop a;
+      move a Reg.a2 Reg.t1;
+      label a "$wr_n1";
+      lw a Reg.t3 Kcfg.file_size_bytes Reg.s1;
+      subu a Reg.t3 Reg.t3 Reg.s2;
+      sltu a Reg.t4 Reg.t3 Reg.a2;
+      beqz a Reg.t4 "$wr_copy";
+      nop a;
+      move a Reg.a2 Reg.t3;
+      label a "$wr_copy";
+      (* byte copy user -> cache page *)
+      move a Reg.t0 Reg.a1;
+      move a Reg.t1 Reg.v0;
+      addu a Reg.t2 Reg.t1 Reg.a2;
+      label a "$wr_loop";
+      beq a Reg.t1 Reg.t2 "$wr_cdone";
+      nop a;
+      lbu a Reg.t4 0 Reg.t0;
+      sb a Reg.t4 0 Reg.t1;
+      addiu a Reg.t0 Reg.t0 1;
+      i a (Insn.J (Sym "$wr_loop"));
+      addiu a Reg.t1 Reg.t1 1;
+      label a "$wr_cdone";
+      addu a Reg.s2 Reg.s2 Reg.a2;
+      sw a Reg.s2 4 Reg.s0;
+      (* synchronous write-through: issue and sleep until it completes *)
+      li a Reg.t1 dev_kseg1;
+      lw a Reg.a0 8 Reg.sp;
+      sw a Reg.a0 A.dev_disk_block Reg.t1;
+      lui a Reg.t2 0x8000;
+      subu a Reg.t3 Reg.s3 Reg.t2;
+      sw a Reg.t3 A.dev_disk_addr Reg.t1;
+      li a Reg.t4 1;
+      sw a Reg.t4 A.dev_disk_count Reg.t1;
+      li a Reg.t4 2;
+      sw a Reg.t4 A.dev_disk_cmd Reg.t1;
+      lgv Reg.t5 "curpcb";
+      sw a Reg.a0 Kcfg.pcb_waitchan Reg.t5;
+      move a Reg.v0 Reg.a2;
+      li a Reg.v1 2;
+      j_ a "kwrite_file$epilogue";
+      label a "$wr_eof";
+      li a Reg.v0 0;
+      li a Reg.v1 0;
+      j_ a "kwrite_file$epilogue";
+      label a "$wr_bad";
+      li a Reg.v0 (-1);
+      li a Reg.v1 0);
+  (* ---------------------------------------------------------------- *)
+  (* kopen_file(a0 = user path pointer) -> fd or -1                     *)
+  func a "kopen_file" ~frame:24 ~saves:[ Reg.s0; Reg.s1 ] (fun () ->
+      (* copy up to 15 bytes + NUL onto the stack *)
+      move a Reg.t0 Reg.a0;
+      move a Reg.t1 Reg.sp;
+      li a Reg.t2 15;
+      label a "$op_copy";
+      lbu a Reg.t3 0 Reg.t0;
+      sb a Reg.t3 0 Reg.t1;
+      beqz a Reg.t3 "$op_scan0";
+      addiu a Reg.t1 Reg.t1 1;
+      addiu a Reg.t2 Reg.t2 (-1);
+      i a (Insn.Bgtz (Reg.t2, Sym "$op_copy"));
+      addiu a Reg.t0 Reg.t0 1;
+      sb a Reg.zero 0 Reg.t1;
+      label a "$op_scan0";
+      (* scan the file table *)
+      lgv Reg.t4 "nfiles";
+      la a Reg.s0 "filetab";
+      li a Reg.s1 0;
+      label a "$op_scan";
+      beq a Reg.s1 Reg.t4 "$op_fail";
+      nop a;
+      (* strcmp(sp, s0) over 16 bytes *)
+      move a Reg.t0 Reg.sp;
+      move a Reg.t1 Reg.s0;
+      li a Reg.t2 16;
+      label a "$op_cmp";
+      lbu a Reg.t3 0 Reg.t0;
+      lbu a Reg.t5 0 Reg.t1;
+      bne a Reg.t3 Reg.t5 "$op_next";
+      nop a;
+      beqz a Reg.t3 "$op_found";
+      addiu a Reg.t0 Reg.t0 1;
+      addiu a Reg.t2 Reg.t2 (-1);
+      i a (Insn.Bgtz (Reg.t2, Sym "$op_cmp"));
+      addiu a Reg.t1 Reg.t1 1;
+      j_ a "$op_found";
+      label a "$op_next";
+      addiu a Reg.s1 Reg.s1 1;
+      i a (Insn.J (Sym "$op_scan"));
+      addiu a Reg.s0 Reg.s0 Kcfg.file_entry_size;
+      label a "$op_found";
+      (* allocate an fd slot *)
+      lgv Reg.t0 "curpcb";
+      li a Reg.t1 0;
+      label a "$op_fd";
+      slti a Reg.t2 Reg.t1 Kcfg.max_fds;
+      beqz a Reg.t2 "$op_fail";
+      sll a Reg.t3 Reg.t1 3;
+      addu a Reg.t4 Reg.t0 Reg.t3;
+      lw a Reg.t5 (Kcfg.pcb_fds + 0) Reg.t4;
+      bltz a Reg.t5 "$op_take";
+      nop a;
+      i a (Insn.J (Sym "$op_fd"));
+      addiu a Reg.t1 Reg.t1 1;
+      label a "$op_take";
+      sw a Reg.s1 (Kcfg.pcb_fds + 0) Reg.t4;
+      sw a Reg.zero (Kcfg.pcb_fds + 4) Reg.t4;
+      addiu a Reg.v0 Reg.t1 3;           (* console fds 0-2 reserved *)
+      li a Reg.v1 0;
+      j_ a "kopen_file$epilogue";
+      label a "$op_fail";
+      li a Reg.v0 (-1);
+      li a Reg.v1 0);
+  (* ---------------------------------------------------------------- *)
+  (* kdisk_intr: service all completed requests.  Wakes processes
+     waiting on the block or on any completion (-5). *)
+  func a "kdisk_intr" ~frame:0 ~saves:[ Reg.s0 ] (fun () ->
+      li a Reg.s0 dev_kseg1;
+      label a "$di_loop";
+      lw a Reg.t0 A.dev_disk_done_block Reg.s0;
+      bltz a Reg.t0 "kdisk_intr$epilogue";
+      nop a;
+      (* buffer headers *)
+      lgv Reg.t1 "knbufs";
+      la a Reg.t2 "bufhdrs";
+      li a Reg.t3 0;
+      label a "$di_bufs";
+      beq a Reg.t3 Reg.t1 "$di_reqs";
+      nop a;
+      lw a Reg.t4 Kcfg.buf_block Reg.t2;
+      bne a Reg.t4 Reg.t0 "$di_bnext";
+      nop a;
+      lw a Reg.t5 Kcfg.buf_state Reg.t2;
+      sltiu a Reg.t6 Reg.t5 2;
+      bnez a Reg.t6 "$di_bnext";        (* not in flight *)
+      nop a;
+      li a Reg.t6 1;
+      sw a Reg.t6 Kcfg.buf_state Reg.t2;
+      sw a Reg.zero Kcfg.buf_dirty Reg.t2;
+      label a "$di_bnext";
+      addiu a Reg.t3 Reg.t3 1;
+      i a (Insn.J (Sym "$di_bufs"));
+      addiu a Reg.t2 Reg.t2 Kcfg.buf_entry_size;
+      (* raw request table *)
+      label a "$di_reqs";
+      la a Reg.t2 "kdiskreq";
+      li a Reg.t3 0;
+      label a "$di_rscan";
+      slti a Reg.t4 Reg.t3 8;
+      beqz a Reg.t4 "$di_wake";
+      nop a;
+      lw a Reg.t5 0 Reg.t2;
+      bne a Reg.t5 Reg.t0 "$di_rnext";
+      nop a;
+      lw a Reg.t5 4 Reg.t2;
+      addiu a Reg.t5 Reg.t5 (-1);
+      bnez a Reg.t5 "$di_rnext";
+      li a Reg.t5 2;
+      sw a Reg.t5 4 Reg.t2;
+      label a "$di_rnext";
+      addiu a Reg.t3 Reg.t3 1;
+      i a (Insn.J (Sym "$di_rscan"));
+      addiu a Reg.t2 Reg.t2 8;
+      (* wake sleepers *)
+      label a "$di_wake";
+      la a Reg.t2 "pcbs";
+      li a Reg.t3 0;
+      label a "$di_pscan";
+      slti a Reg.t4 Reg.t3 Kcfg.max_procs;
+      beqz a Reg.t4 "$di_ack";
+      nop a;
+      lw a Reg.t5 Kcfg.pcb_state Reg.t2;
+      addiu a Reg.t5 Reg.t5 (-2);
+      bnez a Reg.t5 "$di_pnext";
+      nop a;
+      lw a Reg.t5 Kcfg.pcb_waitchan Reg.t2;
+      beq a Reg.t5 Reg.t0 "$di_pwake";
+      addiu a Reg.t6 Reg.t5 5;          (* waitchan == -5 ? *)
+      bnez a Reg.t6 "$di_pnext";
+      nop a;
+      label a "$di_pwake";
+      li a Reg.t5 1;
+      sw a Reg.t5 Kcfg.pcb_state Reg.t2;
+      li a Reg.t5 (-1);
+      sw a Reg.t5 Kcfg.pcb_waitchan Reg.t2;
+      label a "$di_pnext";
+      addiu a Reg.t3 Reg.t3 1;
+      i a (Insn.J (Sym "$di_pscan"));
+      addiu a Reg.t2 Reg.t2 Kcfg.pcb_size;
+      label a "$di_ack";
+      sw a Reg.zero A.dev_disk_ack Reg.s0;
+      j_ a "$di_loop");
+  (* ---------------------------------------------------------------- *)
+  (* Raw block I/O for the Mach UX server.                              *)
+  (* ksys_disk_read(a0 = block, a1 = 4K-aligned user VA)                *)
+  let raw_disk name cmd =
+    func a name ~frame:8 ~saves:[ Reg.s0 ] (fun () ->
+        (* look for an existing request entry *)
+        la a Reg.t0 "kdiskreq";
+        li a Reg.t1 0;
+        move a Reg.s0 Reg.zero;           (* first free entry *)
+        label a ("$" ^ name ^ "_scan");
+        slti a Reg.t2 Reg.t1 8;
+        beqz a Reg.t2 ("$" ^ name ^ "_alloc");
+        nop a;
+        lw a Reg.t3 4 Reg.t0;
+        bnez a Reg.t3 ("$" ^ name ^ "_used");
+        nop a;
+        bnez a Reg.s0 ("$" ^ name ^ "_next");
+        nop a;
+        move a Reg.s0 Reg.t0;
+        j_ a ("$" ^ name ^ "_next");
+        label a ("$" ^ name ^ "_used");
+        lw a Reg.t4 0 Reg.t0;
+        bne a Reg.t4 Reg.a0 ("$" ^ name ^ "_next");
+        nop a;
+        (* found: done? *)
+        addiu a Reg.t5 Reg.t3 (-2);
+        bnez a Reg.t5 ("$" ^ name ^ "_wait");
+        nop a;
+        sw a Reg.zero 4 Reg.t0;           (* free the entry *)
+        li a Reg.v0 0;
+        li a Reg.v1 0;
+        j_ a (name ^ "$epilogue");
+        label a ("$" ^ name ^ "_wait");
+        lgv Reg.t6 "curpcb";
+        sw a Reg.a0 Kcfg.pcb_waitchan Reg.t6;
+        li a Reg.v1 1;
+        j_ a (name ^ "$epilogue");
+        label a ("$" ^ name ^ "_next");
+        addiu a Reg.t1 Reg.t1 1;
+        i a (Insn.J (Sym ("$" ^ name ^ "_scan")));
+        addiu a Reg.t0 Reg.t0 8;
+        label a ("$" ^ name ^ "_alloc");
+        (* no entry: need a free slot and a free device *)
+        beqz a Reg.s0 ("$" ^ name ^ "_busy");
+        nop a;
+        li a Reg.t2 dev_kseg1;
+        lw a Reg.t3 A.dev_disk_status Reg.t2;
+        bnez a Reg.t3 ("$" ^ name ^ "_busy");
+        nop a;
+        (* translate the user VA through the current page table *)
+        lgv Reg.t4 "curpcb";
+        lw a Reg.t5 Kcfg.pcb_context Reg.t4;
+        srl a Reg.t6 Reg.a1 12;
+        sll a Reg.t6 Reg.t6 2;
+        addu a Reg.t5 Reg.t5 Reg.t6;
+        lw a Reg.t5 0 Reg.t5;             (* PTE (may KTLB-miss) *)
+        srl a Reg.t5 Reg.t5 12;
+        sll a Reg.t5 Reg.t5 12;           (* physical page *)
+        sw a Reg.a0 A.dev_disk_block Reg.t2;
+        sw a Reg.t5 A.dev_disk_addr Reg.t2;
+        li a Reg.t6 1;
+        sw a Reg.t6 A.dev_disk_count Reg.t2;
+        li a Reg.t6 cmd;
+        sw a Reg.t6 A.dev_disk_cmd Reg.t2;
+        sw a Reg.a0 0 Reg.s0;
+        li a Reg.t6 1;
+        sw a Reg.t6 4 Reg.s0;
+        lgv Reg.t4 "curpcb";
+        sw a Reg.a0 Kcfg.pcb_waitchan Reg.t4;
+        li a Reg.v1 1;
+        j_ a (name ^ "$epilogue");
+        label a ("$" ^ name ^ "_busy");
+        lgv Reg.t4 "curpcb";
+        li a Reg.t5 (-5);
+        sw a Reg.t5 Kcfg.pcb_waitchan Reg.t4;
+        li a Reg.v1 1)
+  in
+  raw_disk "ksys_disk_read" 1;
+  raw_disk "ksys_disk_write" 2;
+  to_obj a

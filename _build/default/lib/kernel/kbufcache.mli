@@ -1,0 +1,6 @@
+(** The buffer cache and disk path: block lookup/fill ([kbuf_get]),
+    sequential read-ahead ([kbuf_prefetch]), file read/write with
+    Ultrix's synchronous write-through, the disk interrupt handler, and
+    the raw block I/O the Mach UX server uses. *)
+
+val make : unit -> Systrace_isa.Objfile.t

@@ -1,0 +1,78 @@
+(* Kernel data section: every global variable and table the kernel uses.
+   Most structures are initialised by the boot builder poking words into
+   the loaded image (playing the role of boot firmware); the labels here
+   define the layout. *)
+
+open Systrace_isa
+
+let make ~nbufs : Objfile.t =
+  let a = Asm.create ~no_instrument:true "kdata" in
+  let open Asm in
+  let var ?(init = 0) name =
+    global a name;
+    dlabel a name;
+    word a init
+  in
+  let arr name bytes =
+    global a name;
+    align a 8;
+    dlabel a name;
+    space a bytes
+  in
+  (* Exception-stub spill slot for $k1 (general vector entry) *)
+  var "ksave_k1";
+  (* Scheduling state *)
+  var "curpid";
+  var "curpcb";
+  var "kresched";
+  var "kticks";
+  var "kzombies";
+  var "knworkload";
+  var "kpersonality";        (* 0 = Ultrix, 1 = Mach *)
+  var "ktlbdropins";         (* explicit TLB writes, Table 3 commentary *)
+  arr "pcbs" (Kcfg.max_procs * Kcfg.pcb_size);
+  (* kseg2 root page table *)
+  arr "kroot" (Kcfg.kseg2_span_pages * 4);
+  (* Kernel stack (single: syscalls never sleep holding stack state) *)
+  arr "kstack" 16384;
+  global a "kstack_top";
+  dlabel a "kstack_top";
+  word a 0;
+  (* Tracing control *)
+  var "ktrace_on";
+  var Systrace_tracing.Abi.sym_ktrace_need;
+  var "ktrace_depth";
+  var "ktrace_buf_base";          (* kseg0 VA of the in-kernel buffer *)
+  var "ktrace_cursor_home";       (* cursor parked while user runs *)
+  var "ktrace_limit_home";
+  var "ktrace_real_limit";
+  var "ktrace_saved_cursor";      (* extent handed to the analysis host *)
+  var "ktrace_discard_base";
+  var "ktrace_discard_end";
+  arr Systrace_tracing.Abi.sym_ktrace_book
+    (8 * Systrace_tracing.Abi.book_size);
+  arr "ktrace_discard" 4096;
+  (* Files: name(16) | start_block | size *)
+  arr "filetab" (Kcfg.max_files * Kcfg.file_entry_size);
+  var "nfiles";
+  (* Buffer cache *)
+  arr "bufhdrs" (nbufs * Kcfg.buf_entry_size);
+  var "knbufs" ~init:nbufs;
+  arr "bufpages" (nbufs * 4096);
+  (* Raw disk request table (Mach UX server path) *)
+  arr "kdiskreq" (8 * 8);         (* 8 x { block; state } *)
+  (* Mach message rendezvous: valid | client | args[4] *)
+  arr "kmsg" 32;
+  var "kserver_pid" ~init:(-1);
+  (* Cross-address-space copy bounce buffer *)
+  arr "kbounce" 4096;
+  (* Frame bump allocator (Mach trace pages) *)
+  var "kframe_next";
+  (* Extent of the per-process trace region (book page + buffer pages),
+     for the Mach trace-page fault path. *)
+  var "ktrace_region_end";
+  var "ktrace_region_pages";
+  (* words overtaken by kernel records when entry drains are disabled
+     (drain_on_entry ablation) *)
+  var "kstat_displaced";
+  to_obj a

@@ -1,0 +1,6 @@
+(** The kernel's data segment: PCBs, run queue, kernel stack, trace
+    buffer headers and state variables, buffer cache headers and pages,
+    file table, Mach message rendezvous and bounce buffer, and the
+    counters the experiments read back with {!Builder.peek}. *)
+
+val make : nbufs:int -> Systrace_isa.Objfile.t

@@ -1,0 +1,655 @@
+(* Kernel exception dispatch, system calls, interrupts, and the Mach
+   message path.  All of this module is instrumented when the kernel is
+   traced — it is the "system activity" whose addresses the tracing system
+   exists to capture. *)
+
+open Systrace_isa
+open Systrace_tracing
+
+let dev_kseg1 = 0xA0000000 + Systrace_machine.Addr.device_base_pa
+
+let nsyscalls = 23
+
+let make () : Objfile.t =
+  let a = Asm.create "khandlers" in
+  let open Asm in
+  let lgv reg sym = la a reg sym; lw a reg 0 reg in
+  let module A = Systrace_machine.Addr in
+  (* ---------------------------------------------------------------- *)
+  (* kdispatch: a0 = exception code, a1 = badvaddr, a2 = from_user      *)
+  global a "kdispatch";
+  label a "kdispatch";
+  beqz a Reg.a0 "kintr_entry";
+  addiu a Reg.t0 Reg.a0 (-8);
+  beqz a Reg.t0 "ksyscall_entry";
+  addiu a Reg.t0 Reg.a0 (-2);
+  beqz a Reg.t0 "ktrap_tlb";
+  addiu a Reg.t0 Reg.a0 (-3);
+  beqz a Reg.t0 "ktrap_tlb";
+  j_ a "kpanic";
+  (* ---------------------------------------------------------------- *)
+  (* System call entry                                                 *)
+  global a "ksyscall_entry";
+  label a "ksyscall_entry";
+  (* enable interrupts while in the top half *)
+  i a (Insn.Mfc0 (Reg.t0, C0_status));
+  ori a Reg.t0 Reg.t0 1;
+  i a (Insn.Mtc0 (Reg.t0, C0_status));
+  lgv Reg.s0 "curpcb";
+  (* skip the syscall instruction *)
+  lw a Reg.t1 Kcfg.pcb_epc Reg.s0;
+  addiu a Reg.t1 Reg.t1 4;
+  sw a Reg.t1 Kcfg.pcb_epc Reg.s0;
+  (* fetch number and arguments from the saved context *)
+  lw a Reg.t2 (Kcfg.pcb_reg Reg.v0) Reg.s0;
+  lw a Reg.a0 (Kcfg.pcb_reg Reg.a0) Reg.s0;
+  lw a Reg.a1 (Kcfg.pcb_reg Reg.a1) Reg.s0;
+  lw a Reg.a2 (Kcfg.pcb_reg Reg.a2) Reg.s0;
+  lw a Reg.a3 (Kcfg.pcb_reg Reg.a3) Reg.s0;
+  sltiu a Reg.t3 Reg.t2 nsyscalls;
+  beqz a Reg.t3 "$sys_bad";
+  la a Reg.t4 "ksys_table";
+  sll a Reg.t5 Reg.t2 2;
+  addu a Reg.t4 Reg.t4 Reg.t5;
+  lw a Reg.t4 0 Reg.t4;
+  jalr a Reg.t4;
+  (* v0 = result, v1 = disposition: 0 normal, 1 retry-block,
+     2 sleep-block, 3 exited *)
+  lgv Reg.s0 "curpcb";
+  addiu a Reg.t0 Reg.v1 (-1);
+  beqz a Reg.t0 "$sys_retry";
+  addiu a Reg.t0 Reg.v1 (-3);
+  beqz a Reg.t0 "$sys_exited";
+  nop a;
+  (* normal & sleep-block: store the result *)
+  sw a Reg.v0 (Kcfg.pcb_reg Reg.v0) Reg.s0;
+  addiu a Reg.t0 Reg.v1 (-2);
+  bnez a Reg.t0 "$sys_done";
+  li a Reg.t1 2;
+  sw a Reg.t1 Kcfg.pcb_state Reg.s0;
+  j_ a "$sys_done";
+  label a "$sys_retry";
+  (* rewind the epc so the syscall re-executes when the process wakes *)
+  lw a Reg.t1 Kcfg.pcb_epc Reg.s0;
+  addiu a Reg.t1 Reg.t1 (-4);
+  sw a Reg.t1 Kcfg.pcb_epc Reg.s0;
+  li a Reg.t1 2;
+  sw a Reg.t1 Kcfg.pcb_state Reg.s0;
+  label a "$sys_exited";
+  label a "$sys_done";
+  j_ a "ksched_and_ret";
+  label a "$sys_bad";
+  li a Reg.v0 (-1);
+  sw a Reg.v0 (Kcfg.pcb_reg Reg.v0) Reg.s0;
+  j_ a "ksched_and_ret";
+  (* ---------------------------------------------------------------- *)
+  (* Interrupts                                                        *)
+  global a "kintr_entry";
+  label a "kintr_entry";
+  move a Reg.s1 Reg.a2;
+  addiu a Reg.sp Reg.sp (-8);
+  sw a Reg.ra 4 Reg.sp;
+  i a (Insn.Mfc0 (Reg.t0, C0_cause));
+  srl a Reg.t1 Reg.t0 8;
+  andi a Reg.t2 Reg.t1 (1 lsl A.irq_clock);
+  beqz a Reg.t2 "$no_clock";
+  li a Reg.t3 dev_kseg1;
+  sw a Reg.zero A.dev_clock_ack Reg.t3;
+  la a Reg.t4 "kticks";
+  lw a Reg.t5 0 Reg.t4;
+  addiu a Reg.t5 Reg.t5 1;
+  sw a Reg.t5 0 Reg.t4;
+  (* preemption: only user-level execution is preemptible *)
+  beqz a Reg.s1 "$no_clock";
+  la a Reg.t4 "kresched";
+  li a Reg.t5 1;
+  sw a Reg.t5 0 Reg.t4;
+  label a "$no_clock";
+  andi a Reg.t2 Reg.t1 (1 lsl A.irq_disk);
+  beqz a Reg.t2 "$no_disk";
+  nop a;
+  jal a "kdisk_intr";
+  label a "$no_disk";
+  lw a Reg.ra 4 Reg.sp;
+  addiu a Reg.sp Reg.sp 8;
+  beqz a Reg.s1 "$intr_to_kernel";
+  nop a;
+  j_ a "ksched_and_ret";
+  label a "$intr_to_kernel";
+  j_ a "kret_kernel";
+  (* ---------------------------------------------------------------- *)
+  (* TLB invalid faults: under Mach, the first touch of the per-process
+     trace pages allocates them (§3.6); anything else is fatal for our
+     workloads. *)
+  global a "ktrap_tlb";
+  label a "ktrap_tlb";
+  beqz a Reg.a2 "kpanic";
+  nop a;
+  lgv Reg.t0 "kpersonality";
+  beqz a Reg.t0 "kpanic";
+  nop a;
+  li a Reg.t1 Abi.user_book_va;
+  sltu a Reg.t2 Reg.a1 Reg.t1;
+  bnez a Reg.t2 "kpanic";
+  nop a;
+  la a Reg.t3 "ktrace_region_end";
+  lw a Reg.t3 0 Reg.t3;
+  sltu a Reg.t2 Reg.a1 Reg.t3;
+  beqz a Reg.t2 "kpanic";
+  nop a;
+  j_ a "ktrace_page_alloc";
+  (* ---------------------------------------------------------------- *)
+  global a "kpanic";
+  label a "kpanic";
+  hcall a Abi.hc_panic;
+  j_ a "kpanic";
+  (* ---------------------------------------------------------------- *)
+  (* Mach trace-page allocation: map the book page and buffer pages with
+     fresh frames, flush any stale (invalid) TLB entries for them, and
+     mark the process traced. *)
+  global a "ktrace_page_alloc";
+  label a "ktrace_page_alloc";
+  addiu a Reg.sp Reg.sp (-16);
+  sw a Reg.ra 12 Reg.sp;
+  sw a Reg.s0 8 Reg.sp;
+  sw a Reg.s1 4 Reg.sp;
+  lgv Reg.s0 "curpcb";
+  (* s1 = page VA iterator; t6 = pages remaining *)
+  li a Reg.s1 Abi.user_book_va;
+  lgv Reg.t6 "ktrace_region_pages";
+  label a "$tpa_loop";
+  blez a Reg.t6 "$tpa_done";
+  sw a Reg.t6 0 Reg.sp;                 (* spill counter across calls *)
+  (* pte = (kframe_next++ << 12) | D | V *)
+  la a Reg.t0 "kframe_next";
+  lw a Reg.t1 0 Reg.t0;
+  addiu a Reg.t2 Reg.t1 1;
+  sw a Reg.t2 0 Reg.t0;
+  sll a Reg.t3 Reg.t1 12;
+  ori a Reg.t3 Reg.t3 0x600;            (* D|V *)
+  (* PT slot = context + vpn*4 *)
+  lw a Reg.t4 Kcfg.pcb_context Reg.s0;
+  srl a Reg.t5 Reg.s1 12;
+  sll a Reg.t5 Reg.t5 2;
+  addu a Reg.t4 Reg.t4 Reg.t5;
+  sw a Reg.t3 0 Reg.t4;                 (* may KTLB-miss; fine *)
+  (* remember this thread's PTE so context switches can remap it (§3.6) *)
+  li a Reg.t4 Abi.user_book_va;
+  subu a Reg.t4 Reg.s1 Reg.t4;
+  srl a Reg.t4 Reg.t4 12;
+  sll a Reg.t4 Reg.t4 2;
+  addu a Reg.t4 Reg.t4 Reg.s0;
+  sw a Reg.t3 Kcfg.pcb_trace_ptes Reg.t4;
+  (* purge any stale invalid entry *)
+  move a Reg.a0 Reg.s1;
+  jal a "ktlb_purge";
+  lw a Reg.t6 0 Reg.sp;
+  addiu a Reg.t6 Reg.t6 (-1);
+  li a Reg.t0 0x1000;
+  i a (Insn.J (Sym "$tpa_loop"));
+  addu a Reg.s1 Reg.s1 Reg.t0;
+  label a "$tpa_done";
+  li a Reg.t0 1;
+  sw a Reg.t0 Kcfg.pcb_traced Reg.s0;
+  lw a Reg.ra 12 Reg.sp;
+  lw a Reg.s0 8 Reg.sp;
+  lw a Reg.s1 4 Reg.sp;
+  addiu a Reg.sp Reg.sp 16;
+  (* retry the faulting instruction *)
+  j_ a "ksched_and_ret";
+  (* ---------------------------------------------------------------- *)
+  (* ktlb_purge(a0 = va): drop any TLB entry for va under the current
+     ASID. Clobbers t0-t5. *)
+  global a "ktlb_purge";
+  label a "ktlb_purge";
+  i a (Insn.Mfc0 (Reg.t0, C0_entryhi));  (* save (for the ASID) *)
+  andi a Reg.t1 Reg.t0 0xFC0;
+  srl a Reg.t2 Reg.a0 12;
+  sll a Reg.t2 Reg.t2 12;
+  or_ a Reg.t2 Reg.t2 Reg.t1;
+  i a (Insn.Mtc0 (Reg.t2, C0_entryhi));
+  tlbp a;
+  i a (Insn.Mfc0 (Reg.t3, C0_index));
+  bltz a Reg.t3 "$pg_out";
+  nop a;
+  (* park the entry on an impossible vpn (kseg1 is never mapped) *)
+  lui a Reg.t4 0xA000;
+  sll a Reg.t5 Reg.t3 4;                (* index<<8 -> vpn slot <<12 *)
+  or_ a Reg.t4 Reg.t4 Reg.t5;
+  i a (Insn.Mtc0 (Reg.t4, C0_entryhi));
+  i a (Insn.Mtc0 (Reg.zero, C0_entrylo));
+  tlbwi a;
+  label a "$pg_out";
+  i a (Insn.Mtc0 (Reg.t0, C0_entryhi));
+  ret a;
+  (* ---------------------------------------------------------------- *)
+  (* ktlb_dropin(a0 = va): explicitly install the mapping for va, as
+     Ultrix's tlbdropin() / Mach's tlb_map_random() do.  These TLB writes
+     are invisible to the trace-driven simulator and are a known source of
+     error in Table 3. Clobbers t0-t6, a0. *)
+  global a "ktlb_dropin";
+  label a "ktlb_dropin";
+  addiu a Reg.sp Reg.sp (-8);
+  sw a Reg.ra 4 Reg.sp;
+  sw a Reg.a0 0 Reg.sp;
+  jal a "ktlb_purge";
+  lw a Reg.a0 0 Reg.sp;
+  (* pte = PT[vpn] *)
+  lgv Reg.t0 "curpcb";
+  lw a Reg.t1 Kcfg.pcb_context Reg.t0;
+  srl a Reg.t2 Reg.a0 12;
+  sll a Reg.t3 Reg.t2 2;
+  addu a Reg.t1 Reg.t1 Reg.t3;
+  lw a Reg.t4 0 Reg.t1;                 (* may KTLB-miss *)
+  (* entryhi = vpn | current asid *)
+  i a (Insn.Mfc0 (Reg.t5, C0_entryhi));
+  andi a Reg.t6 Reg.t5 0xFC0;
+  sll a Reg.t2 Reg.t2 12;
+  or_ a Reg.t2 Reg.t2 Reg.t6;
+  i a (Insn.Mtc0 (Reg.t2, C0_entryhi));
+  i a (Insn.Mtc0 (Reg.t4, C0_entrylo));
+  nop a;
+  tlbwr a;
+  i a (Insn.Mtc0 (Reg.t5, C0_entryhi));
+  la a Reg.t0 "ktlbdropins";
+  lw a Reg.t1 0 Reg.t0;
+  addiu a Reg.t1 Reg.t1 1;
+  sw a Reg.t1 0 Reg.t0;
+  lw a Reg.ra 4 Reg.sp;
+  i a (Insn.Jr Reg.ra);
+  addiu a Reg.sp Reg.sp 8;  (* delay slot *)
+  (* ---------------------------------------------------------------- *)
+  (* Syscall implementations                                           *)
+  (* -- exit(code) -- *)
+  func a "ksys_exit" ~frame:0 ~saves:[] (fun () ->
+      lgv Reg.t0 "curpcb";
+      sw a Reg.a0 Kcfg.pcb_exitcode Reg.t0;
+      li a Reg.t1 3;
+      sw a Reg.t1 Kcfg.pcb_state Reg.t0;
+      (* threads die quietly: only original workload processes count
+         toward the all-exited shutdown *)
+      lw a Reg.t5 Kcfg.pcb_is_thread Reg.t0;
+      bnez a Reg.t5 "$exit_more";
+      nop a;
+      la a Reg.t2 "kzombies";
+      lw a Reg.t3 0 Reg.t2;
+      addiu a Reg.t3 Reg.t3 1;
+      sw a Reg.t3 0 Reg.t2;
+      lgv Reg.t4 "knworkload";
+      bne a Reg.t3 Reg.t4 "$exit_more";
+      nop a;
+      hcall a Abi.hc_exit_all;
+      label a "$exit_more";
+      li a Reg.v0 0;
+      li a Reg.v1 3);
+  (* -- write(fd, buf, len) -- *)
+  func a "ksys_write" ~frame:0 ~saves:[] (fun () ->
+      slti a Reg.t0 Reg.a0 3;
+      beqz a Reg.t0 "$w_file";
+      nop a;
+      (* console: byte loop to the device *)
+      li a Reg.t1 dev_kseg1;
+      move a Reg.t2 Reg.a1;
+      addu a Reg.t3 Reg.a1 Reg.a2;
+      label a "$w_loop";
+      beq a Reg.t2 Reg.t3 "$w_done";
+      nop a;
+      lbu a Reg.t4 0 Reg.t2;
+      sw a Reg.t4 A.dev_console_tx Reg.t1;
+      i a (Insn.J (Sym "$w_loop"));
+      addiu a Reg.t2 Reg.t2 1;
+      label a "$w_done";
+      move a Reg.v0 Reg.a2;
+      li a Reg.v1 0;
+      j_ a "ksys_write$epilogue";
+      label a "$w_file";
+      lgv Reg.t5 "kpersonality";
+      bnez a Reg.t5 "$w_mach";
+      nop a;
+      jal a "kwrite_file";
+      j_ a "ksys_write$epilogue";
+      label a "$w_mach";
+      li a Reg.a3 Abi.sys_write;
+      jal a "kforward");
+  (* -- read(fd, buf, len) -- *)
+  func a "ksys_read" ~frame:0 ~saves:[] (fun () ->
+      lgv Reg.t0 "kpersonality";
+      bnez a Reg.t0 "$r_mach";
+      nop a;
+      jal a "kread_file";
+      j_ a "ksys_read$epilogue";
+      label a "$r_mach";
+      li a Reg.a3 Abi.sys_read;
+      jal a "kforward");
+  (* -- open(path) -- *)
+  func a "ksys_open" ~frame:0 ~saves:[] (fun () ->
+      lgv Reg.t0 "kpersonality";
+      bnez a Reg.t0 "$o_mach";
+      nop a;
+      jal a "kopen_file";
+      j_ a "ksys_open$epilogue";
+      label a "$o_mach";
+      li a Reg.a3 Abi.sys_open;
+      jal a "kforward");
+  (* -- sbrk(n) -- *)
+  func a "ksys_sbrk" ~frame:0 ~saves:[ Reg.s0 ] (fun () ->
+      lgv Reg.t0 "curpcb";
+      lw a Reg.s0 Kcfg.pcb_brk Reg.t0;
+      addu a Reg.t1 Reg.s0 Reg.a0;
+      sw a Reg.t1 Kcfg.pcb_brk Reg.t0;
+      (* Ultrix drops the first new page's mapping straight into the TLB *)
+      lgv Reg.t2 "kpersonality";
+      bnez a Reg.t2 "$sbrk_nodrop";
+      nop a;
+      move a Reg.a0 Reg.s0;
+      jal a "ktlb_dropin";
+      label a "$sbrk_nodrop";
+      move a Reg.v0 Reg.s0;
+      li a Reg.v1 0);
+  (* -- yield -- *)
+  func a "ksys_yield" ~frame:0 ~saves:[] (fun () ->
+      la a Reg.t0 "kresched";
+      li a Reg.t1 1;
+      sw a Reg.t1 0 Reg.t0;
+      li a Reg.v0 0;
+      li a Reg.v1 0);
+  (* -- gettime -- *)
+  func a "ksys_gettime" ~frame:0 ~saves:[] (fun () ->
+      li a Reg.t0 dev_kseg1;
+      lw a Reg.v0 A.dev_cycle_lo Reg.t0;
+      li a Reg.v1 0);
+  (* -- trace_flush: the entry-path drain already emptied the buffer -- *)
+  func a "ksys_trace_flush" ~frame:0 ~saves:[] (fun () ->
+      li a Reg.v0 0;
+      li a Reg.v1 0);
+  (* -- thread_create(entry, sp, arg) -> thread id (Mach only):
+        a new PCB sharing the caller's address space, starting at [entry]
+        with stack [sp] and $a0 = [arg].  Its trace pages are its own,
+        faulted in on first touch and remapped at every switch. -- *)
+  func a "ksys_thread_create" ~frame:8 ~saves:[ Reg.s0; Reg.s1 ] (fun () ->
+      lgv Reg.t0 "kpersonality";
+      beqz a Reg.t0 "$tc_fail";
+      nop a;
+      (* find a free PCB *)
+      la a Reg.s0 "pcbs";
+      li a Reg.s1 0;
+      label a "$tc_scan";
+      slti a Reg.t1 Reg.s1 Kcfg.max_procs;
+      beqz a Reg.t1 "$tc_fail";
+      nop a;
+      lw a Reg.t2 Kcfg.pcb_state Reg.s0;
+      beqz a Reg.t2 "$tc_take";
+      nop a;
+      addiu a Reg.s1 Reg.s1 1;
+      i a (Insn.J (Sym "$tc_scan"));
+      addiu a Reg.s0 Reg.s0 Kcfg.pcb_size;
+      label a "$tc_take";
+      (* share the caller's address space *)
+      lgv Reg.t3 "curpcb";
+      lw a Reg.t4 Kcfg.pcb_context Reg.t3;
+      sw a Reg.t4 Kcfg.pcb_context Reg.s0;
+      lw a Reg.t4 Kcfg.pcb_asid Reg.t3;
+      sw a Reg.t4 Kcfg.pcb_asid Reg.s0;
+      lw a Reg.t4 Kcfg.pcb_brk Reg.t3;
+      sw a Reg.t4 Kcfg.pcb_brk Reg.s0;
+      lw a Reg.t4 Kcfg.pcb_trt_lo Reg.t3;
+      sw a Reg.t4 Kcfg.pcb_trt_lo Reg.s0;
+      lw a Reg.t4 Kcfg.pcb_trt_hi Reg.t3;
+      sw a Reg.t4 Kcfg.pcb_trt_hi Reg.s0;
+      lw a Reg.t4 Kcfg.pcb_status Reg.t3;
+      sw a Reg.t4 Kcfg.pcb_status Reg.s0;
+      (* fresh thread state: own trace pages (none yet), marked thread *)
+      sw a Reg.zero Kcfg.pcb_traced Reg.s0;
+      li a Reg.t4 1;
+      sw a Reg.t4 Kcfg.pcb_is_thread Reg.s0;
+      li a Reg.t4 (-1);
+      sw a Reg.t4 Kcfg.pcb_waitchan Reg.s0;
+      for k = 0 to 5 do
+        sw a Reg.zero (Kcfg.pcb_trace_ptes + (4 * k)) Reg.s0
+      done;
+      (* initial registers *)
+      sw a Reg.a0 Kcfg.pcb_epc Reg.s0;
+      sw a Reg.a1 (Kcfg.pcb_reg Reg.sp) Reg.s0;
+      sw a Reg.a2 (Kcfg.pcb_reg Reg.a0) Reg.s0;
+      li a Reg.t4 1;
+      sw a Reg.t4 Kcfg.pcb_state Reg.s0;
+      move a Reg.v0 Reg.s1;
+      li a Reg.v1 0;
+      j_ a "ksys_thread_create$epilogue";
+      label a "$tc_fail";
+      li a Reg.v0 (-1);
+      li a Reg.v1 0);
+  (* -- trace_ctl: report words currently in the in-kernel buffer -- *)
+  func a "ksys_trace_ctl" ~frame:0 ~saves:[] (fun () ->
+      lgv Reg.t0 "ktrace_cursor_home";
+      lgv Reg.t1 "ktrace_buf_base";
+      subu a Reg.v0 Reg.t0 Reg.t1;
+      srl a Reg.v0 Reg.v0 2;
+      li a Reg.v1 0);
+  (* ---------------------------------------------------------------- *)
+  (* Mach message path                                                 *)
+  (* kforward(a0-a2 = args, a3 = syscall number): hand the request to the
+     UX server and put the caller to sleep awaiting the reply. *)
+  func a "kforward" ~frame:0 ~saves:[] (fun () ->
+      la a Reg.t0 "kmsg";
+      lw a Reg.t1 0 Reg.t0;
+      beqz a Reg.t1 "$f_free";
+      nop a;
+      (* slot busy: retry later *)
+      lgv Reg.t2 "curpcb";
+      li a Reg.t3 (-2);
+      sw a Reg.t3 Kcfg.pcb_waitchan Reg.t2;
+      li a Reg.v1 1;
+      j_ a "kforward$epilogue";
+      label a "$f_free";
+      li a Reg.t1 1;
+      sw a Reg.t1 0 Reg.t0;
+      lgv Reg.t2 "curpid";
+      sw a Reg.t2 4 Reg.t0;
+      sw a Reg.a3 8 Reg.t0;
+      sw a Reg.a0 12 Reg.t0;
+      sw a Reg.a1 16 Reg.t0;
+      sw a Reg.a2 20 Reg.t0;
+      (* wake the server if it is waiting in recv *)
+      lgv Reg.t3 "kserver_pid";
+      bltz a Reg.t3 "$f_sleep";
+      nop a;
+      sll a Reg.t4 Reg.t3 7;
+      sll a Reg.t5 Reg.t3 8;
+      addu a Reg.t4 Reg.t4 Reg.t5;      (* pid * 384 *)
+      la a Reg.t5 "pcbs";
+      addu a Reg.t4 Reg.t4 Reg.t5;
+      lw a Reg.t6 Kcfg.pcb_waitchan Reg.t4;
+      addiu a Reg.t6 Reg.t6 4;          (* waitchan == -4 ? *)
+      bnez a Reg.t6 "$f_sleep";
+      nop a;
+      li a Reg.t6 1;
+      sw a Reg.t6 Kcfg.pcb_state Reg.t4;
+      label a "$f_sleep";
+      lgv Reg.t2 "curpcb";
+      li a Reg.t3 (-3);
+      sw a Reg.t3 Kcfg.pcb_waitchan Reg.t2;
+      li a Reg.v1 2);
+  (* -- server_recv: wait for a request; returns v0 = client pid and the
+     request words in a0-a3 (delivered through the saved context). -- *)
+  func a "ksys_server_recv" ~frame:0 ~saves:[] (fun () ->
+      la a Reg.t0 "kmsg";
+      lw a Reg.t1 0 Reg.t0;
+      addiu a Reg.t2 Reg.t1 (-1);
+      beqz a Reg.t2 "$rv_take";
+      nop a;
+      lgv Reg.t3 "curpcb";
+      li a Reg.t4 (-4);
+      sw a Reg.t4 Kcfg.pcb_waitchan Reg.t3;
+      li a Reg.v1 1;
+      j_ a "ksys_server_recv$epilogue";
+      label a "$rv_take";
+      li a Reg.t2 2;
+      sw a Reg.t2 0 Reg.t0;             (* taken *)
+      lgv Reg.t3 "curpcb";
+      lw a Reg.t4 8 Reg.t0;
+      sw a Reg.t4 (Kcfg.pcb_reg Reg.a0) Reg.t3;
+      lw a Reg.t4 12 Reg.t0;
+      sw a Reg.t4 (Kcfg.pcb_reg Reg.a1) Reg.t3;
+      lw a Reg.t4 16 Reg.t0;
+      sw a Reg.t4 (Kcfg.pcb_reg Reg.a2) Reg.t3;
+      lw a Reg.t4 20 Reg.t0;
+      sw a Reg.t4 (Kcfg.pcb_reg Reg.a3) Reg.t3;
+      lw a Reg.v0 4 Reg.t0;             (* client pid *)
+      li a Reg.v1 0);
+  (* -- server_reply(client, retval) -- *)
+  func a "ksys_server_reply" ~frame:0 ~saves:[] (fun () ->
+      sll a Reg.t0 Reg.a0 7;
+      sll a Reg.t1 Reg.a0 8;
+      addu a Reg.t0 Reg.t0 Reg.t1;
+      la a Reg.t1 "pcbs";
+      addu a Reg.t0 Reg.t0 Reg.t1;
+      sw a Reg.a1 (Kcfg.pcb_reg Reg.v0) Reg.t0;
+      li a Reg.t2 1;
+      sw a Reg.t2 Kcfg.pcb_state Reg.t0;
+      li a Reg.t3 (-1);
+      sw a Reg.t3 Kcfg.pcb_waitchan Reg.t0;
+      la a Reg.t4 "kmsg";
+      sw a Reg.zero 0 Reg.t4;
+      (* wake any clients stalled on the busy slot *)
+      la a Reg.t5 "pcbs";
+      li a Reg.t6 0;
+      label a "$rp_scan";
+      lw a Reg.t1 Kcfg.pcb_waitchan Reg.t5;
+      addiu a Reg.t1 Reg.t1 2;
+      bnez a Reg.t1 "$rp_next";
+      nop a;
+      lw a Reg.t1 Kcfg.pcb_state Reg.t5;
+      addiu a Reg.t1 Reg.t1 (-2);
+      bnez a Reg.t1 "$rp_next";
+      li a Reg.t1 1;
+      sw a Reg.t1 Kcfg.pcb_state Reg.t5;
+      label a "$rp_next";
+      addiu a Reg.t6 Reg.t6 1;
+      slti a Reg.t1 Reg.t6 Kcfg.max_procs;
+      i a (Insn.Bne (Reg.t1, Reg.zero, Sym "$rp_scan"));
+      addiu a Reg.t5 Reg.t5 Kcfg.pcb_size;
+      li a Reg.v0 0;
+      li a Reg.v1 0);
+  (* -- copyout(client, client_va, my_va, len): server -> client bytes,
+     through the kernel bounce page, switching ASID/context for the
+     destination half. -- *)
+  func a "ksys_copyout" ~frame:16 ~saves:[ Reg.s0; Reg.s1; Reg.s2 ] (fun () ->
+      (* phase 1: my_va -> bounce (current = server context) *)
+      move a Reg.s0 Reg.a0;
+      move a Reg.s1 Reg.a1;
+      move a Reg.s2 Reg.a3;              (* len *)
+      la a Reg.t0 "kbounce";
+      move a Reg.t1 Reg.a2;
+      addu a Reg.t2 Reg.a2 Reg.a3;
+      label a "$co_l1";
+      beq a Reg.t1 Reg.t2 "$co_p2";
+      nop a;
+      lbu a Reg.t3 0 Reg.t1;
+      sb a Reg.t3 0 Reg.t0;
+      addiu a Reg.t0 Reg.t0 1;
+      i a (Insn.J (Sym "$co_l1"));
+      addiu a Reg.t1 Reg.t1 1;
+      label a "$co_p2";
+      (* phase 2: switch to the client's ASID and page table *)
+      sll a Reg.t0 Reg.s0 7;
+      sll a Reg.t1 Reg.s0 8;
+      addu a Reg.t0 Reg.t0 Reg.t1;
+      la a Reg.t1 "pcbs";
+      addu a Reg.t0 Reg.t0 Reg.t1;      (* client pcb *)
+      i a (Insn.Mfc0 (Reg.t4, C0_entryhi));
+      i a (Insn.Mfc0 (Reg.t5, C0_context));
+      lw a Reg.t2 Kcfg.pcb_asid Reg.t0;
+      sll a Reg.t2 Reg.t2 6;
+      i a (Insn.Mtc0 (Reg.t2, C0_entryhi));
+      lw a Reg.t2 Kcfg.pcb_context Reg.t0;
+      i a (Insn.Mtc0 (Reg.t2, C0_context));
+      la a Reg.t0 "kbounce";
+      move a Reg.t1 Reg.s1;
+      addu a Reg.t2 Reg.s1 Reg.s2;
+      label a "$co_l2";
+      beq a Reg.t1 Reg.t2 "$co_done";
+      nop a;
+      lbu a Reg.t3 0 Reg.t0;
+      sb a Reg.t3 0 Reg.t1;
+      addiu a Reg.t0 Reg.t0 1;
+      i a (Insn.J (Sym "$co_l2"));
+      addiu a Reg.t1 Reg.t1 1;
+      label a "$co_done";
+      i a (Insn.Mtc0 (Reg.t4, C0_entryhi));
+      i a (Insn.Mtc0 (Reg.t5, C0_context));
+      li a Reg.v0 0;
+      li a Reg.v1 0);
+  (* -- copyin(client, client_va, my_va, len): client -> server. -- *)
+  func a "ksys_copyin" ~frame:16 ~saves:[ Reg.s0; Reg.s1; Reg.s2 ] (fun () ->
+      move a Reg.s0 Reg.a0;
+      move a Reg.s1 Reg.a2;              (* my_va *)
+      move a Reg.s2 Reg.a3;
+      (* phase 1: client_va -> bounce under the client's context *)
+      sll a Reg.t0 Reg.s0 7;
+      sll a Reg.t1 Reg.s0 8;
+      addu a Reg.t0 Reg.t0 Reg.t1;
+      la a Reg.t1 "pcbs";
+      addu a Reg.t0 Reg.t0 Reg.t1;
+      i a (Insn.Mfc0 (Reg.t4, C0_entryhi));
+      i a (Insn.Mfc0 (Reg.t5, C0_context));
+      lw a Reg.t2 Kcfg.pcb_asid Reg.t0;
+      sll a Reg.t2 Reg.t2 6;
+      i a (Insn.Mtc0 (Reg.t2, C0_entryhi));
+      lw a Reg.t2 Kcfg.pcb_context Reg.t0;
+      i a (Insn.Mtc0 (Reg.t2, C0_context));
+      la a Reg.t0 "kbounce";
+      move a Reg.t1 Reg.a1;
+      addu a Reg.t2 Reg.a1 Reg.a3;
+      label a "$ci_l1";
+      beq a Reg.t1 Reg.t2 "$ci_p2";
+      nop a;
+      lbu a Reg.t3 0 Reg.t1;
+      sb a Reg.t3 0 Reg.t0;
+      addiu a Reg.t0 Reg.t0 1;
+      i a (Insn.J (Sym "$ci_l1"));
+      addiu a Reg.t1 Reg.t1 1;
+      label a "$ci_p2";
+      i a (Insn.Mtc0 (Reg.t4, C0_entryhi));
+      i a (Insn.Mtc0 (Reg.t5, C0_context));
+      (* phase 2: bounce -> my_va under our own context *)
+      la a Reg.t0 "kbounce";
+      move a Reg.t1 Reg.s1;
+      addu a Reg.t2 Reg.s1 Reg.s2;
+      label a "$ci_l2";
+      beq a Reg.t1 Reg.t2 "$ci_done";
+      nop a;
+      lbu a Reg.t3 0 Reg.t0;
+      sb a Reg.t3 0 Reg.t1;
+      addiu a Reg.t0 Reg.t0 1;
+      i a (Insn.J (Sym "$ci_l2"));
+      addiu a Reg.t1 Reg.t1 1;
+      label a "$ci_done";
+      li a Reg.v0 0;
+      li a Reg.v1 0);
+  (* ---------------------------------------------------------------- *)
+  (* Syscall dispatch table                                            *)
+  dlabel a "ksys_table";
+  let entry name = addr a name in
+  entry "ksys_bad_stub";      (* 0 *)
+  entry "ksys_exit";          (* 1 *)
+  entry "ksys_write";         (* 2 *)
+  entry "ksys_read";          (* 3 *)
+  entry "ksys_open";          (* 4 *)
+  entry "ksys_sbrk";          (* 5 *)
+  entry "ksys_yield";         (* 6 *)
+  entry "ksys_gettime";       (* 7 *)
+  entry "ksys_trace_flush";   (* 8 *)
+  entry "ksys_trace_ctl";     (* 9 *)
+  for _ = 10 to 15 do entry "ksys_bad_stub" done;
+  entry "ksys_server_recv";   (* 16 *)
+  entry "ksys_server_reply";  (* 17 *)
+  entry "ksys_disk_read";     (* 18 *)
+  entry "ksys_disk_write";    (* 19 *)
+  entry "ksys_copyout";       (* 20 *)
+  entry "ksys_copyin";        (* 21 *)
+  entry "ksys_thread_create"; (* 22 *)
+  func a "ksys_bad_stub" ~frame:0 ~saves:[] (fun () ->
+      li a Reg.v0 (-1);
+      li a Reg.v1 0);
+  to_obj a

@@ -1,0 +1,7 @@
+(** Trap dispatch and the system-call table: syscall entry with
+    sleep/retry/exit dispositions, interrupt entry, the KTLB long path
+    with Mach's trace-page fault allocation, TLB purge/dropin, and every
+    system call of both personalities (including the Mach message path:
+    forward/server_recv/reply/copyin/copyout and thread creation). *)
+
+val make : unit -> Systrace_isa.Objfile.t

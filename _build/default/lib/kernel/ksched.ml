@@ -1,0 +1,222 @@
+(* Scheduler, idle loop and context switch (instrumented kernel code).
+
+   Round-robin over runnable PCBs.  The idle loop is a marked region
+   ([kidle_loop, kidle_end)): the machine counts ground-truth idle
+   instructions by PC range, and the trace parser counts them through the
+   IDLE flag on the loop's basic blocks — the instruction-counting
+   mechanism of §3.5 that §5.1 uses to estimate I/O stall time.
+
+   The context switch saves and restores the FPU (the exception stubs do
+   not touch it: only a switch clobbers another process's FP state) and,
+   under the Mach personality, pre-loads a few mappings with
+   tlb_map_random-style explicit TLB writes — which the trace-driven
+   simulator cannot see (Table 3's main error source). *)
+
+open Systrace_isa
+
+let make () : Objfile.t =
+  let a = Asm.create "ksched" in
+  let open Asm in
+  let lgv reg sym = la a reg sym; lw a reg 0 reg in
+  (* ---------------------------------------------------------------- *)
+  (* ksched_and_ret: return to the current process if it is still
+     runnable and no resched is pending; otherwise pick the next process
+     (or idle until one appears) and switch to it. *)
+  global a "ksched_and_ret";
+  label a "ksched_and_ret";
+  la a Reg.t0 "kresched";
+  lw a Reg.t1 0 Reg.t0;
+  sw a Reg.zero 0 Reg.t0;
+  bnez a Reg.t1 "$pick";
+  nop a;
+  lgv Reg.t2 "curpcb";
+  lw a Reg.t3 Kcfg.pcb_state Reg.t2;
+  addiu a Reg.t3 Reg.t3 (-1);
+  bnez a Reg.t3 "$pick";
+  nop a;
+  j_ a "kret_user";
+  (* pick the next runnable process, round robin from curpid+1 *)
+  label a "$pick";
+  lgv Reg.t4 "curpid";
+  li a Reg.t5 1;                       (* offset *)
+  label a "$pk_loop";
+  slti a Reg.t6 Reg.t5 (Kcfg.max_procs + 1);
+  beqz a Reg.t6 "$idle";
+  nop a;
+  addu a Reg.t7 Reg.t4 Reg.t5;
+  slti a Reg.t6 Reg.t7 Kcfg.max_procs;
+  bnez a Reg.t6 "$pk_nomod";
+  nop a;
+  addiu a Reg.t7 Reg.t7 (-Kcfg.max_procs);
+  label a "$pk_nomod";
+  (* pcb = pcbs + t7*384 *)
+  sll a Reg.t1 Reg.t7 7;
+  sll a Reg.t2 Reg.t7 8;
+  addu a Reg.t1 Reg.t1 Reg.t2;
+  la a Reg.t2 "pcbs";
+  addu a Reg.t1 Reg.t1 Reg.t2;
+  lw a Reg.t3 Kcfg.pcb_state Reg.t1;
+  addiu a Reg.t3 Reg.t3 (-1);
+  i a (Insn.Beq (Reg.t3, Reg.zero, Sym "$found"));
+  move a Reg.a0 Reg.t7;                (* delay slot: candidate pid *)
+  addiu a Reg.t5 Reg.t5 1;
+  j_ a "$pk_loop";
+  label a "$found";
+  j_ a "kswitch_to";
+  (* ------------------------------- idle ---------------------------- *)
+  label a "$idle";
+  (* interrupts on while idling *)
+  i a (Insn.Mfc0 (Reg.t0, C0_status));
+  ori a Reg.t0 Reg.t0 1;
+  i a (Insn.Mtc0 (Reg.t0, C0_status));
+  global a "kidle_loop";
+  label a "kidle_loop";
+  (* a full analysis switch can be pending with every process asleep *)
+  jal a "kanalysis_maybe";
+  la a Reg.t0 "pcbs";
+  li a Reg.t1 0;
+  label a "$id_scan";
+  lw a Reg.t2 Kcfg.pcb_state Reg.t0;
+  addiu a Reg.t2 Reg.t2 (-1);
+  beqz a Reg.t2 "$id_found";
+  nop a;
+  addiu a Reg.t1 Reg.t1 1;
+  slti a Reg.t3 Reg.t1 Kcfg.max_procs;
+  i a (Insn.Bne (Reg.t3, Reg.zero, Sym "$id_scan"));
+  addiu a Reg.t0 Reg.t0 Kcfg.pcb_size;
+  j_ a "kidle_loop";
+  label a "$id_found";
+  global a "kidle_end";
+  label a "kidle_end";
+  (* interrupts off again before switching *)
+  i a (Insn.Mfc0 (Reg.t4, C0_status));
+  addiu a Reg.t5 Reg.zero (-2);
+  and_ a Reg.t4 Reg.t4 Reg.t5;
+  i a (Insn.Mtc0 (Reg.t4, C0_status));
+  move a Reg.a0 Reg.t1;
+  j_ a "kswitch_to";
+  (* ---------------------------------------------------------------- *)
+  (* kswitch_to(a0 = pid): full switch with FPU save/restore.           *)
+  global a "kswitch_to";
+  label a "kswitch_to";
+  (* save the outgoing process's FPU state *)
+  lgv Reg.t0 "curpcb";
+  for f = 0 to Reg.nfregs - 1 do
+    sd a f (Kcfg.pcb_fpregs + (8 * f)) Reg.t0
+  done;
+  (* FP condition flag via the branch trick *)
+  li a Reg.t1 0;
+  i a (Insn.Bc1f (Sym "$sw_fcc0"));
+  nop a;
+  li a Reg.t1 1;
+  label a "$sw_fcc0";
+  sw a Reg.t1 Kcfg.pcb_fcc Reg.t0;
+  j_ a "kswitch_in";
+  (* ---------------------------------------------------------------- *)
+  (* kswitch_in(a0 = pid): make pid current and return to it.  Also the
+     entry point from boot (no outgoing state to save). *)
+  global a "kswitch_in";
+  label a "kswitch_in";
+  la a Reg.t0 "curpid";
+  sw a Reg.a0 0 Reg.t0;
+  sll a Reg.t1 Reg.a0 7;
+  sll a Reg.t2 Reg.a0 8;
+  addu a Reg.t1 Reg.t1 Reg.t2;
+  la a Reg.t2 "pcbs";
+  addu a Reg.t1 Reg.t1 Reg.t2;
+  la a Reg.t3 "curpcb";
+  sw a Reg.t1 0 Reg.t3;
+  (* address-translation context *)
+  lw a Reg.t4 Kcfg.pcb_context Reg.t1;
+  i a (Insn.Mtc0 (Reg.t4, C0_context));
+  lw a Reg.t5 Kcfg.pcb_asid Reg.t1;
+  sll a Reg.t5 Reg.t5 6;
+  i a (Insn.Mtc0 (Reg.t5, C0_entryhi));
+  (* FPU restore: condition flag first (the compare trick uses f0) *)
+  i a (Insn.Mtc1 (Reg.zero, 0));
+  lw a Reg.t6 Kcfg.pcb_fcc Reg.t1;
+  beqz a Reg.t6 "$si_fcc0";
+  nop a;
+  fcmp a Insn.FEQ 0 0;
+  j_ a "$si_fload";
+  label a "$si_fcc0";
+  fcmp a Insn.FLT 0 0;
+  label a "$si_fload";
+  for f = 0 to Reg.nfregs - 1 do
+    ld a f (Kcfg.pcb_fpregs + (8 * f)) Reg.t1
+  done;
+  (* Mach: pre-load a few mappings, as tlb_map_random does, and map this
+     thread's private trace pages into the shared page table (paper §3.6:
+     "context-switching code in the kernel maps the correct per-thread
+     pages when a new thread is activated"). *)
+  lgv Reg.t7 "kpersonality";
+  beqz a Reg.t7 "$si_marker";
+  nop a;
+  addiu a Reg.sp Reg.sp (-8);
+  sw a Reg.ra 4 Reg.sp;
+  sw a Reg.a0 0 Reg.sp;
+  (* trace-page remap: incoming context's registers are restored from the
+     PCB afterwards, so s-registers are free here *)
+  lgv Reg.s1 "curpcb";
+  lw a Reg.s2 Kcfg.pcb_context Reg.s1;
+  li a Reg.t0 (Systrace_tracing.Abi.user_book_va lsr 12);
+  sll a Reg.t0 Reg.t0 2;
+  addu a Reg.s2 Reg.s2 Reg.t0;         (* PT slot of the book page *)
+  lgv Reg.s3 "ktrace_region_pages";
+  li a Reg.s4 0;                       (* page index *)
+  label a "$si_remap";
+  slt a Reg.t0 Reg.s4 Reg.s3;
+  beqz a Reg.t0 "$si_dropins";
+  nop a;
+  sll a Reg.t1 Reg.s4 2;
+  addu a Reg.t2 Reg.s1 Reg.t1;
+  lw a Reg.t3 Kcfg.pcb_trace_ptes Reg.t2;
+  addu a Reg.t4 Reg.s2 Reg.t1;
+  sw a Reg.t3 0 Reg.t4;                (* may KTLB-miss; fine *)
+  li a Reg.a0 Systrace_tracing.Abi.user_book_va;
+  sll a Reg.t5 Reg.s4 12;
+  addu a Reg.a0 Reg.a0 Reg.t5;
+  jal a "ktlb_purge";
+  addiu a Reg.s4 Reg.s4 1;
+  j_ a "$si_remap";
+  label a "$si_dropins";
+  li a Reg.a0 Kcfg.user_text_va;
+  jal a "ktlb_dropin";
+  li a Reg.a0 Kcfg.user_data_va;
+  jal a "ktlb_dropin";
+  li a Reg.a0 (Kcfg.user_stack_top - 4096);
+  jal a "ktlb_dropin";
+  lw a Reg.a0 0 Reg.sp;
+  lw a Reg.ra 4 Reg.sp;
+  addiu a Reg.sp Reg.sp 8;
+  label a "$si_marker";
+  (* PID_SWITCH marker for the trace (no-op when tracing is off) *)
+  jal a "kmark_pid";
+  j_ a "kret_user";
+  to_obj a
+
+(* Boot entry: untraced.  The builder has already initialised kernel data;
+   we set up the stack, the kernel trace registers, the line clock, and
+   switch to the first process. *)
+let make_boot ~traced ~clock_interval () : Objfile.t =
+  let a = Asm.create ~no_instrument:true "kboot" in
+  let open Asm in
+  let module A = Systrace_machine.Addr in
+  let dev = 0xA0000000 + A.device_base_pa in
+  global a "_kboot";
+  label a "_kboot";
+  la a Reg.sp "kstack_top";
+  if traced then begin
+    la a Reg.t0 "ktrace_cursor_home";
+    lw a Systrace_tracing.Abi.xreg_cursor 0 Reg.t0;
+    la a Reg.t0 "ktrace_limit_home";
+    lw a Systrace_tracing.Abi.xreg_limit 0 Reg.t0;
+    la a Systrace_tracing.Abi.xreg_book Systrace_tracing.Abi.sym_ktrace_book
+  end;
+  li a Reg.t1 dev;
+  li a Reg.t2 clock_interval;
+  sw a Reg.t2 A.dev_clock_interval Reg.t1;
+  la a Reg.t3 "curpid";
+  lw a Reg.a0 0 Reg.t3;
+  j_ a "kswitch_in";
+  to_obj a

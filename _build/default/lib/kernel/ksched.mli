@@ -1,0 +1,10 @@
+(** Scheduler and boot: round-robin [ksched_and_ret] with the marked
+    idle loop (paper §5's idle accounting) and the analysis-mode check,
+    FPU-saving context switch, Mach per-thread trace-page remapping at
+    switch-in (§3.6), and the boot module that initialises devices and
+    starts pid 0. *)
+
+val make : unit -> Systrace_isa.Objfile.t
+
+val make_boot :
+  traced:bool -> clock_interval:int -> unit -> Systrace_isa.Objfile.t

@@ -1,0 +1,255 @@
+(* Exception vectors and entry/exit stubs.
+
+   This module is linked first, at kseg0 base, so that the UTLB miss
+   vector sits at 0x80000000 and the general vector at 0x80000080.  All of
+   it is uninstrumented: it is either part of the tracing system or too
+   delicate to rewrite mechanically (paper, §3.3) — but it is precisely
+   where the tracing system's state is maintained:
+
+   - Entry from user mode saves the interrupted context (including the
+     user's stolen trace registers) into the PCB, loads the kernel's trace
+     registers, and drains the per-process trace buffer into the in-kernel
+     buffer, preserving the global interleaving (§3.1).
+   - Entry from kernel mode pushes an exception frame on the kernel stack,
+     brackets the nested activity with an EXC_ENTER marker, and gives the
+     nested level its own bookkeeping frame — the "stack to maintain its
+     state during multiple nested system invocations" of §3.5.
+   - The UTLB refill handler is NOT traced: its behaviour under the doubled
+     traced text would not be representative, so the trace-driven simulator
+     synthesizes it instead (§4.1).  KTLB refills take an untraced fast
+     path through the general vector for the same reason.
+
+   Register discipline: only $k0/$k1 may be touched before the context is
+   saved.  The UTLB handler parks the faulting EPC in $k1 so that a double
+   miss (its PTE load faulting on an unmapped page-table page) can be
+   resolved by the general vector, which detects EPC within the UTLB stub
+   and returns to the parked address with a double rfe. *)
+
+open Systrace_isa
+open Systrace_tracing
+
+
+(* Marker words, precomputed. *)
+let w_exc_enter = Format_.marker_word (Format_.Exc_enter 0)
+let w_exc_exit = Format_.marker_word Format_.Exc_exit
+
+(* Registers saved in PCBs and exception frames: everything except
+   $zero/$k0/$k1; exception frames additionally skip $t8/$t9 (the live
+   kernel trace cursor and limit are shared across nesting levels). *)
+let pcb_saved_regs =
+  List.filter (fun r -> r <> 0 && r <> Reg.k0 && r <> Reg.k1)
+    (List.init 32 Fun.id)
+
+let frame_saved_regs =
+  List.filter
+    (fun r -> r <> Abi.xreg_cursor && r <> Abi.xreg_limit && r <> Reg.sp)
+    pcb_saved_regs
+
+let make ~traced : Objfile.t =
+  let a = Asm.create ~no_instrument:true "kstubs" in
+  let open Asm in
+  (* ---------------------------------------------------------------- *)
+  (* UTLB miss vector @ 0x80000000                                     *)
+  global a "kvec_utlb";
+  label a "kvec_utlb";
+  mfc0 a Reg.k0 Insn.C0_context;
+  mfc0 a Reg.k1 Insn.C0_epc;       (* park EPC for the double-miss case *)
+  lw a Reg.k0 0 Reg.k0;            (* PTE; may fault into the general vector *)
+  mtc0 a Reg.k0 Insn.C0_entrylo;
+  nop a;
+  tlbwr a;
+  i a (Insn.Jr Reg.k1);
+  rfe a;
+  (* ---------------------------------------------------------------- *)
+  (* General vector @ 0x80000080                                       *)
+  pad_to a 32;
+  global a "kvec_general";
+  label a "kvec_general";
+  (* Preserve $k1 first: it may hold the UTLB handler's parked EPC. *)
+  la a Reg.k0 "ksave_k1";
+  sw a Reg.k1 0 Reg.k0;
+  mfc0 a Reg.k0 Insn.C0_cause;
+  andi a Reg.k0 Reg.k0 0x7C;
+  (* KTLB refill fast path: TLBL/TLBS with BadVAddr in kseg2. *)
+  addiu a Reg.k1 Reg.k0 (-8);
+  beqz a Reg.k1 "$chk_kseg2";
+  addiu a Reg.k1 Reg.k0 (-12);
+  beqz a Reg.k1 "$chk_kseg2";
+  j_ a "kfull_entry";
+  label a "$chk_kseg2";
+  mfc0 a Reg.k1 Insn.C0_badvaddr;
+  srl a Reg.k1 Reg.k1 30;
+  addiu a Reg.k1 Reg.k1 (-3);
+  beqz a Reg.k1 "$ktlb_refill";
+  j_ a "kfull_entry";
+  (* ---- KTLB refill: index the kseg2 root table with k0/k1 only ---- *)
+  label a "$ktlb_refill";
+  mfc0 a Reg.k0 Insn.C0_badvaddr;
+  lui a Reg.k1 0xC000;
+  subu a Reg.k0 Reg.k0 Reg.k1;
+  srl a Reg.k0 Reg.k0 12;
+  sll a Reg.k0 Reg.k0 2;
+  i a (Insn.Lui (Reg.k1, Hi "kroot"));
+  i a (Insn.Alui (ORI, Reg.k1, Reg.k1, Lo "kroot"));
+  addu a Reg.k0 Reg.k0 Reg.k1;
+  lw a Reg.k0 0 Reg.k0;
+  (* An empty root entry means the kernel touched an unmapped page-table
+     page: unrecoverable. *)
+  bnez a Reg.k0 "$ktlb_ok";
+  hcall a Abi.hc_panic;
+  label a "$ktlb_ok";
+  mtc0 a Reg.k0 Insn.C0_entrylo;
+  nop a;
+  tlbwr a;
+  (* Double miss (EPC inside the UTLB stub, i.e. < 0x80000080)? *)
+  mfc0 a Reg.k0 Insn.C0_epc;
+  lui a Reg.k1 0x8000;
+  subu a Reg.k0 Reg.k0 Reg.k1;
+  sltiu a Reg.k0 Reg.k0 0x80;
+  bnez a Reg.k0 "$ktlb_ret_double";
+  mfc0 a Reg.k1 Insn.C0_epc;
+  i a (Insn.Jr Reg.k1);
+  rfe a;
+  label a "$ktlb_ret_double";
+  (* Two exception levels to pop: one rfe here, one in the jr delay slot.
+     Return to the parked original EPC. *)
+  rfe a;
+  la a Reg.k1 "ksave_k1";
+  lw a Reg.k1 0 Reg.k1;
+  i a (Insn.Jr Reg.k1);
+  rfe a;
+  (* ---------------------------------------------------------------- *)
+  (* Full entry: classify by pre-exception mode (status KUp).          *)
+  label a "kfull_entry";
+  mfc0 a Reg.k0 Insn.C0_status;
+  andi a Reg.k0 Reg.k0 0x8;
+  bnez a Reg.k0 "$from_user";
+  nop a;
+  (* ---------------- from kernel: push an exception frame ----------- *)
+  addiu a Reg.sp Reg.sp (-Kcfg.exc_frame_size);
+  List.iter (fun r -> sw a r (Kcfg.exc_regs + (4 * r)) Reg.sp) frame_saved_regs;
+  mfc0 a Reg.k1 Insn.C0_epc;
+  sw a Reg.k1 Kcfg.exc_epc Reg.sp;
+  mfc0 a Reg.k1 Insn.C0_status;
+  sw a Reg.k1 Kcfg.exc_status Reg.sp;
+  sw a Reg.zero Kcfg.exc_marker Reg.sp;
+  if traced then begin
+    (* If kernel tracing is on: write EXC_ENTER through the live cursor and
+       remember that we did; push a fresh bookkeeping frame either way. *)
+    la a Reg.k0 "ktrace_on";
+    lw a Reg.k0 0 Reg.k0;
+    beqz a Reg.k0 "$fk_nomark";
+    nop a;
+    li a Reg.k1 w_exc_enter;
+    sw a Reg.k1 0 Abi.xreg_cursor;
+    addiu a Abi.xreg_cursor Abi.xreg_cursor 4;
+    li a Reg.k1 1;
+    sw a Reg.k1 Kcfg.exc_marker Reg.sp;
+    label a "$fk_nomark";
+    (* depth++ and point xreg_book at the new frame. *)
+    la a Reg.k0 "ktrace_depth";
+    lw a Reg.k1 0 Reg.k0;
+    addiu a Reg.k1 Reg.k1 1;
+    sw a Reg.k1 0 Reg.k0;
+    sll a Reg.k1 Reg.k1 5;          (* x book_size (32) *)
+    la a Reg.k0 Abi.sym_ktrace_book;
+    addu a Abi.xreg_book Reg.k0 Reg.k1
+  end;
+  mfc0 a Reg.k0 Insn.C0_cause;
+  srl a Reg.a0 Reg.k0 2;
+  andi a Reg.a0 Reg.a0 0x1F;
+  mfc0 a Reg.a1 Insn.C0_badvaddr;
+  li a Reg.a2 0;
+  j_ a "kdispatch";
+  (* ---------------- from user: save context into the PCB ----------- *)
+  label a "$from_user";
+  la a Reg.k0 "curpcb";
+  lw a Reg.k0 0 Reg.k0;
+  List.iter (fun r -> sw a r (Kcfg.pcb_reg r) Reg.k0) pcb_saved_regs;
+  mfc0 a Reg.k1 Insn.C0_epc;
+  sw a Reg.k1 Kcfg.pcb_epc Reg.k0;
+  mfc0 a Reg.k1 Insn.C0_status;
+  sw a Reg.k1 Kcfg.pcb_status Reg.k0;
+  la a Reg.sp "kstack_top";
+  if traced then begin
+    (* Load the kernel's trace registers and drain the interrupted
+       process's buffer (preserving interleaving, §3.1). *)
+    la a Reg.k1 "ktrace_cursor_home";
+    lw a Abi.xreg_cursor 0 Reg.k1;
+    la a Reg.k1 "ktrace_limit_home";
+    lw a Abi.xreg_limit 0 Reg.k1;
+    (* Kernel top-level bookkeeping frame; nested entries use deeper
+       frames via ktrace_depth. *)
+    la a Abi.xreg_book Abi.sym_ktrace_book;
+    la a Reg.k0 "ktrace_depth";
+    sw a Reg.zero 0 Reg.k0
+  end;
+  mfc0 a Reg.k0 Insn.C0_cause;
+  srl a Reg.a0 Reg.k0 2;
+  andi a Reg.a0 Reg.a0 0x1F;
+  mfc0 a Reg.a1 Insn.C0_badvaddr;
+  li a Reg.a2 1;
+  if traced then jal a "kdrain";
+  j_ a "kdispatch";
+  (* ---------------------------------------------------------------- *)
+  (* Return to user: restore the current process's context.            *)
+  global a "kret_user";
+  label a "kret_user";
+  (* Interrupts off before touching $k0/$k1: a nested interrupt preserves
+     every register EXCEPT the k-registers, so the restore sequence below
+     must be atomic with respect to interrupts.  All general registers are
+     dead here (they are about to be reloaded), so t0/t1 are safe even if
+     an interrupt lands mid-sequence: the nested frame restores them and
+     re-executes from the EPC. *)
+  i a (Insn.Mfc0 (Reg.t0, C0_status));
+  addiu a Reg.t1 Reg.zero (-2);
+  and_ a Reg.t0 Reg.t0 Reg.t1;
+  i a (Insn.Mtc0 (Reg.t0, C0_status));
+  if traced then begin
+    (* Run the analysis mode switch if the buffer passed its high-water
+       mark (checked with interrupts still enabled). *)
+    jal a "kanalysis_maybe";
+    (* Park the kernel cursor. *)
+    la a Reg.k1 "ktrace_cursor_home";
+    sw a Abi.xreg_cursor 0 Reg.k1
+  end;
+  la a Reg.k0 "curpcb";
+  lw a Reg.k0 0 Reg.k0;
+  lw a Reg.k1 Kcfg.pcb_status Reg.k0;
+  i a (Insn.Mtc0 (Reg.k1, C0_status));   (* interrupts now disabled *)
+  List.iter (fun r -> lw a r (Kcfg.pcb_reg r) Reg.k0) pcb_saved_regs;
+  lw a Reg.k1 Kcfg.pcb_epc Reg.k0;
+  i a (Insn.Jr Reg.k1);
+  rfe a;
+  (* ---------------------------------------------------------------- *)
+  (* Return into interrupted kernel code: pop the exception frame.     *)
+  global a "kret_kernel";
+  label a "kret_kernel";
+  (* Same discipline as kret_user: k-registers only once interrupts are
+     off.  The registers about to be restored from the frame are dead. *)
+  i a (Insn.Mfc0 (Reg.t0, C0_status));
+  addiu a Reg.t1 Reg.zero (-2);
+  and_ a Reg.t0 Reg.t0 Reg.t1;
+  i a (Insn.Mtc0 (Reg.t0, C0_status));
+  if traced then begin
+    (* Pop the bookkeeping frame; write EXC_EXIT iff ENTER was written. *)
+    la a Reg.k0 "ktrace_depth";
+    lw a Reg.k1 0 Reg.k0;
+    addiu a Reg.k1 Reg.k1 (-1);
+    sw a Reg.k1 0 Reg.k0;
+    lw a Reg.k1 Kcfg.exc_marker Reg.sp;
+    beqz a Reg.k1 "$rk_nomark";
+    nop a;
+    li a Reg.k1 w_exc_exit;
+    sw a Reg.k1 0 Abi.xreg_cursor;
+    addiu a Abi.xreg_cursor Abi.xreg_cursor 4;
+    label a "$rk_nomark"
+  end;
+  lw a Reg.k1 Kcfg.exc_status Reg.sp;
+  i a (Insn.Mtc0 (Reg.k1, C0_status));
+  List.iter (fun r -> lw a r (Kcfg.exc_regs + (4 * r)) Reg.sp) frame_saved_regs;
+  lw a Reg.k1 Kcfg.exc_epc Reg.sp;
+  addiu a Reg.sp Reg.sp Kcfg.exc_frame_size;
+  i a (Insn.Jr Reg.k1);
+  rfe a;
+  to_obj a

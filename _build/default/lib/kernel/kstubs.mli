@@ -1,0 +1,9 @@
+(** Exception vectors and kernel entry/exit stubs — the heart of the
+    traced system (paper §3.1/§3.3): the 8-instruction UTLB refill with
+    the double-miss (parked-EPC) protocol, the KTLB fast path, context
+    save/restore to the PCB, the per-nesting-level bookkeeping frames for
+    the stolen trace registers, EXC_ENTER/EXC_EXIT markers around nested
+    kernel activity, and the drain of the interrupted process's trace
+    buffer on kernel entry. *)
+
+val make : traced:bool -> Systrace_isa.Objfile.t

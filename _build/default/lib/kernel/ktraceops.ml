@@ -1,0 +1,181 @@
+(* Untraced tracing-system operations: draining user buffers, writing
+   markers, and the trace-generation/trace-analysis mode switch.
+
+   All of this is kernel activity "on behalf of the tracing system" and is
+   deliberately excluded from the trace (paper, §3.1). *)
+
+open Systrace_isa
+open Systrace_tracing
+
+let cursor = Abi.xreg_cursor
+let limit = Abi.xreg_limit
+
+let w_mode_analysis = Format_.marker_word (Format_.Mode 1)
+let w_mode_generation = Format_.marker_word (Format_.Mode 0)
+let w_drain_base = Format_.make_marker Format_.kind_drain 0
+let w_pid_base = Format_.make_marker Format_.kind_pid 0
+
+let make ?(drain_on_entry = true) () : Objfile.t =
+  let a = Asm.create ~no_instrument:true "ktraceops" in
+  let open Asm in
+  let lgv reg sym = la a reg sym; lw a reg 0 reg in
+  (* ---------------------------------------------------------------- *)
+  (* kdrain: copy the current process's trace buffer into the in-kernel
+     buffer, bracketed as a DRAIN block, and reset the saved user cursor.
+     Called from the entry stub with the kernel trace registers live.
+     Preserves a0-a3. Clobbers t0-t6. *)
+  global a "kdrain";
+  label a "kdrain";
+  lgv Reg.t0 "ktrace_on";
+  beqz a Reg.t0 "$kd_out";
+  lgv Reg.t1 "curpcb";
+  lw a Reg.t2 Kcfg.pcb_traced Reg.t1;
+  beqz a Reg.t2 "$kd_out";
+  (* The interrupted process may be mid-way through a trace write in
+     bbtrace/memtrace (slot reserved, word not yet stored): resetting its
+     cursor now would corrupt the stream.  Skip the drain when the saved
+     EPC lies inside the tracing runtime — EXCEPT for system calls (a0 = 8),
+     which are voluntary and always at a safe point: in particular the
+     trace-flush syscall bbtrace raises on a full buffer MUST drain. *)
+  if not drain_on_entry then begin
+    (* Ablation (DESIGN.md 5): flush-only-when-full.  Drain only for the
+       voluntary trace-flush syscall; every skipped drain counts the words
+       it leaves behind — kernel records written during this entry will
+       overtake them in the global stream ("interleaving violations"). *)
+    addiu a Reg.t2 Reg.a0 (-8);
+    bnez a Reg.t2 "$kd_skip";             (* not a syscall: skip + count *)
+    nop a;
+    lw a Reg.t2 (Kcfg.pcb_reg 2) Reg.t1;  (* saved $v0 = syscall number *)
+    addiu a Reg.t6 Reg.t2 (-Abi.sys_trace_flush);
+    beqz a Reg.t6 "$kd_safe";             (* full buffer: must drain *)
+    nop a;
+    addiu a Reg.t6 Reg.t2 (-Abi.sys_exit);
+    beqz a Reg.t6 "$kd_safe";             (* exiting: last chance to drain *)
+    nop a;
+    label a "$kd_skip";
+    lw a Reg.t3 (Kcfg.pcb_reg cursor) Reg.t1;
+    li a Reg.t4 Abi.user_buf_va;
+    subu a Reg.t3 Reg.t3 Reg.t4;
+    srl a Reg.t3 Reg.t3 2;
+    la a Reg.t4 "kstat_displaced";
+    lw a Reg.t5 0 Reg.t4;
+    addu a Reg.t5 Reg.t5 Reg.t3;
+    i a (Insn.J (Sym "$kd_out"));
+    sw a Reg.t5 0 Reg.t4
+  end;
+  addiu a Reg.t2 Reg.a0 (-8);
+  beqz a Reg.t2 "$kd_safe";
+  nop a;
+  lw a Reg.t2 Kcfg.pcb_epc Reg.t1;
+  lw a Reg.t5 Kcfg.pcb_trt_lo Reg.t1;
+  sltu a Reg.t6 Reg.t2 Reg.t5;
+  bnez a Reg.t6 "$kd_safe";
+  lw a Reg.t5 Kcfg.pcb_trt_hi Reg.t1;
+  sltu a Reg.t6 Reg.t2 Reg.t5;
+  bnez a Reg.t6 "$kd_out";
+  nop a;
+  label a "$kd_safe";
+  (* t3 = saved user cursor, t4 = buffer base *)
+  lw a Reg.t3 (Kcfg.pcb_reg cursor) Reg.t1;
+  li a Reg.t4 Abi.user_buf_va;
+  beq a Reg.t3 Reg.t4 "$kd_out";
+  (* DRAIN marker | pid, then the word count *)
+  li a Reg.t5 w_drain_base;
+  lgv Reg.t6 "curpid";
+  or_ a Reg.t5 Reg.t5 Reg.t6;
+  sw a Reg.t5 0 cursor;
+  addiu a cursor cursor 4;
+  subu a Reg.t6 Reg.t3 Reg.t4;
+  srl a Reg.t6 Reg.t6 2;
+  sw a Reg.t6 0 cursor;
+  addiu a cursor cursor 4;
+  (* copy loop (reads user VAs through the current ASID) *)
+  label a "$kd_loop";
+  beq a Reg.t4 Reg.t3 "$kd_done";
+  nop a;
+  lw a Reg.t5 0 Reg.t4;
+  sw a Reg.t5 0 cursor;
+  addiu a Reg.t4 Reg.t4 4;
+  i a (Insn.J (Sym "$kd_loop"));
+  addiu a cursor cursor 4;
+  label a "$kd_done";
+  (* reset the saved user cursor *)
+  li a Reg.t4 Abi.user_buf_va;
+  sw a Reg.t4 (Kcfg.pcb_reg cursor) Reg.t1;
+  label a "$kd_out";
+  ret a;
+  (* ---------------------------------------------------------------- *)
+  (* kmark_pid: write a PID_SWITCH marker (a0 = pid). Clobbers t0/t1. *)
+  global a "kmark_pid";
+  label a "kmark_pid";
+  lgv Reg.t0 "ktrace_on";
+  beqz a Reg.t0 "$km_out";
+  (* interrupts off around the cursor update (see the kernel runtime) *)
+  i a (Insn.Mfc0 (Reg.t2, C0_status));
+  andi a Reg.t3 Reg.t2 0xFFFE;
+  i a (Insn.Mtc0 (Reg.t3, C0_status));
+  li a Reg.t1 w_pid_base;
+  or_ a Reg.t1 Reg.t1 Reg.a0;
+  addiu a cursor cursor 4;            (* reserve, then fill *)
+  sw a Reg.t1 (-4) cursor;
+  i a (Insn.Mtc0 (Reg.t2, C0_status));
+  label a "$km_out";
+  ret a;
+  (* ---------------------------------------------------------------- *)
+  (* kanalysis_maybe: if the in-kernel buffer has passed its high-water
+     mark, switch to trace-analysis mode: turn kernel tracing off (the
+     cursor runs in the discard page), hand the buffer to the host-side
+     analysis program in chunks, spinning between chunks so that device
+     activity keeps happening (and is lost — the "dirt" of §4.3), then
+     reset the buffer and return to trace-generation mode.
+     Called with interrupts enabled; returns with them disabled. *)
+  global a "kanalysis_maybe";
+  label a "kanalysis_maybe";
+  lgv Reg.t0 Abi.sym_ktrace_need;
+  bnez a Reg.t0 "$ka_go";
+  nop a;
+  ret a;
+  label a "$ka_go";
+  (* interrupts off while swapping trace state *)
+  i a (Insn.Mfc0 (Reg.t2, C0_status));
+  addiu a Reg.t3 Reg.zero (-2);
+  and_ a Reg.t4 Reg.t2 Reg.t3;
+  i a (Insn.Mtc0 (Reg.t4, C0_status));
+  (* close the generation phase *)
+  li a Reg.t3 w_mode_analysis;
+  sw a Reg.t3 0 cursor;
+  addiu a cursor cursor 4;
+  la a Reg.t4 "ktrace_saved_cursor";
+  sw a cursor 0 Reg.t4;
+  la a Reg.t4 "ktrace_on";
+  sw a Reg.zero 0 Reg.t4;
+  lgv cursor "ktrace_discard_base";
+  lgv limit "ktrace_discard_end";
+  (* interrupts back on for the analysis loop *)
+  i a (Insn.Mtc0 (Reg.t2, C0_status));
+  label a "$ka_loop";
+  hcall a Abi.hc_analyze;       (* v0 = words remaining, v1 = spin count *)
+  beqz a Reg.v0 "$ka_done";
+  nop a;
+  label a "$ka_spin";
+  addiu a Reg.v1 Reg.v1 (-1);
+  bgtz a Reg.v1 "$ka_spin";
+  j_ a "$ka_loop";
+  label a "$ka_done";
+  (* interrupts off; back to generation mode *)
+  i a (Insn.Mfc0 (Reg.t2, C0_status));
+  addiu a Reg.t3 Reg.zero (-2);
+  and_ a Reg.t2 Reg.t2 Reg.t3;
+  i a (Insn.Mtc0 (Reg.t2, C0_status));
+  lgv cursor "ktrace_buf_base";
+  li a Reg.t3 w_mode_generation;
+  sw a Reg.t3 0 cursor;
+  addiu a cursor cursor 4;
+  lgv limit "ktrace_real_limit";
+  la a Reg.t4 "ktrace_on";
+  li a Reg.t3 1;
+  sw a Reg.t3 0 Reg.t4;
+  la a Reg.t4 Abi.sym_ktrace_need;
+  sw a Reg.zero 0 Reg.t4;
+  ret a;
+  to_obj a

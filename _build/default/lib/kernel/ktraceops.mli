@@ -1,0 +1,11 @@
+(** Untraced tracing-system operations (excluded from the trace, paper
+    §3.1): draining user trace buffers into the in-kernel buffer
+    ([kdrain]), PID_SWITCH markers ([kmark_pid]), and the
+    trace-generation/trace-analysis mode switch ([kanalysis_maybe],
+    §4.3). *)
+
+val make : ?drain_on_entry:bool -> unit -> Systrace_isa.Objfile.t
+(** [~drain_on_entry:false] is the flush-only-when-full ablation
+    (DESIGN.md §5): user buffers drain only on the trace-flush syscall
+    and at process exit, and each skipped drain adds the words it leaves
+    behind to the [kstat_displaced] counter. *)

@@ -1,0 +1,1 @@
+lib/machine/fpu.ml: Array Insn List Reg Systrace_isa

@@ -1,0 +1,1 @@
+lib/machine/fpu.mli: Systrace_isa

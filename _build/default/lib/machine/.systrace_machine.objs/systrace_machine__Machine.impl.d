@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Addr Array Buffer Bytes Cache Char Disk Encode Exe Float Fpu Insn Int32 Int64 Printf Reg Stdlib String Systrace_isa Tlb Write_buffer

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Buffer Bytes Cache Disk Exe Fpu Insn Systrace_isa Tlb Write_buffer

@@ -1,0 +1,1 @@
+lib/machine/write_buffer.ml: List

@@ -1,0 +1,65 @@
+(* Address-space geometry of the simulated machine.
+
+   The virtual address space is divided into four segments as on the
+   DECstation's R3000 (paper, section 4.1):
+
+     kuseg  0x00000000 - 0x7fffffff   TLB-mapped, user accessible
+     kseg0  0x80000000 - 0x9fffffff   unmapped, cached, kernel only
+     kseg1  0xa0000000 - 0xbfffffff   unmapped, uncached, kernel only
+     kseg2  0xc0000000 - 0xffffffff   TLB-mapped, kernel only
+
+   All kernel text and most kernel data live in kseg0 and do not consult the
+   TLB; kseg2 holds page-table pages, whose misses (KTLB misses) go through
+   the general exception vector. *)
+
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let page_mask = page_size - 1
+
+let kuseg_limit = 0x80000000
+let kseg0_base = 0x80000000
+let kseg1_base = 0xA0000000
+let kseg2_base = 0xC0000000
+
+type segment = Kuseg | Kseg0 | Kseg1 | Kseg2
+
+let segment va =
+  if va < kuseg_limit then Kuseg
+  else if va < kseg1_base then Kseg0
+  else if va < kseg2_base then Kseg1
+  else Kseg2
+
+(* Direct physical mapping for the unmapped segments. *)
+let kseg0_pa va = va - kseg0_base
+let kseg1_pa va = va - kseg1_base
+
+let vpn va = va lsr page_shift
+let page_offset va = va land page_mask
+
+(* Exception vectors (R3000 layout). *)
+let utlb_vector = 0x80000000
+let general_vector = 0x80000080
+
+(* Device register window, physical.  Lives above the top of RAM so device
+   access never aliases memory. *)
+let device_base_pa = 0x01000000
+
+(* Device register offsets (bytes from [device_base_pa]). *)
+let dev_console_tx = 0x00
+let dev_clock_interval = 0x04
+let dev_clock_ack = 0x08
+let dev_disk_block = 0x10
+let dev_disk_addr = 0x14
+let dev_disk_count = 0x18
+let dev_disk_cmd = 0x1C
+let dev_disk_status = 0x20
+let dev_disk_ack = 0x24
+let dev_disk_done_block = 0x28
+let dev_cycle_lo = 0x30
+let dev_cycle_hi = 0x34
+let dev_limit = 0x40
+
+(* Interrupt lines: indices within the 8-bit IP/IM field (which occupies
+   bits 8..15 of cause/status, so line n corresponds to cause bit n+8). *)
+let irq_clock = 2
+let irq_disk = 3

@@ -1,0 +1,122 @@
+(* Disk device with DMA and a small request queue.
+
+   Requests complete strictly in order; each takes a seek time plus a
+   per-block transfer time.  The queue depth (4) is what lets the kernel
+   issue asynchronous read-ahead — the behaviour behind the compress
+   prediction error in the paper's Figure 3.  On completion the device
+   raises its interrupt line and parks the finished block number until the
+   kernel acks it. *)
+
+type request = {
+  block : int;
+  paddr : int;
+  count : int;
+  is_write : bool;
+  complete_at : int;
+}
+
+type t = {
+  image : Bytes.t;
+  block_bytes : int;
+  seek_cycles : int;
+  per_block_cycles : int;
+  queue_depth : int;
+  mutable queue : request list;      (* ascending complete_at *)
+  mutable done_blocks : int list;    (* completed, not yet acked *)
+  (* staged register values *)
+  mutable reg_block : int;
+  mutable reg_addr : int;
+  mutable reg_count : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let block_bytes = 4096
+
+let create ?(blocks = 2048) ?(seek_cycles = 20000) ?(per_block_cycles = 4000)
+    () =
+  {
+    image = Bytes.make (blocks * block_bytes) '\000';
+    block_bytes;
+    seek_cycles;
+    per_block_cycles;
+    queue_depth = 4;
+    queue = [];
+    done_blocks = [];
+    reg_block = 0;
+    reg_addr = 0;
+    reg_count = 1;
+    reads = 0;
+    writes = 0;
+  }
+
+let nblocks t = Bytes.length t.image / t.block_bytes
+
+(* Host-side access to disk contents (setting up input files, reading
+   outputs). *)
+let write_image t ~block ~off data =
+  Bytes.blit_string data 0 t.image ((block * t.block_bytes) + off)
+    (String.length data)
+
+let read_image t ~block ~off ~len =
+  Bytes.sub_string t.image ((block * t.block_bytes) + off) len
+
+let busy t = List.length t.queue >= t.queue_depth
+
+(* Submit the staged request. Returns [false] if the queue is full (the
+   kernel must retry; in practice it checks DISK_STATUS first). *)
+let submit t ~now ~is_write =
+  if busy t then false
+  else begin
+    let prev_done =
+      match List.rev t.queue with r :: _ -> r.complete_at | [] -> now
+    in
+    let start = max now prev_done in
+    let complete_at =
+      start + t.seek_cycles + (t.reg_count * t.per_block_cycles)
+    in
+    let r =
+      {
+        block = t.reg_block;
+        paddr = t.reg_addr;
+        count = t.reg_count;
+        is_write;
+        complete_at;
+      }
+    in
+    if is_write then t.writes <- t.writes + 1 else t.reads <- t.reads + 1;
+    t.queue <- t.queue @ [ r ];
+    true
+  end
+
+(* Next completion time, or max_int if idle. *)
+let next_event t =
+  match t.queue with [] -> max_int | r :: _ -> r.complete_at
+
+(* Process completions up to [now]: perform DMA against [mem]; returns the
+   number of requests that completed (each raises the interrupt line). *)
+let poll t ~now ~mem ~on_dma =
+  let rec go n =
+    match t.queue with
+    | r :: rest when r.complete_at <= now ->
+      t.queue <- rest;
+      let len = r.count * t.block_bytes in
+      let doff = r.block * t.block_bytes in
+      if r.is_write then Bytes.blit mem r.paddr t.image doff len
+      else Bytes.blit t.image doff mem r.paddr len;
+      on_dma ~paddr:r.paddr ~len;
+      t.done_blocks <- t.done_blocks @ [ r.block ];
+      go (n + 1)
+    | _ -> n
+  in
+  go 0
+
+(* Completed-but-unacked request at the head, if any. *)
+let done_block t = match t.done_blocks with b :: _ -> b | [] -> -1
+
+let ack t =
+  match t.done_blocks with
+  | _ :: rest -> t.done_blocks <- rest
+  | [] -> ()
+
+let has_done t = t.done_blocks <> []

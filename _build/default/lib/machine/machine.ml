@@ -1,0 +1,793 @@
+(* The simulated machine: CPU interpreter with branch delay slots, CP0
+   system coprocessor, TLB, caches, write buffer, FP latency model, and the
+   devices (console, line clock, disk).
+
+   This is the "hardware" of the reproduction.  It keeps ground-truth event
+   counters (cycles, cache misses, TLB misses, idle-loop instructions) that
+   play the role of the paper's direct measurements of the uninstrumented
+   DECstation: the validation harness compares these against predictions
+   made from software-collected traces.
+
+   Deliberately, nothing in this module knows about tracing: address traces
+   are generated purely by instrumented code running on the machine. *)
+
+open Systrace_isa
+
+exception Halted
+
+(* R3000 exception codes. *)
+module Exc = struct
+  let interrupt = 0
+  let tlb_mod = 1
+  let tlbl = 2
+  let tlbs = 3
+  let adel = 4
+  let ades = 5
+  let syscall = 8
+  let breakpoint = 9
+  let reserved = 10
+end
+
+exception Trap of { code : int; badva : int; refill : bool }
+
+let trap ?(badva = -1) ?(refill = false) code =
+  raise (Trap { code; badva; refill })
+
+type config = {
+  mem_bytes : int;
+  icache_bytes : int;
+  icache_line : int;
+  dcache_bytes : int;
+  dcache_line : int;
+  read_miss_penalty : int;     (* cycles per cached read miss *)
+  uncached_penalty : int;      (* cycles per uncached access *)
+  wb_depth : int;
+  wb_drain : int;
+  disk_blocks : int;
+  disk_seek : int;
+  disk_per_block : int;
+  count_exec : bool;           (* per-instruction-word execution counts *)
+}
+
+let default_config =
+  {
+    mem_bytes = 16 * 1024 * 1024;
+    icache_bytes = 16384;
+    icache_line = 16;
+    dcache_bytes = 16384;
+    dcache_line = 4;
+    read_miss_penalty = 15;
+    uncached_penalty = 15;
+    wb_depth = 4;
+    wb_drain = 6;
+    disk_blocks = 2048;
+    disk_seek = 20000;
+    disk_per_block = 4000;
+    count_exec = false;
+  }
+
+type counters = {
+  mutable instructions : int;
+  mutable user_instructions : int;
+  mutable kernel_instructions : int;
+  mutable idle_instructions : int;
+  mutable uncached_ifetches : int;
+  mutable uncached_reads : int;
+  mutable utlb_misses : int;          (* refill misses on kuseg *)
+  mutable ktlb_misses : int;          (* refill misses on kseg2 *)
+  mutable tlb_invalid : int;
+  mutable tlb_mod : int;
+  mutable exceptions : int;
+  mutable interrupts : int;
+  mutable syscalls : int;
+  mutable clock_ticks : int;
+}
+
+let fresh_counters () =
+  {
+    instructions = 0;
+    user_instructions = 0;
+    kernel_instructions = 0;
+    idle_instructions = 0;
+    uncached_ifetches = 0;
+    uncached_reads = 0;
+    utlb_misses = 0;
+    ktlb_misses = 0;
+    tlb_invalid = 0;
+    tlb_mod = 0;
+    exceptions = 0;
+    interrupts = 0;
+    syscalls = 0;
+    clock_ticks = 0;
+  }
+
+type t = {
+  cfg : config;
+  mem : Bytes.t;
+  (* Decoded-instruction cache: one slot per physical word, invalidated on
+     stores. *)
+  dec : Insn.t array;
+  dec_valid : Bytes.t;
+  regs : int array;              (* 32-bit values as 0..2^32-1 *)
+  fregs : float array;
+  mutable fcc : bool;
+  mutable pc : int;
+  mutable npc : int;
+  mutable next_is_delay : bool;
+  (* CP0 *)
+  mutable status : int;
+  mutable cause : int;
+  mutable epc : int;
+  mutable badvaddr : int;
+  mutable entryhi : int;
+  mutable entrylo : int;
+  mutable index_reg : int;
+  mutable context_base : int;    (* PTEBase, bits 21.. *)
+  mutable context_badvpn : int;
+  tlb : Tlb.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  wb : Write_buffer.t;
+  fpu : Fpu.t;
+  disk : Disk.t;
+  mutable clock_interval : int;  (* 0 = disabled *)
+  mutable next_clock : int;
+  mutable ip : int;              (* pending interrupt lines, bit positions *)
+  mutable cycles : int;
+  mutable halted : bool;
+  console : Buffer.t;
+  c : counters;
+  mutable idle_lo : int;         (* kernel idle-loop pc range, for ground *)
+  mutable idle_hi : int;         (* truth idle instruction counting *)
+  mutable hcall_handler : (t -> int -> unit) option;
+  exec_counts : int array;       (* per physical word; empty if disabled *)
+  (* Set by the harness to observe stores (used by tests). *)
+  mutable watchpoint : (int -> int -> unit) option;
+  (* Reference tracer: called with (kind, virtual address) for every
+     instruction fetch (0), load (1) and store (2).  This is the
+     "independently developed CPU simulator" trace the paper validates
+     epoxie against (§4.3). *)
+  mutable ref_tracer : (int -> int -> unit) option;
+}
+
+let create ?(cfg = default_config) () =
+  let words = cfg.mem_bytes / 4 in
+  {
+    cfg;
+    mem = Bytes.make cfg.mem_bytes '\000';
+    dec = Array.make words Insn.nop;
+    dec_valid = Bytes.make words '\000';
+    regs = Array.make 32 0;
+    fregs = Array.make Reg.nfregs 0.0;
+    fcc = false;
+    pc = 0;
+    npc = 4;
+    next_is_delay = false;
+    status = 0;
+    cause = 0;
+    epc = 0;
+    badvaddr = 0;
+    entryhi = 0;
+    entrylo = 0;
+    index_reg = 0;
+    context_base = 0;
+    context_badvpn = 0;
+    tlb =
+      (let tlb = Tlb.create () in
+       Tlb.reset tlb;
+       tlb);
+    icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.icache_line;
+    dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.dcache_line;
+    wb = Write_buffer.create ~depth:cfg.wb_depth ~drain_cycles:cfg.wb_drain ();
+    fpu = Fpu.create ();
+    disk =
+      Disk.create ~blocks:cfg.disk_blocks ~seek_cycles:cfg.disk_seek
+        ~per_block_cycles:cfg.disk_per_block ();
+    clock_interval = 0;
+    next_clock = max_int;
+    ip = 0;
+    cycles = 0;
+    halted = false;
+    console = Buffer.create 256;
+    c = fresh_counters ();
+    idle_lo = 0;
+    idle_hi = 0;
+    hcall_handler = None;
+    exec_counts = (if cfg.count_exec then Array.make words 0 else [||]);
+    watchpoint = None;
+    ref_tracer = None;
+  }
+
+let ref_trace t kind addr =
+  match t.ref_tracer with Some f -> f kind addr | None -> ()
+
+let user_mode t = t.status land 0x2 <> 0
+let asid t = (t.entryhi lsr 6) land 0x3F
+
+(* ------------------------------------------------------------------ *)
+(* Raw physical memory access (host-side too)                          *)
+
+let phys_ok t pa len = pa >= 0 && pa + len <= t.cfg.mem_bytes
+
+let read_phys_u32 t pa =
+  Int32.to_int (Bytes.get_int32_le t.mem pa) land 0xFFFFFFFF
+
+let write_phys_u32 t pa v =
+  Bytes.set_int32_le t.mem pa (Int32.of_int (v land 0xFFFFFFFF));
+  Bytes.set t.dec_valid (pa lsr 2) '\000'
+
+let read_phys_u16 t pa = Bytes.get_uint16_le t.mem pa
+let read_phys_u8 t pa = Bytes.get_uint8 t.mem pa
+
+let write_phys_u16 t pa v =
+  Bytes.set_uint16_le t.mem pa (v land 0xFFFF);
+  Bytes.set t.dec_valid (pa lsr 2) '\000'
+
+let write_phys_u8 t pa v =
+  Bytes.set_uint8 t.mem pa (v land 0xFF);
+  Bytes.set t.dec_valid (pa lsr 2) '\000'
+
+let write_phys_bytes t pa s =
+  Bytes.blit_string s 0 t.mem pa (String.length s);
+  for w = pa lsr 2 to (pa + String.length s - 1) lsr 2 do
+    Bytes.set t.dec_valid w '\000'
+  done
+
+let read_phys_bytes t pa len = Bytes.sub_string t.mem pa len
+
+(* ------------------------------------------------------------------ *)
+(* Address translation                                                 *)
+
+(* Returns (pa, cached). Raises [Trap] on failure. *)
+let translate t va ~write:w ~fetch =
+  match Addr.segment va with
+  | Addr.Kseg0 ->
+    if user_mode t then
+      trap ~badva:va (if w then Exc.ades else Exc.adel)
+    else (Addr.kseg0_pa va, true)
+  | Addr.Kseg1 ->
+    if user_mode t then
+      trap ~badva:va (if w then Exc.ades else Exc.adel)
+    else (Addr.kseg1_pa va, false)
+  | Addr.Kuseg | Addr.Kseg2 -> (
+    if Addr.segment va = Addr.Kseg2 && user_mode t then
+      trap ~badva:va (if w then Exc.ades else Exc.adel);
+    let vpn = Addr.vpn va in
+    match Tlb.lookup t.tlb ~vpn ~asid:(asid t) ~write:w with
+    | Tlb.Hit { pfn; noncacheable; _ } ->
+      ((pfn lsl Addr.page_shift) lor Addr.page_offset va, not noncacheable)
+    | Tlb.Miss ->
+      if va < Addr.kuseg_limit then t.c.utlb_misses <- t.c.utlb_misses + 1
+      else t.c.ktlb_misses <- t.c.ktlb_misses + 1;
+      ignore fetch;
+      trap ~badva:va ~refill:true (if w then Exc.tlbs else Exc.tlbl)
+    | Tlb.Invalid ->
+      t.c.tlb_invalid <- t.c.tlb_invalid + 1;
+      trap ~badva:va (if w then Exc.tlbs else Exc.tlbl)
+    | Tlb.Modified ->
+      t.c.tlb_mod <- t.c.tlb_mod + 1;
+      trap ~badva:va Exc.tlb_mod)
+
+(* ------------------------------------------------------------------ *)
+(* Devices                                                             *)
+
+let raise_irq t line = t.ip <- t.ip lor (1 lsl line)
+let clear_irq t line = t.ip <- t.ip land lnot (1 lsl line)
+
+let disk_refresh_irq t =
+  if Disk.has_done t.disk then raise_irq t Addr.irq_disk
+  else clear_irq t Addr.irq_disk
+
+let poll_devices t =
+  if t.cycles >= t.next_clock then begin
+    t.c.clock_ticks <- t.c.clock_ticks + 1;
+    raise_irq t Addr.irq_clock;
+    t.next_clock <-
+      (if t.clock_interval > 0 then t.cycles + t.clock_interval else max_int)
+  end;
+  if Disk.next_event t.disk <= t.cycles then begin
+    let n =
+      Disk.poll t.disk ~now:t.cycles ~mem:t.mem ~on_dma:(fun ~paddr ~len ->
+          (* DMA'd memory may hold instructions: invalidate decode cache. *)
+          for w = paddr lsr 2 to (paddr + len - 1) lsr 2 do
+            Bytes.set t.dec_valid w '\000'
+          done)
+    in
+    if n > 0 then disk_refresh_irq t
+  end
+
+let device_read t pa =
+  let off = pa - Addr.device_base_pa in
+  if off = Addr.dev_clock_interval then t.clock_interval
+  else if off = Addr.dev_disk_status then (if Disk.busy t.disk then 1 else 0)
+  else if off = Addr.dev_disk_done_block then Disk.done_block t.disk land 0xFFFFFFFF
+  else if off = Addr.dev_cycle_lo then t.cycles land 0xFFFFFFFF
+  else if off = Addr.dev_cycle_hi then (t.cycles lsr 32) land 0xFFFFFFFF
+  else 0
+
+let device_write t pa v =
+  let off = pa - Addr.device_base_pa in
+  if off = Addr.dev_console_tx then Buffer.add_char t.console (Char.chr (v land 0xFF))
+  else if off = Addr.dev_clock_interval then begin
+    t.clock_interval <- v;
+    t.next_clock <- (if v > 0 then t.cycles + v else max_int)
+  end
+  else if off = Addr.dev_clock_ack then clear_irq t Addr.irq_clock
+  else if off = Addr.dev_disk_block then t.disk.Disk.reg_block <- v
+  else if off = Addr.dev_disk_addr then t.disk.Disk.reg_addr <- v
+  else if off = Addr.dev_disk_count then t.disk.Disk.reg_count <- v
+  else if off = Addr.dev_disk_cmd then
+    ignore (Disk.submit t.disk ~now:t.cycles ~is_write:(v = 2))
+  else if off = Addr.dev_disk_ack then begin
+    Disk.ack t.disk;
+    disk_refresh_irq t
+  end
+
+let is_device_pa pa =
+  pa >= Addr.device_base_pa && pa < Addr.device_base_pa + Addr.dev_limit
+
+(* ------------------------------------------------------------------ *)
+(* Timed memory access                                                 *)
+
+let load_word_timed t va =
+  if va land 3 <> 0 then trap ~badva:va Exc.adel;
+  let pa, cached = translate t va ~write:false ~fetch:false in
+  if is_device_pa pa then begin
+    t.cycles <- t.cycles + t.cfg.uncached_penalty;
+    t.c.uncached_reads <- t.c.uncached_reads + 1;
+    device_read t pa
+  end
+  else begin
+    if not (phys_ok t pa 4) then trap ~badva:va Exc.adel;
+    if cached then begin
+      if not (Cache.read t.dcache pa) then
+        t.cycles <- t.cycles + t.cfg.read_miss_penalty
+    end
+    else begin
+      t.c.uncached_reads <- t.c.uncached_reads + 1;
+      t.cycles <- t.cycles + t.cfg.uncached_penalty
+    end;
+    read_phys_u32 t pa
+  end
+
+let load_timed t va bytes =
+  match bytes with
+  | 4 -> load_word_timed t va
+  | 2 ->
+    if va land 1 <> 0 then trap ~badva:va Exc.adel;
+    let pa, cached = translate t va ~write:false ~fetch:false in
+    if not (phys_ok t pa 2) then trap ~badva:va Exc.adel;
+    if cached then begin
+      if not (Cache.read t.dcache pa) then
+        t.cycles <- t.cycles + t.cfg.read_miss_penalty
+    end
+    else begin
+      t.c.uncached_reads <- t.c.uncached_reads + 1;
+      t.cycles <- t.cycles + t.cfg.uncached_penalty
+    end;
+    read_phys_u16 t pa
+  | 1 ->
+    let pa, cached = translate t va ~write:false ~fetch:false in
+    if not (phys_ok t pa 1) then trap ~badva:va Exc.adel;
+    if cached then begin
+      if not (Cache.read t.dcache pa) then
+        t.cycles <- t.cycles + t.cfg.read_miss_penalty
+    end
+    else begin
+      t.c.uncached_reads <- t.c.uncached_reads + 1;
+      t.cycles <- t.cycles + t.cfg.uncached_penalty
+    end;
+    read_phys_u8 t pa
+  | _ -> assert false
+
+let store_timed t va bytes v =
+  (match bytes with
+  | 4 -> if va land 3 <> 0 then trap ~badva:va Exc.ades
+  | 2 -> if va land 1 <> 0 then trap ~badva:va Exc.ades
+  | _ -> ());
+  let pa, cached = translate t va ~write:true ~fetch:false in
+  if is_device_pa pa then begin
+    t.cycles <- t.cycles + t.cfg.uncached_penalty;
+    device_write t pa v
+  end
+  else begin
+    if not (phys_ok t pa bytes) then trap ~badva:va Exc.ades;
+    if cached then ignore (Cache.write t.dcache pa);
+    t.cycles <- t.cycles + Write_buffer.store t.wb ~now:t.cycles;
+    (match bytes with
+    | 4 -> write_phys_u32 t pa v
+    | 2 -> write_phys_u16 t pa v
+    | 1 -> write_phys_u8 t pa v
+    | _ -> assert false);
+    match t.watchpoint with Some f -> f va v | None -> ()
+  end
+
+let load_double_timed t va =
+  if va land 7 <> 0 then trap ~badva:va Exc.adel;
+  let pa, cached = translate t va ~write:false ~fetch:false in
+  if not (phys_ok t pa 8) then trap ~badva:va Exc.adel;
+  if cached then begin
+    if not (Cache.read t.dcache pa) then
+      t.cycles <- t.cycles + t.cfg.read_miss_penalty
+  end
+  else begin
+    t.c.uncached_reads <- t.c.uncached_reads + 1;
+    t.cycles <- t.cycles + t.cfg.uncached_penalty
+  end;
+  Int64.float_of_bits (Bytes.get_int64_le t.mem pa)
+
+let store_double_timed t va f =
+  if va land 7 <> 0 then trap ~badva:va Exc.ades;
+  let pa, cached = translate t va ~write:true ~fetch:false in
+  if not (phys_ok t pa 8) then trap ~badva:va Exc.ades;
+  if cached then ignore (Cache.write t.dcache pa);
+  (* A double store occupies two write-buffer slots. *)
+  t.cycles <- t.cycles + Write_buffer.store t.wb ~now:t.cycles;
+  t.cycles <- t.cycles + Write_buffer.store t.wb ~now:t.cycles;
+  Bytes.set_int64_le t.mem pa (Int64.bits_of_float f);
+  Bytes.set t.dec_valid (pa lsr 2) '\000';
+  Bytes.set t.dec_valid ((pa lsr 2) + 1) '\000'
+
+(* Instruction fetch with decode caching. *)
+let fetch_timed t va =
+  if va land 3 <> 0 then trap ~badva:va Exc.adel;
+  let pa, cached = translate t va ~write:false ~fetch:true in
+  if not (phys_ok t pa 4) then trap ~badva:va Exc.adel;
+  if cached then begin
+    if not (Cache.read t.icache pa) then
+      t.cycles <- t.cycles + t.cfg.read_miss_penalty
+  end
+  else begin
+    t.c.uncached_ifetches <- t.c.uncached_ifetches + 1;
+    t.cycles <- t.cycles + t.cfg.uncached_penalty
+  end;
+  let w = pa lsr 2 in
+  if Bytes.get t.dec_valid w = '\001' then t.dec.(w)
+  else begin
+    let insn = Encode.decode ~pc:va (read_phys_u32 t pa) in
+    t.dec.(w) <- insn;
+    Bytes.set t.dec_valid w '\001';
+    insn
+  end
+
+(* ------------------------------------------------------------------ *)
+(* 32-bit arithmetic helpers                                           *)
+
+let u32 v = v land 0xFFFFFFFF
+let s32 v = let v = u32 v in if v >= 0x80000000 then v - 0x100000000 else v
+
+(* ------------------------------------------------------------------ *)
+(* Exception entry                                                     *)
+
+let enter_exception t ~code ~badva ~refill ~cur ~in_delay =
+  t.c.exceptions <- t.c.exceptions + 1;
+  if code = Exc.interrupt then t.c.interrupts <- t.c.interrupts + 1;
+  if code = Exc.syscall then t.c.syscalls <- t.c.syscalls + 1;
+  t.epc <- (if in_delay then cur - 4 else cur);
+  t.cause <-
+    (code lsl 2)
+    lor (if in_delay then 0x80000000 else 0)
+    lor (t.ip lsl 8 land 0xFF00);
+  if badva >= 0 then begin
+    t.badvaddr <- badva;
+    if code = Exc.tlbl || code = Exc.tlbs || code = Exc.tlb_mod then begin
+      t.entryhi <-
+        Tlb.make_entryhi ~vpn:(Addr.vpn badva) ~asid:(asid t);
+      t.context_badvpn <- Addr.vpn badva
+    end
+  end;
+  (* Push the KU/IE stack: old <- prev <- current <- (kernel, disabled). *)
+  t.status <- (t.status land lnot 0x3F) lor ((t.status lsl 2) land 0x3C);
+  let vector =
+    if refill && badva >= 0 && badva < Addr.kuseg_limit then Addr.utlb_vector
+    else Addr.general_vector
+  in
+  t.pc <- vector;
+  t.npc <- vector + 4;
+  t.next_is_delay <- false
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution                                               *)
+
+let reg_get t r = t.regs.(r)
+let reg_set t r v = if r <> 0 then t.regs.(r) <- u32 v
+
+let exec_alu t op rd rs rt =
+  let a = reg_get t rs and b = reg_get t rt in
+  let v =
+    match (op : Insn.alu) with
+    | ADD | ADDU -> a + b
+    | SUB | SUBU -> a - b
+    | AND -> a land b
+    | OR -> a lor b
+    | XOR -> a lxor b
+    | NOR -> lnot (a lor b)
+    | SLT -> if s32 a < s32 b then 1 else 0
+    | SLTU -> if a < b then 1 else 0
+    | SLLV -> a lsl (b land 31)
+    | SRLV -> a lsr (b land 31)
+    | SRAV -> s32 a asr (b land 31)
+    | MUL -> s32 a * s32 b
+    | MULH ->
+      Int64.to_int
+        (Int64.shift_right
+           (Int64.mul (Int64.of_int (s32 a)) (Int64.of_int (s32 b)))
+           32)
+    | DIV -> if s32 b = 0 then 0 else s32 a / s32 b
+    | REM -> if s32 b = 0 then 0 else Stdlib.Int.rem (s32 a) (s32 b)
+  in
+  reg_set t rd v
+
+let exec_alui t op rt rs imm =
+  let a = reg_get t rs in
+  let v =
+    match (op : Insn.alui) with
+    | ADDI | ADDIU -> a + imm
+    | SLTI -> if s32 a < imm then 1 else 0
+    | SLTIU -> if a < u32 imm then 1 else 0
+    | ANDI -> a land imm
+    | ORI -> a lor imm
+    | XORI -> a lxor imm
+  in
+  reg_set t rt v
+
+let cp0_read t (c : Insn.cp0) =
+  match c with
+  | C0_index -> t.index_reg
+  | C0_random -> Tlb.random_index ~cycle:t.cycles lsl 8
+  | C0_entrylo -> t.entrylo
+  | C0_context ->
+    (t.context_base land 0xFFE00000) lor ((t.context_badvpn lsl 2) land 0x1FFFFC)
+  | C0_badvaddr -> t.badvaddr
+  | C0_count -> t.cycles land 0xFFFFFFFF
+  | C0_entryhi -> t.entryhi
+  | C0_status -> t.status
+  | C0_cause -> (t.cause land lnot 0xFF00) lor ((t.ip lsl 8) land 0xFF00)
+  | C0_epc -> t.epc
+  | C0_prid -> 0x0230 (* R3000-ish *)
+
+let cp0_write t (c : Insn.cp0) v =
+  match c with
+  | C0_index -> t.index_reg <- v land 0x3F00
+  | C0_random -> ()
+  | C0_entrylo -> t.entrylo <- v
+  | C0_context -> t.context_base <- v land 0xFFE00000
+  | C0_badvaddr -> ()
+  | C0_count -> ()
+  | C0_entryhi -> t.entryhi <- v
+  | C0_status -> t.status <- v
+  | C0_cause -> t.cause <- v
+  | C0_epc -> t.epc <- v
+  | C0_prid -> ()
+
+let privileged t =
+  if user_mode t then trap Exc.reserved
+
+let exec t cur insn =
+  let target = function
+    | Insn.Abs a -> a
+    | Insn.Sym s -> failwith ("unresolved symbol at runtime: " ^ s)
+  in
+  let imm_value = function
+    | Insn.Imm n -> n
+    | Insn.Lo s | Insn.Hi s ->
+      failwith ("unresolved immediate at runtime: " ^ s)
+  in
+  let branch cond tgt =
+    t.next_is_delay <- true;
+    if cond then t.npc <- target tgt
+  in
+  match (insn : Insn.t) with
+  | Alu (op, rd, rs, rt) -> exec_alu t op rd rs rt
+  | Alui (op, rt, rs, imm) -> exec_alui t op rt rs (imm_value imm)
+  | Shift (op, rd, rt, sa) ->
+    let v = reg_get t rt in
+    reg_set t rd
+      (match op with
+      | SLL -> v lsl sa
+      | SRL -> v lsr sa
+      | SRA -> s32 v asr sa)
+  | Lui (rt, imm) -> reg_set t rt (imm_value imm lsl 16)
+  | Load (w, rt, base, off) ->
+    let va = u32 (reg_get t base + imm_value off) in
+    let v =
+      match w with
+      | W -> load_timed t va 4
+      | H ->
+        let v = load_timed t va 2 in
+        if v >= 0x8000 then v - 0x10000 else v
+      | HU -> load_timed t va 2
+      | B ->
+        let v = load_timed t va 1 in
+        if v >= 0x80 then v - 0x100 else v
+      | BU -> load_timed t va 1
+    in
+    ref_trace t 1 va;
+    reg_set t rt v
+  | Store (w, rt, base, off) ->
+    let va = u32 (reg_get t base + imm_value off) in
+    let bytes = match w with W -> 4 | H | HU -> 2 | B | BU -> 1 in
+    store_timed t va bytes (reg_get t rt);
+    ref_trace t 2 va
+  | Fload (ft, base, off) ->
+    let va = u32 (reg_get t base + imm_value off) in
+    let v = load_double_timed t va in
+    ref_trace t 1 va;
+    t.fregs.(ft) <- v;
+    Fpu.set_ready t.fpu ~now:t.cycles ft
+  | Fstore (ft, base, off) ->
+    let va = u32 (reg_get t base + imm_value off) in
+    t.cycles <- t.cycles + Fpu.wait_regs t.fpu ~now:t.cycles [ ft ];
+    store_double_timed t va t.fregs.(ft);
+    ref_trace t 2 va
+  | Beq (rs, rt, tg) -> branch (reg_get t rs = reg_get t rt) tg
+  | Bne (rs, rt, tg) -> branch (reg_get t rs <> reg_get t rt) tg
+  | Blez (rs, tg) -> branch (s32 (reg_get t rs) <= 0) tg
+  | Bgtz (rs, tg) -> branch (s32 (reg_get t rs) > 0) tg
+  | Bltz (rs, tg) -> branch (s32 (reg_get t rs) < 0) tg
+  | Bgez (rs, tg) -> branch (s32 (reg_get t rs) >= 0) tg
+  | J tg -> branch true tg
+  | Jal tg ->
+    reg_set t Reg.ra (cur + 8);
+    branch true tg
+  | Jr rs ->
+    t.next_is_delay <- true;
+    t.npc <- reg_get t rs
+  | Jalr (rd, rs) ->
+    let dest = reg_get t rs in
+    reg_set t rd (cur + 8);
+    t.next_is_delay <- true;
+    t.npc <- dest
+  | Syscall -> trap Exc.syscall
+  | Break _ -> trap Exc.breakpoint
+  | Mfc0 (rt, c) ->
+    privileged t;
+    reg_set t rt (cp0_read t c)
+  | Mtc0 (rt, c) ->
+    privileged t;
+    cp0_write t c (reg_get t rt)
+  | Tlbr ->
+    privileged t;
+    let hi, lo = Tlb.read t.tlb ((t.index_reg lsr 8) land 0x3F) in
+    t.entryhi <- hi;
+    t.entrylo <- lo
+  | Tlbwi ->
+    privileged t;
+    Tlb.write t.tlb ((t.index_reg lsr 8) land 0x3F) ~hi:t.entryhi ~lo:t.entrylo
+  | Tlbwr ->
+    privileged t;
+    Tlb.write t.tlb (Tlb.random_index ~cycle:t.cycles) ~hi:t.entryhi
+      ~lo:t.entrylo
+  | Tlbp ->
+    privileged t;
+    (match
+       Tlb.probe t.tlb ~vpn:(t.entryhi lsr 12) ~asid:((t.entryhi lsr 6) land 0x3F)
+     with
+    | Some k -> t.index_reg <- k lsl 8
+    | None -> t.index_reg <- 0x80000000)
+  | Rfe ->
+    privileged t;
+    t.status <- (t.status land lnot 0xF) lor ((t.status lsr 2) land 0xF)
+  | Mfc1 (rt, fs) ->
+    t.cycles <- t.cycles + Fpu.wait_regs t.fpu ~now:t.cycles [ fs ];
+    reg_set t rt (int_of_float t.fregs.(fs))
+  | Mtc1 (rt, fs) ->
+    t.fregs.(fs) <- float_of_int (s32 (reg_get t rt));
+    Fpu.set_ready t.fpu ~now:t.cycles fs
+  | Fop (op, fd, fs, ft) ->
+    let srcs = match op with FADD | FSUB | FMUL | FDIV -> [ fs; ft ] | _ -> [ fs ] in
+    t.cycles <- t.cycles + Fpu.wait_regs t.fpu ~now:t.cycles srcs;
+    t.cycles <- t.cycles + Fpu.issue t.fpu ~now:t.cycles ~op ~dst:fd;
+    let a = t.fregs.(fs) and b = t.fregs.(ft) in
+    t.fregs.(fd) <-
+      (match op with
+      | FADD -> a +. b
+      | FSUB -> a -. b
+      | FMUL -> a *. b
+      | FDIV -> a /. b
+      | FABS -> abs_float a
+      | FNEG -> -.a
+      | FMOV -> a
+      | CVTDW -> a
+      | TRUNCWD -> Float.of_int (int_of_float a))
+  | Fcmp (c, fs, ft) ->
+    t.cycles <- t.cycles + Fpu.wait_regs t.fpu ~now:t.cycles [ fs; ft ];
+    t.cycles <- t.cycles + Fpu.issue_compare t.fpu ~now:t.cycles;
+    let a = t.fregs.(fs) and b = t.fregs.(ft) in
+    t.fcc <- (match c with FEQ -> a = b | FLT -> a < b | FLE -> a <= b)
+  | Bc1t tg -> branch t.fcc tg
+  | Bc1f tg -> branch (not t.fcc) tg
+  | Cache (op, base, off) ->
+    privileged t;
+    let va = u32 (reg_get t base + imm_value off) in
+    let pa, _ = translate t va ~write:false ~fetch:false in
+    if op = 0 then Cache.invalidate t.icache pa
+    else Cache.invalidate t.dcache pa
+  | Hcall code -> (
+    privileged t;
+    match t.hcall_handler with
+    | Some f -> f t code
+    | None -> failwith (Printf.sprintf "hcall %d with no handler" code))
+
+(* ------------------------------------------------------------------ *)
+(* Stepping                                                            *)
+
+let interrupt_pending t =
+  t.status land 1 <> 0 && t.ip land ((t.status lsr 8) land 0xFF) <> 0
+
+let step t =
+  if t.halted then raise Halted;
+  poll_devices t;
+  if (not t.next_is_delay) && interrupt_pending t then
+    enter_exception t ~code:Exc.interrupt ~badva:(-1) ~refill:false ~cur:t.pc
+      ~in_delay:false
+  else begin
+    let cur = t.pc in
+    let in_delay = t.next_is_delay in
+    match fetch_timed t cur with
+    | insn ->
+      ref_trace t 0 cur;
+      t.next_is_delay <- false;
+      t.pc <- t.npc;
+      t.npc <- t.npc + 4;
+      (try
+         exec t cur insn;
+         t.cycles <- t.cycles + 1;
+         t.c.instructions <- t.c.instructions + 1;
+         if user_mode t then
+           t.c.user_instructions <- t.c.user_instructions + 1
+         else begin
+           t.c.kernel_instructions <- t.c.kernel_instructions + 1;
+           if cur >= t.idle_lo && cur < t.idle_hi then
+             t.c.idle_instructions <- t.c.idle_instructions + 1
+         end;
+         if t.cfg.count_exec then begin
+           (* Count by physical word so kernel and user text both work. *)
+           match translate t cur ~write:false ~fetch:true with
+           | pa, _ when pa lsr 2 < Array.length t.exec_counts ->
+             t.exec_counts.(pa lsr 2) <- t.exec_counts.(pa lsr 2) + 1
+           | _ -> ()
+           | exception Trap _ -> ()
+         end
+       with Trap { code; badva; refill } ->
+         (* The faulting instruction consumed a cycle. *)
+         t.cycles <- t.cycles + 1;
+         enter_exception t ~code ~badva ~refill ~cur ~in_delay)
+    | exception Trap { code; badva; refill } ->
+      t.cycles <- t.cycles + 1;
+      enter_exception t ~code ~badva ~refill ~cur ~in_delay
+  end
+
+type stop_reason = Halt | Limit
+
+let run t ~max_insns =
+  let start = t.c.instructions in
+  let rec go () =
+    if t.halted then Halt
+    else if t.c.instructions - start >= max_insns then Limit
+    else begin
+      step t;
+      go ()
+    end
+  in
+  go ()
+
+let halt t = t.halted <- true
+
+(* ------------------------------------------------------------------ *)
+(* Loading and inspection                                              *)
+
+(* Copy an executable into physical memory at [pa_of] applied to its
+   segment bases (identity for kernel images loaded via kseg0). *)
+let load_exe_phys t (exe : Exe.t) ~text_pa ~data_pa =
+  Array.iteri
+    (fun idx w -> write_phys_u32 t (text_pa + (idx * 4)) w)
+    exe.Exe.text;
+  write_phys_bytes t data_pa (Bytes.to_string exe.Exe.data)
+
+let console_contents t = Buffer.contents t.console
+
+let arith_stalls t = t.fpu.Fpu.arith_stalls
+let wb_stalls t = t.wb.Write_buffer.stall_cycles
+let icache_misses t = t.icache.Cache.misses
+let dcache_misses t = t.dcache.Cache.misses

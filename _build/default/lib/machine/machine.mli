@@ -1,0 +1,142 @@
+(** The simulated machine: CPU interpreter with branch delay slots, CP0,
+    TLB, caches, write buffer, FP latency model, and devices (console,
+    line clock, disk).
+
+    This is the "hardware" of the reproduction.  Its ground-truth event
+    counters play the role of the paper's direct measurements of the
+    uninstrumented DECstation.  Nothing here knows about tracing: traces
+    are generated purely by instrumented code running on the machine. *)
+
+open Systrace_isa
+
+exception Halted
+
+(** R3000 exception codes. *)
+module Exc : sig
+  val interrupt : int
+  val tlb_mod : int
+  val tlbl : int
+  val tlbs : int
+  val adel : int
+  val ades : int
+  val syscall : int
+  val breakpoint : int
+  val reserved : int
+end
+
+exception Trap of { code : int; badva : int; refill : bool }
+
+type config = {
+  mem_bytes : int;
+  icache_bytes : int;
+  icache_line : int;
+  dcache_bytes : int;
+  dcache_line : int;
+  read_miss_penalty : int;
+  uncached_penalty : int;
+  wb_depth : int;
+  wb_drain : int;
+  disk_blocks : int;
+  disk_seek : int;
+  disk_per_block : int;
+  count_exec : bool;  (** per-instruction-word execution counts (§4.3) *)
+}
+
+val default_config : config
+
+type counters = {
+  mutable instructions : int;
+  mutable user_instructions : int;
+  mutable kernel_instructions : int;
+  mutable idle_instructions : int;
+  mutable uncached_ifetches : int;
+  mutable uncached_reads : int;
+  mutable utlb_misses : int;
+  mutable ktlb_misses : int;
+  mutable tlb_invalid : int;
+  mutable tlb_mod : int;
+  mutable exceptions : int;
+  mutable interrupts : int;
+  mutable syscalls : int;
+  mutable clock_ticks : int;
+}
+
+type t = {
+  cfg : config;
+  mem : Bytes.t;
+  dec : Insn.t array;
+  dec_valid : Bytes.t;
+  regs : int array;
+  fregs : float array;
+  mutable fcc : bool;
+  mutable pc : int;
+  mutable npc : int;
+  mutable next_is_delay : bool;
+  mutable status : int;
+  mutable cause : int;
+  mutable epc : int;
+  mutable badvaddr : int;
+  mutable entryhi : int;
+  mutable entrylo : int;
+  mutable index_reg : int;
+  mutable context_base : int;
+  mutable context_badvpn : int;
+  tlb : Tlb.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  wb : Write_buffer.t;
+  fpu : Fpu.t;
+  disk : Disk.t;
+  mutable clock_interval : int;
+  mutable next_clock : int;
+  mutable ip : int;
+  mutable cycles : int;
+  mutable halted : bool;
+  console : Buffer.t;
+  c : counters;
+  mutable idle_lo : int;
+  mutable idle_hi : int;
+  mutable hcall_handler : (t -> int -> unit) option;
+  exec_counts : int array;
+  mutable watchpoint : (int -> int -> unit) option;
+  mutable ref_tracer : (int -> int -> unit) option;
+      (** Reference tracer: (kind, virtual address) for every instruction
+          fetch (0), load (1), store (2) — the "independently developed
+          CPU simulator" epoxie is validated against (§4.3). *)
+}
+
+val create : ?cfg:config -> unit -> t
+
+val user_mode : t -> bool
+val asid : t -> int
+
+(** {2 Physical memory access (host side too)} *)
+
+val read_phys_u32 : t -> int -> int
+val write_phys_u32 : t -> int -> int -> unit
+val read_phys_u16 : t -> int -> int
+val write_phys_u16 : t -> int -> int -> unit
+val read_phys_u8 : t -> int -> int
+val write_phys_u8 : t -> int -> int -> unit
+val write_phys_bytes : t -> int -> string -> unit
+val read_phys_bytes : t -> int -> int -> string
+
+(** {2 Execution} *)
+
+val step : t -> unit
+(** One instruction (or one exception entry).  Raises {!Halted} if the
+    machine was already halted. *)
+
+type stop_reason = Halt | Limit
+
+val run : t -> max_insns:int -> stop_reason
+val halt : t -> unit
+
+(** {2 Loading and inspection} *)
+
+val load_exe_phys : t -> Exe.t -> text_pa:int -> data_pa:int -> unit
+val console_contents : t -> string
+val arith_stalls : t -> int
+val wb_stalls : t -> int
+val icache_misses : t -> int
+val dcache_misses : t -> int

@@ -1,0 +1,125 @@
+(* Software-managed TLB, R3000 style.
+
+   64 entries, fully associative, random replacement via the [Random] CP0
+   register (a free-running counter cycling over 8..63, so entries 0..7 are
+   "wired" and safe for the kernel to pin with tlbwi).
+
+   EntryHi:  VPN[31:12] | ASID[11:6]
+   EntryLo:  PFN[31:12] | N[11] | D[10] | V[9] | G[8]
+
+   The trace-driven simulator in [Systrace_tracesim] has its own independent
+   TLB model; this one is the "hardware". *)
+
+type entry = {
+  mutable hi : int;  (* vpn lsl 12 | asid lsl 6 *)
+  mutable lo : int;  (* pfn lsl 12 | flags *)
+}
+
+type t = {
+  entries : entry array;
+  (* vpn -> entry indices, to avoid a 64-way scan per reference *)
+  index : (int, int list) Hashtbl.t;
+}
+
+let size = 64
+let wired = 8
+
+let entrylo_n = 0x800
+let entrylo_d = 0x400
+let entrylo_v = 0x200
+let entrylo_g = 0x100
+
+let make_entryhi ~vpn ~asid = (vpn lsl 12) lor (asid lsl 6)
+
+let make_entrylo ?(noncacheable = false) ?(dirty = true) ?(valid = true)
+    ?(global = false) ~pfn () =
+  (pfn lsl 12)
+  lor (if noncacheable then entrylo_n else 0)
+  lor (if dirty then entrylo_d else 0)
+  lor (if valid then entrylo_v else 0)
+  lor if global then entrylo_g else 0
+
+let hi_vpn hi = hi lsr 12
+let hi_asid hi = (hi lsr 6) land 0x3F
+let lo_pfn lo = (lo lsr 12) land 0xFFFFF
+let lo_valid lo = lo land entrylo_v <> 0
+let lo_dirty lo = lo land entrylo_d <> 0
+let lo_global lo = lo land entrylo_g <> 0
+let lo_noncacheable lo = lo land entrylo_n <> 0
+
+let create () =
+  {
+    entries = Array.init size (fun _ -> { hi = 0; lo = 0 });
+    index = Hashtbl.create 256;
+  }
+
+let reset t =
+  Array.iteri
+    (fun k e ->
+      (* Park each entry on a distinct impossible vpn so nothing matches. *)
+      e.hi <- make_entryhi ~vpn:(0xFFFFF - k) ~asid:0;
+      e.lo <- 0)
+    t.entries;
+  Hashtbl.reset t.index
+
+let index_remove t vpn k =
+  match Hashtbl.find_opt t.index vpn with
+  | None -> ()
+  | Some l -> (
+    match List.filter (fun x -> x <> k) l with
+    | [] -> Hashtbl.remove t.index vpn
+    | l' -> Hashtbl.replace t.index vpn l')
+
+let index_add t vpn k =
+  let l = Option.value ~default:[] (Hashtbl.find_opt t.index vpn) in
+  Hashtbl.replace t.index vpn (k :: l)
+
+(* Write entry [k] with the given hi/lo (tlbwi / tlbwr). *)
+let write t k ~hi ~lo =
+  if k < 0 || k >= size then invalid_arg "Tlb.write: index out of range";
+  let e = t.entries.(k) in
+  index_remove t (hi_vpn e.hi) k;
+  e.hi <- hi;
+  e.lo <- lo;
+  index_add t (hi_vpn hi) k
+
+let read t k =
+  if k < 0 || k >= size then invalid_arg "Tlb.read: index out of range";
+  let e = t.entries.(k) in
+  (e.hi, e.lo)
+
+(* Probe for a matching entry (tlbp): matches on vpn and (global or asid). *)
+let probe t ~vpn ~asid =
+  match Hashtbl.find_opt t.index vpn with
+  | None -> None
+  | Some l ->
+    List.find_opt
+      (fun k ->
+        let e = t.entries.(k) in
+        hi_vpn e.hi = vpn && (lo_global e.lo || hi_asid e.hi = asid))
+      l
+
+type lookup =
+  | Hit of { pfn : int; dirty : bool; noncacheable : bool }
+  | Miss          (* no matching entry: TLB refill *)
+  | Invalid       (* matching entry with V=0 *)
+  | Modified      (* store to a clean page *)
+
+let lookup t ~vpn ~asid ~write:w =
+  match probe t ~vpn ~asid with
+  | None -> Miss
+  | Some k ->
+    let e = t.entries.(k) in
+    if not (lo_valid e.lo) then Invalid
+    else if w && not (lo_dirty e.lo) then Modified
+    else
+      Hit
+        {
+          pfn = lo_pfn e.lo;
+          dirty = lo_dirty e.lo;
+          noncacheable = lo_noncacheable e.lo;
+        }
+
+(* The R3000 Random register: decrements every cycle, cycling over
+   [wired, size). *)
+let random_index ~cycle = wired + (cycle mod (size - wired))

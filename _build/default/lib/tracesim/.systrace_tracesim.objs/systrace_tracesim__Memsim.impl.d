@@ -1,0 +1,1 @@
+lib/tracesim/memsim.ml: Parser Sim_cache_assoc Sim_tlb Sim_wb Systrace_tracing

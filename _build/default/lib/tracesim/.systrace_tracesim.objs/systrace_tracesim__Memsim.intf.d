@@ -1,0 +1,1 @@
+lib/tracesim/memsim.mli: Systrace_tracing

@@ -1,0 +1,1 @@
+lib/tracesim/predict.ml: Format Memsim Systrace_tracing

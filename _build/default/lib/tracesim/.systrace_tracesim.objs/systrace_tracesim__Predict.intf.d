@@ -1,0 +1,1 @@
+lib/tracesim/predict.mli: Format Memsim Systrace_tracing

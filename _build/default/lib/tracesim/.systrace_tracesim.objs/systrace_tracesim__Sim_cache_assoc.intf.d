@@ -1,0 +1,1 @@
+lib/tracesim/sim_cache_assoc.mli:

@@ -1,0 +1,1 @@
+lib/tracesim/sim_tlb.mli:

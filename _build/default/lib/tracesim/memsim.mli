@@ -1,0 +1,59 @@
+(** Trace-driven memory-system simulator (paper §5).
+
+    Consumes the reconstructed reference stream from the trace parsing
+    library and drives independent cache/TLB/write-buffer models.  Caches
+    are physically indexed through the page map extracted from the running
+    system; UTLB misses synthesize the (untraced) refill handler's
+    references; the kernel's explicit TLB writes are invisible; and
+    write-buffer stalls never overlap with anything — the modelling gaps
+    behind Table 3 and Figure 3 are reproduced on purpose. *)
+
+type config = {
+  icache_bytes : int;
+  icache_line : int;
+  icache_ways : int;
+      (** associativity (LRU); 1 = the DECstation's direct-mapped caches *)
+  dcache_bytes : int;
+  dcache_line : int;
+  dcache_ways : int;
+  read_miss_penalty : int;
+  uncached_penalty : int;
+  wb_depth : int;
+  wb_drain : int;
+  pagemap : int -> int -> int option;
+      (** [pagemap pid va]: physical translation of a mapped address. *)
+  pt_base : int -> int;
+      (** kseg2 linear page-table base per pid (UTLB synthesis). *)
+  utlb_handler_insns : int;
+  ktlb_handler_insns : int;
+  tlb_entries : int;
+}
+
+type stats = {
+  mutable insts : int;
+  mutable datas : int;
+  mutable kernel_insts : int;
+  mutable user_insts : int;
+  mutable kernel_stall : int;
+  mutable user_stall : int;
+  mutable synth_insts : int;
+  mutable icache_misses : int;
+  mutable dcache_read_misses : int;
+  mutable uncached_reads : int;
+  mutable uncached_writes : int;
+  mutable wb_stalls : int;
+  mutable utlb_misses : int;
+  mutable ktlb_misses : int;
+  mutable unmapped : int;
+}
+
+type t
+
+val create : config -> t
+val stats : t -> stats
+
+val on_inst : t -> int -> int -> bool -> unit
+val on_data : t -> int -> int -> bool -> bool -> int -> unit
+
+val handlers : t -> Systrace_tracing.Parser.handlers
+(** Plug directly into the trace parser. *)

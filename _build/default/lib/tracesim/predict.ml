@@ -1,0 +1,68 @@
+(* Execution-time prediction from a software-collected trace (§5.1).
+
+   Predicted time is the sum of machine cycles from four sources, exactly
+   as in Table 2's caption:
+
+     - CPU cycles: one per instruction executed (trace instructions plus
+       the synthesized TLB handler instructions);
+     - memory system stalls: cache read-miss penalties, uncached accesses
+       and write-buffer stalls, from the trace-driven memory simulation;
+     - arithmetic stalls: estimated externally (pixie's role in the
+       paper), passed in by the caller, never overlapped;
+     - I/O stalls: estimated from idle-loop instruction counts in the
+       trace, scaled by the time-dilation factor (instrumented code runs
+       ~15x slower, so only 1/15th of the untraced idle instructions are
+       recorded — §5.1's worked example).
+
+   Exception entry/exit cycles are deliberately not modelled (a listed
+   error source), and neither is FP/write-buffer overlap. *)
+
+type breakdown = {
+  trace_insts : int;
+  synth_insts : int;
+  io_idle_extra : int;       (* additional idle instructions implied by dilation *)
+  icache_stall : int;
+  dcache_stall : int;
+  uncached_stall : int;
+  wb_stall : int;
+  arith_stall : int;
+  total_cycles : int;
+  seconds : float;
+}
+
+let clock_hz = 25_000_000.0 (* DECstation 5000/200: 25 MHz *)
+
+let make ~(mem : Memsim.stats) ~(parse : Systrace_tracing.Parser.stats)
+    ~arith_stalls ~dilation ~read_miss_penalty ~uncached_penalty =
+  let icache_stall = mem.Memsim.icache_misses * read_miss_penalty in
+  let dcache_stall = mem.Memsim.dcache_read_misses * read_miss_penalty in
+  let uncached_stall =
+    (mem.Memsim.uncached_reads + mem.Memsim.uncached_writes)
+    * uncached_penalty
+  in
+  let io_idle_extra = parse.Systrace_tracing.Parser.idle_insts * (dilation - 1) in
+  let total =
+    mem.Memsim.insts + mem.Memsim.synth_insts + io_idle_extra + icache_stall
+    + dcache_stall + uncached_stall + mem.Memsim.wb_stalls + arith_stalls
+  in
+  {
+    trace_insts = mem.Memsim.insts;
+    synth_insts = mem.Memsim.synth_insts;
+    io_idle_extra;
+    icache_stall;
+    dcache_stall;
+    uncached_stall;
+    wb_stall = mem.Memsim.wb_stalls;
+    arith_stall = arith_stalls;
+    total_cycles = total;
+    seconds = float_of_int total /. clock_hz;
+  }
+
+let pp fmt b =
+  Format.fprintf fmt
+    "@[<v>instructions: %d (+%d synthesized, +%d idle-scaled)@,\
+     icache stall: %d@,dcache stall: %d@,uncached stall: %d@,\
+     write-buffer stall: %d@,arithmetic stall: %d@,total cycles: %d \
+     (%.4f s)@]"
+    b.trace_insts b.synth_insts b.io_idle_extra b.icache_stall b.dcache_stall
+    b.uncached_stall b.wb_stall b.arith_stall b.total_cycles b.seconds

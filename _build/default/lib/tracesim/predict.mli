@@ -1,0 +1,31 @@
+(** Execution-time prediction from a software-collected trace (§5.1):
+    predicted cycles are the sum of four sources — CPU cycles, memory
+    system stalls, arithmetic stalls (estimated externally, pixie's role)
+    and I/O stalls from dilation-scaled idle-loop instruction counts. *)
+
+type breakdown = {
+  trace_insts : int;
+  synth_insts : int;
+  io_idle_extra : int;
+  icache_stall : int;
+  dcache_stall : int;
+  uncached_stall : int;
+  wb_stall : int;
+  arith_stall : int;
+  total_cycles : int;
+  seconds : float;
+}
+
+val clock_hz : float
+(** 25 MHz: the DECstation 5000/200. *)
+
+val make :
+  mem:Memsim.stats ->
+  parse:Systrace_tracing.Parser.stats ->
+  arith_stalls:int ->
+  dilation:int ->
+  read_miss_penalty:int ->
+  uncached_penalty:int ->
+  breakdown
+
+val pp : Format.formatter -> breakdown -> unit

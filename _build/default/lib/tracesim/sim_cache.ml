@@ -1,0 +1,66 @@
+(* Direct-mapped cache model for the trace-driven simulator.
+
+   Independently implemented from the machine's cache (Systrace_machine
+   .Cache): the paper validates epoxie traces against an independently
+   developed simulator, and keeping the implementations separate preserves
+   that cross-check.  This version keeps its tag store in a plain int
+   array indexed by line, with explicit -1 invalid tags, and counts read
+   and write accesses separately. *)
+
+type t = {
+  line_bytes : int;
+  nlines : int;
+  tags : int array;
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable write_hits : int;
+  mutable write_misses : int;
+}
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1)
+
+let create ~size_bytes ~line_bytes =
+  if size_bytes <= 0 || line_bytes <= 0 || size_bytes mod line_bytes <> 0 then
+    invalid_arg "Sim_cache.create";
+  { line_bytes;
+    nlines = size_bytes / line_bytes;
+    tags = Array.make (size_bytes / line_bytes) (-1);
+    read_hits = 0;
+    read_misses = 0;
+    write_hits = 0;
+    write_misses = 0 }
+
+let line_shift t = log2 t.line_bytes
+
+let read t pa =
+  let ln = pa lsr line_shift t in
+  let idx = ln mod t.nlines in
+  if t.tags.(idx) = ln then begin
+    t.read_hits <- t.read_hits + 1;
+    true
+  end
+  else begin
+    t.read_misses <- t.read_misses + 1;
+    t.tags.(idx) <- ln;
+    false
+  end
+
+(* Write-through, no write-allocate. *)
+let write t pa =
+  let ln = pa lsr line_shift t in
+  let idx = ln mod t.nlines in
+  if t.tags.(idx) = ln then begin
+    t.write_hits <- t.write_hits + 1;
+    true
+  end
+  else begin
+    t.write_misses <- t.write_misses + 1;
+    false
+  end
+
+let reset t =
+  Array.fill t.tags 0 t.nlines (-1);
+  t.read_hits <- 0;
+  t.read_misses <- 0;
+  t.write_hits <- 0;
+  t.write_misses <- 0

@@ -1,0 +1,23 @@
+(** Direct-mapped, physically-indexed cache model for the trace-driven
+    simulator — independently implemented from the machine's cache, as the
+    paper validates against an independently developed simulator. *)
+
+type t = {
+  line_bytes : int;
+  nlines : int;
+  tags : int array;
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable write_hits : int;
+  mutable write_misses : int;
+}
+
+val create : size_bytes:int -> line_bytes:int -> t
+
+val read : t -> int -> bool
+(** [true] on hit; misses fill the line. *)
+
+val write : t -> int -> bool
+(** Write-through, no write-allocate: state changes only on hit. *)
+
+val reset : t -> unit

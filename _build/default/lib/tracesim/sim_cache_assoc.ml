@@ -1,0 +1,143 @@
+(* Set-associative cache model for trace-replay studies.
+
+   The DECstation 5000/200 the paper traces has direct-mapped caches, and
+   the validation models ({!Sim_cache}) match it.  But the point of
+   collecting complete system traces was to drive studies of memory
+   systems *other* than the host's — the companion work ([7], Chen &
+   Bershad SOSP'93) replays these traces over associative organizations to
+   separate conflict from capacity misses.  This model supports those
+   studies: N-way set-associative, true-LRU replacement, the same
+   write-through/no-write-allocate policy as the host so that a 1-way
+   instance is reference-equal to {!Sim_cache} (a qcheck property in the
+   test suite holds them together).
+
+   LRU is tracked with a per-access monotonic stamp: sets are small (the
+   interesting design space is 1-8 ways) so a linear scan of the set is
+   both simplest and fastest here. *)
+
+(* Write policy: the DECstation (and the validation models) are
+   write-through/no-write-allocate; Write_back/write-allocate is the other
+   classic organization these traces were collected to study — stores
+   allocate and dirty the line, and the memory traffic is the dirty
+   evictions ([writebacks]) rather than every store. *)
+type policy = Write_through | Write_back
+
+type t = {
+  line_bytes : int;
+  ways : int;
+  nsets : int;
+  policy : policy;
+  tags : int array;   (* nsets * ways, -1 = invalid *)
+  stamps : int array; (* nsets * ways, last-use time *)
+  dirty : bool array; (* nsets * ways (write-back only) *)
+  mutable clock : int;
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable write_hits : int;
+  mutable write_misses : int;
+  mutable writebacks : int;
+}
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1)
+
+let create ?(policy = Write_through) ~size_bytes ~line_bytes ~ways () =
+  if
+    size_bytes <= 0 || line_bytes <= 0 || ways <= 0
+    || size_bytes mod (line_bytes * ways) <> 0
+  then invalid_arg "Sim_cache_assoc.create";
+  let nsets = size_bytes / (line_bytes * ways) in
+  {
+    line_bytes;
+    ways;
+    nsets;
+    policy;
+    tags = Array.make (nsets * ways) (-1);
+    stamps = Array.make (nsets * ways) 0;
+    dirty = Array.make (nsets * ways) false;
+    clock = 0;
+    read_hits = 0;
+    read_misses = 0;
+    write_hits = 0;
+    write_misses = 0;
+    writebacks = 0;
+  }
+
+let line_shift t = log2 t.line_bytes
+
+(* Scan the set for [ln]; returns the way index on hit, or the LRU way
+   negated-minus-one on miss (so callers distinguish without allocation). *)
+let probe t set ln =
+  let base = set * t.ways in
+  let hit = ref (-1) in
+  let lru = ref 0 in
+  let lru_stamp = ref max_int in
+  for w = 0 to t.ways - 1 do
+    if t.tags.(base + w) = ln then hit := w
+    else if t.stamps.(base + w) < !lru_stamp then begin
+      lru_stamp := t.stamps.(base + w);
+      lru := w
+    end
+  done;
+  if !hit >= 0 then !hit else -1 - !lru
+
+let touch t set w =
+  t.clock <- t.clock + 1;
+  t.stamps.((set * t.ways) + w) <- t.clock
+
+(* Replace the victim way with [ln]; a dirty victim is a writeback. *)
+let fill t set w ln =
+  let i = (set * t.ways) + w in
+  if t.dirty.(i) && t.tags.(i) >= 0 then begin
+    t.writebacks <- t.writebacks + 1;
+    t.dirty.(i) <- false
+  end;
+  t.tags.(i) <- ln
+
+let read t pa =
+  let ln = pa lsr line_shift t in
+  let set = ln mod t.nsets in
+  match probe t set ln with
+  | w when w >= 0 ->
+    t.read_hits <- t.read_hits + 1;
+    touch t set w;
+    true
+  | miss ->
+    let w = -1 - miss in
+    t.read_misses <- t.read_misses + 1;
+    fill t set w ln;
+    touch t set w;
+    false
+
+(* Write_through: no write-allocate, state changes only on hit — matching
+   the host machine and {!Sim_cache} so 1-way instances are equivalent.
+   Write_back: write-allocate; the line is dirtied and a dirty victim on
+   any later fill counts as a writeback. *)
+let write t pa =
+  let ln = pa lsr line_shift t in
+  let set = ln mod t.nsets in
+  match probe t set ln with
+  | w when w >= 0 ->
+    t.write_hits <- t.write_hits + 1;
+    touch t set w;
+    if t.policy = Write_back then t.dirty.((set * t.ways) + w) <- true;
+    true
+  | miss ->
+    t.write_misses <- t.write_misses + 1;
+    (if t.policy = Write_back then begin
+       let w = -1 - miss in
+       fill t set w ln;
+       touch t set w;
+       t.dirty.((set * t.ways) + w) <- true
+     end);
+    false
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  t.clock <- 0;
+  t.read_hits <- 0;
+  t.read_misses <- 0;
+  t.write_hits <- 0;
+  t.write_misses <- 0;
+  t.writebacks <- 0

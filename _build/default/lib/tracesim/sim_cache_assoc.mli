@@ -1,0 +1,42 @@
+(** N-way set-associative, true-LRU cache model for trace-replay studies —
+    the associativity and write-policy sweeps the system traces were
+    collected to enable (companion study [7]).  The default
+    [Write_through] policy matches the host machine, so a 1-way instance
+    behaves identically to {!Sim_cache} (held together by a qcheck
+    property); [Write_back] adds write-allocate and dirty-eviction
+    accounting. *)
+
+type policy =
+  | Write_through  (** no write-allocate; the DECstation's organization *)
+  | Write_back     (** write-allocate; dirty evictions count as
+                       [writebacks] *)
+
+type t = {
+  line_bytes : int;
+  ways : int;
+  nsets : int;
+  policy : policy;
+  tags : int array;
+  stamps : int array;
+  dirty : bool array;
+  mutable clock : int;
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable write_hits : int;
+  mutable write_misses : int;
+  mutable writebacks : int;  (** dirty lines evicted (write-back only) *)
+}
+
+val create :
+  ?policy:policy -> size_bytes:int -> line_bytes:int -> ways:int -> unit -> t
+(** [size_bytes] must be a multiple of [line_bytes * ways]. *)
+
+val read : t -> int -> bool
+(** [true] on hit; misses fill the LRU way of the set (writing back a
+    dirty victim under [Write_back]). *)
+
+val write : t -> int -> bool
+(** [true] on hit. [Write_through]: state changes only on hit.
+    [Write_back]: a miss allocates; hits and allocations dirty the line. *)
+
+val reset : t -> unit

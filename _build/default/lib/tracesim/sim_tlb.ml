@@ -1,0 +1,72 @@
+(* TLB model for the trace-driven simulator.
+
+   64 entries, fully associative, random replacement.  The replacement
+   index is driven by a reference counter rather than the machine's cycle
+   counter, so the simulated TLB's eviction decisions diverge from the
+   hardware's — one of the acknowledged sources of error in the paper's
+   Table 3 ("the TLB uses a random replacement policy; the miss rates
+   predicted by the simulator demonstrate a certain amount of error").
+
+   The simulator does not see the kernel's explicit TLB writes
+   (tlbdropin / tlb_map_random): "in the simulator, which does not know
+   about these writes, all TLB fills are caused by TLB misses" — the other
+   Table 3 error source, reproduced simply by not modelling them. *)
+
+type t = {
+  size : int;
+  wired : int;
+  vpns : int array;       (* vpn of each entry, -1 invalid *)
+  asids : int array;
+  globals : bool array;
+  mutable refcount : int;
+  mutable user_misses : int;
+  mutable kernel_misses : int;  (* kseg2 *)
+  mutable hits : int;
+}
+
+let create ?(size = 64) ?(wired = 8) () =
+  if size <= wired then invalid_arg "Sim_tlb.create: size <= wired";
+  {
+    size;
+    wired;
+    vpns = Array.make size (-1);
+    asids = Array.make size 0;
+    globals = Array.make size false;
+    refcount = 0;
+    user_misses = 0;
+    kernel_misses = 0;
+    hits = 0;
+  }
+
+let reset t =
+  Array.fill t.vpns 0 t.size (-1);
+  t.refcount <- 0;
+  t.user_misses <- 0;
+  t.kernel_misses <- 0;
+  t.hits <- 0
+
+let find t ~vpn ~asid =
+  let rec go i =
+    if i >= t.size then -1
+    else if t.vpns.(i) = vpn && (t.globals.(i) || t.asids.(i) = asid) then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Access a mapped address; refills on miss (the software handler always
+   refills exactly one entry). Returns [true] on hit. *)
+let access t ~vpn ~asid ~global ~user =
+  t.refcount <- t.refcount + 1;
+  if find t ~vpn ~asid >= 0 then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    if user then t.user_misses <- t.user_misses + 1
+    else t.kernel_misses <- t.kernel_misses + 1;
+    let slot = t.wired + (t.refcount mod (t.size - t.wired)) in
+    t.vpns.(slot) <- vpn;
+    t.asids.(slot) <- asid;
+    t.globals.(slot) <- global;
+    false
+  end

@@ -1,0 +1,49 @@
+(* Write-buffer model for the trace-driven simulator.
+
+   Deliberately simpler than the machine's: it advances its own local
+   clock by one cycle per reference and by the full penalty on every
+   stall, with no notion of overlap with floating-point latency.  The
+   missing overlap is exactly the modelling gap the paper identifies for
+   liv: "the prediction error is caused by the overlapping of write buffer
+   and floating point activity that is not modeled in the simulator". *)
+
+type t = {
+  depth : int;
+  drain_cycles : int;
+  mutable clock : int;            (* local reference clock *)
+  mutable retire : int list;      (* ascending retirement times *)
+  mutable stall_cycles : int;
+  mutable stores : int;
+}
+
+let create ?(depth = 4) ?(drain_cycles = 6) () =
+  { depth; drain_cycles; clock = 0; retire = []; stall_cycles = 0; stores = 0 }
+
+let reset t =
+  t.clock <- 0;
+  t.retire <- [];
+  t.stall_cycles <- 0;
+  t.stores <- 0
+
+(* Advance local time: every reference costs a cycle; read misses freeze
+   the CPU (and drain time passes). *)
+let tick t n = t.clock <- t.clock + n
+
+let store t =
+  t.stores <- t.stores + 1;
+  t.retire <- List.filter (fun r -> r > t.clock) t.retire;
+  let stall =
+    if List.length t.retire < t.depth then 0
+    else
+      match t.retire with
+      | oldest :: rest ->
+        let s = oldest - t.clock in
+        t.retire <- rest;
+        t.clock <- oldest;
+        s
+      | [] -> assert false
+  in
+  let last = match List.rev t.retire with l :: _ -> l | [] -> t.clock in
+  t.retire <- t.retire @ [ max t.clock last + t.drain_cycles ];
+  t.stall_cycles <- t.stall_cycles + stall;
+  stall

@@ -1,0 +1,21 @@
+(** Write-buffer model for the trace-driven simulator: deliberately
+    simpler than the machine's — no overlap with floating-point latency,
+    the gap behind liv's Figure 3 error. *)
+
+type t = {
+  depth : int;
+  drain_cycles : int;
+  mutable clock : int;
+  mutable retire : int list;
+  mutable stall_cycles : int;
+  mutable stores : int;
+}
+
+val create : ?depth:int -> ?drain_cycles:int -> unit -> t
+val reset : t -> unit
+
+val tick : t -> int -> unit
+(** Advance the local reference clock. *)
+
+val store : t -> int
+(** Issue a store; returns the stall charged (0 if a slot was free). *)

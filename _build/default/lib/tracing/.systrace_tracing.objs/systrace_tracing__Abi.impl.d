@@ -1,0 +1,1 @@
+lib/tracing/abi.ml: Reg Systrace_isa

@@ -1,0 +1,1 @@
+lib/tracing/compress.ml: Array Buffer Bytes Char Int32 Printf String

@@ -1,0 +1,1 @@
+lib/tracing/parser.ml: Array Bbtable Format_ Hashtbl List Printf

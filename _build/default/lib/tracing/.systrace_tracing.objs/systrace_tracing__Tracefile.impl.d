@@ -1,0 +1,1 @@
+lib/tracing/tracefile.ml: Array Bytes Compress Fun Int32 Printf String

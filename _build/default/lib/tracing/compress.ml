@@ -1,0 +1,279 @@
+(* Delta/varint compression of trace word streams.
+
+   The paper's trace volumes are the central engineering constraint: a
+   64 MB kernel buffer holds about two seconds of execution, and §3.5
+   justifies the one-word format because "it makes the trace more concise,
+   so the trace takes less space and less time to write".  When a trace
+   leaves the machine — the Tunix tapes of §3.4, or this repository's
+   `systrace dump` — the same pressure applies to the stored bytes.
+
+   The scheme here is the classic address-trace compressor in the PDATS
+   family (Johnson & Ha, 1994): consecutive trace words are highly
+   correlated — block records repeat around loops, data addresses walk
+   arrays in fixed strides, markers cluster — so we store the difference
+   from the previous word, zigzag-mapped to favour small magnitudes,
+   varint-encoded (7 bits per byte), with a run-length extension for
+   repeated deltas (a stride walking an array becomes a single token).
+
+   Token format, self-describing:
+     varint( zigzag(delta) * 2 + has_run )
+     if has_run: varint(extra)     -- the delta repeats [extra] more times
+
+   The format is lossless and order-preserving: [decode (encode w) = w]
+   for every word sequence, checked by a qcheck property and by a
+   roundtrip of a real captured trace in the test suite. *)
+
+(* Deltas are differences of 32-bit words, reduced to the signed 32-bit
+   range so that a wraparound (e.g. a marker in kseg1 followed by a low
+   user text address) still yields a small-ish magnitude. *)
+let mask32 = 0xFFFFFFFF
+
+let delta32 cur prev =
+  let d = (cur - prev) land mask32 in
+  if d land 0x80000000 <> 0 then d - 0x100000000 else d
+
+let zigzag d = if d < 0 then ((-d) lsl 1) - 1 else d lsl 1
+let unzigzag z = if z land 1 = 1 then -((z + 1) lsr 1) else z lsr 1
+
+let put_varint buf v =
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7F)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+exception Corrupt of string
+
+(* [get_varint s pos] returns (value, next position). *)
+let get_varint s pos =
+  let n = String.length s in
+  let rec go pos shift acc =
+    if pos >= n then raise (Corrupt "truncated varint");
+    if shift > 62 then raise (Corrupt "varint overflow");
+    let b = Char.code s.[pos] in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if acc < 0 then raise (Corrupt "varint overflow");
+    if b land 0x80 <> 0 then go (pos + 1) (shift + 7) acc else (acc, pos + 1)
+  in
+  go pos 0 0
+
+let encode (words : int array) : string =
+  let buf = Buffer.create (Array.length words) in
+  let n = Array.length words in
+  let prev = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let d = delta32 words.(!i) !prev in
+    (* count additional words continuing the same stride *)
+    let run = ref 0 in
+    let p = ref words.(!i) in
+    while
+      !i + !run + 1 < n && delta32 words.(!i + !run + 1) !p = d
+    do
+      incr run;
+      p := words.(!i + !run)
+    done;
+    if !run > 0 then begin
+      put_varint buf ((zigzag d lsl 1) lor 1);
+      put_varint buf !run
+    end
+    else put_varint buf (zigzag d lsl 1);
+    prev := !p;
+    i := !i + !run + 1
+  done;
+  Buffer.contents buf
+
+(* Without this bound a hostile run-length token could claim a
+   multi-billion-word run and exhaust memory before any structural check
+   fires; 2^26 words (256 MiB decoded) is beyond any real capture — the
+   paper's largest kernel buffer is 64 MB — and callers with a trusted
+   word count should pass [?expect], which bounds the decode exactly. *)
+let max_decoded_words = 1 lsl 26
+
+let decode ?expect (s : string) : int array =
+  let out = Buffer.create (String.length s * 4) in
+  let n = String.length s in
+  let prev = ref 0 in
+  let pos = ref 0 in
+  let emitted = ref 0 in
+  let limit = match expect with Some e -> e | None -> max_decoded_words in
+  let emit w =
+    Buffer.add_int32_le out (Int32.of_int w);
+    prev := w
+  in
+  while !pos < n do
+    let tok, p = get_varint s !pos in
+    let d = unzigzag (tok lsr 1) in
+    let extra, p =
+      if tok land 1 = 1 then get_varint s p else (0, p)
+    in
+    pos := p;
+    emitted := !emitted + extra + 1;
+    if !emitted > limit then
+      raise
+        (Corrupt
+           (Printf.sprintf "decoded stream exceeds %d words"
+              limit));
+    for _ = 0 to extra do
+      emit ((!prev + d) land mask32)
+    done
+  done;
+  let nwords = Buffer.length out / 4 in
+  (match expect with
+  | Some e when e <> nwords ->
+    raise (Corrupt (Printf.sprintf "decoded %d words, expected %d" nwords e))
+  | _ -> ());
+  let b = Buffer.to_bytes out in
+  Array.init nwords (fun i ->
+      Int32.to_int (Bytes.get_int32_le b (i * 4)) land mask32)
+
+(* ------------------------------------------------------------------ *)
+(* LZSS layer.
+
+   Delta/varint alone only exploits *constant* strides; the dominant
+   redundancy in a real system trace is repeating delta *sequences* —
+   every loop iteration emits the same few block-record deltas.  The
+   Mache compressor (Samples 1989) attacked exactly this by piping the
+   per-stream deltas through LZ, and the paper's community shipped its
+   Tunix tapes through compress(1).  This is that second stage: LZSS with
+   a 32KB window over the delta byte stream.
+
+   Wire format: groups of up to 8 items, each group led by a control byte
+   (bit i set = item i is a match).  A literal is one raw byte; a match is
+   a 2-byte little-endian back-distance (1..65535, <= bytes emitted) and a
+   1-byte length-minus-4 (matches span 4..259 bytes and may self-overlap,
+   RLE-style). *)
+
+let lz_min_match = 4
+let lz_max_match = 259
+let lz_max_dist = 65535
+let lz_hash_bits = 15
+
+let lz_hash s i =
+  (* 4-byte hash, FNV-ish *)
+  let b k = Char.code s.[i + k] in
+  let h = (b 0 * 0x9E3779B1) lxor (b 1 * 0x85EBCA77)
+          lxor (b 2 * 0xC2B2AE3D) lxor (b 3 * 0x27D4EB2F) in
+  (h lsr 7) land ((1 lsl lz_hash_bits) - 1)
+
+let lzss_pack (src : string) : string =
+  let n = String.length src in
+  let out = Buffer.create (n / 2) in
+  let head = Array.make (1 lsl lz_hash_bits) (-1) in
+  let chain = Array.make (max n 1) (-1) in
+  (* pending group: control bits + encoded items *)
+  let ctrl = ref 0 and nitems = ref 0 in
+  let items = Buffer.create 32 in
+  let flush_group () =
+    if !nitems > 0 then begin
+      Buffer.add_char out (Char.chr !ctrl);
+      Buffer.add_buffer out items;
+      Buffer.clear items;
+      ctrl := 0;
+      nitems := 0
+    end
+  in
+  let add_literal c =
+    Buffer.add_char items c;
+    incr nitems;
+    if !nitems = 8 then flush_group ()
+  in
+  let add_match dist len =
+    ctrl := !ctrl lor (1 lsl !nitems);
+    Buffer.add_char items (Char.chr (dist land 0xFF));
+    Buffer.add_char items (Char.chr (dist lsr 8));
+    Buffer.add_char items (Char.chr (len - lz_min_match));
+    incr nitems;
+    if !nitems = 8 then flush_group ()
+  in
+  let insert i = (* register position i in the hash chains *)
+    if i + lz_min_match <= n then begin
+      let h = lz_hash src i in
+      chain.(i) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let match_len i j =
+    (* longest common run of src[i..] and src[j..], capped *)
+    let lim = min lz_max_match (n - i) in
+    let k = ref 0 in
+    while !k < lim && src.[i + !k] = src.[j + !k] do incr k done;
+    !k
+  in
+  let i = ref 0 in
+  while !i < n do
+    let best_len = ref 0 and best_pos = ref (-1) in
+    if !i + lz_min_match <= n then begin
+      let cand = ref head.(lz_hash src !i) in
+      let tries = ref 64 in
+      while !cand >= 0 && !tries > 0 do
+        if !i - !cand <= lz_max_dist then begin
+          let l = match_len !i !cand in
+          if l > !best_len then begin
+            best_len := l;
+            best_pos := !cand
+          end
+        end;
+        cand := chain.(!cand);
+        decr tries
+      done
+    end;
+    if !best_len >= lz_min_match then begin
+      add_match (!i - !best_pos) !best_len;
+      for k = !i to !i + !best_len - 1 do insert k done;
+      i := !i + !best_len
+    end
+    else begin
+      add_literal src.[!i];
+      insert !i;
+      incr i
+    end
+  done;
+  flush_group ();
+  Buffer.contents out
+
+let lzss_unpack (src : string) : string =
+  let n = String.length src in
+  let out = Buffer.create (n * 3) in
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= n then raise (Corrupt "truncated LZSS stream");
+    let c = src.[!pos] in
+    incr pos;
+    c
+  in
+  while !pos < n do
+    let ctrl = Char.code (byte ()) in
+    let item = ref 0 in
+    while !item < 8 && !pos < n do
+      if ctrl land (1 lsl !item) <> 0 then begin
+        let lo = Char.code (byte ()) in
+        let hi = Char.code (byte ()) in
+        let len = Char.code (byte ()) + lz_min_match in
+        let dist = lo lor (hi lsl 8) in
+        let start = Buffer.length out - dist in
+        if dist = 0 || start < 0 then raise (Corrupt "bad LZSS distance");
+        (* may self-overlap: copy byte-at-a-time through the buffer *)
+        for k = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (start + k))
+        done
+      end
+      else Buffer.add_char out (byte ());
+      incr item
+    done
+  done;
+  Buffer.contents out
+
+(* ------------------------------------------------------------------ *)
+
+let pack (words : int array) : string = lzss_pack (encode words)
+
+let unpack ?expect (s : string) : int array =
+  decode ?expect (lzss_unpack s)
+
+let ratio (words : int array) : float =
+  if Array.length words = 0 then 1.0
+  else
+    float_of_int (String.length (pack words))
+    /. float_of_int (4 * Array.length words)

@@ -1,0 +1,47 @@
+(** Lossless delta/varint compression of trace word streams, in the PDATS
+    family of address-trace compressors: consecutive trace words are
+    highly correlated (blocks repeat around loops, data addresses walk
+    fixed strides), so each word is stored as a zigzag-varint delta from
+    its predecessor, with a run-length extension for repeated strides.
+
+    Used by {!Tracefile} (format version 2) and by the [dump -z] CLI
+    command; the [compression] bench experiment measures the density win
+    over the raw one-word format (paper §3.5: "the trace takes less space
+    and less time to write"). *)
+
+exception Corrupt of string
+(** Raised by {!decode} on malformed input (truncated or oversized
+    varints, word-count mismatch). *)
+
+val encode : int array -> string
+(** Delta/varint stage alone. Total; never raises. *)
+
+val decode : ?expect:int -> string -> int array
+(** Inverse of {!encode}: [decode (encode w) = w] for all [w].
+    [?expect] both checks the decoded word count and bounds the decode
+    exactly; without it, hostile run-length tokens are cut off at 2^26
+    words so corrupt input cannot exhaust memory (fuzzed in the test
+    suite).
+    @raise Corrupt on malformed input. *)
+
+val lzss_pack : string -> string
+(** LZSS stage alone (32KB window, 4..259-byte possibly-overlapping
+    matches): catches the repeating delta {e sequences} that loops emit,
+    which the delta stage's run-length extension cannot (Mache-style
+    second stage). Total; never raises. *)
+
+val lzss_unpack : string -> string
+(** Inverse of {!lzss_pack}.
+    @raise Corrupt on malformed input. *)
+
+val pack : int array -> string
+(** Both stages: [lzss_pack (encode words)] — the {!Tracefile} v2
+    payload. *)
+
+val unpack : ?expect:int -> string -> int array
+(** Inverse of {!pack}.
+    @raise Corrupt on malformed input. *)
+
+val ratio : int array -> float
+(** {!pack}ed bytes over raw bytes ([4 * length]); 1.0 for the empty
+    stream. *)

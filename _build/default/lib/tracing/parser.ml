@@ -1,0 +1,304 @@
+(* Trace parsing library.
+
+   Consumes the contents of the in-kernel trace buffer (streamed in chunks,
+   one per trace-analysis phase) and reconstructs the exact interleaved
+   instruction and data reference stream of the original, uninstrumented
+   binaries, using the static basic-block tables.
+
+   Sources and their framing:
+     - Kernel trace is written directly into the buffer.  Nested exceptions
+       can interrupt a kernel block mid-stream; the uninstrumented exception
+       stubs bracket the nested activity with EXC_ENTER/EXC_EXIT markers and
+       the parser keeps a stack of in-progress blocks (paper, section 3.3:
+       "the trace-analysis system must correctly handle situations when
+       arbitrary kernel activity is interrupted by an exception").
+     - User trace arrives in DRAIN blocks copied from per-process buffers
+       whenever the kernel is entered.  A process's block can be split
+       across drains (an exception can land between two memory references),
+       so per-pid parse state persists across drains.
+
+   Defensive tracing (paper, section 4.3): every block record must exist in
+   the static table of the right address space; data words must arrive
+   exactly where the static record promises memory references; violations
+   raise [Corrupt] with the offending word and position. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type handlers = {
+  on_inst : int -> int -> bool -> unit;
+  (* addr, pid, kernel *)
+  on_data : int -> int -> bool -> bool -> int -> unit;
+  (* addr, pid, kernel, is_load, bytes *)
+}
+
+let null_handlers = { on_inst = (fun _ _ _ -> ()); on_data = (fun _ _ _ _ _ -> ()) }
+
+type stats = {
+  mutable words : int;
+  mutable bb_records : int;
+  mutable markers : int;
+  mutable insts : int;
+  mutable user_insts : int;
+  mutable kernel_insts : int;
+  mutable datas : int;
+  mutable user_datas : int;
+  mutable kernel_datas : int;
+  mutable idle_insts : int;
+  mutable drains : int;
+  mutable pid_switches : int;
+  mutable exc_markers : int;
+  mutable max_exc_depth : int;
+  mutable mode_transitions : int;
+  mutable analysis_mode_words : int;  (* "dirt" indicator *)
+  mutable ended : bool;
+}
+
+let fresh_stats () =
+  {
+    words = 0;
+    bb_records = 0;
+    markers = 0;
+    insts = 0;
+    user_insts = 0;
+    kernel_insts = 0;
+    datas = 0;
+    user_datas = 0;
+    kernel_datas = 0;
+    idle_insts = 0;
+    drains = 0;
+    pid_switches = 0;
+    exc_markers = 0;
+    max_exc_depth = 0;
+    mode_transitions = 0;
+    analysis_mode_words = 0;
+    ended = false;
+  }
+
+(* Parse state of one trace source (the kernel at one exception-nesting
+   level, or one user process). *)
+type src = {
+  mutable entry : Bbtable.entry option;
+  mutable next_pos : int;      (* next instruction position to emit *)
+  mutable mem_idx : int;       (* next memory reference index *)
+}
+
+let fresh_src () = { entry = None; next_pos = 0; mem_idx = 0 }
+
+type t = {
+  kernel_bbs : Bbtable.t;
+  user_bbs : (int, Bbtable.t) Hashtbl.t;   (* pid -> table *)
+  mutable kernel_stack : src list;          (* innermost first *)
+  users : (int, src) Hashtbl.t;
+  mutable cur_pid : int;
+  mutable mode : int;
+  mutable h : handlers;
+  s : stats;
+  (* drain framing *)
+  mutable drain_pid : int;      (* -1 = not in a drain *)
+  mutable drain_left : int;     (* -2: expecting count word *)
+}
+
+let create ~kernel_bbs () =
+  {
+    kernel_bbs;
+    user_bbs = Hashtbl.create 8;
+    kernel_stack = [ fresh_src () ];
+    users = Hashtbl.create 8;
+    cur_pid = -1;
+    mode = 0;
+    h = null_handlers;
+    s = fresh_stats ();
+    drain_pid = -1;
+    drain_left = 0;
+  }
+
+let set_handlers t h = t.h <- h
+
+let register_pid t ~pid bbs = Hashtbl.replace t.user_bbs pid bbs
+
+let stats t = t.s
+
+(* ------------------------------------------------------------------ *)
+
+let emit_inst t ~kernel ~pid addr =
+  t.s.insts <- t.s.insts + 1;
+  if kernel then t.s.kernel_insts <- t.s.kernel_insts + 1
+  else t.s.user_insts <- t.s.user_insts + 1;
+  t.h.on_inst addr pid kernel
+
+let emit_data t ~kernel ~pid ~is_load ~bytes addr =
+  t.s.datas <- t.s.datas + 1;
+  if kernel then t.s.kernel_datas <- t.s.kernel_datas + 1
+  else t.s.user_datas <- t.s.user_datas + 1;
+  t.h.on_data addr pid kernel is_load bytes
+
+(* Emit instruction fetches of the current block up to and including
+   position [upto]. *)
+let emit_insts_upto t src ~kernel ~pid upto =
+  match src.entry with
+  | None -> ()
+  | Some e ->
+    while src.next_pos <= upto do
+      emit_inst t ~kernel ~pid (e.Bbtable.orig_addr + (src.next_pos * 4));
+      src.next_pos <- src.next_pos + 1
+    done
+
+(* If all memory references of the current block have been consumed, emit
+   its trailing instructions and close it. *)
+let maybe_finish_block t src ~kernel ~pid =
+  match src.entry with
+  | None -> ()
+  | Some e ->
+    if src.mem_idx >= Array.length e.Bbtable.mems then begin
+      emit_insts_upto t src ~kernel ~pid (e.Bbtable.ninsns - 1);
+      src.entry <- None
+    end
+
+let feed_bb_record t src ~kernel ~pid ~table ~idx w =
+  (match src.entry with
+  | Some e ->
+    corrupt
+      "word %d: block record 0x%x while block at 0x%x still expects %d data \
+       words"
+      idx w e.Bbtable.orig_addr
+      (Array.length e.Bbtable.mems - src.mem_idx)
+  | None -> ());
+  match Bbtable.find table w with
+  | None ->
+    corrupt "word %d: 0x%x is not a basic-block record of this address space"
+      idx w
+  | Some e ->
+    t.s.bb_records <- t.s.bb_records + 1;
+    if Bbtable.is_idle e then t.s.idle_insts <- t.s.idle_insts + e.Bbtable.ninsns;
+    src.entry <- Some e;
+    src.next_pos <- 0;
+    src.mem_idx <- 0;
+    maybe_finish_block t src ~kernel ~pid
+
+let feed_data_word t src ~kernel ~pid ~idx w =
+  match src.entry with
+  | None ->
+    corrupt "word %d: data address 0x%x with no open basic block" idx w
+  | Some e ->
+    let pos, bytes, is_load = e.Bbtable.mems.(src.mem_idx) in
+    emit_insts_upto t src ~kernel ~pid pos;
+    emit_data t ~kernel ~pid ~is_load ~bytes w;
+    src.mem_idx <- src.mem_idx + 1;
+    maybe_finish_block t src ~kernel ~pid
+
+(* A word belonging to the kernel's own stream. *)
+let feed_kernel_word t ~idx w =
+  let src = List.hd t.kernel_stack in
+  (* A kernel block record is a kseg0 text address present in the kernel
+     table; anything else is a data address.  A kernel data address could
+     in principle collide with a block-record address; the kernel table is
+     consulted only when no block is open, and blocks never reference their
+     own record addresses with loads in practice.  The expected-count check
+     still catches any residual ambiguity. *)
+  match src.entry with
+  | Some _ -> feed_data_word t src ~kernel:true ~pid:t.cur_pid ~idx w
+  | None -> feed_bb_record t src ~kernel:true ~pid:t.cur_pid ~table:t.kernel_bbs ~idx w
+
+let user_src t pid =
+  match Hashtbl.find_opt t.users pid with
+  | Some s -> s
+  | None ->
+    let s = fresh_src () in
+    Hashtbl.replace t.users pid s;
+    s
+
+let feed_user_word t ~idx w =
+  let pid = t.drain_pid in
+  let src = user_src t pid in
+  match src.entry with
+  | Some _ -> feed_data_word t src ~kernel:false ~pid ~idx w
+  | None -> (
+    match Hashtbl.find_opt t.user_bbs pid with
+    | None -> corrupt "word %d: drain for unregistered pid %d" idx pid
+    | Some table -> feed_bb_record t src ~kernel:false ~pid ~table ~idx w)
+
+let feed_marker t ~idx w =
+  t.s.markers <- t.s.markers + 1;
+  match Format_.decode_marker w with
+  | Format_.Pid_switch p ->
+    t.s.pid_switches <- t.s.pid_switches + 1;
+    t.cur_pid <- p
+  | Format_.Drain p ->
+    t.s.drains <- t.s.drains + 1;
+    t.drain_pid <- p;
+    t.drain_left <- -2 (* count word follows *)
+  | Format_.Exc_enter _ ->
+    t.s.exc_markers <- t.s.exc_markers + 1;
+    t.kernel_stack <- fresh_src () :: t.kernel_stack;
+    t.s.max_exc_depth <- max t.s.max_exc_depth (List.length t.kernel_stack - 1)
+  | Format_.Exc_exit -> (
+    t.s.exc_markers <- t.s.exc_markers + 1;
+    match t.kernel_stack with
+    | top :: (_ :: _ as rest) ->
+      (match top.entry with
+      | Some e ->
+        corrupt
+          "word %d: exception exit with kernel block 0x%x still open" idx
+          e.Bbtable.orig_addr
+      | None -> ());
+      t.kernel_stack <- rest
+    | _ -> corrupt "word %d: exception exit at depth 0" idx)
+  | Format_.Mode m ->
+    t.s.mode_transitions <- t.s.mode_transitions + 1;
+    t.mode <- m
+  | Format_.Trace_onoff _ -> ()
+  | Format_.Thread_switch _ -> ()
+  | Format_.End -> t.s.ended <- true
+
+let feed_word t ~idx w =
+  t.s.words <- t.s.words + 1;
+  if t.s.ended then corrupt "word %d: trace continues after END marker" idx;
+  if t.mode = 1 then t.s.analysis_mode_words <- t.s.analysis_mode_words + 1;
+  if t.drain_left = -2 then begin
+    (* The word after a DRAIN marker is the payload count. *)
+    if w < 0 || w > 1 lsl 24 then
+      corrupt "word %d: implausible drain count %d" idx w;
+    t.drain_left <- w
+  end
+  else if t.drain_left > 0 then begin
+    t.drain_left <- t.drain_left - 1;
+    if Format_.is_marker w then
+      corrupt "word %d: marker 0x%x inside a drain block" idx w;
+    if not (Format_.is_user_addr w) then
+      corrupt "word %d: kernel address 0x%x inside a user drain block" idx w;
+    feed_user_word t ~idx w;
+    if t.drain_left = 0 then t.drain_pid <- -1
+  end
+  else if Format_.is_marker w then feed_marker t ~idx w
+  else feed_kernel_word t ~idx w
+
+(* Feed a chunk of trace (one trace-analysis phase's worth). *)
+let feed t words ~len =
+  let base = t.s.words in
+  for k = 0 to len - 1 do
+    feed_word t ~idx:(base + k) words.(k)
+  done
+
+(* End-of-run checks: every source must have completed its last block.
+   Processes listed in [live] are allowed an incomplete block: a process
+   that never exits (e.g. a server blocked in receive) legitimately stops
+   mid-block when the machine halts. *)
+let finish ?(live = []) t =
+  (match t.kernel_stack with
+  | [ top ] -> (
+    match top.entry with
+    | Some e ->
+      corrupt "finish: kernel block 0x%x incomplete" e.Bbtable.orig_addr
+    | None -> ())
+  | stack ->
+    corrupt "finish: exception depth %d at end of trace"
+      (List.length stack - 1));
+  Hashtbl.iter
+    (fun pid src ->
+      match src.entry with
+      | Some e when not (List.mem pid live) ->
+        corrupt "finish: pid %d block 0x%x incomplete" pid e.Bbtable.orig_addr
+      | _ -> ())
+    t.users

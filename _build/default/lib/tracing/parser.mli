@@ -1,0 +1,69 @@
+(** Trace parsing library (paper §3.3, §4.3).
+
+    Consumes the in-kernel trace buffer (streamed in chunks, one per
+    trace-analysis phase) and reconstructs the exact interleaved
+    instruction and data reference stream of the original, uninstrumented
+    binaries, using the static basic-block tables.
+
+    Kernel trace is parsed with a stack of in-progress blocks so that
+    nested exceptions (bracketed by EXC markers) interleave correctly; user
+    trace arrives in DRAIN blocks and each process's parse state persists
+    across drains, so blocks split by an exception reassemble.
+
+    Defensive tracing: every block record must exist in the right address
+    space's table, and data words must arrive exactly where the static
+    record promises; violations raise {!Corrupt}. *)
+
+exception Corrupt of string
+
+type handlers = {
+  on_inst : int -> int -> bool -> unit;
+      (** [on_inst addr pid kernel]: one instruction fetch of the original
+          binary. *)
+  on_data : int -> int -> bool -> bool -> int -> unit;
+      (** [on_data addr pid kernel is_load bytes]. *)
+}
+
+val null_handlers : handlers
+
+type stats = {
+  mutable words : int;
+  mutable bb_records : int;
+  mutable markers : int;
+  mutable insts : int;
+  mutable user_insts : int;
+  mutable kernel_insts : int;
+  mutable datas : int;
+  mutable user_datas : int;
+  mutable kernel_datas : int;
+  mutable idle_insts : int;
+  mutable drains : int;
+  mutable pid_switches : int;
+  mutable exc_markers : int;
+  mutable max_exc_depth : int;
+  mutable mode_transitions : int;
+  mutable analysis_mode_words : int;
+  mutable ended : bool;
+}
+
+val fresh_stats : unit -> stats
+
+type t
+
+val create : kernel_bbs:Bbtable.t -> unit -> t
+
+val set_handlers : t -> handlers -> unit
+
+val register_pid : t -> pid:int -> Bbtable.t -> unit
+(** Register the block table for one process's binary. *)
+
+val stats : t -> stats
+
+val feed : t -> int array -> len:int -> unit
+(** Feed one chunk of trace words (raises {!Corrupt} on format
+    violations). *)
+
+val finish : ?live:int list -> t -> unit
+(** End-of-run check: every source must have completed its last block,
+    except processes in [live] (e.g. a server still blocked in receive
+    when the machine halted). *)

@@ -1,0 +1,76 @@
+(* On-disk trace files.
+
+   The Tunix system "produced a collection of single and multi-task
+   user-level traces on tape, which were made available to the community"
+   (paper §3.4).  This module is the tape: a captured in-kernel trace is
+   written to a host file and can be re-analyzed offline — against the
+   paper's design philosophy for LONG traces ("trace analysis that must be
+   done off-line against stored traces is unacceptable" for 64MB-a-phase
+   volumes), but exactly right for sharing and for replay studies.
+
+   Two formats behind one magic:
+     version 1: "STRC", version, word count, words as little-endian 32-bit
+     version 2: "STRC", version, word count, compressed byte count, then
+                the {!Compress} delta/varint stream
+   [load] dispatches on the version, so consumers never care which way a
+   trace was dumped. *)
+
+let magic = "STRC"
+
+exception Bad_file of string
+
+let save ?(compress = false) path (words : int array) =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      if compress then begin
+        let payload = Compress.pack words in
+        let hdr = Bytes.create 12 in
+        Bytes.set_int32_le hdr 0 2l;
+        Bytes.set_int32_le hdr 4 (Int32.of_int (Array.length words));
+        Bytes.set_int32_le hdr 8 (Int32.of_int (String.length payload));
+        output_bytes oc hdr;
+        output_string oc payload
+      end
+      else begin
+        let hdr = Bytes.create 8 in
+        Bytes.set_int32_le hdr 0 1l;
+        Bytes.set_int32_le hdr 4 (Int32.of_int (Array.length words));
+        output_bytes oc hdr;
+        let buf = Bytes.create (Array.length words * 4) in
+        Array.iteri
+          (fun i w -> Bytes.set_int32_le buf (i * 4) (Int32.of_int w))
+          words;
+        output_bytes oc buf
+      end)
+
+let load path : int array =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic 4 in
+      if m <> magic then raise (Bad_file (path ^ ": not a trace file"));
+      let hdr = Bytes.create 8 in
+      really_input ic hdr 0 8;
+      let v = Int32.to_int (Bytes.get_int32_le hdr 0) in
+      let n = Int32.to_int (Bytes.get_int32_le hdr 4) in
+      if n < 0 then raise (Bad_file (path ^ ": negative length"));
+      match v with
+      | 1 ->
+        let buf = Bytes.create (n * 4) in
+        really_input ic buf 0 (n * 4);
+        Array.init n (fun i ->
+            Int32.to_int (Bytes.get_int32_le buf (i * 4)) land 0xFFFFFFFF)
+      | 2 ->
+        let lenb = Bytes.create 4 in
+        really_input ic lenb 0 4;
+        let len = Int32.to_int (Bytes.get_int32_le lenb 0) in
+        if len < 0 then raise (Bad_file (path ^ ": negative payload"));
+        let payload = really_input_string ic len in
+        (try Compress.unpack ~expect:n payload
+         with Compress.Corrupt msg -> raise (Bad_file (path ^ ": " ^ msg)))
+      | v ->
+        raise (Bad_file (Printf.sprintf "%s: version %d unsupported" path v)))

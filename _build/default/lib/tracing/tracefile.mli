@@ -1,0 +1,15 @@
+(** On-disk trace files — the "traces on tape" of the paper's §3.4, for
+    sharing and offline replay studies.  Two wire formats: raw words
+    (version 1) and {!Compress} delta/varint (version 2); {!load}
+    dispatches on the stored version. *)
+
+exception Bad_file of string
+
+val save : ?compress:bool -> string -> int array -> unit
+(** Write a captured trace. [~compress:true] (default [false]) selects the
+    version-2 delta/varint format — typically 3-6x smaller on real system
+    traces. *)
+
+val load : string -> int array
+(** Read back either format.
+    @raise Bad_file on bad magic, version, or corrupt payload. *)

@@ -1,0 +1,67 @@
+(* Plain-text table rendering for the experiment harness.
+
+   The validation harness prints Tables 1-3 and the Figure 3 series in the
+   same row layout the paper uses; this module does the column alignment. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ~title ~headers ~aligns =
+  if List.length headers <> List.length aligns then
+    invalid_arg "Table.create: headers/aligns length mismatch";
+  { title; headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- cells :: t.rows
+
+let add_rule t =
+  (* Marker row rendered as a horizontal rule. *)
+  t.rows <- [] :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (fun r -> if r <> [] then measure r) rows;
+  let buf = Buffer.create 1024 in
+  let pad align w s =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let rule () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line cells =
+    List.iteri
+      (fun i c ->
+        let a = List.nth t.aligns i in
+        Buffer.add_string buf ("| " ^ pad a widths.(i) c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  if t.title <> "" then Buffer.add_string buf (t.title ^ "\n");
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter (fun r -> if r = [] then rule () else line r) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

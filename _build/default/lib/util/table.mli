@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the experiment harness output. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> headers:string list -> aligns:align list -> t
+val add_row : t -> string list -> unit
+
+val add_rule : t -> unit
+(** Insert a horizontal rule between row groups. *)
+
+val render : t -> string
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/validate/experiments.mli: Suite Systrace_util Systrace_workloads Table Validate

@@ -1,0 +1,1 @@
+lib/validate/validate.ml: Builder Kcfg List Memsim Option Parser Predict Printf Systrace_kernel Systrace_machine Systrace_tracesim Systrace_tracing Systrace_util Systrace_workloads

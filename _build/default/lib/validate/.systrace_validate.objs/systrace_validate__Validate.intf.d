@@ -1,0 +1,1 @@
+lib/validate/validate.mli: Builder Kcfg Memsim Parser Predict Systrace_kernel Systrace_machine Systrace_tracesim Systrace_tracing

@@ -1,0 +1,57 @@
+(** Regeneration of every table and figure of the paper's evaluation, plus
+    the design-choice ablations of DESIGN.md.  Each function prints the
+    rows/series the paper reports; the measured/predicted matrix is
+    computed once and shared between tables. *)
+
+open Systrace_util
+open Systrace_workloads
+
+val spec_of : Suite.entry -> Validate.spec
+
+type full_row = {
+  fname : string;
+  ultrix : Validate.row;
+  mach : Validate.row;
+}
+
+val run_matrix :
+  ?seed:int -> ?progress:(string -> unit) -> unit -> full_row list
+(** Every workload under both personalities, measured and predicted. *)
+
+val table1 : unit -> Table.t
+val table2 : full_row list -> Table.t
+val figure3 : full_row list -> Table.t
+val table3 : full_row list -> Table.t
+
+val expansion_table : unit -> Table.t
+(** §3.2: epoxie vs pixie text growth. *)
+
+val dilation_table : full_row list -> Table.t
+(** §4.1: instrumented instructions per original instruction. *)
+
+val kernel_cpi_table : full_row list -> Table.t
+(** §3.4: kernel vs user CPI from trace-driven simulation. *)
+
+val distortion_table : ?wnames:string list -> unit -> Table.t
+(** §4.1: machine-level event rates, untraced vs traced execution. *)
+
+val buffer_sweep_table : ?wname:string -> unit -> Table.t
+(** §4.3: in-kernel buffer size vs trace-analysis transitions. *)
+
+val pagemap_table : ?wname:string -> ?nseeds:int -> unit -> Table.t
+(** §4.2/§4.4: page-mapping policy sensitivity across seeds. *)
+
+val corruption_table : ?wname:string -> ?trials:int -> ?seed:int -> unit -> Table.t
+(** §4.3 fault injection: detection rate of single-word corruptions. *)
+
+val os_structure_table : full_row list -> Table.t
+(** System vs user share of memory activity under each OS structure. *)
+
+val figure2 : unit -> string
+(** Before/after disassembly of the paper's fopen example. *)
+
+val drain_ablation_table : ?wname:string -> unit -> Table.t
+(** DESIGN.md §5: drain-user-buffers-on-every-kernel-entry (the paper's
+    interleaving-preserving design) vs flush-only-when-full, with the
+    kernel counting the trace words each skipped drain lets kernel records
+    overtake, and the disorder's effect on a trace-driven simulation. *)

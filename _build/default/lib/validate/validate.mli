@@ -1,0 +1,78 @@
+(** The validation harness (paper §5): each workload runs twice on each
+    system — MEASURED (uninstrumented binaries, untraced kernel, the
+    machine's ground-truth counters standing in for the paper's
+    high-resolution timer and TLB-counting kernel) and PREDICTED (traced
+    system, with the collected trace driven through the memory-system
+    simulator and the four-component time model).  Comparing the two
+    reproduces Table 2, Figure 3 and Table 3. *)
+
+open Systrace_tracing
+open Systrace_kernel
+open Systrace_tracesim
+
+type os = Ultrix | Mach
+
+val os_name : os -> string
+
+type spec = {
+  wname : string;
+  files : Builder.file_spec list;
+  programs : Builder.program list;
+      (** excluding the UX server, which the harness adds under Mach *)
+}
+
+type measurement = {
+  m_cycles : int;
+  m_seconds : float;
+  m_utlb : int;
+  m_idle : int;
+  m_user_insts : int;
+  m_kernel_insts : int;
+  m_insts : int;
+  m_arith_ideal : int;
+      (** pixie-style arithmetic-stall estimate (ideal-memory run) *)
+  m_console : string;
+  m_disk_reads : int;
+  m_disk_writes : int;
+}
+
+type prediction = {
+  p_breakdown : Predict.breakdown;
+  p_utlb : int;
+  p_console : string;
+  p_parse : Parser.stats;
+  p_mem : Memsim.stats;
+  p_traced_insts : int;
+  p_tlbdropins : int;
+}
+
+val measure : ?pagemap:Kcfg.pagemap -> ?machine_cfg:Systrace_machine.Machine.config -> ?seed:int -> os -> spec -> measurement
+
+val measure_with :
+  machine_cfg:Systrace_machine.Machine.config ->
+  ?pagemap:Kcfg.pagemap ->
+  ?seed:int ->
+  os ->
+  spec ->
+  measurement
+
+val predict :
+  ?pagemap:Kcfg.pagemap -> ?seed:int -> ?arith_stalls:int -> os -> spec ->
+  prediction
+
+type row = {
+  r_name : string;
+  r_os : os;
+  r_measured : measurement;
+  r_predicted : prediction;
+}
+
+val run_workload : ?pagemap:Kcfg.pagemap -> ?seed:int -> os -> spec -> row
+(** Measured and predicted passes; fails if traced and untraced runs
+    disagree on program output. *)
+
+val percent_error : row -> float
+(** The Figure 3 quantity. *)
+
+val dilation : row -> float
+(** Instrumented instructions per original instruction (§4.1). *)

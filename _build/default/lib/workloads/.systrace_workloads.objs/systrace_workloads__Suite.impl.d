@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Builder List Systrace_kernel Wl_compress Wl_doduc Wl_egrep Wl_eqntott Wl_espresso Wl_fpppp Wl_gcc Wl_lisp Wl_liv Wl_sed Wl_tomcatv Wl_yacc

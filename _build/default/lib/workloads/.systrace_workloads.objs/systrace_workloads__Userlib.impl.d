@@ -1,0 +1,1 @@
+lib/workloads/userlib.ml: Abi Asm Insn Objfile Reg Systrace_isa Systrace_kernel Systrace_tracing

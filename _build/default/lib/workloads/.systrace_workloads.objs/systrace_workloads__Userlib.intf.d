@@ -1,0 +1,1 @@
+lib/workloads/userlib.mli: Systrace_isa

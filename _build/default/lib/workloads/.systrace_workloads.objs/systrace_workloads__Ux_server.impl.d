@@ -1,0 +1,1 @@
+lib/workloads/ux_server.ml: Abi Asm Bytes Fun Insn Kcfg List Objfile Reg String Systrace_isa Systrace_kernel Systrace_tracing

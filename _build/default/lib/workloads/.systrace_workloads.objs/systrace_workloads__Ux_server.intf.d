@@ -1,0 +1,1 @@
+lib/workloads/ux_server.mli: Systrace_isa

@@ -1,0 +1,1 @@
+lib/workloads/wl_compress.ml: Asm Buffer Builder Char Insn Reg Systrace_isa Systrace_kernel Userlib

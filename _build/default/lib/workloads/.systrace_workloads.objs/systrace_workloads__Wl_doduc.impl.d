@@ -1,0 +1,1 @@
+lib/workloads/wl_doduc.ml: Asm Builder Insn Reg Systrace_isa Systrace_kernel Userlib

@@ -1,0 +1,1 @@
+lib/workloads/wl_egrep.ml: Array Asm Builder Char Insn Reg String Systrace_isa Systrace_kernel Userlib

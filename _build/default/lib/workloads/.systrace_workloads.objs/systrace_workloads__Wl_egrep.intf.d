@@ -1,0 +1,1 @@
+lib/workloads/wl_egrep.mli: Systrace_kernel

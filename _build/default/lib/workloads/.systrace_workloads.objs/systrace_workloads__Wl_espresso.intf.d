@@ -1,0 +1,1 @@
+lib/workloads/wl_espresso.mli: Systrace_kernel

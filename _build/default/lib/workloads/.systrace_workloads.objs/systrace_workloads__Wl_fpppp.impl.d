@@ -1,0 +1,1 @@
+lib/workloads/wl_fpppp.ml: Asm Builder Reg Systrace_isa Systrace_kernel Userlib

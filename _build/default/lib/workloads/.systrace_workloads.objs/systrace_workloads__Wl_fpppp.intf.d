@@ -1,0 +1,1 @@
+lib/workloads/wl_fpppp.mli: Systrace_kernel

@@ -1,0 +1,1 @@
+lib/workloads/wl_gcc.ml: Asm Buffer Builder Insn Printf Reg Systrace_isa Systrace_kernel Userlib

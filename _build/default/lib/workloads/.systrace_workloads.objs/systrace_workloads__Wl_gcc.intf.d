@@ -1,0 +1,1 @@
+lib/workloads/wl_gcc.mli: Systrace_kernel

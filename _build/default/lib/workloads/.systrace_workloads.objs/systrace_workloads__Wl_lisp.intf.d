@@ -1,0 +1,1 @@
+lib/workloads/wl_lisp.mli: Systrace_kernel

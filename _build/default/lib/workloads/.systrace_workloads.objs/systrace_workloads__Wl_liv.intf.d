@@ -1,0 +1,1 @@
+lib/workloads/wl_liv.mli: Systrace_kernel

@@ -1,0 +1,1 @@
+lib/workloads/wl_yacc.ml: Asm Buffer Builder Char Insn Printf Reg Systrace_isa Systrace_kernel Userlib

@@ -1,0 +1,1 @@
+lib/workloads/wl_yacc.mli: Systrace_kernel

@@ -1,0 +1,92 @@
+(* The experimental workload suite: Table 1 of the paper, scaled ~100x
+   down so the full validation matrix simulates in minutes (DESIGN.md,
+   "Scale substitutions").  Each workload is an assembly program with the
+   characteristic behaviour of its original; run lengths keep the paper's
+   ordering (sed shortest ... tomcatv longest). *)
+
+open Systrace_kernel
+
+type entry = {
+  name : string;
+  description : string;
+  files : Builder.file_spec list;
+  program : unit -> Builder.program;
+}
+
+let all : entry list =
+  [
+    {
+      name = Wl_sed.name;
+      description = "stream editor run three times over the same input file";
+      files = Wl_sed.files;
+      program = Wl_sed.program;
+    };
+    {
+      name = Wl_egrep.name;
+      description = "DFA pattern search run three times over an input file";
+      files = Wl_egrep.files;
+      program = Wl_egrep.program;
+    };
+    {
+      name = Wl_yacc.name;
+      description = "LR parser-generator table construction on a grammar";
+      files = Wl_yacc.files;
+      program = Wl_yacc.program;
+    };
+    {
+      name = Wl_gcc.name;
+      description = "compiler front end: tokenize, build IR, sixteen passes";
+      files = Wl_gcc.files;
+      program = Wl_gcc.program;
+    };
+    {
+      name = Wl_compress.name;
+      description = "Lempel-Ziv compression of a file through a hash dictionary";
+      files = Wl_compress.files;
+      program = Wl_compress.program;
+    };
+    {
+      name = Wl_espresso.name;
+      description = "boolean minimization: cube containment fixpoint";
+      files = Wl_espresso.files;
+      program = Wl_espresso.program;
+    };
+    {
+      name = Wl_lisp.name;
+      description = "8-queens with cons cells and a free-list heap";
+      files = Wl_lisp.files;
+      program = Wl_lisp.program;
+    };
+    {
+      name = Wl_eqntott.name;
+      description = "boolean equations to truth tables: quicksort of minterms";
+      files = Wl_eqntott.files;
+      program = Wl_eqntott.program;
+    };
+    {
+      name = Wl_fpppp.name;
+      description = "quantum chemistry: huge straight-line FP basic blocks";
+      files = Wl_fpppp.files;
+      program = Wl_fpppp.program;
+    };
+    {
+      name = Wl_doduc.name;
+      description = "Monte-Carlo reactor simulation: branchy FP";
+      files = Wl_doduc.files;
+      program = Wl_doduc.program;
+    };
+    {
+      name = Wl_liv.name;
+      description = "Livermore loops: store-per-iteration FP kernels";
+      files = Wl_liv.files;
+      program = Wl_liv.program;
+    };
+    {
+      name = Wl_tomcatv.name;
+      description = "mesh generation: strided 2D relaxation sweeps";
+      files = Wl_tomcatv.files;
+      program = Wl_tomcatv.program;
+    };
+  ]
+
+let find name = List.find (fun e -> e.name = name) all

@@ -1,0 +1,17 @@
+(** The experimental workload suite (Table 1), scaled ~100x down.  Each
+    entry's program is an assembly implementation with the characteristic
+    memory/FP/IO behaviour of its original. *)
+
+open Systrace_kernel
+
+type entry = {
+  name : string;
+  description : string;
+  files : Builder.file_spec list;
+  program : unit -> Builder.program;
+}
+
+val all : entry list
+
+val find : string -> entry
+(** Raises [Not_found]. *)

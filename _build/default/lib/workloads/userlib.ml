@@ -1,0 +1,153 @@
+(* User-space runtime library ("mini libc") shared by all workloads.
+
+   Ordinary user code: it is instrumented along with the workloads, just
+   as the real system traced libc.  Provides system-call wrappers, memory
+   and string routines, decimal output, and a small LCG random generator.
+
+   Calling convention: standard (args a0-a3, result v0, t-registers
+   caller-saved). *)
+
+open Systrace_isa
+open Systrace_tracing
+
+let make () : Objfile.t =
+  let a = Asm.create "ulib" in
+  let open Asm in
+  let syscall_wrapper name number =
+    leaf a name (fun () ->
+        li a Reg.v0 number;
+        syscall a)
+  in
+  syscall_wrapper "u_exit" Abi.sys_exit;
+  syscall_wrapper "u_write" Abi.sys_write;
+  syscall_wrapper "u_read" Abi.sys_read;
+  syscall_wrapper "u_open" Abi.sys_open;
+  syscall_wrapper "u_sbrk" Abi.sys_sbrk;
+  syscall_wrapper "u_yield" Abi.sys_yield;
+  syscall_wrapper "u_gettime" Abi.sys_gettime;
+  syscall_wrapper "u_trace_ctl" Abi.sys_trace_ctl;
+  (* u_thread_create(fn, sp): Mach thread in the caller's task; the kernel
+     starts it at the _thread_start trampoline so the tracing registers
+     are set up before instrumented code runs. *)
+  leaf a "u_thread_create" (fun () ->
+      move a Reg.a2 Reg.a0;
+      move a Reg.a1 Reg.a1;
+      la a Reg.a0 "_thread_start";
+      li a Reg.v0 Systrace_kernel.Kcfg.sys_thread_create;
+      syscall a);
+  (* ---------------- memcpy(dst, src, n) ---------------- *)
+  leaf a "memcpy" (fun () ->
+      move a Reg.v0 Reg.a0;
+      (* word loop when everything is aligned *)
+      or_ a Reg.t0 Reg.a0 Reg.a1;
+      or_ a Reg.t0 Reg.t0 Reg.a2;
+      andi a Reg.t0 Reg.t0 3;
+      bnez a Reg.t0 "$mc_bytes";
+      addu a Reg.t1 Reg.a1 Reg.a2;       (* src end *)
+      label a "$mc_wloop";
+      beq a Reg.a1 Reg.t1 "$mc_done";
+      nop a;
+      lw a Reg.t2 0 Reg.a1;
+      sw a Reg.t2 0 Reg.a0;
+      addiu a Reg.a1 Reg.a1 4;
+      i a (Insn.J (Sym "$mc_wloop"));
+      addiu a Reg.a0 Reg.a0 4;
+      label a "$mc_bytes";
+      addu a Reg.t1 Reg.a1 Reg.a2;
+      label a "$mc_bloop";
+      beq a Reg.a1 Reg.t1 "$mc_done";
+      nop a;
+      lbu a Reg.t2 0 Reg.a1;
+      sb a Reg.t2 0 Reg.a0;
+      addiu a Reg.a1 Reg.a1 1;
+      i a (Insn.J (Sym "$mc_bloop"));
+      addiu a Reg.a0 Reg.a0 1;
+      label a "$mc_done";
+      nop a);
+  (* ---------------- memset(dst, byte, n) ---------------- *)
+  leaf a "memset" (fun () ->
+      move a Reg.v0 Reg.a0;
+      addu a Reg.t1 Reg.a0 Reg.a2;
+      label a "$ms_loop";
+      beq a Reg.a0 Reg.t1 "$ms_done";
+      nop a;
+      sb a Reg.a1 0 Reg.a0;
+      i a (Insn.J (Sym "$ms_loop"));
+      addiu a Reg.a0 Reg.a0 1;
+      label a "$ms_done";
+      nop a);
+  (* ---------------- strlen(s) ---------------- *)
+  leaf a "strlen" (fun () ->
+      li a Reg.v0 0;
+      label a "$sl_loop";
+      lbu a Reg.t0 0 Reg.a0;
+      beqz a Reg.t0 "$sl_done";
+      addiu a Reg.a0 Reg.a0 1;
+      i a (Insn.J (Sym "$sl_loop"));
+      addiu a Reg.v0 Reg.v0 1;
+      label a "$sl_done";
+      nop a);
+  (* ---------------- puts(s): write to fd 1 ---------------- *)
+  func a "puts" ~frame:8 ~saves:[ Reg.s0 ] (fun () ->
+      move a Reg.s0 Reg.a0;
+      jal a "strlen";
+      move a Reg.a2 Reg.v0;
+      move a Reg.a1 Reg.s0;
+      li a Reg.a0 1;
+      jal a "u_write");
+  (* ---------------- print_uint(v): decimal to fd 1 ---------------- *)
+  func a "print_uint" ~frame:24 ~saves:[] (fun () ->
+      (* build digits backwards on the stack *)
+      addiu a Reg.t0 Reg.sp 15;          (* cursor *)
+      sb a Reg.zero 0 Reg.t0;
+      move a Reg.t1 Reg.a0;
+      label a "$pu_loop";
+      li a Reg.t2 10;
+      rem_ a Reg.t3 Reg.t1 Reg.t2;
+      div_ a Reg.t1 Reg.t1 Reg.t2;
+      addiu a Reg.t3 Reg.t3 48;
+      addiu a Reg.t0 Reg.t0 (-1);
+      sb a Reg.t3 0 Reg.t0;
+      bnez a Reg.t1 "$pu_loop";
+      nop a;
+      (* write(1, t0, end-t0) *)
+      li a Reg.a0 1;
+      move a Reg.a1 Reg.t0;
+      addiu a Reg.t4 Reg.sp 15;
+      subu a Reg.a2 Reg.t4 Reg.t0;
+      jal a "u_write");
+  (* ---------------- u_write_all(fd, buf, len) ---------------- *)
+  func a "u_write_all" ~frame:8 ~saves:[ Reg.s0; Reg.s1; Reg.s2 ] (fun () ->
+      move a Reg.s0 Reg.a0;
+      move a Reg.s1 Reg.a1;
+      move a Reg.s2 Reg.a2;
+      label a "$wa_loop";
+      blez a Reg.s2 "$wa_done";
+      nop a;
+      move a Reg.a0 Reg.s0;
+      move a Reg.a1 Reg.s1;
+      move a Reg.a2 Reg.s2;
+      jal a "u_write";
+      blez a Reg.v0 "$wa_done";
+      nop a;
+      addu a Reg.s1 Reg.s1 Reg.v0;
+      i a (Insn.J (Sym "$wa_loop"));
+      subu a Reg.s2 Reg.s2 Reg.v0;
+      label a "$wa_done";
+      nop a);
+  (* ---------------- u_rand(): 31-bit LCG ---------------- *)
+  leaf a "u_rand" (fun () ->
+      la a Reg.t0 "$rand_state";
+      lw a Reg.t1 0 Reg.t0;
+      li a Reg.t2 1103515245;
+      mul a Reg.t1 Reg.t1 Reg.t2;
+      addiu a Reg.t1 Reg.t1 12345;
+      sw a Reg.t1 0 Reg.t0;
+      srl a Reg.v0 Reg.t1 1);
+  (* ---------------- u_srand(seed) ---------------- *)
+  leaf a "u_srand" (fun () ->
+      la a Reg.t0 "$rand_state";
+      sw a Reg.a0 0 Reg.t0);
+  dlabel a "$rand_state";
+  word a 12345;
+  to_obj a

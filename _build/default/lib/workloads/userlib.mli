@@ -1,0 +1,7 @@
+(** The mini C library every workload links against: system-call wrappers
+    (exit/read/write/open/sbrk/yield/gettime/thread_create), memcpy /
+    memset / strlen / puts / print_uint, a deterministic LCG [u_rand],
+    and [u_write_all].  All written in the assembler eDSL; instrumented
+    like any other user code. *)
+
+val make : unit -> Systrace_isa.Objfile.t

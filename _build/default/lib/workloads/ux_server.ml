@@ -1,0 +1,385 @@
+(* The Mach UX server: a user-level UNIX server in the spirit of CMU's
+   UX39 (paper, §3.6 traced "Mach 3.0 microkernel and UNIX server").
+
+   File system calls made by workload processes are forwarded by the
+   kernel as messages; this server implements open/read/write on top of
+   the kernel's raw block syscalls, with its own user-space block cache
+   and per-client descriptor tables.  All of its activity — cache lookups,
+   block copies, cross-address-space transfers — happens in user space
+   through mapped memory, which is why the Mach column of Table 3 shows
+   far more user TLB misses than Ultrix.
+
+   The server is an ordinary traced program: it is instrumented by epoxie
+   and gets its own per-process trace pages (allocated on first touch).
+
+   The file plan (name/start block/size) is baked in at build time by the
+   boot builder, which lays files out deterministically. *)
+
+open Systrace_isa
+open Systrace_tracing
+open Systrace_kernel
+
+let ncache = 16
+
+(* fd table: per client (max_procs) x per fd: {file id, pos} *)
+let fdt_stride = 8
+
+let make ~file_plan () : Objfile.t =
+  let a = Asm.create "uxserver" in
+  let open Asm in
+  (* -------------------------------------------------------------- *)
+  (* Syscall wrappers specific to the server                         *)
+  leaf a "sv_recv" (fun () ->
+      li a Reg.v0 Kcfg.sys_server_recv;
+      syscall a;
+      (* the kernel delivered the request in a0-a3 *)
+      la a Reg.t0 "$req";
+      sw a Reg.a0 0 Reg.t0;
+      sw a Reg.a1 4 Reg.t0;
+      sw a Reg.a2 8 Reg.t0;
+      sw a Reg.a3 12 Reg.t0);
+  leaf a "sv_reply" (fun () ->
+      li a Reg.v0 Kcfg.sys_server_reply;
+      syscall a);
+  leaf a "sv_disk_read" (fun () ->
+      li a Reg.v0 Kcfg.sys_disk_read;
+      syscall a);
+  leaf a "sv_disk_write" (fun () ->
+      li a Reg.v0 Kcfg.sys_disk_write;
+      syscall a);
+  leaf a "sv_copyout" (fun () ->
+      li a Reg.v0 20;
+      syscall a);
+  leaf a "sv_copyin" (fun () ->
+      li a Reg.v0 21;
+      syscall a);
+  (* -------------------------------------------------------------- *)
+  (* ensure_cached(a0 = disk block) -> v0 = cache page address        *)
+  func a "ensure_cached" ~frame:8 ~saves:[ Reg.s0; Reg.s1 ] (fun () ->
+      move a Reg.s0 Reg.a0;
+      la a Reg.t0 "$chdr";
+      li a Reg.t1 0;
+      label a "$ec_scan";
+      slti a Reg.t2 Reg.t1 ncache;
+      beqz a Reg.t2 "$ec_miss";
+      nop a;
+      lw a Reg.t3 0 Reg.t0;              (* cached block (-1 empty) *)
+      bne a Reg.t3 Reg.s0 "$ec_next";
+      nop a;
+      (* hit: v0 = pages + i*4096 *)
+      sll a Reg.t4 Reg.t1 12;
+      la a Reg.v0 "$cpages";
+      addu a Reg.v0 Reg.v0 Reg.t4;
+      j_ a "ensure_cached$epilogue";
+      label a "$ec_next";
+      addiu a Reg.t1 Reg.t1 1;
+      i a (Insn.J (Sym "$ec_scan"));
+      addiu a Reg.t0 Reg.t0 4;
+      label a "$ec_miss";
+      (* round-robin victim *)
+      la a Reg.t5 "$cnext";
+      lw a Reg.s1 0 Reg.t5;
+      addiu a Reg.t6 Reg.s1 1;
+      slti a Reg.t7 Reg.t6 ncache;
+      bnez a Reg.t7 "$ec_stor";
+      nop a;
+      li a Reg.t6 0;
+      label a "$ec_stor";
+      sw a Reg.t6 0 Reg.t5;
+      (* read the block into the victim page *)
+      sll a Reg.t4 Reg.s1 12;
+      la a Reg.a1 "$cpages";
+      addu a Reg.a1 Reg.a1 Reg.t4;
+      move a Reg.a0 Reg.s0;
+      jal a "sv_disk_read";
+      (* update the header *)
+      la a Reg.t0 "$chdr";
+      sll a Reg.t4 Reg.s1 2;
+      addu a Reg.t0 Reg.t0 Reg.t4;
+      sw a Reg.s0 0 Reg.t0;
+      sll a Reg.t4 Reg.s1 12;
+      la a Reg.v0 "$cpages";
+      addu a Reg.v0 Reg.v0 Reg.t4);
+  (* -------------------------------------------------------------- *)
+  (* file_lookup(a0 = name buffer) -> v0 = file index or -1           *)
+  func a "file_lookup" ~frame:8 ~saves:[ Reg.s0; Reg.s1 ] (fun () ->
+      move a Reg.s0 Reg.a0;
+      la a Reg.t0 "$ftab";
+      li a Reg.s1 0;
+      label a "$fl_scan";
+      slti a Reg.t1 Reg.s1 (List.length file_plan);
+      beqz a Reg.t1 "$fl_fail";
+      nop a;
+      (* compare 16 bytes *)
+      move a Reg.t2 Reg.s0;
+      move a Reg.t3 Reg.t0;
+      li a Reg.t4 16;
+      label a "$fl_cmp";
+      lbu a Reg.t5 0 Reg.t2;
+      lbu a Reg.t6 0 Reg.t3;
+      bne a Reg.t5 Reg.t6 "$fl_next";
+      nop a;
+      beqz a Reg.t5 "$fl_found";
+      addiu a Reg.t2 Reg.t2 1;
+      addiu a Reg.t4 Reg.t4 (-1);
+      i a (Insn.Bgtz (Reg.t4, Sym "$fl_cmp"));
+      addiu a Reg.t3 Reg.t3 1;
+      j_ a "$fl_found";
+      label a "$fl_next";
+      addiu a Reg.s1 Reg.s1 1;
+      la a Reg.t0 "$ftab";
+      sll a Reg.t1 Reg.s1 2;
+      addu a Reg.t1 Reg.t1 Reg.s1;       (* x5 *)
+      sll a Reg.t1 Reg.t1 2;             (* x20: entry = 20 bytes? no: *)
+      j_ a "$fl_scan0";
+      label a "$fl_found";
+      move a Reg.v0 Reg.s1;
+      j_ a "file_lookup$epilogue";
+      label a "$fl_fail";
+      li a Reg.v0 (-1);
+      j_ a "file_lookup$epilogue";
+      (* recompute t0 from index: entry stride 24 *)
+      label a "$fl_scan0";
+      la a Reg.t0 "$ftab";
+      sll a Reg.t1 Reg.s1 3;
+      addu a Reg.t0 Reg.t0 Reg.t1;
+      sll a Reg.t1 Reg.s1 4;
+      addu a Reg.t0 Reg.t0 Reg.t1;       (* + idx*24 *)
+      j_ a "$fl_scan");
+  (* -------------------------------------------------------------- *)
+  (* main server loop                                                *)
+  func a "main" ~frame:16 ~saves:[ Reg.s0; Reg.s1; Reg.s2; Reg.s3 ] (fun () ->
+      label a "$sv_loop";
+      jal a "sv_recv";
+      move a Reg.s0 Reg.v0;              (* client pid *)
+      la a Reg.t0 "$req";
+      lw a Reg.s1 0 Reg.t0;              (* syscall number *)
+      (* dispatch *)
+      addiu a Reg.t1 Reg.s1 (-Abi.sys_open);
+      beqz a Reg.t1 "$sv_open";
+      addiu a Reg.t1 Reg.s1 (-Abi.sys_read);
+      beqz a Reg.t1 "$sv_read";
+      addiu a Reg.t1 Reg.s1 (-Abi.sys_write);
+      beqz a Reg.t1 "$sv_write";
+      nop a;
+      (* unknown: reply -1 *)
+      move a Reg.a0 Reg.s0;
+      li a Reg.a1 (-1);
+      jal a "sv_reply";
+      j_ a "$sv_loop";
+      (* ---------------- open ---------------- *)
+      label a "$sv_open";
+      (* copy the path from the client *)
+      move a Reg.a0 Reg.s0;
+      la a Reg.t0 "$req";
+      lw a Reg.a1 4 Reg.t0;              (* client path pointer *)
+      la a Reg.a2 "$namebuf";
+      li a Reg.a3 16;
+      jal a "sv_copyin";
+      la a Reg.a0 "$namebuf";
+      jal a "file_lookup";
+      bltz a Reg.v0 "$sv_open_fail";
+      move a Reg.s1 Reg.v0;              (* file index *)
+      (* allocate a client fd *)
+      sll a Reg.t0 Reg.s0 6;             (* client * max_fds*8 *)
+      la a Reg.t1 "$fdtab";
+      addu a Reg.t1 Reg.t1 Reg.t0;
+      li a Reg.t2 0;
+      label a "$sv_ofd";
+      slti a Reg.t3 Reg.t2 Kcfg.max_fds;
+      beqz a Reg.t3 "$sv_open_fail";
+      nop a;
+      lw a Reg.t4 0 Reg.t1;
+      bltz a Reg.t4 "$sv_otake";
+      nop a;
+      addiu a Reg.t2 Reg.t2 1;
+      i a (Insn.J (Sym "$sv_ofd"));
+      addiu a Reg.t1 Reg.t1 fdt_stride;
+      label a "$sv_otake";
+      sw a Reg.s1 0 Reg.t1;
+      sw a Reg.zero 4 Reg.t1;
+      move a Reg.a0 Reg.s0;
+      addiu a Reg.a1 Reg.t2 3;           (* fd (console fds 0-2 reserved) *)
+      jal a "sv_reply";
+      j_ a "$sv_loop";
+      label a "$sv_open_fail";
+      move a Reg.a0 Reg.s0;
+      li a Reg.a1 (-1);
+      jal a "sv_reply";
+      j_ a "$sv_loop";
+      (* ---------------- read ---------------- *)
+      label a "$sv_read";
+      (* s1 = fd entry address; s2 = file entry; s3 = n *)
+      la a Reg.t0 "$req";
+      lw a Reg.t1 4 Reg.t0;              (* fd *)
+      addiu a Reg.t1 Reg.t1 (-3);
+      bltz a Reg.t1 "$sv_rfail";
+      nop a;
+      sll a Reg.t2 Reg.s0 6;
+      la a Reg.t3 "$fdtab";
+      addu a Reg.t3 Reg.t3 Reg.t2;
+      sll a Reg.t4 Reg.t1 3;
+      addu a Reg.s1 Reg.t3 Reg.t4;
+      lw a Reg.t5 0 Reg.s1;              (* file index *)
+      bltz a Reg.t5 "$sv_rfail";
+      nop a;
+      (* file entry = ftab + idx*24 + 16 (start/size words) *)
+      sll a Reg.t6 Reg.t5 3;
+      sll a Reg.t7 Reg.t5 4;
+      addu a Reg.t6 Reg.t6 Reg.t7;
+      la a Reg.t7 "$ftab";
+      addu a Reg.s2 Reg.t6 Reg.t7;
+      (* pos >= size -> EOF *)
+      lw a Reg.t0 4 Reg.s1;              (* pos *)
+      lw a Reg.t1 20 Reg.s2;             (* size *)
+      sltu a Reg.t2 Reg.t0 Reg.t1;
+      beqz a Reg.t2 "$sv_reof";
+      nop a;
+      (* block = start + pos>>12 *)
+      lw a Reg.t3 16 Reg.s2;             (* start block *)
+      srl a Reg.t4 Reg.t0 12;
+      addu a Reg.a0 Reg.t3 Reg.t4;
+      jal a "ensure_cached";
+      move a Reg.s3 Reg.v0;              (* page *)
+      (* n = min(len, 4096-off, size-pos) *)
+      lw a Reg.t0 4 Reg.s1;
+      andi a Reg.t1 Reg.t0 0xFFF;        (* off *)
+      addu a Reg.s3 Reg.s3 Reg.t1;       (* src = page + off *)
+      li a Reg.t2 4096;
+      subu a Reg.t2 Reg.t2 Reg.t1;
+      la a Reg.t3 "$req";
+      lw a Reg.t4 12 Reg.t3;             (* len *)
+      sltu a Reg.t5 Reg.t2 Reg.t4;
+      beqz a Reg.t5 "$sv_rn1";
+      nop a;
+      move a Reg.t4 Reg.t2;
+      label a "$sv_rn1";
+      lw a Reg.t6 20 Reg.s2;
+      subu a Reg.t6 Reg.t6 Reg.t0;
+      sltu a Reg.t5 Reg.t6 Reg.t4;
+      beqz a Reg.t5 "$sv_rn2";
+      nop a;
+      move a Reg.t4 Reg.t6;
+      label a "$sv_rn2";
+      (* copyout(client, ubuf, src, n) *)
+      move a Reg.a0 Reg.s0;
+      la a Reg.t3 "$req";
+      lw a Reg.a1 8 Reg.t3;              (* client buffer *)
+      move a Reg.a2 Reg.s3;
+      move a Reg.a3 Reg.t4;
+      sw a Reg.t4 0 Reg.sp;              (* spill n *)
+      jal a "sv_copyout";
+      lw a Reg.t4 0 Reg.sp;
+      (* pos += n *)
+      lw a Reg.t0 4 Reg.s1;
+      addu a Reg.t0 Reg.t0 Reg.t4;
+      sw a Reg.t0 4 Reg.s1;
+      move a Reg.a0 Reg.s0;
+      move a Reg.a1 Reg.t4;
+      jal a "sv_reply";
+      j_ a "$sv_loop";
+      label a "$sv_reof";
+      move a Reg.a0 Reg.s0;
+      li a Reg.a1 0;
+      jal a "sv_reply";
+      j_ a "$sv_loop";
+      label a "$sv_rfail";
+      move a Reg.a0 Reg.s0;
+      li a Reg.a1 (-1);
+      jal a "sv_reply";
+      j_ a "$sv_loop";
+      (* ---------------- write (write-behind into the cache) -------- *)
+      label a "$sv_write";
+      la a Reg.t0 "$req";
+      lw a Reg.t1 4 Reg.t0;
+      addiu a Reg.t1 Reg.t1 (-3);
+      bltz a Reg.t1 "$sv_rfail";
+      nop a;
+      sll a Reg.t2 Reg.s0 6;
+      la a Reg.t3 "$fdtab";
+      addu a Reg.t3 Reg.t3 Reg.t2;
+      sll a Reg.t4 Reg.t1 3;
+      addu a Reg.s1 Reg.t3 Reg.t4;
+      lw a Reg.t5 0 Reg.s1;
+      bltz a Reg.t5 "$sv_rfail";
+      nop a;
+      sll a Reg.t6 Reg.t5 3;
+      sll a Reg.t7 Reg.t5 4;
+      addu a Reg.t6 Reg.t6 Reg.t7;
+      la a Reg.t7 "$ftab";
+      addu a Reg.s2 Reg.t6 Reg.t7;
+      lw a Reg.t0 4 Reg.s1;
+      lw a Reg.t1 20 Reg.s2;
+      sltu a Reg.t2 Reg.t0 Reg.t1;
+      beqz a Reg.t2 "$sv_reof";
+      nop a;
+      lw a Reg.t3 16 Reg.s2;
+      srl a Reg.t4 Reg.t0 12;
+      addu a Reg.a0 Reg.t3 Reg.t4;
+      jal a "ensure_cached";
+      move a Reg.s3 Reg.v0;
+      lw a Reg.t0 4 Reg.s1;
+      andi a Reg.t1 Reg.t0 0xFFF;
+      addu a Reg.s3 Reg.s3 Reg.t1;       (* dst = page + off *)
+      li a Reg.t2 4096;
+      subu a Reg.t2 Reg.t2 Reg.t1;
+      la a Reg.t3 "$req";
+      lw a Reg.t4 12 Reg.t3;
+      sltu a Reg.t5 Reg.t2 Reg.t4;
+      beqz a Reg.t5 "$sv_wn1";
+      nop a;
+      move a Reg.t4 Reg.t2;
+      label a "$sv_wn1";
+      lw a Reg.t6 20 Reg.s2;
+      subu a Reg.t6 Reg.t6 Reg.t0;
+      sltu a Reg.t5 Reg.t6 Reg.t4;
+      beqz a Reg.t5 "$sv_wn2";
+      nop a;
+      move a Reg.t4 Reg.t6;
+      label a "$sv_wn2";
+      (* copyin(client, ubuf, dst, n) *)
+      move a Reg.a0 Reg.s0;
+      la a Reg.t3 "$req";
+      lw a Reg.a1 8 Reg.t3;
+      move a Reg.a2 Reg.s3;
+      move a Reg.a3 Reg.t4;
+      sw a Reg.t4 0 Reg.sp;
+      jal a "sv_copyin";
+      lw a Reg.t4 0 Reg.sp;
+      lw a Reg.t0 4 Reg.s1;
+      addu a Reg.t0 Reg.t0 Reg.t4;
+      sw a Reg.t0 4 Reg.s1;
+      move a Reg.a0 Reg.s0;
+      move a Reg.a1 Reg.t4;
+      jal a "sv_reply";
+      j_ a "$sv_loop");
+  (* -------------------------------------------------------------- *)
+  (* Data                                                            *)
+  dlabel a "$req";
+  space a 16;
+  dlabel a "$namebuf";
+  space a 16;
+  dlabel a "$cnext";
+  word a 0;
+  dlabel a "$chdr";
+  List.iter (fun _ -> word a 0xFFFFFFFF) (List.init ncache Fun.id);
+  dlabel a "$fdtab";
+  (* file id -1, pos 0, per client x fd *)
+  for _ = 1 to Kcfg.max_procs * Kcfg.max_fds do
+    word a 0xFFFFFFFF;
+    word a 0
+  done;
+  (* file table: name16 | start | size, like the kernel's *)
+  dlabel a "$ftab";
+  List.iter
+    (fun (name, start, size) ->
+      let b = Bytes.make 16 '\000' in
+      String.iteri (fun i c -> if i < 15 then Bytes.set b i c) name;
+      bytes a (Bytes.to_string b);
+      word a start;
+      word a size)
+    file_plan;
+  align a 4096;
+  dlabel a "$cpages";
+  space a (ncache * 4096);
+  to_obj a

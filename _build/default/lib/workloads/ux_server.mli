@@ -1,0 +1,11 @@
+(** The Mach UX file server (paper §3.6): a user-level process receiving
+    open/read/write messages through the kernel's message path, serving
+    them from its own 16-page block cache backed by raw disk I/O, with
+    write-behind (asynchronous from the client's point of view) —
+    the structural contrast to Ultrix's in-kernel synchronous path that
+    Table 3 and the os_structure experiment measure. *)
+
+val make :
+  file_plan:(string * int * int) list -> unit -> Systrace_isa.Objfile.t
+(** [file_plan] gives (name, start block, byte size) for every file the
+    booted system carries, from {!Systrace_kernel.Builder.file_plan}. *)

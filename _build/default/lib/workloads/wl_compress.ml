@@ -1,0 +1,243 @@
+(* compress: "data compression using Lempel-Ziv encoding; a file is
+   compressed then uncompressed".
+
+   LZW with a 4096-entry chained hash dictionary mapping (prefix code,
+   next byte) to a new code.  The dictionary and its hash heads are the
+   largest data structure of the byte-stream workloads, and the input is
+   read sequentially block by block — making this the workload whose
+   timing depends on disk read-ahead, the cause of its Figure 3 error.
+   The 16-bit code stream is written to an output file; a checksum of the
+   codes is printed. *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "compress"
+
+let input =
+  let b = Buffer.create 12288 in
+  let r = ref 99 in
+  for i = 0 to 12287 do
+    r := ((!r * 1103515245) + 12345) land 0x7FFFFFFF;
+    let c =
+      if i land 15 < 9 then Char.chr (97 + (!r mod 6))
+      else Char.chr (32 + (!r mod 64))
+    in
+    Buffer.add_char b c
+  done;
+  Buffer.contents b
+
+let files =
+  [
+    { Builder.fname = "comp.in"; data = input; writable_bytes = 0 };
+    { Builder.fname = "comp.out"; data = ""; writable_bytes = 32768 };
+  ]
+
+let program () : Builder.program =
+  let a = Asm.create "compress" in
+  let open Asm in
+  func a "main" ~frame:16
+    ~saves:[ Reg.s0; Reg.s1; Reg.s2; Reg.s3; Reg.s4; Reg.s5 ] (fun () ->
+      la a Reg.a0 "$fin";
+      jal a "u_open";
+      move a Reg.s0 Reg.v0;
+      li a Reg.s4 256;                      (* next dictionary code *)
+      li a Reg.s2 (-1);                     (* current prefix code *)
+      li a Reg.s5 0;                        (* checksum of emitted codes *)
+      label a "$chunk";
+      move a Reg.a0 Reg.s0;
+      la a Reg.a1 "$buf";
+      li a Reg.a2 1024;
+      jal a "u_read";
+      blez a Reg.v0 "$flush";
+      la a Reg.s1 "$buf";
+      addu a Reg.s3 Reg.s1 Reg.v0;
+      label a "$byte";
+      beq a Reg.s1 Reg.s3 "$chunk";
+      nop a;
+      lbu a Reg.t0 0 Reg.s1;
+      addiu a Reg.s1 Reg.s1 1;
+      bgez a Reg.s2 "$havepfx";
+      nop a;
+      move a Reg.s2 Reg.t0;
+      j_ a "$byte";
+      label a "$havepfx";
+      (* probe the chained hash for key = prefix | byte<<16 *)
+      sll a Reg.t1 Reg.s2 4;
+      xor_ a Reg.t1 Reg.t1 Reg.t0;
+      andi a Reg.t1 Reg.t1 4095;
+      sll a Reg.t2 Reg.t1 2;
+      la a Reg.t3 "$hash_head";
+      addu a Reg.t3 Reg.t3 Reg.t2;
+      lw a Reg.t4 0 Reg.t3;                 (* entry index (0 = none) *)
+      label a "$probe";
+      beqz a Reg.t4 "$miss";
+      nop a;
+      sll a Reg.t5 Reg.t4 3;
+      sll a Reg.t6 Reg.t4 2;
+      addu a Reg.t5 Reg.t5 Reg.t6;          (* idx * 12 *)
+      la a Reg.t6 "$entries";
+      addu a Reg.t5 Reg.t5 Reg.t6;
+      lw a Reg.t6 0 Reg.t5;                 (* key *)
+      sll a Reg.t7 Reg.t0 16;
+      or_ a Reg.t7 Reg.t7 Reg.s2;
+      bne a Reg.t6 Reg.t7 "$chainstep";
+      nop a;
+      lw a Reg.s2 4 Reg.t5;                 (* hit: follow the code *)
+      j_ a "$byte";
+      label a "$chainstep";
+      lw a Reg.t4 8 Reg.t5;
+      j_ a "$probe";
+      label a "$miss";
+      jal a "$emit_code";
+      (* insert (prefix, byte) -> next code while the dictionary has room *)
+      slti a Reg.t1 Reg.s4 4096;
+      beqz a Reg.t1 "$noinsert";
+      nop a;
+      sll a Reg.t5 Reg.s4 3;
+      sll a Reg.t6 Reg.s4 2;
+      addu a Reg.t5 Reg.t5 Reg.t6;
+      la a Reg.t6 "$entries";
+      addu a Reg.t5 Reg.t5 Reg.t6;
+      sll a Reg.t7 Reg.t0 16;
+      or_ a Reg.t7 Reg.t7 Reg.s2;
+      sw a Reg.t7 0 Reg.t5;
+      sw a Reg.s4 4 Reg.t5;
+      sll a Reg.t1 Reg.s2 4;
+      xor_ a Reg.t1 Reg.t1 Reg.t0;
+      andi a Reg.t1 Reg.t1 4095;
+      sll a Reg.t2 Reg.t1 2;
+      la a Reg.t3 "$hash_head";
+      addu a Reg.t3 Reg.t3 Reg.t2;
+      lw a Reg.t6 0 Reg.t3;
+      sw a Reg.t6 8 Reg.t5;
+      sw a Reg.s4 0 Reg.t3;
+      addiu a Reg.s4 Reg.s4 1;
+      label a "$noinsert";
+      move a Reg.s2 Reg.t0;
+      j_ a "$byte";
+      label a "$flush";
+      bltz a Reg.s2 "$wout";
+      nop a;
+      jal a "$emit_code";
+      label a "$wout";
+      (* write the code stream to the output file *)
+      la a Reg.a0 "$fout";
+      jal a "u_open";
+      move a Reg.a0 Reg.v0;
+      la a Reg.a1 "$outbuf";
+      la a Reg.a2 "$outlen";
+      lw a Reg.a2 0 Reg.a2;
+      jal a "u_write_all";
+      (* ---- decompression pass ("a file is compressed then
+         uncompressed"): re-read the input computing (byte sum, count),
+         then expand every emitted code by walking the dictionary's
+         prefix chains, and verify the two agree.  The decoder shares the
+         encoder's completed dictionary, which also resolves the classic
+         KwKwK case. ---- *)
+      (* s0 = input byte sum, s1 = input byte count *)
+      li a Reg.s0 0;
+      li a Reg.s1 0;
+      la a Reg.a0 "$fin";
+      jal a "u_open";
+      move a Reg.s2 Reg.v0;
+      label a "$vchunk";
+      move a Reg.a0 Reg.s2;
+      la a Reg.a1 "$buf";
+      li a Reg.a2 1024;
+      jal a "u_read";
+      blez a Reg.v0 "$vdone";
+      nop a;
+      la a Reg.t0 "$buf";
+      addu a Reg.t1 Reg.t0 Reg.v0;
+      label a "$vsum";
+      beq a Reg.t0 Reg.t1 "$vchunk";
+      nop a;
+      lbu a Reg.t2 0 Reg.t0;
+      addu a Reg.s0 Reg.s0 Reg.t2;
+      addiu a Reg.s1 Reg.s1 1;
+      i a (Insn.J (Sym "$vsum"));
+      addiu a Reg.t0 Reg.t0 1;
+      label a "$vdone";
+      (* s3 = decoded byte sum, s4 = decoded byte count *)
+      li a Reg.s3 0;
+      li a Reg.s4 0;
+      la a Reg.t0 "$outbuf";
+      la a Reg.t1 "$outlen";
+      lw a Reg.t1 0 Reg.t1;
+      addu a Reg.t1 Reg.t0 Reg.t1;       (* end of code stream *)
+      label a "$dcode";
+      sltu a Reg.t2 Reg.t0 Reg.t1;
+      beqz a Reg.t2 "$dverify";
+      nop a;
+      lhu a Reg.t3 0 Reg.t0;             (* code *)
+      addiu a Reg.t0 Reg.t0 2;
+      (* walk the prefix chain: codes >= 256 decompose via the dictionary *)
+      label a "$dwalk";
+      slti a Reg.t4 Reg.t3 256;
+      bnez a Reg.t4 "$droot";
+      nop a;
+      (* entry t3: key = prefix | byte<<16 at entries + t3*12 *)
+      sll a Reg.t5 Reg.t3 3;
+      sll a Reg.t6 Reg.t3 2;
+      addu a Reg.t5 Reg.t5 Reg.t6;
+      la a Reg.t6 "$entries";
+      addu a Reg.t5 Reg.t5 Reg.t6;
+      lw a Reg.t6 0 Reg.t5;              (* key *)
+      srl a Reg.t7 Reg.t6 16;            (* appended byte *)
+      addu a Reg.s3 Reg.s3 Reg.t7;
+      addiu a Reg.s4 Reg.s4 1;
+      andi a Reg.t3 Reg.t6 0xFFFF;       (* prefix code *)
+      j_ a "$dwalk";
+      label a "$droot";
+      addu a Reg.s3 Reg.s3 Reg.t3;       (* the root literal byte *)
+      addiu a Reg.s4 Reg.s4 1;
+      j_ a "$dcode";
+      label a "$dverify";
+      bne a Reg.s3 Reg.s0 "$dfail";
+      nop a;
+      bne a Reg.s4 Reg.s1 "$dfail";
+      nop a;
+      move a Reg.a0 Reg.s5;              (* round trip verified *)
+      jal a "print_uint";
+      li a Reg.v0 0;
+      j_ a "main$epilogue";
+      label a "$dfail";
+      li a Reg.a0 0;
+      jal a "print_uint";
+      li a Reg.v0 1;
+      j_ a "main$epilogue";
+      (* ---- $emit_code: append the prefix code (s2) as a halfword ---- *)
+      label a "$emit_code";
+      la a Reg.t1 "$outlen";
+      lw a Reg.t2 0 Reg.t1;
+      la a Reg.t3 "$outbuf";
+      addu a Reg.t3 Reg.t3 Reg.t2;
+      sh a Reg.s2 0 Reg.t3;
+      addiu a Reg.t2 Reg.t2 2;
+      sw a Reg.t2 0 Reg.t1;
+      addu a Reg.s5 Reg.s5 Reg.s2;
+      ret a);
+  dlabel a "$fin";
+  asciiz a "comp.in";
+  dlabel a "$fout";
+  asciiz a "comp.out";
+  dlabel a "$outlen";
+  word a 0;
+  align a 4;
+  dlabel a "$buf";
+  space a 1032;
+  dlabel a "$hash_head";
+  space a (4096 * 4);
+  dlabel a "$entries";
+  space a (4096 * 12);
+  align a 4;
+  dlabel a "$outbuf";
+  space a 32768;
+  {
+    Builder.pname = "compress";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 2;
+    is_server = false;
+    notrace = false;
+  }

@@ -1,0 +1,84 @@
+(* doduc: "Monte-Carlo simulation of the time evolution of a nuclear
+   reactor component" (Fortran).
+
+   Monte Carlo: an integer LCG drives random draws; each draw is
+   converted to floating point, pushed through a piecewise physics-ish
+   response (branchy FP with divides), and accumulated into region
+   tallies.  Mixed integer/FP with data-dependent branches — doduc's
+   profile. *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "doduc"
+
+let files = []
+
+let samples = 60_000
+
+let program () : Builder.program =
+  let a = Asm.create "doduc" in
+  let open Asm in
+  func a "main" ~frame:8 ~saves:[ Reg.s0; Reg.s1 ] (fun () ->
+      la a Reg.t0 "$consts";
+      ld a 8 0 Reg.t0;                     (* 1.0 *)
+      ld a 9 8 Reg.t0;                     (* 0.5 *)
+      ld a 10 16 Reg.t0;                   (* 1/2^31 *)
+      ld a 11 24 Reg.t0;                   (* 3.14159... *)
+      mtc1 a Reg.zero 12;
+      cvtdw a 12 12;                       (* tally A *)
+      fmov a 13 12;                        (* tally B *)
+      fmov a 14 12;                        (* tally C *)
+      li a Reg.s0 samples;
+      li a Reg.s1 12345;                   (* LCG state *)
+      label a "$mc";
+      (* draw u in [0,1): f0 *)
+      li a Reg.t1 1103515245;
+      mul a Reg.s1 Reg.s1 Reg.t1;
+      addiu a Reg.s1 Reg.s1 12345;
+      srl a Reg.t2 Reg.s1 1;               (* 31-bit *)
+      mtc1 a Reg.t2 0;
+      cvtdw a 0 0;
+      fmul a 0 0 10;                       (* u *)
+      (* piecewise response *)
+      fcmp a Insn.FLT 0 9;                 (* u < 0.5 ? *)
+      bc1f a "$hi";
+      (* low branch: a += u*u + u *)
+      fmul a 1 0 0;
+      fadd a 1 1 0;
+      fadd a 12 12 1;
+      j_ a "$nextdraw";
+      label a "$hi";
+      (* high branch: b += 1/(u + 0.5); every 8th draw also c += pi/u *)
+      fadd a 1 0 9;
+      i a (Insn.Fop (FDIV, 2, 8, 1));
+      fadd a 13 13 2;
+      andi a Reg.t3 Reg.s1 0xE000;
+      bnez a Reg.t3 "$nextdraw";
+      nop a;
+      i a (Insn.Fop (FDIV, 3, 11, 1));
+      fadd a 14 14 3;
+      label a "$nextdraw";
+      addiu a Reg.s0 Reg.s0 (-1);
+      bgtz a Reg.s0 "$mc";
+      nop a;
+      (* digest: trunc(a + b + c) *)
+      fadd a 12 12 13;
+      fadd a 12 12 14;
+      truncwd a 12 12;
+      mfc1 a Reg.a0 12;
+      jal a "print_uint";
+      li a Reg.v0 0);
+  align a 8;
+  dlabel a "$consts";
+  double a 1.0;
+  double a 0.5;
+  double a 4.656612873077393e-10;
+  double a 3.14159265358979;
+  {
+    Builder.pname = "doduc";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 2;
+    is_server = false;
+    notrace = false;
+  }

@@ -1,0 +1,108 @@
+(* egrep: "the UNIX pattern search program run three times over an input
+   file".
+
+   Table-driven DFA matching, egrep's defining behaviour: a 4-state
+   automaton for the pattern "abc[a-z]" runs over the file byte stream,
+   one load of the byte plus one load of the transition table entry per
+   character, counting matches. *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "egrep"
+
+let input =
+  String.init 3072 (fun i ->
+      match i mod 11 with
+      | 0 -> 'a'
+      | 1 -> 'b'
+      | 2 -> if i mod 22 = 2 then 'c' else 'x'
+      | k -> Char.chr (Char.code 'a' + ((i + k) mod 26)))
+
+let files = [ { Builder.fname = "egrep.in"; data = input; writable_bytes = 0 } ]
+
+(* DFA over byte classes: state x class -> state.  Classes: 'a'=1, 'b'=2,
+   'c'=3, other-lowercase=4, other=0.  Accept when state 3 sees a
+   lowercase letter. *)
+let program () : Builder.program =
+  let a = Asm.create "egrep" in
+  let open Asm in
+  func a "main" ~frame:8 ~saves:[ Reg.s0; Reg.s1; Reg.s2; Reg.s3 ] (fun () ->
+      li a Reg.s3 3;                        (* three runs *)
+      li a Reg.s2 0;                        (* match count *)
+      label a "$pass";
+      la a Reg.a0 "$fname";
+      jal a "u_open";
+      move a Reg.s0 Reg.v0;
+      label a "$chunk";
+      move a Reg.a0 Reg.s0;
+      la a Reg.a1 "$buf";
+      li a Reg.a2 768;
+      jal a "u_read";
+      blez a Reg.v0 "$eof";
+      la a Reg.t0 "$buf";
+      addu a Reg.t1 Reg.t0 Reg.v0;
+      li a Reg.t2 0;                        (* state *)
+      label a "$match";
+      beq a Reg.t0 Reg.t1 "$chunk";
+      nop a;
+      lbu a Reg.t3 0 Reg.t0;
+      (* class lookup *)
+      la a Reg.t4 "$classes";
+      addu a Reg.t4 Reg.t4 Reg.t3;
+      lbu a Reg.t4 0 Reg.t4;
+      (* next = dfa[state*5 + class] *)
+      sll a Reg.t5 Reg.t2 2;
+      addu a Reg.t5 Reg.t5 Reg.t2;
+      addu a Reg.t5 Reg.t5 Reg.t4;
+      la a Reg.t6 "$dfa";
+      addu a Reg.t6 Reg.t6 Reg.t5;
+      lbu a Reg.t2 0 Reg.t6;
+      (* state 4 = accept *)
+      addiu a Reg.t6 Reg.t2 (-4);
+      bnez a Reg.t6 "$adv";
+      nop a;
+      addiu a Reg.s2 Reg.s2 1;
+      li a Reg.t2 0;
+      label a "$adv";
+      i a (Insn.J (Sym "$match"));
+      addiu a Reg.t0 Reg.t0 1;
+      label a "$eof";
+      addiu a Reg.s3 Reg.s3 (-1);
+      bgtz a Reg.s3 "$pass";
+      nop a;
+      move a Reg.a0 Reg.s2;
+      jal a "print_uint";
+      li a Reg.v0 0);
+  dlabel a "$fname";
+  asciiz a "egrep.in";
+  (* byte -> class table *)
+  dlabel a "$classes";
+  bytes a
+    (String.init 256 (fun c ->
+         if c = Char.code 'a' then '\001'
+         else if c = Char.code 'b' then '\002'
+         else if c = Char.code 'c' then '\003'
+         else if c >= Char.code 'a' && c <= Char.code 'z' then '\004'
+         else '\000'));
+  (* state x class transition table (5 columns per state) *)
+  dlabel a "$dfa";
+  bytes a
+    (let tbl = [|
+       (* state 0 *) 0; 1; 0; 0; 0;
+       (* state 1 *) 0; 1; 2; 0; 0;
+       (* state 2 *) 0; 1; 0; 3; 0;
+       (* state 3: lowercase accepts *) 0; 4; 4; 4; 4;
+       (* state 4 is consumed by the accept check *) 0; 0; 0; 0; 0;
+     |] in
+     String.init (Array.length tbl) (fun i -> Char.chr tbl.(i)));
+  align a 4;
+  dlabel a "$buf";
+  space a 776;
+  {
+    Builder.pname = "egrep";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 2;
+    is_server = false;
+    notrace = false;
+  }

@@ -1,0 +1,141 @@
+(* eqntott: "converts boolean equations to truth tables".
+
+   The original's dominant behaviour is quicksorting large arrays of
+   minterms — and it is the workload with by far the most TLB misses in
+   Table 3.  We generate a large pseudo-random integer array (many pages,
+   well beyond TLB reach), quicksort it with an explicit stack, verify
+   the order, and print a checksum. *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "eqntott"
+
+let nelems = 49152 (* 192 KB = 48 pages of data *)
+
+let files = []
+
+let program () : Builder.program =
+  let a = Asm.create "eqntott" in
+  let open Asm in
+  func a "main" ~frame:16 ~saves:[ Reg.s0; Reg.s1; Reg.s2; Reg.s3 ] (fun () ->
+      (* fill the array from the LCG *)
+      la a Reg.s0 "$arr";
+      li a Reg.s1 nelems;
+      move a Reg.t0 Reg.s0;
+      li a Reg.t1 12345;
+      label a "$fill";
+      blez a Reg.s1 "$sort";
+      nop a;
+      li a Reg.t2 1103515245;
+      mul a Reg.t1 Reg.t1 Reg.t2;
+      addiu a Reg.t1 Reg.t1 12345;
+      srl a Reg.t3 Reg.t1 4;
+      sw a Reg.t3 0 Reg.t0;
+      addiu a Reg.t0 Reg.t0 4;
+      i a (Insn.J (Sym "$fill"));
+      addiu a Reg.s1 Reg.s1 (-1);
+      (* iterative quicksort over [lo, hi] index pairs on $stk *)
+      label a "$sort";
+      la a Reg.s2 "$stk";                  (* stack pointer (word pairs) *)
+      sw a Reg.zero 0 Reg.s2;              (* lo = 0 *)
+      li a Reg.t0 (nelems - 1);
+      sw a Reg.t0 4 Reg.s2;
+      addiu a Reg.s2 Reg.s2 8;
+      label a "$qloop";
+      la a Reg.t0 "$stk";
+      beq a Reg.s2 Reg.t0 "$check";
+      nop a;
+      addiu a Reg.s2 Reg.s2 (-8);
+      lw a Reg.s0 0 Reg.s2;                (* lo *)
+      lw a Reg.s1 4 Reg.s2;                (* hi *)
+      slt a Reg.t0 Reg.s0 Reg.s1;
+      beqz a Reg.t0 "$qloop";
+      nop a;
+      (* partition around a[hi] *)
+      la a Reg.t0 "$arr";
+      sll a Reg.t1 Reg.s1 2;
+      addu a Reg.t1 Reg.t0 Reg.t1;
+      lw a Reg.t2 0 Reg.t1;                (* pivot *)
+      move a Reg.t3 Reg.s0;                (* i *)
+      move a Reg.t4 Reg.s0;                (* j *)
+      label a "$part";
+      slt a Reg.t5 Reg.t4 Reg.s1;
+      beqz a Reg.t5 "$swap_pivot";
+      nop a;
+      sll a Reg.t5 Reg.t4 2;
+      addu a Reg.t5 Reg.t0 Reg.t5;
+      lw a Reg.t6 0 Reg.t5;
+      slt a Reg.t7 Reg.t6 Reg.t2;
+      beqz a Reg.t7 "$part_next";
+      nop a;
+      (* swap a[i], a[j] *)
+      sll a Reg.t7 Reg.t3 2;
+      addu a Reg.t7 Reg.t0 Reg.t7;
+      lw a Reg.a3 0 Reg.t7;
+      sw a Reg.t6 0 Reg.t7;
+      sw a Reg.a3 0 Reg.t5;
+      addiu a Reg.t3 Reg.t3 1;
+      label a "$part_next";
+      i a (Insn.J (Sym "$part"));
+      addiu a Reg.t4 Reg.t4 1;
+      label a "$swap_pivot";
+      (* swap a[i], a[hi] *)
+      sll a Reg.t5 Reg.t3 2;
+      addu a Reg.t5 Reg.t0 Reg.t5;
+      lw a Reg.t6 0 Reg.t5;
+      sw a Reg.t2 0 Reg.t5;
+      sw a Reg.t6 0 Reg.t1;
+      (* push (lo, i-1) and (i+1, hi) *)
+      addiu a Reg.t6 Reg.t3 (-1);
+      sw a Reg.s0 0 Reg.s2;
+      sw a Reg.t6 4 Reg.s2;
+      addiu a Reg.s2 Reg.s2 8;
+      addiu a Reg.t6 Reg.t3 1;
+      sw a Reg.t6 0 Reg.s2;
+      sw a Reg.s1 4 Reg.s2;
+      addiu a Reg.s2 Reg.s2 8;
+      j_ a "$qloop";
+      (* verify + checksum every 97th element *)
+      label a "$check";
+      la a Reg.t0 "$arr";
+      li a Reg.t1 0;                       (* index *)
+      li a Reg.s3 0;                       (* checksum *)
+      li a Reg.t2 0;                       (* previous value *)
+      li a Reg.s1 nelems;
+      label a "$vloop";
+      slt a Reg.t3 Reg.t1 Reg.s1;
+      beqz a Reg.t3 "$out";
+      nop a;
+      sll a Reg.t3 Reg.t1 2;
+      addu a Reg.t3 Reg.t0 Reg.t3;
+      lw a Reg.t4 0 Reg.t3;
+      sltu a Reg.t5 Reg.t4 Reg.t2;
+      beqz a Reg.t5 "$inorder";
+      nop a;
+      (* out of order: report 0 *)
+      li a Reg.a0 0;
+      jal a "print_uint";
+      li a Reg.v0 1;
+      j_ a "main$epilogue";
+      label a "$inorder";
+      move a Reg.t2 Reg.t4;
+      xor_ a Reg.s3 Reg.s3 Reg.t4;
+      i a (Insn.J (Sym "$vloop"));
+      addiu a Reg.t1 Reg.t1 97;
+      label a "$out";
+      move a Reg.a0 Reg.s3;
+      jal a "print_uint";
+      li a Reg.v0 0);
+  align a 8;
+  dlabel a "$arr";
+  space a (nelems * 4);
+  dlabel a "$stk";
+  space a (2048 * 8);
+  {
+    Builder.pname = "eqntott";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 2;
+    is_server = false;
+    notrace = false;
+  }

@@ -1,0 +1,154 @@
+(* espresso: "a program that minimizes boolean functions".
+
+   The core data structure of espresso is the cube: a wide bitset over
+   the input literals.  The workload reads a PLA-style input file of
+   cubes, then runs the characteristic inner loops: pairwise cube
+   intersection/containment tests (word-wise AND + compare) and distance-1
+   merging, iterating until no more cubes merge.  Dense integer/bitset
+   work over a few tens of kilobytes. *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "espresso"
+
+let ncubes = 192
+let cubewords = 8 (* 256-bit cubes *)
+
+let input =
+  (* each line: cubewords hex words as raw bytes *)
+  let b = Buffer.create 8192 in
+  let r = ref 41 in
+  for k = 0 to (ncubes * cubewords) - 1 do
+    r := ((!r * 1103515245) + 12345) land 0x7FFFFFFF;
+    (* alternate dense and sparse cubes: dense ones cover sparse ones *)
+    let w =
+      if (k / cubewords) land 1 = 0 then (!r lor (!r asr 3)) land 0xFFFF
+      else !r land (!r asr 3) land (!r asr 6) land 0xFFFF
+    in
+    Buffer.add_char b (Char.chr (w land 0xFF));
+    Buffer.add_char b (Char.chr ((w lsr 8) land 0xFF));
+    Buffer.add_char b '\000';
+    Buffer.add_char b '\000'
+  done;
+  Buffer.contents b
+
+let files = [ { Builder.fname = "esp.in"; data = input; writable_bytes = 0 } ]
+
+let program () : Builder.program =
+  let a = Asm.create "espresso" in
+  let open Asm in
+  func a "main" ~frame:16 ~saves:[ Reg.s0; Reg.s1; Reg.s2; Reg.s3; Reg.s4 ]
+    (fun () ->
+      (* read all cubes *)
+      la a Reg.a0 "$fname";
+      jal a "u_open";
+      move a Reg.s0 Reg.v0;
+      la a Reg.s1 "$cubes";
+      label a "$rd";
+      move a Reg.a0 Reg.s0;
+      move a Reg.a1 Reg.s1;
+      li a Reg.a2 1024;
+      jal a "u_read";
+      blez a Reg.v0 "$minimize";
+      nop a;
+      i a (Insn.J (Sym "$rd"));
+      addu a Reg.s1 Reg.s1 Reg.v0;
+      (* minimize: repeat { for each pair (i, j>i): if i covers j, kill j;
+         count survivors } until no kill *)
+      label a "$minimize";
+      li a Reg.s4 0;                      (* merge/kill count *)
+      label a "$sweep";
+      li a Reg.s0 0;                      (* killed this sweep *)
+      li a Reg.s1 0;                      (* i *)
+      label a "$iloop";
+      slti a Reg.t0 Reg.s1 ncubes;
+      beqz a Reg.t0 "$sweep_end";
+      nop a;
+      (* skip dead cubes: live[i]? *)
+      la a Reg.t1 "$live";
+      addu a Reg.t1 Reg.t1 Reg.s1;
+      lbu a Reg.t2 0 Reg.t1;
+      bnez a Reg.t2 "$inext";
+      nop a;
+      addiu a Reg.s2 Reg.s1 1;            (* j *)
+      label a "$jloop";
+      slti a Reg.t0 Reg.s2 ncubes;
+      beqz a Reg.t0 "$inext";
+      nop a;
+      la a Reg.t1 "$live";
+      addu a Reg.t1 Reg.t1 Reg.s2;
+      lbu a Reg.t2 0 Reg.t1;
+      bnez a Reg.t2 "$jnext";
+      nop a;
+      (* containment: (cube_i AND cube_j) == cube_j ? *)
+      sll a Reg.t3 Reg.s1 5;              (* i * 32 bytes *)
+      la a Reg.t4 "$cubes";
+      addu a Reg.t3 Reg.t4 Reg.t3;
+      sll a Reg.t5 Reg.s2 5;
+      addu a Reg.t5 Reg.t4 Reg.t5;
+      li a Reg.t6 cubewords;
+      label a "$cmp";
+      blez a Reg.t6 "$covered";
+      nop a;
+      lw a Reg.t7 0 Reg.t3;
+      lw a Reg.a3 0 Reg.t5;
+      and_ a Reg.t7 Reg.t7 Reg.a3;
+      bne a Reg.t7 Reg.a3 "$jnext";
+      addiu a Reg.t3 Reg.t3 4;
+      addiu a Reg.t5 Reg.t5 4;
+      i a (Insn.J (Sym "$cmp"));
+      addiu a Reg.t6 Reg.t6 (-1);
+      label a "$covered";
+      (* kill j *)
+      la a Reg.t1 "$live";
+      addu a Reg.t1 Reg.t1 Reg.s2;
+      li a Reg.t2 1;
+      sb a Reg.t2 0 Reg.t1;
+      addiu a Reg.s0 Reg.s0 1;
+      addiu a Reg.s4 Reg.s4 1;
+      label a "$jnext";
+      i a (Insn.J (Sym "$jloop"));
+      addiu a Reg.s2 Reg.s2 1;
+      label a "$inext";
+      i a (Insn.J (Sym "$iloop"));
+      addiu a Reg.s1 Reg.s1 1;
+      label a "$sweep_end";
+      bnez a Reg.s0 "$sweep";
+      nop a;
+      (* report: survivors * 1000 + kills *)
+      li a Reg.t0 0;
+      li a Reg.t1 0;                      (* survivors *)
+      la a Reg.t2 "$live";
+      label a "$count";
+      slti a Reg.t3 Reg.t0 ncubes;
+      beqz a Reg.t3 "$report";
+      nop a;
+      lbu a Reg.t4 0 Reg.t2;
+      addiu a Reg.t2 Reg.t2 1;
+      bnez a Reg.t4 "$cnext";
+      nop a;
+      addiu a Reg.t1 Reg.t1 1;
+      label a "$cnext";
+      i a (Insn.J (Sym "$count"));
+      addiu a Reg.t0 Reg.t0 1;
+      label a "$report";
+      li a Reg.t5 1000;
+      mul a Reg.a0 Reg.t1 Reg.t5;
+      addu a Reg.a0 Reg.a0 Reg.s4;
+      jal a "print_uint";
+      li a Reg.v0 0);
+  dlabel a "$fname";
+  asciiz a "esp.in";
+  align a 8;
+  dlabel a "$cubes";
+  space a (ncubes * cubewords * 4);
+  dlabel a "$live";
+  space a (ncubes + 8);
+  {
+    Builder.pname = "espresso";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 2;
+    is_server = false;
+    notrace = false;
+  }

@@ -1,0 +1,10 @@
+(** The espresso workload of Table 1 (see the header comment in the .ml for
+    how it mirrors its original's characteristic behaviour). *)
+
+val name : string
+
+val files : Systrace_kernel.Builder.file_spec list
+(** Input (and output) files the program expects the booted system to
+    carry. *)
+
+val program : unit -> Systrace_kernel.Builder.program

@@ -1,0 +1,87 @@
+(* fpppp: "quantum chemistry analysis" (Fortran).
+
+   fpppp is famous for enormous straight-line basic blocks of floating
+   point code (two-electron integral evaluation).  We generate a pair of
+   very large unrolled FP blocks — hundreds of dependent and independent
+   adds/multiplies over a small working set — and run them repeatedly.
+   Dense FP with little memory traffic: arithmetic-stall dominated. *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "fpppp"
+
+let files = []
+
+let iters = 1200
+
+let program () : Builder.program =
+  let a = Asm.create "fpppp" in
+  let open Asm in
+  (* One giant block: a fixed pseudo-random dataflow over f2..f13,
+     sourced from f0/f1, accumulating into f14. *)
+  let big_block seed n =
+    let r = ref seed in
+    for _ = 1 to n do
+      r := ((!r * 75) + 74) mod 65537;
+      let fd = 2 + (!r mod 12) in
+      r := ((!r * 75) + 74) mod 65537;
+      let fs = 2 + (!r mod 12) in
+      r := ((!r * 75) + 74) mod 65537;
+      let ft = !r mod 14 in
+      match !r mod 5 with
+      | 0 | 1 -> fadd a fd fs ft
+      | 2 | 3 -> fmul a fd fs ft
+      | _ -> fsub a fd fs ft
+    done;
+    (* accumulate from registers the block never writes: the dataflow
+       over f2..f13 can overflow to infinity, which is harmless to
+       execute but useless as a digest *)
+    fadd a 14 14 0;
+    fadd a 14 14 1
+  in
+  func a "main" ~frame:8 ~saves:[ Reg.s0 ] (fun () ->
+      (* initialise the register file from constants *)
+      la a Reg.t0 "$consts";
+      for f = 0 to 13 do
+        ld a f (8 * (f mod 4)) Reg.t0
+      done;
+      mtc1 a Reg.zero 14;
+      cvtdw a 14 14;
+      li a Reg.s0 iters;
+      label a "$iter";
+      big_block 11 260;
+      big_block 23 260;
+      (* renormalise to keep values finite *)
+      la a Reg.t1 "$consts";
+      ld a 0 0 Reg.t1;
+      ld a 1 8 Reg.t1;
+      for f = 2 to 13 do
+        fmov a f (f mod 2)
+      done;
+      addiu a Reg.s0 Reg.s0 (-1);
+      bgtz a Reg.s0 "$iter";
+      nop a;
+      (* print a digest of the accumulator *)
+      truncwd a 14 14;
+      mfc1 a Reg.a0 14;
+      bgez a Reg.a0 "$pos";
+      nop a;
+      subu a Reg.a0 Reg.zero Reg.a0;
+      label a "$pos";
+      andi a Reg.a0 Reg.a0 0xFFFF;
+      jal a "print_uint";
+      li a Reg.v0 0);
+  align a 8;
+  dlabel a "$consts";
+  double a 1.000244140625;
+  double a 0.999755859375;
+  double a 1.000003814697265;
+  double a 0.999996185302734;
+  {
+    Builder.pname = "fpppp";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 2;
+    is_server = false;
+    notrace = false;
+  }

@@ -1,0 +1,174 @@
+(* gcc: "the GNU C compiler translating a preprocessed source file".
+
+   gcc's defining traits in the paper's tables are the largest text
+   segment of the workloads and heavy kernel interaction (it has by far
+   the largest Ultrix TLB-miss count after eqntott/compress/tomcatv).
+
+   The synthetic compiler front end: tokenize the source (byte loop),
+   build an IR of heap-allocated expression nodes (sbrk), then run a
+   sequence of sixteen distinct "passes" over the IR — each a separate
+   generated function with its own loop, giving the binary a large,
+   sparsely-reused text footprint — and finally write "assembly" output
+   to a file. *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "gcc"
+
+let source =
+  let b = Buffer.create 2048 in
+  let r = ref 3 in
+  for _ = 1 to 300 do
+    r := ((!r * 75) + 74) mod 65537;
+    Buffer.add_string b
+      (match !r mod 6 with
+      | 0 -> "x=y+z;"
+      | 1 -> "w=x*3;"
+      | 2 -> "if(x){y=z;}"
+      | 3 -> "f(x,y);"
+      | 4 -> "while(w){w=w-1;}"
+      | _ -> "z=(x+y)*(z+w);")
+  done;
+  Buffer.contents b
+
+let files =
+  [
+    { Builder.fname = "gcc.in"; data = source; writable_bytes = 0 };
+    { Builder.fname = "gcc.out"; data = ""; writable_bytes = 16384 };
+  ]
+
+let npasses = 16
+
+let program () : Builder.program =
+  let a = Asm.create "gcc" in
+  let open Asm in
+  (* Node: [kind; value; next] = 12 bytes, allocated from the heap. *)
+  (* pass_k: walk the node list, transform kind/value in a pass-specific
+     way. Each pass is a distinct function body: text bulk. *)
+  for k = 0 to npasses - 1 do
+    func a (Printf.sprintf "pass%d" k) ~frame:8 ~saves:[ Reg.s0 ] (fun () ->
+        la a Reg.t0 "$irhead";
+        lw a Reg.t0 0 Reg.t0;
+        li a Reg.s0 0;
+        label a (Printf.sprintf "$p%d_loop" k);
+        beqz a Reg.t0 (Printf.sprintf "$p%d_done" k);
+        nop a;
+        lw a Reg.t1 0 Reg.t0;             (* kind *)
+        lw a Reg.t2 4 Reg.t0;             (* value *)
+        (* pass-specific transformation: distinct constants/shifts keep
+           the code bodies different *)
+        addiu a Reg.t3 Reg.t1 k;
+        andi a Reg.t3 Reg.t3 7;
+        sll a Reg.t4 Reg.t2 (k land 3);
+        xori a Reg.t4 Reg.t4 (257 * (k + 1) land 0xFFFF);
+        addu a Reg.t4 Reg.t4 Reg.t3;
+        (match k mod 4 with
+        | 0 ->
+          andi a Reg.t4 Reg.t4 0x7FFF;
+          addiu a Reg.t3 Reg.t3 1
+        | 1 ->
+          srl a Reg.t4 Reg.t4 1;
+          xori a Reg.t3 Reg.t3 3
+        | 2 ->
+          addu a Reg.t4 Reg.t4 Reg.t2;
+          andi a Reg.t3 Reg.t3 5
+        | _ ->
+          subu a Reg.t4 Reg.t4 Reg.t1;
+          ori a Reg.t3 Reg.t3 2);
+        sw a Reg.t3 0 Reg.t0;
+        sw a Reg.t4 4 Reg.t0;
+        addu a Reg.s0 Reg.s0 Reg.t4;
+        lw a Reg.t0 8 Reg.t0;             (* next *)
+        j_ a (Printf.sprintf "$p%d_loop" k);
+        label a (Printf.sprintf "$p%d_done" k);
+        move a Reg.v0 Reg.s0)
+  done;
+  (* alloc_node(kind, value): bump allocator over sbrk'd heap *)
+  func a "alloc_node" ~frame:8 ~saves:[ Reg.s0; Reg.s1 ] (fun () ->
+      move a Reg.s0 Reg.a0;
+      move a Reg.s1 Reg.a1;
+      la a Reg.t0 "$heap_ptr";
+      lw a Reg.t1 0 Reg.t0;
+      bnez a Reg.t1 "$have_heap";
+      nop a;
+      (* first call: sbrk a heap region *)
+      li a Reg.a0 65536;
+      jal a "u_sbrk";
+      la a Reg.t0 "$heap_ptr";
+      move a Reg.t1 Reg.v0;
+      label a "$have_heap";
+      addiu a Reg.t2 Reg.t1 12;
+      sw a Reg.t2 0 Reg.t0;
+      sw a Reg.s0 0 Reg.t1;
+      sw a Reg.s1 4 Reg.t1;
+      sw a Reg.zero 8 Reg.t1;
+      move a Reg.v0 Reg.t1);
+  func a "main" ~frame:16 ~saves:[ Reg.s0; Reg.s1; Reg.s2; Reg.s3 ] (fun () ->
+      la a Reg.a0 "$fin";
+      jal a "u_open";
+      move a Reg.a0 Reg.v0;
+      la a Reg.a1 "$src";
+      li a Reg.a2 4096;
+      jal a "u_read";
+      move a Reg.s0 Reg.v0;               (* source length *)
+      (* tokenize: one IR node per character class run *)
+      la a Reg.s1 "$src";
+      addu a Reg.s2 Reg.s1 Reg.s0;
+      li a Reg.s3 0;                      (* previous node *)
+      label a "$tok";
+      sltu a Reg.t0 Reg.s1 Reg.s2;
+      beqz a Reg.t0 "$passes";
+      nop a;
+      lbu a Reg.a0 0 Reg.s1;
+      andi a Reg.a0 Reg.a0 7;             (* token kind *)
+      lbu a Reg.a1 0 Reg.s1;
+      jal a "alloc_node";
+      (* chain *)
+      beqz a Reg.s3 "$tok_first";
+      nop a;
+      sw a Reg.v0 8 Reg.s3;
+      j_ a "$tok_chain";
+      label a "$tok_first";
+      la a Reg.t1 "$irhead";
+      sw a Reg.v0 0 Reg.t1;
+      label a "$tok_chain";
+      move a Reg.s3 Reg.v0;
+      i a (Insn.J (Sym "$tok"));
+      addiu a Reg.s1 Reg.s1 1;
+      (* run the passes *)
+      label a "$passes";
+      li a Reg.s2 0;
+      for k = 0 to npasses - 1 do
+        jal a (Printf.sprintf "pass%d" k);
+        addu a Reg.s2 Reg.s2 Reg.v0
+      done;
+      (* emit "assembly": value of every 8th node as decimal into outbuf *)
+      la a Reg.a0 "$fout";
+      jal a "u_open";
+      move a Reg.s1 Reg.v0;
+      move a Reg.a0 Reg.s1;
+      la a Reg.a1 "$src";
+      li a Reg.a2 2048;
+      jal a "u_write_all";
+      move a Reg.a0 Reg.s2;
+      jal a "print_uint";
+      li a Reg.v0 0);
+  dlabel a "$fin";
+  asciiz a "gcc.in";
+  dlabel a "$fout";
+  asciiz a "gcc.out";
+  dlabel a "$irhead";
+  word a 0;
+  dlabel a "$heap_ptr";
+  word a 0;
+  align a 4;
+  dlabel a "$src";
+  space a 4096;
+  {
+    Builder.pname = "gcc";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 24;
+    is_server = false;
+    notrace = false;
+  }

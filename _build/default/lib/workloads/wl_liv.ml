@@ -1,0 +1,138 @@
+(* liv: "the Livermore Loops benchmark".
+
+   Three of the classic kernels (hydro fragment, first difference, tri-
+   diagonal elimination) over double vectors, iterated.  Every loop body
+   stores a result per iteration: liv has "the worst write-buffer
+   behavior of all the workloads, and also significant floating point
+   activity" — and since the machine model overlaps FP latency with
+   write-buffer drains while the trace-driven simulator does not, liv is
+   the workload whose prediction error exposes that modelling gap
+   (Figure 3). *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "liv"
+
+let files = []
+
+let n = 4096 (* vector elements *)
+let reps = 28
+
+let program () : Builder.program =
+  let a = Asm.create "liv" in
+  let open Asm in
+  func a "main" ~frame:8 ~saves:[ Reg.s0; Reg.s1 ] (fun () ->
+      (* x[k] = k * 2^-8, y[k] = 1 - x[k]/2, z[k] = 0 *)
+      la a Reg.t0 "$consts";
+      ld a 8 0 Reg.t0;                     (* 2^-8 *)
+      ld a 9 8 Reg.t0;                     (* 1.0 *)
+      ld a 10 16 Reg.t0;                   (* 0.5 *)
+      ld a 11 24 Reg.t0;                   (* q = 0.00125 *)
+      li a Reg.t1 0;
+      la a Reg.t2 "$x";
+      la a Reg.t3 "$y";
+      la a Reg.t4 "$z";
+      label a "$init";
+      slti a Reg.t5 Reg.t1 n;
+      beqz a Reg.t5 "$kernels";
+      nop a;
+      mtc1 a Reg.t1 0;
+      cvtdw a 0 0;
+      fmul a 0 0 8;                        (* x = k/256 *)
+      sd a 0 0 Reg.t2;
+      fmul a 1 0 10;
+      i a (Insn.Fop (FSUB, 1, 9, 1));      (* y = 1 - x/2 *)
+      sd a 1 0 Reg.t3;
+      mtc1 a Reg.zero 2;
+      cvtdw a 2 2;
+      sd a 2 0 Reg.t4;
+      addiu a Reg.t2 Reg.t2 8;
+      addiu a Reg.t3 Reg.t3 8;
+      addiu a Reg.t4 Reg.t4 8;
+      i a (Insn.J (Sym "$init"));
+      addiu a Reg.t1 Reg.t1 1;
+      label a "$kernels";
+      li a Reg.s0 reps;
+      label a "$rep";
+      (* Kernel 1 (hydro): z[k] = q + y[k]*(x[k]*0.5 + y[k+8]*0.25) *)
+      la a Reg.t2 "$x";
+      la a Reg.t3 "$y";
+      la a Reg.t4 "$z";
+      li a Reg.t1 (n - 16);
+      label a "$k1";
+      ld a 0 0 Reg.t2;
+      ld a 1 0 Reg.t3;
+      ld a 2 64 Reg.t3;                    (* y[k+8] *)
+      fmul a 0 0 10;
+      fmul a 2 2 10;
+      fmul a 2 2 10;
+      fadd a 0 0 2;
+      fmul a 0 0 1;
+      fadd a 0 0 11;
+      sd a 0 0 Reg.t4;                     (* store every iteration *)
+      addiu a Reg.t2 Reg.t2 8;
+      addiu a Reg.t3 Reg.t3 8;
+      addiu a Reg.t4 Reg.t4 8;
+      addiu a Reg.t1 Reg.t1 (-1);
+      bgtz a Reg.t1 "$k1";
+      nop a;
+      (* Kernel 2 (damped first difference):
+         y[k] = (z[k+1] - z[k])*q + y[k]*0.5 *)
+      la a Reg.t3 "$y";
+      la a Reg.t4 "$z";
+      li a Reg.t1 (n - 16);
+      label a "$k2";
+      ld a 0 8 Reg.t4;
+      ld a 1 0 Reg.t4;
+      ld a 2 0 Reg.t3;
+      i a (Insn.Fop (FSUB, 0, 0, 1));
+      fmul a 0 0 11;
+      fmul a 2 2 10;
+      fadd a 0 0 2;
+      sd a 0 0 Reg.t3;
+      addiu a Reg.t3 Reg.t3 8;
+      addiu a Reg.t4 Reg.t4 8;
+      addiu a Reg.t1 Reg.t1 (-1);
+      bgtz a Reg.t1 "$k2";
+      nop a;
+      addiu a Reg.s0 Reg.s0 (-1);
+      bgtz a Reg.s0 "$rep";
+      nop a;
+      (* digest: trunc(1000 * (z[n/2] + x[n/2])) *)
+      la a Reg.t4 "$z";
+      ld a 0 ((n / 2) * 8 land 0x7FF0) Reg.t4;
+      la a Reg.t3 "$x";
+      ld a 2 ((n / 2) * 8 land 0x7FF0) Reg.t3;
+      fadd a 0 0 2;
+      la a Reg.t0 "$consts";
+      ld a 1 32 Reg.t0;                    (* 1000.0 *)
+      fmul a 0 0 1;
+      truncwd a 0 0;
+      mfc1 a Reg.a0 0;
+      bgez a Reg.a0 "$pos";
+      nop a;
+      subu a Reg.a0 Reg.zero Reg.a0;
+      label a "$pos";
+      jal a "print_uint";
+      li a Reg.v0 0);
+  align a 8;
+  dlabel a "$consts";
+  double a 0.00390625;
+  double a 1.0;
+  double a 0.5;
+  double a 0.00125;
+  double a 1000.0;
+  dlabel a "$x";
+  space a (n * 8);
+  dlabel a "$y";
+  space a ((n + 16) * 8);
+  dlabel a "$z";
+  space a ((n + 16) * 8);
+  {
+    Builder.pname = "liv";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 2;
+    is_server = false;
+    notrace = false;
+  }

@@ -1,0 +1,101 @@
+(* sed: "the UNIX stream editor run three times over the same input file".
+
+   A stream edit: read the input in 512-byte chunks, replace every
+   occurrence of "ab" with "XY", write the result to an output file, three
+   passes over the same file (the second and third hit the buffer cache).
+   The shortest workload, just as in Table 1 — which is why its prediction
+   error in Figure 3 is dominated by disk-latency approximations. *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "sed"
+
+let input =
+  String.init 2048 (fun i ->
+      (* periodic text with plenty of "ab" pairs *)
+      match i mod 7 with
+      | 0 -> 'a'
+      | 1 -> 'b'
+      | k -> Char.chr (Char.code 'a' + (((i / 7) + k) mod 26)))
+
+let files =
+  [
+    { Builder.fname = "sed.in"; data = input; writable_bytes = 0 };
+    { Builder.fname = "sed.out"; data = ""; writable_bytes = 4096 };
+  ]
+
+let program () : Builder.program =
+  let a = Asm.create "sed" in
+  let open Asm in
+  func a "main" ~frame:8 ~saves:[ Reg.s0; Reg.s1; Reg.s2; Reg.s3 ] (fun () ->
+      li a Reg.s3 3;                       (* three runs *)
+      label a "$pass";
+      la a Reg.a0 "$fin";
+      jal a "u_open";
+      move a Reg.s0 Reg.v0;                (* in fd *)
+      la a Reg.a0 "$fout";
+      jal a "u_open";
+      move a Reg.s1 Reg.v0;                (* out fd *)
+      label a "$chunk";
+      move a Reg.a0 Reg.s0;
+      la a Reg.a1 "$buf";
+      li a Reg.a2 512;
+      jal a "u_read";
+      blez a Reg.v0 "$eof";
+      move a Reg.s2 Reg.v0;
+      (* substitute "ab" -> "XY" in place *)
+      la a Reg.t0 "$buf";
+      addu a Reg.t1 Reg.t0 Reg.s2;
+      addiu a Reg.t1 Reg.t1 (-1);
+      label a "$scan";
+      sltu a Reg.t2 Reg.t0 Reg.t1;
+      beqz a Reg.t2 "$emit";
+      nop a;
+      lbu a Reg.t3 0 Reg.t0;
+      addiu a Reg.t4 Reg.t3 (-97);         (* 'a' *)
+      bnez a Reg.t4 "$next";
+      nop a;
+      lbu a Reg.t5 1 Reg.t0;
+      addiu a Reg.t6 Reg.t5 (-98);         (* 'b' *)
+      bnez a Reg.t6 "$next";
+      nop a;
+      li a Reg.t3 88;                      (* 'X' *)
+      sb a Reg.t3 0 Reg.t0;
+      li a Reg.t3 89;                      (* 'Y' *)
+      sb a Reg.t3 1 Reg.t0;
+      addiu a Reg.t0 Reg.t0 1;
+      label a "$next";
+      i a (Insn.J (Sym "$scan"));
+      addiu a Reg.t0 Reg.t0 1;             (* delay slot: advance *)
+      label a "$emit";
+      (* write the chunk out (synchronous under Ultrix) *)
+      move a Reg.a0 Reg.s1;
+      la a Reg.a1 "$buf";
+      move a Reg.a2 Reg.s2;
+      jal a "u_write";
+      j_ a "$chunk";
+      label a "$eof";
+      addiu a Reg.s3 Reg.s3 (-1);
+      bgtz a Reg.s3 "$pass";
+      nop a;
+      (* print a short checksum of the last buffer *)
+      la a Reg.t0 "$buf";
+      lbu a Reg.a0 0 Reg.t0;
+      lbu a Reg.t1 1 Reg.t0;
+      addu a Reg.a0 Reg.a0 Reg.t1;
+      jal a "print_uint";
+      li a Reg.v0 0);
+  dlabel a "$fin";
+  asciiz a "sed.in";
+  dlabel a "$fout";
+  asciiz a "sed.out";
+  dlabel a "$buf";
+  space a 520;
+  {
+    Builder.pname = "sed";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 2;
+    is_server = false;
+    notrace = false;
+  }

@@ -1,0 +1,171 @@
+(* tomcatv: "a program that generates a vectorized mesh" (Fortran).
+
+   Two N x N double meshes are relaxed iteratively: each sweep updates
+   every interior point from its four neighbours, alternating row-major
+   and column-major traversals.  The column-major sweeps stride by a full
+   row of doubles, so the cache behaviour depends strongly on how virtual
+   pages land in the physically-indexed cache — this is the workload the
+   paper calls out for >10% execution-time variation from the kernel's
+   virtual-to-physical page selection (§4.4), and the longest-running
+   workload of Table 1. *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "tomcatv"
+
+let files = []
+
+let nmesh = 80 (* 80x80 doubles per mesh = 51 KB each *)
+let sweeps = 26
+
+let program () : Builder.program =
+  let a = Asm.create "tomcatv" in
+  let open Asm in
+  let row_bytes = nmesh * 8 in
+  func a "main" ~frame:8 ~saves:[ Reg.s0; Reg.s1; Reg.s2 ] (fun () ->
+      la a Reg.t0 "$consts";
+      ld a 8 0 Reg.t0;                     (* 0.25 *)
+      ld a 9 8 Reg.t0;                     (* 1/(N-1) *)
+      ld a 10 16 Reg.t0;                   (* 1.0 *)
+      (* init: mesh[i][j] = i*h + j*h; rhs[i][j] = 1 - i*h*j*h *)
+      li a Reg.t1 0;                       (* i *)
+      la a Reg.t2 "$mesh";
+      la a Reg.t3 "$rhs";
+      label a "$initi";
+      slti a Reg.t4 Reg.t1 nmesh;
+      beqz a Reg.t4 "$sweep0";
+      nop a;
+      mtc1 a Reg.t1 0;
+      cvtdw a 0 0;
+      fmul a 0 0 9;                        (* i*h *)
+      li a Reg.t5 0;                       (* j *)
+      label a "$initj";
+      slti a Reg.t4 Reg.t5 nmesh;
+      beqz a Reg.t4 "$initnext";
+      nop a;
+      mtc1 a Reg.t5 1;
+      cvtdw a 1 1;
+      fmul a 1 1 9;                        (* j*h *)
+      fadd a 2 0 1;
+      sd a 2 0 Reg.t2;
+      fmul a 3 0 1;
+      i a (Insn.Fop (FSUB, 3, 10, 3));
+      sd a 3 0 Reg.t3;
+      addiu a Reg.t2 Reg.t2 8;
+      addiu a Reg.t3 Reg.t3 8;
+      i a (Insn.J (Sym "$initj"));
+      addiu a Reg.t5 Reg.t5 1;
+      label a "$initnext";
+      i a (Insn.J (Sym "$initi"));
+      addiu a Reg.t1 Reg.t1 1;
+      (* relaxation sweeps *)
+      label a "$sweep0";
+      li a Reg.s0 sweeps;
+      label a "$sweep";
+      (* row-major update of interior points:
+         m[i][j] = 0.25*(m[i][j-1] + m[i][j+1] + m[i-1][j] + m[i+1][j])
+                   + rhs[i][j]*h *)
+      li a Reg.s1 1;                       (* i *)
+      label a "$ri";
+      slti a Reg.t0 Reg.s1 (nmesh - 1);
+      beqz a Reg.t0 "$colmajor";
+      nop a;
+      (* t2 = &m[i][1]; t3 = &rhs[i][1] *)
+      li a Reg.t0 row_bytes;
+      mul a Reg.t1 Reg.s1 Reg.t0;
+      la a Reg.t2 "$mesh";
+      addu a Reg.t2 Reg.t2 Reg.t1;
+      addiu a Reg.t2 Reg.t2 8;
+      la a Reg.t3 "$rhs";
+      addu a Reg.t3 Reg.t3 Reg.t1;
+      addiu a Reg.t3 Reg.t3 8;
+      li a Reg.s2 (nmesh - 2);             (* j count *)
+      label a "$rj";
+      ld a 0 (-8) Reg.t2;
+      ld a 1 8 Reg.t2;
+      ld a 2 (-row_bytes) Reg.t2;
+      ld a 3 row_bytes Reg.t2;
+      fadd a 0 0 1;
+      fadd a 2 2 3;
+      fadd a 0 0 2;
+      fmul a 0 0 8;
+      ld a 4 0 Reg.t3;
+      fmul a 4 4 9;
+      fadd a 0 0 4;
+      sd a 0 0 Reg.t2;
+      addiu a Reg.t2 Reg.t2 8;
+      addiu a Reg.t3 Reg.t3 8;
+      addiu a Reg.s2 Reg.s2 (-1);
+      bgtz a Reg.s2 "$rj";
+      nop a;
+      i a (Insn.J (Sym "$ri"));
+      addiu a Reg.s1 Reg.s1 1;
+      (* column-major pass: the page-mapping-sensitive strided sweep *)
+      label a "$colmajor";
+      li a Reg.s1 1;                       (* j *)
+      label a "$cj";
+      slti a Reg.t0 Reg.s1 (nmesh - 1);
+      beqz a Reg.t0 "$sweepnext";
+      nop a;
+      (* t2 = &m[1][j] *)
+      sll a Reg.t1 Reg.s1 3;
+      la a Reg.t2 "$mesh";
+      addu a Reg.t2 Reg.t2 Reg.t1;
+      addiu a Reg.t2 Reg.t2 row_bytes;
+      li a Reg.s2 (nmesh - 2);
+      label a "$ci";
+      ld a 0 (-row_bytes) Reg.t2;
+      ld a 1 row_bytes Reg.t2;
+      ld a 2 0 Reg.t2;
+      fadd a 0 0 1;
+      fmul a 0 0 8;
+      fmul a 2 2 10;
+      fadd a 0 0 2;
+      fmul a 0 0 8;
+      fadd a 0 0 0;
+      sd a 0 0 Reg.t2;
+      addiu a Reg.t2 Reg.t2 row_bytes;     (* stride one row *)
+      addiu a Reg.s2 Reg.s2 (-1);
+      bgtz a Reg.s2 "$ci";
+      nop a;
+      i a (Insn.J (Sym "$cj"));
+      addiu a Reg.s1 Reg.s1 1;
+      label a "$sweepnext";
+      addiu a Reg.s0 Reg.s0 (-1);
+      bgtz a Reg.s0 "$sweep";
+      nop a;
+      (* digest: trunc(1000 * m[N/2][N/2]) *)
+      la a Reg.t2 "$mesh";
+      li a Reg.t0 ((nmesh / 2 * nmesh) + (nmesh / 2));
+      sll a Reg.t0 Reg.t0 3;
+      addu a Reg.t2 Reg.t2 Reg.t0;
+      ld a 0 0 Reg.t2;
+      la a Reg.t1 "$consts";
+      ld a 1 24 Reg.t1;
+      fmul a 0 0 1;
+      truncwd a 0 0;
+      mfc1 a Reg.a0 0;
+      bgez a Reg.a0 "$pos";
+      nop a;
+      subu a Reg.a0 Reg.zero Reg.a0;
+      label a "$pos";
+      jal a "print_uint";
+      li a Reg.v0 0);
+  align a 8;
+  dlabel a "$consts";
+  double a 0.25;
+  double a (1.0 /. float_of_int (nmesh - 1));
+  double a 1.0;
+  double a 1000.0;
+  dlabel a "$mesh";
+  space a (nmesh * nmesh * 8);
+  dlabel a "$rhs";
+  space a (nmesh * nmesh * 8);
+  {
+    Builder.pname = "tomcatv";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 2;
+    is_server = false;
+    notrace = false;
+  }

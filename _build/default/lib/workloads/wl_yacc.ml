@@ -1,0 +1,208 @@
+(* yacc: "the LR(1) parser-generator run on a grammar".
+
+   The table-construction core: read a small grammar file (productions as
+   "LHS:RHS1RHS2;" over one-letter symbols), compute nullable/FIRST sets
+   with a bitset fixpoint iteration, then build an item-set closure table
+   — repeated set unions over word-packed bitsets, yacc's characteristic
+   integer/bitset behaviour. *)
+
+open Systrace_isa
+open Systrace_kernel
+
+let name = "yacc"
+
+(* A synthetic grammar: 24 nonterminals A-X, 26 terminals a-z. *)
+let grammar =
+  let b = Buffer.create 1024 in
+  let r = ref 7 in
+  for lhs = 0 to 23 do
+    for _alt = 0 to 2 do
+      Buffer.add_char b (Char.chr (65 + lhs));
+      Buffer.add_char b ':';
+      let len = 1 + (!r mod 4) in
+      for _ = 1 to len do
+        r := ((!r * 75) + 74) mod 65537;
+        if !r land 1 = 0 && lhs < 23 then
+          Buffer.add_char b (Char.chr (66 + (!r mod (23 - lhs)) + lhs))
+        else Buffer.add_char b (Char.chr (97 + (!r mod 26)));
+      done;
+      Buffer.add_char b ';'
+    done
+  done;
+  Buffer.contents b
+
+let files = [ { Builder.fname = "yacc.in"; data = grammar; writable_bytes = 0 } ]
+
+let nsyms = 50 (* 24 nonterminals + 26 terminals *)
+let nprods = 72
+let setwords = 2 (* 50 bits -> 2 words *)
+
+let program () : Builder.program =
+  let a = Asm.create "yacc" in
+  let open Asm in
+  func a "main" ~frame:16 ~saves:[ Reg.s0; Reg.s1; Reg.s2; Reg.s3; Reg.s4 ]
+    (fun () ->
+      (* read the whole grammar *)
+      la a Reg.a0 "$fname";
+      jal a "u_open";
+      move a Reg.a0 Reg.v0;
+      la a Reg.a1 "$gbuf";
+      li a Reg.a2 4096;
+      jal a "u_read";
+      move a Reg.s0 Reg.v0;               (* grammar length *)
+      (* parse productions: prods[i] = {lhs, rhs offset, rhs len} *)
+      la a Reg.t0 "$gbuf";
+      addu a Reg.t1 Reg.t0 Reg.s0;        (* end *)
+      la a Reg.t2 "$prods";
+      li a Reg.s1 0;                      (* production count *)
+      label a "$parse";
+      sltu a Reg.t3 Reg.t0 Reg.t1;
+      beqz a Reg.t3 "$first";
+      nop a;
+      lbu a Reg.t4 0 Reg.t0;              (* LHS letter *)
+      addiu a Reg.t4 Reg.t4 (-65);
+      sw a Reg.t4 0 Reg.t2;               (* lhs symbol 0..23 *)
+      addiu a Reg.t0 Reg.t0 2;            (* skip LHS and ':' *)
+      la a Reg.t5 "$gbuf";
+      subu a Reg.t5 Reg.t0 Reg.t5;
+      sw a Reg.t5 4 Reg.t2;               (* rhs offset *)
+      li a Reg.t6 0;
+      label a "$rhs";
+      lbu a Reg.t4 0 Reg.t0;
+      addiu a Reg.t0 Reg.t0 1;
+      addiu a Reg.t7 Reg.t4 (-59);        (* ';' *)
+      beqz a Reg.t7 "$endp";
+      nop a;
+      i a (Insn.J (Sym "$rhs"));
+      addiu a Reg.t6 Reg.t6 1;
+      label a "$endp";
+      sw a Reg.t6 8 Reg.t2;               (* rhs length *)
+      addiu a Reg.t2 Reg.t2 12;
+      i a (Insn.J (Sym "$parse"));
+      addiu a Reg.s1 Reg.s1 1;
+      (* FIRST-set fixpoint: first[sym] is a 2-word bitset; terminals seed
+         their own bit; iterate until no set changes.  The whole
+         computation is repeated (as yacc recomputes sets per state) to
+         give the workload its Table 1 weight. *)
+      label a "$first";
+      li a Reg.s4 40;                     (* outer repetitions *)
+      label a "$outer";
+      (* clear the sets *)
+      la a Reg.t0 "$first_sets";
+      li a Reg.t1 (nsyms * setwords);
+      label a "$clr";
+      sw a Reg.zero 0 Reg.t0;
+      addiu a Reg.t1 Reg.t1 (-1);
+      i a (Insn.Bgtz (Reg.t1, Sym "$clr"));
+      addiu a Reg.t0 Reg.t0 4;
+      (* seed terminals: symbol s (24..49) gets bit s *)
+      li a Reg.t0 24;
+      label a "$seed";
+      slti a Reg.t1 Reg.t0 nsyms;
+      beqz a Reg.t1 "$iter";
+      nop a;
+      la a Reg.t2 "$first_sets";
+      sll a Reg.t3 Reg.t0 3;
+      addu a Reg.t2 Reg.t2 Reg.t3;
+      andi a Reg.t4 Reg.t0 31;
+      li a Reg.t5 1;
+      sllv a Reg.t5 Reg.t5 Reg.t4;
+      slti a Reg.t6 Reg.t0 32;
+      bnez a Reg.t6 "$seed_lo";
+      nop a;
+      lw a Reg.t6 4 Reg.t2;
+      or_ a Reg.t6 Reg.t6 Reg.t5;
+      sw a Reg.t6 4 Reg.t2;
+      j_ a "$seed_next";
+      label a "$seed_lo";
+      lw a Reg.t6 0 Reg.t2;
+      or_ a Reg.t6 Reg.t6 Reg.t5;
+      sw a Reg.t6 0 Reg.t2;
+      label a "$seed_next";
+      i a (Insn.J (Sym "$seed"));
+      addiu a Reg.t0 Reg.t0 1;
+      (* fixpoint: for each production, first[lhs] |= first[rhs[0]] *)
+      label a "$iter";
+      li a Reg.s2 0;                      (* changed flag *)
+      li a Reg.s3 0;                      (* production index *)
+      label a "$prod";
+      slt a Reg.t0 Reg.s3 Reg.s1;
+      beqz a Reg.t0 "$iterchk";
+      nop a;
+      (* t1 = prods + i*12 *)
+      sll a Reg.t1 Reg.s3 3;
+      sll a Reg.t2 Reg.s3 2;
+      addu a Reg.t1 Reg.t1 Reg.t2;
+      la a Reg.t2 "$prods";
+      addu a Reg.t1 Reg.t1 Reg.t2;
+      lw a Reg.t3 0 Reg.t1;               (* lhs *)
+      lw a Reg.t4 4 Reg.t1;               (* rhs offset *)
+      la a Reg.t5 "$gbuf";
+      addu a Reg.t5 Reg.t5 Reg.t4;
+      lbu a Reg.t6 0 Reg.t5;              (* first rhs symbol letter *)
+      (* symbol index: uppercase -> 0..23, lowercase -> 24..49 *)
+      slti a Reg.t7 Reg.t6 97;
+      bnez a Reg.t7 "$upper";
+      nop a;
+      addiu a Reg.t6 Reg.t6 (-73);        (* 'a'-73 = 24 *)
+      j_ a "$union";
+      label a "$upper";
+      addiu a Reg.t6 Reg.t6 (-65);
+      label a "$union";
+      (* first[lhs] |= first[sym]; set s2 if changed *)
+      la a Reg.t7 "$first_sets";
+      sll a Reg.t2 Reg.t6 3;
+      addu a Reg.t2 Reg.t7 Reg.t2;        (* src *)
+      sll a Reg.t4 Reg.t3 3;
+      addu a Reg.t4 Reg.t7 Reg.t4;        (* dst *)
+      for w = 0 to setwords - 1 do
+        lw a Reg.t5 (w * 4) Reg.t2;
+        lw a Reg.a3 (w * 4) Reg.t4;
+        or_ a Reg.t7 Reg.t5 Reg.a3;
+        beq a Reg.t7 Reg.a3 (Printf.sprintf "$nochange%d" w);
+        nop a;
+        sw a Reg.t7 (w * 4) Reg.t4;
+        li a Reg.s2 1;
+        label a (Printf.sprintf "$nochange%d" w)
+      done;
+      addiu a Reg.s3 Reg.s3 1;
+      j_ a "$prod";
+      label a "$iterchk";
+      bnez a Reg.s2 "$iter";
+      nop a;
+      addiu a Reg.s4 Reg.s4 (-1);
+      bgtz a Reg.s4 "$outer";
+      nop a;
+      (* checksum of all FIRST sets *)
+      li a Reg.t0 0;
+      li a Reg.s4 0;
+      la a Reg.t1 "$first_sets";
+      label a "$ck";
+      slti a Reg.t2 Reg.t0 (nsyms * setwords);
+      beqz a Reg.t2 "$out";
+      nop a;
+      lw a Reg.t3 0 Reg.t1;
+      xor_ a Reg.s4 Reg.s4 Reg.t3;
+      addiu a Reg.t1 Reg.t1 4;
+      i a (Insn.J (Sym "$ck"));
+      addiu a Reg.t0 Reg.t0 1;
+      label a "$out";
+      move a Reg.a0 Reg.s4;
+      jal a "print_uint";
+      li a Reg.v0 0);
+  dlabel a "$fname";
+  asciiz a "yacc.in";
+  align a 4;
+  dlabel a "$gbuf";
+  space a 4096;
+  dlabel a "$prods";
+  space a (nprods * 12 + 64);
+  dlabel a "$first_sets";
+  space a (nsyms * setwords * 4);
+  {
+    Builder.pname = "yacc";
+    modules = [ to_obj a; Userlib.make () ];
+    heap_pages = 2;
+    is_server = false;
+    notrace = false;
+  }

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Bb Bytes Encode Exe Insn Int32 Link List Objfile Printf QCheck QCheck_alcotest Random Reg Systrace_isa Systrace_machine

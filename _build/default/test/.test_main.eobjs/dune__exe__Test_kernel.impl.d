@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Asm Builder Char Hashtbl Insn Kcfg List Option Parser Reg String Systrace_isa Systrace_kernel Systrace_machine Systrace_tracing Systrace_workloads Userlib Ux_server

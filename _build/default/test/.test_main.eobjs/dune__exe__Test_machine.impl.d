@@ -1,0 +1,1 @@
+test/test_machine.ml: Addr Alcotest Array Asm Char Disk Exe Fpu Insn Int64 Link List Machine Reg Systrace_isa Systrace_machine

@@ -1,0 +1,1 @@
+test/test_threads.ml: Alcotest Asm Builder Hashtbl Kcfg List Option Parser Reg String Systrace_isa Systrace_kernel Systrace_machine Systrace_tracing Systrace_workloads Userlib Ux_server

@@ -1,0 +1,1 @@
+test/test_tracesim.ml: Alcotest Gen List Memsim Predict QCheck QCheck_alcotest Sim_cache Sim_cache_assoc Sim_tlb Sim_wb Systrace_tracesim Systrace_tracing

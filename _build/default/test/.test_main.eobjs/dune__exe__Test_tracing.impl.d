@@ -1,0 +1,1 @@
+test/test_tracing.ml: Alcotest Array Bbtable Compress Filename Format_ Fun Gen List Parser QCheck QCheck_alcotest String Sys Systrace_tracing Tracefile Unix

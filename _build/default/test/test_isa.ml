@@ -1,0 +1,569 @@
+(* Tests for the ISA layer: encoding round-trips, the assembler, basic-block
+   analysis, and the linker. *)
+
+open Systrace_isa
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction generator for property tests                            *)
+
+let gen_reg = QCheck.Gen.int_range 0 31
+let gen_freg = QCheck.Gen.int_range 0 15
+let gen_simm16 = QCheck.Gen.int_range (-32768) 32767
+let gen_uimm16 = QCheck.Gen.int_range 0 65535
+
+(* Branch targets must be word-aligned and within signed-16 word offset of
+   pc+4; jumps must stay in the same 256MB region.  We generate for a fixed
+   pc. *)
+let test_pc = 0x0040_1000
+
+let gen_btarget =
+  QCheck.Gen.map
+    (fun off -> Insn.Abs (test_pc + 4 + (off * 4)))
+    (QCheck.Gen.int_range (-30000) 30000)
+
+let gen_jtarget =
+  QCheck.Gen.map
+    (fun w -> Insn.Abs ((test_pc land 0xF0000000) lor (w * 4)))
+    (QCheck.Gen.int_range 0 0x3FFFFF)
+
+let gen_cp0 =
+  QCheck.Gen.oneofl
+    Insn.[ C0_index; C0_random; C0_entrylo; C0_context; C0_badvaddr;
+           C0_count; C0_entryhi; C0_status; C0_cause; C0_epc; C0_prid ]
+
+let gen_insn : Insn.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Insn in
+  let alu =
+    oneofl [ ADD; ADDU; SUB; SUBU; AND; OR; XOR; NOR; SLT; SLTU; SLLV;
+             SRLV; SRAV; MUL; MULH; DIV; REM ]
+  in
+  let alui_s = oneofl [ ADDI; ADDIU; SLTI; SLTIU ] in
+  let alui_u = oneofl [ ANDI; ORI; XORI ] in
+  let shift = oneofl [ SLL; SRL; SRA ] in
+  let lwidth = oneofl [ B; BU; H; HU; W ] in
+  (* Canonical store widths only: SB/SH/SW (BU/HU aliase to B/H). *)
+  let swidth = oneofl [ B; H; W ] in
+  let fop =
+    oneofl [ FADD; FSUB; FMUL; FDIV; FABS; FNEG; FMOV; CVTDW; TRUNCWD ]
+  in
+  let fcond = oneofl [ FEQ; FLT; FLE ] in
+  oneof
+    [
+      map2 (fun op (a, b, c) -> Alu (op, a, b, c)) alu (tup3 gen_reg gen_reg gen_reg);
+      map2 (fun op (a, b, c) -> Alui (op, a, b, Imm c)) alui_s (tup3 gen_reg gen_reg gen_simm16);
+      map2 (fun op (a, b, c) -> Alui (op, a, b, Imm c)) alui_u (tup3 gen_reg gen_reg gen_uimm16);
+      map2 (fun op (a, b, c) -> Shift (op, a, b, c)) shift (tup3 gen_reg gen_reg (int_range 0 31));
+      map2 (fun a b -> Lui (a, Imm b)) gen_reg gen_uimm16;
+      map2 (fun w (a, b, c) -> Load (w, a, b, Imm c)) lwidth (tup3 gen_reg gen_reg gen_simm16);
+      map2 (fun w (a, b, c) -> Store (w, a, b, Imm c)) swidth (tup3 gen_reg gen_reg gen_simm16);
+      map (fun (a, b, c) -> Fload (a, b, Imm c)) (tup3 gen_freg gen_reg gen_simm16);
+      map (fun (a, b, c) -> Fstore (a, b, Imm c)) (tup3 gen_freg gen_reg gen_simm16);
+      map (fun (a, b, t) -> Beq (a, b, t)) (tup3 gen_reg gen_reg gen_btarget);
+      map (fun (a, b, t) -> Bne (a, b, t)) (tup3 gen_reg gen_reg gen_btarget);
+      map2 (fun a t -> Blez (a, t)) gen_reg gen_btarget;
+      map2 (fun a t -> Bgtz (a, t)) gen_reg gen_btarget;
+      map2 (fun a t -> Bltz (a, t)) gen_reg gen_btarget;
+      map2 (fun a t -> Bgez (a, t)) gen_reg gen_btarget;
+      map (fun t -> J t) gen_jtarget;
+      map (fun t -> Jal t) gen_jtarget;
+      map (fun a -> Jr a) gen_reg;
+      map2 (fun a b -> Jalr (a, b)) gen_reg gen_reg;
+      return Syscall;
+      map (fun n -> Break n) (int_range 0 0xFFFFF);
+      map (fun n -> Hcall n) (int_range 0 0xFFFFF);
+      map2 (fun r c -> Mfc0 (r, c)) gen_reg gen_cp0;
+      map2 (fun r c -> Mtc0 (r, c)) gen_reg gen_cp0;
+      oneofl [ Tlbr; Tlbwi; Tlbwr; Tlbp; Rfe ];
+      map2 (fun r f -> Mfc1 (r, f)) gen_reg gen_freg;
+      map2 (fun r f -> Mtc1 (r, f)) gen_reg gen_freg;
+      map2 (fun op (a, b, c) -> Fop (op, a, b, c)) fop (tup3 gen_freg gen_freg gen_freg);
+      map2 (fun c (a, b) -> Fcmp (c, a, b)) fcond (tup2 gen_freg gen_freg);
+      map (fun t -> Bc1t t) gen_btarget;
+      map (fun t -> Bc1f t) gen_btarget;
+      map (fun (op, b, o) -> Cache (op, b, Imm o)) (tup3 (int_range 0 3) gen_reg gen_simm16);
+    ]
+
+let arb_insn = QCheck.make ~print:Insn.to_string gen_insn
+
+(* FMOV/FABS/FNEG/CVTDW/TRUNCWD ignore ft; unary ops must normalize ft to
+   match what decode reconstructs.  The generator above can give nonzero ft
+   for unary ops, so normalize both sides before comparing. *)
+let normalize (i : Insn.t) : Insn.t =
+  match i with
+  | Fop ((FABS | FNEG | FMOV | CVTDW | TRUNCWD) as op, fd, fs, _) ->
+    Fop (op, fd, fs, 0)
+  | i -> i
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"encode/decode round-trip" arb_insn
+    (fun insn ->
+      let insn = normalize insn in
+      let w = Encode.encode ~pc:test_pc insn in
+      let insn' = Encode.decode ~pc:test_pc w in
+      if insn' <> insn then
+        QCheck.Test.fail_reportf "0x%08x: %s <> %s" w (Insn.to_string insn)
+          (Insn.to_string insn')
+      else true)
+
+let prop_encode_32bit =
+  QCheck.Test.make ~count:2000 ~name:"encoded words fit in 32 bits" arb_insn
+    (fun insn ->
+      let w = Encode.encode ~pc:test_pc (normalize insn) in
+      w >= 0 && w <= 0xFFFFFFFF)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+
+let test_base_offset () =
+  let insn = Insn.Load (W, Reg.t0, Reg.sp, Imm (-44)) in
+  let w = Encode.encode ~pc:0 insn in
+  let base, off = Encode.base_offset_of_word w in
+  check_int "base" Reg.sp base;
+  check_int "offset" (-44) off
+
+let test_trace_count_nop () =
+  (* The special epoxie no-op encodes its word count in the immediate field
+     of an addiu to $zero. *)
+  let w = Encode.encode ~pc:0 (Insn.trace_count_nop 7) in
+  let _, n = Encode.base_offset_of_word w in
+  check_int "count" 7 n;
+  match Encode.decode ~pc:0 w with
+  | Insn.Alui (ADDIU, 0, 0, Imm 7) -> ()
+  | i -> Alcotest.failf "unexpected decode: %s" (Insn.to_string i)
+
+let test_branch_encoding () =
+  let pc = 0x8000_0100 in
+  let insn = Insn.Beq (Reg.t0, Reg.t1, Abs (pc + 4 + 40)) in
+  let w = Encode.encode ~pc insn in
+  (match Encode.decode ~pc w with
+  | Insn.Beq (8, 9, Abs a) -> check_int "target" (pc + 44) a
+  | i -> Alcotest.failf "unexpected decode: %s" (Insn.to_string i));
+  (* Backward branch *)
+  let insn = Insn.Bne (Reg.t0, Reg.zero, Abs (pc + 4 - 400)) in
+  let w = Encode.encode ~pc insn in
+  match Encode.decode ~pc w with
+  | Insn.Bne (8, 0, Abs a) -> check_int "target" (pc + 4 - 400) a
+  | i -> Alcotest.failf "unexpected decode: %s" (Insn.to_string i)
+
+let test_branch_out_of_range () =
+  let pc = 0x0040_0000 in
+  let far = pc + 4 + (40000 * 4) in
+  check "raises" true
+    (try
+       ignore (Encode.encode ~pc (Insn.Beq (1, 2, Abs far)));
+       false
+     with Encode.Error _ -> true)
+
+let test_jump_region () =
+  let pc = 0x0040_0000 in
+  check "raises on cross-region jump" true
+    (try
+       ignore (Encode.encode ~pc (Insn.J (Abs 0x8000_0000)));
+       false
+     with Encode.Error _ -> true)
+
+let test_li_expansion () =
+  let a = Asm.create "t" in
+  Asm.li a Reg.t0 5;
+  Asm.li a Reg.t1 0x12340000;
+  Asm.li a Reg.t2 0x12345678;
+  Asm.li a Reg.t3 (-5);
+  let obj = Asm.to_obj a in
+  check_int "instruction count" 5 (Objfile.insn_count obj)
+
+let simple_module () =
+  let a = Asm.create "m" in
+  let open Asm in
+  global a "_start";
+  label a "_start";
+  li a Reg.t0 10;
+  label a "loop";
+  addiu a Reg.t0 Reg.t0 (-1);
+  bnez a Reg.t0 "loop";
+  la a Reg.t1 "message";
+  lw a Reg.t2 0 Reg.t1;
+  sw a Reg.t2 4 Reg.t1;
+  jr_ a Reg.ra;
+  dlabel a "message";
+  word a 0xDEADBEEF;
+  word a 0;
+  to_obj a
+
+let test_link_simple () =
+  let exe =
+    Link.link ~name:"t" ~text_base:0x0040_0000 ~data_base:0x1000_0000
+      ~entry:"_start" [ simple_module () ]
+  in
+  check_int "entry" 0x0040_0000 exe.Exe.entry;
+  (* li 10 = 1 insn; loop: addiu, bnez(+nop), la(2), lw, sw, jr(+nop) *)
+  check_int "text words" 10 (Array.length exe.Exe.text);
+  check_int "message addr" 0x1000_0000 (Exe.symbol exe "m::message");
+  (* Data image starts with the 0xDEADBEEF word. *)
+  check_int "data word"
+    0xDEADBEEF
+    (Int32.to_int (Bytes.get_int32_le exe.Exe.data 0) land 0xFFFFFFFF);
+  (* la resolved: lui should carry high half of 0x10000000. *)
+  (match exe.Exe.text_insns.(4) with
+  | Insn.Lui (_, Imm v) -> check_int "lui hi" 0x1000 v
+  | i -> Alcotest.failf "expected lui, got %s" (Insn.to_string i));
+  (* Encoded text round-trips through decode. *)
+  Array.iteri
+    (fun idx w ->
+      let pc = exe.Exe.text_base + (idx * 4) in
+      let d = Encode.decode ~pc w in
+      check_str "disasm matches"
+        (Insn.to_string exe.Exe.text_insns.(idx))
+        (Insn.to_string d))
+    exe.Exe.text
+
+let test_link_undefined_symbol () =
+  let a = Asm.create "m" in
+  Asm.global a "_start";
+  Asm.label a "_start";
+  Asm.jal a "nowhere";
+  check "raises" true
+    (try
+       ignore
+         (Link.link ~name:"t" ~text_base:0x0040_0000 ~data_base:0x1000_0000
+            ~entry:"_start" [ Asm.to_obj a ]);
+       false
+     with Link.Error _ -> true)
+
+let test_link_cross_module () =
+  let m1 = Asm.create "m1" in
+  Asm.global m1 "_start";
+  Asm.label m1 "_start";
+  Asm.jal m1 "helper";
+  Asm.ret m1;
+  let m2 = Asm.create "m2" in
+  Asm.leaf m2 "helper" (fun () -> Asm.li m2 Reg.v0 42);
+  let exe =
+    Link.link ~name:"t" ~text_base:0x0040_0000 ~data_base:0x1000_0000
+      ~entry:"_start" [ Asm.to_obj m1; Asm.to_obj m2 ]
+  in
+  let helper_addr = Exe.symbol exe "helper" in
+  match exe.Exe.text_insns.(0) with
+  | Insn.Jal (Abs a) -> check_int "jal target" helper_addr a
+  | i -> Alcotest.failf "expected jal, got %s" (Insn.to_string i)
+
+let test_duplicate_global () =
+  let mk name =
+    let a = Asm.create name in
+    Asm.leaf a "dup" (fun () -> Asm.nop a);
+    Asm.to_obj a
+  in
+  check "raises" true
+    (try
+       ignore
+         (Link.link ~name:"t" ~text_base:0 ~data_base:0x1000 ~entry:"dup"
+            [ mk "a"; mk "b" ]);
+       false
+     with Link.Error _ -> true)
+
+let test_validate_delay_slot () =
+  let a = Asm.create "m" in
+  Asm.i a (Insn.J (Sym "x"));
+  Asm.i a (Insn.J (Sym "x"));
+  Asm.label a "x";
+  Asm.nop a;
+  check "raises" true
+    (try
+       ignore (Asm.to_obj a);
+       false
+     with Failure _ -> true)
+
+let test_validate_label_in_slot () =
+  let a = Asm.create "m" in
+  Asm.i a (Insn.J (Sym "x"));
+  Asm.label a "x";
+  Asm.nop a;
+  check "raises" true
+    (try
+       ignore (Asm.to_obj a);
+       false
+     with Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Basic-block analysis                                                *)
+
+let test_bb_simple () =
+  let a = Asm.create "m" in
+  let open Asm in
+  label a "f";
+  lw a Reg.t0 0 Reg.a0;      (* bb0: lw, addiu, bne, sw(delay) *)
+  addiu a Reg.t0 Reg.t0 1;
+  i a (Insn.Bne (Reg.t0, Reg.zero, Sym "f"));
+  sw a Reg.t0 0 Reg.a0;
+  addiu a Reg.v0 Reg.zero 0; (* bb1: addiu, jr, nop(delay) *)
+  i a (Insn.Jr Reg.ra);
+  nop a;
+  let obj = to_obj a in
+  let blocks = Bb.analyze obj.Objfile.text in
+  check_int "block count" 2 (List.length blocks);
+  match blocks with
+  | [ b0; b1 ] ->
+    check_int "b0 start" 0 b0.Bb.start;
+    check_int "b0 len" 4 b0.Bb.len;
+    check_int "b0 mems" 2 (List.length b0.Bb.mems);
+    check_int "b1 start" 4 b1.Bb.start;
+    check_int "b1 len" 3 b1.Bb.len;
+    check_int "b1 mems" 0 (List.length b1.Bb.mems);
+    (* Memory positions within the block *)
+    (match b0.Bb.mems with
+    | [ m1; m2 ] ->
+      check_int "m1 pos" 0 m1.Bb.pos;
+      check "m1 is load" true m1.Bb.is_load;
+      check_int "m2 pos" 3 m2.Bb.pos;
+      check "m2 is store" false m2.Bb.is_load
+    | _ -> Alcotest.fail "expected 2 mem refs")
+  | _ -> Alcotest.fail "expected 2 blocks"
+
+let test_bb_label_splits () =
+  let a = Asm.create "m" in
+  let open Asm in
+  label a "f";
+  addiu a Reg.t0 Reg.zero 1;
+  addiu a Reg.t1 Reg.zero 2;
+  label a "mid";
+  addiu a Reg.t2 Reg.zero 3;
+  ret a;
+  let blocks = Bb.analyze (to_obj a).Objfile.text in
+  check_int "block count" 2 (List.length blocks);
+  match blocks with
+  | [ b0; b1 ] ->
+    check_int "b0 len" 2 b0.Bb.len;
+    check_int "b1 len" 3 b1.Bb.len
+  | _ -> Alcotest.fail "expected 2 blocks"
+
+let test_bb_trace_words () =
+  let a = Asm.create "m" in
+  let open Asm in
+  label a "f";
+  lw a Reg.t0 0 Reg.a0;
+  lw a Reg.t1 4 Reg.a0;
+  sw a Reg.t1 8 Reg.a0;
+  ret a;
+  match Bb.analyze (to_obj a).Objfile.text with
+  | [ b ] -> check_int "trace words" 4 (Bb.trace_words b)
+  | _ -> Alcotest.fail "expected 1 block"
+
+let test_bb_coverage () =
+  (* Every instruction belongs to exactly one block. *)
+  let obj = simple_module () in
+  let blocks = Bb.analyze obj.Objfile.text in
+  let n = Objfile.insn_count obj in
+  let covered = Array.make n 0 in
+  List.iter
+    (fun b ->
+      for k = b.Bb.start to b.Bb.start + b.Bb.len - 1 do
+        covered.(k) <- covered.(k) + 1
+      done)
+    blocks;
+  Array.iteri (fun idx c -> check_int (Printf.sprintf "insn %d" idx) 1 c) covered
+
+let test_func_scaffold () =
+  let a = Asm.create "m" in
+  Asm.func a "myfunc" ~frame:16 ~saves:[ Reg.s0; Reg.s1 ] (fun () ->
+      Asm.li a Reg.s0 1;
+      Asm.li a Reg.s1 2);
+  let exe =
+    Link.link ~name:"t" ~text_base:0x0040_0000 ~data_base:0x1000_0000
+      ~entry:"myfunc" [ Asm.to_obj a ]
+  in
+  (* Prologue must move sp down by the aligned frame size: 16 + 3*4 = 28,
+     aligned to 32. *)
+  match exe.Exe.text_insns.(0) with
+  | Insn.Alui (ADDIU, 29, 29, Imm v) -> check_int "frame" (-32) v
+  | i -> Alcotest.failf "expected addiu sp, got %s" (Insn.to_string i)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_encode_32bit;
+    Alcotest.test_case "memtrace base/offset extraction" `Quick test_base_offset;
+    Alcotest.test_case "trace-count no-op" `Quick test_trace_count_nop;
+    Alcotest.test_case "branch encoding" `Quick test_branch_encoding;
+    Alcotest.test_case "branch out of range" `Quick test_branch_out_of_range;
+    Alcotest.test_case "jump region check" `Quick test_jump_region;
+    Alcotest.test_case "li expansion" `Quick test_li_expansion;
+    Alcotest.test_case "link simple module" `Quick test_link_simple;
+    Alcotest.test_case "link undefined symbol" `Quick test_link_undefined_symbol;
+    Alcotest.test_case "link cross-module call" `Quick test_link_cross_module;
+    Alcotest.test_case "duplicate global rejected" `Quick test_duplicate_global;
+    Alcotest.test_case "control in delay slot rejected" `Quick test_validate_delay_slot;
+    Alcotest.test_case "label in delay slot rejected" `Quick test_validate_label_in_slot;
+    Alcotest.test_case "bb: simple split" `Quick test_bb_simple;
+    Alcotest.test_case "bb: label splits block" `Quick test_bb_label_splits;
+    Alcotest.test_case "bb: trace words" `Quick test_bb_trace_words;
+    Alcotest.test_case "bb: full coverage" `Quick test_bb_coverage;
+    Alcotest.test_case "function scaffolding" `Quick test_func_scaffold;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* More properties: li correctness on the machine, and linker layout
+   invariants. *)
+
+let prop_li_loads_value =
+  QCheck.Test.make ~count:200 ~name:"li materializes any 32-bit value"
+    (QCheck.make
+       QCheck.Gen.(
+         oneof
+           [
+             int_range (-32768) 32767;
+             map (fun v -> v land 0xFFFFFFFF) (int_bound max_int);
+             oneofl [ 0; 1; -1; 0x8000; -32769; 0x7FFFFFFF; 0xFFFFFFFF;
+                      0x80000000; 0xDEAD0000; 0xBEEF ];
+           ]))
+    (fun v ->
+      let a = Asm.create "t" in
+      Asm.global a "_start";
+      Asm.label a "_start";
+      Asm.li a Reg.v0 v;
+      Asm.hcall a 0;
+      let exe =
+        Link.link ~name:"t" ~text_base:0x80001000 ~data_base:0x80008000
+          ~entry:"_start" [ Asm.to_obj a ]
+      in
+      let m = Systrace_machine.Machine.create () in
+      Systrace_machine.Machine.load_exe_phys m exe ~text_pa:0x1000
+        ~data_pa:0x8000;
+      m.Systrace_machine.Machine.pc <- exe.Exe.entry;
+      m.Systrace_machine.Machine.npc <- exe.Exe.entry + 4;
+      m.Systrace_machine.Machine.hcall_handler <-
+        Some (fun m _ -> Systrace_machine.Machine.halt m);
+      ignore (Systrace_machine.Machine.run m ~max_insns:100);
+      m.Systrace_machine.Machine.regs.(Reg.v0) = v land 0xFFFFFFFF)
+
+(* Random small modules: text layout is contiguous and every label maps
+   inside its module's extent; data labels are aligned as promised. *)
+let gen_tiny_module =
+  QCheck.Gen.(
+    map
+      (fun (nblocks, strs) ->
+        let a = Asm.create "m" in
+        Asm.global a "_start";
+        Asm.label a "_start";
+        List.iteri
+          (fun k len ->
+            Asm.label a (Printf.sprintf "blk%d" k);
+            for _ = 1 to len do
+              Asm.addiu a Reg.t0 Reg.t0 1
+            done)
+          nblocks;
+        Asm.ret a;
+        List.iteri
+          (fun k s ->
+            Asm.asciiz a s;
+            Asm.dlabel a (Printf.sprintf "d%d" k);
+            Asm.word a k)
+          strs;
+        (a, List.length nblocks, List.length strs))
+      (pair (list_size (int_range 1 6) (int_range 1 5))
+         (list_size (int_range 0 5) (string_size ~gen:(char_range 'a' 'z') (int_range 0 9)))))
+
+let prop_linker_layout =
+  QCheck.Test.make ~count:100 ~name:"linker layout invariants"
+    (QCheck.make gen_tiny_module)
+    (fun (a, nblocks, nstrs) ->
+      let exe =
+        Link.link ~name:"t" ~text_base:0x00400000 ~data_base:0x10000000
+          ~entry:"_start" [ Asm.to_obj a ]
+      in
+      let text_lo = exe.Exe.text_base in
+      let text_hi = Exe.text_limit exe in
+      (* every block label is inside the text, word aligned, increasing *)
+      let ok_blocks = ref true in
+      let prev = ref (text_lo - 4) in
+      for k = 0 to nblocks - 1 do
+        let v = Exe.symbol exe (Printf.sprintf "m::blk%d" k) in
+        if v < text_lo || v >= text_hi || v land 3 <> 0 || v <= !prev then
+          ok_blocks := false;
+        prev := v
+      done;
+      (* every data label is 4-aligned (it labels a word after a string of
+         arbitrary length: the alignment fix-up must hold) and its word
+         content matches *)
+      let ok_data = ref true in
+      for k = 0 to nstrs - 1 do
+        let v = Exe.symbol exe (Printf.sprintf "m::d%d" k) in
+        if v land 3 <> 0 then ok_data := false
+        else begin
+          let off = v - exe.Exe.data_base in
+          let w = Int32.to_int (Bytes.get_int32_le exe.Exe.data off) in
+          if w <> k then ok_data := false
+        end
+      done;
+      !ok_blocks && !ok_data)
+
+let tests =
+  tests
+  @ [
+      QCheck_alcotest.to_alcotest prop_li_loads_value;
+      QCheck_alcotest.to_alcotest prop_linker_layout;
+    ]
+
+let test_lo_sign_context_rejected () =
+  (* %lo in a sign-extending context (a load offset) must be rejected by
+     the linker: with bit 15 set it would silently corrupt the address. *)
+  let a = Asm.create "m" in
+  Asm.global a "_start";
+  Asm.label a "_start";
+  Asm.i a (Insn.Load (W, Reg.t0, Reg.t1, Lo "message"));
+  Asm.ret a;
+  Asm.dlabel a "message";
+  Asm.word a 0;
+  check "raises" true
+    (try
+       ignore
+         (Link.link ~name:"t" ~text_base:0x400000 ~data_base:0x10000000
+            ~entry:"_start" [ Asm.to_obj a ]);
+       false
+     with Link.Error _ -> true)
+
+let test_duplicate_module_names_rejected () =
+  let mk () =
+    let a = Asm.create "same" in
+    Asm.leaf a (Printf.sprintf "f%d" (Random.bits ()) ) (fun () -> Asm.nop a);
+    Asm.to_obj a
+  in
+  check "raises" true
+    (try
+       ignore
+         (Link.link ~name:"t" ~text_base:0x400000 ~data_base:0x10000000
+            ~entry:"f" [ mk (); mk () ]);
+       false
+     with Link.Error _ -> true)
+
+let test_data_label_alignment () =
+  (* A label following an odd-length string binds to the aligned start of
+     the next word, not the unaligned position. *)
+  let a = Asm.create "m" in
+  Asm.leaf a "_start" (fun () -> Asm.nop a);
+  Asm.asciiz a "abc";  (* 4 bytes with NUL: still aligned *)
+  Asm.asciiz a "x";    (* 2 bytes: misaligns *)
+  Asm.dlabel a "w";
+  Asm.word a 0xAA55;
+  let exe =
+    Link.link ~name:"t" ~text_base:0x400000 ~data_base:0x10000000
+      ~entry:"_start" [ Asm.to_obj a ]
+  in
+  let v = Exe.symbol exe "m::w" in
+  check_int "aligned" 0 (v land 3);
+  check_int "content"
+    0xAA55
+    (Int32.to_int (Bytes.get_int32_le exe.Exe.data (v - exe.Exe.data_base)))
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "%lo rejected in sign context" `Quick
+        test_lo_sign_context_rejected;
+      Alcotest.test_case "duplicate module names rejected" `Quick
+        test_duplicate_module_names_rejected;
+      Alcotest.test_case "data label alignment" `Quick test_data_label_alignment;
+    ]

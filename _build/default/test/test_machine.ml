@@ -1,0 +1,708 @@
+(* Tests for the machine simulator: instruction semantics, exceptions, TLB,
+   caches, write buffer, FPU, and devices.
+
+   Test programs are assembled with the eDSL, linked at a kseg0 virtual
+   address, and loaded at the corresponding physical address.  The machine
+   boots in kernel mode, so programs can use privileged instructions. *)
+
+open Systrace_isa
+open Systrace_machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let text_va = 0x8000_1000
+let data_va = 0x8000_8000
+
+(* Build a machine running the given module from "_start"; the hcall 0
+   handler halts the machine. *)
+let setup ?(cfg = Machine.default_config) ?(extra = []) (build : Asm.t -> unit) =
+  let a = Asm.create "test" in
+  Asm.global a "_start";
+  Asm.label a "_start";
+  build a;
+  let exe =
+    Link.link ~name:"test" ~text_base:text_va ~data_base:data_va
+      ~entry:"_start"
+      (Asm.to_obj a :: extra)
+  in
+  let m = Machine.create ~cfg () in
+  Machine.load_exe_phys m exe ~text_pa:(Addr.kseg0_pa text_va)
+    ~data_pa:(Addr.kseg0_pa data_va);
+  m.Machine.pc <- exe.Exe.entry;
+  m.Machine.npc <- exe.Exe.entry + 4;
+  m.Machine.hcall_handler <-
+    Some (fun m code -> if code = 0 then Machine.halt m);
+  (m, exe)
+
+let run ?(max_insns = 1_000_000) m =
+  match Machine.run m ~max_insns with
+  | Machine.Halt -> ()
+  | Machine.Limit -> Alcotest.fail "instruction limit reached"
+
+let halt a = Asm.hcall a 0
+
+(* ------------------------------------------------------------------ *)
+
+let test_arith () =
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 21;
+        li a Reg.t1 2;
+        mul a Reg.t2 Reg.t0 Reg.t1;       (* 42 *)
+        li a Reg.t3 (-7);
+        div_ a Reg.t4 Reg.t2 Reg.t3;      (* -6 *)
+        rem_ a Reg.t5 Reg.t2 Reg.t3;      (* 0 *)
+        subu a Reg.t6 Reg.t2 Reg.t0;      (* 21 *)
+        slt a Reg.s0 Reg.t3 Reg.zero;     (* 1: -7 < 0 signed *)
+        sltu a Reg.s1 Reg.t3 Reg.zero;    (* 0: 0xfffffff9 > 0 unsigned *)
+        halt a)
+  in
+  run m;
+  check_int "mul" 42 m.Machine.regs.(Reg.t2);
+  check_int "div" ((-6) land 0xFFFFFFFF) m.Machine.regs.(Reg.t4);
+  check_int "rem" 0 m.Machine.regs.(Reg.t5);
+  check_int "subu" 21 m.Machine.regs.(Reg.t6);
+  check_int "slt signed" 1 m.Machine.regs.(Reg.s0);
+  check_int "sltu unsigned" 0 m.Machine.regs.(Reg.s1)
+
+let test_shifts () =
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 (-8);
+        sra a Reg.t1 Reg.t0 1;            (* -4 *)
+        srl a Reg.t2 Reg.t0 28;           (* 0xF *)
+        sll a Reg.t3 Reg.t0 1;            (* -16 *)
+        halt a)
+  in
+  run m;
+  check_int "sra" ((-4) land 0xFFFFFFFF) m.Machine.regs.(Reg.t1);
+  check_int "srl" 0xF m.Machine.regs.(Reg.t2);
+  check_int "sll" ((-16) land 0xFFFFFFFF) m.Machine.regs.(Reg.t3)
+
+let test_loads_stores () =
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        la a Reg.t0 "buf";
+        li a Reg.t1 0x12345678;
+        sw a Reg.t1 0 Reg.t0;
+        lw a Reg.t2 0 Reg.t0;
+        lbu a Reg.t3 0 Reg.t0;            (* little-endian: 0x78 *)
+        lb a Reg.t4 1 Reg.t0;             (* 0x56 *)
+        lhu a Reg.t5 2 Reg.t0;            (* 0x1234 *)
+        li a Reg.t6 0xFF80;
+        sh a Reg.t6 4 Reg.t0;
+        lh a Reg.t7 4 Reg.t0;             (* sign-extended: -128 *)
+        halt a;
+        dlabel a "buf";
+        space a 16)
+  in
+  run m;
+  check_int "lw" 0x12345678 m.Machine.regs.(Reg.t2);
+  check_int "lbu" 0x78 m.Machine.regs.(Reg.t3);
+  check_int "lb" 0x56 m.Machine.regs.(Reg.t4);
+  check_int "lhu" 0x1234 m.Machine.regs.(Reg.t5);
+  check_int "lh sign" ((-128) land 0xFFFFFFFF) m.Machine.regs.(Reg.t7)
+
+let test_branch_delay_slot () =
+  (* The delay slot executes even for taken branches. *)
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 0;
+        li a Reg.t1 5;
+        label a "loop";
+        Asm.i a (Insn.Bne (Reg.t1, Reg.zero, Sym "loop"));
+        (* delay slot: executes 5 times *)
+        Asm.i a (Insn.Alui (ADDIU, Reg.t0, Reg.t0, Imm 1));
+        halt a)
+  in
+  (* Wait: the delay slot must also decrement t1, else infinite loop. Redo
+     with a proper loop below. *)
+  ignore m;
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 0;
+        li a Reg.t1 5;
+        label a "loop";
+        addiu a Reg.t1 Reg.t1 (-1);
+        Asm.i a (Insn.Bne (Reg.t1, Reg.zero, Sym "loop"));
+        Asm.i a (Insn.Alui (ADDIU, Reg.t0, Reg.t0, Imm 1)) (* delay slot *);
+        halt a)
+  in
+  run m;
+  (* Delay slot runs on every iteration including the fall-through one. *)
+  check_int "delay slot executed each iteration" 5 m.Machine.regs.(Reg.t0);
+  check_int "loop counter" 0 m.Machine.regs.(Reg.t1)
+
+let test_jal_ra () =
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        jal a "callee";
+        move a Reg.s0 Reg.v0;
+        halt a;
+        leaf a "callee" (fun () -> li a Reg.v0 99))
+  in
+  run m;
+  check_int "return value" 99 m.Machine.regs.(Reg.s0)
+
+let test_syscall_exception () =
+  (* A syscall from kernel mode enters the general vector with EPC set. *)
+  let vec = Asm.create "vec" in
+  Asm.global vec "_vec_general";
+  Asm.label vec "_vec_general";
+  Asm.mfc0 vec Reg.k0 Insn.C0_epc;
+  Asm.mfc0 vec Reg.k1 Insn.C0_cause;
+  Asm.hcall vec 0;
+  let vexe =
+    Link.link ~name:"vec" ~text_base:Addr.general_vector
+      ~data_base:0x8000_0C00 ~entry:"_vec_general" [ Asm.to_obj vec ]
+  in
+  let m, exe =
+    setup (fun a ->
+        let open Asm in
+        nop a;
+        syscall a;
+        nop a)
+  in
+  Machine.load_exe_phys m vexe
+    ~text_pa:(Addr.kseg0_pa Addr.general_vector)
+    ~data_pa:(Addr.kseg0_pa 0x8000_0C00);
+  run m;
+  let syscall_addr = exe.Exe.entry + 4 in
+  check_int "epc" syscall_addr m.Machine.regs.(Reg.k0);
+  check_int "cause code" (Machine.Exc.syscall lsl 2)
+    (m.Machine.regs.(Reg.k1) land 0x7C);
+  check_int "syscall counter" 1 m.Machine.c.Machine.syscalls
+
+let test_delay_slot_exception () =
+  (* An exception in a delay slot sets EPC to the branch and BD in cause. *)
+  let vec = Asm.create "vec" in
+  Asm.global vec "_vec_general";
+  Asm.label vec "_vec_general";
+  Asm.mfc0 vec Reg.k0 Insn.C0_epc;
+  Asm.mfc0 vec Reg.k1 Insn.C0_cause;
+  Asm.hcall vec 0;
+  let vexe =
+    Link.link ~name:"vec" ~text_base:Addr.general_vector
+      ~data_base:0x8000_0C00 ~entry:"_vec_general" [ Asm.to_obj vec ]
+  in
+  let m, exe =
+    setup (fun a ->
+        let open Asm in
+        nop a;
+        Asm.i a (Insn.J (Sym "away"));
+        Asm.i a Insn.Syscall (* delay slot *);
+        label a "away";
+        nop a;
+        halt a)
+  in
+  Machine.load_exe_phys m vexe
+    ~text_pa:(Addr.kseg0_pa Addr.general_vector)
+    ~data_pa:(Addr.kseg0_pa 0x8000_0C00);
+  run m;
+  let branch_addr = exe.Exe.entry + 4 in
+  check_int "epc points at branch" branch_addr m.Machine.regs.(Reg.k0);
+  check "BD bit set" true (m.Machine.regs.(Reg.k1) land 0x80000000 <> 0)
+
+let test_utlb_miss_vector () =
+  (* A kuseg reference with no TLB entry vectors to 0x80000000. *)
+  let vec = Asm.create "vec" in
+  Asm.global vec "_vec_utlb";
+  Asm.label vec "_vec_utlb";
+  Asm.mfc0 vec Reg.k0 Insn.C0_badvaddr;
+  Asm.hcall vec 0;
+  let vexe =
+    Link.link ~name:"vec" ~text_base:Addr.utlb_vector ~data_base:0x8000_0C00
+      ~entry:"_vec_utlb" [ Asm.to_obj vec ]
+  in
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 0x0040_0404;
+        lw a Reg.t1 0 Reg.t0;
+        halt a)
+  in
+  Machine.load_exe_phys m vexe
+    ~text_pa:(Addr.kseg0_pa Addr.utlb_vector)
+    ~data_pa:(Addr.kseg0_pa 0x8000_0C00);
+  run m;
+  check_int "badvaddr" 0x0040_0404 m.Machine.regs.(Reg.k0);
+  check_int "utlb miss counted" 1 m.Machine.c.Machine.utlb_misses
+
+let test_tlb_mapping () =
+  (* Write a TLB entry mapping user page 0x400 (va 0x00400000) to a physical
+     frame, then access it from kernel mode through kuseg. *)
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        (* entryhi: vpn 0x400, asid 0 *)
+        li a Reg.t0 (0x400 lsl 12);
+        mtc0 a Reg.t0 Insn.C0_entryhi;
+        (* entrylo: pfn 0x200 (pa 0x200000), valid+dirty *)
+        li a Reg.t1 ((0x200 lsl 12) lor 0x600);
+        mtc0 a Reg.t1 Insn.C0_entrylo;
+        li a Reg.t2 (0 lsl 8);
+        mtc0 a Reg.t2 Insn.C0_index;
+        tlbwi a;
+        (* Store through the mapping, read back through kseg0. *)
+        li a Reg.t3 0x00400010;
+        li a Reg.t4 0xBEEF;
+        sw a Reg.t4 0 Reg.t3;
+        li a Reg.t5 0x80200010;
+        lw a Reg.s0 0 Reg.t5;
+        halt a)
+  in
+  run m;
+  check_int "mapped store visible at pa" 0xBEEF m.Machine.regs.(Reg.s0);
+  check_int "no utlb misses" 0 m.Machine.c.Machine.utlb_misses
+
+let test_tlbp () =
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 (0x123 lsl 12);
+        mtc0 a Reg.t0 Insn.C0_entryhi;
+        li a Reg.t1 ((0x77 lsl 12) lor 0x600);
+        mtc0 a Reg.t1 Insn.C0_entrylo;
+        li a Reg.t2 (5 lsl 8);
+        mtc0 a Reg.t2 Insn.C0_index;
+        tlbwi a;
+        (* Probe for it. *)
+        li a Reg.t3 (0x123 lsl 12);
+        mtc0 a Reg.t3 Insn.C0_entryhi;
+        tlbp a;
+        mfc0 a Reg.s0 Insn.C0_index;
+        (* Probe for something absent. *)
+        li a Reg.t4 (0x999 lsl 12);
+        mtc0 a Reg.t4 Insn.C0_entryhi;
+        tlbp a;
+        mfc0 a Reg.s1 Insn.C0_index;
+        halt a)
+  in
+  run m;
+  check_int "probe hit index" (5 lsl 8) m.Machine.regs.(Reg.s0);
+  check "probe miss flag" true (m.Machine.regs.(Reg.s1) land 0x80000000 <> 0)
+
+let test_user_mode_protection () =
+  (* In user mode, privileged instructions trap, and kseg access traps. *)
+  let vec = Asm.create "vec" in
+  Asm.global vec "_vec_general";
+  Asm.label vec "_vec_general";
+  Asm.mfc0 vec Reg.k0 Insn.C0_cause;
+  Asm.hcall vec 0;
+  let vexe =
+    Link.link ~name:"vec" ~text_base:Addr.general_vector
+      ~data_base:0x8000_0C00 ~entry:"_vec_general" [ Asm.to_obj vec ]
+  in
+  (* Map a user text page: we place user code at va 0x00400000 backed by
+     pa 0x200000 and jump to it with user mode set via rfe. *)
+  let user = Asm.create "user" in
+  Asm.global user "_user";
+  Asm.label user "_user";
+  Asm.li user Reg.t0 0x80000000;
+  Asm.lw user Reg.t1 0 Reg.t0;
+  (* should trap AdEL before this: *)
+  Asm.nop user;
+  let uexe =
+    Link.link ~name:"user" ~text_base:0x0040_0000 ~data_base:0x0041_0000
+      ~entry:"_user" [ Asm.to_obj user ]
+  in
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        (* TLB entry for user text page *)
+        li a Reg.t0 (0x400 lsl 12);
+        mtc0 a Reg.t0 Insn.C0_entryhi;
+        li a Reg.t1 ((0x200 lsl 12) lor 0x600);
+        mtc0 a Reg.t1 Insn.C0_entrylo;
+        li a Reg.t2 0;
+        mtc0 a Reg.t2 Insn.C0_index;
+        tlbwi a;
+        (* status: KUp=1 (user after rfe), IEp=0; KUc=0 now *)
+        li a Reg.t3 0x8;
+        mtc0 a Reg.t3 Insn.C0_status;
+        li a Reg.t4 0x0040_0000;
+        mtc0 a Reg.t4 Insn.C0_epc;
+        mfc0 a Reg.t5 Insn.C0_epc;
+        Asm.i a (Insn.Jr Reg.t5);
+        Asm.i a Insn.Rfe (* delay slot: classic return-to-user sequence *))
+  in
+  Machine.load_exe_phys m vexe
+    ~text_pa:(Addr.kseg0_pa Addr.general_vector)
+    ~data_pa:(Addr.kseg0_pa 0x8000_0C00);
+  Machine.load_exe_phys m uexe ~text_pa:0x20_0000 ~data_pa:0x21_0000;
+  run m;
+  check_int "AdEL cause" (Machine.Exc.adel lsl 2)
+    (m.Machine.regs.(Reg.k0) land 0x7C)
+
+let test_console_device () =
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 (0xA0000000 + Addr.device_base_pa);
+        li a Reg.t1 (Char.code 'h');
+        sw a Reg.t1 Addr.dev_console_tx Reg.t0;
+        li a Reg.t1 (Char.code 'i');
+        sw a Reg.t1 Addr.dev_console_tx Reg.t0;
+        halt a)
+  in
+  run m;
+  Alcotest.(check string) "console" "hi" (Machine.console_contents m)
+
+let test_clock_interrupt () =
+  let vec = Asm.create "vec" in
+  Asm.global vec "_vec_general";
+  Asm.label vec "_vec_general";
+  (* Ack the clock and halt. *)
+  Asm.li vec Reg.k0 (0xA0000000 + Addr.device_base_pa);
+  Asm.sw vec Reg.zero Addr.dev_clock_ack Reg.k0;
+  Asm.hcall vec 0;
+  let vexe =
+    Link.link ~name:"vec" ~text_base:Addr.general_vector
+      ~data_base:0x8000_0C00 ~entry:"_vec_general" [ Asm.to_obj vec ]
+  in
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        (* Program the clock for 500 cycles. *)
+        li a Reg.t0 (0xA0000000 + Addr.device_base_pa);
+        li a Reg.t1 500;
+        sw a Reg.t1 Addr.dev_clock_interval Reg.t0;
+        (* Enable interrupts: IEc=1, IM for the clock line. *)
+        li a Reg.t2 (1 lor (1 lsl (Addr.irq_clock + 8)));
+        mtc0 a Reg.t2 Insn.C0_status;
+        label a "spin";
+        j_ a "spin")
+  in
+  Machine.load_exe_phys m vexe
+    ~text_pa:(Addr.kseg0_pa Addr.general_vector)
+    ~data_pa:(Addr.kseg0_pa 0x8000_0C00);
+  run m;
+  check_int "one tick" 1 m.Machine.c.Machine.clock_ticks;
+  check_int "one interrupt" 1 m.Machine.c.Machine.interrupts
+
+let test_disk_read () =
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 (0xA0000000 + Addr.device_base_pa);
+        (* Read block 3 into pa 0x100000. *)
+        li a Reg.t1 3;
+        sw a Reg.t1 Addr.dev_disk_block Reg.t0;
+        li a Reg.t1 0x100000;
+        sw a Reg.t1 Addr.dev_disk_addr Reg.t0;
+        li a Reg.t1 1;
+        sw a Reg.t1 Addr.dev_disk_count Reg.t0;
+        sw a Reg.t1 Addr.dev_disk_cmd Reg.t0;
+        (* Busy-wait on the done block register. *)
+        label a "wait";
+        lw a Reg.t2 Addr.dev_disk_done_block Reg.t0;
+        li a Reg.t3 3;
+        bne a Reg.t2 Reg.t3 "wait";
+        sw a Reg.zero Addr.dev_disk_ack Reg.t0;
+        (* Load the first word of the block. *)
+        li a Reg.t4 0x80100000;
+        lw a Reg.s0 0 Reg.t4;
+        halt a)
+  in
+  Disk.write_image m.Machine.disk ~block:3 ~off:0 "\xEF\xBE\xAD\xDE";
+  run m;
+  check_int "dma contents" 0xDEADBEEF m.Machine.regs.(Reg.s0);
+  check "took disk latency" true (m.Machine.cycles > 20000)
+
+let test_dcache_behavior () =
+  (* First pass over an array misses; second pass hits. *)
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        la a Reg.s0 "arr";
+        List.iter
+          (fun _pass ->
+            move a Reg.t0 Reg.s0;
+            li a Reg.t1 64;
+            let l = fresh_label a "lp" in
+            label a l;
+            lw a Reg.t2 0 Reg.t0;
+            addiu a Reg.t0 Reg.t0 4;
+            addiu a Reg.t1 Reg.t1 (-1);
+            bnez a Reg.t1 l)
+          [ 1; 2 ];
+        halt a;
+        dlabel a "arr";
+        space a 256)
+  in
+  let misses_before = Machine.dcache_misses m in
+  run m;
+  let misses = Machine.dcache_misses m - misses_before in
+  (* 256 bytes / 4-byte lines = 64 misses on the first pass only. *)
+  check_int "compulsory misses" 64 misses
+
+let test_write_buffer_stalls () =
+  (* A burst of back-to-back stores overwhelms the 4-entry buffer. *)
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        la a Reg.t0 "arr";
+        for k = 0 to 19 do
+          sw a Reg.zero (k * 4) Reg.t0
+        done;
+        halt a;
+        dlabel a "arr";
+        space a 128)
+  in
+  run m;
+  check "wb stalls happened" true (Machine.wb_stalls m > 0)
+
+let test_fpu_arithmetic () =
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        la a Reg.t0 "vals";
+        ld a 0 0 Reg.t0;                      (* 1.5 *)
+        ld a 1 8 Reg.t0;                      (* 2.5 *)
+        fadd a 2 0 1;                         (* 4.0 *)
+        fmul a 3 2 2;                         (* 16.0 *)
+        i a (Insn.Fop (FDIV, 4, 3, 1));       (* 6.4 *)
+        sd a 4 16 Reg.t0;
+        (* Integer conversion round-trip *)
+        li a Reg.t1 7;
+        mtc1 a Reg.t1 5;
+        cvtdw a 5 5;
+        fadd a 5 5 0;                         (* 8.5 *)
+        truncwd a 5 5;
+        mfc1 a Reg.s0 5;                      (* 8 *)
+        halt a;
+        dlabel a "vals";
+        double a 1.5;
+        double a 2.5;
+        double a 0.0)
+  in
+  run m;
+  check_int "trunc result" 8 m.Machine.regs.(Reg.s0);
+  let bits =
+    Int64.logor
+      (Int64.of_int (Machine.read_phys_u32 m (Addr.kseg0_pa data_va + 16)))
+      (Int64.shift_left
+         (Int64.of_int (Machine.read_phys_u32 m (Addr.kseg0_pa data_va + 20)))
+         32)
+  in
+  Alcotest.(check (float 1e-9)) "fp result" 6.4 (Int64.float_of_bits bits);
+  check "fp ops counted" true (m.Machine.fpu.Fpu.ops >= 5)
+
+let test_fpu_stalls () =
+  (* A dependent chain of divides must accumulate arithmetic stalls. *)
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        la a Reg.t0 "vals";
+        ld a 0 0 Reg.t0;
+        ld a 1 8 Reg.t0;
+        for _ = 1 to 8 do
+          i a (Insn.Fop (FDIV, 0, 0, 1))
+        done;
+        halt a;
+        dlabel a "vals";
+        double a 1000.0;
+        double a 1.1)
+  in
+  run m;
+  check "arith stalls accumulate" true (Machine.arith_stalls m > 50)
+
+let test_cycle_counter_device () =
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 (0xA0000000 + Addr.device_base_pa);
+        lw a Reg.s0 Addr.dev_cycle_lo Reg.t0;
+        lw a Reg.s1 Addr.dev_cycle_lo Reg.t0;
+        halt a)
+  in
+  run m;
+  check "cycle counter advances" true
+    (m.Machine.regs.(Reg.s1) > m.Machine.regs.(Reg.s0))
+
+let test_idle_range_counting () =
+  let m, exe =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 10;
+        label a "idle_loop";
+        addiu a Reg.t0 Reg.t0 (-1);
+        bnez a Reg.t0 "idle_loop";
+        label a "idle_end";
+        halt a)
+  in
+  m.Machine.idle_lo <- Exe.symbol exe "test::idle_loop";
+  m.Machine.idle_hi <- Exe.symbol exe "test::idle_end";
+  run m;
+  (* 10 iterations x 3 instructions (addiu, bnez, nop-delay). *)
+  check_int "idle instructions" 30 m.Machine.c.Machine.idle_instructions
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "loads and stores" `Quick test_loads_stores;
+    Alcotest.test_case "branch delay slot" `Quick test_branch_delay_slot;
+    Alcotest.test_case "jal/ra" `Quick test_jal_ra;
+    Alcotest.test_case "syscall exception" `Quick test_syscall_exception;
+    Alcotest.test_case "exception in delay slot" `Quick test_delay_slot_exception;
+    Alcotest.test_case "utlb miss vector" `Quick test_utlb_miss_vector;
+    Alcotest.test_case "tlb mapping" `Quick test_tlb_mapping;
+    Alcotest.test_case "tlbp probe" `Quick test_tlbp;
+    Alcotest.test_case "user mode protection" `Quick test_user_mode_protection;
+    Alcotest.test_case "console device" `Quick test_console_device;
+    Alcotest.test_case "clock interrupt" `Quick test_clock_interrupt;
+    Alcotest.test_case "disk read + dma" `Quick test_disk_read;
+    Alcotest.test_case "dcache hit/miss" `Quick test_dcache_behavior;
+    Alcotest.test_case "write buffer stalls" `Quick test_write_buffer_stalls;
+    Alcotest.test_case "fpu arithmetic" `Quick test_fpu_arithmetic;
+    Alcotest.test_case "fpu stalls" `Quick test_fpu_stalls;
+    Alcotest.test_case "cycle counter device" `Quick test_cycle_counter_device;
+    Alcotest.test_case "idle range counting" `Quick test_idle_range_counting;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Additional machine semantics                                        *)
+
+let run_expect_vec body =
+  (* Run [body] with a general-vector stub that records cause/badvaddr
+     into k0/k1 and halts. *)
+  let vec = Asm.create "vec" in
+  Asm.global vec "_vec_general";
+  Asm.label vec "_vec_general";
+  Asm.mfc0 vec Reg.k0 Insn.C0_cause;
+  Asm.mfc0 vec Reg.k1 Insn.C0_badvaddr;
+  Asm.hcall vec 0;
+  let vexe =
+    Link.link ~name:"vec" ~text_base:Addr.general_vector
+      ~data_base:0x8000_0C00 ~entry:"_vec_general" [ Asm.to_obj vec ]
+  in
+  let m, _ = setup body in
+  Machine.load_exe_phys m vexe
+    ~text_pa:(Addr.kseg0_pa Addr.general_vector)
+    ~data_pa:(Addr.kseg0_pa 0x8000_0C00);
+  run m;
+  ((m.Machine.regs.(Reg.k0) lsr 2) land 0x1F, m.Machine.regs.(Reg.k1))
+
+let test_alignment_traps () =
+  let code, badva =
+    run_expect_vec (fun a ->
+        let open Asm in
+        li a Reg.t0 0x80002002;
+        lw a Reg.t1 0 Reg.t0)
+  in
+  check_int "AdEL" Machine.Exc.adel code;
+  check_int "badva" 0x80002002 badva;
+  let code, _ =
+    run_expect_vec (fun a ->
+        let open Asm in
+        li a Reg.t0 0x80002001;
+        sh a Reg.t1 0 Reg.t0)
+  in
+  check_int "AdES" Machine.Exc.ades code;
+  let code, _ =
+    run_expect_vec (fun a ->
+        let open Asm in
+        li a Reg.t0 0x80002004;  (* 4-aligned but not 8 *)
+        ld a 0 0 Reg.t0)
+  in
+  check_int "l.d AdEL" Machine.Exc.adel code
+
+let test_interrupt_masking () =
+  (* With IM clear, a pending clock line must NOT interrupt. *)
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 (0xA0000000 + Addr.device_base_pa);
+        li a Reg.t1 200;
+        sw a Reg.t1 Addr.dev_clock_interval Reg.t0;
+        (* IEc on, but IM = 0 *)
+        li a Reg.t2 1;
+        mtc0 a Reg.t2 Insn.C0_status;
+        li a Reg.t3 3000;
+        label a "spin";
+        addiu a Reg.t3 Reg.t3 (-1);
+        bgtz a Reg.t3 "spin";
+        hcall a 0)
+  in
+  run m;
+  check "ticks pending but uninterrupted" true
+    (m.Machine.c.Machine.clock_ticks > 0
+    && m.Machine.c.Machine.interrupts = 0)
+
+let test_store_invalidates_decode () =
+  (* Self-modifying code: a store over an instruction must invalidate the
+     decoded-instruction cache (the machine-level mechanism the kernel's
+     cache-flush discipline relies on). *)
+  let m, exe =
+    setup (fun a ->
+        let open Asm in
+        (* patch target: turns "li v0, 1" into "li v0, 42" *)
+        la a Reg.t0 "$patch";
+        li a Reg.t1 0x24020063;  (* addiu v0, zero, 99 *)
+        (* run the instruction once, patch it, run again *)
+        jal a "$target";
+        move a Reg.s0 Reg.v0;
+        sw a Reg.t1 0 Reg.t0;
+        jal a "$target";
+        move a Reg.s1 Reg.v0;
+        hcall a 0;
+        label a "$target";
+        label a "$patch";
+        li a Reg.v0 1;
+        ret a)
+  in
+  ignore exe;
+  run m;
+  check_int "before patch" 1 m.Machine.regs.(Reg.s0);
+  check_int "after patch" 99 m.Machine.regs.(Reg.s1)
+
+let test_random_register_range () =
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        mfc0 a Reg.s0 Insn.C0_random;
+        nop a; nop a; nop a;
+        mfc0 a Reg.s1 Insn.C0_random;
+        hcall a 0)
+  in
+  run m;
+  let idx r = (r lsr 8) land 0x3F in
+  check "in range" true
+    (idx m.Machine.regs.(Reg.s0) >= 8 && idx m.Machine.regs.(Reg.s0) < 64);
+  check "advances" true (m.Machine.regs.(Reg.s0) <> m.Machine.regs.(Reg.s1))
+
+let test_context_register () =
+  let m, _ =
+    setup (fun a ->
+        let open Asm in
+        li a Reg.t0 0xC0200000;
+        mtc0 a Reg.t0 Insn.C0_context;
+        (* touch an unmapped user address to set BadVPN; the utlb stub at
+           the vector returns through k1 after a tlbwr of garbage, so give
+           it a vector that just records context. *)
+        mfc0 a Reg.s0 Insn.C0_context;
+        hcall a 0)
+  in
+  run m;
+  (* with no fault yet, BadVPN is whatever was there (0): base preserved *)
+  check_int "PTEbase preserved" 0xC0200000
+    (m.Machine.regs.(Reg.s0) land 0xFFE00000)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "alignment traps" `Quick test_alignment_traps;
+      Alcotest.test_case "interrupt masking" `Quick test_interrupt_masking;
+      Alcotest.test_case "store invalidates decode" `Quick
+        test_store_invalidates_decode;
+      Alcotest.test_case "random register range" `Quick test_random_register_range;
+      Alcotest.test_case "context register" `Quick test_context_register;
+    ]

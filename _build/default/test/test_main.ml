@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "systrace"
+    [
+      ("util", Test_util.tests);
+      ("isa", Test_isa.tests);
+      ("machine", Test_machine.tests);
+      ("tracing", Test_tracing.tests);
+      ("epoxie", Test_epoxie.tests);
+      ("kernel", Test_kernel.tests);
+      ("tracesim", Test_tracesim.tests);
+      ("workloads", Test_workloads.tests);
+      ("threads", Test_threads.tests);
+    ]

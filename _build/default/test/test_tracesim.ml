@@ -1,0 +1,419 @@
+(* Tests for the trace-driven memory-system simulator: the independent
+   cache/TLB/write-buffer models, the handler-synthesis logic, and the
+   execution-time predictor. *)
+
+open Systrace_tracesim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Cache model                                                         *)
+
+let test_cache_compulsory () =
+  let c = Sim_cache.create ~size_bytes:1024 ~line_bytes:16 in
+  for k = 0 to 63 do
+    ignore (Sim_cache.read c (k * 16))
+  done;
+  check_int "all compulsory" 64 c.Sim_cache.read_misses;
+  for k = 0 to 63 do
+    ignore (Sim_cache.read c (k * 16))
+  done;
+  check_int "all hits" 64 c.Sim_cache.read_hits
+
+let test_cache_conflict () =
+  let c = Sim_cache.create ~size_bytes:1024 ~line_bytes:16 in
+  (* two addresses 1024 apart map to the same line *)
+  ignore (Sim_cache.read c 0);
+  ignore (Sim_cache.read c 1024);
+  ignore (Sim_cache.read c 0);
+  check_int "ping-pong misses" 3 c.Sim_cache.read_misses
+
+let test_cache_write_no_allocate () =
+  let c = Sim_cache.create ~size_bytes:1024 ~line_bytes:16 in
+  check "write miss" true (not (Sim_cache.write c 64));
+  (* the line was NOT allocated *)
+  check "read still misses" true (not (Sim_cache.read c 64));
+  (* but a write to a present line hits *)
+  check "write hit" true (Sim_cache.write c 64)
+
+let prop_cache_sequential =
+  QCheck.Test.make ~count:100 ~name:"sequential scan misses once per line"
+    QCheck.(pair (int_range 1 6) (int_range 1 64))
+    (fun (line_pow, nlines) ->
+      let line = 1 lsl (line_pow + 1) in
+      let c = Sim_cache.create ~size_bytes:(line * 256) ~line_bytes:line in
+      let bytes = nlines * line in
+      for a = 0 to bytes - 1 do
+        ignore (Sim_cache.read c a)
+      done;
+      c.Sim_cache.read_misses = nlines)
+
+(* ------------------------------------------------------------------ *)
+(* TLB model                                                           *)
+
+let test_tlb_hit_miss () =
+  let t = Sim_tlb.create () in
+  check "first access misses" true
+    (not (Sim_tlb.access t ~vpn:5 ~asid:1 ~global:false ~user:true));
+  check "second access hits" true
+    (Sim_tlb.access t ~vpn:5 ~asid:1 ~global:false ~user:true);
+  check_int "one user miss" 1 t.Sim_tlb.user_misses
+
+let test_tlb_asid_isolation () =
+  let t = Sim_tlb.create () in
+  ignore (Sim_tlb.access t ~vpn:5 ~asid:1 ~global:false ~user:true);
+  check "different asid misses" true
+    (not (Sim_tlb.access t ~vpn:5 ~asid:2 ~global:false ~user:true))
+
+let test_tlb_global_entries () =
+  let t = Sim_tlb.create () in
+  ignore (Sim_tlb.access t ~vpn:9 ~asid:0 ~global:true ~user:false);
+  check "global entry matches any asid" true
+    (Sim_tlb.access t ~vpn:9 ~asid:7 ~global:false ~user:true)
+
+let test_tlb_capacity () =
+  let t = Sim_tlb.create ~size:16 ~wired:0 () in
+  (* touch 32 distinct pages twice: capacity misses must occur *)
+  for round = 1 to 2 do
+    ignore round;
+    for vpn = 0 to 31 do
+      ignore (Sim_tlb.access t ~vpn ~asid:1 ~global:false ~user:true)
+    done
+  done;
+  check "capacity misses" true (t.Sim_tlb.user_misses > 32)
+
+let test_tlb_size_param () =
+  let small = Sim_tlb.create ~size:16 ~wired:8 () in
+  let big = Sim_tlb.create ~size:128 ~wired:8 () in
+  for round = 1 to 3 do
+    ignore round;
+    for vpn = 0 to 63 do
+      ignore (Sim_tlb.access small ~vpn ~asid:1 ~global:false ~user:true);
+      ignore (Sim_tlb.access big ~vpn ~asid:1 ~global:false ~user:true)
+    done
+  done;
+  check "bigger TLB misses less" true
+    (big.Sim_tlb.user_misses < small.Sim_tlb.user_misses)
+
+(* ------------------------------------------------------------------ *)
+(* Write buffer model                                                  *)
+
+let test_wb_burst_stalls () =
+  let wb = Sim_wb.create ~depth:4 ~drain_cycles:6 () in
+  let total = ref 0 in
+  for _ = 1 to 20 do
+    Sim_wb.tick wb 1;
+    total := !total + Sim_wb.store wb
+  done;
+  check "burst causes stalls" true (!total > 0)
+
+let test_wb_spaced_stores_free () =
+  let wb = Sim_wb.create ~depth:4 ~drain_cycles:6 () in
+  let total = ref 0 in
+  for _ = 1 to 20 do
+    Sim_wb.tick wb 10;
+    total := !total + Sim_wb.store wb
+  done;
+  check_int "spaced stores never stall" 0 !total
+
+(* ------------------------------------------------------------------ *)
+(* Memsim: synthetic event streams                                     *)
+
+let mk_memsim ?(tlb_entries = 64) () =
+  Memsim.create
+    {
+      Memsim.icache_bytes = 4096;
+      icache_line = 16;
+      icache_ways = 1;
+      dcache_bytes = 4096;
+      dcache_line = 4;
+      dcache_ways = 1;
+      read_miss_penalty = 10;
+      uncached_penalty = 10;
+      wb_depth = 4;
+      wb_drain = 6;
+      pagemap = (fun _pid va -> Some (va land 0xFFFFF));
+      pt_base = (fun pid -> 0xC0000000 + (pid * 0x200000));
+      utlb_handler_insns = 8;
+      ktlb_handler_insns = 24;
+      tlb_entries;
+    }
+
+let test_memsim_utlb_synthesis () =
+  let m = mk_memsim () in
+  (* one user instruction on a fresh page: TLB miss -> synthesized
+     handler (8 instructions) + PTE load (whose kseg2 access KTLB-misses
+     and synthesizes another 24). *)
+  Memsim.on_inst m 0x00400000 1 false;
+  let s = Memsim.stats m in
+  check_int "one utlb miss" 1 s.Memsim.utlb_misses;
+  check_int "one ktlb miss" 1 s.Memsim.ktlb_misses;
+  check_int "synthesized instructions" (8 + 24) s.Memsim.synth_insts;
+  check_int "one trace instruction" 1 s.Memsim.insts
+
+let test_memsim_no_tlb_for_kseg0 () =
+  let m = mk_memsim () in
+  Memsim.on_inst m 0x80001000 0 true;
+  Memsim.on_data m 0x80080000 0 true true 4;
+  let s = Memsim.stats m in
+  check_int "no tlb misses" 0 (s.Memsim.utlb_misses + s.Memsim.ktlb_misses)
+
+let test_memsim_kseg1_uncached () =
+  let m = mk_memsim () in
+  Memsim.on_data m 0xA1000000 0 true true 4;
+  Memsim.on_data m 0xA1000000 0 true false 4;
+  let s = Memsim.stats m in
+  check_int "uncached read" 1 s.Memsim.uncached_reads;
+  check_int "uncached write" 1 s.Memsim.uncached_writes
+
+let test_memsim_mode_split () =
+  let m = mk_memsim () in
+  Memsim.on_inst m 0x80001000 0 true;
+  Memsim.on_inst m 0x00400000 1 false;
+  let s = Memsim.stats m in
+  check_int "kernel insts" 1 s.Memsim.kernel_insts;
+  check_int "user insts" 1 s.Memsim.user_insts
+
+let test_memsim_same_page_one_miss () =
+  let m = mk_memsim () in
+  for k = 0 to 99 do
+    Memsim.on_inst m (0x00400000 + (k * 4)) 1 false
+  done;
+  check_int "one page, one miss" 1 (Memsim.stats m).Memsim.utlb_misses
+
+(* ------------------------------------------------------------------ *)
+(* Predictor arithmetic                                                *)
+
+let test_predict_components () =
+  let mem =
+    {
+      Memsim.insts = 1000;
+      datas = 300;
+      kernel_insts = 400;
+      user_insts = 600;
+      kernel_stall = 0;
+      user_stall = 0;
+      synth_insts = 50;
+      icache_misses = 10;
+      dcache_read_misses = 20;
+      uncached_reads = 5;
+      uncached_writes = 5;
+      wb_stalls = 7;
+      utlb_misses = 3;
+      ktlb_misses = 1;
+      unmapped = 0;
+    }
+  in
+  let parse = Systrace_tracing.Parser.fresh_stats () in
+  parse.Systrace_tracing.Parser.idle_insts <- 100;
+  let b =
+    Predict.make ~mem ~parse ~arith_stalls:11 ~dilation:15
+      ~read_miss_penalty:15 ~uncached_penalty:12
+  in
+  check_int "icache stall" 150 b.Predict.icache_stall;
+  check_int "dcache stall" 300 b.Predict.dcache_stall;
+  check_int "uncached stall" 120 b.Predict.uncached_stall;
+  check_int "idle extra" 1400 b.Predict.io_idle_extra;
+  check_int "total"
+    (1000 + 50 + 1400 + 150 + 300 + 120 + 7 + 11)
+    b.Predict.total_cycles
+
+let tests =
+  [
+    Alcotest.test_case "cache: compulsory then hits" `Quick test_cache_compulsory;
+    Alcotest.test_case "cache: conflict ping-pong" `Quick test_cache_conflict;
+    Alcotest.test_case "cache: write no-allocate" `Quick test_cache_write_no_allocate;
+    QCheck_alcotest.to_alcotest prop_cache_sequential;
+    Alcotest.test_case "tlb: hit/miss" `Quick test_tlb_hit_miss;
+    Alcotest.test_case "tlb: asid isolation" `Quick test_tlb_asid_isolation;
+    Alcotest.test_case "tlb: global entries" `Quick test_tlb_global_entries;
+    Alcotest.test_case "tlb: capacity misses" `Quick test_tlb_capacity;
+    Alcotest.test_case "tlb: size parameter" `Quick test_tlb_size_param;
+    Alcotest.test_case "wb: burst stalls" `Quick test_wb_burst_stalls;
+    Alcotest.test_case "wb: spaced stores free" `Quick test_wb_spaced_stores_free;
+    Alcotest.test_case "memsim: utlb synthesis" `Quick test_memsim_utlb_synthesis;
+    Alcotest.test_case "memsim: kseg0 bypasses tlb" `Quick test_memsim_no_tlb_for_kseg0;
+    Alcotest.test_case "memsim: kseg1 uncached" `Quick test_memsim_kseg1_uncached;
+    Alcotest.test_case "memsim: mode split" `Quick test_memsim_mode_split;
+    Alcotest.test_case "memsim: page locality" `Quick test_memsim_same_page_one_miss;
+    Alcotest.test_case "predict: components" `Quick test_predict_components;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sim_cache_assoc: set-associative LRU model                           *)
+
+let test_assoc_eliminates_conflict () =
+  (* Two lines mapping to the same direct-mapped slot ping-pong in a 1-way
+     cache but coexist in a 2-way one — the conflict/capacity distinction
+     the associative model exists to expose. *)
+  let dm = Sim_cache_assoc.create ~size_bytes:1024 ~line_bytes:16 ~ways:1 () in
+  let sa = Sim_cache_assoc.create ~size_bytes:1024 ~line_bytes:16 ~ways:2 () in
+  let a = 0x0 and b = 0x400 (* a + 1-way cache size: same set both ways *) in
+  for _ = 1 to 50 do
+    ignore (Sim_cache_assoc.read dm a);
+    ignore (Sim_cache_assoc.read dm b);
+    ignore (Sim_cache_assoc.read sa a);
+    ignore (Sim_cache_assoc.read sa b)
+  done;
+  Alcotest.(check int) "1-way: all misses" 100 dm.Sim_cache_assoc.read_misses;
+  Alcotest.(check int) "2-way: compulsory only" 2 sa.Sim_cache_assoc.read_misses
+
+let test_assoc_lru_order () =
+  (* 2-way set with three competing lines: LRU must evict the least
+     recently used, so touching [a] between fills keeps [a] resident. *)
+  let c = Sim_cache_assoc.create ~size_bytes:512 ~line_bytes:16 ~ways:2 () in
+  let set_stride = 16 * (512 / (16 * 2)) in
+  let a = 0 and b = set_stride and d = 2 * set_stride in
+  ignore (Sim_cache_assoc.read c a);   (* miss, fill *)
+  ignore (Sim_cache_assoc.read c b);   (* miss, fill *)
+  ignore (Sim_cache_assoc.read c a);   (* hit: a is now MRU *)
+  ignore (Sim_cache_assoc.read c d);   (* miss, must evict b *)
+  Alcotest.(check bool) "a still resident" true (Sim_cache_assoc.read c a);
+  Alcotest.(check bool) "b evicted" false (Sim_cache_assoc.read c b)
+
+let test_assoc_write_no_allocate () =
+  let c = Sim_cache_assoc.create ~size_bytes:512 ~line_bytes:16 ~ways:4 () in
+  Alcotest.(check bool) "write miss" false (Sim_cache_assoc.write c 0x40);
+  Alcotest.(check bool) "still absent" false (Sim_cache_assoc.read c 0x40);
+  Alcotest.(check bool) "write hit after fill" true (Sim_cache_assoc.write c 0x40)
+
+let prop_assoc_one_way_equals_direct =
+  (* The cross-check promised in the .mli: a 1-way associative cache is
+     access-for-access identical to the direct-mapped validation model. *)
+  QCheck.Test.make ~count:200 ~name:"1-way assoc cache == direct-mapped"
+    QCheck.(
+      list_of_size Gen.(int_range 1 300)
+        (pair bool (map (fun a -> a land 0xFFFF) (int_bound max_int))))
+    (fun accesses ->
+      let dm = Sim_cache.create ~size_bytes:1024 ~line_bytes:16 in
+      let sa = Sim_cache_assoc.create ~size_bytes:1024 ~line_bytes:16 ~ways:1 () in
+      List.for_all
+        (fun (is_read, pa) ->
+          if is_read then Sim_cache.read dm pa = Sim_cache_assoc.read sa pa
+          else Sim_cache.write dm pa = Sim_cache_assoc.write sa pa)
+        accesses)
+
+let prop_assoc_full_lru_compulsory_only =
+  (* The LRU theorem worth owning: a fully-associative LRU cache whose
+     capacity covers the stream's working set misses exactly once per
+     distinct line, whatever the access order.  (Misses across *different
+     set counts* are deliberately not compared: halving the set count
+     while doubling ways is not a Mattson stack inclusion, and anomalies
+     are real.) *)
+  QCheck.Test.make ~count:200 ~name:"full-LRU: one miss per distinct line"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 500)
+        (map (fun a -> (a land 0x1F) * 16) (int_bound max_int)))
+    (fun pas ->
+      (* 32 ways x 16B lines = 512B, >= the 32-line address range above *)
+      let c = Sim_cache_assoc.create ~size_bytes:512 ~line_bytes:16 ~ways:32 () in
+      List.iter (fun pa -> ignore (Sim_cache_assoc.read c pa)) pas;
+      let distinct = List.sort_uniq compare pas in
+      c.Sim_cache_assoc.read_misses = List.length distinct)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "assoc: conflict elimination" `Quick
+        test_assoc_eliminates_conflict;
+      Alcotest.test_case "assoc: true LRU" `Quick test_assoc_lru_order;
+      Alcotest.test_case "assoc: write no-allocate" `Quick
+        test_assoc_write_no_allocate;
+      QCheck_alcotest.to_alcotest prop_assoc_one_way_equals_direct;
+      QCheck_alcotest.to_alcotest prop_assoc_full_lru_compulsory_only;
+    ]
+
+let test_memsim_ways_knob () =
+  (* Two data pages colliding in a direct-mapped D-cache stop colliding at
+     2 ways; everything else in the config untouched. *)
+  let mk ways =
+    Memsim.create
+      {
+        Memsim.icache_bytes = 4096;
+        icache_line = 4;
+        icache_ways = 1;
+        dcache_bytes = 4096;
+        dcache_line = 4;
+        dcache_ways = ways;
+        read_miss_penalty = 15;
+        uncached_penalty = 6;
+        wb_depth = 4;
+        wb_drain = 5;
+        pagemap = (fun _ va -> Some (va land 0xFFFFFF));
+        pt_base = (fun _ -> 0xC0000000);
+        utlb_handler_insns = 8;
+        ktlb_handler_insns = 24;
+        tlb_entries = 64;
+      }
+  in
+  let drive sim =
+    for _ = 1 to 40 do
+      (* kseg0 addresses: no TLB traffic, pure cache behaviour *)
+      Memsim.on_data sim 0x80002000 0 true true 4;
+      Memsim.on_data sim 0x80003000 0 true true 4 (* +4096: same line idx *)
+    done;
+    (Memsim.stats sim).Memsim.dcache_read_misses
+  in
+  Alcotest.(check int) "1-way ping-pong" 80 (drive (mk 1));
+  Alcotest.(check int) "2-way coexist" 2 (drive (mk 2))
+
+let tests =
+  tests
+  @ [ Alcotest.test_case "memsim: dcache_ways knob" `Quick test_memsim_ways_knob ]
+
+let test_assoc_write_back () =
+  let c =
+    Sim_cache_assoc.create ~policy:Sim_cache_assoc.Write_back
+      ~size_bytes:512 ~line_bytes:16 ~ways:2 ()
+  in
+  (* write-allocate: a store miss installs the line *)
+  Alcotest.(check bool) "store miss" false (Sim_cache_assoc.write c 0x40);
+  Alcotest.(check bool) "allocated" true (Sim_cache_assoc.read c 0x40);
+  Alcotest.(check int) "no writeback yet" 0 c.Sim_cache_assoc.writebacks;
+  (* evict the dirty line: 2 ways, so two more lines in the same set *)
+  let set_stride = 16 * (512 / (16 * 2)) in
+  ignore (Sim_cache_assoc.read c (0x40 + set_stride));
+  ignore (Sim_cache_assoc.read c (0x40 + (2 * set_stride)));
+  Alcotest.(check int) "dirty eviction counted" 1 c.Sim_cache_assoc.writebacks;
+  (* clean evictions don't count *)
+  ignore (Sim_cache_assoc.read c (0x40 + (3 * set_stride)));
+  Alcotest.(check int) "clean eviction free" 1 c.Sim_cache_assoc.writebacks;
+  (* re-dirtying via a write hit *)
+  ignore (Sim_cache_assoc.write c (0x40 + (3 * set_stride)));
+  ignore (Sim_cache_assoc.read c 0x40);
+  ignore (Sim_cache_assoc.read c (0x40 + set_stride));
+  Alcotest.(check int) "write-hit dirt written back" 2
+    c.Sim_cache_assoc.writebacks
+
+let prop_assoc_wb_traffic_bounded =
+  (* Write-back memory traffic never exceeds the number of stores: each
+     writeback needs a distinct preceding store that dirtied the line. *)
+  QCheck.Test.make ~count:200 ~name:"write-back: writebacks <= stores"
+    QCheck.(
+      list_of_size Gen.(int_range 1 400)
+        (pair bool (map (fun a -> (a land 0x3F) * 16) (int_bound max_int))))
+    (fun accesses ->
+      let c =
+        Sim_cache_assoc.create ~policy:Sim_cache_assoc.Write_back
+          ~size_bytes:256 ~line_bytes:16 ~ways:2 ()
+      in
+      let stores = ref 0 in
+      List.iter
+        (fun (is_read, pa) ->
+          if is_read then ignore (Sim_cache_assoc.read c pa)
+          else begin
+            incr stores;
+            ignore (Sim_cache_assoc.write c pa)
+          end)
+        accesses;
+      c.Sim_cache_assoc.writebacks <= !stores)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "assoc: write-back policy" `Quick
+        test_assoc_write_back;
+      QCheck_alcotest.to_alcotest prop_assoc_wb_traffic_bounded;
+    ]

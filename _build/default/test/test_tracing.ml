@@ -1,0 +1,535 @@
+(* Tests for the trace format and parsing library, using hand-built static
+   block tables and synthetic trace words. *)
+
+open Systrace_tracing
+
+let check_int = Alcotest.(check int)
+let check = Alcotest.(check bool)
+
+(* A kernel table with two blocks:
+     record 0x80100000 -> orig 0x80200000, 4 insns, loads at pos 1, store at 3
+     record 0x80100040 -> orig 0x80200100, 2 insns, no mems            *)
+let kernel_table () =
+  let t = Bbtable.create () in
+  Bbtable.add t ~record_addr:0x80100000
+    {
+      Bbtable.orig_addr = 0x80200000;
+      ninsns = 4;
+      mems = [| (1, 4, true); (3, 4, false) |];
+      flags = 0;
+    };
+  Bbtable.add t ~record_addr:0x80100040
+    { Bbtable.orig_addr = 0x80200100; ninsns = 2; mems = [||]; flags = 0 };
+  Bbtable.add t ~record_addr:0x80100080
+    {
+      Bbtable.orig_addr = 0x80200200;
+      ninsns = 3;
+      mems = [||];
+      flags = Bbtable.flag_idle;
+    };
+  t
+
+let user_table () =
+  let t = Bbtable.create () in
+  Bbtable.add t ~record_addr:0x00410000
+    {
+      Bbtable.orig_addr = 0x00400000;
+      ninsns = 3;
+      mems = [| (0, 4, true); (2, 1, false) |];
+      flags = 0;
+    };
+  t
+
+type ev =
+  | I of int * bool          (* addr, kernel *)
+  | D of int * bool * bool   (* addr, kernel, is_load *)
+
+let collect () =
+  let evs = ref [] in
+  let h =
+    {
+      Parser.on_inst = (fun addr _pid kernel -> evs := I (addr, kernel) :: !evs);
+      on_data =
+        (fun addr _pid kernel is_load _bytes ->
+          evs := D (addr, kernel, is_load) :: !evs);
+    }
+  in
+  (h, fun () -> List.rev !evs)
+
+let parse words =
+  let p = Parser.create ~kernel_bbs:(kernel_table ()) () in
+  Parser.register_pid p ~pid:1 (user_table ());
+  let h, get = collect () in
+  Parser.set_handlers p h;
+  Parser.feed p (Array.of_list words) ~len:(List.length words);
+  Parser.finish p;
+  (Parser.stats p, get ())
+
+let test_kernel_block () =
+  let stats, evs = parse [ 0x80100000; 0xC0000123; 0x80300040 ] in
+  check_int "insts" 4 stats.Parser.insts;
+  check_int "datas" 2 stats.Parser.datas;
+  Alcotest.(check (list (pair int bool)))
+    "event order"
+    [
+      (0x80200000, true);   (* I pos 0 *)
+      (0x80200004, true);   (* I pos 1 (the load) *)
+      (0xC0000123, true);   (* D load *)
+      (0x80200008, true);   (* I pos 2 *)
+      (0x8020000C, true);   (* I pos 3 (the store) *)
+      (0x80300040, true);   (* D store *)
+    ]
+    (List.map
+       (function I (a, k) -> (a, k) | D (a, k, _) -> (a, k))
+       evs);
+  (* Check load/store direction came through. *)
+  (match evs with
+  | [ _; _; D (_, _, true); _; _; D (_, _, false) ] -> ()
+  | _ -> Alcotest.fail "wrong event shapes")
+
+let test_no_mem_block () =
+  let stats, _ = parse [ 0x80100040 ] in
+  check_int "insts" 2 stats.Parser.insts;
+  check_int "datas" 0 stats.Parser.datas
+
+let test_nested_exception_mid_block () =
+  (* The first block is interrupted after its first data word by an
+     exception whose handler runs the no-mem block; then the first block
+     completes. *)
+  let words =
+    [
+      0x80100000;                                 (* bb A *)
+      0xC0000123;                                 (* A data 1 *)
+      Format_.marker_word (Format_.Exc_enter 0);
+      0x80100040;                                 (* nested bb B *)
+      Format_.marker_word Format_.Exc_exit;
+      0x80300040;                                 (* A data 2 *)
+    ]
+  in
+  let stats, evs = parse words in
+  check_int "insts" 6 stats.Parser.insts;
+  check_int "max depth" 1 stats.Parser.max_exc_depth;
+  (* Nested block's instructions appear between A's data words. *)
+  let addrs = List.map (function I (a, _) -> a | D (a, _, _) -> a) evs in
+  Alcotest.(check (list int)) "interleaving"
+    [
+      0x80200000; 0x80200004; 0xC0000123;         (* A up to data 1 *)
+      0x80200100; 0x80200104;                     (* B *)
+      0x80200008; 0x8020000C; 0x80300040;         (* A completes *)
+    ]
+    addrs
+
+let test_user_drain () =
+  let words =
+    [
+      Format_.marker_word (Format_.Pid_switch 1);
+      Format_.marker_word (Format_.Drain 1);
+      3;
+      0x00410000;    (* user bb *)
+      0x00500000;    (* data 1 (load) *)
+      0x00500004;    (* data 2 (store byte) *)
+    ]
+  in
+  let stats, evs = parse words in
+  check_int "user insts" 3 stats.Parser.user_insts;
+  check_int "user datas" 2 stats.Parser.user_datas;
+  check_int "drains" 1 stats.Parser.drains;
+  check "all user events" true
+    (List.for_all (function I (_, k) | D (_, k, _) -> not k) evs)
+
+let test_drain_split_mid_block () =
+  (* A user block's record arrives in one drain and its data words in a
+     later one — exactly what happens when an exception interrupts a traced
+     process between memory references. *)
+  let words =
+    [
+      Format_.marker_word (Format_.Drain 1);
+      2;
+      0x00410000;
+      0x00500000;
+      (* kernel activity between the drains *)
+      0x80100040;
+      Format_.marker_word (Format_.Drain 1);
+      1;
+      0x00500004;
+    ]
+  in
+  let stats, _ = parse words in
+  check_int "user insts" 3 stats.Parser.user_insts;
+  check_int "kernel insts" 2 stats.Parser.kernel_insts;
+  check_int "user datas" 2 stats.Parser.user_datas
+
+let test_idle_flag () =
+  let stats, _ = parse [ 0x80100080 ] in
+  check_int "idle insts counted" 3 stats.Parser.idle_insts
+
+let expect_corrupt words =
+  match parse words with
+  | exception Parser.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt"
+
+let test_defensive_unknown_record () = expect_corrupt [ 0x80777700 ]
+
+let test_defensive_data_without_block () =
+  (* A data-looking kernel word with no open block fails the bb lookup. *)
+  expect_corrupt [ 0xC0000123 ]
+
+let test_defensive_surplus_data () =
+  (* A completed block followed by a stray data address: the stray word is
+     interpreted as a block record and fails the table lookup.  (A stray
+     word that happens to equal a record address is undetectable — the
+     paper's format detects corruption "with a very high probability", not
+     certainty.) *)
+  expect_corrupt [ 0x80100000; 0xC0000123; 0x80300040; 0xC0000999 ]
+
+let test_defensive_exc_exit_underflow () =
+  expect_corrupt [ Format_.marker_word Format_.Exc_exit ]
+
+let test_defensive_marker_in_drain () =
+  expect_corrupt
+    [
+      Format_.marker_word (Format_.Drain 1);
+      2;
+      Format_.marker_word (Format_.Pid_switch 1);
+      0x00410000;
+    ]
+
+let test_defensive_incomplete_at_finish () =
+  expect_corrupt [ 0x80100000; 0xC0000123 ]
+
+let test_defensive_kernel_addr_in_drain () =
+  expect_corrupt [ Format_.marker_word (Format_.Drain 1); 1; 0x80100040 ]
+
+let test_marker_roundtrip () =
+  let ms =
+    [
+      Format_.Pid_switch 5;
+      Format_.Drain 2;
+      Format_.Exc_enter 8;
+      Format_.Exc_exit;
+      Format_.Mode 1;
+      Format_.Trace_onoff 0;
+      Format_.Thread_switch 3;
+      Format_.End;
+    ]
+  in
+  List.iter
+    (fun m ->
+      let w = Format_.marker_word m in
+      check "in marker range" true (Format_.is_marker w);
+      check "roundtrip" true (Format_.decode_marker w = m))
+    ms
+
+let test_mode_transitions () =
+  let words =
+    [
+      0x80100040;
+      Format_.marker_word (Format_.Mode 1);
+      Format_.marker_word (Format_.Mode 0);
+      0x80100040;
+    ]
+  in
+  let stats, _ = parse words in
+  check_int "transitions" 2 stats.Parser.mode_transitions
+
+let prop_marker_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"marker word roundtrip"
+    QCheck.(pair (int_bound 7) (int_bound 0xFFF))
+    (fun (kind, arg) ->
+      let w = Format_.make_marker kind arg in
+      Format_.is_marker w
+      && (w lsr 12) land 0xF = kind
+      && w land 0xFFF = arg)
+
+let tests =
+  [
+    Alcotest.test_case "kernel block parse" `Quick test_kernel_block;
+    Alcotest.test_case "block without mems" `Quick test_no_mem_block;
+    Alcotest.test_case "nested exception mid-block" `Quick
+      test_nested_exception_mid_block;
+    Alcotest.test_case "user drain" `Quick test_user_drain;
+    Alcotest.test_case "drain split mid-block" `Quick test_drain_split_mid_block;
+    Alcotest.test_case "idle flag counting" `Quick test_idle_flag;
+    Alcotest.test_case "defensive: unknown record" `Quick
+      test_defensive_unknown_record;
+    Alcotest.test_case "defensive: data without block" `Quick
+      test_defensive_data_without_block;
+    Alcotest.test_case "defensive: surplus data word" `Quick
+      test_defensive_surplus_data;
+    Alcotest.test_case "defensive: exc exit underflow" `Quick
+      test_defensive_exc_exit_underflow;
+    Alcotest.test_case "defensive: marker in drain" `Quick
+      test_defensive_marker_in_drain;
+    Alcotest.test_case "defensive: incomplete at finish" `Quick
+      test_defensive_incomplete_at_finish;
+    Alcotest.test_case "defensive: kernel addr in drain" `Quick
+      test_defensive_kernel_addr_in_drain;
+    Alcotest.test_case "marker roundtrip" `Quick test_marker_roundtrip;
+    Alcotest.test_case "mode transitions" `Quick test_mode_transitions;
+    QCheck_alcotest.to_alcotest prop_marker_roundtrip;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Property: the parser reconstructs exactly the schedule that generated
+   the trace.  Random kernel-block schedules with bounded exception
+   nesting are serialized to words (records, data addresses, EXC
+   markers); random user-block sequences are split across drain blocks at
+   random points.  Parsed instruction/data counts must match the
+   schedule's. *)
+
+type kaction =
+  | KBlock of int           (* index into the kernel table *)
+  | KNest of kaction list   (* EXC_ENTER ... EXC_EXIT *)
+
+let ktable_entries =
+  [|
+    (0x80100000, 0x80200000, 4, [| (1, 4, true); (3, 4, false) |]);
+    (0x80100040, 0x80200100, 2, [||]);
+    (0x80100080, 0x80200200, 3, [||]);
+    (0x801000C0, 0x80200300, 6, [| (0, 4, true); (2, 1, false); (5, 4, true) |]);
+  |]
+
+let synth_kernel_table () =
+  let t = Bbtable.create () in
+  Array.iter
+    (fun (rec_addr, orig, n, mems) ->
+      Bbtable.add t ~record_addr:rec_addr
+        { Bbtable.orig_addr = orig; ninsns = n; mems; flags = 0 })
+    ktable_entries;
+  t
+
+let gen_kactions =
+  let open QCheck.Gen in
+  sized_size (int_range 1 12) @@ fix (fun self n ->
+      if n <= 1 then map (fun k -> KBlock k) (int_range 0 3)
+      else
+        frequency
+          [
+            (4, map (fun k -> KBlock k) (int_range 0 3));
+            (1, map (fun l -> KNest l) (list_size (int_range 1 3) (self (n / 2))));
+          ])
+
+let gen_schedule = QCheck.Gen.(list_size (int_range 1 20) gen_kactions)
+
+(* Serialize a schedule into trace words. *)
+let rec serialize_action out (act : kaction) =
+  match act with
+  | KBlock k ->
+    let rec_addr, _, _, mems = ktable_entries.(k) in
+    out := rec_addr :: !out;
+    Array.iteri
+      (fun i _ -> out := (0xC0000000 + (k * 64) + (i * 4)) :: !out)
+      mems
+  | KNest inner ->
+    out := Format_.marker_word (Format_.Exc_enter 0) :: !out;
+    List.iter (serialize_action out) inner;
+    out := Format_.marker_word Format_.Exc_exit :: !out
+
+let serialize schedule =
+  let out = ref [] in
+  List.iter (serialize_action out) schedule;
+  Array.of_list (List.rev !out)
+
+let expected_counts schedule =
+  let insts = ref 0 and datas = ref 0 in
+  let rec go = function
+    | KBlock k ->
+      let _, _, n, mems = ktable_entries.(k) in
+      insts := !insts + n;
+      datas := !datas + Array.length mems
+    | KNest inner -> List.iter go inner
+  in
+  List.iter go schedule;
+  (!insts, !datas)
+
+let prop_parser_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"parser reconstructs random schedules"
+    (QCheck.make gen_schedule)
+    (fun schedule ->
+      let words = serialize schedule in
+      let p = Parser.create ~kernel_bbs:(synth_kernel_table ()) () in
+      Parser.feed p words ~len:(Array.length words);
+      Parser.finish p;
+      let stats = Parser.stats p in
+      let insts, datas = expected_counts schedule in
+      stats.Parser.insts = insts && stats.Parser.datas = datas)
+
+let tests = tests @ [ QCheck_alcotest.to_alcotest prop_parser_roundtrip ]
+
+(* ------------------------------------------------------------------ *)
+(* Compress: lossless delta/varint trace compression                   *)
+
+let test_compress_basic () =
+  let cases =
+    [
+      ("empty", [||]);
+      ("one word", [| 0x40001000 |]);
+      ("stride run", Array.init 1000 (fun i -> 0x10000000 + (4 * i)));
+      ("loop", Array.init 600 (fun i -> 0x40001000 + (16 * (i mod 3))));
+      ("extremes", [| 0; 0xFFFFFFFF; 0; 0x80000000; 0x7FFFFFFF |]);
+    ]
+  in
+  List.iter
+    (fun (name, words) ->
+      let enc = Compress.encode words in
+      Alcotest.(check (array int)) name words (Compress.decode enc))
+    cases;
+  (* a pure stride compresses to a handful of bytes *)
+  let stride = Array.init 10_000 (fun i -> 4 * i) in
+  Alcotest.(check bool)
+    "stride run tiny" true
+    (String.length (Compress.encode stride) < 32)
+
+let test_compress_corrupt () =
+  let words = Array.init 64 (fun i -> i * 8) in
+  let enc = Compress.encode words in
+  (* truncated varint *)
+  (try
+     ignore (Compress.decode (String.make 1 '\xFF'));
+     Alcotest.fail "truncated varint accepted"
+   with Compress.Corrupt _ -> ());
+  (* word-count check *)
+  (try
+     ignore (Compress.decode ~expect:(Array.length words + 1) enc);
+     Alcotest.fail "wrong count accepted"
+   with Compress.Corrupt _ -> ())
+
+let prop_compress_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"compress roundtrip on random words"
+    QCheck.(
+      list_of_size Gen.(int_range 0 400)
+        (* mix of clustered addresses and arbitrary 32-bit values *)
+        (oneof
+           [ map (fun i -> 0x40000000 + (4 * i)) (int_bound 4096);
+             map (fun i -> i land 0xFFFFFFFF) (int_bound max_int) ]))
+    (fun l ->
+      let words = Array.of_list l in
+      Compress.decode ~expect:(Array.length words) (Compress.encode words)
+      = words)
+
+let test_tracefile_compressed () =
+  let words =
+    Array.init 5000 (fun i ->
+        if i mod 7 = 0 then 0xBFFF0000 + (8 * (i mod 6))
+        else 0x40001000 + (4 * (i mod 257)))
+  in
+  let path = Filename.temp_file "systrace" ".strc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tracefile.save ~compress:true path words;
+      Alcotest.(check (array int)) "v2 roundtrip" words (Tracefile.load path);
+      let compressed_size = (Unix.stat path).Unix.st_size in
+      Tracefile.save path words;
+      Alcotest.(check (array int)) "v1 roundtrip" words (Tracefile.load path);
+      let raw_size = (Unix.stat path).Unix.st_size in
+      Alcotest.(check bool) "v2 smaller" true (compressed_size < raw_size))
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "compress: basic shapes" `Quick test_compress_basic;
+      Alcotest.test_case "compress: corrupt input" `Quick test_compress_corrupt;
+      QCheck_alcotest.to_alcotest prop_compress_roundtrip;
+      Alcotest.test_case "tracefile: both formats" `Quick
+        test_tracefile_compressed;
+    ]
+
+let prop_lzss_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"lzss roundtrip on random strings"
+    QCheck.(
+      oneof
+        [
+          string_of_size Gen.(int_range 0 2000);
+          (* highly repetitive input exercises overlapping matches *)
+          map
+            (fun (pat, reps) ->
+              String.concat "" (List.init (reps + 1) (fun _ -> pat)))
+            (pair (string_of_size Gen.(int_range 1 12)) (int_bound 200));
+        ])
+    (fun s -> Compress.lzss_unpack (Compress.lzss_pack s) = s)
+
+let test_lzss_overlap_and_ratio () =
+  (* single repeated byte: one literal + overlapping matches *)
+  let s = String.make 10_000 'x' in
+  let packed = Compress.lzss_pack s in
+  Alcotest.(check string) "overlap roundtrip" s (Compress.lzss_unpack packed);
+  Alcotest.(check bool) "rle-dense" true (String.length packed < 160);
+  (* a looping trace compresses far better through the LZ stage: the loop
+     body's delta sequence becomes one match per iteration *)
+  let body =
+    (* one loop iteration: block records and fixed-location accesses, the
+       trace a tight loop actually emits — its delta sequence repeats
+       verbatim, which run-length deltas cannot exploit but LZ can *)
+    [| 0x40001000; 0x10002340; 0x40001040; 0x7FFFE000; 0x40001080;
+       0x10002344 |]
+  in
+  let loop_trace = Array.init 4002 (fun i -> body.(i mod 6)) in
+  let z1 = String.length (Compress.encode loop_trace) in
+  let z2 = String.length (Compress.pack loop_trace) in
+  Alcotest.(check bool) "lz beats delta-only on loops" true (z2 < z1 / 2);
+  Alcotest.(check (array int))
+    "pack roundtrip" loop_trace
+    (Compress.unpack ~expect:(Array.length loop_trace)
+       (Compress.pack loop_trace))
+
+let tests =
+  tests
+  @ [
+      QCheck_alcotest.to_alcotest prop_lzss_roundtrip;
+      Alcotest.test_case "compress: lzss overlap + loop density" `Quick
+        test_lzss_overlap_and_ratio;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzing: hostile input must fail cleanly, never crash.              *)
+
+let prop_parser_never_crashes =
+  (* Arbitrary word salad into the parser: every outcome must be either a
+     clean parse or a Corrupt/Bad_marker rejection — no other exception,
+     no runaway state.  This is the §4.3 "defensive tracing" contract
+     stated as a total-behaviour property. *)
+  QCheck.Test.make ~count:300 ~name:"parser: garbage never crashes"
+    QCheck.(
+      list_of_size Gen.(int_range 0 200)
+        (oneof
+           [ map (fun i -> i land 0xFFFFFFFF) (int_bound max_int);
+             (* bias toward the marker slice where the state machine has
+                the most transitions *)
+             map (fun i -> 0xBFFF0000 lor (i land 0xFFFF)) (int_bound max_int) ]))
+    (fun l ->
+      let words = Array.of_list l in
+      let p = Parser.create ~kernel_bbs:(synth_kernel_table ()) () in
+      match
+        Parser.feed p words ~len:(Array.length words);
+        Parser.finish p
+      with
+      | () -> true
+      | exception Parser.Corrupt _ -> true
+      | exception Format_.Bad_marker _ -> true)
+
+let prop_compress_decode_never_crashes =
+  QCheck.Test.make ~count:500 ~name:"compress: garbage decode never crashes"
+    QCheck.(string_of_size Gen.(int_range 0 300))
+    (fun s ->
+      (* expect bounds the decode, so hostile run-length tokens are
+         rejected after at most 4096 emitted words *)
+      match Compress.decode ~expect:4096 s with
+      | (_ : int array) -> true
+      | exception Compress.Corrupt _ -> true)
+
+let prop_lzss_unpack_never_crashes =
+  QCheck.Test.make ~count:500 ~name:"lzss: garbage unpack never crashes"
+    QCheck.(string_of_size Gen.(int_range 0 300))
+    (fun s ->
+      match Compress.lzss_unpack s with
+      | (_ : string) -> true
+      | exception Compress.Corrupt _ -> true)
+
+let tests =
+  tests
+  @ [
+      QCheck_alcotest.to_alcotest prop_parser_never_crashes;
+      QCheck_alcotest.to_alcotest prop_compress_decode_never_crashes;
+      QCheck_alcotest.to_alcotest prop_lzss_unpack_never_crashes;
+    ]

@@ -1,0 +1,91 @@
+(* Tests for the utility library. *)
+
+open Systrace_util
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  check_int "copy continues" (Rng.next a) (Rng.next b)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~count:500 ~name:"Rng.int stays in bounds"
+    QCheck.(pair (int_bound 1000) (int_range 1 10000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_rng_bits32 =
+  QCheck.Test.make ~count:500 ~name:"Rng.bits32 is a 32-bit word"
+    QCheck.small_int
+    (fun seed ->
+      let r = Rng.create seed in
+      let v = Rng.bits32 r in
+      v >= 0 && v <= 0xFFFFFFFF)
+
+let test_stats_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let test_percent_error () =
+  check_float "overprediction" 10.0
+    (Stats.percent_error ~measured:100.0 ~predicted:110.0);
+  check_float "underprediction" 10.0
+    (Stats.percent_error ~measured:100.0 ~predicted:90.0);
+  check_float "exact" 0.0 (Stats.percent_error ~measured:5.0 ~predicted:5.0)
+
+let test_geometric_mean () =
+  check_float "geomean" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ])
+
+let test_histogram () =
+  let h = Stats.histogram ~lo:0.0 ~hi:10.0 ~bins:2 [ 1.0; 2.0; 7.0; 11.0 ] in
+  check_int "bin 0" 2 h.(0);
+  check_int "bin 1" 1 h.(1)
+
+let test_table_render () =
+  let t =
+    Table.create ~title:"T" ~headers:[ "a"; "bb" ]
+      ~aligns:[ Table.Left; Table.Right ]
+  in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.render t in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "contains header" true (contains s "bb");
+  Alcotest.(check bool) "contains cell" true (contains s "22")
+
+let tests =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy;
+    QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+    QCheck_alcotest.to_alcotest prop_rng_bits32;
+    Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean;
+    Alcotest.test_case "percent error" `Quick test_percent_error;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "table render" `Quick test_table_render;
+  ]
