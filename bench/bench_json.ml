@@ -1,0 +1,74 @@
+(* Machine-readable benchmark results: BENCH_micro.json at the repo root,
+   a JSON array of {name, unit, value} objects — one line per benchmark —
+   so the perf trajectory is tracked across PRs.
+
+   Writers merge: an invocation replaces entries it re-measured (matched
+   by name) and keeps the rest, so `main.exe micro` and `main.exe table2
+   --timing` can both contribute to the same file.  The file is our own
+   output, so the loader only has to parse the exact format [save]
+   writes. *)
+
+type entry = { name : string; unit_ : string; value : float }
+
+(* The repo root is the nearest ancestor of the cwd with a dune-project;
+   falls back to the cwd (e.g. when installed elsewhere). *)
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then Sys.getcwd () else up parent
+  in
+  up (Sys.getcwd ())
+
+let path () = Filename.concat (repo_root ()) "BENCH_micro.json"
+
+let render_entry e =
+  (* %S escaping covers quotes and backslashes; benchmark names contain no
+     control characters, so this stays valid JSON. *)
+  Printf.sprintf "  {\"name\": %S, \"unit\": %S, \"value\": %.6g}" e.name
+    e.unit_ e.value
+
+let parse_line line =
+  match
+    Scanf.sscanf line " {\"name\": %S, \"unit\": %S, \"value\": %f"
+      (fun name unit_ value -> { name; unit_; value })
+  with
+  | e -> Some e
+  | exception _ -> None
+
+let load file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in file in
+    let entries = ref [] in
+    (try
+       while true do
+         match parse_line (input_line ic) with
+         | Some e -> entries := e :: !entries
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+let save file entries =
+  let oc = open_out file in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.map render_entry entries));
+  output_string oc "\n]\n";
+  close_out oc
+
+(* Merge [entries] into the results file: re-measured names are replaced
+   in place, new names append. *)
+let record entries =
+  let file = path () in
+  let old = load file in
+  let fresh_names = List.map (fun e -> e.name) entries in
+  let kept =
+    List.filter (fun e -> not (List.mem e.name fresh_names)) old
+  in
+  save file (kept @ entries);
+  Printf.printf "  wrote %d benchmark result(s) to %s\n%!"
+    (List.length entries) file

@@ -2,34 +2,49 @@
    the paper's evaluation, plus the design-choice ablations from DESIGN.md
    and Bechamel microbenchmarks of the toolchain itself.
 
-     dune exec bench/main.exe             -- everything
-     dune exec bench/main.exe table2      -- one experiment
+     dune exec bench/main.exe                    -- everything
+     dune exec bench/main.exe -- table2          -- one experiment
+     dune exec bench/main.exe -- -j 8 table2     -- matrix on 8 domains
+     dune exec bench/main.exe -- table2 --timing -- serial vs parallel wall
+                                                    time (and byte-identity)
    Experiments: table1 table2 figure3 table3 figure2 expansion dilation
                 kernel_cpi distortion buffer_sweep pagemap corruption
-                os_structure drain_ablation trace_format micro          *)
+                os_structure drain_ablation trace_format micro
+
+   `micro` and `table2 --timing` merge machine-readable results into
+   BENCH_micro.json at the repo root (one {name, unit, value} object per
+   benchmark) so the perf trajectory is tracked across PRs. *)
 
 open Systrace
 module Experiments = Systrace_validate.Experiments
 module Table = Systrace_util.Table
+module Pool = Systrace_util.Pool
+
+let jobs = ref (Pool.default_jobs ())
 
 let heading title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_matrix ~jobs () =
+  let t0 = Unix.gettimeofday () in
+  let m =
+    Experiments.run_matrix ~jobs
+      ~progress:(fun s ->
+        Printf.eprintf "  [%6.1fs] running %s\n%!" (Unix.gettimeofday () -. t0) s)
+      ()
+  in
+  Printf.eprintf "  matrix complete in %.1fs (%d jobs)\n%!"
+    (Unix.gettimeofday () -. t0)
+    jobs;
+  m
+
 (* The measured/predicted matrix is expensive; compute it once on demand. *)
-let matrix =
-  lazy
-    (let t0 = Unix.gettimeofday () in
-     let m =
-       Experiments.run_matrix
-         ~progress:(fun s ->
-           Printf.eprintf "  [%6.1fs] running %s\n%!"
-             (Unix.gettimeofday () -. t0)
-             s)
-         ()
-     in
-     Printf.eprintf "  matrix complete in %.1fs\n%!"
-       (Unix.gettimeofday () -. t0);
-     m)
+let matrix = lazy (run_matrix ~jobs:!jobs ())
 
 let exp_table1 () =
   heading "Table 1: experimental workloads";
@@ -38,6 +53,34 @@ let exp_table1 () =
 let exp_table2 () =
   heading "Table 2: run times, measured and predicted";
   Table.print (Experiments.table2 (Lazy.force matrix))
+
+(* Serial vs parallel wall time for the full matrix, with the rendered
+   tables checked byte-for-byte identical. *)
+let exp_table2_timing () =
+  heading "Table 2 timing: serial vs parallel matrix";
+  let render m =
+    Table.render (Experiments.table2 m) ^ Table.render (Experiments.table3 m)
+  in
+  let serial, t_serial = timed (fun () -> run_matrix ~jobs:1 ()) in
+  let parallel, t_parallel = timed (fun () -> run_matrix ~jobs:!jobs ()) in
+  if render serial <> render parallel then
+    failwith "table2 --timing: parallel tables differ from serial tables";
+  Table.print (Experiments.table2 parallel);
+  Printf.printf
+    "\nmatrix wall time: serial %.1fs, parallel (%d jobs) %.1fs -> %.2fx \
+     speedup; tables byte-identical\n"
+    t_serial !jobs t_parallel (t_serial /. t_parallel);
+  Bench_json.record
+    [
+      { Bench_json.name = "table2: matrix serial"; unit_ = "s"; value = t_serial };
+      { Bench_json.name = "table2: matrix parallel"; unit_ = "s"; value = t_parallel };
+      { Bench_json.name = "table2: jobs"; unit_ = "domains"; value = float_of_int !jobs };
+      {
+        Bench_json.name = "table2: parallel speedup";
+        unit_ = "x";
+        value = t_serial /. t_parallel;
+      };
+    ]
 
 let exp_figure3 () =
   heading "Figure 3: error in predicted execution times (Ultrix)";
@@ -69,11 +112,11 @@ let exp_distortion () =
 
 let exp_buffer_sweep () =
   heading "Ablation: in-kernel buffer size vs analysis transitions (paper 4.3)";
-  Table.print (Experiments.buffer_sweep_table ())
+  Table.print (Experiments.buffer_sweep_table ~jobs:!jobs ())
 
 let exp_pagemap () =
   heading "Ablation: page-mapping policy sensitivity (paper 4.4)";
-  Table.print (Experiments.pagemap_table ())
+  Table.print (Experiments.pagemap_table ~jobs:!jobs ())
 
 (* Trace-format ablation (DESIGN.md): one-word records vs Tunix-style
    records that carry the block length inline. *)
@@ -123,36 +166,63 @@ let exp_trace_format () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the toolchain                            *)
 
+(* A TLB-mapped spin loop: one load, one add, one store, one jump per
+   iteration, with text and data in kuseg behind wired TLB entries, so
+   every fetch and data reference exercises the translation path the
+   micro-cache accelerates. *)
+let spin_interp_test ~name ~tcache =
+  let open Isa in
+  let a = Asm.create "spin" in
+  Asm.global a "_start";
+  Asm.label a "_start";
+  Asm.la a Reg.t2 "buf";
+  Asm.label a "loop";
+  Asm.lw a Reg.t3 0 Reg.t2;
+  Asm.addiu a Reg.t3 Reg.t3 1;
+  Asm.sw a Reg.t3 0 Reg.t2;
+  Asm.i a (Insn.J (Sym "loop"));
+  Asm.nop a;
+  Asm.dlabel a "buf";
+  Asm.space a 64;
+  let exe =
+    Link.link ~name:"spin" ~text_base:0x1000 ~data_base:0x8000 ~entry:"_start"
+      [ Asm.to_obj a ]
+  in
+  let cfg =
+    { Machine.Machine.default_config with
+      Machine.Machine.mem_bytes = 1 lsl 20; tcache }
+  in
+  let m = Machine.Machine.create ~cfg () in
+  Machine.Machine.load_exe_phys m exe ~text_pa:0x1000 ~data_pa:0x8000;
+  (* Identity-map the low pages with wired global TLB entries. *)
+  for vpn = 0 to 15 do
+    Machine.Tlb.write m.Machine.Machine.tlb vpn
+      ~hi:(Machine.Tlb.make_entryhi ~vpn ~asid:0)
+      ~lo:(Machine.Tlb.make_entrylo ~dirty:true ~valid:true ~global:true ~pfn:vpn ())
+  done;
+  let open Bechamel in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         m.Machine.Machine.pc <- exe.Isa.Exe.entry;
+         m.Machine.Machine.npc <- exe.Isa.Exe.entry + 4;
+         m.Machine.Machine.next_is_delay <- false;
+         ignore (Machine.Machine.run m ~max_insns:50_000)))
+
+let interp_insns = 50_000.0
+
 let exp_micro () =
   heading "Microbenchmarks (Bechamel)";
   let open Bechamel in
   let open Toolkit in
-  (* machine interpreter throughput *)
-  let interp_test =
-    let open Isa in
-    let a = Asm.create "spin" in
-    Asm.global a "_start";
-    Asm.label a "_start";
-    Asm.la a Reg.t2 "buf";
-    Asm.label a "loop";
-    Asm.lw a Reg.t3 0 Reg.t2;
-    Asm.addiu a Reg.t3 Reg.t3 1;
-    Asm.sw a Reg.t3 0 Reg.t2;
-    Asm.i a (Insn.J (Sym "loop"));
-    Asm.nop a;
-    Asm.dlabel a "buf";
-    Asm.space a 64;
-    let exe =
-      Link.link ~name:"spin" ~text_base:0x80001000 ~data_base:0x80008000
-        ~entry:"_start" [ Asm.to_obj a ]
-    in
-    Test.make ~name:"machine: interpret 50k instructions"
-      (Staged.stage (fun () ->
-           let m = Machine.Machine.create () in
-           Machine.Machine.load_exe_phys m exe ~text_pa:0x1000 ~data_pa:0x8000;
-           m.Machine.Machine.pc <- exe.Isa.Exe.entry;
-           m.Machine.Machine.npc <- exe.Isa.Exe.entry + 4;
-           ignore (Machine.Machine.run m ~max_insns:50_000)))
+  (* machine interpreter throughput, with and without the translation
+     micro-cache *)
+  let interp_tc =
+    spin_interp_test ~name:"machine: interpret 50k mapped insns (tcache)"
+      ~tcache:true
+  in
+  let interp_notc =
+    spin_interp_test ~name:"machine: interpret 50k mapped insns (no tcache)"
+      ~tcache:false
   in
   (* trace parsing + memory simulation throughput over a captured trace *)
   let e = Workloads.Suite.find "egrep" in
@@ -166,6 +236,29 @@ let exp_micro () =
         (Printf.sprintf "tracesim: parse+simulate %d-word trace"
            (Array.length words))
       (Staged.stage (fun () -> ignore (replay ~system:run.system ~memsim_cfg:base_cfg words)))
+  in
+  (* parser fast path vs the variant-based debug path, without the memory
+     simulation behind it *)
+  let parse_only ~debug =
+    let sys = run.system in
+    let kernel_bbs = Option.get sys.Systrace_kernel.Builder.kernel_bbs in
+    fun () ->
+      let p = Tracing.Parser.create ~debug ~kernel_bbs () in
+      List.iter
+        (fun (pi : Systrace_kernel.Builder.proc_info) ->
+          Tracing.Parser.register_pid p ~pid:pi.pid (Option.get pi.bbs))
+        sys.Systrace_kernel.Builder.procs;
+      Tracing.Parser.feed p words ~len:(Array.length words)
+  in
+  let parse_fast_test =
+    Test.make
+      ~name:(Printf.sprintf "tracing: parse %d-word trace (fast)" (Array.length words))
+      (Staged.stage (parse_only ~debug:false))
+  in
+  let parse_debug_test =
+    Test.make
+      ~name:(Printf.sprintf "tracing: parse %d-word trace (debug)" (Array.length words))
+      (Staged.stage (parse_only ~debug:true))
   in
   (* instrumentation speed *)
   let instr_test =
@@ -182,7 +275,12 @@ let exp_micro () =
         (Printf.sprintf "compress: pack %d-word trace" (Array.length words))
       (Staged.stage (fun () -> ignore (Tracing.Compress.pack words)))
   in
-  let tests = [ interp_test; parse_test; instr_test; compress_test ] in
+  let tests =
+    [
+      interp_tc; interp_notc; parse_test; parse_fast_test; parse_debug_test;
+      instr_test; compress_test;
+    ]
+  in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 1.5) ~kde:(Some 100) ()
@@ -194,13 +292,57 @@ let exp_micro () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
       | Some [ est ] ->
-        Printf.printf "  %-48s %12.0f ns/run\n" name est
-      | _ -> Printf.printf "  %-48s (no estimate)\n" name)
-    results
+        estimates := (name, est) :: !estimates;
+        Printf.printf "  %-52s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-52s (no estimate)\n" name)
+    results;
+  (* machine-readable results, plus derived interpreter throughput *)
+  let strip name =
+    (* bechamel prefixes the group name *)
+    match String.index_opt name '/' with
+    | Some k -> String.sub name (k + 1) (String.length name - k - 1)
+    | None -> name
+  in
+  let entries =
+    List.rev_map
+      (fun (name, est) ->
+        { Bench_json.name = strip name; unit_ = "ns/run"; value = est })
+      !estimates
+  in
+  let find_est suffix =
+    List.find_opt
+      (fun (name, _) ->
+        let name = strip name in
+        String.length name >= String.length suffix
+        && String.sub name (String.length name - String.length suffix)
+             (String.length suffix)
+           = suffix)
+      !estimates
+  in
+  let derived =
+    match (find_est "(tcache)", find_est "(no tcache)") with
+    | Some (_, tc), Some (_, notc) when tc > 0.0 && notc > 0.0 ->
+      let ips est = interp_insns /. (est *. 1e-9) in
+      Printf.printf
+        "\n  interpreter throughput: %.2f M insns/s with micro-cache, %.2f \
+         M insns/s without (%.2fx)\n"
+        (ips tc /. 1e6) (ips notc /. 1e6) (notc /. tc);
+      [
+        { Bench_json.name = "machine: interpreter throughput (tcache)";
+          unit_ = "insns/s"; value = ips tc };
+        { Bench_json.name = "machine: interpreter throughput (no tcache)";
+          unit_ = "insns/s"; value = ips notc };
+        { Bench_json.name = "machine: tcache speedup"; unit_ = "x";
+          value = notc /. tc };
+      ]
+    | _ -> []
+  in
+  Bench_json.record (entries @ derived)
 
 (* ------------------------------------------------------------------ *)
 
@@ -224,16 +366,39 @@ let experiments =
     ("micro", exp_micro);
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: %s [-j N] [experiment] [--timing]\navailable: %s\n\
+     -j N      run the experiment matrix on N domains (default %d)\n\
+     --timing  (with table2) serial vs parallel wall time + byte-identity\n"
+    Sys.argv.(0)
+    (String.concat " " (List.map fst experiments))
+    (Pool.default_jobs ());
+  exit 1
+
 let () =
-  match Sys.argv with
-  | [| _ |] -> List.iter (fun (_, f) -> f ()) experiments
-  | [| _; name |] -> (
-    match List.assoc_opt name experiments with
-    | Some f -> f ()
-    | None ->
-      Printf.eprintf "unknown experiment %S; available: %s\n" name
-        (String.concat " " (List.map fst experiments));
-      exit 1)
-  | _ ->
-    Printf.eprintf "usage: %s [experiment]\n" Sys.argv.(0);
-    exit 1
+  let name = ref None in
+  let timing = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse rest
+      | _ -> usage ())
+    | "--timing" :: rest ->
+      timing := true;
+      parse rest
+    | arg :: rest when List.mem_assoc arg experiments && !name = None ->
+      name := Some arg;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match (!name, !timing) with
+  | None, false -> List.iter (fun (_, f) -> f ()) experiments
+  | None, true -> usage ()
+  | Some "table2", true -> exp_table2_timing ()
+  | Some _, true -> usage ()
+  | Some name, false -> (List.assoc name experiments) ()

@@ -5,6 +5,8 @@
      systrace trace WORKLOAD [-n N]      -- traced run, print trace stats
                                             (and the first N references)
      systrace validate WORKLOAD          -- measured vs predicted, one workload
+     systrace matrix [-j N]              -- the full validation matrix on a
+                                            pool of N domains
 *)
 
 open Cmdliner
@@ -238,6 +240,45 @@ let validate_cmd =
        ~doc:"Measured vs predicted execution time for one workload.")
     Term.(const run $ workload_arg $ os_arg $ seed_arg)
 
+let matrix_cmd =
+  (* The full measured-vs-predicted matrix behind Tables 2/3 and Figure 3,
+     with each (workload, personality) cell run on a pool of domains. *)
+  let run jobs quiet =
+    let t0 = Unix.gettimeofday () in
+    let progress s =
+      if not quiet then
+        Printf.eprintf "  [%6.1fs] running %s\n%!" (Unix.gettimeofday () -. t0) s
+    in
+    let m = Systrace_validate.Experiments.run_matrix ~jobs ~progress () in
+    if not quiet then
+      Printf.eprintf "  matrix complete in %.1fs (%d jobs)\n%!"
+        (Unix.gettimeofday () -. t0) jobs;
+    Systrace_util.Table.print (Systrace_validate.Experiments.table2 m);
+    print_newline ();
+    Systrace_util.Table.print (Systrace_validate.Experiments.figure3 m);
+    print_newline ();
+    Systrace_util.Table.print (Systrace_validate.Experiments.table3 m)
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Systrace_util.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run the matrix cells on $(docv) domains (default: the \
+             recommended domain count). Results are merged in suite order, \
+             so the tables are identical whatever $(docv) is.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Run the full validation matrix (Tables 2/3, Figure 3) across all \
+          workloads and both personalities.")
+    Term.(const run $ jobs $ quiet)
+
 let dump_cmd =
   (* Capture a workload's system trace to a file (the "traces on tape"
      of paper 3.4). *)
@@ -368,5 +409,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "systrace" ~doc)
-          [ list_cmd; run_cmd; trace_cmd; validate_cmd; profile_cmd; disasm_cmd;
-            dump_cmd; analyze_cmd ]))
+          [ list_cmd; run_cmd; trace_cmd; validate_cmd; matrix_cmd; profile_cmd;
+            disasm_cmd; dump_cmd; analyze_cmd ]))

@@ -47,6 +47,7 @@ type config = {
   disk_seek : int;
   disk_per_block : int;
   count_exec : bool;           (* per-instruction-word execution counts *)
+  tcache : bool;               (* last-translation micro-cache *)
 }
 
 let default_config =
@@ -64,6 +65,7 @@ let default_config =
     disk_seek = 20000;
     disk_per_block = 4000;
     count_exec = false;
+    tcache = true;
   }
 
 type counters = {
@@ -101,6 +103,18 @@ let fresh_counters () =
     clock_ticks = 0;
   }
 
+(* Last-translation micro-cache: one (vpn -> page frame) entry per access
+   class (fetch / load / store), the way the R3000 pipeline held the last
+   TLB match.  Only successful translations are cached, so the exception
+   and counter behaviour of the full walk is preserved exactly; the cache
+   is flushed on every event that can change a translation (TLB writes,
+   CP0 status/mode changes, ASID/context updates). *)
+type tcache = {
+  mutable f_vpn : int;  mutable f_frame : int;  mutable f_cached : bool;
+  mutable r_vpn : int;  mutable r_frame : int;  mutable r_cached : bool;
+  mutable w_vpn : int;  mutable w_frame : int;  mutable w_cached : bool;
+}
+
 type t = {
   cfg : config;
   mem : Bytes.t;
@@ -125,6 +139,7 @@ type t = {
   mutable context_base : int;    (* PTEBase, bits 21.. *)
   mutable context_badvpn : int;
   tlb : Tlb.t;
+  tc : tcache;
   icache : Cache.t;
   dcache : Cache.t;
   wb : Write_buffer.t;
@@ -176,6 +191,12 @@ let create ?(cfg = default_config) () =
       (let tlb = Tlb.create () in
        Tlb.reset tlb;
        tlb);
+    tc =
+      {
+        f_vpn = -1; f_frame = 0; f_cached = false;
+        r_vpn = -1; r_frame = 0; r_cached = false;
+        w_vpn = -1; w_frame = 0; w_cached = false;
+      };
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.icache_line;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.dcache_line;
     wb = Write_buffer.create ~depth:cfg.wb_depth ~drain_cycles:cfg.wb_drain ();
@@ -238,8 +259,10 @@ let read_phys_bytes t pa len = Bytes.sub_string t.mem pa len
 (* ------------------------------------------------------------------ *)
 (* Address translation                                                 *)
 
-(* Returns (pa, cached). Raises [Trap] on failure. *)
-let translate t va ~write:w ~fetch =
+(* Full translation walk: segment checks plus TLB lookup.  Returns
+   (pa, cached); raises [Trap] on failure.  This is the micro-cache-free
+   oracle the fast [translate] below must agree with. *)
+let translate_walk t va ~write:w ~fetch =
   match Addr.segment va with
   | Addr.Kseg0 ->
     if user_mode t then
@@ -267,6 +290,43 @@ let translate t va ~write:w ~fetch =
     | Tlb.Modified ->
       t.c.tlb_mod <- t.c.tlb_mod + 1;
       trap ~badva:va Exc.tlb_mod)
+
+let tcache_flush t =
+  let tc = t.tc in
+  tc.f_vpn <- -1;
+  tc.r_vpn <- -1;
+  tc.w_vpn <- -1
+
+(* Translation with the last-translation micro-cache in front of the full
+   walk: the common in-page access reuses the previous page frame without
+   re-checking segment permissions or walking the TLB.  Failed walks trap
+   before the cache is filled, so misses, invalid entries and modified
+   faults behave (and count) exactly as in [translate_walk]. *)
+let translate t va ~write:w ~fetch =
+  let tc = t.tc in
+  let vpn = va lsr Addr.page_shift in
+  if fetch && vpn = tc.f_vpn then
+    ((tc.f_frame lor (va land Addr.page_mask)), tc.f_cached)
+  else if (not fetch) && (not w) && vpn = tc.r_vpn then
+    ((tc.r_frame lor (va land Addr.page_mask)), tc.r_cached)
+  else if (not fetch) && w && vpn = tc.w_vpn then
+    ((tc.w_frame lor (va land Addr.page_mask)), tc.w_cached)
+  else begin
+    let pa, cached = translate_walk t va ~write:w ~fetch in
+    if t.cfg.tcache then begin
+      let frame = pa land lnot Addr.page_mask in
+      if fetch then begin
+        tc.f_vpn <- vpn; tc.f_frame <- frame; tc.f_cached <- cached
+      end
+      else if w then begin
+        tc.w_vpn <- vpn; tc.w_frame <- frame; tc.w_cached <- cached
+      end
+      else begin
+        tc.r_vpn <- vpn; tc.r_frame <- frame; tc.r_cached <- cached
+      end
+    end;
+    (pa, cached)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Devices                                                             *)
@@ -484,7 +544,9 @@ let enter_exception t ~code ~badva ~refill ~cur ~in_delay =
   in
   t.pc <- vector;
   t.npc <- vector + 4;
-  t.next_is_delay <- false
+  t.next_is_delay <- false;
+  (* Status and EntryHi both changed above. *)
+  tcache_flush t
 
 (* ------------------------------------------------------------------ *)
 (* Instruction execution                                               *)
@@ -551,11 +613,19 @@ let cp0_write t (c : Insn.cp0) v =
   | C0_index -> t.index_reg <- v land 0x3F00
   | C0_random -> ()
   | C0_entrylo -> t.entrylo <- v
-  | C0_context -> t.context_base <- v land 0xFFE00000
+  | C0_context ->
+    t.context_base <- v land 0xFFE00000;
+    tcache_flush t
   | C0_badvaddr -> ()
   | C0_count -> ()
-  | C0_entryhi -> t.entryhi <- v
-  | C0_status -> t.status <- v
+  | C0_entryhi ->
+    (* ASID lives here: a change retargets every mapped translation. *)
+    t.entryhi <- v;
+    tcache_flush t
+  | C0_status ->
+    (* KU/IE bits gate segment permissions. *)
+    t.status <- v;
+    tcache_flush t
   | C0_cause -> t.cause <- v
   | C0_epc -> t.epc <- v
   | C0_prid -> ()
@@ -653,11 +723,13 @@ let exec t cur insn =
     t.entrylo <- lo
   | Tlbwi ->
     privileged t;
-    Tlb.write t.tlb ((t.index_reg lsr 8) land 0x3F) ~hi:t.entryhi ~lo:t.entrylo
+    Tlb.write t.tlb ((t.index_reg lsr 8) land 0x3F) ~hi:t.entryhi ~lo:t.entrylo;
+    tcache_flush t
   | Tlbwr ->
     privileged t;
     Tlb.write t.tlb (Tlb.random_index ~cycle:t.cycles) ~hi:t.entryhi
-      ~lo:t.entrylo
+      ~lo:t.entrylo;
+    tcache_flush t
   | Tlbp ->
     privileged t;
     (match
@@ -667,7 +739,8 @@ let exec t cur insn =
     | None -> t.index_reg <- 0x80000000)
   | Rfe ->
     privileged t;
-    t.status <- (t.status land lnot 0xF) lor ((t.status lsr 2) land 0xF)
+    t.status <- (t.status land lnot 0xF) lor ((t.status lsr 2) land 0xF);
+    tcache_flush t
   | Mfc1 (rt, fs) ->
     t.cycles <- t.cycles + Fpu.wait_regs t.fpu ~now:t.cycles [ fs ];
     reg_set t rt (int_of_float t.fregs.(fs))

@@ -40,6 +40,9 @@ type config = {
   disk_seek : int;
   disk_per_block : int;
   count_exec : bool;  (** per-instruction-word execution counts (§4.3) *)
+  tcache : bool;
+      (** Last-translation micro-cache in front of the TLB walk (default
+          on; turn off to benchmark or to act as its own oracle). *)
 }
 
 val default_config : config
@@ -59,6 +62,15 @@ type counters = {
   mutable interrupts : int;
   mutable syscalls : int;
   mutable clock_ticks : int;
+}
+
+(** Last-translation micro-cache: one (vpn -> page frame) entry per access
+    class (fetch / load / store), flushed on TLB writes, CP0 status/mode
+    changes and ASID/context updates. *)
+type tcache = {
+  mutable f_vpn : int;  mutable f_frame : int;  mutable f_cached : bool;
+  mutable r_vpn : int;  mutable r_frame : int;  mutable r_cached : bool;
+  mutable w_vpn : int;  mutable w_frame : int;  mutable w_cached : bool;
 }
 
 type t = {
@@ -82,6 +94,7 @@ type t = {
   mutable context_base : int;
   mutable context_badvpn : int;
   tlb : Tlb.t;
+  tc : tcache;
   icache : Cache.t;
   dcache : Cache.t;
   wb : Write_buffer.t;
@@ -109,6 +122,18 @@ val create : ?cfg:config -> unit -> t
 
 val user_mode : t -> bool
 val asid : t -> int
+
+(** {2 Address translation} *)
+
+val translate : t -> int -> write:bool -> fetch:bool -> int * bool
+(** [translate t va ~write ~fetch] is [(pa, cached)]; raises {!Trap} on
+    failure.  Goes through the last-translation micro-cache when
+    [t.cfg.tcache] is set. *)
+
+val translate_walk : t -> int -> write:bool -> fetch:bool -> int * bool
+(** The full segment-check + TLB walk, never consulting the micro-cache —
+    the oracle that {!translate} must agree with on every (pa, cached,
+    exception) result. *)
 
 (** {2 Physical memory access (host side too)} *)
 

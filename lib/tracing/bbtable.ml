@@ -41,6 +41,9 @@ let add t ~record_addr entry =
 
 let find t record_addr = Hashtbl.find_opt t.entries record_addr
 
+(* Allocation-free lookup for the parser's hot loop. *)
+let find_exn t record_addr = Hashtbl.find t.entries record_addr
+
 let mem t record_addr = Hashtbl.mem t.entries record_addr
 
 let size t = t.total_blocks

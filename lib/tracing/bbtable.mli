@@ -32,6 +32,11 @@ val add : t -> record_addr:int -> entry -> unit
 (** Raises [Failure] on a duplicate record address. *)
 
 val find : t -> int -> entry option
+
+val find_exn : t -> int -> entry
+(** Allocation-free lookup (raises [Not_found]) for the parser's hot
+    loop. *)
+
 val mem : t -> int -> bool
 val size : t -> int
 val iter : (int -> entry -> unit) -> t -> unit

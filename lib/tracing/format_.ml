@@ -74,5 +74,10 @@ let decode_marker w =
   else if kind = kind_end then End
   else raise (Bad_marker w)
 
+(* Field accessors for the parser's allocation-free fast path: the same
+   decode as [decode_marker] without building the variant. *)
+let marker_kind w = (w lsr 12) land 0xF
+let marker_arg w = w land 0xFFF
+
 let is_user_addr w = w < 0x80000000
 let is_kernel_addr w = w >= 0x80000000 && not (is_marker w)

@@ -50,3 +50,8 @@ val kind_end : int
 val make_marker : int -> int -> int
 (** [make_marker kind arg] builds a marker word from raw fields; [arg]
     must fit in 12 bits. *)
+
+val marker_kind : int -> int
+val marker_arg : int -> int
+(** Raw kind/arg fields of a marker word, for the parser's
+    allocation-free fast path ([decode_marker] without the variant). *)

@@ -20,7 +20,16 @@
    Defensive tracing (paper, section 4.3): every block record must exist in
    the static table of the right address space; data words must arrive
    exactly where the static record promises memory references; violations
-   raise [Corrupt] with the offending word and position. *)
+   raise [Corrupt] with the offending word and position.
+
+   The word loop is the innermost loop of every reconstruct-and-feed-memsim
+   experiment, so [feed] runs an allocation-free fast path by default: open
+   blocks are tracked with a sentinel entry instead of an [option], block
+   records are looked up with the non-allocating [Bbtable.find_exn], and
+   marker words are dispatched on their raw kind field without building a
+   [Format_.marker] value.  The variant-based path is kept as the
+   slow/debug reference ([create ~debug:true ()]), and a qcheck property
+   holds the two equivalent on arbitrary valid and corrupted traces. *)
 
 exception Corrupt of string
 
@@ -76,15 +85,20 @@ let fresh_stats () =
     ended = false;
   }
 
+(* Sentinel for "no block open" — compared with physical equality so the
+   hot loop never allocates or matches an [option]. *)
+let no_entry : Bbtable.entry =
+  { Bbtable.orig_addr = -1; ninsns = 0; mems = [||]; flags = 0 }
+
 (* Parse state of one trace source (the kernel at one exception-nesting
    level, or one user process). *)
 type src = {
-  mutable entry : Bbtable.entry option;
+  mutable entry : Bbtable.entry;  (* == [no_entry] when no block is open *)
   mutable next_pos : int;      (* next instruction position to emit *)
   mutable mem_idx : int;       (* next memory reference index *)
 }
 
-let fresh_src () = { entry = None; next_pos = 0; mem_idx = 0 }
+let fresh_src () = { entry = no_entry; next_pos = 0; mem_idx = 0 }
 
 type t = {
   kernel_bbs : Bbtable.t;
@@ -95,12 +109,13 @@ type t = {
   mutable mode : int;
   mutable h : handlers;
   s : stats;
+  debug : bool;                 (* variant-based reference path *)
   (* drain framing *)
   mutable drain_pid : int;      (* -1 = not in a drain *)
   mutable drain_left : int;     (* -2: expecting count word *)
 }
 
-let create ~kernel_bbs () =
+let create ?(debug = false) ~kernel_bbs () =
   {
     kernel_bbs;
     user_bbs = Hashtbl.create 8;
@@ -110,6 +125,7 @@ let create ~kernel_bbs () =
     mode = 0;
     h = null_handlers;
     s = fresh_stats ();
+    debug;
     drain_pid = -1;
     drain_left = 0;
   }
@@ -121,6 +137,7 @@ let register_pid t ~pid bbs = Hashtbl.replace t.user_bbs pid bbs
 let stats t = t.s
 
 (* ------------------------------------------------------------------ *)
+(* Core block machinery, shared by both paths                          *)
 
 let emit_inst t ~kernel ~pid addr =
   t.s.insts <- t.s.insts + 1;
@@ -137,9 +154,8 @@ let emit_data t ~kernel ~pid ~is_load ~bytes addr =
 (* Emit instruction fetches of the current block up to and including
    position [upto]. *)
 let emit_insts_upto t src ~kernel ~pid upto =
-  match src.entry with
-  | None -> ()
-  | Some e ->
+  let e = src.entry in
+  if e != no_entry then
     while src.next_pos <= upto do
       emit_inst t ~kernel ~pid (e.Bbtable.orig_addr + (src.next_pos * 4));
       src.next_pos <- src.next_pos + 1
@@ -148,45 +164,43 @@ let emit_insts_upto t src ~kernel ~pid upto =
 (* If all memory references of the current block have been consumed, emit
    its trailing instructions and close it. *)
 let maybe_finish_block t src ~kernel ~pid =
-  match src.entry with
-  | None -> ()
-  | Some e ->
-    if src.mem_idx >= Array.length e.Bbtable.mems then begin
-      emit_insts_upto t src ~kernel ~pid (e.Bbtable.ninsns - 1);
-      src.entry <- None
-    end
+  let e = src.entry in
+  if e != no_entry && src.mem_idx >= Array.length e.Bbtable.mems then begin
+    emit_insts_upto t src ~kernel ~pid (e.Bbtable.ninsns - 1);
+    src.entry <- no_entry
+  end
+
+let open_entry t src ~kernel ~pid e =
+  t.s.bb_records <- t.s.bb_records + 1;
+  if Bbtable.is_idle e then t.s.idle_insts <- t.s.idle_insts + e.Bbtable.ninsns;
+  src.entry <- e;
+  src.next_pos <- 0;
+  src.mem_idx <- 0;
+  maybe_finish_block t src ~kernel ~pid
 
 let feed_bb_record t src ~kernel ~pid ~table ~idx w =
-  (match src.entry with
-  | Some e ->
+  let cur = src.entry in
+  if cur != no_entry then
     corrupt
       "word %d: block record 0x%x while block at 0x%x still expects %d data \
        words"
-      idx w e.Bbtable.orig_addr
-      (Array.length e.Bbtable.mems - src.mem_idx)
-  | None -> ());
-  match Bbtable.find table w with
-  | None ->
+      idx w cur.Bbtable.orig_addr
+      (Array.length cur.Bbtable.mems - src.mem_idx);
+  match Bbtable.find_exn table w with
+  | e -> open_entry t src ~kernel ~pid e
+  | exception Not_found ->
     corrupt "word %d: 0x%x is not a basic-block record of this address space"
       idx w
-  | Some e ->
-    t.s.bb_records <- t.s.bb_records + 1;
-    if Bbtable.is_idle e then t.s.idle_insts <- t.s.idle_insts + e.Bbtable.ninsns;
-    src.entry <- Some e;
-    src.next_pos <- 0;
-    src.mem_idx <- 0;
-    maybe_finish_block t src ~kernel ~pid
 
 let feed_data_word t src ~kernel ~pid ~idx w =
-  match src.entry with
-  | None ->
-    corrupt "word %d: data address 0x%x with no open basic block" idx w
-  | Some e ->
-    let pos, bytes, is_load = e.Bbtable.mems.(src.mem_idx) in
-    emit_insts_upto t src ~kernel ~pid pos;
-    emit_data t ~kernel ~pid ~is_load ~bytes w;
-    src.mem_idx <- src.mem_idx + 1;
-    maybe_finish_block t src ~kernel ~pid
+  let e = src.entry in
+  if e == no_entry then
+    corrupt "word %d: data address 0x%x with no open basic block" idx w;
+  let pos, bytes, is_load = e.Bbtable.mems.(src.mem_idx) in
+  emit_insts_upto t src ~kernel ~pid pos;
+  emit_data t ~kernel ~pid ~is_load ~bytes w;
+  src.mem_idx <- src.mem_idx + 1;
+  maybe_finish_block t src ~kernel ~pid
 
 (* A word belonging to the kernel's own stream. *)
 let feed_kernel_word t ~idx w =
@@ -197,9 +211,10 @@ let feed_kernel_word t ~idx w =
      consulted only when no block is open, and blocks never reference their
      own record addresses with loads in practice.  The expected-count check
      still catches any residual ambiguity. *)
-  match src.entry with
-  | Some _ -> feed_data_word t src ~kernel:true ~pid:t.cur_pid ~idx w
-  | None -> feed_bb_record t src ~kernel:true ~pid:t.cur_pid ~table:t.kernel_bbs ~idx w
+  if src.entry != no_entry then
+    feed_data_word t src ~kernel:true ~pid:t.cur_pid ~idx w
+  else
+    feed_bb_record t src ~kernel:true ~pid:t.cur_pid ~table:t.kernel_bbs ~idx w
 
 let user_src t pid =
   match Hashtbl.find_opt t.users pid with
@@ -212,47 +227,74 @@ let user_src t pid =
 let feed_user_word t ~idx w =
   let pid = t.drain_pid in
   let src = user_src t pid in
-  match src.entry with
-  | Some _ -> feed_data_word t src ~kernel:false ~pid ~idx w
-  | None -> (
+  if src.entry != no_entry then feed_data_word t src ~kernel:false ~pid ~idx w
+  else
     match Hashtbl.find_opt t.user_bbs pid with
     | None -> corrupt "word %d: drain for unregistered pid %d" idx pid
-    | Some table -> feed_bb_record t src ~kernel:false ~pid ~table ~idx w)
+    | Some table -> feed_bb_record t src ~kernel:false ~pid ~table ~idx w
 
+(* ------------------------------------------------------------------ *)
+(* Marker dispatch: shared bodies                                      *)
+
+let on_pid_switch t p =
+  t.s.pid_switches <- t.s.pid_switches + 1;
+  t.cur_pid <- p
+
+let on_drain t p =
+  t.s.drains <- t.s.drains + 1;
+  t.drain_pid <- p;
+  t.drain_left <- -2 (* count word follows *)
+
+let on_exc_enter t =
+  t.s.exc_markers <- t.s.exc_markers + 1;
+  t.kernel_stack <- fresh_src () :: t.kernel_stack;
+  t.s.max_exc_depth <- max t.s.max_exc_depth (List.length t.kernel_stack - 1)
+
+let on_exc_exit t ~idx =
+  t.s.exc_markers <- t.s.exc_markers + 1;
+  match t.kernel_stack with
+  | top :: (_ :: _ as rest) ->
+    if top.entry != no_entry then
+      corrupt "word %d: exception exit with kernel block 0x%x still open" idx
+        top.entry.Bbtable.orig_addr;
+    t.kernel_stack <- rest
+  | _ -> corrupt "word %d: exception exit at depth 0" idx
+
+let on_mode t m =
+  t.s.mode_transitions <- t.s.mode_transitions + 1;
+  t.mode <- m
+
+(* Slow/debug marker dispatch through the variant API. *)
 let feed_marker t ~idx w =
   t.s.markers <- t.s.markers + 1;
   match Format_.decode_marker w with
-  | Format_.Pid_switch p ->
-    t.s.pid_switches <- t.s.pid_switches + 1;
-    t.cur_pid <- p
-  | Format_.Drain p ->
-    t.s.drains <- t.s.drains + 1;
-    t.drain_pid <- p;
-    t.drain_left <- -2 (* count word follows *)
-  | Format_.Exc_enter _ ->
-    t.s.exc_markers <- t.s.exc_markers + 1;
-    t.kernel_stack <- fresh_src () :: t.kernel_stack;
-    t.s.max_exc_depth <- max t.s.max_exc_depth (List.length t.kernel_stack - 1)
-  | Format_.Exc_exit -> (
-    t.s.exc_markers <- t.s.exc_markers + 1;
-    match t.kernel_stack with
-    | top :: (_ :: _ as rest) ->
-      (match top.entry with
-      | Some e ->
-        corrupt
-          "word %d: exception exit with kernel block 0x%x still open" idx
-          e.Bbtable.orig_addr
-      | None -> ());
-      t.kernel_stack <- rest
-    | _ -> corrupt "word %d: exception exit at depth 0" idx)
-  | Format_.Mode m ->
-    t.s.mode_transitions <- t.s.mode_transitions + 1;
-    t.mode <- m
+  | Format_.Pid_switch p -> on_pid_switch t p
+  | Format_.Drain p -> on_drain t p
+  | Format_.Exc_enter _ -> on_exc_enter t
+  | Format_.Exc_exit -> on_exc_exit t ~idx
+  | Format_.Mode m -> on_mode t m
   | Format_.Trace_onoff _ -> ()
   | Format_.Thread_switch _ -> ()
   | Format_.End -> t.s.ended <- true
 
-let feed_word t ~idx w =
+(* Fast marker dispatch on the raw kind field (no variant). *)
+let feed_marker_fast t ~idx w =
+  t.s.markers <- t.s.markers + 1;
+  let kind = Format_.marker_kind w in
+  if kind = Format_.kind_pid then on_pid_switch t (Format_.marker_arg w)
+  else if kind = Format_.kind_drain then on_drain t (Format_.marker_arg w)
+  else if kind = Format_.kind_exc_enter then on_exc_enter t
+  else if kind = Format_.kind_exc_exit then on_exc_exit t ~idx
+  else if kind = Format_.kind_mode then on_mode t (Format_.marker_arg w)
+  else if kind = Format_.kind_onoff then ()
+  else if kind = Format_.kind_thread then ()
+  else if kind = Format_.kind_end then t.s.ended <- true
+  else raise (Format_.Bad_marker w)
+
+(* ------------------------------------------------------------------ *)
+(* Word loop                                                           *)
+
+let feed_word t ~feed_marker ~idx w =
   t.s.words <- t.s.words + 1;
   if t.s.ended then corrupt "word %d: trace continues after END marker" idx;
   if t.mode = 1 then t.s.analysis_mode_words <- t.s.analysis_mode_words + 1;
@@ -277,9 +319,14 @@ let feed_word t ~idx w =
 (* Feed a chunk of trace (one trace-analysis phase's worth). *)
 let feed t words ~len =
   let base = t.s.words in
-  for k = 0 to len - 1 do
-    feed_word t ~idx:(base + k) words.(k)
-  done
+  if t.debug then
+    for k = 0 to len - 1 do
+      feed_word t ~feed_marker ~idx:(base + k) words.(k)
+    done
+  else
+    for k = 0 to len - 1 do
+      feed_word t ~feed_marker:feed_marker_fast ~idx:(base + k) words.(k)
+    done
 
 (* End-of-run checks: every source must have completed its last block.
    Processes listed in [live] are allowed an incomplete block: a process
@@ -287,18 +334,15 @@ let feed t words ~len =
    mid-block when the machine halts. *)
 let finish ?(live = []) t =
   (match t.kernel_stack with
-  | [ top ] -> (
-    match top.entry with
-    | Some e ->
-      corrupt "finish: kernel block 0x%x incomplete" e.Bbtable.orig_addr
-    | None -> ())
+  | [ top ] ->
+    if top.entry != no_entry then
+      corrupt "finish: kernel block 0x%x incomplete" top.entry.Bbtable.orig_addr
   | stack ->
     corrupt "finish: exception depth %d at end of trace"
       (List.length stack - 1));
   Hashtbl.iter
     (fun pid src ->
-      match src.entry with
-      | Some e when not (List.mem pid live) ->
-        corrupt "finish: pid %d block 0x%x incomplete" pid e.Bbtable.orig_addr
-      | _ -> ())
+      if src.entry != no_entry && not (List.mem pid live) then
+        corrupt "finish: pid %d block 0x%x incomplete" pid
+          src.entry.Bbtable.orig_addr)
     t.users

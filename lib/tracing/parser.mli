@@ -12,7 +12,13 @@
 
     Defensive tracing: every block record must exist in the right address
     space's table, and data words must arrive exactly where the static
-    record promises; violations raise {!Corrupt}. *)
+    record promises; violations raise {!Corrupt}.
+
+    {!feed} runs an allocation-free fast path by default (sentinel open
+    blocks, non-allocating table lookups, markers dispatched on their raw
+    kind field); [create ~debug:true ()] selects the variant-based
+    reference path, which a qcheck property holds equivalent on arbitrary
+    valid and corrupted traces. *)
 
 exception Corrupt of string
 
@@ -50,7 +56,9 @@ val fresh_stats : unit -> stats
 
 type t
 
-val create : kernel_bbs:Bbtable.t -> unit -> t
+val create : ?debug:bool -> kernel_bbs:Bbtable.t -> unit -> t
+(** [debug] (default [false]) routes {!feed} through the variant-based
+    slow path instead of the allocation-free fast path. *)
 
 val set_handlers : t -> handlers -> unit
 

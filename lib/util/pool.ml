@@ -1,0 +1,71 @@
+(* Fixed-size domain work pool.
+
+   The validation harness runs the full Table 2/3 matrix — every workload
+   under both personalities, measured and predicted — and every cell is an
+   independent full-machine simulation.  [map] farms such jobs out to
+   [jobs] domains (OCaml 5 [Domain], [Mutex] and [Condition] from the
+   stdlib only; no new packages, per DESIGN.md §6).
+
+   Guarantees:
+   - results come back in input order, regardless of completion order;
+   - an exception in any job is re-raised in the caller (the first failing
+     job in input order wins) after all workers have stopped;
+   - [jobs <= 1] (or fewer than two items) degrades to a plain [List.map]
+     on the calling domain, so serial runs take the exact same code path
+     through the job closures. *)
+
+type 'b slot = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
+
+let map ~jobs f xs =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let results = Array.make n Pending in
+    let next = ref 0 in
+    let m = Mutex.create () in
+    (* Claim indices under the mutex; compute outside it.  Workers keep
+       claiming until the queue is empty or some job has failed (no point
+       starting new work that will be thrown away). *)
+    let failed = ref false in
+    let claim () =
+      Mutex.lock m;
+      let k = if !failed || !next >= n then -1 else !next in
+      if k >= 0 then incr next;
+      Mutex.unlock m;
+      k
+    in
+    let worker () =
+      let rec go () =
+        let k = claim () in
+        if k >= 0 then begin
+          (match f items.(k) with
+          | r -> results.(k) <- Done r
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            results.(k) <- Failed (e, bt);
+            Mutex.lock m;
+            failed := true;
+            Mutex.unlock m);
+          go ()
+        end
+      in
+      go ()
+    in
+    let nworkers = min jobs n in
+    let domains = Array.init nworkers (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    Array.iter
+      (function
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending | Done _ -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function
+           | Done r -> r
+           | Pending | Failed _ -> assert false (* no failure, all claimed *))
+         results)
+  end
+
+let default_jobs () = Domain.recommended_domain_count ()

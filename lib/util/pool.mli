@@ -1,0 +1,16 @@
+(** Fixed-size domain work pool for independent jobs (stdlib [Domain] /
+    [Mutex] / [Condition] only; no new packages).
+
+    Used by the validation harness to run the measured/predicted matrix —
+    each cell a self-contained machine simulation — across cores. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] on a pool of at
+    most [jobs] domains and returns the results in input order.  If any
+    job raises, the exception of the first failing job (in input order) is
+    re-raised in the caller after all workers have stopped.  With
+    [jobs <= 1] (or fewer than two items) this is exactly [List.map f xs]
+    on the calling domain. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)

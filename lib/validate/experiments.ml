@@ -18,15 +18,39 @@ type full_row = {
   mach : Validate.row;
 }
 
-let run_matrix ?(seed = 1) ?(progress = fun _ -> ()) () : full_row list =
-  List.map
-    (fun (e : Suite.entry) ->
-      progress (e.Suite.name ^ " (Ultrix)");
-      let u = Validate.run_workload ~seed Validate.Ultrix (spec_of e) in
-      progress (e.Suite.name ^ " (Mach)");
-      let m = Validate.run_workload ~seed Validate.Mach (spec_of e) in
-      { fname = e.Suite.name; ultrix = u; mach = m })
-    Suite.all
+(* Every Table 2/3/Figure 3 cell is a self-contained thunk: it builds its
+   own machine, kernel and workload state from the immutable [Suite.entry]
+   (all randomness flows from the explicit [seed]), so the matrix can run
+   on a domain pool.  Results are merged back in suite order, making the
+   rendered tables byte-identical whatever [jobs] is. *)
+let run_matrix ?(seed = 1) ?(progress = fun _ -> ()) ?(jobs = 1)
+    ?(entries = Suite.all) () : full_row list =
+  let pm = Mutex.create () in
+  let progress s =
+    Mutex.lock pm;
+    Fun.protect ~finally:(fun () -> Mutex.unlock pm) (fun () -> progress s)
+  in
+  let cells =
+    List.concat_map
+      (fun (e : Suite.entry) ->
+        [ (e, Validate.Ultrix); (e, Validate.Mach) ])
+      entries
+  in
+  let rows =
+    Pool.map ~jobs
+      (fun ((e : Suite.entry), os) ->
+        progress (Printf.sprintf "%s (%s)" e.Suite.name (Validate.os_name os));
+        Validate.run_workload ~seed os (spec_of e))
+      cells
+  in
+  let rec merge rows entries =
+    match (rows, entries) with
+    | u :: m :: rows, (e : Suite.entry) :: entries ->
+      { fname = e.Suite.name; ultrix = u; mach = m } :: merge rows entries
+    | [], [] -> []
+    | _ -> assert false
+  in
+  merge rows entries
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: the workloads                                              *)
@@ -216,7 +240,7 @@ let kernel_cpi_table (matrix : full_row list) =
 (* ------------------------------------------------------------------ *)
 (* §4.3: in-kernel buffer size vs mode-transition dirt                  *)
 
-let buffer_sweep_table ?(wname = "compress") () =
+let buffer_sweep_table ?(wname = "compress") ?(jobs = 1) () =
   let e = Suite.find wname in
   let t =
     Table.create
@@ -229,42 +253,45 @@ let buffer_sweep_table ?(wname = "compress") () =
         [ "buffer"; "analysis phases"; "mode markers"; "disk ops"; "trace words" ]
       ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
   in
-  List.iter
-    (fun kb ->
-      let cfg =
-        {
-          Builder.default_config with
-          Builder.traced = true;
-          trace_buf_bytes = kb * 1024;
-          trace_slack_bytes = min (kb * 1024 / 4) (64 * 1024);
-          analysis_chunk = 8192;
-        }
-      in
-      let b =
-        Builder.build ~cfg ~programs:[ e.Suite.program () ] ~files:e.Suite.files ()
-      in
-      let kernel_bbs = Option.get b.Builder.kernel_bbs in
-      let p = Systrace_tracing.Parser.create ~kernel_bbs () in
-      List.iter
-        (fun (pi : Builder.proc_info) ->
-          Systrace_tracing.Parser.register_pid p ~pid:pi.pid
-            (Option.get pi.bbs))
-        b.Builder.procs;
-      let words = ref 0 in
-      b.Builder.trace_sink <-
-        Some
-          (fun ws len ->
-            words := !words + len;
-            Systrace_tracing.Parser.feed p ws ~len);
-      (match Builder.run b ~max_insns:2_000_000_000 with
-      | Systrace_machine.Machine.Halt -> ()
-      | Systrace_machine.Machine.Limit -> failwith "buffer sweep: no halt");
-      Builder.drain_final b;
-      Systrace_tracing.Parser.finish p;
-      let stats = Systrace_tracing.Parser.stats p in
-      (* disk completions whose trace was lost: total disk ops minus the
-         ones we can see; approximate dirt indicator via mode transitions *)
-      Table.add_row t
+  (* Each sweep point builds its own traced system and parser, so the
+     sweep runs on the pool; rows are added in sweep order. *)
+  let rows =
+    Pool.map ~jobs
+      (fun kb ->
+        let cfg =
+          {
+            Builder.default_config with
+            Builder.traced = true;
+            trace_buf_bytes = kb * 1024;
+            trace_slack_bytes = min (kb * 1024 / 4) (64 * 1024);
+            analysis_chunk = 8192;
+          }
+        in
+        let b =
+          Builder.build ~cfg ~programs:[ e.Suite.program () ]
+            ~files:e.Suite.files ()
+        in
+        let kernel_bbs = Option.get b.Builder.kernel_bbs in
+        let p = Systrace_tracing.Parser.create ~kernel_bbs () in
+        List.iter
+          (fun (pi : Builder.proc_info) ->
+            Systrace_tracing.Parser.register_pid p ~pid:pi.pid
+              (Option.get pi.bbs))
+          b.Builder.procs;
+        let words = ref 0 in
+        b.Builder.trace_sink <-
+          Some
+            (fun ws len ->
+              words := !words + len;
+              Systrace_tracing.Parser.feed p ws ~len);
+        (match Builder.run b ~max_insns:2_000_000_000 with
+        | Systrace_machine.Machine.Halt -> ()
+        | Systrace_machine.Machine.Limit -> failwith "buffer sweep: no halt");
+        Builder.drain_final b;
+        Systrace_tracing.Parser.finish p;
+        let stats = Systrace_tracing.Parser.stats p in
+        (* disk completions whose trace was lost: total disk ops minus the
+           ones we can see; approximate dirt indicator via mode transitions *)
         [
           Printf.sprintf "%d KB" kb;
           string_of_int b.Builder.analyze_calls;
@@ -276,13 +303,15 @@ let buffer_sweep_table ?(wname = "compress") () =
                 .Systrace_machine.Disk.writes);
           string_of_int !words;
         ])
-    [ 64; 128; 256; 1024; 4096 ];
+      [ 64; 128; 256; 1024; 4096 ]
+  in
+  List.iter (Table.add_row t) rows;
   t
 
 (* ------------------------------------------------------------------ *)
 (* §4.4: page-mapping policy sensitivity (tomcatv)                      *)
 
-let pagemap_table ?(wname = "tomcatv") ?(nseeds = 4) () =
+let pagemap_table ?(wname = "tomcatv") ?(nseeds = 4) ?(jobs = 1) () =
   let e = Suite.find wname in
   (* Use the DECstation's real 64KB caches: page placement matters most
      when the working set is marginal against the cache, which is how the
@@ -305,17 +334,29 @@ let pagemap_table ?(wname = "tomcatv") ?(nseeds = 4) () =
       ~headers:[ "policy"; "min s"; "max s"; "spread %" ]
       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
   in
-  List.iter
-    (fun (policy, pname) ->
+  let policies =
+    [ (Kcfg.Careful, "careful (Ultrix)"); (Kcfg.Random, "random (Mach)") ]
+  in
+  (* One thunk per (policy, seed) cell; merged back per policy in order. *)
+  let cells =
+    List.concat_map
+      (fun (policy, _) -> List.init nseeds (fun k -> (policy, k + 1)))
+      policies
+  in
+  let times =
+    Pool.map ~jobs
+      (fun (policy, seed) ->
+        (Validate.measure_with ~machine_cfg:mcfg ~pagemap:policy ~seed
+           Validate.Ultrix (spec_of e))
+          .Validate.m_seconds)
+      cells
+  in
+  List.iteri
+    (fun i (_, pname) ->
       let times =
-        List.map
-          (fun seed ->
-            let m =
-              Validate.measure_with ~machine_cfg:mcfg ~pagemap:policy ~seed
-                Validate.Ultrix (spec_of e)
-            in
-            m.Validate.m_seconds)
-          (List.init nseeds (fun k -> k + 1))
+        List.filteri
+          (fun k _ -> k >= i * nseeds && k < (i + 1) * nseeds)
+          times
       in
       let lo = Stats.minimum times and hi = Stats.maximum times in
       Table.add_row t
@@ -325,7 +366,7 @@ let pagemap_table ?(wname = "tomcatv") ?(nseeds = 4) () =
           fmt_s hi;
           Printf.sprintf "%.1f" ((hi -. lo) /. lo *. 100.0);
         ])
-    [ (Kcfg.Careful, "careful (Ultrix)"); (Kcfg.Random, "random (Mach)") ];
+    policies;
   t
 
 (* ------------------------------------------------------------------ *)

@@ -15,8 +15,18 @@ type full_row = {
 }
 
 val run_matrix :
-  ?seed:int -> ?progress:(string -> unit) -> unit -> full_row list
-(** Every workload under both personalities, measured and predicted. *)
+  ?seed:int ->
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  ?entries:Suite.entry list ->
+  unit ->
+  full_row list
+(** Every workload under both personalities, measured and predicted.
+    Each cell is a self-contained simulation run on a pool of [jobs]
+    domains (default 1 = serial); results merge in suite order, so the
+    rendered tables are byte-identical whatever [jobs] is.  [progress] is
+    serialized by a mutex and may be called from worker domains.
+    [entries] restricts the matrix (tests use a subset). *)
 
 val table1 : unit -> Table.t
 val table2 : full_row list -> Table.t
@@ -35,11 +45,14 @@ val kernel_cpi_table : full_row list -> Table.t
 val distortion_table : ?wnames:string list -> unit -> Table.t
 (** §4.1: machine-level event rates, untraced vs traced execution. *)
 
-val buffer_sweep_table : ?wname:string -> unit -> Table.t
-(** §4.3: in-kernel buffer size vs trace-analysis transitions. *)
+val buffer_sweep_table : ?wname:string -> ?jobs:int -> unit -> Table.t
+(** §4.3: in-kernel buffer size vs trace-analysis transitions; the sweep
+    points run on a pool of [jobs] domains. *)
 
-val pagemap_table : ?wname:string -> ?nseeds:int -> unit -> Table.t
-(** §4.2/§4.4: page-mapping policy sensitivity across seeds. *)
+val pagemap_table :
+  ?wname:string -> ?nseeds:int -> ?jobs:int -> unit -> Table.t
+(** §4.2/§4.4: page-mapping policy sensitivity across seeds; the
+    (policy, seed) cells run on a pool of [jobs] domains. *)
 
 val corruption_table : ?wname:string -> ?trials:int -> ?seed:int -> unit -> Table.t
 (** §4.3 fault injection: detection rate of single-word corruptions. *)

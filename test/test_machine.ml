@@ -696,9 +696,165 @@ let test_context_register () =
   check_int "PTEbase preserved" 0xC0200000
     (m.Machine.regs.(Reg.s0) land 0xFFE00000)
 
+(* ------------------------------------------------------------------ *)
+(* Translation micro-cache vs the full TLB walk                        *)
+
+(* Random CP0 traffic for the property below.  Every mutation runs as real
+   instructions (mtc0/tlbwi/tlbwr/rfe), so the micro-cache sees exactly the
+   invalidation points the interpreter gives it — a direct [Tlb.write]
+   would bypass them and prove nothing. *)
+type tc_op =
+  | Access of { va : int; write : bool; fetch : bool }
+  | Op_tlbwi of { hi : int; lo : int; index : int }
+  | Op_tlbwr of { hi : int; lo : int }
+  | Op_status of int
+  | Op_entryhi of int
+  | Op_context of int
+  | Op_rfe
+
+let tc_machine () =
+  (* One snippet per mutation kind; parameters arrive in t0..t2. *)
+  let a = Asm.create "tcprop" in
+  let snippet name build =
+    Asm.global a name;
+    Asm.label a name;
+    build ();
+    Asm.hcall a 0
+  in
+  Asm.global a "_start";
+  Asm.label a "_start";
+  Asm.hcall a 0;
+  snippet "op_tlbwi" (fun () ->
+      Asm.mtc0 a Reg.t0 Insn.C0_entryhi;
+      Asm.mtc0 a Reg.t1 Insn.C0_entrylo;
+      Asm.mtc0 a Reg.t2 Insn.C0_index;
+      Asm.tlbwi a);
+  snippet "op_tlbwr" (fun () ->
+      Asm.mtc0 a Reg.t0 Insn.C0_entryhi;
+      Asm.mtc0 a Reg.t1 Insn.C0_entrylo;
+      Asm.tlbwr a);
+  snippet "op_status" (fun () -> Asm.mtc0 a Reg.t0 Insn.C0_status);
+  snippet "op_entryhi" (fun () -> Asm.mtc0 a Reg.t0 Insn.C0_entryhi);
+  snippet "op_context" (fun () -> Asm.mtc0 a Reg.t0 Insn.C0_context);
+  snippet "op_rfe" (fun () -> Asm.rfe a);
+  let exe =
+    Link.link ~name:"tcprop" ~text_base:text_va ~data_base:data_va
+      ~entry:"_start" [ Asm.to_obj a ]
+  in
+  let m = Machine.create () in
+  Machine.load_exe_phys m exe ~text_pa:(Addr.kseg0_pa text_va)
+    ~data_pa:(Addr.kseg0_pa data_va);
+  m.Machine.hcall_handler <- Some (fun m code -> if code = 0 then Machine.halt m);
+  (m, exe)
+
+let tc_run_snippet m exe name =
+  m.Machine.pc <- Exe.symbol exe name;
+  m.Machine.npc <- m.Machine.pc + 4;
+  m.Machine.next_is_delay <- false;
+  m.Machine.halted <- false;
+  match Machine.run m ~max_insns:20 with
+  | Machine.Halt -> ()
+  | Machine.Limit -> Alcotest.fail (name ^ ": snippet did not halt")
+
+(* The machine stays in kernel mode so snippets keep executing: random
+   status values have their KU stack masked off. *)
+let tc_status_mask = lnot 0x2A
+
+let tc_gen_op =
+  let open QCheck.Gen in
+  let vpn = int_range 0 7 in
+  let va =
+    map2
+      (fun seg vpn -> seg lor (vpn lsl 12) lor 0x100)
+      (oneofl [ 0x0000_0000; 0x0000_4000; 0x8000_0000; 0xA000_0000; 0xC000_0000 ])
+      vpn
+  in
+  let entry_hi =
+    map2 (fun vpn asid -> Tlb.make_entryhi ~vpn ~asid) vpn (int_range 0 3)
+  in
+  let entry_lo =
+    map2
+      (fun pfn (valid, dirty, global, nc) ->
+        Tlb.make_entrylo ~noncacheable:nc ~dirty ~valid ~global ~pfn ())
+      (int_range 0 15)
+      (quad bool bool bool bool)
+  in
+  frequency
+    [
+      (6, map3 (fun va write fetch ->
+               Access { va; write; fetch = fetch && not write })
+            va bool bool);
+      (2, map3 (fun hi lo index -> Op_tlbwi { hi; lo; index = index lsl 8 })
+            entry_hi entry_lo (int_range 0 63));
+      (1, map2 (fun hi lo -> Op_tlbwr { hi; lo }) entry_hi entry_lo);
+      (1, map (fun s -> Op_status (s land tc_status_mask)) (int_bound 0xFFFF));
+      (1, map (fun hi -> Op_entryhi hi) entry_hi);
+      (1, map (fun c -> Op_context (c lsl 21)) (int_bound 0x3F));
+      (1, return Op_rfe);
+    ]
+
+let tc_arb_ops =
+  QCheck.make
+    ~print:(fun ops -> Printf.sprintf "<%d ops>" (List.length ops))
+    QCheck.Gen.(list_size (int_range 1 60) tc_gen_op)
+
+let prop_tcache_matches_walk =
+  QCheck.Test.make ~count:100
+    ~name:"translate micro-cache == full TLB walk on every result"
+    tc_arb_ops
+    (fun ops ->
+      let m, exe = tc_machine () in
+      let result f =
+        match f () with
+        | r -> Ok r
+        | exception Machine.Trap { code; badva; refill } ->
+          Error (code, badva, refill)
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | Access { va; write; fetch } ->
+            (* Oracle first: the walk never reads the micro-cache, so the
+               order only affects counters, which we don't compare. *)
+            let oracle =
+              result (fun () -> Machine.translate_walk m va ~write ~fetch)
+            in
+            let fast =
+              result (fun () -> Machine.translate m va ~write ~fetch)
+            in
+            fast = oracle
+          | Op_tlbwi { hi; lo; index } ->
+            m.Machine.regs.(Reg.t0) <- hi;
+            m.Machine.regs.(Reg.t1) <- lo;
+            m.Machine.regs.(Reg.t2) <- index;
+            tc_run_snippet m exe "op_tlbwi";
+            true
+          | Op_tlbwr { hi; lo } ->
+            m.Machine.regs.(Reg.t0) <- hi;
+            m.Machine.regs.(Reg.t1) <- lo;
+            tc_run_snippet m exe "op_tlbwr";
+            true
+          | Op_status s ->
+            m.Machine.regs.(Reg.t0) <- s;
+            tc_run_snippet m exe "op_status";
+            true
+          | Op_entryhi hi ->
+            m.Machine.regs.(Reg.t0) <- hi;
+            tc_run_snippet m exe "op_entryhi";
+            true
+          | Op_context c ->
+            m.Machine.regs.(Reg.t0) <- c;
+            tc_run_snippet m exe "op_context";
+            true
+          | Op_rfe ->
+            tc_run_snippet m exe "op_rfe";
+            true)
+        ops)
+
 let tests =
   tests
   @ [
+      QCheck_alcotest.to_alcotest prop_tcache_matches_walk;
       Alcotest.test_case "alignment traps" `Quick test_alignment_traps;
       Alcotest.test_case "interrupt masking" `Quick test_interrupt_masking;
       Alcotest.test_case "store invalidates decode" `Quick

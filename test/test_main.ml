@@ -9,5 +9,6 @@ let () =
       ("kernel", Test_kernel.tests);
       ("tracesim", Test_tracesim.tests);
       ("workloads", Test_workloads.tests);
+      ("validate", Test_validate.tests);
       ("threads", Test_threads.tests);
     ]

@@ -526,10 +526,76 @@ let prop_lzss_unpack_never_crashes =
       | (_ : string) -> true
       | exception Compress.Corrupt _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Equivalence: the zero-allocation fast parse loop and the variant-based
+   debug loop must be observably identical — same event stream, same
+   stats, same defensive-check failure — on valid traces, corrupted
+   traces, and word salad. *)
+
+type parse_outcome = P_ok | P_corrupt of string | P_bad_marker of int
+
+let run_parser ~debug words =
+  let p = Parser.create ~debug ~kernel_bbs:(synth_kernel_table ()) () in
+  Parser.register_pid p ~pid:1 (user_table ());
+  let evs = ref [] in
+  Parser.set_handlers p
+    {
+      Parser.on_inst =
+        (fun addr pid kernel -> evs := (`I, addr, pid, kernel, false, 0) :: !evs);
+      on_data =
+        (fun addr pid kernel is_load bytes ->
+          evs := (`D, addr, pid, kernel, is_load, bytes) :: !evs);
+    };
+  let outcome =
+    match
+      Parser.feed p words ~len:(Array.length words);
+      Parser.finish p
+    with
+    | () -> P_ok
+    | exception Parser.Corrupt msg -> P_corrupt msg
+    | exception Format_.Bad_marker w -> P_bad_marker w
+  in
+  (outcome, List.rev !evs, Parser.stats p)
+
+let gen_equiv_words =
+  let open QCheck.Gen in
+  let salad_word =
+    oneof
+      [
+        map (fun i -> i land 0xFFFFFFFF) (int_bound max_int);
+        map (fun i -> 0xBFFF0000 lor (i land 0xFFFF)) (int_bound max_int);
+      ]
+  in
+  oneof
+    [
+      (* valid kernel schedules *)
+      map serialize gen_schedule;
+      (* the same, with one word smashed *)
+      map3
+        (fun sch pos w ->
+          let ws = serialize sch in
+          if Array.length ws > 0 then
+            ws.(pos mod Array.length ws) <- w land 0xFFFFFFFF;
+          ws)
+        gen_schedule (int_bound 1000) (int_bound max_int);
+      (* pure word salad, biased toward the marker slice *)
+      map Array.of_list (list_size (int_range 0 120) salad_word);
+    ]
+
+let prop_fast_parser_equivalent =
+  QCheck.Test.make ~count:300
+    ~name:"fast parse loop == variant parse loop (events, stats, failures)"
+    (QCheck.make
+       ~print:(fun ws -> Printf.sprintf "<%d words>" (Array.length ws))
+       gen_equiv_words)
+    (fun words ->
+      run_parser ~debug:false words = run_parser ~debug:true words)
+
 let tests =
   tests
   @ [
       QCheck_alcotest.to_alcotest prop_parser_never_crashes;
       QCheck_alcotest.to_alcotest prop_compress_decode_never_crashes;
       QCheck_alcotest.to_alcotest prop_lzss_unpack_never_crashes;
+      QCheck_alcotest.to_alcotest prop_fast_parser_equivalent;
     ]

@@ -76,9 +76,36 @@ let test_table_render () =
   Alcotest.(check bool) "contains header" true (contains s "bb");
   Alcotest.(check bool) "contains cell" true (contains s "22")
 
+let test_pool_order () =
+  let xs = List.init 100 Fun.id in
+  let sq = List.map (fun x -> x * x) xs in
+  check_int "serial path" 0 (List.length (Pool.map ~jobs:1 Fun.id []));
+  Alcotest.(check (list int)) "jobs=1" sq (Pool.map ~jobs:1 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "jobs=4" sq (Pool.map ~jobs:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "more jobs than items" [ 1; 4 ]
+    (Pool.map ~jobs:16 (fun x -> x * x) [ 1; 2 ])
+
+let test_pool_exception () =
+  let boom = Failure "boom" in
+  let f x = if x = 7 then raise boom else x in
+  Alcotest.check_raises "propagates from a worker" boom (fun () ->
+      ignore (Pool.map ~jobs:4 f (List.init 20 Fun.id)));
+  Alcotest.check_raises "propagates serially" boom (fun () ->
+      ignore (Pool.map ~jobs:1 f (List.init 20 Fun.id)))
+
+let prop_pool_matches_list_map =
+  QCheck.Test.make ~count:50 ~name:"Pool.map == List.map for any jobs"
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (jobs, xs) ->
+      Pool.map ~jobs (fun x -> (2 * x) + 1) xs
+      = List.map (fun x -> (2 * x) + 1) xs)
+
 let tests =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "pool preserves order" `Quick test_pool_order;
+    Alcotest.test_case "pool propagates exceptions" `Quick test_pool_exception;
+    QCheck_alcotest.to_alcotest prop_pool_matches_list_map;
     Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
     Alcotest.test_case "rng copy" `Quick test_rng_copy;
     QCheck_alcotest.to_alcotest prop_rng_int_bounds;

@@ -1,0 +1,34 @@
+(* Tests for the domain-parallel validation harness: running the
+   measured-vs-predicted matrix on a pool of domains must be a pure
+   performance change — the rendered tables are byte-identical to the
+   serial run. *)
+
+open Systrace_validate
+open Systrace_workloads
+
+(* A small slice of the suite keeps the regression affordable; each cell
+   is a full measured + predicted simulation. *)
+let entries () =
+  List.filter
+    (fun (e : Suite.entry) -> List.mem e.Suite.name [ "sed"; "lisp" ])
+    Suite.all
+
+let render m =
+  Systrace_util.Table.render (Experiments.table2 m)
+  ^ "\n"
+  ^ Systrace_util.Table.render (Experiments.table3 m)
+  ^ "\n"
+  ^ Systrace_util.Table.render (Experiments.figure3 m)
+
+let test_matrix_determinism () =
+  let entries = entries () in
+  let serial = Experiments.run_matrix ~jobs:1 ~entries () in
+  let parallel = Experiments.run_matrix ~jobs:4 ~entries () in
+  Alcotest.(check string)
+    "tables byte-identical across jobs" (render serial) (render parallel)
+
+let tests =
+  [
+    Alcotest.test_case "matrix determinism (jobs=1 == jobs=4)" `Quick
+      test_matrix_determinism;
+  ]
