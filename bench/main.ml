@@ -9,7 +9,7 @@
                                                     time (and byte-identity)
    Experiments: table1 table2 figure3 table3 figure2 expansion dilation
                 kernel_cpi distortion buffer_sweep pagemap corruption
-                os_structure drain_ablation trace_format micro
+                faults os_structure drain_ablation trace_format micro
 
    `micro` and `table2 --timing` merge machine-readable results into
    BENCH_micro.json at the repo root (one {name, unit, value} object per
@@ -21,6 +21,7 @@ module Table = Systrace_util.Table
 module Pool = Systrace_util.Pool
 
 let jobs = ref (Pool.default_jobs ())
+let quick = ref false
 
 let heading title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -123,6 +124,14 @@ let exp_pagemap () =
 let exp_corruption () =
   heading "Defensive tracing: fault injection (paper 4.3)";
   Table.print (Experiments.corruption_table ())
+
+let exp_faults () =
+  heading "Defensive tracing: fault kind x injection rate sweep (paper 4.3)";
+  let table =
+    if !quick then Experiments.faults_table ~trials:8 ~rates:[ 1e-3 ] ()
+    else Experiments.faults_table ()
+  in
+  Table.print table
 
 let exp_os_structure () =
   heading "OS structure vs memory behaviour (companion study [7])";
@@ -360,6 +369,7 @@ let experiments =
     ("buffer_sweep", exp_buffer_sweep);
     ("pagemap", exp_pagemap);
     ("corruption", exp_corruption);
+    ("faults", exp_faults);
     ("os_structure", exp_os_structure);
     ("drain_ablation", exp_drain_ablation);
     ("trace_format", exp_trace_format);
@@ -368,9 +378,10 @@ let experiments =
 
 let usage () =
   Printf.eprintf
-    "usage: %s [-j N] [experiment] [--timing]\navailable: %s\n\
+    "usage: %s [-j N] [experiment] [--timing] [--quick]\navailable: %s\n\
      -j N      run the experiment matrix on N domains (default %d)\n\
-     --timing  (with table2) serial vs parallel wall time + byte-identity\n"
+     --timing  (with table2) serial vs parallel wall time + byte-identity\n\
+     --quick   (with faults) fewer trials and rates, for CI smoke runs\n"
     Sys.argv.(0)
     (String.concat " " (List.map fst experiments))
     (Pool.default_jobs ());
@@ -389,6 +400,9 @@ let () =
       | _ -> usage ())
     | "--timing" :: rest ->
       timing := true;
+      parse rest
+    | "--quick" :: rest ->
+      quick := true;
       parse rest
     | arg :: rest when List.mem_assoc arg experiments && !name = None ->
       name := Some arg;

@@ -7,6 +7,8 @@
      systrace validate WORKLOAD          -- measured vs predicted, one workload
      systrace matrix [-j N]              -- the full validation matrix on a
                                             pool of N domains
+     systrace check FILE [-w WORKLOAD]   -- validate a stored trace; print
+                                            the defensive-tracing diagnoses
 *)
 
 open Cmdliner
@@ -368,6 +370,108 @@ let analyze_cmd =
              matching block tables).")
     Term.(const run $ workload_arg $ os_arg $ seed_arg $ file)
 
+let check_cmd =
+  (* Validate a stored trace (defensive tracing, paper 4.3).  Always runs
+     the table-free structural scan (marker kinds, drain framing,
+     exception bracketing, END placement); with --workload, also rebuilds
+     the matching traced system and runs the full recovery-mode parse, so
+     table-level violations (unknown block records, misplaced data words)
+     are diagnosed too. *)
+  let run file workload os seed =
+    let words =
+      try Tracing.Tracefile.load file
+      with Tracing.Tracefile.Bad_file msg ->
+        Printf.printf "%s: UNREADABLE\n  %s\n" file msg;
+        exit 1
+    in
+    let struct_errs = Tracing.Parser.scan words in
+    Printf.printf "%s: %d words, structural scan: %d diagnosis(es)\n" file
+      (Array.length words) (List.length struct_errs);
+    List.iter
+      (fun e -> Printf.printf "  %s\n" (Tracing.Parser.describe e))
+      struct_errs;
+    let parse_errs =
+      match workload with
+      | None -> []
+      | Some name ->
+        let e = find_workload name in
+        let open Systrace_kernel in
+        let cfg =
+          {
+            Builder.default_config with
+            Builder.traced = true;
+            seed;
+            personality =
+              (match os with Validate.Ultrix -> Kcfg.Ultrix
+                           | Validate.Mach -> Kcfg.Mach);
+            pagemap =
+              (match os with Validate.Ultrix -> Kcfg.Careful
+                           | Validate.Mach -> Kcfg.Random);
+          }
+        in
+        let programs =
+          match os with
+          | Validate.Ultrix -> [ e.Workloads.Suite.program () ]
+          | Validate.Mach ->
+            [
+              Builder.program ~is_server:true "uxserver"
+                [ Workloads.Ux_server.make
+                    ~file_plan:(Builder.file_plan e.Workloads.Suite.files) ();
+                  Workloads.Userlib.make () ];
+              e.Workloads.Suite.program ();
+            ]
+        in
+        let sys = Builder.build ~cfg ~programs ~files:e.Workloads.Suite.files () in
+        let p =
+          Tracing.Parser.create ~recover:true
+            ~kernel_bbs:(Option.get sys.Builder.kernel_bbs) ()
+        in
+        List.iter
+          (fun (pi : Builder.proc_info) ->
+            Tracing.Parser.register_pid p ~pid:pi.pid (Option.get pi.bbs))
+          sys.Builder.procs;
+        Tracing.Parser.feed p words ~len:(Array.length words);
+        Tracing.Parser.finish p;
+        let errs = Tracing.Parser.errors p in
+        let s = Tracing.Parser.stats p in
+        Printf.printf
+          "full parse against %s tables: %d diagnosis(es), %d of %d words \
+           skipped\n"
+          name s.Tracing.Parser.parse_errors s.Tracing.Parser.skipped_words
+          s.Tracing.Parser.words;
+        List.iter
+          (fun e -> Printf.printf "  %s\n" (Tracing.Parser.describe e))
+          errs;
+        List.iter
+          (fun (src, n) ->
+            Printf.printf "  skipped %d word(s) attributed to %s\n" n
+              (Tracing.Parser.source_name src))
+          (Tracing.Parser.skipped p);
+        errs
+    in
+    if struct_errs = [] && parse_errs = [] then begin
+      Printf.printf "%s: OK\n" file;
+      exit 0
+    end
+    else exit 1
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Trace file from $(b,systrace dump).")
+  in
+  let workload =
+    Arg.(value & opt (some string) None
+         & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+             ~doc:"Also run the full recovery-mode parse against this \
+                   workload's block tables (must match the dumped trace).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Validate a stored trace and print the diagnosis list \
+             (defensive tracing, paper 4.3). Exit status 1 if any \
+             diagnosis fires.")
+    Term.(const run $ file $ workload $ os_arg $ seed_arg)
+
 let disasm_cmd =
   (* objdump-style listing of a workload binary, original or epoxie-
      instrumented. *)
@@ -410,4 +514,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "systrace" ~doc)
           [ list_cmd; run_cmd; trace_cmd; validate_cmd; matrix_cmd; profile_cmd;
-            disasm_cmd; dump_cmd; analyze_cmd ]))
+            disasm_cmd; dump_cmd; analyze_cmd; check_cmd ]))

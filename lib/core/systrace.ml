@@ -47,6 +47,7 @@ module Tracing = struct
   module Parser = Systrace_tracing.Parser
   module Tracefile = Systrace_tracing.Tracefile
   module Compress = Systrace_tracing.Compress
+  module Faults = Systrace_tracing.Faults
 end
 
 module Epoxie = struct

@@ -233,15 +233,27 @@ let lzss_pack (src : string) : string =
   flush_group ();
   Buffer.contents out
 
-let lzss_unpack (src : string) : string =
+(* The LZSS stage expands at most ~65x (a 4-byte match token yields up to
+   259 bytes), but a hostile stream still reaches gigabytes from a modest
+   input; [limit] bounds the decompressed size so corruption surfaces as
+   [Corrupt] before the allocation, not as OOM.  The default admits the
+   largest stream {!decode} would accept anyway. *)
+let max_delta_bytes_per_word = 10 (* 5-byte token + 5-byte run varint *)
+
+let lzss_unpack ?(limit = max_decoded_words * max_delta_bytes_per_word)
+    (src : string) : string =
   let n = String.length src in
-  let out = Buffer.create (n * 3) in
+  let out = Buffer.create (min (n * 3) (limit + 1)) in
   let pos = ref 0 in
   let byte () =
     if !pos >= n then raise (Corrupt "truncated LZSS stream");
     let c = src.[!pos] in
     incr pos;
     c
+  in
+  let check_room len =
+    if Buffer.length out + len > limit then
+      raise (Corrupt (Printf.sprintf "LZSS stream exceeds %d bytes" limit))
   in
   while !pos < n do
     let ctrl = Char.code (byte ()) in
@@ -254,12 +266,16 @@ let lzss_unpack (src : string) : string =
         let dist = lo lor (hi lsl 8) in
         let start = Buffer.length out - dist in
         if dist = 0 || start < 0 then raise (Corrupt "bad LZSS distance");
+        check_room len;
         (* may self-overlap: copy byte-at-a-time through the buffer *)
         for k = 0 to len - 1 do
           Buffer.add_char out (Buffer.nth out (start + k))
         done
       end
-      else Buffer.add_char out (byte ());
+      else begin
+        check_room 1;
+        Buffer.add_char out (byte ())
+      end;
       incr item
     done
   done;
@@ -270,7 +286,12 @@ let lzss_unpack (src : string) : string =
 let pack (words : int array) : string = lzss_pack (encode words)
 
 let unpack ?expect (s : string) : int array =
-  decode ?expect (lzss_unpack s)
+  let limit =
+    match expect with
+    | Some e -> (e * max_delta_bytes_per_word) + 16
+    | None -> max_decoded_words * max_delta_bytes_per_word
+  in
+  decode ?expect (lzss_unpack ~limit s)
 
 let ratio (words : int array) : float =
   if Array.length words = 0 then 1.0

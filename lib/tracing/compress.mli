@@ -30,16 +30,23 @@ val lzss_pack : string -> string
     which the delta stage's run-length extension cannot (Mache-style
     second stage). Total; never raises. *)
 
-val lzss_unpack : string -> string
-(** Inverse of {!lzss_pack}.
-    @raise Corrupt on malformed input. *)
+val lzss_unpack : ?limit:int -> string -> string
+(** Inverse of {!lzss_pack}.  [limit] bounds the decompressed size (in
+    bytes) so a hostile stream surfaces as {!Corrupt} before the
+    allocation, not as OOM; the default admits the largest stream
+    {!decode} would accept anyway.
+    @raise Corrupt on malformed input or when the output exceeds
+    [limit]. *)
 
 val pack : int array -> string
 (** Both stages: [lzss_pack (encode words)] — the {!Tracefile} v2
     payload. *)
 
 val unpack : ?expect:int -> string -> int array
-(** Inverse of {!pack}.
+(** Inverse of {!pack}.  With [?expect], both stages are bounded by the
+    expected word count (the LZSS stage by the largest delta stream that
+    many words can occupy), so a lying header cannot force an oversized
+    allocation.
     @raise Corrupt on malformed input. *)
 
 val ratio : int array -> float

@@ -1,0 +1,59 @@
+(** Deterministic fault injection over trace word streams and stored trace
+    files (paper §4.3).
+
+    Supplies the corruption against which defensive tracing is measured: a
+    catalogue of fault kinds covering realistic trace-path failure modes,
+    applied at [Systrace_util.Rng]-chosen positions and tagged with their injection
+    index so detections can be attributed.  Equal seeds give equal faulted
+    streams.
+
+    Position selection is framing-aware: the injector tracks the drain
+    protocol so "mutate a marker" targets an actual marker word, not a
+    payload word that happens to land in the marker range. *)
+
+type kind =
+  | Bit_flip  (** flip one bit of one word *)
+  | Word_drop  (** delete one word *)
+  | Word_dup  (** duplicate one word in place *)
+  | Word_swap  (** exchange two adjacent words *)
+  | Truncate  (** cut the stream at a position *)
+  | Marker_kind  (** rewrite a marker's kind field *)
+  | Marker_arg  (** rewrite a marker's argument field *)
+  | Drain_count  (** corrupt the count word after a DRAIN marker *)
+  | Drain_split
+      (** split one drain block into two valid halves — a correct transform
+          of the stream (drains are resumable), exercising the protocol's
+          dead redundancy *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+
+type injection = {
+  kind : kind;
+  pos : int;  (** word index the fault was applied at *)
+  detail : string;  (** human-readable what-changed *)
+}
+
+val describe : injection -> string
+
+val inject_one :
+  Systrace_util.Rng.t -> kind -> int array -> (int array * injection) option
+(** Apply one fault to a copy of the stream (the input is never mutated).
+    [None] when the stream has no site for this kind (e.g. no markers to
+    mutate). *)
+
+val inject :
+  Systrace_util.Rng.t ->
+  n:int ->
+  ?kinds:kind list ->
+  int array ->
+  int array * injection list
+(** Apply [n] faults drawn uniformly from [kinds] (default {!all_kinds}),
+    composing left to right; kinds with no remaining site are skipped.
+    Returns the final stream and the injections actually applied, in
+    order. *)
+
+val mangle : Systrace_util.Rng.t -> string -> string
+(** Corrupt a stored trace file's bytes (header, compressed payload,
+    anything): bit flips, truncation, appended garbage, overwritten
+    windows.  For fuzzing [Tracefile.load]. *)

@@ -19,8 +19,19 @@
 
    Defensive tracing (paper, section 4.3): every block record must exist in
    the static table of the right address space; data words must arrive
-   exactly where the static record promises memory references; violations
-   raise [Corrupt] with the offending word and position.
+   exactly where the static record promises memory references.  Violations
+   are surfaced two ways:
+     - strict mode (the default) raises [Corrupt] with the offending word
+       and position, discarding the rest of the phase — right for traces
+       that are supposed to be pristine;
+     - recovery mode ([create ~recover:true]) builds a structured {!error}
+       (word index, source, expected vs got, enclosing drain/exception
+       state), reports it through the [on_error] callback, abandons the
+       suspect source state, resynchronizes at the next marker word (the
+       only words identifiable without parser state, since they live in a
+       reserved address slice), counts the skipped words per source, and
+       keeps parsing — one bad word no longer discards a whole
+       trace-analysis phase.
 
    The word loop is the innermost loop of every reconstruct-and-feed-memsim
    experiment, so [feed] runs an allocation-free fast path by default: open
@@ -29,11 +40,42 @@
    marker words are dispatched on their raw kind field without building a
    [Format_.marker] value.  The variant-based path is kept as the
    slow/debug reference ([create ~debug:true ()]), and a qcheck property
-   holds the two equivalent on arbitrary valid and corrupted traces. *)
+   holds the two equivalent on arbitrary valid and corrupted traces, in
+   both strict and recovery modes. *)
 
 exception Corrupt of string
 
-let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+(* Where a trace word was attributed when a violation fired. *)
+type source =
+  | Kernel of int  (* exception-nesting depth, 0 = base level *)
+  | User of int    (* pid *)
+  | Stream         (* framing: markers, drain counts, END *)
+
+type error = {
+  at : int;          (* word index in the whole fed stream *)
+  source : source;
+  expected : string; (* what the format promised at this point *)
+  got : int;         (* the offending word (or pid for drain errors) *)
+  in_drain : int;    (* enclosing drain's pid, -1 when outside a drain *)
+  exc_depth : int;   (* kernel exception-nesting depth at the violation *)
+  message : string;  (* the strict-mode [Corrupt] message *)
+}
+
+(* Internal: recovery mode throws the structured record to the word loop,
+   which logs it and resynchronizes; strict mode raises [Corrupt]
+   directly from the check site (zero cost on the hot path). *)
+exception Parse_error of error
+
+let source_name = function
+  | Kernel d -> Printf.sprintf "kernel (exc depth %d)" d
+  | User pid -> Printf.sprintf "pid %d" pid
+  | Stream -> "stream framing"
+
+let describe e =
+  Printf.sprintf "%s [source: %s; expected %s; got 0x%x%s]" e.message
+    (source_name e.source) e.expected e.got
+    (if e.in_drain >= 0 then Printf.sprintf "; inside drain for pid %d" e.in_drain
+     else "")
 
 type handlers = {
   on_inst : int -> int -> bool -> unit;
@@ -62,6 +104,8 @@ type stats = {
   mutable mode_transitions : int;
   mutable analysis_mode_words : int;  (* "dirt" indicator *)
   mutable ended : bool;
+  mutable parse_errors : int;    (* diagnoses recorded in recovery mode *)
+  mutable skipped_words : int;   (* words discarded while resynchronizing *)
 }
 
 let fresh_stats () =
@@ -83,6 +127,8 @@ let fresh_stats () =
     mode_transitions = 0;
     analysis_mode_words = 0;
     ended = false;
+    parse_errors = 0;
+    skipped_words = 0;
   }
 
 (* Sentinel for "no block open" — compared with physical equality so the
@@ -113,9 +159,17 @@ type t = {
   (* drain framing *)
   mutable drain_pid : int;      (* -1 = not in a drain *)
   mutable drain_left : int;     (* -2: expecting count word *)
+  (* recovery mode *)
+  recover : bool;
+  on_error : error -> unit;
+  mutable errors_rev : error list;
+  skipped : (source, int) Hashtbl.t;
+  mutable resync : bool;        (* discarding words until the next marker *)
+  mutable resync_source : source;
 }
 
-let create ?(debug = false) ~kernel_bbs () =
+let create ?(debug = false) ?(recover = false) ?(on_error = fun (_ : error) -> ())
+    ~kernel_bbs () =
   {
     kernel_bbs;
     user_bbs = Hashtbl.create 8;
@@ -128,6 +182,12 @@ let create ?(debug = false) ~kernel_bbs () =
     debug;
     drain_pid = -1;
     drain_left = 0;
+    recover;
+    on_error;
+    errors_rev = [];
+    skipped = Hashtbl.create 8;
+    resync = false;
+    resync_source = Stream;
   }
 
 let set_handlers t h = t.h <- h
@@ -135,6 +195,35 @@ let set_handlers t h = t.h <- h
 let register_pid t ~pid bbs = Hashtbl.replace t.user_bbs pid bbs
 
 let stats t = t.s
+
+let errors t = List.rev t.errors_rev
+
+let skipped t =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.skipped [])
+
+(* ------------------------------------------------------------------ *)
+(* Failure sites                                                       *)
+
+let fail t ~at ~source ~expected ~got fmt =
+  Printf.ksprintf
+    (fun message ->
+      if not t.recover then raise (Corrupt message)
+      else
+        raise
+          (Parse_error
+             {
+               at;
+               source;
+               expected;
+               got;
+               in_drain = t.drain_pid;
+               exc_depth = List.length t.kernel_stack - 1;
+               message;
+             }))
+    fmt
+
+let src_of t ~kernel ~pid =
+  if kernel then Kernel (List.length t.kernel_stack - 1) else User pid
 
 (* ------------------------------------------------------------------ *)
 (* Core block machinery, shared by both paths                          *)
@@ -181,7 +270,12 @@ let open_entry t src ~kernel ~pid e =
 let feed_bb_record t src ~kernel ~pid ~table ~idx w =
   let cur = src.entry in
   if cur != no_entry then
-    corrupt
+    fail t ~at:idx ~source:(src_of t ~kernel ~pid)
+      ~expected:
+        (Printf.sprintf "%d more data words of block 0x%x"
+           (Array.length cur.Bbtable.mems - src.mem_idx)
+           cur.Bbtable.orig_addr)
+      ~got:w
       "word %d: block record 0x%x while block at 0x%x still expects %d data \
        words"
       idx w cur.Bbtable.orig_addr
@@ -189,13 +283,16 @@ let feed_bb_record t src ~kernel ~pid ~table ~idx w =
   match Bbtable.find_exn table w with
   | e -> open_entry t src ~kernel ~pid e
   | exception Not_found ->
-    corrupt "word %d: 0x%x is not a basic-block record of this address space"
-      idx w
+    fail t ~at:idx ~source:(src_of t ~kernel ~pid)
+      ~expected:"a basic-block record of this address space" ~got:w
+      "word %d: 0x%x is not a basic-block record of this address space" idx w
 
 let feed_data_word t src ~kernel ~pid ~idx w =
   let e = src.entry in
   if e == no_entry then
-    corrupt "word %d: data address 0x%x with no open basic block" idx w;
+    fail t ~at:idx ~source:(src_of t ~kernel ~pid)
+      ~expected:"an open basic block" ~got:w
+      "word %d: data address 0x%x with no open basic block" idx w;
   let pos, bytes, is_load = e.Bbtable.mems.(src.mem_idx) in
   emit_insts_upto t src ~kernel ~pid pos;
   emit_data t ~kernel ~pid ~is_load ~bytes w;
@@ -230,7 +327,10 @@ let feed_user_word t ~idx w =
   if src.entry != no_entry then feed_data_word t src ~kernel:false ~pid ~idx w
   else
     match Hashtbl.find_opt t.user_bbs pid with
-    | None -> corrupt "word %d: drain for unregistered pid %d" idx pid
+    | None ->
+      fail t ~at:idx ~source:(User pid)
+        ~expected:"a drain for a registered pid" ~got:w
+        "word %d: drain for unregistered pid %d" idx pid
     | Some table -> feed_bb_record t src ~kernel:false ~pid ~table ~idx w
 
 (* ------------------------------------------------------------------ *)
@@ -250,15 +350,23 @@ let on_exc_enter t =
   t.kernel_stack <- fresh_src () :: t.kernel_stack;
   t.s.max_exc_depth <- max t.s.max_exc_depth (List.length t.kernel_stack - 1)
 
+(* The EXC_EXIT marker word, for [error.got]. *)
+let w_of_exit = Format_.make_marker Format_.kind_exc_exit 0
+
 let on_exc_exit t ~idx =
   t.s.exc_markers <- t.s.exc_markers + 1;
   match t.kernel_stack with
   | top :: (_ :: _ as rest) ->
     if top.entry != no_entry then
-      corrupt "word %d: exception exit with kernel block 0x%x still open" idx
+      fail t ~at:idx
+        ~source:(Kernel (List.length t.kernel_stack - 1))
+        ~expected:"a completed kernel block before EXC_EXIT" ~got:w_of_exit
+        "word %d: exception exit with kernel block 0x%x still open" idx
         top.entry.Bbtable.orig_addr;
     t.kernel_stack <- rest
-  | _ -> corrupt "word %d: exception exit at depth 0" idx
+  | _ ->
+    fail t ~at:idx ~source:Stream ~expected:"a matching EXC_ENTER"
+      ~got:w_of_exit "word %d: exception exit at depth 0" idx
 
 let on_mode t m =
   t.s.mode_transitions <- t.s.mode_transitions + 1;
@@ -296,30 +404,111 @@ let feed_marker_fast t ~idx w =
 
 let feed_word t ~feed_marker ~idx w =
   t.s.words <- t.s.words + 1;
-  if t.s.ended then corrupt "word %d: trace continues after END marker" idx;
+  if t.s.ended then
+    fail t ~at:idx ~source:Stream ~expected:"no words after the END marker"
+      ~got:w "word %d: trace continues after END marker" idx;
   if t.mode = 1 then t.s.analysis_mode_words <- t.s.analysis_mode_words + 1;
   if t.drain_left = -2 then begin
     (* The word after a DRAIN marker is the payload count. *)
     if w < 0 || w > 1 lsl 24 then
-      corrupt "word %d: implausible drain count %d" idx w;
-    t.drain_left <- w
+      fail t ~at:idx ~source:(User t.drain_pid)
+        ~expected:"a drain payload count below 2^24" ~got:w
+        "word %d: implausible drain count %d" idx w;
+    t.drain_left <- w;
+    (* An empty drain carries no payload: close the drain immediately so
+       its pid does not linger in later diagnoses. *)
+    if w = 0 then t.drain_pid <- -1
   end
   else if t.drain_left > 0 then begin
     t.drain_left <- t.drain_left - 1;
     if Format_.is_marker w then
-      corrupt "word %d: marker 0x%x inside a drain block" idx w;
+      fail t ~at:idx ~source:(User t.drain_pid)
+        ~expected:"user words inside the drain payload" ~got:w
+        "word %d: marker 0x%x inside a drain block" idx w;
     if not (Format_.is_user_addr w) then
-      corrupt "word %d: kernel address 0x%x inside a user drain block" idx w;
+      fail t ~at:idx ~source:(User t.drain_pid)
+        ~expected:"user-space addresses inside the drain payload" ~got:w
+        "word %d: kernel address 0x%x inside a user drain block" idx w;
     feed_user_word t ~idx w;
     if t.drain_left = 0 then t.drain_pid <- -1
   end
   else if Format_.is_marker w then feed_marker t ~idx w
   else feed_kernel_word t ~idx w
 
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+let record_error t e =
+  t.s.parse_errors <- t.s.parse_errors + 1;
+  t.errors_rev <- e :: t.errors_rev;
+  t.on_error e
+
+let bump_skip t source n =
+  Hashtbl.replace t.skipped source
+    (n + Option.value ~default:0 (Hashtbl.find_opt t.skipped source))
+
+let reset_source t = function
+  | Kernel _ -> (List.hd t.kernel_stack).entry <- no_entry
+  | User pid -> (
+    match Hashtbl.find_opt t.users pid with
+    | Some src -> src.entry <- no_entry
+    | None -> ())
+  | Stream -> ()
+
+(* A diagnosis invalidates everything the parser believed about the
+   offending source and the current framing: drop the open block, abandon
+   the drain, and discard words until the next marker — the only words
+   identifiable without parser state (they live in a reserved kseg1
+   slice no data reference can produce). *)
+let recover_from t e =
+  record_error t e;
+  t.s.skipped_words <- t.s.skipped_words + 1;  (* the offending word *)
+  bump_skip t e.source 1;
+  reset_source t e.source;
+  t.drain_left <- 0;
+  t.drain_pid <- -1;
+  t.resync <- true;
+  t.resync_source <- e.source
+
+let is_resync_point w =
+  Format_.is_marker w && Format_.marker_kind w <= Format_.kind_end
+
+let rec feed_word_recovering t ~feed_marker ~idx w =
+  if t.resync then
+    if is_resync_point w then begin
+      t.resync <- false;
+      feed_word_recovering t ~feed_marker ~idx w
+    end
+    else begin
+      t.s.words <- t.s.words + 1;
+      t.s.skipped_words <- t.s.skipped_words + 1;
+      bump_skip t t.resync_source 1
+    end
+  else
+    try feed_word t ~feed_marker ~idx w with
+    | Parse_error e -> recover_from t e
+    | Format_.Bad_marker bw ->
+      recover_from t
+        {
+          at = idx;
+          source = Stream;
+          expected = "a marker kind the format defines";
+          got = bw;
+          in_drain = t.drain_pid;
+          exc_depth = List.length t.kernel_stack - 1;
+          message =
+            Printf.sprintf "word %d: unknown marker kind in 0x%x" idx bw;
+        }
+
 (* Feed a chunk of trace (one trace-analysis phase's worth). *)
 let feed t words ~len =
   let base = t.s.words in
-  if t.debug then
+  if t.recover then
+    let fm = if t.debug then feed_marker else feed_marker_fast in
+    for k = 0 to len - 1 do
+      feed_word_recovering t ~feed_marker:fm ~idx:(base + k) words.(k)
+    done
+  else if t.debug then
     for k = 0 to len - 1 do
       feed_word t ~feed_marker ~idx:(base + k) words.(k)
     done
@@ -331,18 +520,150 @@ let feed t words ~len =
 (* End-of-run checks: every source must have completed its last block.
    Processes listed in [live] are allowed an incomplete block: a process
    that never exits (e.g. a server blocked in receive) legitimately stops
-   mid-block when the machine halts. *)
+   mid-block when the machine halts.  In recovery mode the violations are
+   recorded as diagnoses instead of raised. *)
 let finish ?(live = []) t =
+  let flag ~source ~expected ~got fmt =
+    Printf.ksprintf
+      (fun message ->
+        if not t.recover then raise (Corrupt message)
+        else
+          record_error t
+            {
+              at = t.s.words;
+              source;
+              expected;
+              got;
+              in_drain = t.drain_pid;
+              exc_depth = List.length t.kernel_stack - 1;
+              message;
+            })
+      fmt
+  in
+  if t.drain_left > 0 || t.drain_left = -2 then
+    flag ~source:(User t.drain_pid) ~expected:"a complete drain payload"
+      ~got:t.drain_left "finish: drain for pid %d truncated (%s)" t.drain_pid
+      (if t.drain_left = -2 then "count word missing"
+       else Printf.sprintf "%d payload words missing" t.drain_left);
   (match t.kernel_stack with
   | [ top ] ->
     if top.entry != no_entry then
-      corrupt "finish: kernel block 0x%x incomplete" top.entry.Bbtable.orig_addr
+      flag ~source:(Kernel 0)
+        ~expected:"a completed kernel block at end of trace"
+        ~got:top.entry.Bbtable.orig_addr "finish: kernel block 0x%x incomplete"
+        top.entry.Bbtable.orig_addr
   | stack ->
-    corrupt "finish: exception depth %d at end of trace"
+    flag
+      ~source:(Kernel (List.length stack - 1))
+      ~expected:"exception depth 0 at end of trace"
+      ~got:(List.length stack - 1) "finish: exception depth %d at end of trace"
       (List.length stack - 1));
   Hashtbl.iter
     (fun pid src ->
       if src.entry != no_entry && not (List.mem pid live) then
-        corrupt "finish: pid %d block 0x%x incomplete" pid
-          src.entry.Bbtable.orig_addr)
+        flag ~source:(User pid)
+          ~expected:"a completed user block at end of trace"
+          ~got:src.entry.Bbtable.orig_addr "finish: pid %d block 0x%x incomplete"
+          pid src.entry.Bbtable.orig_addr)
     t.users
+
+(* ------------------------------------------------------------------ *)
+(* Structural scan                                                     *)
+
+(* Table-free validation of a stored trace: everything that can be checked
+   about the word stream without the static block tables — marker kinds,
+   drain framing, exception bracketing, END placement.  Used by
+   `systrace check` on traces whose binaries are not at hand.  The scan
+   never raises; it reports every violation it can see and keeps going
+   (re-deriving the framing optimistically after each one). *)
+let scan (words : int array) : error list =
+  let errs = ref [] in
+  let drain_pid = ref (-1) in
+  let drain_left = ref 0 in
+  let depth = ref 0 in
+  let ended_at = ref (-1) in
+  let flagged_after_end = ref false in
+  let add ~at ~source ~expected ~got message =
+    errs :=
+      {
+        at;
+        source;
+        expected;
+        got;
+        in_drain = !drain_pid;
+        exc_depth = !depth;
+        message;
+      }
+      :: !errs
+  in
+  Array.iteri
+    (fun i w ->
+      if !ended_at >= 0 then begin
+        if not !flagged_after_end then begin
+          add ~at:i ~source:Stream ~expected:"no words after the END marker"
+            ~got:w
+            (Printf.sprintf
+               "word %d: trace continues after END marker (at word %d)" i
+               !ended_at);
+          flagged_after_end := true
+        end
+      end
+      else if !drain_left = -2 then begin
+        if w < 0 || w > 1 lsl 24 then begin
+          add ~at:i ~source:(User !drain_pid)
+            ~expected:"a drain payload count below 2^24" ~got:w
+            (Printf.sprintf "word %d: implausible drain count %d" i w);
+          drain_left := 0;
+          drain_pid := -1
+        end
+        else begin
+          drain_left := w;
+          if w = 0 then drain_pid := -1
+        end
+      end
+      else if !drain_left > 0 then begin
+        drain_left := !drain_left - 1;
+        if Format_.is_marker w then
+          add ~at:i ~source:(User !drain_pid)
+            ~expected:"user words inside the drain payload" ~got:w
+            (Printf.sprintf "word %d: marker 0x%x inside a drain block" i w)
+        else if not (Format_.is_user_addr w) then
+          add ~at:i ~source:(User !drain_pid)
+            ~expected:"user-space addresses inside the drain payload" ~got:w
+            (Printf.sprintf "word %d: kernel address 0x%x inside a user drain \
+                             block" i w);
+        if !drain_left = 0 then drain_pid := -1
+      end
+      else if Format_.is_marker w then begin
+        let kind = Format_.marker_kind w in
+        if kind > Format_.kind_end then
+          add ~at:i ~source:Stream ~expected:"a marker kind the format defines"
+            ~got:w
+            (Printf.sprintf "word %d: unknown marker kind in 0x%x" i w)
+        else if kind = Format_.kind_drain then begin
+          drain_pid := Format_.marker_arg w;
+          drain_left := -2
+        end
+        else if kind = Format_.kind_exc_enter then incr depth
+        else if kind = Format_.kind_exc_exit then begin
+          if !depth = 0 then
+            add ~at:i ~source:Stream ~expected:"a matching EXC_ENTER" ~got:w
+              (Printf.sprintf "word %d: exception exit at depth 0" i)
+          else decr depth
+        end
+        else if kind = Format_.kind_end then ended_at := i
+      end)
+    words;
+  let n = Array.length words in
+  if !drain_left > 0 || !drain_left = -2 then
+    add ~at:n ~source:(User !drain_pid)
+      ~expected:"a complete drain payload" ~got:!drain_left
+      (Printf.sprintf "end of trace: drain for pid %d truncated (%s)"
+         !drain_pid
+         (if !drain_left = -2 then "count word missing"
+          else Printf.sprintf "%d payload words missing" !drain_left));
+  if !depth > 0 then
+    add ~at:n ~source:(Kernel !depth) ~expected:"exception depth 0 at end of \
+                                                 trace" ~got:!depth
+      (Printf.sprintf "end of trace: %d exception level(s) never exited" !depth);
+  List.rev !errs

@@ -12,15 +12,46 @@
 
     Defensive tracing: every block record must exist in the right address
     space's table, and data words must arrive exactly where the static
-    record promises; violations raise {!Corrupt}.
+    record promises.  Violations surface two ways:
+
+    - strict mode (the default) raises {!Corrupt} and discards the rest of
+      the phase;
+    - recovery mode ([create ~recover:true ()]) builds a structured
+      {!error}, reports it through [on_error], abandons the suspect
+      source state, resynchronizes at the next marker word, counts the
+      skipped words per {!source}, and keeps parsing.  {!feed} never
+      raises in recovery mode, whatever the input.
 
     {!feed} runs an allocation-free fast path by default (sentinel open
     blocks, non-allocating table lookups, markers dispatched on their raw
     kind field); [create ~debug:true ()] selects the variant-based
     reference path, which a qcheck property holds equivalent on arbitrary
-    valid and corrupted traces. *)
+    valid and corrupted traces, in both strict and recovery modes. *)
 
 exception Corrupt of string
+
+(** Where a trace word was attributed when a violation fired. *)
+type source =
+  | Kernel of int  (** exception-nesting depth, 0 = base level *)
+  | User of int  (** pid *)
+  | Stream  (** framing: markers, drain counts, END *)
+
+(** One defensive-tracing diagnosis. *)
+type error = {
+  at : int;  (** word index in the whole fed stream *)
+  source : source;
+  expected : string;  (** what the format promised at this point *)
+  got : int;  (** the offending word (or count/pid for framing errors) *)
+  in_drain : int;  (** enclosing drain's pid, -1 when outside a drain *)
+  exc_depth : int;  (** kernel exception-nesting depth at the violation *)
+  message : string;  (** the strict-mode {!Corrupt} message *)
+}
+
+val source_name : source -> string
+
+val describe : error -> string
+(** One-line rendering of a diagnosis: the strict-mode message plus the
+    structured context. *)
 
 type handlers = {
   on_inst : int -> int -> bool -> unit;
@@ -50,15 +81,28 @@ type stats = {
   mutable mode_transitions : int;
   mutable analysis_mode_words : int;
   mutable ended : bool;
+  mutable parse_errors : int;
+      (** diagnoses recorded (recovery mode; always 0 in strict mode) *)
+  mutable skipped_words : int;
+      (** words discarded while resynchronizing after a diagnosis *)
 }
 
 val fresh_stats : unit -> stats
 
 type t
 
-val create : ?debug:bool -> kernel_bbs:Bbtable.t -> unit -> t
+val create :
+  ?debug:bool ->
+  ?recover:bool ->
+  ?on_error:(error -> unit) ->
+  kernel_bbs:Bbtable.t ->
+  unit ->
+  t
 (** [debug] (default [false]) routes {!feed} through the variant-based
-    slow path instead of the allocation-free fast path. *)
+    slow path instead of the allocation-free fast path.  [recover]
+    (default [false]) turns format violations into recorded {!error}
+    diagnoses (reported through [on_error] as they happen) followed by
+    resynchronization, instead of a {!Corrupt} exception. *)
 
 val set_handlers : t -> handlers -> unit
 
@@ -67,11 +111,28 @@ val register_pid : t -> pid:int -> Bbtable.t -> unit
 
 val stats : t -> stats
 
+val errors : t -> error list
+(** Diagnoses recorded so far, in stream order (recovery mode). *)
+
+val skipped : t -> (source * int) list
+(** Words discarded per source while recovering, including each offending
+    word itself.  Sums to [(stats t).skipped_words]. *)
+
 val feed : t -> int array -> len:int -> unit
-(** Feed one chunk of trace words (raises {!Corrupt} on format
-    violations). *)
+(** Feed one chunk of trace words.  Strict mode raises {!Corrupt} (or
+    {!Format_.Bad_marker}) on format violations; recovery mode records
+    diagnoses and never raises. *)
 
 val finish : ?live:int list -> t -> unit
 (** End-of-run check: every source must have completed its last block,
     except processes in [live] (e.g. a server still blocked in receive
-    when the machine halted). *)
+    when the machine halted).  Violations raise {!Corrupt} in strict
+    mode and are recorded as diagnoses in recovery mode. *)
+
+val scan : int array -> error list
+(** Table-free structural validation of a stored trace: marker kinds,
+    drain framing, exception bracketing, END placement — everything
+    checkable without the static block tables.  Never raises; reports
+    every violation it can see (the first only, for trailing garbage
+    after END) and keeps going.  Used by [systrace check] on traces whose
+    binaries are not at hand. *)

@@ -13,13 +13,36 @@
      version 2: "STRC", version, word count, compressed byte count, then
                 the {!Compress} delta/varint stream
    [load] dispatches on the version, so consumers never care which way a
-   trace was dumped. *)
+   trace was dumped.
+
+   Robustness contract (defensive tracing, §4.3, extended to the stored
+   form): [load] on ANY byte sequence either returns a word array or
+   raises {!Bad_file} — never [End_of_file], [Invalid_argument], or an
+   attacker-sized allocation.  Header counts are validated against both a
+   hard cap (the same 2^26-word bound as [Compress.decode]) and the actual
+   file size before any buffer is allocated.  [save] refuses words outside
+   the 32-bit trace-word range instead of silently truncating them through
+   [Int32.of_int], so a corrupted in-memory buffer cannot round-trip into
+   a "valid" trace file. *)
 
 let magic = "STRC"
 
 exception Bad_file of string
 
+(* Same bound as [Compress.max_decoded_words]: far beyond any real
+   capture (the paper's largest kernel buffer is 64 MB = 2^24 words). *)
+let max_words = 1 lsl 26
+
 let save ?(compress = false) path (words : int array) =
+  Array.iteri
+    (fun i w ->
+      if w < 0 || w > 0xFFFFFFFF then
+        invalid_arg
+          (Printf.sprintf
+             "Tracefile.save: word %d (0x%x) outside the 32-bit trace-word \
+              range"
+             i w))
+    words;
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -51,26 +74,41 @@ let load path : int array =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let m = really_input_string ic 4 in
-      if m <> magic then raise (Bad_file (path ^ ": not a trace file"));
-      let hdr = Bytes.create 8 in
-      really_input ic hdr 0 8;
-      let v = Int32.to_int (Bytes.get_int32_le hdr 0) in
-      let n = Int32.to_int (Bytes.get_int32_le hdr 4) in
-      if n < 0 then raise (Bad_file (path ^ ": negative length"));
-      match v with
-      | 1 ->
-        let buf = Bytes.create (n * 4) in
-        really_input ic buf 0 (n * 4);
-        Array.init n (fun i ->
-            Int32.to_int (Bytes.get_int32_le buf (i * 4)) land 0xFFFFFFFF)
-      | 2 ->
-        let lenb = Bytes.create 4 in
-        really_input ic lenb 0 4;
-        let len = Int32.to_int (Bytes.get_int32_le lenb 0) in
-        if len < 0 then raise (Bad_file (path ^ ": negative payload"));
-        let payload = really_input_string ic len in
-        (try Compress.unpack ~expect:n payload
-         with Compress.Corrupt msg -> raise (Bad_file (path ^ ": " ^ msg)))
-      | v ->
-        raise (Bad_file (Printf.sprintf "%s: version %d unsupported" path v)))
+      let bad fmt = Printf.ksprintf (fun m -> raise (Bad_file (path ^ ": " ^ m))) fmt in
+      try
+        let file_len = in_channel_length ic in
+        let m = really_input_string ic 4 in
+        if m <> magic then bad "not a trace file";
+        let hdr = Bytes.create 8 in
+        really_input ic hdr 0 8;
+        let v = Int32.to_int (Bytes.get_int32_le hdr 0) in
+        let n = Int32.to_int (Bytes.get_int32_le hdr 4) in
+        if n < 0 then bad "negative length";
+        if n > max_words then bad "word count %d exceeds the %d-word cap" n max_words;
+        match v with
+        | 1 ->
+          (* Validate the count against the bytes actually present before
+             allocating [n * 4]: a corrupt count must not cost memory. *)
+          if file_len - 12 < n * 4 then
+            bad "truncated: header claims %d words, file holds %d bytes of \
+                 payload"
+              n (file_len - 12);
+          let buf = Bytes.create (n * 4) in
+          really_input ic buf 0 (n * 4);
+          Array.init n (fun i ->
+              Int32.to_int (Bytes.get_int32_le buf (i * 4)) land 0xFFFFFFFF)
+        | 2 ->
+          let lenb = Bytes.create 4 in
+          really_input ic lenb 0 4;
+          let len = Int32.to_int (Bytes.get_int32_le lenb 0) in
+          if len < 0 then bad "negative payload";
+          if file_len - 16 < len then
+            bad "truncated: header claims %d payload bytes, file holds %d" len
+              (file_len - 16);
+          let payload = really_input_string ic len in
+          (try Compress.unpack ~expect:n payload
+           with Compress.Corrupt msg -> bad "%s" msg)
+        | v -> bad "version %d unsupported" v
+      with
+      | End_of_file -> bad "truncated file"
+      | Invalid_argument _ -> bad "malformed header")

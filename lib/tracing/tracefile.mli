@@ -5,11 +5,24 @@
 
 exception Bad_file of string
 
+val max_words : int
+(** Hard cap on the stored word count (2^26, matching
+    [Compress.decode]'s bound) — far beyond any real capture, so a
+    corrupt header cannot force an oversized allocation. *)
+
 val save : ?compress:bool -> string -> int array -> unit
 (** Write a captured trace. [~compress:true] (default [false]) selects the
     version-2 delta/varint format — typically 3-6x smaller on real system
-    traces. *)
+    traces.
+    @raise Invalid_argument naming the offending index if any word is
+    outside the 32-bit trace-word range (a corrupted in-memory buffer
+    must not round-trip into a "valid" file). *)
 
 val load : string -> int array
-(** Read back either format.
-    @raise Bad_file on bad magic, version, or corrupt payload. *)
+(** Read back either format.  On ANY byte sequence this either returns a
+    word array or raises {!Bad_file} — never [End_of_file],
+    [Invalid_argument], or an attacker-sized allocation; header counts
+    are checked against {!max_words} and the actual file size before any
+    buffer is allocated (fuzzed in the test suite).
+    @raise Bad_file on bad magic, version, truncation, oversized or
+    lying counts, or corrupt payload. *)

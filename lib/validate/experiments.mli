@@ -57,6 +57,22 @@ val pagemap_table :
 val corruption_table : ?wname:string -> ?trials:int -> ?seed:int -> unit -> Table.t
 (** §4.3 fault injection: detection rate of single-word corruptions. *)
 
+val faults_table :
+  ?wname:string ->
+  ?trials:int ->
+  ?seed:int ->
+  ?rates:float list ->
+  unit ->
+  Table.t
+(** §4.3, quantitative: sweep the [Tracing.Faults] catalogue (bit flips,
+    drops, duplicates, swaps, truncation, marker/drain mutations, drain
+    splits) over a captured trace at several injection rates, reporting
+    per-kind detection rate, detection latency (words from injection to
+    first recovery-mode diagnosis), and recovery loss (references missing
+    vs the clean run).  Asserts the rate-0 criterion first: strict and
+    recovery modes reconstruct the identical reference stream from the
+    pristine trace. *)
+
 val os_structure_table : full_row list -> Table.t
 (** System vs user share of memory activity under each OS structure. *)
 

@@ -599,3 +599,458 @@ let tests =
       QCheck_alcotest.to_alcotest prop_lzss_unpack_never_crashes;
       QCheck_alcotest.to_alcotest prop_fast_parser_equivalent;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection and error recovery (paper 4.3, the tentpole of the
+   defensive-tracing work).
+
+   The ISSUE-stated property "strict mode either raises Corrupt or the
+   reconstructed stream is identical to the clean run" is deliberately
+   weakened here: it is false in general — §4.3 promises detection "with
+   very high probability", not certainty.  A dropped record of a mem-less
+   block, or a bit flip inside a data address, alters the stream without
+   any structural violation; the faults_table experiment measures those
+   misses statistically.  What IS universally true, and what these
+   properties enforce:
+     - recovery mode never raises, on any input whatsoever;
+     - when strict mode succeeds on a faulted stream, recovery mode is
+       byte-identical to it and reports no diagnoses;
+     - when strict mode raises, recovery's first diagnosis is the same
+       violation, and recovery reconstructs at least the prefix strict
+       managed;
+     - every word recovery discards is accounted in the per-source skip
+       counters, and the reference loss vs the clean run is bounded by
+       what those counters (plus the fault's own size) can explain;
+     - a drain split is a valid transform: strict parses it to the
+       identical stream;
+     - the fast and debug paths stay observably identical in recovery
+       mode too. *)
+
+(* Valid traces with BOTH kernel activity and user drains: a random
+   kernel schedule interleaved with pid-1 drain blocks whose payload is a
+   user block stream chunked at random boundaries (blocks may split
+   across drains). *)
+let take n l =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  go n [] l
+
+let serialize_mixed (sched, chunks) =
+  let out = ref [ Format_.marker_word (Format_.Pid_switch 1) ] in
+  let emit_drain ch =
+    out := List.length ch :: Format_.marker_word (Format_.Drain 1) :: !out;
+    List.iter (fun w -> out := w :: !out) ch
+  in
+  let rec go acts chs =
+    match (acts, chs) with
+    | [], [] -> ()
+    | a :: ar, [] ->
+      serialize_action out a;
+      go ar []
+    | [], ch :: cr ->
+      emit_drain ch;
+      go [] cr
+    | a :: ar, ch :: cr ->
+      serialize_action out a;
+      emit_drain ch;
+      go ar cr
+  in
+  go sched chunks;
+  Array.of_list (List.rev !out)
+
+let gen_mixed_words =
+  let open QCheck.Gen in
+  gen_schedule >>= fun sched ->
+  int_range 0 4 >>= fun nblocks ->
+  int_range 1 4 >>= fun chunk_max ->
+  let user_words =
+    List.concat
+      (List.init nblocks (fun i ->
+           [ 0x00410000; 0x00500000 + (16 * i); 0x00500004 + (16 * i) ]))
+  in
+  let rec chunk = function
+    | [] -> []
+    | l ->
+      let c, rest = take chunk_max l in
+      c :: chunk rest
+  in
+  return (serialize_mixed (sched, chunk user_words))
+
+(* Like [run_parser], with recovery controls; returns the diagnoses and
+   skip counters too. *)
+let run_parser_r ~debug ~recover words =
+  let p =
+    Parser.create ~debug ~recover ~kernel_bbs:(synth_kernel_table ()) ()
+  in
+  Parser.register_pid p ~pid:1 (user_table ());
+  let evs = ref [] in
+  Parser.set_handlers p
+    {
+      Parser.on_inst =
+        (fun addr pid kernel -> evs := (`I, addr, pid, kernel, false, 0) :: !evs);
+      on_data =
+        (fun addr pid kernel is_load bytes ->
+          evs := (`D, addr, pid, kernel, is_load, bytes) :: !evs);
+    };
+  let outcome =
+    match
+      Parser.feed p words ~len:(Array.length words);
+      Parser.finish p
+    with
+    | () -> P_ok
+    | exception Parser.Corrupt msg -> P_corrupt msg
+    | exception Format_.Bad_marker w -> P_bad_marker w
+  in
+  (outcome, List.rev !evs, Parser.stats p, Parser.errors p, Parser.skipped p)
+
+let gen_fault_case =
+  QCheck.Gen.triple gen_mixed_words
+    (QCheck.Gen.oneofl Faults.all_kinds)
+    (QCheck.Gen.int_bound 100_000)
+
+let print_fault_case (ws, kind, seed) =
+  Printf.sprintf "<%d words, %s, seed %d>" (Array.length ws)
+    (Faults.kind_name kind) seed
+
+let prop_fault_contract =
+  QCheck.Test.make ~count:400
+    ~name:"faults: strict/recovery contract on injected faults"
+    (QCheck.make ~print:print_fault_case gen_fault_case)
+    (fun (words, kind, seed) ->
+      let c_out, c_evs, _, _, _ = run_parser_r ~debug:false ~recover:false words in
+      if c_out <> P_ok then QCheck.Test.fail_report "generator made an invalid trace";
+      match Faults.inject_one (Systrace_util.Rng.create seed) kind words with
+      | None -> true
+      | Some (faulted, _inj) ->
+        let s_out, s_evs, _, _, _ =
+          run_parser_r ~debug:false ~recover:false faulted
+        in
+        let r_out, r_evs, r_stats, r_errs, r_skip =
+          run_parser_r ~debug:false ~recover:true faulted
+        in
+        (* recovery never raises, whatever the fault did *)
+        r_out = P_ok
+        (* every discarded word is accounted to a source *)
+        && List.fold_left (fun a (_, n) -> a + n) 0 r_skip
+           = r_stats.Parser.skipped_words
+        && (match s_out with
+           | P_ok ->
+             (* fault landed in dead redundancy (or was a valid
+                transform): recovery must agree exactly *)
+             r_errs = [] && r_evs = s_evs
+           | P_corrupt msg -> (
+             match r_errs with
+             | e :: _ ->
+               (* same first violation, and recovery keeps at least the
+                  prefix strict managed before bailing *)
+               e.Parser.message = msg
+               && List.length r_evs >= List.length s_evs
+             | [] -> false)
+           | P_bad_marker w -> (
+             match r_errs with e :: _ -> e.Parser.got = w | [] -> false))
+        (* loss vs the clean run is explained by the skip counters plus
+           the words the fault itself added/removed (16 refs per word is
+           a >4x margin over the densest table block, 64 covers block
+           boundary effects) *)
+        && List.length c_evs - List.length r_evs
+           <= (16
+               * (r_stats.Parser.skipped_words
+                 + abs (Array.length words - Array.length faulted)))
+              + 64)
+
+let prop_drain_split_transparent =
+  QCheck.Test.make ~count:200
+    ~name:"faults: drain split is a valid transform (dead redundancy)"
+    (QCheck.make
+       ~print:(fun (ws, seed) ->
+         Printf.sprintf "<%d words, seed %d>" (Array.length ws) seed)
+       (QCheck.Gen.pair gen_mixed_words (QCheck.Gen.int_bound 100_000)))
+    (fun (words, seed) ->
+      let _, c_evs, _, _, _ = run_parser_r ~debug:false ~recover:false words in
+      match
+        Faults.inject_one (Systrace_util.Rng.create seed) Faults.Drain_split
+          words
+      with
+      | None -> true
+      | Some (faulted, _) ->
+        let s_out, s_evs, _, _, _ =
+          run_parser_r ~debug:false ~recover:false faulted
+        in
+        s_out = P_ok && s_evs = c_evs)
+
+let prop_recover_never_raises =
+  (* The recovery-mode totality contract on raw word salad, not just
+     injected faults: Parser.feed ~recover:true must return diagnoses,
+     never raise. *)
+  QCheck.Test.make ~count:400 ~name:"recovery: word salad never raises"
+    QCheck.(
+      list_of_size Gen.(int_range 0 200)
+        (oneof
+           [ map (fun i -> i land 0xFFFFFFFF) (int_bound max_int);
+             map (fun i -> 0xBFFF0000 lor (i land 0xFFFF)) (int_bound max_int) ]))
+    (fun l ->
+      let words = Array.of_list l in
+      let out, _, stats, errs, _ = run_parser_r ~debug:false ~recover:true words in
+      out = P_ok && List.length errs = stats.Parser.parse_errors)
+
+let gen_recover_equiv_words =
+  (* valid, faulted, and salad streams for the fast==debug property in
+     recovery mode *)
+  QCheck.Gen.oneof
+    [
+      gen_equiv_words;
+      QCheck.Gen.map
+        (fun (ws, kind, seed) ->
+          match Faults.inject_one (Systrace_util.Rng.create seed) kind ws with
+          | Some (faulted, _) -> faulted
+          | None -> ws)
+        gen_fault_case;
+    ]
+
+let prop_fast_parser_equivalent_recovery =
+  QCheck.Test.make ~count:300
+    ~name:"fast parse loop == variant parse loop in recovery mode"
+    (QCheck.make
+       ~print:(fun ws -> Printf.sprintf "<%d words>" (Array.length ws))
+       gen_recover_equiv_words)
+    (fun words ->
+      run_parser_r ~debug:false ~recover:true words
+      = run_parser_r ~debug:true ~recover:true words)
+
+let prop_faults_deterministic =
+  QCheck.Test.make ~count:100 ~name:"faults: equal seeds give equal streams"
+    (QCheck.make ~print:print_fault_case gen_fault_case)
+    (fun (words, kind, seed) ->
+      let one () =
+        Faults.inject_one (Systrace_util.Rng.create seed) kind words
+      in
+      one () = one ())
+
+(* Regression (the drain count-0 bug): an empty drain must reset the
+   drain pid, so later diagnoses are not attributed to a closed drain. *)
+let test_empty_drain_resets_pid () =
+  (* strict: an empty drain followed by kernel activity parses *)
+  let stats, _ =
+    parse [ Format_.marker_word (Format_.Drain 1); 0; 0x80100040 ]
+  in
+  check_int "drains" 1 stats.Parser.drains;
+  check_int "kernel insts" 2 stats.Parser.kernel_insts;
+  (* recovery: the diagnosis for a bad word AFTER the empty drain must
+     say "outside any drain" (in_drain = -1), not blame stale pid 1 *)
+  let p = Parser.create ~recover:true ~kernel_bbs:(kernel_table ()) () in
+  Parser.feed p
+    [| Format_.marker_word (Format_.Drain 1); 0; 0x80777700 |]
+    ~len:3;
+  Parser.finish p;
+  match Parser.errors p with
+  | [ e ] ->
+    check_int "diagnosis at the bad word" 2 e.Parser.at;
+    check_int "empty drain closed before the diagnosis" (-1) e.Parser.in_drain
+  | es ->
+    Alcotest.fail (Printf.sprintf "expected 1 diagnosis, got %d" (List.length es))
+
+(* Recovery resynchronizes and keeps parsing: one smashed word inside the
+   first of two kernel blocks costs diagnoses and skips, but the block
+   after the next marker parses fully. *)
+let test_recover_resync () =
+  let words =
+    [|
+      0x80100000; 0xC0000123; 0xC0000999;          (* block + its 2 data words *)
+      0xC0000555;                                  (* bad: looked up as a record *)
+      Format_.marker_word (Format_.Pid_switch 1);  (* resync point *)
+      0x80100040;                                  (* parses after resync *)
+    |]
+  in
+  let out, evs, stats, errs, _ = run_parser_r ~debug:false ~recover:true words in
+  check "no raise" true (out = P_ok);
+  check_int "one diagnosis" 1 (List.length errs);
+  check "post-resync block reconstructed" true
+    (List.exists (function `I, 0x80200100, _, _, _, _ -> true | _ -> false) evs);
+  check_int "offending word counted" 1 stats.Parser.skipped_words
+
+(* Structural scan: table-free validation for `systrace check`. *)
+let test_scan () =
+  (* a clean trace scans clean *)
+  Alcotest.(check int) "clean" 0
+    (List.length
+       (Parser.scan
+          [|
+            0x80100000; 0xC0000123; 0x80300040;
+            Format_.marker_word (Format_.Drain 1); 2; 0x00410000; 0x00500000;
+          |]));
+  (* truncated drain *)
+  (match Parser.scan [| Format_.marker_word (Format_.Drain 3); 5; 0x1000 |] with
+  | [ e ] -> check "drain truncation at end" true (e.Parser.in_drain = 3)
+  | es -> Alcotest.fail (Printf.sprintf "drain: %d diagnoses" (List.length es)));
+  (* exception underflow *)
+  check_int "exc underflow" 1
+    (List.length (Parser.scan [| Format_.marker_word Format_.Exc_exit |]));
+  (* words after END: only the first is reported *)
+  check_int "post-END reported once" 1
+    (List.length
+       (Parser.scan
+          [| Format_.marker_word Format_.End; 0x80100000; 0xC0000123 |]));
+  (* unknown marker kind *)
+  check_int "unknown kind" 1
+    (List.length (Parser.scan [| Format_.make_marker 12 0 |]))
+
+let prop_scan_total =
+  QCheck.Test.make ~count:400 ~name:"scan: word salad never raises"
+    QCheck.(
+      list_of_size Gen.(int_range 0 200)
+        (oneof
+           [ map (fun i -> i land 0xFFFFFFFF) (int_bound max_int);
+             map (fun i -> 0xBFFF0000 lor (i land 0xFFFF)) (int_bound max_int) ]))
+    (fun l ->
+      match Parser.scan (Array.of_list l) with (_ : Parser.error list) -> true)
+
+let prop_scan_clean_on_valid =
+  QCheck.Test.make ~count:200 ~name:"scan: valid traces scan clean"
+    (QCheck.make
+       ~print:(fun ws -> Printf.sprintf "<%d words>" (Array.length ws))
+       gen_mixed_words)
+    (fun words -> Parser.scan words = [])
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "recovery: empty drain resets pid (regression)" `Quick
+        test_empty_drain_resets_pid;
+      Alcotest.test_case "recovery: resync keeps parsing" `Quick
+        test_recover_resync;
+      Alcotest.test_case "scan: structural diagnoses" `Quick test_scan;
+      QCheck_alcotest.to_alcotest prop_fault_contract;
+      QCheck_alcotest.to_alcotest prop_drain_split_transparent;
+      QCheck_alcotest.to_alcotest prop_recover_never_raises;
+      QCheck_alcotest.to_alcotest prop_fast_parser_equivalent_recovery;
+      QCheck_alcotest.to_alcotest prop_faults_deterministic;
+      QCheck_alcotest.to_alcotest prop_scan_total;
+      QCheck_alcotest.to_alcotest prop_scan_clean_on_valid;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Tracefile hardening: load is total (Bad_file, never End_of_file /
+   Invalid_argument / oversized allocation), save refuses out-of-range
+   words. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let with_temp f =
+  let path = Filename.temp_file "systrace_test" ".strc" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_tracefile_save_range () =
+  with_temp (fun path ->
+      (* too wide *)
+      (match Tracefile.save path [| 0x10; 0x1_0000_0000 |] with
+      | () -> Alcotest.fail "33-bit word accepted"
+      | exception Invalid_argument msg ->
+        check "names the offending index" true (contains msg "word 1"));
+      (* negative *)
+      match Tracefile.save path [| -1 |] with
+      | () -> Alcotest.fail "negative word accepted"
+      | exception Invalid_argument msg ->
+        check "names index 0" true (contains msg "word 0"))
+
+let expect_bad_file path =
+  match Tracefile.load path with
+  | (_ : int array) -> Alcotest.fail "malformed file loaded"
+  | exception Tracefile.Bad_file _ -> ()
+
+let test_tracefile_load_hardening () =
+  with_temp (fun path ->
+      (* short garbage: must be Bad_file, not End_of_file *)
+      write_file path "ST";
+      expect_bad_file path;
+      (* magic but truncated header *)
+      write_file path "STRC\x01\x00";
+      expect_bad_file path;
+      (* v1 with an absurd word count: must reject BEFORE allocating n*4
+         (a 2^30 count used to allocate 4 GB) *)
+      let hdr = Bytes.create 12 in
+      Bytes.blit_string "STRC" 0 hdr 0 4;
+      Bytes.set_int32_le hdr 4 1l;
+      Bytes.set_int32_le hdr 8 0x40000000l;
+      write_file path (Bytes.to_string hdr);
+      expect_bad_file path;
+      (* v1 with a count larger than the file: reject before allocating *)
+      Bytes.set_int32_le hdr 8 1000l;
+      write_file path (Bytes.to_string hdr ^ "xxxx");
+      expect_bad_file path;
+      (* v2 with a payload length beyond the file *)
+      let hdr2 = Bytes.create 16 in
+      Bytes.blit_string "STRC" 0 hdr2 0 4;
+      Bytes.set_int32_le hdr2 4 2l;
+      Bytes.set_int32_le hdr2 8 4l;
+      Bytes.set_int32_le hdr2 12 100000l;
+      write_file path (Bytes.to_string hdr2 ^ "zz");
+      expect_bad_file path;
+      (* truncating a real file anywhere must give Bad_file *)
+      Tracefile.save path (Array.init 100 (fun i -> i * 3));
+      let full = read_file path in
+      List.iter
+        (fun k ->
+          write_file path (String.sub full 0 k);
+          expect_bad_file path)
+        [ 0; 3; 7; 11; 12; 50; String.length full - 1 ])
+
+let prop_tracefile_load_total =
+  (* The fuzz contract of the acceptance criteria: load on ANY bytes —
+     raw garbage or a mangled real file, both formats — either succeeds
+     or raises Bad_file.  Anything else (End_of_file, Invalid_argument,
+     Out_of_memory) fails the property by escaping it. *)
+  QCheck.Test.make ~count:200 ~name:"tracefile: load is total on any bytes"
+    QCheck.(
+      pair (string_of_size Gen.(int_range 0 256)) (int_bound 1_000_000))
+    (fun (garbage, seed) ->
+      let rng = Systrace_util.Rng.create seed in
+      let content =
+        if seed mod 3 = 0 then garbage
+        else
+          with_temp (fun path ->
+              let words = Array.init 60 (fun i -> (i * 2654435761) land 0xFFFFFFFF) in
+              Tracefile.save ~compress:(seed mod 2 = 0) path words;
+              Faults.mangle rng (read_file path))
+      in
+      with_temp (fun path ->
+          write_file path content;
+          match Tracefile.load path with
+          | (_ : int array) -> true
+          | exception Tracefile.Bad_file _ -> true))
+
+let test_lzss_limit () =
+  (* a highly expansive stream must hit the output bound as Corrupt, not
+     as a giant allocation *)
+  let s = String.make 100_000 'x' in
+  let packed = Compress.lzss_pack s in
+  (match Compress.lzss_unpack ~limit:1000 packed with
+  | (_ : string) -> Alcotest.fail "limit not enforced"
+  | exception Compress.Corrupt _ -> ());
+  Alcotest.(check string) "full unpack intact" s (Compress.lzss_unpack packed)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "tracefile: save rejects out-of-range words" `Quick
+        test_tracefile_save_range;
+      Alcotest.test_case "tracefile: load hardening" `Quick
+        test_tracefile_load_hardening;
+      QCheck_alcotest.to_alcotest prop_tracefile_load_total;
+      Alcotest.test_case "compress: lzss output limit" `Quick test_lzss_limit;
+    ]
