@@ -21,7 +21,16 @@ let repo_root () =
   in
   up (Sys.getcwd ())
 
-let path () = Filename.concat (repo_root ()) "BENCH_micro.json"
+(* `main.exe --out FILE` redirects results to a named file instead of the
+   default BENCH_micro.json — so CI smoke runs or side experiments don't
+   clobber the tracked perf trajectory. *)
+let out_override = ref None
+let set_path file = out_override := Some file
+
+let path () =
+  match !out_override with
+  | Some file -> file
+  | None -> Filename.concat (repo_root ()) "BENCH_micro.json"
 
 let render_entry e =
   (* %S escaping covers quotes and backslashes; benchmark names contain no

@@ -9,11 +9,12 @@
                                                     time (and byte-identity)
    Experiments: table1 table2 figure3 table3 figure2 expansion dilation
                 kernel_cpi distortion buffer_sweep pagemap corruption
-                faults os_structure drain_ablation trace_format micro
+                faults os_structure drain_ablation trace_format stream micro
 
-   `micro` and `table2 --timing` merge machine-readable results into
-   BENCH_micro.json at the repo root (one {name, unit, value} object per
-   benchmark) so the perf trajectory is tracked across PRs. *)
+   `micro`, `stream` and `table2 --timing` merge machine-readable results
+   into BENCH_micro.json at the repo root (one {name, unit, value} object
+   per benchmark) so the perf trajectory is tracked across PRs; `--out F`
+   redirects them to a named file instead. *)
 
 open Systrace
 module Experiments = Systrace_validate.Experiments
@@ -354,6 +355,78 @@ let exp_micro () =
   Bench_json.record (entries @ derived)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming pipeline: online analysis vs whole-trace materialization   *)
+
+(* The tentpole claim of the streaming refactor, measured: a full predict
+   run analyses the trace online (each ANALYZE chunk drives the parser and
+   memory simulation as it is drained), so peak resident trace words is
+   bounded by the in-kernel buffer, not the trace length — and the stats
+   must be exactly those of the materialized capture-then-replay path. *)
+let exp_stream () =
+  heading "Streaming pipeline: online analysis vs whole-trace materialization";
+  let wname = if !quick then "egrep" else "tomcatv" in
+  let e = Workloads.Suite.find wname in
+  let spec =
+    {
+      Systrace_validate.Validate.wname;
+      files = e.Workloads.Suite.files;
+      programs = [ e.Workloads.Suite.program () ];
+    }
+  in
+  (* materialized: capture the whole trace into an array, replay offline *)
+  let (words, run), t_capture =
+    timed (fun () ->
+        capture_trace [ e.Workloads.Suite.program () ] e.Workloads.Suite.files)
+  in
+  let memsim_cfg = default_memsim_cfg ~system:run.system in
+  let (mem_m, _), t_replay =
+    timed (fun () -> replay ~system:run.system ~memsim_cfg words)
+  in
+  (* streamed: the same run with parse+simulate online during generation *)
+  let p, t_stream =
+    timed (fun () -> Validate.predict ~arith_stalls:0 Validate.Ultrix spec)
+  in
+  (* identical analysis results, or the streaming path is broken *)
+  if p.Validate.p_parse <> run.parse_stats then
+    failwith "stream: online parse stats differ from materialized run";
+  if p.Validate.p_mem <> mem_m then
+    failwith "stream: online memory-simulation stats differ from replay";
+  let trace_words = Array.length words in
+  let peak = p.Validate.p_peak_words in
+  let buf_words =
+    Systrace_kernel.Builder.default_config.Systrace_kernel.Builder.trace_buf_bytes
+    / 4
+  in
+  if peak > buf_words then
+    failwith
+      (Printf.sprintf "stream: peak resident words %d exceed buffer (%d words)"
+         peak buf_words);
+  let wps = float_of_int trace_words /. t_replay in
+  Printf.printf
+    "workload %s: %d trace words\n\
+    \  materialized: capture %.2fs + replay %.2fs (%.2f Mwords/s), %d words \
+     resident\n\
+    \  streamed:     %.2fs end-to-end, peak %d words resident (%.1f%% of \
+     trace, buffer holds %d)\n\
+    \  parse and memory-simulation stats identical on both paths\n"
+    wname trace_words t_capture t_replay (wps /. 1e6) trace_words t_stream peak
+    (100.0 *. float_of_int peak /. float_of_int trace_words)
+    buf_words;
+  Bench_json.record
+    [
+      { Bench_json.name = "stream: trace words"; unit_ = "words";
+        value = float_of_int trace_words };
+      { Bench_json.name = "stream: peak resident words (streamed)";
+        unit_ = "words"; value = float_of_int peak };
+      { Bench_json.name = "stream: replay throughput"; unit_ = "words/s";
+        value = wps };
+      { Bench_json.name = "stream: materialized wall"; unit_ = "s";
+        value = t_capture +. t_replay };
+      { Bench_json.name = "stream: streamed wall"; unit_ = "s";
+        value = t_stream };
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -373,6 +446,7 @@ let experiments =
     ("os_structure", exp_os_structure);
     ("drain_ablation", exp_drain_ablation);
     ("trace_format", exp_trace_format);
+    ("stream", exp_stream);
     ("micro", exp_micro);
   ]
 
@@ -381,7 +455,8 @@ let usage () =
     "usage: %s [-j N] [experiment] [--timing] [--quick]\navailable: %s\n\
      -j N      run the experiment matrix on N domains (default %d)\n\
      --timing  (with table2) serial vs parallel wall time + byte-identity\n\
-     --quick   (with faults) fewer trials and rates, for CI smoke runs\n"
+     --quick   (with faults/stream) smaller runs, for CI smoke tests\n\
+     --out F   merge machine-readable results into F, not BENCH_micro.json\n"
     Sys.argv.(0)
     (String.concat " " (List.map fst experiments))
     (Pool.default_jobs ());
@@ -403,6 +478,9 @@ let () =
       parse rest
     | "--quick" :: rest ->
       quick := true;
+      parse rest
+    | "--out" :: file :: rest ->
+      Bench_json.set_path file;
       parse rest
     | arg :: rest when List.mem_assoc arg experiments && !name = None ->
       name := Some arg;

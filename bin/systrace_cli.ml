@@ -86,7 +86,7 @@ let run_cmd =
     Term.(const run $ workload_arg $ os_arg $ seed_arg)
 
 let trace_cmd =
-  let run name os seed nshow =
+  let run name os seed nshow trace_out compress =
     let e = find_workload name in
     let shown = ref 0 in
     let on_event ev =
@@ -103,13 +103,25 @@ let trace_cmd =
             (if kernel then " K" else "")
       end
     in
+    (* --trace-out captures the raw words as they are drained, through the
+       streaming file sink: the whole trace is never resident. *)
+    let sink =
+      match trace_out with
+      | None -> Tracing.Sink.null
+      | Some path -> Tracing.Sink.to_file ~compress path
+    in
     let r =
-      run_traced ~os:(os_of os) ~seed ~on_event
+      run_traced ~os:(os_of os) ~seed ~on_event ~sink
         [ e.Workloads.Suite.program () ]
         e.Workloads.Suite.files
     in
     let s = r.parse_stats in
     Printf.printf "console: %S\n" r.console;
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      Printf.printf "trace words streamed to %s%s\n" path
+        (if compress then " (delta/varint)" else ""));
     Printf.printf
       "trace: %d words, %d block records, %d markers\n\
        references: %d instructions (%d user / %d kernel, %d idle), %d data\n\
@@ -127,9 +139,25 @@ let trace_cmd =
       value & opt int 0
       & info [ "n"; "show" ] ~doc:"Print the first N reconstructed references.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream the raw trace words to $(docv) while the run executes \
+             (chunk by chunk; the whole trace is never held in memory).")
+  in
+  let compress =
+    Arg.(
+      value & flag
+      & info [ "z"; "compress" ]
+          ~doc:"Delta/varint-compress the $(b,--trace-out) file (format v2).")
+  in
   Cmd.v
     (Cmd.info "trace" ~doc:"Run a workload traced; print trace statistics.")
-    Term.(const run $ workload_arg $ os_arg $ seed_arg $ nshow)
+    Term.(const run $ workload_arg $ os_arg $ seed_arg $ nshow $ trace_out
+          $ compress)
 
 let profile_cmd =
   (* The paper's "reference counting tools ... dynamic count of the number
@@ -283,22 +311,30 @@ let matrix_cmd =
 
 let dump_cmd =
   (* Capture a workload's system trace to a file (the "traces on tape"
-     of paper 3.4). *)
+     of paper 3.4).  The file sink consumes each ANALYZE phase's chunk as
+     it is drained, so the dump runs in O(chunk) memory whatever the
+     trace length. *)
   let run name os seed out compress =
     let e = find_workload name in
-    let words, r =
-      capture_trace ~os:(os_of os) ~seed
+    let r =
+      run_traced ~os:(os_of os) ~seed
+        ~sink:(Tracing.Sink.to_file ~compress out)
         [ e.Workloads.Suite.program () ]
         e.Workloads.Suite.files
     in
-    Tracing.Tracefile.save ~compress out words;
-    Printf.printf "wrote %d trace words (%d references) to %s%s\n"
-      (Array.length words)
+    let words = r.parse_stats.Tracing.Parser.words in
+    Printf.printf "wrote %d trace words (%d references) to %s%s\n" words
       (r.parse_stats.Tracing.Parser.insts + r.parse_stats.Tracing.Parser.datas)
       out
       (if compress then
+         let payload_bytes =
+           let ic = open_in_bin out in
+           Fun.protect
+             ~finally:(fun () -> close_in ic)
+             (fun () -> in_channel_length ic - 16)
+         in
          Printf.sprintf " (delta/varint, %.1fx smaller)"
-           (1.0 /. Tracing.Compress.ratio words)
+           (float_of_int (4 * words) /. float_of_int payload_bytes)
        else "")
   in
   let out =
@@ -317,10 +353,11 @@ let dump_cmd =
 let analyze_cmd =
   (* Offline analysis of a stored trace: rebuild the same traced system
      (deterministic for a given workload/os/seed) for its block tables and
-     page map, then drive the memory-system simulation from the file. *)
+     page map, then stream the memory-system simulation straight from the
+     file — the trace is decoded chunk by chunk, never materialized, so
+     traces larger than memory replay fine. *)
   let run name os seed file =
     let e = find_workload name in
-    let words = Tracing.Tracefile.load file in
     let open Systrace_kernel in
     let cfg =
       {
@@ -348,10 +385,17 @@ let analyze_cmd =
         ]
     in
     let sys = Builder.build ~cfg ~programs ~files:e.Workloads.Suite.files () in
-    let mem, parse = replay ~system:sys ~memsim_cfg:(default_memsim_cfg ~system:sys) words in
+    let mem, parse =
+      try
+        replay_file ~system:sys ~memsim_cfg:(default_memsim_cfg ~system:sys)
+          file
+      with Tracing.Tracefile.Bad_file msg ->
+        Printf.eprintf "%s: UNREADABLE\n  %s\n" file msg;
+        exit 1
+    in
     Printf.printf
       "%s: %d words -> %d instructions (%d user / %d kernel), %d data refs\n"
-      file (Array.length words) parse.Tracing.Parser.insts
+      file parse.Tracing.Parser.words parse.Tracing.Parser.insts
       parse.Tracing.Parser.user_insts parse.Tracing.Parser.kernel_insts
       parse.Tracing.Parser.datas;
     Printf.printf
@@ -376,23 +420,15 @@ let check_cmd =
      exception bracketing, END placement); with --workload, also rebuilds
      the matching traced system and runs the full recovery-mode parse, so
      table-level violations (unknown block records, misplaced data words)
-     are diagnosed too. *)
+     are diagnosed too.  Both checkers are chunk-fed from one streaming
+     pass over the file: a valid 2^26-word trace no longer costs a 256 MB
+     up-front allocation. *)
   let run file workload os seed =
-    let words =
-      try Tracing.Tracefile.load file
-      with Tracing.Tracefile.Bad_file msg ->
-        Printf.printf "%s: UNREADABLE\n  %s\n" file msg;
-        exit 1
-    in
-    let struct_errs = Tracing.Parser.scan words in
-    Printf.printf "%s: %d words, structural scan: %d diagnosis(es)\n" file
-      (Array.length words) (List.length struct_errs);
-    List.iter
-      (fun e -> Printf.printf "  %s\n" (Tracing.Parser.describe e))
-      struct_errs;
-    let parse_errs =
+    (* Build the full-parse context (if requested) before touching the
+       file, so a single [fold_words] pass can feed both checkers. *)
+    let full =
       match workload with
-      | None -> []
+      | None -> None
       | Some name ->
         let e = find_workload name in
         let open Systrace_kernel in
@@ -430,7 +466,31 @@ let check_cmd =
           (fun (pi : Builder.proc_info) ->
             Tracing.Parser.register_pid p ~pid:pi.pid (Option.get pi.bbs))
           sys.Builder.procs;
-        Tracing.Parser.feed p words ~len:(Array.length words);
+        Some (name, p)
+    in
+    let c = Tracing.Parser.scanner () in
+    let words =
+      try
+        Tracing.Tracefile.fold_words file ~init:0 ~f:(fun n ws ~len ->
+            Tracing.Parser.scan_feed c ws ~len;
+            (match full with
+            | Some (_, p) -> Tracing.Parser.feed p ws ~len
+            | None -> ());
+            n + len)
+      with Tracing.Tracefile.Bad_file msg ->
+        Printf.printf "%s: UNREADABLE\n  %s\n" file msg;
+        exit 1
+    in
+    let struct_errs = Tracing.Parser.scan_finish c in
+    Printf.printf "%s: %d words, structural scan: %d diagnosis(es)\n" file
+      words (List.length struct_errs);
+    List.iter
+      (fun e -> Printf.printf "  %s\n" (Tracing.Parser.describe e))
+      struct_errs;
+    let parse_errs =
+      match full with
+      | None -> []
+      | Some (name, p) ->
         Tracing.Parser.finish p;
         let errs = Tracing.Parser.errors p in
         let s = Tracing.Parser.stats p in

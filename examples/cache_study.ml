@@ -17,18 +17,20 @@ let () =
   let e = Workloads.Suite.find "compress" in
   Printf.printf "capturing the %s system trace...\n%!" e.Workloads.Suite.name;
   (* capture raw words for the memsim replays AND the data-reference
-     stream (pid, va, load?) for the write-policy study in part 3 *)
-  let chunks = ref [] and drefs = ref [] in
+     stream (pid, va, load?) for the write-policy study in part 3 —
+     materializing the trace is the right call here, since one capture
+     feeds many replay configurations below *)
+  let capture, trace = Tracing.Sink.to_array () in
+  let drefs = ref [] in
   let run =
-    run_traced
-      ~on_words:(fun w len -> chunks := Array.sub w 0 len :: !chunks)
+    run_traced ~sink:capture
       ~on_event:(function
         | Data { addr; pid; is_load; _ } -> drefs := (pid, addr, is_load) :: !drefs
         | _ -> ())
       [ e.Workloads.Suite.program () ]
       e.Workloads.Suite.files
   in
-  let words = Array.concat (List.rev !chunks) in
+  let words = trace () in
   let drefs = List.rev !drefs in
   Printf.printf "  %d trace words (%d instructions reconstructed)\n\n"
     (Array.length words) run.parse_stats.Tracing.Parser.insts;

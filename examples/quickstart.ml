@@ -50,7 +50,17 @@ let () =
     end
   in
   print_endline "First references of the interleaved system trace:";
-  let run = run_traced ~on_event [ greeting_program () ] [] in
+  (* A streaming sink consumes the raw trace words online, chunk by chunk
+     as each ANALYZE phase drains the in-kernel buffer — here a tee fans
+     one run out to a stored trace file, a word counter, and a peak
+     tracker, all in O(chunk) memory. *)
+  let tmp = Filename.temp_file "quickstart" ".strc" in
+  let counter, words_seen = Tracing.Sink.counting () in
+  let peak, peak_words = Tracing.Sink.peak () in
+  let sink =
+    Tracing.Sink.tee [ Tracing.Sink.to_file ~compress:true tmp; counter; peak ]
+  in
+  let run = run_traced ~on_event ~sink [ greeting_program () ] [] in
   let s = run.parse_stats in
   Printf.printf "\nConsole output: %S\n" run.console;
   Printf.printf "Trace inventory:\n";
@@ -61,4 +71,10 @@ let () =
     s.Tracing.Parser.kernel_insts s.Tracing.Parser.datas;
   Printf.printf "  %d buffer drains, %d pid switches, %d idle-loop instructions\n"
     s.Tracing.Parser.drains s.Tracing.Parser.pid_switches
-    s.Tracing.Parser.idle_insts
+    s.Tracing.Parser.idle_insts;
+  Printf.printf
+    "Streaming sinks: %d words streamed (largest chunk %d), stored trace \
+     holds %d words\n"
+    (words_seen ()) (peak_words ())
+    (Tracing.Tracefile.fold_words tmp ~init:0 ~f:(fun n _ ~len -> n + len));
+  Sys.remove tmp

@@ -45,6 +45,7 @@ module Tracing = struct
   module Format = Systrace_tracing.Format_
   module Bbtable = Systrace_tracing.Bbtable
   module Parser = Systrace_tracing.Parser
+  module Sink = Systrace_tracing.Sink
   module Tracefile = Systrace_tracing.Tracefile
   module Compress = Systrace_tracing.Compress
   module Faults = Systrace_tracing.Faults
@@ -105,9 +106,17 @@ type traced_run = {
     [on_event] — exactly the analysis-program position of Figure 1.
 
     Programs are built from the assembler eDSL ({!Isa.Asm}); link them
-    against {!Workloads.Userlib} for the system-call wrappers. *)
+    against {!Workloads.Userlib} for the system-call wrappers.
+
+    [?sink] attaches a streaming consumer ({!Tracing.Sink}) to the raw
+    word stream: it receives each ANALYZE phase's chunk before the
+    parser does, and its [finish] runs after the final drain — so a
+    whole run can be counted, written to disk, or fed to a second
+    analysis online, in O(chunk) memory.  [?on_words] is the bare
+    callback form of the same hook. *)
 let run_traced ?(os = Ultrix) ?(seed = 1) ?(on_event = fun (_ : event) -> ())
     ?(on_words = fun (_ : int array) (_ : int) -> ())
+    ?(sink = Systrace_tracing.Sink.null)
     ?(config = Systrace_kernel.Builder.default_config)
     (programs : Systrace_kernel.Builder.program list)
     (files : Systrace_kernel.Builder.file_spec list) : traced_run =
@@ -160,11 +169,13 @@ let run_traced ?(os = Ultrix) ?(seed = 1) ?(on_event = fun (_ : event) -> ())
     Some
       (fun words len ->
         on_words words len;
+        sink.Systrace_tracing.Sink.on_words words ~len;
         Systrace_tracing.Parser.feed parser words ~len);
   (match Builder.run t ~max_insns:2_000_000_000 with
   | Systrace_machine.Machine.Halt -> ()
   | Systrace_machine.Machine.Limit -> failwith "Systrace.run_traced: no halt");
   Builder.drain_final t;
+  sink.Systrace_tracing.Sink.finish ();
   let live =
     List.filter_map
       (fun (pi : Builder.proc_info) ->
@@ -228,19 +239,22 @@ let run_measured ?(os = Ultrix) ?(seed = 1)
     authors' 64MB-class traces, but replay is exactly what the analysis
     program does with each buffer-full). *)
 let capture_trace ?os ?seed ?config programs files : int array * traced_run =
-  let chunks = ref [] in
-  let run =
-    run_traced ?os ?seed ?config
-      ~on_words:(fun words len -> chunks := Array.sub words 0 len :: !chunks)
-      programs files
-  in
-  (Array.concat (List.rev !chunks), run)
+  let sink, trace = Systrace_tracing.Sink.to_array () in
+  let run = run_traced ?os ?seed ?config ~sink programs files in
+  (trace (), run)
 
-(** Replay a captured trace through a fresh trace-driven memory-system
-    simulation (see {!Tracesim.Memsim}) — the mechanism behind the cache
-    and TLB studies the traces were built for. *)
-let replay ~(system : Systrace_kernel.Builder.t) ~(memsim_cfg : Systrace_tracesim.Memsim.config)
-    (words : int array) : Systrace_tracesim.Memsim.stats * Systrace_tracing.Parser.stats =
+(** Build the {!replay} machinery — a fresh parser over [system]'s block
+    tables driving a fresh {!Tracesim.Memsim} — as a streaming sink, so
+    any chunk producer ([run_traced ~sink], {!Tracing.Tracefile.fold_words})
+    can feed it in bounded memory.  The sink's [finish] is a no-op: a
+    replay observes whatever prefix it is given (stored traces may lack
+    the liveness information [Parser.finish] needs).  Read the results
+    off the second component when done. *)
+let replay_sink ~(system : Systrace_kernel.Builder.t)
+    ~(memsim_cfg : Systrace_tracesim.Memsim.config) () :
+    Systrace_tracing.Sink.t
+    * (unit -> Systrace_tracesim.Memsim.stats * Systrace_tracing.Parser.stats)
+    =
   let open Systrace_kernel in
   let parser =
     Systrace_tracing.Parser.create
@@ -254,8 +268,33 @@ let replay ~(system : Systrace_kernel.Builder.t) ~(memsim_cfg : Systrace_tracesi
   let sim = Systrace_tracesim.Memsim.create memsim_cfg in
   Systrace_tracing.Parser.set_handlers parser
     (Systrace_tracesim.Memsim.handlers sim);
-  Systrace_tracing.Parser.feed parser words ~len:(Array.length words);
-  (Systrace_tracesim.Memsim.stats sim, Systrace_tracing.Parser.stats parser)
+  ( Systrace_tracing.Sink.make (fun words ~len ->
+        Systrace_tracing.Parser.feed parser words ~len),
+    fun () ->
+      (Systrace_tracesim.Memsim.stats sim, Systrace_tracing.Parser.stats parser)
+  )
+
+(** Replay a captured trace through a fresh trace-driven memory-system
+    simulation (see {!Tracesim.Memsim}) — the mechanism behind the cache
+    and TLB studies the traces were built for. *)
+let replay ~(system : Systrace_kernel.Builder.t) ~(memsim_cfg : Systrace_tracesim.Memsim.config)
+    (words : int array) : Systrace_tracesim.Memsim.stats * Systrace_tracing.Parser.stats =
+  let sink, result = replay_sink ~system ~memsim_cfg () in
+  sink.Systrace_tracing.Sink.on_words words ~len:(Array.length words);
+  result ()
+
+(** {!replay} straight off a stored trace file: the words stream from
+    disk through {!Tracing.Tracefile.fold_words} into the simulation
+    chunk by chunk, so a trace much larger than memory replays in
+    O(chunk) space.
+    @raise Tracing.Tracefile.Bad_file as [fold_words]. *)
+let replay_file ~(system : Systrace_kernel.Builder.t)
+    ~(memsim_cfg : Systrace_tracesim.Memsim.config) path :
+    Systrace_tracesim.Memsim.stats * Systrace_tracing.Parser.stats =
+  let sink, result = replay_sink ~system ~memsim_cfg () in
+  Systrace_tracing.Tracefile.fold_words path ~init:() ~f:(fun () words ~len ->
+      sink.Systrace_tracing.Sink.on_words words ~len);
+  result ()
 
 (** The memory-system configuration of the simulated DECstation, for
     {!replay} studies that vary one parameter at a time. *)

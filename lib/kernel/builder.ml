@@ -567,24 +567,26 @@ let run t ~max_insns =
   (match t.panic with Some msg -> raise (Panic msg) | None -> ());
   r
 
-(* Hand any trace left in the in-kernel buffer to the sink (end of run). *)
+(* Hand any trace left in the in-kernel buffer to the sink (end of run),
+   in [analysis_chunk]-sized pieces like the ANALYZE hcall path — so peak
+   resident trace words stays O(chunk) even when the whole run fits the
+   buffer and no ANALYZE phase ever fired. *)
 let drain_final t =
-  let buf_base = peek t "ktrace_cursor_home" in
-  ignore buf_base;
   let base = peek t "ktrace_buf_base" in
   let cursor = peek t "ktrace_cursor_home" in
   let total = (cursor - base) / 4 in
-  let remaining = total - t.consumed in
-  if remaining > 0 then begin
+  while total - t.consumed > 0 do
+    let chunk = min (total - t.consumed) t.cfg.analysis_chunk in
     let pa = Addr.kseg0_pa base + (t.consumed * 4) in
     let words =
-      Array.init remaining (fun k ->
+      Array.init chunk (fun k ->
           Machine.read_phys_u32 t.machine (pa + (k * 4)))
     in
-    match t.trace_sink with
-    | Some sink -> sink words remaining
-    | None -> ()
-  end;
+    (match t.trace_sink with
+    | Some sink -> sink words chunk
+    | None -> ());
+    t.consumed <- t.consumed + chunk
+  done;
   t.consumed <- 0
 
 (* Extract the virtual-to-physical page map from the running system, as

@@ -245,3 +245,7 @@ let handlers t : Parser.handlers =
       (fun addr pid kernel is_load bytes ->
         on_data t addr pid kernel is_load bytes);
   }
+
+let sink ?live t parser : Sink.t =
+  Parser.set_handlers parser (handlers t);
+  Sink.to_parser ?live parser

@@ -57,3 +57,9 @@ val on_data : t -> int -> int -> bool -> bool -> int -> unit
 
 val handlers : t -> Systrace_tracing.Parser.handlers
 (** Plug directly into the trace parser. *)
+
+val sink : ?live:int list -> t -> Systrace_tracing.Parser.t -> Systrace_tracing.Sink.t
+(** [sink t parser] attaches {!handlers} to [parser] and wraps it as a
+    streaming word consumer ([Sink.to_parser ?live]): feed it raw trace
+    chunks and the simulation runs online, during generation — peak
+    resident words stay O(chunk) instead of O(trace). *)

@@ -45,43 +45,52 @@ let put_varint buf v =
 
 exception Corrupt of string
 
-(* [get_varint s pos] returns (value, next position). *)
-let get_varint s pos =
-  let n = String.length s in
-  let rec go pos shift acc =
-    if pos >= n then raise (Corrupt "truncated varint");
-    if shift > 62 then raise (Corrupt "varint overflow");
-    let b = Char.code s.[pos] in
-    let acc = acc lor ((b land 0x7F) lsl shift) in
-    if acc < 0 then raise (Corrupt "varint overflow");
-    if b land 0x80 <> 0 then go (pos + 1) (shift + 7) acc else (acc, pos + 1)
-  in
-  go pos 0 0
+(* Incremental encoder.  The streaming pipeline (Tracefile.open_writer,
+   Sink.to_file) hands the codec one ANALYZE chunk at a time; the run
+   state carried across calls is exactly the state the batch encoder
+   keeps between tokens — the previous raw word plus the pending
+   maximal-delta run — so the emitted bytes are identical no matter how
+   the words were split into chunks.  [encode] below is a thin wrapper,
+   keeping a single code path. *)
+
+type encoder = {
+  mutable e_prev : int;  (* last raw word seen *)
+  mutable e_delta : int;  (* delta shared by the pending run *)
+  mutable e_count : int;  (* pending run length; 0 = nothing pending *)
+}
+
+let encoder () = { e_prev = 0; e_delta = 0; e_count = 0 }
+
+let encoder_flush e buf =
+  if e.e_count > 0 then begin
+    if e.e_count > 1 then begin
+      put_varint buf ((zigzag e.e_delta lsl 1) lor 1);
+      put_varint buf (e.e_count - 1)
+    end
+    else put_varint buf (zigzag e.e_delta lsl 1);
+    e.e_count <- 0
+  end
+
+let encode_chunk e buf (words : int array) ~len =
+  for k = 0 to len - 1 do
+    let w = words.(k) in
+    let d = delta32 w e.e_prev in
+    e.e_prev <- w;
+    if e.e_count > 0 && d = e.e_delta then e.e_count <- e.e_count + 1
+    else begin
+      encoder_flush e buf;
+      e.e_delta <- d;
+      e.e_count <- 1
+    end
+  done
+
+let encode_finish = encoder_flush
 
 let encode (words : int array) : string =
-  let buf = Buffer.create (Array.length words) in
-  let n = Array.length words in
-  let prev = ref 0 in
-  let i = ref 0 in
-  while !i < n do
-    let d = delta32 words.(!i) !prev in
-    (* count additional words continuing the same stride *)
-    let run = ref 0 in
-    let p = ref words.(!i) in
-    while
-      !i + !run + 1 < n && delta32 words.(!i + !run + 1) !p = d
-    do
-      incr run;
-      p := words.(!i + !run)
-    done;
-    if !run > 0 then begin
-      put_varint buf ((zigzag d lsl 1) lor 1);
-      put_varint buf !run
-    end
-    else put_varint buf (zigzag d lsl 1);
-    prev := !p;
-    i := !i + !run + 1
-  done;
+  let buf = Buffer.create (Array.length words + 16) in
+  let e = encoder () in
+  encode_chunk e buf words ~len:(Array.length words);
+  encode_finish e buf;
   Buffer.contents buf
 
 (* Without this bound a hostile run-length token could claim a
@@ -91,39 +100,88 @@ let encode (words : int array) : string =
    word count should pass [?expect], which bounds the decode exactly. *)
 let max_decoded_words = 1 lsl 26
 
-let decode ?expect (s : string) : int array =
-  let out = Buffer.create (String.length s * 4) in
-  let n = String.length s in
-  let prev = ref 0 in
-  let pos = ref 0 in
-  let emitted = ref 0 in
+(* Incremental decoder: a byte-at-a-time state machine over the varint
+   token stream, emitting words through a callback so the caller never
+   holds more than its own chunk.  The carried state is the partially
+   accumulated varint (acc/shift), a completed run token still waiting
+   for its count varint, and the predictor word.  The checks — and their
+   messages — are the batch decoder's, in the same order. *)
+
+type decoder = {
+  d_emit : int -> unit;
+  d_limit : int;
+  d_expect : int option;
+  mutable d_acc : int;  (* varint accumulated so far *)
+  mutable d_shift : int;  (* next continuation byte's shift; 0 = idle *)
+  mutable d_tok : int;  (* run token awaiting its count varint; -1 = none *)
+  mutable d_prev : int;
+  mutable d_emitted : int;
+}
+
+let decoder ?expect ~emit () =
   let limit = match expect with Some e -> e | None -> max_decoded_words in
-  let emit w =
-    Buffer.add_int32_le out (Int32.of_int w);
-    prev := w
+  {
+    d_emit = emit;
+    d_limit = limit;
+    d_expect = expect;
+    d_acc = 0;
+    d_shift = 0;
+    d_tok = -1;
+    d_prev = 0;
+    d_emitted = 0;
+  }
+
+let decoder_run d delta count =
+  d.d_emitted <- d.d_emitted + count;
+  if d.d_emitted > d.d_limit then
+    raise (Corrupt (Printf.sprintf "decoded stream exceeds %d words" d.d_limit));
+  for _ = 1 to count do
+    d.d_prev <- (d.d_prev + delta) land mask32;
+    d.d_emit d.d_prev
+  done
+
+let decode_byte d c =
+  if d.d_shift > 62 then raise (Corrupt "varint overflow");
+  let b = Char.code c in
+  let acc = d.d_acc lor ((b land 0x7F) lsl d.d_shift) in
+  if acc < 0 then raise (Corrupt "varint overflow");
+  if b land 0x80 <> 0 then begin
+    d.d_acc <- acc;
+    d.d_shift <- d.d_shift + 7
+  end
+  else begin
+    d.d_acc <- 0;
+    d.d_shift <- 0;
+    if d.d_tok >= 0 then begin
+      (* [acc] is the extra-repeat count of the pending run token *)
+      let tok = d.d_tok in
+      d.d_tok <- -1;
+      decoder_run d (unzigzag (tok lsr 1)) (acc + 1)
+    end
+    else if acc land 1 = 1 then d.d_tok <- acc
+    else decoder_run d (unzigzag (acc lsr 1)) 1
+  end
+
+let decode_bytes d (s : string) ~pos ~len =
+  for i = pos to pos + len - 1 do
+    decode_byte d s.[i]
+  done
+
+let decode_finish d =
+  if d.d_shift > 0 || d.d_tok >= 0 then raise (Corrupt "truncated varint");
+  match d.d_expect with
+  | Some e when e <> d.d_emitted ->
+    raise (Corrupt (Printf.sprintf "decoded %d words, expected %d" d.d_emitted e))
+  | _ -> ()
+
+let decode ?expect (s : string) : int array =
+  let out = Buffer.create ((String.length s * 4) + 16) in
+  let d =
+    decoder ?expect ~emit:(fun w -> Buffer.add_int32_le out (Int32.of_int w)) ()
   in
-  while !pos < n do
-    let tok, p = get_varint s !pos in
-    let d = unzigzag (tok lsr 1) in
-    let extra, p =
-      if tok land 1 = 1 then get_varint s p else (0, p)
-    in
-    pos := p;
-    emitted := !emitted + extra + 1;
-    if !emitted > limit then
-      raise
-        (Corrupt
-           (Printf.sprintf "decoded stream exceeds %d words"
-              limit));
-    for _ = 0 to extra do
-      emit ((!prev + d) land mask32)
-    done
-  done;
+  decode_bytes d s ~pos:0 ~len:(String.length s);
+  decode_finish d;
   let nwords = Buffer.length out / 4 in
-  (match expect with
-  | Some e when e <> nwords ->
-    raise (Corrupt (Printf.sprintf "decoded %d words, expected %d" nwords e))
-  | _ -> ());
   let b = Buffer.to_bytes out in
   Array.init nwords (fun i ->
       Int32.to_int (Bytes.get_int32_le b (i * 4)) land mask32)
@@ -139,11 +197,15 @@ let decode ?expect (s : string) : int array =
    Tunix tapes through compress(1).  This is that second stage: LZSS with
    a 32KB window over the delta byte stream.
 
-   Wire format: groups of up to 8 items, each group led by a control byte
-   (bit i set = item i is a match).  A literal is one raw byte; a match is
-   a 2-byte little-endian back-distance (1..65535, <= bytes emitted) and a
-   1-byte length-minus-4 (matches span 4..259 bytes and may self-overlap,
-   RLE-style). *)
+   Wire format: groups of exactly 8 items, each group led by a control
+   byte (bit i set = item i is a match).  A literal is one raw byte; a
+   match is a 2-byte little-endian back-distance (1..65535, <= bytes
+   emitted) and a 1-byte length-minus-4 (matches span 4..259 bytes and
+   may self-overlap, RLE-style).  A distance of 0 is a padding item the
+   decoder skips: the packer fills the final group with them so every
+   complete stream is group-aligned — which makes the concatenation of
+   complete streams itself a valid stream, the property the block-
+   flushing {!Tracefile} writer relies on. *)
 
 let lz_min_match = 4
 let lz_max_match = 259
@@ -230,7 +292,16 @@ let lzss_pack (src : string) : string =
       incr i
     end
   done;
-  flush_group ();
+  (* group-align the tail with padding items (dist-0 matches, skipped by
+     the decoder), so complete streams concatenate into valid streams *)
+  if !nitems > 0 then begin
+    while !nitems < 8 do
+      ctrl := !ctrl lor (1 lsl !nitems);
+      Buffer.add_string items "\000\000\000";
+      incr nitems
+    done;
+    flush_group ()
+  end;
   Buffer.contents out
 
 (* The LZSS stage expands at most ~65x (a 4-byte match token yields up to
@@ -240,45 +311,93 @@ let lzss_pack (src : string) : string =
    largest stream {!decode} would accept anyway. *)
 let max_delta_bytes_per_word = 10 (* 5-byte token + 5-byte run varint *)
 
-let lzss_unpack ?(limit = max_decoded_words * max_delta_bytes_per_word)
-    (src : string) : string =
-  let n = String.length src in
-  let out = Buffer.create (min (n * 3) (limit + 1)) in
-  let pos = ref 0 in
-  let byte () =
-    if !pos >= n then raise (Corrupt "truncated LZSS stream");
-    let c = src.[!pos] in
-    incr pos;
-    c
-  in
-  let check_room len =
-    if Buffer.length out + len > limit then
-      raise (Corrupt (Printf.sprintf "LZSS stream exceeds %d bytes" limit))
-  in
-  while !pos < n do
-    let ctrl = Char.code (byte ()) in
-    let item = ref 0 in
-    while !item < 8 && !pos < n do
-      if ctrl land (1 lsl !item) <> 0 then begin
-        let lo = Char.code (byte ()) in
-        let hi = Char.code (byte ()) in
-        let len = Char.code (byte ()) + lz_min_match in
-        let dist = lo lor (hi lsl 8) in
-        let start = Buffer.length out - dist in
-        if dist = 0 || start < 0 then raise (Corrupt "bad LZSS distance");
-        check_room len;
-        (* may self-overlap: copy byte-at-a-time through the buffer *)
+(* Incremental LZSS decoder.  Matches reach back at most [lz_max_dist]
+   bytes, so a 64K ring of recent output is a complete history — the
+   decoder never holds the decompressed stream, only the ring plus a
+   partially read group (control byte, item index, up to two buffered
+   bytes of a split match token).  A chunk boundary may fall anywhere,
+   including inside a token.  Dist-0 match items are the packer's
+   group-alignment padding and emit nothing; end-of-input between items
+   is still accepted for leniency, though the packer always ends on a
+   group boundary. *)
+
+let lz_hist_size = 65536 (* power of two > lz_max_dist *)
+
+type lz_decoder = {
+  z_emit : char -> unit;
+  z_limit : int;
+  z_hist : Bytes.t;  (* ring of the last [lz_hist_size] output bytes *)
+  z_tok : Bytes.t;  (* partially received match token *)
+  mutable z_ctrl : int;
+  mutable z_item : int;  (* 8 = between groups: next byte is a control *)
+  mutable z_ntok : int;
+  mutable z_total : int;  (* output bytes emitted so far *)
+}
+
+let lz_decoder ?(limit = max_decoded_words * max_delta_bytes_per_word) ~emit ()
+    =
+  {
+    z_emit = emit;
+    z_limit = limit;
+    z_hist = Bytes.create lz_hist_size;
+    z_tok = Bytes.create 3;
+    z_ctrl = 0;
+    z_item = 8;
+    z_ntok = 0;
+    z_total = 0;
+  }
+
+let lz_out z c =
+  if z.z_total >= z.z_limit then
+    raise (Corrupt (Printf.sprintf "LZSS stream exceeds %d bytes" z.z_limit));
+  Bytes.set z.z_hist (z.z_total land (lz_hist_size - 1)) c;
+  z.z_total <- z.z_total + 1;
+  z.z_emit c
+
+let lz_decode_byte z c =
+  if z.z_item >= 8 then begin
+    z.z_ctrl <- Char.code c;
+    z.z_item <- 0
+  end
+  else if z.z_ctrl land (1 lsl z.z_item) <> 0 then begin
+    Bytes.set z.z_tok z.z_ntok c;
+    z.z_ntok <- z.z_ntok + 1;
+    if z.z_ntok = 3 then begin
+      z.z_ntok <- 0;
+      z.z_item <- z.z_item + 1;
+      let dist =
+        Char.code (Bytes.get z.z_tok 0)
+        lor (Char.code (Bytes.get z.z_tok 1) lsl 8)
+      in
+      let len = Char.code (Bytes.get z.z_tok 2) + lz_min_match in
+      let start = z.z_total - dist in
+      if dist = 0 then () (* padding item: group alignment, emits nothing *)
+      else if start < 0 then raise (Corrupt "bad LZSS distance")
+      else
+        (* may self-overlap: copy byte-at-a-time through the ring *)
         for k = 0 to len - 1 do
-          Buffer.add_char out (Buffer.nth out (start + k))
+          lz_out z (Bytes.get z.z_hist ((start + k) land (lz_hist_size - 1)))
         done
-      end
-      else begin
-        check_room 1;
-        Buffer.add_char out (byte ())
-      end;
-      incr item
-    done
-  done;
+    end
+  end
+  else begin
+    lz_out z c;
+    z.z_item <- z.z_item + 1
+  end
+
+let lz_decode_bytes z (s : string) ~pos ~len =
+  for i = pos to pos + len - 1 do
+    lz_decode_byte z s.[i]
+  done
+
+let lz_decode_finish z =
+  if z.z_ntok > 0 then raise (Corrupt "truncated LZSS stream")
+
+let lzss_unpack ?limit (src : string) : string =
+  let out = Buffer.create ((String.length src * 3) + 16) in
+  let z = lz_decoder ?limit ~emit:(Buffer.add_char out) () in
+  lz_decode_bytes z src ~pos:0 ~len:(String.length src);
+  lz_decode_finish z;
   Buffer.contents out
 
 (* ------------------------------------------------------------------ *)

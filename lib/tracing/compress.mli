@@ -52,3 +52,70 @@ val unpack : ?expect:int -> string -> int array
 val ratio : int array -> float
 (** {!pack}ed bytes over raw bytes ([4 * length]); 1.0 for the empty
     stream. *)
+
+(** {1 Incremental interfaces}
+
+    The streaming trace pipeline ({!Tracefile.open_writer},
+    {!Tracefile.fold_words}, [Sink.to_file]) never holds a whole trace;
+    these carry the codec state across chunk boundaries.  The batch
+    entry points above are thin wrappers over them, so chunked and
+    whole-array use share one code path: feeding the same words in any
+    chunking produces byte-identical output (qcheck-enforced). *)
+
+type encoder
+(** Delta/varint encoder state: the previous raw word plus the pending
+    maximal-delta run. *)
+
+val encoder : unit -> encoder
+
+val encode_chunk : encoder -> Buffer.t -> int array -> len:int -> unit
+(** Encode [words.(0 .. len-1)], appending tokens to the buffer.  A run
+    still open at the end of the chunk stays pending — it may continue
+    into the next chunk — so the buffer trails the input by at most one
+    token. *)
+
+val encode_finish : encoder -> Buffer.t -> unit
+(** Flush the pending run.  The concatenation of every chunk's bytes
+    plus this tail equals [encode] of the concatenated words. *)
+
+type decoder
+(** Delta/varint decoder state: partial varint, pending run token,
+    predictor word, emitted count. *)
+
+val decoder : ?expect:int -> emit:(int -> unit) -> unit -> decoder
+(** Words are pushed to [emit] as their tokens complete.  [?expect]
+    bounds the decode exactly and is checked by {!decode_finish};
+    without it the 2^26-word cap applies, as in {!decode}. *)
+
+val decode_byte : decoder -> char -> unit
+(** @raise Corrupt as {!decode} would (varint overflow, word cap). *)
+
+val decode_bytes : decoder -> string -> pos:int -> len:int -> unit
+
+val decode_finish : decoder -> unit
+(** @raise Corrupt on a token split by end-of-input ("truncated
+    varint") or an [?expect] word-count mismatch. *)
+
+type lz_decoder
+(** LZSS decoder state: a 64K ring of recent output (a complete history
+    — matches reach back at most 65535 bytes) plus the partially read
+    group, so memory stays O(1) regardless of stream size. *)
+
+val lz_decoder : ?limit:int -> emit:(char -> unit) -> unit -> lz_decoder
+(** Decompressed bytes are pushed to [emit] as they are recovered.
+    [limit] bounds the total output as in {!lzss_unpack}. *)
+
+val lz_decode_byte : lz_decoder -> char -> unit
+(** @raise Corrupt as {!lzss_unpack} would (bad distance, output
+    limit). *)
+
+val lz_decode_bytes : lz_decoder -> string -> pos:int -> len:int -> unit
+
+val lz_decode_finish : lz_decoder -> unit
+(** @raise Corrupt when end-of-input splits a match token ("truncated
+    LZSS stream"). *)
+
+val max_delta_bytes_per_word : int
+(** Worst-case delta/varint bytes one word can occupy; [expect *
+    max_delta_bytes_per_word] bounds the LZSS stage of an [expect]-word
+    decode (used by {!Tracefile}'s streaming reader). *)

@@ -575,95 +575,129 @@ let finish ?(live = []) t =
    drain framing, exception bracketing, END placement.  Used by
    `systrace check` on traces whose binaries are not at hand.  The scan
    never raises; it reports every violation it can see and keeps going
-   (re-deriving the framing optimistically after each one). *)
-let scan (words : int array) : error list =
-  let errs = ref [] in
-  let drain_pid = ref (-1) in
-  let drain_left = ref 0 in
-  let depth = ref 0 in
-  let ended_at = ref (-1) in
-  let flagged_after_end = ref false in
-  let add ~at ~source ~expected ~got message =
-    errs :=
-      {
-        at;
-        source;
-        expected;
-        got;
-        in_drain = !drain_pid;
-        exc_depth = !depth;
-        message;
-      }
-      :: !errs
-  in
-  Array.iteri
-    (fun i w ->
-      if !ended_at >= 0 then begin
-        if not !flagged_after_end then begin
-          add ~at:i ~source:Stream ~expected:"no words after the END marker"
-            ~got:w
-            (Printf.sprintf
-               "word %d: trace continues after END marker (at word %d)" i
-               !ended_at);
-          flagged_after_end := true
-        end
-      end
-      else if !drain_left = -2 then begin
-        if w < 0 || w > 1 lsl 24 then begin
-          add ~at:i ~source:(User !drain_pid)
-            ~expected:"a drain payload count below 2^24" ~got:w
-            (Printf.sprintf "word %d: implausible drain count %d" i w);
-          drain_left := 0;
-          drain_pid := -1
-        end
-        else begin
-          drain_left := w;
-          if w = 0 then drain_pid := -1
-        end
-      end
-      else if !drain_left > 0 then begin
-        drain_left := !drain_left - 1;
-        if Format_.is_marker w then
-          add ~at:i ~source:(User !drain_pid)
-            ~expected:"user words inside the drain payload" ~got:w
-            (Printf.sprintf "word %d: marker 0x%x inside a drain block" i w)
-        else if not (Format_.is_user_addr w) then
-          add ~at:i ~source:(User !drain_pid)
-            ~expected:"user-space addresses inside the drain payload" ~got:w
-            (Printf.sprintf "word %d: kernel address 0x%x inside a user drain \
-                             block" i w);
-        if !drain_left = 0 then drain_pid := -1
-      end
-      else if Format_.is_marker w then begin
-        let kind = Format_.marker_kind w in
-        if kind > Format_.kind_end then
-          add ~at:i ~source:Stream ~expected:"a marker kind the format defines"
-            ~got:w
-            (Printf.sprintf "word %d: unknown marker kind in 0x%x" i w)
-        else if kind = Format_.kind_drain then begin
-          drain_pid := Format_.marker_arg w;
-          drain_left := -2
-        end
-        else if kind = Format_.kind_exc_enter then incr depth
-        else if kind = Format_.kind_exc_exit then begin
-          if !depth = 0 then
-            add ~at:i ~source:Stream ~expected:"a matching EXC_ENTER" ~got:w
-              (Printf.sprintf "word %d: exception exit at depth 0" i)
-          else decr depth
-        end
-        else if kind = Format_.kind_end then ended_at := i
-      end)
-    words;
-  let n = Array.length words in
-  if !drain_left > 0 || !drain_left = -2 then
-    add ~at:n ~source:(User !drain_pid)
-      ~expected:"a complete drain payload" ~got:!drain_left
+   (re-deriving the framing optimistically after each one).
+
+   The scanner is a persistent state machine fed one chunk at a time so
+   `systrace check` can stream a stored trace through [Tracefile.fold_words]
+   in bounded memory; {!scan} is the whole-array wrapper.  The carried
+   state is exactly what the per-word logic threads between words — drain
+   framing, exception depth, END position — so chunking cannot change the
+   diagnoses. *)
+
+type scanner = {
+  mutable c_errs : error list;  (* newest first *)
+  mutable c_drain_pid : int;
+  mutable c_drain_left : int;
+  mutable c_depth : int;
+  mutable c_ended_at : int;
+  mutable c_flagged_after_end : bool;
+  mutable c_words : int;  (* words scanned so far, = next word's index *)
+}
+
+let scanner () =
+  {
+    c_errs = [];
+    c_drain_pid = -1;
+    c_drain_left = 0;
+    c_depth = 0;
+    c_ended_at = -1;
+    c_flagged_after_end = false;
+    c_words = 0;
+  }
+
+let scan_add c ~at ~source ~expected ~got message =
+  c.c_errs <-
+    {
+      at;
+      source;
+      expected;
+      got;
+      in_drain = c.c_drain_pid;
+      exc_depth = c.c_depth;
+      message;
+    }
+    :: c.c_errs
+
+let scan_word c w =
+  let i = c.c_words in
+  c.c_words <- i + 1;
+  if c.c_ended_at >= 0 then begin
+    if not c.c_flagged_after_end then begin
+      scan_add c ~at:i ~source:Stream
+        ~expected:"no words after the END marker" ~got:w
+        (Printf.sprintf "word %d: trace continues after END marker (at word %d)"
+           i c.c_ended_at);
+      c.c_flagged_after_end <- true
+    end
+  end
+  else if c.c_drain_left = -2 then begin
+    if w < 0 || w > 1 lsl 24 then begin
+      scan_add c ~at:i ~source:(User c.c_drain_pid)
+        ~expected:"a drain payload count below 2^24" ~got:w
+        (Printf.sprintf "word %d: implausible drain count %d" i w);
+      c.c_drain_left <- 0;
+      c.c_drain_pid <- -1
+    end
+    else begin
+      c.c_drain_left <- w;
+      if w = 0 then c.c_drain_pid <- -1
+    end
+  end
+  else if c.c_drain_left > 0 then begin
+    c.c_drain_left <- c.c_drain_left - 1;
+    if Format_.is_marker w then
+      scan_add c ~at:i ~source:(User c.c_drain_pid)
+        ~expected:"user words inside the drain payload" ~got:w
+        (Printf.sprintf "word %d: marker 0x%x inside a drain block" i w)
+    else if not (Format_.is_user_addr w) then
+      scan_add c ~at:i ~source:(User c.c_drain_pid)
+        ~expected:"user-space addresses inside the drain payload" ~got:w
+        (Printf.sprintf "word %d: kernel address 0x%x inside a user drain \
+                         block" i w);
+    if c.c_drain_left = 0 then c.c_drain_pid <- -1
+  end
+  else if Format_.is_marker w then begin
+    let kind = Format_.marker_kind w in
+    if kind > Format_.kind_end then
+      scan_add c ~at:i ~source:Stream
+        ~expected:"a marker kind the format defines" ~got:w
+        (Printf.sprintf "word %d: unknown marker kind in 0x%x" i w)
+    else if kind = Format_.kind_drain then begin
+      c.c_drain_pid <- Format_.marker_arg w;
+      c.c_drain_left <- -2
+    end
+    else if kind = Format_.kind_exc_enter then c.c_depth <- c.c_depth + 1
+    else if kind = Format_.kind_exc_exit then begin
+      if c.c_depth = 0 then
+        scan_add c ~at:i ~source:Stream ~expected:"a matching EXC_ENTER" ~got:w
+          (Printf.sprintf "word %d: exception exit at depth 0" i)
+      else c.c_depth <- c.c_depth - 1
+    end
+    else if kind = Format_.kind_end then c.c_ended_at <- i
+  end
+
+let scan_feed c (words : int array) ~len =
+  for k = 0 to len - 1 do
+    scan_word c words.(k)
+  done
+
+let scan_finish c : error list =
+  let n = c.c_words in
+  if c.c_drain_left > 0 || c.c_drain_left = -2 then
+    scan_add c ~at:n ~source:(User c.c_drain_pid)
+      ~expected:"a complete drain payload" ~got:c.c_drain_left
       (Printf.sprintf "end of trace: drain for pid %d truncated (%s)"
-         !drain_pid
-         (if !drain_left = -2 then "count word missing"
-          else Printf.sprintf "%d payload words missing" !drain_left));
-  if !depth > 0 then
-    add ~at:n ~source:(Kernel !depth) ~expected:"exception depth 0 at end of \
-                                                 trace" ~got:!depth
-      (Printf.sprintf "end of trace: %d exception level(s) never exited" !depth);
-  List.rev !errs
+         c.c_drain_pid
+         (if c.c_drain_left = -2 then "count word missing"
+          else Printf.sprintf "%d payload words missing" c.c_drain_left));
+  if c.c_depth > 0 then
+    scan_add c ~at:n ~source:(Kernel c.c_depth)
+      ~expected:"exception depth 0 at end of trace" ~got:c.c_depth
+      (Printf.sprintf "end of trace: %d exception level(s) never exited"
+         c.c_depth);
+  List.rev c.c_errs
+
+let scan (words : int array) : error list =
+  let c = scanner () in
+  scan_feed c words ~len:(Array.length words);
+  scan_finish c

@@ -136,3 +136,20 @@ val scan : int array -> error list
     every violation it can see (the first only, for trailing garbage
     after END) and keeps going.  Used by [systrace check] on traces whose
     binaries are not at hand. *)
+
+type scanner
+(** {!scan}'s state machine, exposed so a stored trace can be scanned
+    chunk by chunk (e.g. through [Tracefile.fold_words]) in bounded
+    memory.  The carried state is exactly what the scan threads between
+    words, so chunking cannot change the diagnoses: for any split,
+    feeding the pieces yields the same list {!scan} gives the
+    concatenation. *)
+
+val scanner : unit -> scanner
+
+val scan_feed : scanner -> int array -> len:int -> unit
+(** Scan the next [len] words.  Never raises. *)
+
+val scan_finish : scanner -> error list
+(** Run the end-of-input checks (truncated drain, unexited exception
+    levels) and return every diagnosis in stream order. *)

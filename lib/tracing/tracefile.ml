@@ -112,3 +112,201 @@ let load path : int array =
       with
       | End_of_file -> bad "truncated file"
       | Invalid_argument _ -> bad "malformed header")
+
+(* ------------------------------------------------------------------ *)
+(* Streaming interfaces.
+
+   [save]/[load] above materialize the whole word array; the streaming
+   pipeline must not.  The writer accepts ANALYZE-phase chunks as they
+   arrive and patches the header counts on close; the reader folds over
+   a stored file chunk by chunk.  Peak memory on both sides is O(chunk),
+   not O(trace).
+
+   The version-2 writer cannot hold the whole delta stream either, so it
+   LZSS-packs it in ~1 MB blocks.  The concatenation of complete LZSS
+   streams is itself a valid LZSS stream: the packer pads each stream's
+   final control-byte group to a full 8 items (so the next block's first
+   byte is read as a fresh control byte, never as a leftover item), and
+   match distances are relative — each block's matches only reach into
+   that block's own plaintext, which sits at the same relative offset in
+   the concatenation.  So [load] and [fold_words] read block-flushed
+   files with the same decoder, and files whose delta stream fits one
+   block are byte-for-byte what [save ~compress:true] writes. *)
+
+type writer = {
+  w_oc : out_channel;
+  w_compress : bool;
+  w_enc : Compress.encoder;
+  w_pend : Buffer.t;  (* delta bytes awaiting an LZSS block flush *)
+  mutable w_payload : int;  (* v2 payload bytes written so far *)
+  mutable w_words : int;
+  mutable w_closed : bool;
+}
+
+let writer_block_bytes = 1 lsl 20
+
+let open_writer ?(compress = false) path =
+  let oc = open_out_bin path in
+  output_string oc magic;
+  (* word count (and v2 payload size) are patched by [close_writer] *)
+  let hdr = Bytes.make (if compress then 12 else 8) '\000' in
+  Bytes.set_int32_le hdr 0 (if compress then 2l else 1l);
+  output_bytes oc hdr;
+  {
+    w_oc = oc;
+    w_compress = compress;
+    w_enc = Compress.encoder ();
+    w_pend = Buffer.create (if compress then 65536 else 16);
+    w_payload = 0;
+    w_words = 0;
+    w_closed = false;
+  }
+
+let writer_flush_block w =
+  if Buffer.length w.w_pend > 0 then begin
+    let z = Compress.lzss_pack (Buffer.contents w.w_pend) in
+    Buffer.clear w.w_pend;
+    output_string w.w_oc z;
+    w.w_payload <- w.w_payload + String.length z
+  end
+
+let write w (words : int array) ~len =
+  if w.w_closed then invalid_arg "Tracefile.write: writer is closed";
+  for i = 0 to len - 1 do
+    let v = words.(i) in
+    if v < 0 || v > 0xFFFFFFFF then
+      invalid_arg
+        (Printf.sprintf
+           "Tracefile.write: word %d (0x%x) outside the 32-bit trace-word \
+            range"
+           (w.w_words + i) v)
+  done;
+  if w.w_words + len > max_words then
+    invalid_arg
+      (Printf.sprintf "Tracefile.write: trace exceeds the %d-word cap"
+         max_words);
+  if w.w_compress then begin
+    Compress.encode_chunk w.w_enc w.w_pend words ~len;
+    if Buffer.length w.w_pend >= writer_block_bytes then writer_flush_block w
+  end
+  else begin
+    let buf = Bytes.create (len * 4) in
+    for i = 0 to len - 1 do
+      Bytes.set_int32_le buf (i * 4) (Int32.of_int words.(i))
+    done;
+    output_bytes w.w_oc buf
+  end;
+  w.w_words <- w.w_words + len
+
+let close_writer w =
+  if not w.w_closed then begin
+    w.w_closed <- true;
+    Fun.protect
+      ~finally:(fun () -> close_out w.w_oc)
+      (fun () ->
+        if w.w_compress then begin
+          Compress.encode_finish w.w_enc w.w_pend;
+          writer_flush_block w
+        end;
+        seek_out w.w_oc 8;
+        let tl = Bytes.create (if w.w_compress then 8 else 4) in
+        Bytes.set_int32_le tl 0 (Int32.of_int w.w_words);
+        if w.w_compress then Bytes.set_int32_le tl 4 (Int32.of_int w.w_payload);
+        output_bytes w.w_oc tl)
+  end;
+  w.w_words
+
+(* Exceptions raised by the caller's [f] must escape [fold_words] as
+   themselves, not be swallowed into [Bad_file] by the totality net
+   below. *)
+exception Escape of exn
+
+let fold_words ?(chunk_words = 65536) path ~init ~f =
+  if chunk_words <= 0 then
+    invalid_arg "Tracefile.fold_words: chunk_words must be positive";
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let bad fmt =
+        Printf.ksprintf (fun m -> raise (Bad_file (path ^ ": " ^ m))) fmt
+      in
+      let acc = ref init in
+      let apply chunk len =
+        match f !acc chunk ~len with
+        | a -> acc := a
+        | exception e -> raise (Escape e)
+      in
+      try
+        let file_len = in_channel_length ic in
+        let m = really_input_string ic 4 in
+        if m <> magic then bad "not a trace file";
+        let hdr = Bytes.create 8 in
+        really_input ic hdr 0 8;
+        let v = Int32.to_int (Bytes.get_int32_le hdr 0) in
+        let n = Int32.to_int (Bytes.get_int32_le hdr 4) in
+        if n < 0 then bad "negative length";
+        if n > max_words then
+          bad "word count %d exceeds the %d-word cap" n max_words;
+        (match v with
+        | 1 ->
+          if file_len - 12 < n * 4 then
+            bad
+              "truncated: header claims %d words, file holds %d bytes of \
+               payload"
+              n (file_len - 12);
+          let chunk = Array.make (max 1 (min chunk_words n)) 0 in
+          let buf = Bytes.create (Array.length chunk * 4) in
+          let remaining = ref n in
+          while !remaining > 0 do
+            let k = min (Array.length chunk) !remaining in
+            really_input ic buf 0 (k * 4);
+            for i = 0 to k - 1 do
+              chunk.(i) <-
+                Int32.to_int (Bytes.get_int32_le buf (i * 4)) land 0xFFFFFFFF
+            done;
+            apply chunk k;
+            remaining := !remaining - k
+          done
+        | 2 ->
+          let lenb = Bytes.create 4 in
+          really_input ic lenb 0 4;
+          let len = Int32.to_int (Bytes.get_int32_le lenb 0) in
+          if len < 0 then bad "negative payload";
+          if file_len - 16 < len then
+            bad "truncated: header claims %d payload bytes, file holds %d" len
+              (file_len - 16);
+          let chunk = Array.make chunk_words 0 in
+          let fill = ref 0 in
+          let emit_word w =
+            chunk.(!fill) <- w;
+            incr fill;
+            if !fill = chunk_words then begin
+              apply chunk chunk_words;
+              fill := 0
+            end
+          in
+          let d = Compress.decoder ~expect:n ~emit:emit_word () in
+          let lz_limit = (n * Compress.max_delta_bytes_per_word) + 16 in
+          let z =
+            Compress.lz_decoder ~limit:lz_limit ~emit:(Compress.decode_byte d)
+              ()
+          in
+          (try
+             let left = ref len in
+             while !left > 0 do
+               let k = min !left 65536 in
+               let s = really_input_string ic k in
+               Compress.lz_decode_bytes z s ~pos:0 ~len:k;
+               left := !left - k
+             done;
+             Compress.lz_decode_finish z;
+             Compress.decode_finish d
+           with Compress.Corrupt msg -> bad "%s" msg);
+          if !fill > 0 then apply chunk !fill
+        | v -> bad "version %d unsupported" v);
+        !acc
+      with
+      | Escape e -> raise e
+      | End_of_file -> bad "truncated file"
+      | Invalid_argument _ -> bad "malformed header")

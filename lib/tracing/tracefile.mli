@@ -26,3 +26,48 @@ val load : string -> int array
     buffer is allocated (fuzzed in the test suite).
     @raise Bad_file on bad magic, version, truncation, oversized or
     lying counts, or corrupt payload. *)
+
+(** {1 Streaming interfaces}
+
+    {!save}/{!load} materialize the whole word array; the streaming
+    pipeline must not.  The writer accepts ANALYZE-phase chunks as they
+    arrive; the reader folds over a stored file chunk by chunk.  Peak
+    memory on both sides is O(chunk), not O(trace). *)
+
+type writer
+
+val open_writer : ?compress:bool -> string -> writer
+(** Start a trace file of the given format (the header's word count is
+    patched on close, so the destination must be seekable — a regular
+    file, not a pipe).  With [~compress:true] the delta stream is
+    LZSS-packed in ~1 MB blocks as it grows; each block is group-aligned
+    by the packer, so concatenated blocks form a valid stream — {!load}
+    and {!fold_words} read the result with the same decoder, and a trace
+    whose delta stream fits one block is byte-for-byte what
+    [save ~compress:true] writes. *)
+
+val write : writer -> int array -> len:int -> unit
+(** Append [words.(0 .. len-1)].  The array is consumed before return
+    and never retained.
+    @raise Invalid_argument on a word outside the 32-bit trace-word
+    range (named by its stream index), on exceeding {!max_words}, or if
+    the writer is closed. *)
+
+val close_writer : writer -> int
+(** Flush the pending block, patch the header counts, close the file;
+    returns the total words written.  Idempotent. *)
+
+val fold_words :
+  ?chunk_words:int ->
+  string ->
+  init:'a ->
+  f:('a -> int array -> len:int -> 'a) ->
+  'a
+(** Fold [f] over a stored trace's words in chunks of at most
+    [chunk_words] (default 65536) — the streaming counterpart of
+    {!load}, with the same totality contract: any malformed input
+    raises {!Bad_file} (possibly after some chunks were already
+    delivered — a corrupt tail is only discovered when reached).  The
+    chunk array is reused between calls; [f] must copy what it keeps.
+    Exceptions raised by [f] itself propagate unchanged.
+    @raise Bad_file as {!load}. *)

@@ -278,17 +278,18 @@ let buffer_sweep_table ?(wname = "compress") ?(jobs = 1) () =
             Systrace_tracing.Parser.register_pid p ~pid:pi.pid
               (Option.get pi.bbs))
           b.Builder.procs;
-        let words = ref 0 in
+        let counter, words = Systrace_tracing.Sink.counting () in
+        let sink =
+          Systrace_tracing.Sink.tee
+            [ counter; Systrace_tracing.Sink.to_parser p ]
+        in
         b.Builder.trace_sink <-
-          Some
-            (fun ws len ->
-              words := !words + len;
-              Systrace_tracing.Parser.feed p ws ~len);
+          Some (fun ws len -> sink.Systrace_tracing.Sink.on_words ws ~len);
         (match Builder.run b ~max_insns:2_000_000_000 with
         | Systrace_machine.Machine.Halt -> ()
         | Systrace_machine.Machine.Limit -> failwith "buffer sweep: no halt");
         Builder.drain_final b;
-        Systrace_tracing.Parser.finish p;
+        sink.Systrace_tracing.Sink.finish ();
         let stats = Systrace_tracing.Parser.stats p in
         (* disk completions whose trace was lost: total disk ops minus the
            ones we can see; approximate dirt indicator via mode transitions *)
@@ -301,7 +302,7 @@ let buffer_sweep_table ?(wname = "compress") ?(jobs = 1) () =
                .Systrace_machine.Disk.reads
             + b.Builder.machine.Systrace_machine.Machine.disk
                 .Systrace_machine.Disk.writes);
-          string_of_int !words;
+          string_of_int (words ());
         ])
       [ 64; 128; 256; 1024; 4096 ]
   in
@@ -442,13 +443,14 @@ let corruption_table ?(wname = "egrep") ?(trials = 300) ?(seed = 7) () =
   let b =
     Builder.build ~cfg ~programs:[ e.Suite.program () ] ~files:e.Suite.files ()
   in
-  let chunks = ref [] in
-  b.Builder.trace_sink <- Some (fun ws len -> chunks := Array.sub ws 0 len :: !chunks);
+  let capture, trace = Systrace_tracing.Sink.to_array () in
+  b.Builder.trace_sink <-
+    Some (fun ws len -> capture.Systrace_tracing.Sink.on_words ws ~len);
   (match Builder.run b ~max_insns:2_000_000_000 with
   | Systrace_machine.Machine.Halt -> ()
   | Systrace_machine.Machine.Limit -> failwith "corruption: no halt");
   Builder.drain_final b;
-  let words = Array.concat (List.rev !chunks) in
+  let words = trace () in
   let kernel_bbs = Option.get b.Builder.kernel_bbs in
   let user_bbs =
     List.filter_map (fun (p : Builder.proc_info) -> p.bbs) b.Builder.procs
@@ -576,14 +578,14 @@ let faults_table ?(wname = "egrep") ?(trials = 40) ?(seed = 11)
   let b =
     Builder.build ~cfg ~programs:[ e.Suite.program () ] ~files:e.Suite.files ()
   in
-  let chunks = ref [] in
+  let capture, trace = Systrace_tracing.Sink.to_array () in
   b.Builder.trace_sink <-
-    Some (fun ws len -> chunks := Array.sub ws 0 len :: !chunks);
+    Some (fun ws len -> capture.Systrace_tracing.Sink.on_words ws ~len);
   (match Builder.run b ~max_insns:2_000_000_000 with
   | Systrace_machine.Machine.Halt -> ()
   | Systrace_machine.Machine.Limit -> failwith "faults: no halt");
   Builder.drain_final b;
-  let words = Array.concat (List.rev !chunks) in
+  let words = trace () in
   let kernel_bbs = Option.get b.Builder.kernel_bbs in
   let user_bbs =
     List.filter_map (fun (p : Builder.proc_info) -> p.bbs) b.Builder.procs
@@ -751,15 +753,14 @@ let drain_ablation_table ?(wname = "sed") () =
     (* virtual-indexed stand-in map (identity-ish): the page map is only
        extractable after the run, and the comparison between the two
        policies only needs a fixed translation *)
-    let handlers = Systrace_tracesim.Memsim.handlers sim in
-    Systrace_tracing.Parser.set_handlers p handlers;
+    let sink = Systrace_tracesim.Memsim.sink sim p in
     b.Builder.trace_sink <-
-      Some (fun ws len -> Systrace_tracing.Parser.feed p ws ~len);
+      Some (fun ws len -> sink.Systrace_tracing.Sink.on_words ws ~len);
     (match Builder.run b ~max_insns:2_000_000_000 with
     | Systrace_machine.Machine.Halt -> ()
     | Systrace_machine.Machine.Limit -> failwith "drain ablation: no halt");
     Builder.drain_final b;
-    Systrace_tracing.Parser.finish p;
+    sink.Systrace_tracing.Sink.finish ();
     (String.trim (Builder.console b),
      Systrace_tracing.Parser.stats p,
      Systrace_tracesim.Memsim.stats sim,

@@ -52,6 +52,7 @@ type prediction = {
   p_mem : Memsim.stats;
   p_traced_insts : int;      (* instructions the traced machine executed *)
   p_tlbdropins : int;
+  p_peak_words : int;        (* largest ANALYZE chunk: peak resident words *)
 }
 
 let base_cfg os pagemap seed =
@@ -172,17 +173,23 @@ let predict ?pagemap ?(seed = 1) ?(arith_stalls = -1) os spec : prediction =
         tlb_entries = 64;
       }
   in
-  Parser.set_handlers parser (Memsim.handlers sim);
-  t.Builder.trace_sink <- Some (fun words len -> Parser.feed parser words ~len);
-  run_to_halt t;
-  Builder.drain_final t;
+  (* The prediction is fully online (paper §4.3): each ANALYZE phase's
+     chunk drives the parser and memory simulation as it is drained, so
+     peak resident trace words is the largest chunk — O(in-kernel
+     buffer) — not the trace length.  The peak branch of the tee is the
+     witness the stream bench checks against the buffer size. *)
   let live =
     List.filter_map
       (fun (pi : Builder.proc_info) ->
         if pi.prog.Builder.is_server then Some pi.pid else None)
       t.Builder.procs
   in
-  Parser.finish ~live parser;
+  let peak_sink, peak_words = Sink.peak () in
+  let sink = Sink.tee [ peak_sink; Memsim.sink ~live sim parser ] in
+  t.Builder.trace_sink <- Some (fun words len -> sink.Sink.on_words words ~len);
+  run_to_halt t;
+  Builder.drain_final t;
+  sink.Sink.finish ();
   (* The arithmetic-stall estimate comes from the caller (usually the
      measured pass's ideal-memory run) or is recomputed here. *)
   let arith =
@@ -204,6 +211,7 @@ let predict ?pagemap ?(seed = 1) ?(arith_stalls = -1) os spec : prediction =
     p_traced_insts =
       t.Builder.machine.Systrace_machine.Machine.c.Systrace_machine.Machine.instructions;
     p_tlbdropins = Builder.tlbdropins t;
+    p_peak_words = peak_words ();
   }
 
 (* ------------------------------------------------------------------ *)

@@ -44,6 +44,10 @@ type prediction = {
   p_mem : Memsim.stats;
   p_traced_insts : int;
   p_tlbdropins : int;
+  p_peak_words : int;
+      (** largest ANALYZE chunk fed to the online parse+simulate sink —
+          the predicted run's peak resident trace words, bounded by the
+          in-kernel buffer size rather than the trace length *)
 }
 
 val measure : ?pagemap:Kcfg.pagemap -> ?machine_cfg:Systrace_machine.Machine.config -> ?seed:int -> os -> spec -> measurement

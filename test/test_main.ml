@@ -5,6 +5,7 @@ let () =
       ("isa", Test_isa.tests);
       ("machine", Test_machine.tests);
       ("tracing", Test_tracing.tests);
+      ("stream", Test_stream.tests);
       ("epoxie", Test_epoxie.tests);
       ("kernel", Test_kernel.tests);
       ("tracesim", Test_tracesim.tests);

@@ -1054,3 +1054,484 @@ let tests =
       QCheck_alcotest.to_alcotest prop_tracefile_load_total;
       Alcotest.test_case "compress: lzss output limit" `Quick test_lzss_limit;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Streaming pipeline: the chunked codecs, sinks, writer/reader and
+   scanner must be observably identical to their whole-array batch
+   counterparts on ARBITRARY chunkings — the invariant that lets the
+   trace-analysis side run online over ANALYZE-phase chunks (paper 4.3)
+   without a whole trace ever existing in one place. *)
+
+(* Cut [0, total) into (pos, len) slices whose lengths cycle through
+   [sizes] (non-positive entries are skipped; all-non-positive falls back
+   to one whole slice). *)
+let cuts_of sizes total =
+  if List.for_all (fun s -> s <= 0) sizes then [ (0, total) ]
+  else begin
+    let rec go pos ss acc =
+      if pos >= total then List.rev acc
+      else
+        let s, rest = match ss with s :: r -> (s, r) | [] -> assert false in
+        let rest = if rest = [] then sizes else rest in
+        let len = min (max s 0) (total - pos) in
+        if len = 0 then go pos rest acc
+        else go (pos + len) rest ((pos, len) :: acc)
+    in
+    go 0 sizes []
+  end
+
+let gen_sizes = QCheck.Gen.(list_size (int_range 1 6) (int_range 0 13))
+
+let gen_words_arr =
+  QCheck.Gen.(
+    map Array.of_list
+      (list_size (int_range 0 400)
+         (oneof
+            [
+              map (fun i -> 0x40000000 + (4 * i)) (int_bound 4096);
+              map (fun i -> i land 0xFFFFFFFF) (int_bound max_int);
+            ])))
+
+let prop_encoder_chunked =
+  QCheck.Test.make ~count:300
+    ~name:"compress: chunked encode is byte-identical to batch encode"
+    (QCheck.make
+       ~print:(fun (ws, _) -> Printf.sprintf "<%d words>" (Array.length ws))
+       (QCheck.Gen.pair gen_words_arr gen_sizes))
+    (fun (words, sizes) ->
+      let e = Compress.encoder () in
+      let buf = Buffer.create 64 in
+      List.iter
+        (fun (pos, len) ->
+          Compress.encode_chunk e buf (Array.sub words pos len) ~len)
+        (cuts_of sizes (Array.length words));
+      Compress.encode_finish e buf;
+      Buffer.contents buf = Compress.encode words)
+
+let prop_decoder_chunked =
+  QCheck.Test.make ~count:300
+    ~name:"compress: chunked decode == batch decode on any byte split"
+    (QCheck.make
+       ~print:(fun (ws, _) -> Printf.sprintf "<%d words>" (Array.length ws))
+       (QCheck.Gen.pair gen_words_arr gen_sizes))
+    (fun (words, sizes) ->
+      let s = Compress.encode words in
+      let out = ref [] in
+      let d =
+        Compress.decoder ~expect:(Array.length words)
+          ~emit:(fun w -> out := w :: !out)
+          ()
+      in
+      List.iter
+        (fun (pos, len) -> Compress.decode_bytes d s ~pos ~len)
+        (cuts_of sizes (String.length s));
+      Compress.decode_finish d;
+      Array.of_list (List.rev !out) = words)
+
+let prop_lz_decoder_chunked =
+  QCheck.Test.make ~count:300
+    ~name:"compress: chunked lzss decode == batch unpack on any byte split"
+    (QCheck.make
+       (QCheck.Gen.pair
+          QCheck.Gen.(
+            oneof
+              [
+                string_size (int_range 0 2000);
+                map
+                  (fun (pat, reps) ->
+                    String.concat "" (List.init (reps + 1) (fun _ -> pat)))
+                  (pair (string_size (int_range 1 12)) (int_bound 200));
+              ])
+          gen_sizes))
+    (fun (s, sizes) ->
+      let packed = Compress.lzss_pack s in
+      let buf = Buffer.create (String.length s) in
+      let z = Compress.lz_decoder ~emit:(Buffer.add_char buf) () in
+      List.iter
+        (fun (pos, len) -> Compress.lz_decode_bytes z packed ~pos ~len)
+        (cuts_of sizes (String.length packed));
+      Compress.lz_decode_finish z;
+      Buffer.contents buf = s)
+
+(* Parser.feed across arbitrary chunk boundaries: the persistent per-source
+   state (split drains, open EXC brackets, block records awaiting their
+   data words, recovery resync) must make chunking unobservable — on valid
+   traces, faulted traces and word salad, in strict and recovery mode. *)
+let run_parser_r_chunks ~recover cuts words =
+  let p =
+    Parser.create ~debug:false ~recover ~kernel_bbs:(synth_kernel_table ()) ()
+  in
+  Parser.register_pid p ~pid:1 (user_table ());
+  let evs = ref [] in
+  Parser.set_handlers p
+    {
+      Parser.on_inst =
+        (fun addr pid kernel -> evs := (`I, addr, pid, kernel, false, 0) :: !evs);
+      on_data =
+        (fun addr pid kernel is_load bytes ->
+          evs := (`D, addr, pid, kernel, is_load, bytes) :: !evs);
+    };
+  let outcome =
+    match
+      List.iter
+        (fun (pos, len) -> Parser.feed p (Array.sub words pos len) ~len)
+        cuts;
+      Parser.finish p
+    with
+    | () -> P_ok
+    | exception Parser.Corrupt msg -> P_corrupt msg
+    | exception Format_.Bad_marker w -> P_bad_marker w
+  in
+  (outcome, List.rev !evs, Parser.stats p, Parser.errors p, Parser.skipped p)
+
+let prop_feed_chunk_invariant =
+  QCheck.Test.make ~count:300
+    ~name:"parser: chunked feed == single feed (strict and recovery)"
+    (QCheck.make
+       ~print:(fun (ws, _, r) ->
+         Printf.sprintf "<%d words, recover=%b>" (Array.length ws) r)
+       (QCheck.Gen.triple gen_recover_equiv_words gen_sizes QCheck.Gen.bool))
+    (fun (words, sizes, recover) ->
+      run_parser_r_chunks ~recover (cuts_of sizes (Array.length words)) words
+      = run_parser_r ~debug:false ~recover words)
+
+(* Deterministic regression for the nastiest boundary placements: a DRAIN
+   marker, its count word and its payload each in a different feed; EXC
+   brackets and the bracketed block split from each other; a block record
+   split from its data words. *)
+let test_chunk_boundary_regression () =
+  let words =
+    [|
+      0x80100000;                                 (* kernel bb, 2 data words *)
+      0xC0000123;
+      Format_.marker_word (Format_.Exc_enter 0);  (* nested mid-block *)
+      0x80100040;
+      Format_.marker_word Format_.Exc_exit;
+      0x80300040;                                 (* first block completes *)
+      Format_.marker_word (Format_.Pid_switch 1);
+      Format_.marker_word (Format_.Drain 1);
+      3;
+      0x00410000;                                 (* user bb *)
+      0x00500000;
+      0x00500004;
+      Format_.marker_word (Format_.Drain 1);      (* empty drain *)
+      0;
+    |]
+  in
+  let whole = run_parser_r_chunks ~recover:false [ (0, 14) ] words in
+  List.iter
+    (fun cuts ->
+      Alcotest.(check bool)
+        (Printf.sprintf "split at %s"
+           (String.concat ","
+              (List.map (fun (p, l) -> Printf.sprintf "%d+%d" p l) cuts)))
+        true
+        (run_parser_r_chunks ~recover:false cuts words = whole))
+    [
+      List.init 14 (fun i -> (i, 1));             (* every word its own feed *)
+      [ (0, 8); (8, 1); (9, 3); (12, 2) ];        (* count split from payload *)
+      [ (0, 3); (3, 2); (5, 9) ];                 (* EXC brackets split *)
+      [ (0, 1); (1, 13) ];                        (* record split from data *)
+      [ (0, 9); (9, 1); (10, 1); (11, 1); (12, 2) ]; (* payload word-by-word *)
+    ]
+
+let prop_scanner_chunked =
+  QCheck.Test.make ~count:300
+    ~name:"scanner: chunked scan_feed == whole-array scan"
+    (QCheck.make
+       ~print:(fun (ws, _) -> Printf.sprintf "<%d words>" (Array.length ws))
+       (QCheck.Gen.pair
+          (QCheck.Gen.oneof
+             [
+               gen_mixed_words;
+               QCheck.Gen.(
+                 map Array.of_list
+                   (list_size (int_range 0 200)
+                      (oneof
+                         [
+                           map (fun i -> i land 0xFFFFFFFF) (int_bound max_int);
+                           map
+                             (fun i -> 0xBFFF0000 lor (i land 0xFFFF))
+                             (int_bound max_int);
+                         ])));
+             ])
+          gen_sizes))
+    (fun (words, sizes) ->
+      let c = Parser.scanner () in
+      List.iter
+        (fun (pos, len) -> Parser.scan_feed c (Array.sub words pos len) ~len)
+        (cuts_of sizes (Array.length words));
+      Parser.scan_finish c = Parser.scan words)
+
+let tests =
+  tests
+  @ [
+      QCheck_alcotest.to_alcotest prop_encoder_chunked;
+      QCheck_alcotest.to_alcotest prop_decoder_chunked;
+      QCheck_alcotest.to_alcotest prop_lz_decoder_chunked;
+      QCheck_alcotest.to_alcotest prop_feed_chunk_invariant;
+      Alcotest.test_case "parser: chunk-boundary regression" `Quick
+        test_chunk_boundary_regression;
+      QCheck_alcotest.to_alcotest prop_scanner_chunked;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Sinks: fan-out order, finish propagation, endpoints.                *)
+
+let test_sink_tee_order () =
+  let a1, get1 = Sink.to_array () in
+  let a2, get2 = Sink.to_array () in
+  let cnt, words_seen = Sink.counting () in
+  let pk, peak_words = Sink.peak () in
+  let fin = ref 0 in
+  let flag = Sink.make ~finish:(fun () -> incr fin) (fun _ ~len:_ -> ()) in
+  let sink = Sink.tee [ a1; cnt; a2; pk; flag ] in
+  sink.Sink.on_words [| 1; 2; 3 |] ~len:3;
+  sink.Sink.on_words [| 9; 9; 9; 9 |] ~len:0;       (* empty chunks are legal *)
+  sink.Sink.on_words [| 4; 5; 6; 7; 8 |] ~len:4;    (* len < array length *)
+  sink.Sink.finish ();
+  let expect = [| 1; 2; 3; 4; 5; 6; 7 |] in
+  Alcotest.(check (array int)) "branch 1 word order" expect (get1 ());
+  Alcotest.(check (array int)) "branch 2 word order" expect (get2 ());
+  check_int "count" 7 (words_seen ());
+  check_int "peak chunk" 4 (peak_words ());
+  check_int "finish reached every branch once" 1 !fin
+
+let test_sink_tee_finish_raises () =
+  (* finish must reach every branch even when an earlier one raises, and
+     the first exception must surface afterwards *)
+  let order = ref [] in
+  let branch name exn =
+    Sink.make
+      ~finish:(fun () ->
+        order := name :: !order;
+        match exn with Some e -> raise e | None -> ())
+      (fun _ ~len:_ -> ())
+  in
+  let sink =
+    Sink.tee
+      [
+        branch "a" None;
+        branch "b" (Some (Failure "first"));
+        branch "c" (Some (Failure "second"));
+        branch "d" None;
+      ]
+  in
+  (match sink.Sink.finish () with
+  | () -> Alcotest.fail "expected the first branch failure to re-raise"
+  | exception Failure msg -> Alcotest.(check string) "first exception wins" "first" msg);
+  Alcotest.(check (list string))
+    "every finish ran, in order" [ "a"; "b"; "c"; "d" ] (List.rev !order)
+
+let test_sink_finish_propagation_under_parse_failure () =
+  (* A strict parser branch whose finish raises (incomplete block at end
+     of trace) must not leave a file branch unclosed: the defensive
+     contract for one-pass parse+store pipelines. *)
+  with_temp (fun path ->
+      let p = Parser.create ~kernel_bbs:(synth_kernel_table ()) () in
+      let words = [| 0x80100000; 0xC0000123 |] in
+      let sink = Sink.tee [ Sink.to_parser p; Sink.to_file path ] in
+      sink.Sink.on_words words ~len:2;
+      (match sink.Sink.finish () with
+      | () -> Alcotest.fail "expected Corrupt from Parser.finish"
+      | exception Parser.Corrupt _ -> ());
+      Alcotest.(check (array int))
+        "file branch closed despite parser failure" words (Tracefile.load path))
+
+(* Under recovery-mode faults the tee still delivers the identical word
+   sequence to every branch, and the recovery parse behind [to_parser]
+   matches a direct recovery parse of the same faulted stream. *)
+let prop_sink_tee_recovery_faults =
+  QCheck.Test.make ~count:200
+    ~name:"sink: tee preserves order and finish under recovery-mode faults"
+    (QCheck.make ~print:print_fault_case gen_fault_case)
+    (fun (words, kind, seed) ->
+      let faulted =
+        match Faults.inject_one (Systrace_util.Rng.create seed) kind words with
+        | Some (f, _) -> f
+        | None -> words
+      in
+      let p =
+        Parser.create ~recover:true ~kernel_bbs:(synth_kernel_table ()) ()
+      in
+      Parser.register_pid p ~pid:1 (user_table ());
+      let arr, get = Sink.to_array () in
+      let cnt, words_seen = Sink.counting () in
+      let sink = Sink.tee [ Sink.to_parser p; arr; cnt ] in
+      (* feed in a few chunks to cross fault positions with boundaries *)
+      List.iter
+        (fun (pos, len) -> sink.Sink.on_words (Array.sub faulted pos len) ~len)
+        (cuts_of [ 7; 3; 11 ] (Array.length faulted));
+      sink.Sink.finish ();
+      let direct_out, _, direct_stats, direct_errs, _ =
+        run_parser_r ~debug:false ~recover:true faulted
+      in
+      direct_out = P_ok
+      && get () = faulted
+      && words_seen () = Array.length faulted
+      && Parser.stats p = direct_stats
+      && Parser.errors p = direct_errs)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "sink: tee order and counters" `Quick
+        test_sink_tee_order;
+      Alcotest.test_case "sink: tee finish runs every branch" `Quick
+        test_sink_tee_finish_raises;
+      Alcotest.test_case "sink: file branch closed when parser fails" `Quick
+        test_sink_finish_propagation_under_parse_failure;
+      QCheck_alcotest.to_alcotest prop_sink_tee_recovery_faults;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Streaming trace files: incremental writer + chunked reader.         *)
+
+let prop_writer_fold_roundtrip =
+  QCheck.Test.make ~count:200
+    ~name:"tracefile: chunked write + fold_words == save + load (both formats)"
+    (QCheck.make
+       ~print:(fun (ws, _, _, z) ->
+         Printf.sprintf "<%d words, compress=%b>" (Array.length ws) z)
+       (QCheck.Gen.quad gen_words_arr gen_sizes
+          QCheck.Gen.(int_range 1 97)
+          QCheck.Gen.bool))
+    (fun (words, sizes, chunk_words, compress) ->
+      with_temp (fun path ->
+          let w = Tracefile.open_writer ~compress path in
+          List.iter
+            (fun (pos, len) -> Tracefile.write w (Array.sub words pos len) ~len)
+            (cuts_of sizes (Array.length words));
+          let n = Tracefile.close_writer w in
+          let folded = ref [] in
+          let total =
+            Tracefile.fold_words ~chunk_words path ~init:0
+              ~f:(fun acc chunk ~len ->
+                folded := Array.sub chunk 0 len :: !folded;
+                acc + len)
+          in
+          n = Array.length words
+          && total = Array.length words
+          && Array.concat (List.rev !folded) = words
+          && Tracefile.load path = words))
+
+let test_writer_byte_identical_to_save () =
+  (* chunked writes produce byte-for-byte what the batch writer produces:
+     always for v1, and for v2 whenever the delta stream fits one block *)
+  let words =
+    Array.init 5000 (fun i ->
+        if i mod 7 = 0 then 0xBFFF0000 + (8 * (i mod 6))
+        else 0x40001000 + (4 * (i mod 257)))
+  in
+  List.iter
+    (fun compress ->
+      with_temp (fun p1 ->
+          with_temp (fun p2 ->
+              Tracefile.save ~compress p1 words;
+              let w = Tracefile.open_writer ~compress p2 in
+              List.iter
+                (fun (pos, len) ->
+                  Tracefile.write w (Array.sub words pos len) ~len)
+                (cuts_of [ 33; 1; 500 ] (Array.length words));
+              ignore (Tracefile.close_writer w);
+              Alcotest.(check string)
+                (if compress then "v2 single-block" else "v1")
+                (read_file p1) (read_file p2))))
+    [ false; true ]
+
+let test_writer_multiblock_v2 () =
+  (* a delta stream larger than the ~1MB block size forces the writer
+     through several LZSS blocks; the concatenation must read back with
+     the ordinary loader AND the chunked reader *)
+  let n = 300_000 in
+  (* LCG, not an affine ramp: consecutive deltas must vary, or the whole
+     stream collapses into one run token *)
+  let x = ref 1 in
+  let words =
+    Array.init n (fun _ ->
+        x := ((!x * 1103515245) + 12345) land 0xFFFFFFFF;
+        !x)
+  in
+  Alcotest.(check bool)
+    "delta stream spans several blocks" true
+    (String.length (Compress.encode words) > 1 lsl 20);
+  with_temp (fun path ->
+      let w = Tracefile.open_writer ~compress:true path in
+      List.iter
+        (fun (pos, len) -> Tracefile.write w (Array.sub words pos len) ~len)
+        (cuts_of [ 65536 ] n);
+      check_int "count" n (Tracefile.close_writer w);
+      Alcotest.(check bool) "load" true (Tracefile.load path = words);
+      let sum =
+        Tracefile.fold_words path ~init:0 ~f:(fun acc _ ~len -> acc + len)
+      in
+      check_int "fold word count" n sum)
+
+let test_writer_rejects_bad_words () =
+  with_temp (fun path ->
+      let w = Tracefile.open_writer path in
+      Tracefile.write w [| 1; 2; 3 |] ~len:3;
+      (match Tracefile.write w [| 0x1_0000_0000 |] ~len:1 with
+      | () -> Alcotest.fail "33-bit word accepted"
+      | exception Invalid_argument msg ->
+        check "global stream index in message" true (contains msg "word 3"));
+      ignore (Tracefile.close_writer w))
+
+let test_fold_words_callback_exn () =
+  (* the reader's totality contract wraps ITS failures in Bad_file but
+     must let the callback's own exceptions through untouched *)
+  with_temp (fun path ->
+      Tracefile.save path (Array.init 10 (fun i -> i));
+      match Tracefile.fold_words path ~init:() ~f:(fun () _ ~len:_ -> raise Exit) with
+      | () -> Alcotest.fail "callback exception swallowed"
+      | exception Exit -> ())
+
+let prop_fold_words_total =
+  (* fold_words matches load on ANY bytes: same words when load succeeds,
+     Bad_file when load raises Bad_file — and never any other escape. *)
+  QCheck.Test.make ~count:200 ~name:"tracefile: fold_words total, == load"
+    QCheck.(
+      pair (string_of_size Gen.(int_range 0 256)) (int_bound 1_000_000))
+    (fun (garbage, seed) ->
+      let rng = Systrace_util.Rng.create seed in
+      let content =
+        if seed mod 3 = 0 then garbage
+        else
+          with_temp (fun path ->
+              let words =
+                Array.init 60 (fun i -> (i * 2654435761) land 0xFFFFFFFF)
+              in
+              Tracefile.save ~compress:(seed mod 2 = 0) path words;
+              Faults.mangle rng (read_file path))
+      in
+      with_temp (fun path ->
+          write_file path content;
+          let via_load =
+            match Tracefile.load path with
+            | ws -> Ok ws
+            | exception Tracefile.Bad_file _ -> Error ()
+          in
+          let via_fold =
+            match
+              Tracefile.fold_words ~chunk_words:17 path ~init:[]
+                ~f:(fun acc chunk ~len -> Array.sub chunk 0 len :: acc)
+            with
+            | chunks -> Ok (Array.concat (List.rev chunks))
+            | exception Tracefile.Bad_file _ -> Error ()
+          in
+          via_load = via_fold))
+
+let tests =
+  tests
+  @ [
+      QCheck_alcotest.to_alcotest prop_writer_fold_roundtrip;
+      Alcotest.test_case "tracefile: writer byte-identical to save" `Quick
+        test_writer_byte_identical_to_save;
+      Alcotest.test_case "tracefile: multi-block v2 writer" `Quick
+        test_writer_multiblock_v2;
+      Alcotest.test_case "tracefile: writer rejects bad words" `Quick
+        test_writer_rejects_bad_words;
+      Alcotest.test_case "tracefile: fold_words lets callback exceptions \
+                          through" `Quick test_fold_words_callback_exn;
+      QCheck_alcotest.to_alcotest prop_fold_words_total;
+    ]
