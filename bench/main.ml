@@ -12,9 +12,12 @@
                 faults os_structure drain_ablation trace_format stream micro
 
    `micro`, `stream` and `table2 --timing` merge machine-readable results
-   into BENCH_micro.json at the repo root (one {name, unit, value} object
-   per benchmark) so the perf trajectory is tracked across PRs; `--out F`
-   redirects them to a named file instead. *)
+   into BENCH_micro.json at the repo root (one {target, name, unit,
+   value, jobs} object per benchmark, sorted by target/name) so the perf
+   trajectory is tracked across PRs; `--out F` redirects them to a named
+   file instead.  `--gate` checks the recorded results against the CI
+   perf floors after the requested experiments run and exits non-zero on
+   a breach. *)
 
 open Systrace
 module Experiments = Systrace_validate.Experiments
@@ -32,10 +35,10 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let run_matrix ~jobs () =
+let run_matrix ?entries ~jobs () =
   let t0 = Unix.gettimeofday () in
   let m =
-    Experiments.run_matrix ~jobs
+    Experiments.run_matrix ~jobs ?entries
       ~progress:(fun s ->
         Printf.eprintf "  [%6.1fs] running %s\n%!" (Unix.gettimeofday () -. t0) s)
       ()
@@ -60,28 +63,34 @@ let exp_table2 () =
    tables checked byte-for-byte identical. *)
 let exp_table2_timing () =
   heading "Table 2 timing: serial vs parallel matrix";
+  let entries =
+    if !quick then
+      List.filteri (fun i _ -> i < 3) Workloads.Suite.all
+    else Workloads.Suite.all
+  in
   let render m =
     Table.render (Experiments.table2 m) ^ Table.render (Experiments.table3 m)
   in
-  let serial, t_serial = timed (fun () -> run_matrix ~jobs:1 ()) in
-  let parallel, t_parallel = timed (fun () -> run_matrix ~jobs:!jobs ()) in
+  let serial, t_serial = timed (fun () -> run_matrix ~entries ~jobs:1 ()) in
+  let parallel, t_parallel =
+    timed (fun () -> run_matrix ~entries ~jobs:!jobs ())
+  in
   if render serial <> render parallel then
     failwith "table2 --timing: parallel tables differ from serial tables";
   Table.print (Experiments.table2 parallel);
+  (* the pool caps workers at the hardware core count, so report the
+     worker count that actually ran, not the -j request *)
+  let eff = Pool.effective_jobs ~jobs:!jobs (2 * List.length entries) in
   Printf.printf
-    "\nmatrix wall time: serial %.1fs, parallel (%d jobs) %.1fs -> %.2fx \
-     speedup; tables byte-identical\n"
-    t_serial !jobs t_parallel (t_serial /. t_parallel);
+    "\nmatrix wall time: serial %.1fs, parallel (%d jobs requested, %d \
+     effective) %.1fs -> %.2fx speedup; tables byte-identical\n"
+    t_serial !jobs eff t_parallel (t_serial /. t_parallel);
+  let entry = Bench_json.entry ~target:"table2" ~jobs:eff in
   Bench_json.record
     [
-      { Bench_json.name = "table2: matrix serial"; unit_ = "s"; value = t_serial };
-      { Bench_json.name = "table2: matrix parallel"; unit_ = "s"; value = t_parallel };
-      { Bench_json.name = "table2: jobs"; unit_ = "domains"; value = float_of_int !jobs };
-      {
-        Bench_json.name = "table2: parallel speedup";
-        unit_ = "x";
-        value = t_serial /. t_parallel;
-      };
+      entry ~name:"matrix serial" ~unit_:"s" t_serial;
+      entry ~name:"matrix parallel" ~unit_:"s" t_parallel;
+      entry ~name:"parallel speedup" ~unit_:"x" (t_serial /. t_parallel);
     ]
 
 let exp_figure3 () =
@@ -240,35 +249,26 @@ let exp_micro () =
     capture_trace [ e.Workloads.Suite.program () ] e.Workloads.Suite.files
   in
   let base_cfg = default_memsim_cfg ~system:run.system in
+  (* benchmark names are stable keys in BENCH_micro.json: no run-dependent
+     detail (word counts, job counts) belongs in them *)
   let parse_test =
-    Test.make
-      ~name:
-        (Printf.sprintf "tracesim: parse+simulate %d-word trace"
-           (Array.length words))
+    Test.make ~name:"tracesim: parse+simulate trace"
       (Staged.stage (fun () -> ignore (replay ~system:run.system ~memsim_cfg:base_cfg words)))
   in
-  (* parser fast path vs the variant-based debug path, without the memory
-     simulation behind it *)
-  let parse_only ~debug =
+  (* trace parsing alone, without the memory simulation behind it *)
+  let parse_only =
     let sys = run.system in
     let kernel_bbs = Option.get sys.Systrace_kernel.Builder.kernel_bbs in
     fun () ->
-      let p = Tracing.Parser.create ~debug ~kernel_bbs () in
+      let p = Tracing.Parser.create ~kernel_bbs () in
       List.iter
         (fun (pi : Systrace_kernel.Builder.proc_info) ->
           Tracing.Parser.register_pid p ~pid:pi.pid (Option.get pi.bbs))
         sys.Systrace_kernel.Builder.procs;
       Tracing.Parser.feed p words ~len:(Array.length words)
   in
-  let parse_fast_test =
-    Test.make
-      ~name:(Printf.sprintf "tracing: parse %d-word trace (fast)" (Array.length words))
-      (Staged.stage (parse_only ~debug:false))
-  in
-  let parse_debug_test =
-    Test.make
-      ~name:(Printf.sprintf "tracing: parse %d-word trace (debug)" (Array.length words))
-      (Staged.stage (parse_only ~debug:true))
+  let parse_only_test =
+    Test.make ~name:"tracing: parse trace" (Staged.stage parse_only)
   in
   (* instrumentation speed *)
   let instr_test =
@@ -278,17 +278,21 @@ let exp_micro () =
            ignore
              (Epoxie.Epoxie.instrument_modules prog.Systrace_kernel.Builder.modules)))
   in
-  (* stored-trace compression throughput (dump -z path) *)
+  (* stored-trace compression throughput (dump -z path), both directions *)
   let compress_test =
-    Test.make
-      ~name:
-        (Printf.sprintf "compress: pack %d-word trace" (Array.length words))
+    Test.make ~name:"compress: pack trace"
       (Staged.stage (fun () -> ignore (Tracing.Compress.pack words)))
+  in
+  let packed = Tracing.Compress.pack words in
+  let uncompress_test =
+    Test.make ~name:"compress: unpack trace"
+      (Staged.stage (fun () ->
+           ignore (Tracing.Compress.unpack ~expect:(Array.length words) packed)))
   in
   let tests =
     [
-      interp_tc; interp_notc; parse_test; parse_fast_test; parse_debug_test;
-      instr_test; compress_test;
+      interp_tc; interp_notc; parse_test; parse_only_test;
+      instr_test; compress_test; uncompress_test;
     ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -318,24 +322,20 @@ let exp_micro () =
     | Some k -> String.sub name (k + 1) (String.length name - k - 1)
     | None -> name
   in
+  let entry = Bench_json.entry ~target:"micro" in
   let entries =
     List.rev_map
-      (fun (name, est) ->
-        { Bench_json.name = strip name; unit_ = "ns/run"; value = est })
+      (fun (name, est) -> entry ~name:(strip name) ~unit_:"ns/run" est)
       !estimates
   in
-  let find_est suffix =
-    List.find_opt
-      (fun (name, _) ->
-        let name = strip name in
-        String.length name >= String.length suffix
-        && String.sub name (String.length name - String.length suffix)
-             (String.length suffix)
-           = suffix)
-      !estimates
+  let find_est name' =
+    List.find_opt (fun (name, _) -> strip name = name') !estimates
   in
-  let derived =
-    match (find_est "(tcache)", find_est "(no tcache)") with
+  let interp_derived =
+    match
+      ( find_est "machine: interpret 50k mapped insns (tcache)",
+        find_est "machine: interpret 50k mapped insns (no tcache)" )
+    with
     | Some (_, tc), Some (_, notc) when tc > 0.0 && notc > 0.0 ->
       let ips est = interp_insns /. (est *. 1e-9) in
       Printf.printf
@@ -343,16 +343,33 @@ let exp_micro () =
          M insns/s without (%.2fx)\n"
         (ips tc /. 1e6) (ips notc /. 1e6) (notc /. tc);
       [
-        { Bench_json.name = "machine: interpreter throughput (tcache)";
-          unit_ = "insns/s"; value = ips tc };
-        { Bench_json.name = "machine: interpreter throughput (no tcache)";
-          unit_ = "insns/s"; value = ips notc };
-        { Bench_json.name = "machine: tcache speedup"; unit_ = "x";
-          value = notc /. tc };
+        entry ~name:"machine: interpreter throughput (tcache)"
+          ~unit_:"insns/s" (ips tc);
+        entry ~name:"machine: interpreter throughput (no tcache)"
+          ~unit_:"insns/s" (ips notc);
+        entry ~name:"machine: tcache speedup" ~unit_:"x" (notc /. tc);
       ]
     | _ -> []
   in
-  Bench_json.record (entries @ derived)
+  (* compression throughput in words/s (the ns/run entries depend on the
+     captured trace's length; these do not) and the compression ratio *)
+  let nwords = float_of_int (Array.length words) in
+  let compress_derived =
+    let throughput bench_name out_name =
+      match find_est bench_name with
+      | Some (_, est) when est > 0.0 ->
+        let wps = nwords /. (est *. 1e-9) in
+        Printf.printf "  %-52s %12.2f Mwords/s\n" out_name (wps /. 1e6);
+        [ entry ~name:out_name ~unit_:"words/s" wps ]
+      | _ -> []
+    in
+    let ratio = 4.0 *. nwords /. float_of_int (String.length packed) in
+    Printf.printf "  %-52s %12.2f x\n" "compress: ratio" ratio;
+    throughput "compress: pack trace" "compress: pack throughput"
+    @ throughput "compress: unpack trace" "compress: unpack throughput"
+    @ [ entry ~name:"compress: ratio" ~unit_:"x" ratio ]
+  in
+  Bench_json.record (entries @ interp_derived @ compress_derived)
 
 (* ------------------------------------------------------------------ *)
 (* Streaming pipeline: online analysis vs whole-trace materialization   *)
@@ -402,31 +419,70 @@ let exp_stream () =
       (Printf.sprintf "stream: peak resident words %d exceed buffer (%d words)"
          peak buf_words);
   let wps = float_of_int trace_words /. t_replay in
+  let t_mat = t_capture +. t_replay in
   Printf.printf
     "workload %s: %d trace words\n\
     \  materialized: capture %.2fs + replay %.2fs (%.2f Mwords/s), %d words \
      resident\n\
-    \  streamed:     %.2fs end-to-end, peak %d words resident (%.1f%% of \
-     trace, buffer holds %d)\n\
+    \  streamed:     %.2fs end-to-end (%.2fx of materialized), peak %d words \
+     resident (%.1f%% of trace, buffer holds %d)\n\
     \  parse and memory-simulation stats identical on both paths\n"
-    wname trace_words t_capture t_replay (wps /. 1e6) trace_words t_stream peak
+    wname trace_words t_capture t_replay (wps /. 1e6) trace_words t_stream
+    (t_stream /. t_mat) peak
     (100.0 *. float_of_int peak /. float_of_int trace_words)
     buf_words;
+  let entry = Bench_json.entry ~target:"stream" in
   Bench_json.record
     [
-      { Bench_json.name = "stream: trace words"; unit_ = "words";
-        value = float_of_int trace_words };
-      { Bench_json.name = "stream: peak resident words (streamed)";
-        unit_ = "words"; value = float_of_int peak };
-      { Bench_json.name = "stream: replay throughput"; unit_ = "words/s";
-        value = wps };
-      { Bench_json.name = "stream: materialized wall"; unit_ = "s";
-        value = t_capture +. t_replay };
-      { Bench_json.name = "stream: streamed wall"; unit_ = "s";
-        value = t_stream };
+      entry ~name:"trace words" ~unit_:"words" (float_of_int trace_words);
+      entry ~name:"peak resident words (streamed)" ~unit_:"words"
+        (float_of_int peak);
+      entry ~name:"replay throughput" ~unit_:"words/s" wps;
+      entry ~name:"materialized wall" ~unit_:"s" t_mat;
+      entry ~name:"streamed wall" ~unit_:"s" t_stream;
+      entry ~name:"streamed/materialized" ~unit_:"x" (t_stream /. t_mat);
     ]
 
 (* ------------------------------------------------------------------ *)
+(* CI perf gate: check the recorded results against hard floors.        *)
+
+let gate () =
+  heading "Perf gate";
+  let file = Bench_json.path () in
+  let entries = Bench_json.load file in
+  let failures = ref [] in
+  let check msg ok =
+    Printf.printf "  %s %s\n" (if ok then "ok  " else "FAIL") msg;
+    if not ok then failures := msg :: !failures
+  in
+  (match Bench_json.find entries "table2" "parallel speedup" with
+  | None ->
+    check "table2 'parallel speedup' missing (run `table2 --timing` first)"
+      false
+  | Some e ->
+    (* With more than one effective domain the parallel matrix must win
+       outright.  When the pool degraded to one worker (single-core box)
+       the two runs are the same code path and only noise separates them,
+       so allow a tolerance instead of pretending to measure scaling. *)
+    let floor = if e.Bench_json.jobs > 1 then 1.0 else 0.85 in
+    check
+      (Printf.sprintf "table2 parallel speedup %.2fx >= %.2fx (%d domains)"
+         e.Bench_json.value floor e.Bench_json.jobs)
+      (e.Bench_json.value >= floor));
+  (match Bench_json.find entries "stream" "streamed/materialized" with
+  | None ->
+    check "stream 'streamed/materialized' missing (run `stream` first)" false
+  | Some e ->
+    check
+      (Printf.sprintf "streamed/materialized wall %.2fx <= 1.50x"
+         e.Bench_json.value)
+      (e.Bench_json.value <= 1.5));
+  match !failures with
+  | [] -> Printf.printf "  perf gate passed\n"
+  | fs ->
+    Printf.eprintf "perf gate FAILED:\n";
+    List.iter (fun m -> Printf.eprintf "  %s\n" m) fs;
+    exit 1
 
 let experiments =
   [
@@ -452,11 +508,14 @@ let experiments =
 
 let usage () =
   Printf.eprintf
-    "usage: %s [-j N] [experiment] [--timing] [--quick]\navailable: %s\n\
+    "usage: %s [-j N] [experiment] [--timing] [--quick] [--gate]\n\
+     available: %s\n\
      -j N      run the experiment matrix on N domains (default %d)\n\
      --timing  (with table2) serial vs parallel wall time + byte-identity\n\
-     --quick   (with faults/stream) smaller runs, for CI smoke tests\n\
-     --out F   merge machine-readable results into F, not BENCH_micro.json\n"
+     --quick   (with faults/stream/table2) smaller runs, for CI smoke tests\n\
+     --out F   merge machine-readable results into F, not BENCH_micro.json\n\
+     --gate    after any requested experiment, fail if the recorded results\n\
+    \          breach the CI perf floors (table2 speedup, stream ratio)\n"
     Sys.argv.(0)
     (String.concat " " (List.map fst experiments))
     (Pool.default_jobs ());
@@ -465,6 +524,7 @@ let usage () =
 let () =
   let name = ref None in
   let timing = ref false in
+  let gating = ref false in
   let rec parse = function
     | [] -> ()
     | "-j" :: n :: rest -> (
@@ -479,6 +539,9 @@ let () =
     | "--quick" :: rest ->
       quick := true;
       parse rest
+    | "--gate" :: rest ->
+      gating := true;
+      parse rest
     | "--out" :: file :: rest ->
       Bench_json.set_path file;
       parse rest
@@ -488,9 +551,11 @@ let () =
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  match (!name, !timing) with
+  (match (!name, !timing) with
+  | None, false when !gating -> () (* bare --gate: check existing results *)
   | None, false -> List.iter (fun (_, f) -> f ()) experiments
   | None, true -> usage ()
   | Some "table2", true -> exp_table2_timing ()
   | Some _, true -> usage ()
-  | Some name, false -> (List.assoc name experiments) ()
+  | Some name, false -> (List.assoc name experiments) ());
+  if !gating then gate ()

@@ -94,6 +94,8 @@ type t = {
   rng : Systrace_util.Rng.t;
   mutable next_block : int; (* disk block allocator *)
   mutable analyze_calls : int;
+  mutable scratch : int array;
+      (* chunk buffer reused across ANALYZE phases; sinks borrow it *)
 }
 
 exception Panic of string
@@ -412,6 +414,20 @@ let add_file t (f : file_spec) ~index =
 
 (* ------------------------------------------------------------------ *)
 
+(* Read [chunk] trace words starting at physical address [pa] into a
+   scratch array reused across every ANALYZE phase and final drain.  The
+   sink contract (Sink.t) is that chunk arrays are borrowed for the call,
+   so a streamed run allocates one chunk buffer total, not one per phase. *)
+let read_chunk t pa chunk =
+  if Array.length t.scratch < chunk then
+    t.scratch <- Array.make (max chunk t.cfg.analysis_chunk) 0;
+  let words = t.scratch in
+  let m = t.machine in
+  for k = 0 to chunk - 1 do
+    Array.unsafe_set words k (Machine.read_phys_u32 m (pa + (k * 4)))
+  done;
+  words
+
 let hcall_handler t (m : Machine.t) code =
   if code = Abi.hc_halt || code = Abi.hc_exit_all then begin
     (* The cursor is parked to ktrace_cursor_home only on return to user,
@@ -443,9 +459,7 @@ let hcall_handler t (m : Machine.t) code =
     let chunk = min remaining t.cfg.analysis_chunk in
     if chunk > 0 then begin
       let pa = Addr.kseg0_pa buf_base + (t.consumed * 4) in
-      let words =
-        Array.init chunk (fun k -> Machine.read_phys_u32 m (pa + (k * 4)))
-      in
+      let words = read_chunk t pa chunk in
       (match t.trace_sink with
       | Some sink -> sink words chunk
       | None -> ());
@@ -490,6 +504,7 @@ let build ?(cfg = default_config) ~programs ~files () =
       rng = Systrace_util.Rng.create cfg.seed;
       next_block = 1;
       analyze_calls = 0;
+      scratch = [||];
     }
   in
   (* Bump allocator for PT/trace frames comes from the high end to stay
@@ -578,10 +593,7 @@ let drain_final t =
   while total - t.consumed > 0 do
     let chunk = min (total - t.consumed) t.cfg.analysis_chunk in
     let pa = Addr.kseg0_pa base + (t.consumed * 4) in
-    let words =
-      Array.init chunk (fun k ->
-          Machine.read_phys_u32 t.machine (pa + (k * 4)))
-    in
+    let words = read_chunk t pa chunk in
     (match t.trace_sink with
     | Some sink -> sink words chunk
     | None -> ());

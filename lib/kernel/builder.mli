@@ -74,7 +74,9 @@ type t = {
   kernel_bbs : Bbtable.t option;
   mutable procs : proc_info list;
   mutable trace_sink : (int array -> int -> unit) option;
-      (** Receives each analysis-phase chunk of the in-kernel buffer. *)
+      (** Receives each analysis-phase chunk of the in-kernel buffer.
+          The chunk array is a scratch buffer reused across phases
+          (borrowed for the call, as in [Sink.t]): copy what you keep. *)
   mutable consumed : int;
   mutable panic : string option;
   mutable frame_next : int;
@@ -83,6 +85,7 @@ type t = {
   rng : Systrace_util.Rng.t;
   mutable next_block : int;
   mutable analyze_calls : int;
+  mutable scratch : int array;
 }
 
 exception Panic of string

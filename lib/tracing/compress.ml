@@ -86,12 +86,50 @@ let encode_chunk e buf (words : int array) ~len =
 
 let encode_finish = encoder_flush
 
+(* Batch encode writes through a fixed Bytes cursor instead of a Buffer:
+   a single token covers at least one word and is at most 5 varint bytes
+   (zigzag of a 33-bit magnitude, doubled), and a run token's two varints
+   amortize over >= 2 words, so [5 * n + 16] bytes never overflow.  The
+   token stream is the incremental encoder's exactly — a qcheck property
+   holds the two paths byte-identical under arbitrary chunking. *)
 let encode (words : int array) : string =
-  let buf = Buffer.create (Array.length words + 16) in
-  let e = encoder () in
-  encode_chunk e buf words ~len:(Array.length words);
-  encode_finish e buf;
-  Buffer.contents buf
+  let n = Array.length words in
+  let out = Bytes.create ((n * 5) + 16) in
+  let o = ref 0 in
+  let put_varint v =
+    let v = ref v in
+    while !v >= 0x80 do
+      Bytes.unsafe_set out !o (Char.unsafe_chr (0x80 lor (!v land 0x7F)));
+      incr o;
+      v := !v lsr 7
+    done;
+    Bytes.unsafe_set out !o (Char.unsafe_chr !v);
+    incr o
+  in
+  let prev = ref 0 and delta = ref 0 and count = ref 0 in
+  let flush () =
+    if !count > 0 then begin
+      if !count > 1 then begin
+        put_varint ((zigzag !delta lsl 1) lor 1);
+        put_varint (!count - 1)
+      end
+      else put_varint (zigzag !delta lsl 1);
+      count := 0
+    end
+  in
+  for k = 0 to n - 1 do
+    let w = Array.unsafe_get words k in
+    let d = delta32 w !prev in
+    prev := w;
+    if !count > 0 && d = !delta then incr count
+    else begin
+      flush ();
+      delta := d;
+      count := 1
+    end
+  done;
+  flush ();
+  Bytes.sub_string out 0 !o
 
 (* Without this bound a hostile run-length token could claim a
    multi-billion-word run and exhaust memory before any structural check
@@ -212,82 +250,149 @@ let lz_max_match = 259
 let lz_max_dist = 65535
 let lz_hash_bits = 15
 
-let lz_hash s i =
-  (* 4-byte hash, FNV-ish *)
-  let b k = Char.code s.[i + k] in
-  let h = (b 0 * 0x9E3779B1) lxor (b 1 * 0x85EBCA77)
-          lxor (b 2 * 0xC2B2AE3D) lxor (b 3 * 0x27D4EB2F) in
-  (h lsr 7) land ((1 lsl lz_hash_bits) - 1)
+(* Match-finder tuning.  [lz_max_tries] bounds the hash-chain walk per
+   position; [lz_nice_len] is the "good enough" length — once a match
+   this long is found the walk stops, because the marginal ratio gain of
+   a longer one never pays for the remaining chain probes on trace
+   deltas (loop bodies repeat in short bursts, not megabyte runs).
+   [lz_max_insert] caps how many positions inside an emitted match are
+   registered in the hash chains: trace matches average ~8 bytes, and
+   hashing every covered byte was the single largest cost in the packer
+   while the tail positions of a match add chain depth, not new matches
+   (measured: full insertion buys ~0.5% ratio for ~25% more time). *)
+let lz_max_tries = 16
+let lz_nice_len = 64
+let lz_max_insert = 2
+
+(* Unaligned 16-bit load: an unboxed compiler intrinsic, so the match
+   scan compares two bytes per step and the 4-byte hash needs two loads
+   instead of four.  Native-endian, which only perturbs hash bucketing
+   (which match gets chosen), never decoded bytes — the emitted token
+   format is byte-order-defined. *)
+external get16u : string -> int -> int = "%caml_string_get16u"
 
 let lzss_pack (src : string) : string =
   let n = String.length src in
-  let out = Buffer.create (n / 2) in
-  let head = Array.make (1 lsl lz_hash_bits) (-1) in
-  let chain = Array.make (max n 1) (-1) in
-  (* pending group: control bits + encoded items *)
-  let ctrl = ref 0 and nitems = ref 0 in
-  let items = Buffer.create 32 in
-  let flush_group () =
-    if !nitems > 0 then begin
-      Buffer.add_char out (Char.chr !ctrl);
-      Buffer.add_buffer out items;
-      Buffer.clear items;
-      ctrl := 0;
-      nitems := 0
-    end
+  (* Exact worst case: all-literal output is [n] item bytes plus one
+     control byte per 8 items, and the tail pad adds at most 7 dist-0
+     items (21 bytes) plus one control byte — so a fixed buffer of
+     [n + n/8 + 32] can never overflow and the hot loop carries no
+     growth checks at all. *)
+  let out = Bytes.create (n + (n lsr 3) + 32) in
+  let o = ref 0 in
+  (* pending group: control byte is patched in place when the group
+     closes, so items stream straight into [out] with no staging buffer *)
+  let ctrl_pos = ref 0 and ctrl = ref 0 and nitems = ref 0 in
+  let close_group () =
+    Bytes.unsafe_set out !ctrl_pos (Char.unsafe_chr !ctrl);
+    ctrl := 0;
+    nitems := 0
   in
   let add_literal c =
-    Buffer.add_char items c;
+    if !nitems = 0 then begin
+      ctrl_pos := !o;
+      incr o
+    end;
+    Bytes.unsafe_set out !o c;
+    incr o;
     incr nitems;
-    if !nitems = 8 then flush_group ()
+    if !nitems = 8 then close_group ()
   in
   let add_match dist len =
+    if !nitems = 0 then begin
+      ctrl_pos := !o;
+      incr o
+    end;
     ctrl := !ctrl lor (1 lsl !nitems);
-    Buffer.add_char items (Char.chr (dist land 0xFF));
-    Buffer.add_char items (Char.chr (dist lsr 8));
-    Buffer.add_char items (Char.chr (len - lz_min_match));
+    Bytes.unsafe_set out !o (Char.unsafe_chr (dist land 0xFF));
+    Bytes.unsafe_set out (!o + 1) (Char.unsafe_chr (dist lsr 8));
+    Bytes.unsafe_set out (!o + 2) (Char.unsafe_chr (len - lz_min_match));
+    o := !o + 3;
     incr nitems;
-    if !nitems = 8 then flush_group ()
+    if !nitems = 8 then close_group ()
   in
-  let insert i = (* register position i in the hash chains *)
-    if i + lz_min_match <= n then begin
-      let h = lz_hash src i in
-      chain.(i) <- head.(h);
-      head.(h) <- i
+  let hmask = (1 lsl lz_hash_bits) - 1 in
+  let head = Array.make (1 lsl lz_hash_bits) (-1) in
+  let chain = Array.make (max n 1) (-1) in
+  (* 4-byte multiplicative hash (Fibonacci constant); one multiply on
+     the packed word beats the per-byte mix it replaces, and quality is
+     equivalent for chain bucketing.  Caller guarantees [i + 4 <= n]. *)
+  let hash i =
+    ((get16u src i lor (get16u src (i + 2) lsl 16)) * 0x9E3779B1)
+    lsr 16
+    land hmask
+  in
+  (* last position with 4 bytes of lookahead, i.e. the last hashable one *)
+  let hash_end = n - lz_min_match in
+  let insert i =
+    if i <= hash_end then begin
+      let h = hash i in
+      Array.unsafe_set chain i (Array.unsafe_get head h);
+      Array.unsafe_set head h i
     end
-  in
-  let match_len i j =
-    (* longest common run of src[i..] and src[j..], capped *)
-    let lim = min lz_max_match (n - i) in
-    let k = ref 0 in
-    while !k < lim && src.[i + !k] = src.[j + !k] do incr k done;
-    !k
   in
   let i = ref 0 in
   while !i < n do
     let best_len = ref 0 and best_pos = ref (-1) in
     if !i + lz_min_match <= n then begin
-      let cand = ref head.(lz_hash src !i) in
-      let tries = ref 64 in
-      while !cand >= 0 && !tries > 0 do
-        if !i - !cand <= lz_max_dist then begin
-          let l = match_len !i !cand in
-          if l > !best_len then begin
-            best_len := l;
-            best_pos := !cand
+      let pos = !i in
+      let lim = if lz_max_match < n - pos then lz_max_match else n - pos in
+      let nice = if lz_nice_len < lim then lz_nice_len else lim in
+      (* chains run newest-to-oldest, so the first candidate past the
+         window ends the walk — no per-candidate distance re-check *)
+      let min_pos = pos - lz_max_dist in
+      let cand = ref (Array.unsafe_get head (hash pos)) in
+      let tries = ref lz_max_tries in
+      let continue = ref true in
+      while !continue && !cand >= min_pos && !cand >= 0 && !tries > 0 do
+        let c = !cand in
+        (* quick reject: a candidate that can't beat [best_len] differs
+           at offset [best_len]; one compare skips the whole scan.
+           [best_len < nice <= lim] here, so both indices are in range. *)
+        if
+          !best_len = 0
+          || String.unsafe_get src (c + !best_len)
+             = String.unsafe_get src (pos + !best_len)
+        then begin
+          (* two bytes per compare; the trailing odd byte is settled by
+             one final char test (the 16-bit miss pins the mismatch to
+             one of the two bytes, so the char test is exact) *)
+          let k = ref 0 in
+          while !k + 1 < lim && get16u src (c + !k) = get16u src (pos + !k) do
+            k := !k + 2
+          done;
+          if
+            !k < lim
+            && String.unsafe_get src (c + !k) = String.unsafe_get src (pos + !k)
+          then incr k;
+          if !k > !best_len then begin
+            best_len := !k;
+            best_pos := c;
+            if !k >= nice then continue := false
           end
         end;
-        cand := chain.(!cand);
+        cand := Array.unsafe_get chain c;
         decr tries
       done
     end;
     if !best_len >= lz_min_match then begin
       add_match (!i - !best_pos) !best_len;
-      for k = !i to !i + !best_len - 1 do insert k done;
+      (* register covered positions, bounds check hoisted; for matches
+         longer than [lz_max_insert] only the head region is hashed —
+         the tail of a long repeat adds chain depth, not new matches *)
+      let ins = if !best_len < lz_max_insert then !best_len else lz_max_insert in
+      let stop =
+        if !i + ins - 1 < hash_end then !i + ins - 1 else hash_end
+      in
+      for k = !i to stop do
+        let h = hash k in
+        Array.unsafe_set chain k (Array.unsafe_get head h);
+        Array.unsafe_set head h k
+      done;
       i := !i + !best_len
     end
     else begin
-      add_literal src.[!i];
+      add_literal (String.unsafe_get src !i);
       insert !i;
       incr i
     end
@@ -297,12 +402,15 @@ let lzss_pack (src : string) : string =
   if !nitems > 0 then begin
     while !nitems < 8 do
       ctrl := !ctrl lor (1 lsl !nitems);
-      Buffer.add_string items "\000\000\000";
+      Bytes.unsafe_set out !o '\000';
+      Bytes.unsafe_set out (!o + 1) '\000';
+      Bytes.unsafe_set out (!o + 2) '\000';
+      o := !o + 3;
       incr nitems
     done;
-    flush_group ()
+    close_group ()
   end;
-  Buffer.contents out
+  Bytes.sub_string out 0 !o
 
 (* The LZSS stage expands at most ~65x (a 4-byte match token yields up to
    259 bytes), but a hostile stream still reaches gigabytes from a modest

@@ -34,14 +34,18 @@
        trace-analysis phase.
 
    The word loop is the innermost loop of every reconstruct-and-feed-memsim
-   experiment, so [feed] runs an allocation-free fast path by default: open
-   blocks are tracked with a sentinel entry instead of an [option], block
-   records are looked up with the non-allocating [Bbtable.find_exn], and
-   marker words are dispatched on their raw kind field without building a
-   [Format_.marker] value.  The variant-based path is kept as the
-   slow/debug reference ([create ~debug:true ()]), and a qcheck property
-   holds the two equivalent on arbitrary valid and corrupted traces, in
-   both strict and recovery modes. *)
+   experiment, so [feed] is allocation-free: open blocks are tracked with
+   a sentinel entry instead of an [option], block records are looked up
+   with the non-allocating [Bbtable.find_exn], the innermost kernel source
+   is cached in a mutable field instead of read through the exception
+   stack, and marker words are dispatched on their raw kind field without
+   building a [Format_.marker] value.  There used to be a second,
+   variant-based "debug" word loop selected by [create ~debug:true ()];
+   markers are a fraction of a percent of any real trace (38 in the 68k
+   egrep capture), so the two paths were indistinguishable in benchmarks
+   and the duplicate was folded away — the variant dispatch survives as a
+   qcheck oracle in the test suite, checked equivalent to the raw-kind
+   dispatch over every marker word. *)
 
 exception Corrupt of string
 
@@ -150,12 +154,12 @@ type t = {
   kernel_bbs : Bbtable.t;
   user_bbs : (int, Bbtable.t) Hashtbl.t;   (* pid -> table *)
   mutable kernel_stack : src list;          (* innermost first *)
+  mutable kernel_top : src;                 (* == List.hd kernel_stack *)
   users : (int, src) Hashtbl.t;
   mutable cur_pid : int;
   mutable mode : int;
   mutable h : handlers;
   s : stats;
-  debug : bool;                 (* variant-based reference path *)
   (* drain framing *)
   mutable drain_pid : int;      (* -1 = not in a drain *)
   mutable drain_left : int;     (* -2: expecting count word *)
@@ -168,18 +172,19 @@ type t = {
   mutable resync_source : source;
 }
 
-let create ?(debug = false) ?(recover = false) ?(on_error = fun (_ : error) -> ())
+let create ?(recover = false) ?(on_error = fun (_ : error) -> ())
     ~kernel_bbs () =
+  let base = fresh_src () in
   {
     kernel_bbs;
     user_bbs = Hashtbl.create 8;
-    kernel_stack = [ fresh_src () ];
+    kernel_stack = [ base ];
+    kernel_top = base;
     users = Hashtbl.create 8;
     cur_pid = -1;
     mode = 0;
     h = null_handlers;
     s = fresh_stats ();
-    debug;
     drain_pid = -1;
     drain_left = 0;
     recover;
@@ -299,9 +304,10 @@ let feed_data_word t src ~kernel ~pid ~idx w =
   src.mem_idx <- src.mem_idx + 1;
   maybe_finish_block t src ~kernel ~pid
 
-(* A word belonging to the kernel's own stream. *)
+(* A word belonging to the kernel's own stream.  [t.kernel_top] caches
+   the head of [kernel_stack] so the per-word path does no list access. *)
 let feed_kernel_word t ~idx w =
-  let src = List.hd t.kernel_stack in
+  let src = t.kernel_top in
   (* A kernel block record is a kseg0 text address present in the kernel
      table; anything else is a data address.  A kernel data address could
      in principle collide with a block-record address; the kernel table is
@@ -347,7 +353,9 @@ let on_drain t p =
 
 let on_exc_enter t =
   t.s.exc_markers <- t.s.exc_markers + 1;
-  t.kernel_stack <- fresh_src () :: t.kernel_stack;
+  let top = fresh_src () in
+  t.kernel_stack <- top :: t.kernel_stack;
+  t.kernel_top <- top;
   t.s.max_exc_depth <- max t.s.max_exc_depth (List.length t.kernel_stack - 1)
 
 (* The EXC_EXIT marker word, for [error.got]. *)
@@ -356,14 +364,15 @@ let w_of_exit = Format_.make_marker Format_.kind_exc_exit 0
 let on_exc_exit t ~idx =
   t.s.exc_markers <- t.s.exc_markers + 1;
   match t.kernel_stack with
-  | top :: (_ :: _ as rest) ->
+  | top :: (outer :: _ as rest) ->
     if top.entry != no_entry then
       fail t ~at:idx
         ~source:(Kernel (List.length t.kernel_stack - 1))
         ~expected:"a completed kernel block before EXC_EXIT" ~got:w_of_exit
         "word %d: exception exit with kernel block 0x%x still open" idx
         top.entry.Bbtable.orig_addr;
-    t.kernel_stack <- rest
+    t.kernel_stack <- rest;
+    t.kernel_top <- outer
   | _ ->
     fail t ~at:idx ~source:Stream ~expected:"a matching EXC_ENTER"
       ~got:w_of_exit "word %d: exception exit at depth 0" idx
@@ -372,21 +381,10 @@ let on_mode t m =
   t.s.mode_transitions <- t.s.mode_transitions + 1;
   t.mode <- m
 
-(* Slow/debug marker dispatch through the variant API. *)
+(* Marker dispatch on the raw kind field (no variant allocation).  The
+   test suite holds this equivalent to a [Format_.decode_marker]-based
+   oracle over every marker word. *)
 let feed_marker t ~idx w =
-  t.s.markers <- t.s.markers + 1;
-  match Format_.decode_marker w with
-  | Format_.Pid_switch p -> on_pid_switch t p
-  | Format_.Drain p -> on_drain t p
-  | Format_.Exc_enter _ -> on_exc_enter t
-  | Format_.Exc_exit -> on_exc_exit t ~idx
-  | Format_.Mode m -> on_mode t m
-  | Format_.Trace_onoff _ -> ()
-  | Format_.Thread_switch _ -> ()
-  | Format_.End -> t.s.ended <- true
-
-(* Fast marker dispatch on the raw kind field (no variant). *)
-let feed_marker_fast t ~idx w =
   t.s.markers <- t.s.markers + 1;
   let kind = Format_.marker_kind w in
   if kind = Format_.kind_pid then on_pid_switch t (Format_.marker_arg w)
@@ -402,7 +400,7 @@ let feed_marker_fast t ~idx w =
 (* ------------------------------------------------------------------ *)
 (* Word loop                                                           *)
 
-let feed_word t ~feed_marker ~idx w =
+let feed_word t ~idx w =
   t.s.words <- t.s.words + 1;
   if t.s.ended then
     fail t ~at:idx ~source:Stream ~expected:"no words after the END marker"
@@ -448,7 +446,7 @@ let bump_skip t source n =
     (n + Option.value ~default:0 (Hashtbl.find_opt t.skipped source))
 
 let reset_source t = function
-  | Kernel _ -> (List.hd t.kernel_stack).entry <- no_entry
+  | Kernel _ -> t.kernel_top.entry <- no_entry
   | User pid -> (
     match Hashtbl.find_opt t.users pid with
     | Some src -> src.entry <- no_entry
@@ -473,11 +471,11 @@ let recover_from t e =
 let is_resync_point w =
   Format_.is_marker w && Format_.marker_kind w <= Format_.kind_end
 
-let rec feed_word_recovering t ~feed_marker ~idx w =
+let rec feed_word_recovering t ~idx w =
   if t.resync then
     if is_resync_point w then begin
       t.resync <- false;
-      feed_word_recovering t ~feed_marker ~idx w
+      feed_word_recovering t ~idx w
     end
     else begin
       t.s.words <- t.s.words + 1;
@@ -485,7 +483,7 @@ let rec feed_word_recovering t ~feed_marker ~idx w =
       bump_skip t t.resync_source 1
     end
   else
-    try feed_word t ~feed_marker ~idx w with
+    try feed_word t ~idx w with
     | Parse_error e -> recover_from t e
     | Format_.Bad_marker bw ->
       recover_from t
@@ -502,19 +500,16 @@ let rec feed_word_recovering t ~feed_marker ~idx w =
 
 (* Feed a chunk of trace (one trace-analysis phase's worth). *)
 let feed t words ~len =
+  if len < 0 || len > Array.length words then
+    invalid_arg "Parser.feed: len outside the chunk";
   let base = t.s.words in
   if t.recover then
-    let fm = if t.debug then feed_marker else feed_marker_fast in
     for k = 0 to len - 1 do
-      feed_word_recovering t ~feed_marker:fm ~idx:(base + k) words.(k)
-    done
-  else if t.debug then
-    for k = 0 to len - 1 do
-      feed_word t ~feed_marker ~idx:(base + k) words.(k)
+      feed_word_recovering t ~idx:(base + k) (Array.unsafe_get words k)
     done
   else
     for k = 0 to len - 1 do
-      feed_word t ~feed_marker:feed_marker_fast ~idx:(base + k) words.(k)
+      feed_word t ~idx:(base + k) (Array.unsafe_get words k)
     done
 
 (* End-of-run checks: every source must have completed its last block.

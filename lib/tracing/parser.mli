@@ -22,11 +22,13 @@
       skipped words per {!source}, and keeps parsing.  {!feed} never
       raises in recovery mode, whatever the input.
 
-    {!feed} runs an allocation-free fast path by default (sentinel open
-    blocks, non-allocating table lookups, markers dispatched on their raw
-    kind field); [create ~debug:true ()] selects the variant-based
-    reference path, which a qcheck property holds equivalent on arbitrary
-    valid and corrupted traces, in both strict and recovery modes. *)
+    {!feed} is allocation-free (sentinel open blocks, non-allocating
+    table lookups, markers dispatched on their raw kind field, the
+    innermost kernel source cached instead of read through the exception
+    stack).  The variant-based marker dispatch that used to ship as a
+    parallel "debug" word loop lives on as a qcheck oracle in the test
+    suite: markers are a fraction of a percent of any real trace, so the
+    duplicated loop could never be measured apart and was folded away. *)
 
 exception Corrupt of string
 
@@ -92,17 +94,14 @@ val fresh_stats : unit -> stats
 type t
 
 val create :
-  ?debug:bool ->
   ?recover:bool ->
   ?on_error:(error -> unit) ->
   kernel_bbs:Bbtable.t ->
   unit ->
   t
-(** [debug] (default [false]) routes {!feed} through the variant-based
-    slow path instead of the allocation-free fast path.  [recover]
-    (default [false]) turns format violations into recorded {!error}
-    diagnoses (reported through [on_error] as they happen) followed by
-    resynchronization, instead of a {!Corrupt} exception. *)
+(** [recover] (default [false]) turns format violations into recorded
+    {!error} diagnoses (reported through [on_error] as they happen)
+    followed by resynchronization, instead of a {!Corrupt} exception. *)
 
 val set_handlers : t -> handlers -> unit
 

@@ -35,6 +35,38 @@ let tee sinks =
         match first with Some e -> raise e | None -> ());
   }
 
+let batching ?(words = 65536) sink =
+  if words < 1 then invalid_arg "Sink.batching: words < 1";
+  let buf = Array.make words 0 in
+  let fill = ref 0 in
+  let flush () =
+    if !fill > 0 then begin
+      let len = !fill in
+      (* reset before delivering so a raising consumer cannot see the
+         same words again on the next flush *)
+      fill := 0;
+      sink.on_words buf ~len
+    end
+  in
+  {
+    on_words =
+      (fun ws ~len ->
+        if len >= words then begin
+          (* chunk at least a whole batch: flush and pass it through *)
+          flush ();
+          sink.on_words ws ~len
+        end
+        else begin
+          if !fill + len > words then flush ();
+          Array.blit ws 0 buf !fill len;
+          fill := !fill + len
+        end);
+    finish =
+      (fun () ->
+        flush ();
+        sink.finish ());
+  }
+
 let counting () =
   let n = ref 0 in
   ( { on_words = (fun _ ~len -> n := !n + len); finish = (fun () -> ()) },
@@ -64,7 +96,8 @@ let to_array () =
 
 let to_file ?compress path =
   let w = Tracefile.open_writer ?compress path in
-  {
-    on_words = (fun words ~len -> Tracefile.write w words ~len);
-    finish = (fun () -> ignore (Tracefile.close_writer w : int));
-  }
+  batching
+    {
+      on_words = (fun words ~len -> Tracefile.write w words ~len);
+      finish = (fun () -> ignore (Tracefile.close_writer w : int));
+    }

@@ -37,6 +37,16 @@ val tee : t list -> t
     branch's [finish] even if one raises — a failing parser must not
     leave a file sink unclosed — then re-raises the first exception. *)
 
+val batching : ?words:int -> t -> t
+(** [batching ~words sink] coalesces small chunks into batches of up to
+    [words] (default 65536) before forwarding, so a consumer with
+    per-call overhead (file writer, parser) sees a few big chunks
+    instead of many small ANALYZE-phase ones.  Chunks of [words] or more
+    are passed through directly after a flush, so the forwarded word
+    sequence is always identical to the input sequence.  [finish]
+    flushes the remainder, then finishes [sink].  Raises
+    [Invalid_argument] if [words < 1]. *)
+
 val counting : unit -> t * (unit -> int)
 (** A sink that counts words, and the read side of the counter. *)
 
@@ -55,7 +65,8 @@ val to_array : unit -> t * (unit -> int array)
     concatenation — deliberately O(trace) memory. *)
 
 val to_file : ?compress:bool -> string -> t
-(** Streams chunks to a trace file through {!Tracefile.open_writer};
-    [finish] closes it (patching the header word count).  Memory stays
-    O(chunk) either way; [~compress:true] writes the version-2 format
-    block by block. *)
+(** Streams chunks to a trace file through {!Tracefile.open_writer},
+    coalescing small chunks with {!batching}; [finish] flushes and
+    closes it (patching the header word count).  Memory stays bounded
+    by the batch either way; [~compress:true] writes the version-2
+    format block by block. *)

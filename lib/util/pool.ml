@@ -2,57 +2,93 @@
 
    The validation harness runs the full Table 2/3 matrix — every workload
    under both personalities, measured and predicted — and every cell is an
-   independent full-machine simulation.  [map] farms such jobs out to
-   [jobs] domains (OCaml 5 [Domain], [Mutex] and [Condition] from the
-   stdlib only; no new packages, per DESIGN.md §6).
+   independent full-machine simulation.  [map] farms such jobs out to a
+   pool of domains (OCaml 5 [Domain] and [Mutex] from the stdlib only; no
+   new packages, per DESIGN.md §6).
 
    Guarantees:
    - results come back in input order, regardless of completion order;
    - an exception in any job is re-raised in the caller (the first failing
-     job in input order wins) after all workers have stopped;
-   - [jobs <= 1] (or fewer than two items) degrades to a plain [List.map]
-     on the calling domain, so serial runs take the exact same code path
-     through the job closures. *)
+     job in input order, among those that ran, wins) after all workers
+     have stopped;
+   - one effective worker (or fewer than two items) degrades to a plain
+     [List.map] on the calling domain, so serial runs take the exact same
+     code path through the job closures.
+
+   Scheduling (DESIGN.md §5d):
+   - Workers are capped at [Domain.recommended_domain_count ()] unless
+     [~oversubscribe:true].  OCaml 5's minor collector is stop-the-world
+     across domains: on a box with fewer cores than [jobs], descheduled
+     domains stall every minor GC for everyone, and the "parallel" run
+     loses to the serial one (measured 0.39x at [-j 4] on one core).
+     Capping turns that configuration back into the serial path.
+   - Indices are claimed in blocks of [chunk] (default [n / (workers*8)],
+     at least 1), not one-at-a-time, so the claim mutex is off the hot
+     path for large matrices while the tail still load-balances.
+   - Each worker's first action is to grow its own minor heap: spawned
+     domains do NOT inherit the parent's [Gc.set], and the default minor
+     heap makes allocation-heavy simulation cells trigger frequent
+     stop-the-world minor collections across the pool. *)
 
 type 'b slot = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
 
-let map ~jobs f xs =
+(* Minor heap per worker domain, in words (16 MB on 64-bit). *)
+let worker_minor_heap = 1 lsl 21
+
+let effective_jobs ?(oversubscribe = false) ~jobs n =
+  let cores = max 1 (Domain.recommended_domain_count ()) in
+  let j = if oversubscribe then jobs else min jobs cores in
+  max 1 (min j n)
+
+let map ?(oversubscribe = false) ?chunk ~jobs f xs =
   let n = List.length xs in
-  if jobs <= 1 || n <= 1 then List.map f xs
+  let nworkers = effective_jobs ~oversubscribe ~jobs n in
+  if nworkers <= 1 || n <= 1 then List.map f xs
   else begin
+    let block =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some c -> invalid_arg (Printf.sprintf "Pool.map: chunk %d < 1" c)
+      | None -> max 1 (n / (nworkers * 8))
+    in
     let items = Array.of_list xs in
     let results = Array.make n Pending in
     let next = ref 0 in
     let m = Mutex.create () in
-    (* Claim indices under the mutex; compute outside it.  Workers keep
-       claiming until the queue is empty or some job has failed (no point
-       starting new work that will be thrown away). *)
-    let failed = ref false in
+    let failed = Atomic.make false in
+    (* Claim a block [lo, hi) under the mutex; compute outside it.  Workers
+       keep claiming until the queue is empty or some job has failed (no
+       point starting new work that will be thrown away). *)
     let claim () =
       Mutex.lock m;
-      let k = if !failed || !next >= n then -1 else !next in
-      if k >= 0 then incr next;
+      let lo = if Atomic.get failed || !next >= n then -1 else !next in
+      let hi = if lo < 0 then -1 else min n (lo + block) in
+      if lo >= 0 then next := hi;
       Mutex.unlock m;
-      k
+      (lo, hi)
     in
     let worker () =
+      let g = Gc.get () in
+      if g.Gc.minor_heap_size < worker_minor_heap then
+        Gc.set { g with Gc.minor_heap_size = worker_minor_heap };
       let rec go () =
-        let k = claim () in
-        if k >= 0 then begin
-          (match f items.(k) with
-          | r -> results.(k) <- Done r
-          | exception e ->
-            let bt = Printexc.get_raw_backtrace () in
-            results.(k) <- Failed (e, bt);
-            Mutex.lock m;
-            failed := true;
-            Mutex.unlock m);
+        let lo, hi = claim () in
+        if lo >= 0 then begin
+          let k = ref lo in
+          while !k < hi && not (Atomic.get failed) do
+            (match f items.(!k) with
+            | r -> results.(!k) <- Done r
+            | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              results.(!k) <- Failed (e, bt);
+              Atomic.set failed true);
+            incr k
+          done;
           go ()
         end
       in
       go ()
     in
-    let nworkers = min jobs n in
     let domains = Array.init nworkers (fun _ -> Domain.spawn worker) in
     Array.iter Domain.join domains;
     Array.iter

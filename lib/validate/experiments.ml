@@ -30,17 +30,21 @@ let run_matrix ?(seed = 1) ?(progress = fun _ -> ()) ?(jobs = 1)
     Mutex.lock pm;
     Fun.protect ~finally:(fun () -> Mutex.unlock pm) (fun () -> progress s)
   in
+  (* The spec — including the assembled program, which is immutable once
+     built — is shared by an entry's two cells instead of being rebuilt
+     inside each per-cell closure on the pool. *)
   let cells =
     List.concat_map
       (fun (e : Suite.entry) ->
-        [ (e, Validate.Ultrix); (e, Validate.Mach) ])
+        let spec = spec_of e in
+        [ (e, spec, Validate.Ultrix); (e, spec, Validate.Mach) ])
       entries
   in
   let rows =
     Pool.map ~jobs
-      (fun ((e : Suite.entry), os) ->
+      (fun ((e : Suite.entry), spec, os) ->
         progress (Printf.sprintf "%s (%s)" e.Suite.name (Validate.os_name os));
-        Validate.run_workload ~seed os (spec_of e))
+        Validate.run_workload ~seed os spec)
       cells
   in
   let rec merge rows entries =
@@ -344,11 +348,12 @@ let pagemap_table ?(wname = "tomcatv") ?(nseeds = 4) ?(jobs = 1) () =
       (fun (policy, _) -> List.init nseeds (fun k -> (policy, k + 1)))
       policies
   in
+  let spec = spec_of e in
   let times =
     Pool.map ~jobs
       (fun (policy, seed) ->
         (Validate.measure_with ~machine_cfg:mcfg ~pagemap:policy ~seed
-           Validate.Ultrix (spec_of e))
+           Validate.Ultrix spec)
           .Validate.m_seconds)
       cells
   in

@@ -527,35 +527,14 @@ let prop_lzss_unpack_never_crashes =
       | exception Compress.Corrupt _ -> true)
 
 (* ------------------------------------------------------------------ *)
-(* Equivalence: the zero-allocation fast parse loop and the variant-based
-   debug loop must be observably identical — same event stream, same
-   stats, same defensive-check failure — on valid traces, corrupted
-   traces, and word salad. *)
+(* Marker dispatch.  [Parser.feed] dispatches marker words on their raw
+   kind field without building a [Format_.marker] value; the variant API
+   serves as the oracle here.  (This replaces the old duplicated
+   variant-based word loop, which could never be measured apart from the
+   raw-kind one — markers are a fraction of a percent of real traces —
+   and was folded away.) *)
 
 type parse_outcome = P_ok | P_corrupt of string | P_bad_marker of int
-
-let run_parser ~debug words =
-  let p = Parser.create ~debug ~kernel_bbs:(synth_kernel_table ()) () in
-  Parser.register_pid p ~pid:1 (user_table ());
-  let evs = ref [] in
-  Parser.set_handlers p
-    {
-      Parser.on_inst =
-        (fun addr pid kernel -> evs := (`I, addr, pid, kernel, false, 0) :: !evs);
-      on_data =
-        (fun addr pid kernel is_load bytes ->
-          evs := (`D, addr, pid, kernel, is_load, bytes) :: !evs);
-    };
-  let outcome =
-    match
-      Parser.feed p words ~len:(Array.length words);
-      Parser.finish p
-    with
-    | () -> P_ok
-    | exception Parser.Corrupt msg -> P_corrupt msg
-    | exception Format_.Bad_marker w -> P_bad_marker w
-  in
-  (outcome, List.rev !evs, Parser.stats p)
 
 let gen_equiv_words =
   let open QCheck.Gen in
@@ -582,14 +561,54 @@ let gen_equiv_words =
       map Array.of_list (list_size (int_range 0 120) salad_word);
     ]
 
-let prop_fast_parser_equivalent =
-  QCheck.Test.make ~count:300
-    ~name:"fast parse loop == variant parse loop (events, stats, failures)"
-    (QCheck.make
-       ~print:(fun ws -> Printf.sprintf "<%d words>" (Array.length ws))
-       gen_equiv_words)
-    (fun words ->
-      run_parser ~debug:false words = run_parser ~debug:true words)
+(* Any word in the reserved marker slice, valid kind or not. *)
+let gen_marker_word =
+  QCheck.Gen.map (fun i -> 0xBFFF0000 lor (i land 0xFFFF))
+    (QCheck.Gen.int_bound max_int)
+
+let prop_marker_dispatch_matches_variant =
+  QCheck.Test.make ~count:500
+    ~name:"raw-kind marker dispatch == Format_.decode_marker oracle"
+    (QCheck.make ~print:(Printf.sprintf "0x%x") gen_marker_word)
+    (fun w ->
+      let p = Parser.create ~kernel_bbs:(synth_kernel_table ()) () in
+      let outcome =
+        match Parser.feed p [| w |] ~len:1 with
+        | () -> P_ok
+        | exception Parser.Corrupt msg -> P_corrupt msg
+        | exception Format_.Bad_marker bw -> P_bad_marker bw
+      in
+      let s = Parser.stats p in
+      let counted ~pid ~drain ~exc ~mode_t ~ended =
+        s.Parser.markers = 1
+        && s.Parser.pid_switches = pid
+        && s.Parser.drains = drain
+        && s.Parser.exc_markers = exc
+        && s.Parser.mode_transitions = mode_t
+        && s.Parser.ended = ended
+      in
+      match Format_.decode_marker w with
+      | exception Format_.Bad_marker _ ->
+        outcome = P_bad_marker w && s.Parser.markers = 1
+      | Format_.Pid_switch _ ->
+        outcome = P_ok && counted ~pid:1 ~drain:0 ~exc:0 ~mode_t:0 ~ended:false
+      | Format_.Drain _ ->
+        outcome = P_ok && counted ~pid:0 ~drain:1 ~exc:0 ~mode_t:0 ~ended:false
+      | Format_.Exc_enter _ ->
+        outcome = P_ok
+        && counted ~pid:0 ~drain:0 ~exc:1 ~mode_t:0 ~ended:false
+        && s.Parser.max_exc_depth = 1
+      | Format_.Exc_exit ->
+        (* depth is 0, so the dispatch must land in the exit handler and
+           trip its bracket check *)
+        (match outcome with P_corrupt _ -> true | _ -> false)
+        && s.Parser.exc_markers = 1
+      | Format_.Mode _ ->
+        outcome = P_ok && counted ~pid:0 ~drain:0 ~exc:0 ~mode_t:1 ~ended:false
+      | Format_.Trace_onoff _ | Format_.Thread_switch _ ->
+        outcome = P_ok && counted ~pid:0 ~drain:0 ~exc:0 ~mode_t:0 ~ended:false
+      | Format_.End ->
+        outcome = P_ok && counted ~pid:0 ~drain:0 ~exc:0 ~mode_t:0 ~ended:true)
 
 let tests =
   tests
@@ -597,7 +616,7 @@ let tests =
       QCheck_alcotest.to_alcotest prop_parser_never_crashes;
       QCheck_alcotest.to_alcotest prop_compress_decode_never_crashes;
       QCheck_alcotest.to_alcotest prop_lzss_unpack_never_crashes;
-      QCheck_alcotest.to_alcotest prop_fast_parser_equivalent;
+      QCheck_alcotest.to_alcotest prop_marker_dispatch_matches_variant;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -623,8 +642,8 @@ let tests =
        what those counters (plus the fault's own size) can explain;
      - a drain split is a valid transform: strict parses it to the
        identical stream;
-     - the fast and debug paths stay observably identical in recovery
-       mode too. *)
+     - recovery parsing is invariant under chunk splits of the fed
+       stream, on valid, faulted, and word-salad inputs alike. *)
 
 (* Valid traces with BOTH kernel activity and user drains: a random
    kernel schedule interleaved with pid-1 drain blocks whose payload is a
@@ -680,10 +699,8 @@ let gen_mixed_words =
 
 (* Like [run_parser], with recovery controls; returns the diagnoses and
    skip counters too. *)
-let run_parser_r ~debug ~recover words =
-  let p =
-    Parser.create ~debug ~recover ~kernel_bbs:(synth_kernel_table ()) ()
-  in
+let run_parser_r ?feed_chunks ~recover words =
+  let p = Parser.create ~recover ~kernel_bbs:(synth_kernel_table ()) () in
   Parser.register_pid p ~pid:1 (user_table ());
   let evs = ref [] in
   Parser.set_handlers p
@@ -694,9 +711,27 @@ let run_parser_r ~debug ~recover words =
         (fun addr pid kernel is_load bytes ->
           evs := (`D, addr, pid, kernel, is_load, bytes) :: !evs);
     };
+  let feed_all () =
+    match feed_chunks with
+    | None -> Parser.feed p words ~len:(Array.length words)
+    | Some sizes ->
+      (* feed the same words split at the given boundaries; any tail not
+         covered by [sizes] goes in one final chunk *)
+      let n = Array.length words in
+      let pos = ref 0 in
+      List.iter
+        (fun sz ->
+          let k = min sz (n - !pos) in
+          if k > 0 then begin
+            Parser.feed p (Array.sub words !pos k) ~len:k;
+            pos := !pos + k
+          end)
+        sizes;
+      if !pos < n then Parser.feed p (Array.sub words !pos (n - !pos)) ~len:(n - !pos)
+  in
   let outcome =
     match
-      Parser.feed p words ~len:(Array.length words);
+      feed_all ();
       Parser.finish p
     with
     | () -> P_ok
@@ -719,16 +754,16 @@ let prop_fault_contract =
     ~name:"faults: strict/recovery contract on injected faults"
     (QCheck.make ~print:print_fault_case gen_fault_case)
     (fun (words, kind, seed) ->
-      let c_out, c_evs, _, _, _ = run_parser_r ~debug:false ~recover:false words in
+      let c_out, c_evs, _, _, _ = run_parser_r ~recover:false words in
       if c_out <> P_ok then QCheck.Test.fail_report "generator made an invalid trace";
       match Faults.inject_one (Systrace_util.Rng.create seed) kind words with
       | None -> true
       | Some (faulted, _inj) ->
         let s_out, s_evs, _, _, _ =
-          run_parser_r ~debug:false ~recover:false faulted
+          run_parser_r ~recover:false faulted
         in
         let r_out, r_evs, r_stats, r_errs, r_skip =
-          run_parser_r ~debug:false ~recover:true faulted
+          run_parser_r ~recover:true faulted
         in
         (* recovery never raises, whatever the fault did *)
         r_out = P_ok
@@ -768,7 +803,7 @@ let prop_drain_split_transparent =
          Printf.sprintf "<%d words, seed %d>" (Array.length ws) seed)
        (QCheck.Gen.pair gen_mixed_words (QCheck.Gen.int_bound 100_000)))
     (fun (words, seed) ->
-      let _, c_evs, _, _, _ = run_parser_r ~debug:false ~recover:false words in
+      let _, c_evs, _, _, _ = run_parser_r ~recover:false words in
       match
         Faults.inject_one (Systrace_util.Rng.create seed) Faults.Drain_split
           words
@@ -776,7 +811,7 @@ let prop_drain_split_transparent =
       | None -> true
       | Some (faulted, _) ->
         let s_out, s_evs, _, _, _ =
-          run_parser_r ~debug:false ~recover:false faulted
+          run_parser_r ~recover:false faulted
         in
         s_out = P_ok && s_evs = c_evs)
 
@@ -792,12 +827,11 @@ let prop_recover_never_raises =
              map (fun i -> 0xBFFF0000 lor (i land 0xFFFF)) (int_bound max_int) ]))
     (fun l ->
       let words = Array.of_list l in
-      let out, _, stats, errs, _ = run_parser_r ~debug:false ~recover:true words in
+      let out, _, stats, errs, _ = run_parser_r ~recover:true words in
       out = P_ok && List.length errs = stats.Parser.parse_errors)
 
 let gen_recover_equiv_words =
-  (* valid, faulted, and salad streams for the fast==debug property in
-     recovery mode *)
+  (* valid, faulted, and salad streams *)
   QCheck.Gen.oneof
     [
       gen_equiv_words;
@@ -809,15 +843,22 @@ let gen_recover_equiv_words =
         gen_fault_case;
     ]
 
-let prop_fast_parser_equivalent_recovery =
+let prop_recovery_chunk_invariant =
+  (* The recovery state machine must be invariant under chunk splits:
+     feeding a stream in arbitrary pieces yields the same events,
+     diagnoses, and skip counters as feeding it whole — on valid,
+     faulted, and word-salad streams alike. *)
   QCheck.Test.make ~count:300
-    ~name:"fast parse loop == variant parse loop in recovery mode"
+    ~name:"recovery parse is chunk-split invariant"
     (QCheck.make
-       ~print:(fun ws -> Printf.sprintf "<%d words>" (Array.length ws))
-       gen_recover_equiv_words)
-    (fun words ->
-      run_parser_r ~debug:false ~recover:true words
-      = run_parser_r ~debug:true ~recover:true words)
+       ~print:(fun (ws, sizes) ->
+         Printf.sprintf "<%d words, chunks %s>" (Array.length ws)
+           (String.concat "," (List.map string_of_int sizes)))
+       (QCheck.Gen.pair gen_recover_equiv_words
+          QCheck.Gen.(list_size (int_range 0 8) (int_range 0 40))))
+    (fun (words, sizes) ->
+      run_parser_r ~recover:true words
+      = run_parser_r ~feed_chunks:sizes ~recover:true words)
 
 let prop_faults_deterministic =
   QCheck.Test.make ~count:100 ~name:"faults: equal seeds give equal streams"
@@ -863,7 +904,7 @@ let test_recover_resync () =
       0x80100040;                                  (* parses after resync *)
     |]
   in
-  let out, evs, stats, errs, _ = run_parser_r ~debug:false ~recover:true words in
+  let out, evs, stats, errs, _ = run_parser_r ~recover:true words in
   check "no raise" true (out = P_ok);
   check_int "one diagnosis" 1 (List.length errs);
   check "post-resync block reconstructed" true
@@ -924,7 +965,7 @@ let tests =
       QCheck_alcotest.to_alcotest prop_fault_contract;
       QCheck_alcotest.to_alcotest prop_drain_split_transparent;
       QCheck_alcotest.to_alcotest prop_recover_never_raises;
-      QCheck_alcotest.to_alcotest prop_fast_parser_equivalent_recovery;
+      QCheck_alcotest.to_alcotest prop_recovery_chunk_invariant;
       QCheck_alcotest.to_alcotest prop_faults_deterministic;
       QCheck_alcotest.to_alcotest prop_scan_total;
       QCheck_alcotest.to_alcotest prop_scan_clean_on_valid;
@@ -1153,13 +1194,45 @@ let prop_lz_decoder_chunked =
       Compress.lz_decode_finish z;
       Buffer.contents buf = s)
 
+(* The trace-file writer concatenates independently packed LZSS blocks
+   into one byte stream, relying on each block's final group being padded
+   to 8 items.  The streaming decoder must see the concatenation as one
+   stream — across any chunk split, including splits inside the padding
+   items at block boundaries. *)
+let prop_lz_block_concat =
+  QCheck.Test.make ~count:200
+    ~name:"compress: concatenated lzss blocks decode as one stream"
+    (QCheck.make
+       (QCheck.Gen.pair
+          QCheck.Gen.(
+            list_size (int_range 0 5)
+              (oneof
+                 [
+                   string_size (int_range 0 400);
+                   map
+                     (fun (pat, reps) ->
+                       String.concat ""
+                         (List.init (reps + 1) (fun _ -> pat)))
+                     (pair (string_size (int_range 1 8)) (int_bound 60));
+                 ]))
+          gen_sizes))
+    (fun (ss, sizes) ->
+      let packed = String.concat "" (List.map Compress.lzss_pack ss) in
+      let buf = Buffer.create 1024 in
+      let z = Compress.lz_decoder ~emit:(Buffer.add_char buf) () in
+      List.iter
+        (fun (pos, len) -> Compress.lz_decode_bytes z packed ~pos ~len)
+        (cuts_of sizes (String.length packed));
+      Compress.lz_decode_finish z;
+      Buffer.contents buf = String.concat "" ss)
+
 (* Parser.feed across arbitrary chunk boundaries: the persistent per-source
    state (split drains, open EXC brackets, block records awaiting their
    data words, recovery resync) must make chunking unobservable — on valid
    traces, faulted traces and word salad, in strict and recovery mode. *)
 let run_parser_r_chunks ~recover cuts words =
   let p =
-    Parser.create ~debug:false ~recover ~kernel_bbs:(synth_kernel_table ()) ()
+    Parser.create ~recover ~kernel_bbs:(synth_kernel_table ()) ()
   in
   Parser.register_pid p ~pid:1 (user_table ());
   let evs = ref [] in
@@ -1193,7 +1266,7 @@ let prop_feed_chunk_invariant =
        (QCheck.Gen.triple gen_recover_equiv_words gen_sizes QCheck.Gen.bool))
     (fun (words, sizes, recover) ->
       run_parser_r_chunks ~recover (cuts_of sizes (Array.length words)) words
-      = run_parser_r ~debug:false ~recover words)
+      = run_parser_r ~recover words)
 
 (* Deterministic regression for the nastiest boundary placements: a DRAIN
    marker, its count word and its payload each in a different feed; EXC
@@ -1269,6 +1342,7 @@ let tests =
       QCheck_alcotest.to_alcotest prop_encoder_chunked;
       QCheck_alcotest.to_alcotest prop_decoder_chunked;
       QCheck_alcotest.to_alcotest prop_lz_decoder_chunked;
+      QCheck_alcotest.to_alcotest prop_lz_block_concat;
       QCheck_alcotest.to_alcotest prop_feed_chunk_invariant;
       Alcotest.test_case "parser: chunk-boundary regression" `Quick
         test_chunk_boundary_regression;
@@ -1364,7 +1438,7 @@ let prop_sink_tee_recovery_faults =
         (cuts_of [ 7; 3; 11 ] (Array.length faulted));
       sink.Sink.finish ();
       let direct_out, _, direct_stats, direct_errs, _ =
-        run_parser_r ~debug:false ~recover:true faulted
+        run_parser_r ~recover:true faulted
       in
       direct_out = P_ok
       && get () = faulted
@@ -1372,11 +1446,43 @@ let prop_sink_tee_recovery_faults =
       && Parser.stats p = direct_stats
       && Parser.errors p = direct_errs)
 
+(* [batching] must forward the identical word sequence whatever the
+   incoming chunking and batch size — including chunks bigger than the
+   batch (passed through) and a producer that reuses one scratch array
+   across calls (the Builder contract: chunks are borrowed). *)
+let prop_sink_batching_equivalent =
+  QCheck.Test.make ~count:300
+    ~name:"sink: batching forwards the identical word sequence"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 12) (int_range 0 100))
+        (int_range 1 64))
+    (fun (lens, batch) ->
+      let direct, dget = Sink.to_array () in
+      let inner, bget = Sink.to_array () in
+      let cnt, words_seen = Sink.counting () in
+      let batched = Sink.batching ~words:batch (Sink.tee [ inner; cnt ]) in
+      let scratch = Array.make 100 0 in
+      let ctr = ref 0 in
+      List.iter
+        (fun len ->
+          for i = 0 to len - 1 do
+            incr ctr;
+            scratch.(i) <- !ctr
+          done;
+          direct.Sink.on_words scratch ~len;
+          batched.Sink.on_words scratch ~len)
+        lens;
+      direct.Sink.finish ();
+      batched.Sink.finish ();
+      dget () = bget () && words_seen () = !ctr)
+
 let tests =
   tests
   @ [
       Alcotest.test_case "sink: tee order and counters" `Quick
         test_sink_tee_order;
+      QCheck_alcotest.to_alcotest prop_sink_batching_equivalent;
       Alcotest.test_case "sink: tee finish runs every branch" `Quick
         test_sink_tee_finish_raises;
       Alcotest.test_case "sink: file branch closed when parser fails" `Quick

@@ -88,10 +88,41 @@ let test_pool_order () =
 let test_pool_exception () =
   let boom = Failure "boom" in
   let f x = if x = 7 then raise boom else x in
+  (* [oversubscribe] so the parallel machinery actually runs even when the
+     test box has a single core and the pool would otherwise degrade. *)
   Alcotest.check_raises "propagates from a worker" boom (fun () ->
-      ignore (Pool.map ~jobs:4 f (List.init 20 Fun.id)));
+      ignore (Pool.map ~oversubscribe:true ~jobs:4 f (List.init 20 Fun.id)));
   Alcotest.check_raises "propagates serially" boom (fun () ->
       ignore (Pool.map ~jobs:1 f (List.init 20 Fun.id)))
+
+let test_pool_exception_order () =
+  (* Both jobs rendezvous inside [f] before raising, so both failures are
+     recorded whatever the scheduling — then input order must decide which
+     one the caller sees. *)
+  let arrived = Atomic.make 0 in
+  let f x =
+    Atomic.incr arrived;
+    while Atomic.get arrived < 2 do
+      Domain.cpu_relax ()
+    done;
+    failwith (string_of_int x)
+  in
+  Alcotest.check_raises "first in input order wins" (Failure "0") (fun () ->
+      ignore (Pool.map ~oversubscribe:true ~chunk:1 ~jobs:2 f [ 0; 1 ]))
+
+let test_pool_chunk () =
+  let xs = List.init 37 Fun.id in
+  let sq = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "chunk=%d" chunk)
+        sq
+        (Pool.map ~oversubscribe:true ~chunk ~jobs:4 (fun x -> x * x) xs))
+    [ 1; 3; 8; 100 ];
+  Alcotest.check_raises "chunk must be >= 1"
+    (Invalid_argument "Pool.map: chunk 0 < 1") (fun () ->
+      ignore (Pool.map ~oversubscribe:true ~chunk:0 ~jobs:4 Fun.id [ 1; 2 ]))
 
 let prop_pool_matches_list_map =
   QCheck.Test.make ~count:50 ~name:"Pool.map == List.map for any jobs"
@@ -100,12 +131,25 @@ let prop_pool_matches_list_map =
       Pool.map ~jobs (fun x -> (2 * x) + 1) xs
       = List.map (fun x -> (2 * x) + 1) xs)
 
+let prop_pool_1_vs_n =
+  QCheck.Test.make ~count:30
+    ~name:"Pool.map: 1-domain and N-domain runs agree"
+    QCheck.(
+      triple (int_range 2 6) (int_range 1 10)
+        (list_of_size Gen.(int_range 0 60) small_int))
+    (fun (jobs, chunk, xs) ->
+      let f x = (x * 7) lxor (x lsr 1) in
+      Pool.map ~oversubscribe:true ~chunk ~jobs f xs = Pool.map ~jobs:1 f xs)
+
 let tests =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "pool preserves order" `Quick test_pool_order;
     Alcotest.test_case "pool propagates exceptions" `Quick test_pool_exception;
+    Alcotest.test_case "pool exception order" `Quick test_pool_exception_order;
+    Alcotest.test_case "pool chunked claiming" `Quick test_pool_chunk;
     QCheck_alcotest.to_alcotest prop_pool_matches_list_map;
+    QCheck_alcotest.to_alcotest prop_pool_1_vs_n;
     Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
     Alcotest.test_case "rng copy" `Quick test_rng_copy;
     QCheck_alcotest.to_alcotest prop_rng_int_bounds;
