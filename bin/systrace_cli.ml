@@ -26,6 +26,22 @@ let os_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Page-map / RNG seed.")
 
+let no_bcache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-bcache" ]
+        ~doc:
+          "Interpret step-at-a-time instead of through the basic-block \
+           execution cache (slower; simulation results are identical).")
+
+(* The block cache is purely a host-side accelerator, so the only thing
+   the flag changes is the machine config the system is built with. *)
+let machine_cfg_of ~no_bcache =
+  {
+    Machine.Machine.default_config with
+    Machine.Machine.bcache = not no_bcache;
+  }
+
 let workload_arg =
   Arg.(
     required
@@ -55,10 +71,16 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name os seed =
+  let run name os seed no_bcache =
     let e = find_workload name in
+    let config =
+      {
+        Systrace_kernel.Builder.default_config with
+        Systrace_kernel.Builder.machine_cfg = machine_cfg_of ~no_bcache;
+      }
+    in
     let sys =
-      run_measured ~os:(os_of os) ~seed
+      run_measured ~os:(os_of os) ~seed ~config
         [ e.Workloads.Suite.program () ]
         e.Workloads.Suite.files
     in
@@ -83,7 +105,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload untraced; print measured counters.")
-    Term.(const run $ workload_arg $ os_arg $ seed_arg)
+    Term.(const run $ workload_arg $ os_arg $ seed_arg $ no_bcache_arg)
 
 let trace_cmd =
   let run name os seed nshow trace_out compress =
@@ -244,7 +266,7 @@ let profile_cmd =
     Term.(const run $ workload_arg $ os_arg $ seed_arg $ topn)
 
 let validate_cmd =
-  let run name os seed =
+  let run name os seed no_bcache =
     let e = find_workload name in
     let spec =
       {
@@ -253,7 +275,10 @@ let validate_cmd =
         programs = [ e.Workloads.Suite.program () ];
       }
     in
-    let row = Validate.run_workload ~seed os spec in
+    let row =
+      Validate.run_workload ~machine_cfg:(machine_cfg_of ~no_bcache) ~seed os
+        spec
+    in
     let m = row.Validate.r_measured and p = row.Validate.r_predicted in
     Printf.printf "%s under %s:\n" name (Validate.os_name os);
     Printf.printf "  measured:  %.4f s (%d cycles), %d user TLB misses\n"
@@ -268,7 +293,7 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Measured vs predicted execution time for one workload.")
-    Term.(const run $ workload_arg $ os_arg $ seed_arg)
+    Term.(const run $ workload_arg $ os_arg $ seed_arg $ no_bcache_arg)
 
 let matrix_cmd =
   (* The full measured-vs-predicted matrix behind Tables 2/3 and Figure 3,

@@ -48,6 +48,7 @@ type config = {
   disk_per_block : int;
   count_exec : bool;           (* per-instruction-word execution counts *)
   tcache : bool;               (* last-translation micro-cache *)
+  bcache : bool;               (* basic-block execution cache *)
 }
 
 let default_config =
@@ -66,6 +67,7 @@ let default_config =
     disk_per_block = 4000;
     count_exec = false;
     tcache = true;
+    bcache = true;
   }
 
 type counters = {
@@ -115,6 +117,77 @@ type tcache = {
   mutable w_vpn : int;  mutable w_frame : int;  mutable w_cached : bool;
 }
 
+(* Pre-decoded instruction for the basic-block execution cache
+   (cfg.bcache): operands are resolved to plain ints at block-build time
+   (immediates applied, branch targets absolute) and dispatch is one flat
+   match, so replaying a block does no decode-cache probing and allocates
+   nothing.  DESIGN.md §5e records the micro-bench against the
+   closure-threaded alternative.  Anything without a specialised executor
+   falls back to [U_other] and the full interpreter dispatch. *)
+type uop =
+  | U_alu of Insn.alu * int * int * int    (* rd, rs, rt *)
+  | U_alui of Insn.alui * int * int * int  (* rt, rs, imm *)
+  | U_shift of Insn.shift * int * int * int
+  | U_lui of int * int
+  | U_lw of int * int * int                (* rt, base, off *)
+  | U_lh of int * int * int
+  | U_lhu of int * int * int
+  | U_lb of int * int * int
+  | U_lbu of int * int * int
+  | U_sw of int * int * int
+  | U_sh of int * int * int
+  | U_sb of int * int * int
+  | U_beq of int * int * int               (* rs, rt, absolute target *)
+  | U_bne of int * int * int
+  | U_blez of int * int
+  | U_bgtz of int * int
+  | U_bltz of int * int
+  | U_bgez of int * int
+  | U_bc1t of int
+  | U_bc1f of int
+  | U_j of int
+  | U_jal of int
+  | U_jr of int
+  | U_jalr of int * int
+  | U_other of Insn.t                      (* full interpreter dispatch *)
+
+(* One straight-line run of instructions: from a block-entry pc up to the
+   first control transfer (plus its delay slot) or block barrier, never
+   crossing a page boundary — so one fetch translation covers the whole
+   block.  Blocks are immutable; staleness is detected, never patched. *)
+type bblock = {
+  bb_pa : int;       (* physical address of the first instruction *)
+  bb_va : int;       (* pc it was decoded at: branch targets (and the
+                        shared per-word decode cache) depend on the va,
+                        so an aliased mapping must not reuse the block *)
+  bb_cached : bool;  (* cacheability of the fetch mapping at build time *)
+  bb_gen : int;      (* bgen of the text page at build: stale => rebuild *)
+  bb_uops : uop array;
+  mutable bb_next : bblock;
+      (* memoized chain successor (last block entered from this block's
+         end): re-validated on every use against the fetch micro-cache
+         and the successor's own page generation, so it is only ever a
+         shortcut past the block-table probe, never a source of truth *)
+}
+
+let rec bb_dummy =
+  {
+    bb_pa = -1;
+    bb_va = -1;
+    bb_cached = false;
+    bb_gen = -1;
+    bb_uops = [||];
+    bb_next = bb_dummy;
+  }
+
+(* Direct-mapped block table: 16K slots of one word each.  Indexed by the
+   physical word address of the block entry; collisions just evict. *)
+let bcache_slots = 1 lsl 14
+
+(* Straight-line runs longer than this are split; the tail re-enters
+   through the table, so nothing is lost but one lookup. *)
+let bb_max_insns = 256
+
 type t = {
   cfg : config;
   mem : Bytes.t;
@@ -122,6 +195,16 @@ type t = {
      stores. *)
   dec : Insn.t array;
   dec_valid : Bytes.t;
+  (* Basic-block execution cache (cfg.bcache): direct-mapped block table
+     plus a per-physical-page store generation.  Every physical write
+     (stores, DMA, host pokes) bumps the page's generation; a block is
+     valid only while its text page's generation matches, which is what
+     makes self-modifying and newly-loaded code safe.  TLB remaps and
+     mode switches need no explicit flush: every block entry re-runs the
+     fetch translation and the block is keyed on its (pa, va, cached)
+     result. *)
+  bcache_tab : bblock array;
+  bgen : int array;
   regs : int array;              (* 32-bit values as 0..2^32-1 *)
   fregs : float array;
   mutable fcc : bool;
@@ -140,6 +223,31 @@ type t = {
   mutable context_badvpn : int;
   tlb : Tlb.t;
   tc : tcache;
+  (* Cacheability of the last [translate_i] result — a scratch return
+     slot, so the hot translation path hands back (pa, cached) without
+     allocating a tuple per access. *)
+  mutable tr_cached : bool;
+  (* Index of the uop currently replaying inside [exec_block] — written
+     by every uop that can trap, so the block-level trap handler can
+     recover the faulting pc and delay-slot flag instead of pushing an
+     exception handler per instruction. *)
+  mutable bb_k : int;
+  (* The block currently replaying (valid together with [bb_k]): replay
+     chains across blocks without returning, so the trap handler cannot
+     rely on the block [exec_block] was entered with. *)
+  mutable bb_blk : bblock;
+  (* Set by [store_timed] when a store reached a device register (or a
+     watchpoint fired): tells [exec_block] the interrupt lines and event
+     horizon may have moved, so the post-store recheck must poll.  Plain
+     RAM stores leave it clear and only re-validate the text page. *)
+  mutable bb_dev : bool;
+  (* Instruction-count batching for block replay: uops [bb_kf, k) of
+     [bb_blk] have executed in mode [bb_um] but are not yet reflected in
+     the counters.  Flushed ([bb_flush]) whenever the counters become
+     observable: block exit, slow recheck paths, [U_other] entry, and
+     the trap handler. *)
+  mutable bb_kf : int;
+  mutable bb_um : bool;
   icache : Cache.t;
   dcache : Cache.t;
   wb : Write_buffer.t;
@@ -172,6 +280,10 @@ let create ?(cfg = default_config) () =
     mem = Bytes.make cfg.mem_bytes '\000';
     dec = Array.make words Insn.nop;
     dec_valid = Bytes.make words '\000';
+    bcache_tab =
+      (if cfg.bcache then Array.make bcache_slots bb_dummy else [||]);
+    bgen =
+      Array.make (max 1 ((cfg.mem_bytes + Addr.page_mask) lsr Addr.page_shift)) 0;
     regs = Array.make 32 0;
     fregs = Array.make Reg.nfregs 0.0;
     fcc = false;
@@ -197,6 +309,12 @@ let create ?(cfg = default_config) () =
         r_vpn = -1; r_frame = 0; r_cached = false;
         w_vpn = -1; w_frame = 0; w_cached = false;
       };
+    tr_cached = false;
+    bb_k = 0;
+    bb_blk = bb_dummy;
+    bb_dev = false;
+    bb_kf = 0;
+    bb_um = false;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.icache_line;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.dcache_line;
     wb = Write_buffer.create ~depth:cfg.wb_depth ~drain_cycles:cfg.wb_drain ();
@@ -230,29 +348,47 @@ let asid t = (t.entryhi lsr 6) land 0x3F
 
 let phys_ok t pa len = pa >= 0 && pa + len <= t.cfg.mem_bytes
 
+(* Every physical write advances the page's store generation, which
+   invalidates any cached basic block decoded from that page (bounds
+   checked: callers validate [pa] against memory the same way the Bytes
+   accesses do). *)
+let bgen_bump t pa =
+  let p = pa lsr Addr.page_shift in
+  t.bgen.(p) <- t.bgen.(p) + 1
+
+let bgen_bump_range t pa len =
+  if len > 0 then
+    for p = pa lsr Addr.page_shift to (pa + len - 1) lsr Addr.page_shift do
+      t.bgen.(p) <- t.bgen.(p) + 1
+    done
+
 let read_phys_u32 t pa =
   Int32.to_int (Bytes.get_int32_le t.mem pa) land 0xFFFFFFFF
 
 let write_phys_u32 t pa v =
   Bytes.set_int32_le t.mem pa (Int32.of_int (v land 0xFFFFFFFF));
-  Bytes.set t.dec_valid (pa lsr 2) '\000'
+  Bytes.set t.dec_valid (pa lsr 2) '\000';
+  bgen_bump t pa
 
 let read_phys_u16 t pa = Bytes.get_uint16_le t.mem pa
 let read_phys_u8 t pa = Bytes.get_uint8 t.mem pa
 
 let write_phys_u16 t pa v =
   Bytes.set_uint16_le t.mem pa (v land 0xFFFF);
-  Bytes.set t.dec_valid (pa lsr 2) '\000'
+  Bytes.set t.dec_valid (pa lsr 2) '\000';
+  bgen_bump t pa
 
 let write_phys_u8 t pa v =
   Bytes.set_uint8 t.mem pa (v land 0xFF);
-  Bytes.set t.dec_valid (pa lsr 2) '\000'
+  Bytes.set t.dec_valid (pa lsr 2) '\000';
+  bgen_bump t pa
 
 let write_phys_bytes t pa s =
   Bytes.blit_string s 0 t.mem pa (String.length s);
   for w = pa lsr 2 to (pa + String.length s - 1) lsr 2 do
     Bytes.set t.dec_valid w '\000'
-  done
+  done;
+  bgen_bump_range t pa (String.length s)
 
 let read_phys_bytes t pa len = Bytes.sub_string t.mem pa len
 
@@ -301,16 +437,28 @@ let tcache_flush t =
    walk: the common in-page access reuses the previous page frame without
    re-checking segment permissions or walking the TLB.  Failed walks trap
    before the cache is filled, so misses, invalid entries and modified
-   faults behave (and count) exactly as in [translate_walk]. *)
-let translate t va ~write:w ~fetch =
+   faults behave (and count) exactly as in [translate_walk].
+
+   [translate_i] returns the physical address and leaves cacheability in
+   [t.tr_cached] — the hot paths (fetch, load, store, block entry) read
+   it from there, so a translation costs no tuple allocation.  The tuple
+   API [translate] is a thin wrapper kept for the oracle comparisons and
+   external callers. *)
+let translate_i t va ~write:w ~fetch =
   let tc = t.tc in
   let vpn = va lsr Addr.page_shift in
-  if fetch && vpn = tc.f_vpn then
-    ((tc.f_frame lor (va land Addr.page_mask)), tc.f_cached)
-  else if (not fetch) && (not w) && vpn = tc.r_vpn then
-    ((tc.r_frame lor (va land Addr.page_mask)), tc.r_cached)
-  else if (not fetch) && w && vpn = tc.w_vpn then
-    ((tc.w_frame lor (va land Addr.page_mask)), tc.w_cached)
+  if fetch && vpn = tc.f_vpn then begin
+    t.tr_cached <- tc.f_cached;
+    tc.f_frame lor (va land Addr.page_mask)
+  end
+  else if (not fetch) && (not w) && vpn = tc.r_vpn then begin
+    t.tr_cached <- tc.r_cached;
+    tc.r_frame lor (va land Addr.page_mask)
+  end
+  else if (not fetch) && w && vpn = tc.w_vpn then begin
+    t.tr_cached <- tc.w_cached;
+    tc.w_frame lor (va land Addr.page_mask)
+  end
   else begin
     let pa, cached = translate_walk t va ~write:w ~fetch in
     if t.cfg.tcache then begin
@@ -325,8 +473,13 @@ let translate t va ~write:w ~fetch =
         tc.r_vpn <- vpn; tc.r_frame <- frame; tc.r_cached <- cached
       end
     end;
-    (pa, cached)
+    t.tr_cached <- cached;
+    pa
   end
+
+let translate t va ~write ~fetch =
+  let pa = translate_i t va ~write ~fetch in
+  (pa, t.tr_cached)
 
 (* ------------------------------------------------------------------ *)
 (* Devices                                                             *)
@@ -348,10 +501,12 @@ let poll_devices t =
   if Disk.next_event t.disk <= t.cycles then begin
     let n =
       Disk.poll t.disk ~now:t.cycles ~mem:t.mem ~on_dma:(fun ~paddr ~len ->
-          (* DMA'd memory may hold instructions: invalidate decode cache. *)
+          (* DMA'd memory may hold instructions: invalidate the decode
+             cache and the basic blocks built over it. *)
           for w = paddr lsr 2 to (paddr + len - 1) lsr 2 do
             Bytes.set t.dec_valid w '\000'
-          done)
+          done;
+          bgen_bump_range t paddr len)
     in
     if n > 0 then disk_refresh_irq t
   end
@@ -391,7 +546,8 @@ let is_device_pa pa =
 
 let load_word_timed t va =
   if va land 3 <> 0 then trap ~badva:va Exc.adel;
-  let pa, cached = translate t va ~write:false ~fetch:false in
+  let pa = translate_i t va ~write:false ~fetch:false in
+  let cached = t.tr_cached in
   if is_device_pa pa then begin
     t.cycles <- t.cycles + t.cfg.uncached_penalty;
     t.c.uncached_reads <- t.c.uncached_reads + 1;
@@ -415,7 +571,8 @@ let load_timed t va bytes =
   | 4 -> load_word_timed t va
   | 2 ->
     if va land 1 <> 0 then trap ~badva:va Exc.adel;
-    let pa, cached = translate t va ~write:false ~fetch:false in
+    let pa = translate_i t va ~write:false ~fetch:false in
+    let cached = t.tr_cached in
     if not (phys_ok t pa 2) then trap ~badva:va Exc.adel;
     if cached then begin
       if not (Cache.read t.dcache pa) then
@@ -427,7 +584,8 @@ let load_timed t va bytes =
     end;
     read_phys_u16 t pa
   | 1 ->
-    let pa, cached = translate t va ~write:false ~fetch:false in
+    let pa = translate_i t va ~write:false ~fetch:false in
+    let cached = t.tr_cached in
     if not (phys_ok t pa 1) then trap ~badva:va Exc.adel;
     if cached then begin
       if not (Cache.read t.dcache pa) then
@@ -445,8 +603,10 @@ let store_timed t va bytes v =
   | 4 -> if va land 3 <> 0 then trap ~badva:va Exc.ades
   | 2 -> if va land 1 <> 0 then trap ~badva:va Exc.ades
   | _ -> ());
-  let pa, cached = translate t va ~write:true ~fetch:false in
+  let pa = translate_i t va ~write:true ~fetch:false in
+  let cached = t.tr_cached in
   if is_device_pa pa then begin
+    t.bb_dev <- true;
     t.cycles <- t.cycles + t.cfg.uncached_penalty;
     device_write t pa v
   end
@@ -459,12 +619,17 @@ let store_timed t va bytes v =
     | 2 -> write_phys_u16 t pa v
     | 1 -> write_phys_u8 t pa v
     | _ -> assert false);
-    match t.watchpoint with Some f -> f va v | None -> ()
+    match t.watchpoint with
+    | Some f ->
+      t.bb_dev <- true;
+      f va v
+    | None -> ()
   end
 
 let load_double_timed t va =
   if va land 7 <> 0 then trap ~badva:va Exc.adel;
-  let pa, cached = translate t va ~write:false ~fetch:false in
+  let pa = translate_i t va ~write:false ~fetch:false in
+  let cached = t.tr_cached in
   if not (phys_ok t pa 8) then trap ~badva:va Exc.adel;
   if cached then begin
     if not (Cache.read t.dcache pa) then
@@ -478,7 +643,8 @@ let load_double_timed t va =
 
 let store_double_timed t va f =
   if va land 7 <> 0 then trap ~badva:va Exc.ades;
-  let pa, cached = translate t va ~write:true ~fetch:false in
+  let pa = translate_i t va ~write:true ~fetch:false in
+  let cached = t.tr_cached in
   if not (phys_ok t pa 8) then trap ~badva:va Exc.ades;
   if cached then ignore (Cache.write t.dcache pa);
   (* A double store occupies two write-buffer slots. *)
@@ -486,12 +652,15 @@ let store_double_timed t va f =
   t.cycles <- t.cycles + Write_buffer.store t.wb ~now:t.cycles;
   Bytes.set_int64_le t.mem pa (Int64.bits_of_float f);
   Bytes.set t.dec_valid (pa lsr 2) '\000';
-  Bytes.set t.dec_valid ((pa lsr 2) + 1) '\000'
+  Bytes.set t.dec_valid ((pa lsr 2) + 1) '\000';
+  (* 8-byte aligned, so both words share one page *)
+  bgen_bump t pa
 
 (* Instruction fetch with decode caching. *)
 let fetch_timed t va =
   if va land 3 <> 0 then trap ~badva:va Exc.adel;
-  let pa, cached = translate t va ~write:false ~fetch:true in
+  let pa = translate_i t va ~write:false ~fetch:true in
+  let cached = t.tr_cached in
   if not (phys_ok t pa 4) then trap ~badva:va Exc.adel;
   if cached then begin
     if not (Cache.read t.icache pa) then
@@ -551,8 +720,10 @@ let enter_exception t ~code ~badva ~refill ~cur ~in_delay =
 (* ------------------------------------------------------------------ *)
 (* Instruction execution                                               *)
 
-let reg_get t r = t.regs.(r)
-let reg_set t r v = if r <> 0 then t.regs.(r) <- u32 v
+(* Register numbers come from 5-bit decode fields (or [Reg] constants),
+   so they are always in [0, 31]. *)
+let reg_get t r = Array.unsafe_get t.regs r
+let reg_set t r v = if r <> 0 then Array.unsafe_set t.regs r (u32 v)
 
 let exec_alu t op rd rs rt =
   let a = reg_get t rs and b = reg_get t rt in
@@ -816,8 +987,8 @@ let step t =
          end;
          if t.cfg.count_exec then begin
            (* Count by physical word so kernel and user text both work. *)
-           match translate t cur ~write:false ~fetch:true with
-           | pa, _ when pa lsr 2 < Array.length t.exec_counts ->
+           match translate_i t cur ~write:false ~fetch:true with
+           | pa when pa lsr 2 < Array.length t.exec_counts ->
              t.exec_counts.(pa lsr 2) <- t.exec_counts.(pa lsr 2) + 1
            | _ -> ()
            | exception Trap _ -> ()
@@ -831,19 +1002,736 @@ let step t =
       enter_exception t ~code ~badva ~refill ~cur ~in_delay
   end
 
+(* ------------------------------------------------------------------ *)
+(* Basic-block execution cache (cfg.bcache)                            *)
+
+(* The block executor must be state-identical to [step] — [step] stays in
+   as the qcheck oracle — so everything observable is kept per
+   instruction: device polling, interrupt sampling, icache fetch timing,
+   the reference-tracer callbacks, cycle/instruction counters (several
+   device and stall models consult [t.cycles] mid-block), and trap entry.
+   What a block amortises is only the work with no observable effect:
+   the per-fetch alignment check, translation, bounds check, decode-cache
+   probe, and the interpreter's per-[exec] closure allocations. *)
+
+let uop_of_insn (insn : Insn.t) : uop =
+  match insn with
+  | Alu (op, rd, rs, rt) -> U_alu (op, rd, rs, rt)
+  | Alui (op, rt, rs, Imm imm) -> U_alui (op, rt, rs, imm)
+  | Shift (op, rd, rt, sa) -> U_shift (op, rd, rt, sa)
+  | Lui (rt, Imm imm) -> U_lui (rt, imm)
+  | Load (W, rt, base, Imm off) -> U_lw (rt, base, off)
+  | Load (H, rt, base, Imm off) -> U_lh (rt, base, off)
+  | Load (HU, rt, base, Imm off) -> U_lhu (rt, base, off)
+  | Load (B, rt, base, Imm off) -> U_lb (rt, base, off)
+  | Load (BU, rt, base, Imm off) -> U_lbu (rt, base, off)
+  | Store (W, rt, base, Imm off) -> U_sw (rt, base, off)
+  | Store ((H | HU), rt, base, Imm off) -> U_sh (rt, base, off)
+  | Store ((B | BU), rt, base, Imm off) -> U_sb (rt, base, off)
+  | Beq (rs, rt, Abs a) -> U_beq (rs, rt, a)
+  | Bne (rs, rt, Abs a) -> U_bne (rs, rt, a)
+  | Blez (rs, Abs a) -> U_blez (rs, a)
+  | Bgtz (rs, Abs a) -> U_bgtz (rs, a)
+  | Bltz (rs, Abs a) -> U_bltz (rs, a)
+  | Bgez (rs, Abs a) -> U_bgez (rs, a)
+  | Bc1t (Abs a) -> U_bc1t a
+  | Bc1f (Abs a) -> U_bc1f a
+  | J (Abs a) -> U_j a
+  | Jal (Abs a) -> U_jal a
+  | Jr rs -> U_jr rs
+  | Jalr (rd, rs) -> U_jalr (rd, rs)
+  | _ -> U_other insn
+
+(* Instructions that can change fetch semantics for their successors
+   (mode, ASID, TLB contents, arbitrary host effects) end a block, so the
+   next instruction re-enters through a fresh translation.  [Tlbp] and
+   [Mfc0] only write the index register / a GPR; [Cache] only changes
+   timing, which is already charged per instruction. *)
+let bb_barrier (insn : Insn.t) =
+  match insn with
+  | Syscall | Break _ | Mtc0 _ | Tlbr | Tlbwi | Tlbwr | Rfe | Hcall _ -> true
+  | _ -> false
+
+(* Decode one word through the same per-word cache [fetch_timed] uses —
+   the shared cache is what keeps block-mode and step-mode byte-identical
+   even in the aliased-mapping corner where a cached entry was decoded at
+   a different va. *)
+let bb_decode t ~va ~pa =
+  let w = pa lsr 2 in
+  if Bytes.get t.dec_valid w = '\001' then t.dec.(w)
+  else begin
+    let insn = Encode.decode ~pc:va (read_phys_u32 t pa) in
+    t.dec.(w) <- insn;
+    Bytes.set t.dec_valid w '\001';
+    insn
+  end
+
+let build_block t ~va ~pa ~cached =
+  let max_words =
+    let to_page_end = ((Addr.page_mask - (pa land Addr.page_mask)) lsr 2) + 1 in
+    if to_page_end < bb_max_insns then to_page_end else bb_max_insns
+  in
+  let buf = Array.make max_words (U_other Insn.nop) in
+  let n = ref 0 in
+  let in_delay = ref false in
+  let stop = ref false in
+  while not !stop && !n < max_words do
+    match bb_decode t ~va:(va + (!n * 4)) ~pa:(pa + (!n * 4)) with
+    | insn ->
+      buf.(!n) <- uop_of_insn insn;
+      incr n;
+      if !in_delay then stop := true
+      else if Insn.is_control insn then in_delay := true
+      else if bb_barrier insn then stop := true
+    | exception e ->
+      (* Decode failure past the entry word: end the block before it, so
+         the bad word raises exactly when step-at-a-time would reach
+         it.  At the entry word itself, raise now — [step] would too. *)
+      if !n = 0 then raise e;
+      stop := true
+  done;
+  {
+    bb_pa = pa;
+    bb_va = va;
+    bb_cached = cached;
+    bb_gen = t.bgen.(pa lsr Addr.page_shift);
+    bb_uops = (if !n = max_words then buf else Array.sub buf 0 !n);
+    bb_next = bb_dummy;
+  }
+
+let bb_lookup t ~va ~pa ~cached =
+  let slot = (pa lsr 2) land (bcache_slots - 1) in
+  let b = Array.unsafe_get t.bcache_tab slot in
+  if
+    b.bb_pa = pa && b.bb_va = va && b.bb_cached = cached
+    && b.bb_gen = t.bgen.(pa lsr Addr.page_shift)
+  then b
+  else begin
+    let b = build_block t ~va ~pa ~cached in
+    Array.unsafe_set t.bcache_tab slot b;
+    b
+  end
+
+(* Replay a block: the loop body is [step] minus fetch, and between
+   instructions it performs exactly the checks of the [run]+[step] loop
+   (halt, budget, device poll, interrupt sample) plus one staleness test
+   of the block's text page.  A stale page just ends the replay between
+   instructions — state-neutral, [step] would simply refetch — and the
+   next [bb_step] rebuilds from fresh memory.
+
+   The between-instruction checks are folded into one compare on the hot
+   path: [next_ev] is the earliest cycle at which [poll_devices] could do
+   anything (clock tick or disk completion), so while [t.cycles] stays
+   below it the poll is a provable no-op — and then neither the interrupt
+   lines nor any page generation can have moved either, because inside a
+   block only stores and [U_other] instructions reach devices or memory
+   (TLB and CP0 writes are block barriers).  Those uop kinds take the
+   full poll + generation + interrupt recheck; everything else re-checks
+   only when the horizon expires. *)
+let bb_horizon t =
+  let d = Disk.next_event t.disk in
+  if t.next_clock < d then t.next_clock else d
+
+(* Credit uops [t.bb_kf, k) of block [b] — all executed in mode [um] —
+   to the instruction counters.  The span is contiguous in va, so the
+   idle-range attribution is the interval overlap instead of a per-
+   instruction compare. *)
+let bb_flush t b k =
+  let kf = t.bb_kf in
+  let n = k - kf in
+  if n > 0 then begin
+    let c = t.c in
+    c.instructions <- c.instructions + n;
+    if t.bb_um then c.user_instructions <- c.user_instructions + n
+    else begin
+      c.kernel_instructions <- c.kernel_instructions + n;
+      let lo0 = b.bb_va + (kf * 4) and hi0 = b.bb_va + (k * 4) in
+      let lo = if lo0 > t.idle_lo then lo0 else t.idle_lo in
+      let hi = if hi0 < t.idle_hi then hi0 else t.idle_hi in
+      if hi > lo then
+        c.idle_instructions <- c.idle_instructions + ((hi - lo) lsr 2)
+    end
+  end;
+  t.bb_kf <- k
+
+(* The replay loop is a top-level function, not a closure inside
+   [exec_block]: with its dozen-odd free variables it would otherwise be
+   heap-allocated on every block entry — ~5 minor words per instruction
+   on short blocks, the single largest cost of the replay path.  As a
+   self-tail-recursive toplevel function it compiles to a loop with the
+   state in registers and allocates nothing.
+
+   [um]: user mode after the last executed uop.  Only [U_other] can
+   change CP0 status inside a block, so it is recomputed exactly there
+   and carried otherwise.  Traps are caught once per [exec_block] call,
+   not per instruction: [t.bb_blk]/[t.bb_k] track the executing uop
+   ([bb_k] written only by uops that can trap) so the handler can
+   reconstruct the faulting pc and delay-slot flag.
+
+   [ptag]: the icache line tag of the previous fetch, or -1.  Sequential
+   fetches from a line just probed are hits by construction (only a
+   [U_other] uop can touch the icache, and it resets [ptag]), so the tag
+   compare replaces the whole probe.
+
+   [budget]/[lim]: instructions the caller still allows / how many of
+   them fall in this block.  When a block completes on a sequential pc
+   with budget left, replay chains straight into the successor block —
+   the same poll / interrupt / fetch-translation sequence [bb_step]
+   would run, minus the trip out and the horizon recomputation. *)
+let rec bb_go t b lim budget k pa cur ce next_ev ptag =
+    (* per-instruction fetch timing, as [fetch_timed] charges it *)
+    let ptag =
+      if b.bb_cached then begin
+        let ic = t.icache in
+        let tg = pa lsr ic.Cache.line_shift in
+        if tg = ptag then ic.Cache.hits <- ic.Cache.hits + 1
+        else begin
+          let idx = tg land (ic.Cache.nlines - 1) in
+          if Array.unsafe_get ic.Cache.tags idx = tg then
+            ic.Cache.hits <- ic.Cache.hits + 1
+          else begin
+            ic.Cache.misses <- ic.Cache.misses + 1;
+            Array.unsafe_set ic.Cache.tags idx tg;
+            t.cycles <- t.cycles + t.cfg.read_miss_penalty
+          end
+        end;
+        tg
+      end
+      else begin
+        t.c.uncached_ifetches <- t.c.uncached_ifetches + 1;
+        t.cycles <- t.cycles + t.cfg.uncached_penalty;
+        -1
+      end
+    in
+    (match t.ref_tracer with Some f -> f 0 cur | None -> ());
+    (* [t.next_is_delay] is false here: branch uops set it and the
+       between-instruction paths below clear it when they consume it, so
+       no per-instruction clear is needed. *)
+    t.pc <- t.npc;
+    t.npc <- t.npc + 4;
+    let u = Array.unsafe_get b.bb_uops k in
+    (* Execute the pre-decoded instruction.  Bodies mirror [exec] exactly
+       (including the order of traps, tracer callbacks and register
+       writes); operand resolution happened at block build.  Register
+       indices come from the 5-bit fields of [Encode.decode], hence the
+       unsafe reads.  Cached, in-RAM word loads and stores additionally
+       inline the translation micro-cache hit, the direct-mapped d-cache
+       probe and the raw memory access — the same state transitions
+       [load_word_timed]/[store_timed] perform, minus the call chain —
+       and fall back to those helpers for every other case (unaligned,
+       micro-cache miss, uncached, device, out of range). *)
+    (match u with
+       | U_alu (op, rd, rs, rt) ->
+         let a = Array.unsafe_get t.regs rs
+         and b = Array.unsafe_get t.regs rt in
+         let v =
+           match (op : Insn.alu) with
+           | ADD | ADDU -> a + b
+           | SUB | SUBU -> a - b
+           | AND -> a land b
+           | OR -> a lor b
+           | XOR -> a lxor b
+           | NOR -> lnot (a lor b)
+           | SLT -> if s32 a < s32 b then 1 else 0
+           | SLTU -> if a < b then 1 else 0
+           | SLLV -> a lsl (b land 31)
+           | SRLV -> a lsr (b land 31)
+           | SRAV -> s32 a asr (b land 31)
+           | MUL -> s32 a * s32 b
+           | MULH ->
+             Int64.to_int
+               (Int64.shift_right
+                  (Int64.mul (Int64.of_int (s32 a)) (Int64.of_int (s32 b)))
+                  32)
+           | DIV -> if s32 b = 0 then 0 else s32 a / s32 b
+           | REM -> if s32 b = 0 then 0 else Stdlib.Int.rem (s32 a) (s32 b)
+         in
+         reg_set t rd v
+       | U_alui (op, rt, rs, imm) ->
+         let a = Array.unsafe_get t.regs rs in
+         let v =
+           match (op : Insn.alui) with
+           | ADDI | ADDIU -> a + imm
+           | SLTI -> if s32 a < imm then 1 else 0
+           | SLTIU -> if a < u32 imm then 1 else 0
+           | ANDI -> a land imm
+           | ORI -> a lor imm
+           | XORI -> a lxor imm
+         in
+         reg_set t rt v
+       | U_shift (op, rd, rt, sa) ->
+         let v = Array.unsafe_get t.regs rt in
+         reg_set t rd
+           (match op with
+           | SLL -> v lsl sa
+           | SRL -> v lsr sa
+           | SRA -> s32 v asr sa)
+       | U_lui (rt, imm) -> reg_set t rt (imm lsl 16)
+       | U_lw (rt, base, off) ->
+         t.bb_k <- k;
+         let va = u32 (Array.unsafe_get t.regs base + off) in
+         let tcc = t.tc in
+         if
+           va land 3 = 0
+           && va lsr Addr.page_shift = tcc.r_vpn
+           && tcc.r_cached
+         then begin
+           let pa = tcc.r_frame lor (va land Addr.page_mask) in
+           if pa + 4 <= t.cfg.mem_bytes && not (is_device_pa pa) then begin
+             let dc = t.dcache in
+             let tg = pa lsr dc.Cache.line_shift in
+             let idx = tg land (dc.Cache.nlines - 1) in
+             if Array.unsafe_get dc.Cache.tags idx = tg then
+               dc.Cache.hits <- dc.Cache.hits + 1
+             else begin
+               dc.Cache.misses <- dc.Cache.misses + 1;
+               Array.unsafe_set dc.Cache.tags idx tg;
+               t.cycles <- t.cycles + t.cfg.read_miss_penalty
+             end;
+             let v =
+               Int32.to_int (Bytes.get_int32_le t.mem pa) land 0xFFFFFFFF
+             in
+             (match t.ref_tracer with Some f -> f 1 va | None -> ());
+             reg_set t rt v
+           end
+           else begin
+             let v = load_word_timed t va in
+             (match t.ref_tracer with Some f -> f 1 va | None -> ());
+             reg_set t rt v
+           end
+         end
+         else begin
+           let v = load_word_timed t va in
+           (match t.ref_tracer with Some f -> f 1 va | None -> ());
+           reg_set t rt v
+         end
+       | U_lh (rt, base, off) ->
+         t.bb_k <- k;
+         let va = u32 (Array.unsafe_get t.regs base + off) in
+         let v = load_timed t va 2 in
+         let v = if v >= 0x8000 then v - 0x10000 else v in
+         ref_trace t 1 va;
+         reg_set t rt v
+       | U_lhu (rt, base, off) ->
+         t.bb_k <- k;
+         let va = u32 (Array.unsafe_get t.regs base + off) in
+         let v = load_timed t va 2 in
+         ref_trace t 1 va;
+         reg_set t rt v
+       | U_lb (rt, base, off) ->
+         t.bb_k <- k;
+         let va = u32 (Array.unsafe_get t.regs base + off) in
+         let v = load_timed t va 1 in
+         let v = if v >= 0x80 then v - 0x100 else v in
+         ref_trace t 1 va;
+         reg_set t rt v
+       | U_lbu (rt, base, off) ->
+         t.bb_k <- k;
+         let va = u32 (Array.unsafe_get t.regs base + off) in
+         let v = load_timed t va 1 in
+         ref_trace t 1 va;
+         reg_set t rt v
+       | U_sw (rt, base, off) ->
+         t.bb_k <- k;
+         let va = u32 (Array.unsafe_get t.regs base + off) in
+         let tcc = t.tc in
+         if
+           va land 3 = 0
+           && va lsr Addr.page_shift = tcc.w_vpn
+           && tcc.w_cached
+         then begin
+           let pa = tcc.w_frame lor (va land Addr.page_mask) in
+           if pa + 4 <= t.cfg.mem_bytes && not (is_device_pa pa) then begin
+             (* write-through, no-allocate: the cache probe of
+                [store_timed] has no observable effect on a store, so
+                only the write buffer, memory, the decode cache and the
+                page generation are touched *)
+             t.cycles <- t.cycles + Write_buffer.store t.wb ~now:t.cycles;
+             let v = Array.unsafe_get t.regs rt in
+             Bytes.set_int32_le t.mem pa (Int32.of_int (v land 0xFFFFFFFF));
+             Bytes.set t.dec_valid (pa lsr 2) '\000';
+             bgen_bump t pa;
+             (match t.watchpoint with
+             | Some f ->
+               t.bb_dev <- true;
+               f va v
+             | None -> ());
+             (match t.ref_tracer with Some f -> f 2 va | None -> ())
+           end
+           else begin
+             store_timed t va 4 (Array.unsafe_get t.regs rt);
+             (match t.ref_tracer with Some f -> f 2 va | None -> ())
+           end
+         end
+         else begin
+           store_timed t va 4 (Array.unsafe_get t.regs rt);
+           (match t.ref_tracer with Some f -> f 2 va | None -> ())
+         end
+       | U_sh (rt, base, off) ->
+         t.bb_k <- k;
+         let va = u32 (Array.unsafe_get t.regs base + off) in
+         store_timed t va 2 (Array.unsafe_get t.regs rt);
+         ref_trace t 2 va
+       | U_sb (rt, base, off) ->
+         t.bb_k <- k;
+         let va = u32 (Array.unsafe_get t.regs base + off) in
+         store_timed t va 1 (Array.unsafe_get t.regs rt);
+         ref_trace t 2 va
+       | U_beq (rs, rt, a) ->
+         t.next_is_delay <- true;
+         if Array.unsafe_get t.regs rs = Array.unsafe_get t.regs rt then
+           t.npc <- a
+       | U_bne (rs, rt, a) ->
+         t.next_is_delay <- true;
+         if Array.unsafe_get t.regs rs <> Array.unsafe_get t.regs rt then
+           t.npc <- a
+       | U_blez (rs, a) ->
+         t.next_is_delay <- true;
+         if s32 (Array.unsafe_get t.regs rs) <= 0 then t.npc <- a
+       | U_bgtz (rs, a) ->
+         t.next_is_delay <- true;
+         if s32 (Array.unsafe_get t.regs rs) > 0 then t.npc <- a
+       | U_bltz (rs, a) ->
+         t.next_is_delay <- true;
+         if s32 (Array.unsafe_get t.regs rs) < 0 then t.npc <- a
+       | U_bgez (rs, a) ->
+         t.next_is_delay <- true;
+         if s32 (Array.unsafe_get t.regs rs) >= 0 then t.npc <- a
+       | U_bc1t a ->
+         t.next_is_delay <- true;
+         if t.fcc then t.npc <- a
+       | U_bc1f a ->
+         t.next_is_delay <- true;
+         if not t.fcc then t.npc <- a
+       | U_j a ->
+         t.next_is_delay <- true;
+         t.npc <- a
+       | U_jal a ->
+         reg_set t Reg.ra (cur + 8);
+         t.next_is_delay <- true;
+         t.npc <- a
+       | U_jr rs ->
+         t.next_is_delay <- true;
+         t.npc <- Array.unsafe_get t.regs rs
+       | U_jalr (rd, rs) ->
+         let dest = Array.unsafe_get t.regs rs in
+         reg_set t rd (cur + 8);
+         t.next_is_delay <- true;
+         t.npc <- dest
+       | U_other insn ->
+         t.bb_k <- k;
+         (* [exec] (an hcall handler in particular) may observe the
+            counters: close the pending span first *)
+         bb_flush t b k;
+         exec t cur insn;
+         (* the mode may have flipped; [exec] flushed up to this uop, so
+            the new span (starting with this uop) carries the new mode *)
+         t.bb_um <- t.status land 0x2 <> 0);
+    t.cycles <- t.cycles + 1;
+    if ce then begin
+      match translate_i t cur ~write:false ~fetch:true with
+      | cpa when cpa lsr 2 < Array.length t.exec_counts ->
+        t.exec_counts.(cpa lsr 2) <- t.exec_counts.(cpa lsr 2) + 1
+      | _ -> ()
+      | exception Trap _ -> ()
+    end;
+    let k = k + 1 in
+    if k < lim then begin
+      if t.halted then bb_flush t b k
+      else begin
+        match u with
+        | U_sw _ | U_sh _ | U_sb _ ->
+          (* A store to RAM cannot reach a device: the interrupt lines
+             and the event horizon are unchanged, so only the block's own
+             text page needs re-validating (the store may have hit it).
+             A device store or a watchpoint callback sets [bb_dev] and
+             takes the full poll + interrupt recheck.  Stores never set
+             [next_is_delay]. *)
+          if t.bb_dev then begin
+            t.bb_dev <- false;
+            bb_flush t b k;
+            poll_devices t;
+            if
+              Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift)
+              = b.bb_gen
+            then begin
+              if interrupt_pending t then
+                enter_exception t ~code:Exc.interrupt ~badva:(-1)
+                  ~refill:false ~cur:t.pc ~in_delay:false
+              else
+                bb_go t b lim budget k (pa + 4) (cur + 4) ce (bb_horizon t)
+                  ptag
+            end
+          end
+          else if t.cycles >= next_ev then begin
+            bb_flush t b k;
+            poll_devices t;
+            if
+              Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift)
+              = b.bb_gen
+            then begin
+              if interrupt_pending t then
+                enter_exception t ~code:Exc.interrupt ~badva:(-1)
+                  ~refill:false ~cur:t.pc ~in_delay:false
+              else
+                bb_go t b lim budget k (pa + 4) (cur + 4) ce (bb_horizon t)
+                  ptag
+            end
+          end
+          else if
+              Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift)
+              = b.bb_gen
+          then bb_go t b lim budget k (pa + 4) (cur + 4) ce next_ev ptag
+          else bb_flush t b k
+        | U_other _ ->
+          (* may have done anything (CP0, hcall, devices, the icache):
+             full recheck, and forget the resident fetch line *)
+          bb_flush t b k;
+          t.bb_dev <- false;
+          poll_devices t;
+          if
+            Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift) = b.bb_gen
+          then begin
+            if t.next_is_delay then begin
+              (* The poll above may have raised an irq line whose
+                 delivery is deferred past the delay slot (exactly as in
+                 [step]); the delay slot is the block's last uop, so a
+                 zero horizon forces the chain boundary after it through
+                 the slow path, where the deferred interrupt sample
+                 runs. *)
+              t.next_is_delay <- false;
+              bb_go t b lim budget k (pa + 4) (cur + 4) ce 0 (-1)
+            end
+            else if interrupt_pending t then
+              enter_exception t ~code:Exc.interrupt ~badva:(-1) ~refill:false
+                ~cur:t.pc ~in_delay:false
+            else
+              bb_go t b lim budget k (pa + 4) (cur + 4) ce (bb_horizon t)
+                (-1)
+          end
+        | _ ->
+          if t.cycles >= next_ev then begin
+            bb_flush t b k;
+            poll_devices t;
+            if
+              Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift)
+              = b.bb_gen
+            then begin
+              if t.next_is_delay then begin
+                (* Deferred-interrupt case: see the [U_other] arm — the
+                   zero horizon makes the post-delay-slot chain boundary
+                   re-poll and sample [interrupt_pending]. *)
+                t.next_is_delay <- false;
+                bb_go t b lim budget k (pa + 4) (cur + 4) ce 0 ptag
+              end
+              else if interrupt_pending t then
+                enter_exception t ~code:Exc.interrupt ~badva:(-1)
+                  ~refill:false ~cur:t.pc ~in_delay:false
+              else
+                bb_go t b lim budget k (pa + 4) (cur + 4) ce (bb_horizon t)
+                  ptag
+            end
+          end
+          else if t.next_is_delay then begin
+            t.next_is_delay <- false;
+            bb_go t b lim budget k (pa + 4) (cur + 4) ce next_ev ptag
+          end
+          else bb_go t b lim budget k (pa + 4) (cur + 4) ce next_ev ptag
+      end
+    end
+    else if
+        budget > lim
+        && (not t.halted)
+        && (not t.next_is_delay)
+        && t.npc = t.pc + 4
+    then begin
+      bb_flush t b k;
+      (* Block complete on a sequential pc with budget left: chain into
+         the successor block directly.  [budget > lim] implies the block
+         ran to its real end ([lim] = block length), so exactly [lim]
+         instructions were executed here.  The recheck mirrors the
+         between-instruction logic above, then the fetch checks of
+         [bb_step] run for the new pc. *)
+      let slow =
+        match u with
+        | U_sw _ | U_sh _ | U_sb _ -> t.bb_dev || t.cycles >= next_ev
+        | U_other _ -> true
+        | _ -> t.cycles >= next_ev
+      in
+      if slow then begin
+        t.bb_dev <- false;
+        poll_devices t;
+        if interrupt_pending t then
+          enter_exception t ~code:Exc.interrupt ~badva:(-1) ~refill:false
+            ~cur:t.pc ~in_delay:false
+        else
+          bb_chain t b (budget - lim) (bb_horizon t)
+            (match u with U_other _ -> -1 | _ -> ptag)
+      end
+      else bb_chain t b (budget - lim) next_ev ptag
+    end
+    else bb_flush t b k
+
+(* Enter the block at [t.pc]: the fetch checks of [bb_step], then replay.
+   Tail-called from [bb_go] when chaining, so the fetch-trap handler here
+   must not wrap the replay itself.
+
+   [bprev] is the block just replayed; its [bb_next] memoizes the block
+   last entered from here.  The memo is valid only if the fetch
+   micro-cache would translate [t.pc] to the memoized block's entry (the
+   exact hit condition of [translate_i], which has no counter side
+   effects) and the block's text page generation still matches —
+   otherwise the full fetch-check + table-probe path runs and re-memoizes
+   whatever it finds.  [bb_va = t.pc] implies alignment (blocks are only
+   built at aligned pcs), and the bounds check held at build time for the
+   same physical address. *)
+and bb_chain t bprev budget next_ev ptag =
+  let va = t.pc in
+  let nb = bprev.bb_next in
+  let tcc = t.tc in
+  if
+    nb.bb_va = va
+    && tcc.f_vpn = va lsr Addr.page_shift
+    && tcc.f_frame lor (va land Addr.page_mask) = nb.bb_pa
+    && tcc.f_cached = nb.bb_cached
+    && Array.unsafe_get t.bgen (nb.bb_pa lsr Addr.page_shift) = nb.bb_gen
+  then begin
+    t.tr_cached <- tcc.f_cached;
+    t.bb_blk <- nb;
+    t.bb_kf <- 0;
+    (* [t.bb_um] is still current: nothing between the previous block's
+       flush and this entry executes or touches CP0 status. *)
+    let n = Array.length nb.bb_uops in
+    let lim = if budget < n then budget else n in
+    bb_go t nb lim budget 0 nb.bb_pa va t.cfg.count_exec next_ev ptag
+  end
+  else
+    match
+      (if va land 3 <> 0 then trap ~badva:va Exc.adel;
+       let pa = translate_i t va ~write:false ~fetch:true in
+       if not (phys_ok t pa 4) then trap ~badva:va Exc.adel;
+       pa)
+    with
+    | exception Trap { code; badva; refill } ->
+      t.cycles <- t.cycles + 1;
+      enter_exception t ~code ~badva ~refill ~cur:va ~in_delay:false
+    | pa ->
+      let b = bb_lookup t ~va ~pa ~cached:t.tr_cached in
+      bprev.bb_next <- b;
+      t.bb_blk <- b;
+      t.bb_kf <- 0;
+      t.bb_um <- t.status land 0x2 <> 0;
+      let n = Array.length b.bb_uops in
+      let lim = if budget < n then budget else n in
+      bb_go t b lim budget 0 pa va t.cfg.count_exec next_ev ptag
+
+let exec_block t b ~budget =
+  let n = Array.length b.bb_uops in
+  let lim = if budget < n then budget else n in
+  t.bb_blk <- b;
+  t.bb_kf <- 0;
+  t.bb_um <- t.status land 0x2 <> 0;
+  match
+    bb_go t b lim budget 0 b.bb_pa t.pc t.cfg.count_exec (bb_horizon t) (-1)
+  with
+  | () -> ()
+  | exception Trap { code; badva; refill } ->
+    t.cycles <- t.cycles + 1;
+    let blk = t.bb_blk in
+    let k = t.bb_k in
+    (* uops [bb_kf, k) completed before the fault; uop k itself is not
+       counted, exactly as in step mode *)
+    bb_flush t blk k;
+    let cur = blk.bb_va + (k * 4) in
+    let in_delay =
+      k > 0
+      && (match Array.unsafe_get blk.bb_uops (k - 1) with
+         | U_beq _ | U_bne _ | U_blez _ | U_bgtz _ | U_bltz _ | U_bgez _
+         | U_bc1t _ | U_bc1f _ | U_j _ | U_jal _ | U_jr _ | U_jalr _ -> true
+         | U_other i -> Insn.is_control i
+         | _ -> false)
+    in
+    enter_exception t ~code ~badva ~refill ~cur ~in_delay
+
+(* Block-mode counterpart of [step]: at a block entry the fetch checks run
+   once (alignment, translation, bounds), then the cached block replays.
+   Replays chain — a block ending in a taken jump whose target starts a
+   fresh sequential pc re-enters directly, performing exactly the checks
+   the [run]+[step] loop would (poll, interrupt sample, fresh fetch
+   translation) without bouncing through [run].  Only called with
+   [next_is_delay] false and [budget >= 1]. *)
+let bb_step t ~budget =
+  if t.npc <> t.pc + 4 then
+    (* The harness set pc/npc out of line; the one-instruction path
+       handles any pc/npc pair, so let the oracle run it. *)
+    step t
+  else begin
+    let c = t.c in
+    let start = c.instructions in
+    let rec loop () =
+      if t.cycles >= t.next_clock || Disk.next_event t.disk <= t.cycles then
+        poll_devices t;
+      if interrupt_pending t then
+        enter_exception t ~code:Exc.interrupt ~badva:(-1) ~refill:false
+          ~cur:t.pc ~in_delay:false
+      else begin
+        let va = t.pc in
+        match
+          (if va land 3 <> 0 then trap ~badva:va Exc.adel;
+           let pa = translate_i t va ~write:false ~fetch:true in
+           if not (phys_ok t pa 4) then trap ~badva:va Exc.adel;
+           pa)
+        with
+        | pa ->
+          let cached = t.tr_cached in
+          exec_block t
+            (bb_lookup t ~va ~pa ~cached)
+            ~budget:(budget - (c.instructions - start));
+          if
+            (not t.halted)
+            && (not t.next_is_delay)
+            && c.instructions - start < budget
+            && t.npc = t.pc + 4
+          then loop ()
+        | exception Trap { code; badva; refill } ->
+          t.cycles <- t.cycles + 1;
+          enter_exception t ~code ~badva ~refill ~cur:va ~in_delay:false
+      end
+    in
+    loop ()
+  end
+
 type stop_reason = Halt | Limit
 
 let run t ~max_insns =
   let start = t.c.instructions in
-  let rec go () =
-    if t.halted then Halt
-    else if t.c.instructions - start >= max_insns then Limit
-    else begin
-      step t;
-      go ()
-    end
-  in
-  go ()
+  if t.cfg.bcache then
+    let rec go () =
+      if t.halted then Halt
+      else begin
+        let executed = t.c.instructions - start in
+        if executed >= max_insns then Limit
+        else begin
+          (* a pending delay slot (branch target unknown until it runs, or
+             a branch straddling a page end) takes the one-instruction
+             path *)
+          if t.next_is_delay then step t
+          else bb_step t ~budget:(max_insns - executed);
+          go ()
+        end
+      end
+    in
+    go ()
+  else
+    let rec go () =
+      if t.halted then Halt
+      else if t.c.instructions - start >= max_insns then Limit
+      else begin
+        step t;
+        go ()
+      end
+    in
+    go ()
 
 let halt t = t.halted <- true
 

@@ -43,6 +43,14 @@ type config = {
   tcache : bool;
       (** Last-translation micro-cache in front of the TLB walk (default
           on; turn off to benchmark or to act as its own oracle). *)
+  bcache : bool;
+      (** Basic-block execution cache: decode a straight-line block once,
+          replay it with one fetch translation + bounds check per block
+          (default on).  Blocks are keyed by (physical address, pc,
+          cacheability) and invalidated by per-page store generations, so
+          self-modifying code, DMA, TLB remaps and mode switches behave
+          exactly as in step-at-a-time execution; {!step} remains the
+          state-identical oracle (qcheck-enforced). *)
 }
 
 val default_config : config
@@ -73,11 +81,24 @@ type tcache = {
   mutable w_vpn : int;  mutable w_frame : int;  mutable w_cached : bool;
 }
 
+type uop
+(** One pre-decoded instruction of a cached basic block: operands
+    resolved, dispatch pre-selected. *)
+
+type bblock
+(** A decoded straight-line block, keyed by (physical address, pc,
+    cacheability) and guarded by its text page's store generation. *)
+
 type t = {
   cfg : config;
   mem : Bytes.t;
   dec : Insn.t array;
   dec_valid : Bytes.t;
+  bcache_tab : bblock array;
+  bgen : int array;
+      (** Per-physical-page store generation: bumped by every store, DMA
+          and host poke; cached blocks are valid only while their page's
+          generation matches. *)
   regs : int array;
   fregs : float array;
   mutable fcc : bool;
@@ -95,6 +116,23 @@ type t = {
   mutable context_badvpn : int;
   tlb : Tlb.t;
   tc : tcache;
+  mutable tr_cached : bool;
+      (** Cacheability of the last [translate_i] result — the hot paths'
+          allocation-free way of returning (pa, cached). *)
+  mutable bb_k : int;
+      (** Index of the uop currently replaying in block mode — lets the
+          per-block trap handler recover the faulting pc. *)
+  mutable bb_blk : bblock;
+      (** The block currently replaying (replay chains across blocks, so
+          the trap handler tracks it here). *)
+  mutable bb_dev : bool;
+      (** Set when a store reached a device register (or a watchpoint
+          fired), forcing the full post-store device recheck in block
+          replay. *)
+  mutable bb_kf : int;
+      (** First uop of the pending (not yet counted) replay span. *)
+  mutable bb_um : bool;
+      (** Mode the pending replay span executed in. *)
   icache : Cache.t;
   dcache : Cache.t;
   wb : Write_buffer.t;

@@ -7,7 +7,9 @@
 type t = {
   depth : int;
   drain_cycles : int;
-  mutable retire_times : int list;
+  ring : int array;            (** absolute retire cycles, ascending *)
+  mutable head : int;          (** index of the oldest entry *)
+  mutable count : int;
   mutable stall_cycles : int;
   mutable stores : int;
 }

@@ -815,6 +815,102 @@ let drain_ablation_table ?(wname = "sed") () =
    per-mode attribution: how much of each workload's memory-system time
    is system (kernel + server) rather than user, under each structure. *)
 
+(* ------------------------------------------------------------------ *)
+(* DESIGN.md Â§5e: interpreter execution-mode ablation                   *)
+
+(* Host cost of the three interpreter configurations on a full untraced
+   boot + workload run.  The simulated machine must be bit-for-bit
+   indifferent: every ground-truth counter and the console transcript are
+   asserted identical across modes before the timings are reported, which
+   exercises the block cache's invalidation machinery (kernel loads
+   programs, remaps pages and switches modes constantly) at system
+   scale. *)
+let interp_ablation_table ?(wname = "egrep") () =
+  let e = Suite.find wname in
+  let run ~tcache ~bcache =
+    let cfg =
+      {
+        Builder.default_config with
+        Builder.machine_cfg =
+          {
+            Systrace_machine.Machine.default_config with
+            Systrace_machine.Machine.tcache;
+            bcache;
+          };
+      }
+    in
+    let t0 = Sys.time () in
+    let b =
+      Builder.build ~cfg ~programs:[ e.Suite.program () ] ~files:e.Suite.files
+        ()
+    in
+    (match Builder.run b ~max_insns:2_000_000_000 with
+    | Systrace_machine.Machine.Halt -> ()
+    | Systrace_machine.Machine.Limit -> failwith "interp ablation: no halt");
+    (Sys.time () -. t0, b)
+  in
+  let fingerprint (b : Builder.t) =
+    let m = b.Builder.machine in
+    let c = m.Systrace_machine.Machine.c in
+    ( m.Systrace_machine.Machine.cycles,
+      ( c.Systrace_machine.Machine.instructions,
+        c.Systrace_machine.Machine.user_instructions,
+        c.Systrace_machine.Machine.kernel_instructions,
+        c.Systrace_machine.Machine.idle_instructions ),
+      ( c.Systrace_machine.Machine.utlb_misses,
+        c.Systrace_machine.Machine.ktlb_misses,
+        c.Systrace_machine.Machine.exceptions,
+        c.Systrace_machine.Machine.interrupts,
+        c.Systrace_machine.Machine.syscalls ),
+      Builder.console b )
+  in
+  let modes =
+    [
+      ("step (no caches)", false, false);
+      ("tcache", true, false);
+      ("tcache + bcache", true, true);
+    ]
+  in
+  let results =
+    List.map
+      (fun (label, tcache, bcache) ->
+        let secs, b = run ~tcache ~bcache in
+        (label, secs, fingerprint b))
+      modes
+  in
+  (match results with
+  | (_, _, fp0) :: rest ->
+    List.iter
+      (fun (label, _, fp) ->
+        if fp <> fp0 then
+          failwith
+            (Printf.sprintf
+               "interp ablation: %s diverges from step-at-a-time on %s" label
+               wname))
+      rest
+  | [] -> ());
+  let base = match results with (_, s, _) :: _ -> s | [] -> 1.0 in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Interpreter execution modes: host cost of an untraced %s run \
+(identical simulated counters and console asserted across all three)"
+           wname)
+      ~headers:[ "mode"; "host cpu s"; "speedup" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right ]
+  in
+  List.iter
+    (fun (label, secs, _) ->
+      Table.add_row t
+        [
+          label;
+          Printf.sprintf "%.2f" secs;
+          Printf.sprintf "%.2fx" (base /. secs);
+        ])
+    results;
+  t
+
 let os_structure_table (matrix : full_row list) =
   let t =
     Table.create

@@ -223,8 +223,8 @@ type row = {
   r_predicted : prediction;
 }
 
-let run_workload ?pagemap ?(seed = 1) os spec : row =
-  let m = measure ?pagemap ~seed os spec in
+let run_workload ?machine_cfg ?pagemap ?(seed = 1) os spec : row =
+  let m = measure ?machine_cfg ?pagemap ~seed os spec in
   let p = predict ?pagemap ~seed ~arith_stalls:m.m_arith_ideal os spec in
   if m.m_console <> p.p_console then
     failwith

@@ -71,9 +71,17 @@ type row = {
   r_predicted : prediction;
 }
 
-val run_workload : ?pagemap:Kcfg.pagemap -> ?seed:int -> os -> spec -> row
+val run_workload :
+  ?machine_cfg:Systrace_machine.Machine.config ->
+  ?pagemap:Kcfg.pagemap ->
+  ?seed:int ->
+  os ->
+  spec ->
+  row
 (** Measured and predicted passes; fails if traced and untraced runs
-    disagree on program output. *)
+    disagree on program output.  [machine_cfg] overrides the measured
+    pass's machine configuration (e.g. [bcache = false]); the predicted
+    pass is a trace-driven model and takes no machine. *)
 
 val percent_error : row -> float
 (** The Figure 3 quantity. *)

@@ -851,10 +851,344 @@ let prop_tcache_matches_walk =
             true)
         ops)
 
+(* ------------------------------------------------------------------ *)
+(* Block-cache oracle: replay must be indistinguishable from [step]    *)
+
+(* Complete architectural state plus every ground-truth counter.  Any
+   divergence here means the block cache leaked into the simulation. *)
+let bb_fingerprint (m : Machine.t) =
+  let c = m.Machine.c in
+  ( ( Array.to_list m.Machine.regs,
+      (m.Machine.pc, m.Machine.npc, m.Machine.next_is_delay),
+      (m.Machine.status, m.Machine.cause, m.Machine.epc, m.Machine.badvaddr),
+      m.Machine.cycles ),
+    ( (c.Machine.instructions, c.Machine.user_instructions,
+       c.Machine.kernel_instructions, c.Machine.idle_instructions),
+      (c.Machine.utlb_misses, c.Machine.ktlb_misses, c.Machine.exceptions,
+       c.Machine.interrupts, c.Machine.clock_ticks),
+      (Machine.icache_misses m, Machine.dcache_misses m, Machine.wb_stalls m) ),
+    Machine.console_contents m )
+
+(* The general/utlb vectors get a host-assembled stub: interrupts ack the
+   clock and resume at epc; any other trap skips the faulting
+   instruction (epc + 4).  Written straight into physical memory so the
+   generated programs stay simple. *)
+let bb_install_vectors m =
+  let open Insn in
+  let stub base =
+    [
+      Mfc0 (Reg.k0, C0_cause);
+      Alui (ANDI, Reg.k0, Reg.k0, Imm 0x3c);
+      Bne (Reg.k0, Reg.zero, Abs (base + (9 * 4)));
+      nop;
+      Lui (Reg.k1, Imm 0xA100);
+      Store (W, Reg.zero, Reg.k1, Imm 0x08) (* dev_clock_ack *);
+      Mfc0 (Reg.k1, C0_epc);
+      Jr Reg.k1;
+      Rfe;
+      Mfc0 (Reg.k1, C0_epc);
+      Alui (ADDIU, Reg.k1, Reg.k1, Imm 4);
+      Jr Reg.k1;
+      Rfe;
+    ]
+  in
+  let write base insns =
+    List.iteri
+      (fun i insn ->
+        Machine.write_phys_u32 m
+          (Addr.kseg0_pa base + (4 * i))
+          (Encode.encode ~pc:(base + (4 * i)) insn))
+      insns
+  in
+  write Addr.general_vector (stub Addr.general_vector);
+  write Addr.utlb_vector (stub Addr.utlb_vector)
+
+(* Run the same program under step-at-a-time and block-cached execution
+   with identical budgets; [prepare] pokes extra host-side state (mapped
+   routines, clock) into both machines identically. *)
+let bb_run_both ?(prepare = fun (_ : Machine.t) -> ()) ?(max_insns = 400_000)
+    build =
+  let run_mode bcache =
+    let cfg = { Machine.default_config with Machine.bcache } in
+    let m, _ = setup ~cfg build in
+    bb_install_vectors m;
+    prepare m;
+    (match Machine.run m ~max_insns with
+    | Machine.Halt -> ()
+    | Machine.Limit ->
+      QCheck.Test.fail_report "generated program hit the instruction limit");
+    m
+  in
+  let ms = run_mode false in
+  let mb = run_mode true in
+  if not (Bytes.equal ms.Machine.mem mb.Machine.mem) then
+    QCheck.Test.fail_report "block mode diverges from step mode in memory";
+  let fs = bb_fingerprint ms and fb = bb_fingerprint mb in
+  if fs <> fb then
+    QCheck.Test.fail_report
+      "block mode diverges from step mode in registers/counters";
+  true
+
+(* Generated program fragments.  [Patch] stores a freshly encoded
+   instruction over a callable slot's first word (through kseg0, like
+   the stores self-modifying code does); [Call_slot] jumps into it, so a
+   stale decoded block would be caught immediately.  [Delay_fault] puts
+   an unaligned load in a jump's delay slot: the fault must recover the
+   branch pc and the in-delay flag from mid-block state. *)
+type bb_op =
+  | Arith of int
+  | Mem_rw of int
+  | Skip_fwd
+  | Loop of int * int
+  | Patch of int * int
+  | Call_slot of int
+  | Unaligned
+  | Delay_fault
+
+let bb_nslots = 3
+
+let bb_emit_op a fresh op =
+  let open Asm in
+  match op with
+  | Arith k ->
+    addiu a Reg.s0 Reg.s0 k;
+    xor_ a Reg.s1 Reg.s1 Reg.s0
+  | Mem_rw k ->
+    li a Reg.t4 (data_va + (4 * k));
+    sw a Reg.s0 0 Reg.t4;
+    lw a Reg.t5 0 Reg.t4;
+    addu a Reg.s1 Reg.s1 Reg.t5
+  | Skip_fwd ->
+    let l = fresh "skip" in
+    beq a Reg.zero Reg.zero l;
+    addiu a Reg.s0 Reg.s0 1;
+    addiu a Reg.s0 Reg.s0 2;
+    label a l
+  | Loop (n, k) ->
+    let l = fresh "loop" in
+    li a Reg.t3 n;
+    label a l;
+    addiu a Reg.s0 Reg.s0 k;
+    addiu a Reg.t3 Reg.t3 (-1);
+    bnez a Reg.t3 l
+  | Patch (slot, k) ->
+    li a Reg.t0
+      (Encode.encode ~pc:0 (Insn.Alui (Insn.ADDIU, Reg.s7, Reg.s7, Insn.Imm k)));
+    la a Reg.t1 (Printf.sprintf "slot%d" (slot mod bb_nslots));
+    sw a Reg.t0 0 Reg.t1
+  | Call_slot slot ->
+    la a Reg.t2 (Printf.sprintf "slot%d" (slot mod bb_nslots));
+    jalr a Reg.t2
+  | Unaligned ->
+    li a Reg.t8 (data_va + 0x101);
+    lw a Reg.t9 0 Reg.t8
+  | Delay_fault ->
+    let l = fresh "df" in
+    li a Reg.t8 (data_va + 0x203);
+    i a (Insn.J (Insn.Sym l));
+    i a (Insn.Load (Insn.W, Reg.t9, Reg.t8, Insn.Imm 0));
+    label a l
+
+let bb_build_program ops a =
+  let open Asm in
+  let fresh = fresh_label a in
+  List.iter (bb_emit_op a fresh) ops;
+  halt a;
+  for s = 0 to bb_nslots - 1 do
+    label a (Printf.sprintf "slot%d" s);
+    addiu a Reg.s7 Reg.s7 1;
+    jr_ a Reg.ra
+  done
+
+let bb_gen_op =
+  let open QCheck.Gen in
+  frequency
+    [
+      (4, map (fun k -> Arith k) (int_range 1 100));
+      (3, map (fun k -> Mem_rw k) (int_range 0 63));
+      (2, return Skip_fwd);
+      (2, map2 (fun n k -> Loop (n, k)) (int_range 2 6) (int_range 1 9));
+      (3, map2 (fun s k -> Patch (s, k)) (int_range 0 2) (int_range 1 200));
+      (3, map (fun s -> Call_slot s) (int_range 0 2));
+      (1, return Unaligned);
+      (1, return Delay_fault);
+    ]
+
+let bb_arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat " "
+        (List.map
+           (function
+             | Arith k -> Printf.sprintf "arith%d" k
+             | Mem_rw k -> Printf.sprintf "mem%d" k
+             | Skip_fwd -> "skip"
+             | Loop (n, k) -> Printf.sprintf "loop%dx%d" n k
+             | Patch (s, k) -> Printf.sprintf "patch%d<-%d" s k
+             | Call_slot s -> Printf.sprintf "call%d" s
+             | Unaligned -> "unaligned"
+             | Delay_fault -> "delayfault")
+           ops))
+    QCheck.Gen.(list_size (int_range 1 40) bb_gen_op)
+
+let prop_bcache_matches_step =
+  QCheck.Test.make ~count:60
+    ~name:"block replay == step: self-modifying text, faults, branches"
+    bb_arb_ops
+    (fun ops -> bb_run_both (bb_build_program ops))
+
+(* TLB remaps under the block cache: one kuseg page flips between two
+   physical frames holding different routines; jumping through the
+   mapping must always execute the routine the TLB currently names, and
+   stores through kseg0 to either frame must invalidate blocks decoded
+   through the kuseg mapping (block keys are physical). *)
+
+let bb_map_va = 0x0000_6000
+let bb_frame1 = 0x0040_0000
+let bb_frame2 = 0x0040_1000
+
+type bb_map_op =
+  | Map_remap of bool
+  | Map_call
+  | Map_poke of bool * int
+  | Map_arith of int
+
+let bb_map_routine k = [ Insn.Alui (Insn.ADDIU, Reg.s6, Reg.s6, Insn.Imm k); Insn.Jr Reg.ra; Insn.nop ]
+
+let bb_map_prepare m =
+  List.iteri
+    (fun i insn ->
+      Machine.write_phys_u32 m (bb_frame1 + (4 * i))
+        (Encode.encode ~pc:(bb_map_va + (4 * i)) insn))
+    (bb_map_routine 1);
+  List.iteri
+    (fun i insn ->
+      Machine.write_phys_u32 m (bb_frame2 + (4 * i))
+        (Encode.encode ~pc:(bb_map_va + (4 * i)) insn))
+    (bb_map_routine 64)
+
+let bb_map_emit a op =
+  let open Asm in
+  match op with
+  | Map_remap second ->
+    let frame = if second then bb_frame2 else bb_frame1 in
+    li a Reg.t0 (Tlb.make_entryhi ~vpn:(bb_map_va lsr Addr.page_shift) ~asid:0);
+    mtc0 a Reg.t0 Insn.C0_entryhi;
+    li a Reg.t1
+      (Tlb.make_entrylo ~dirty:true ~valid:true ~global:true
+         ~pfn:(frame lsr Addr.page_shift) ());
+    mtc0 a Reg.t1 Insn.C0_entrylo;
+    li a Reg.t2 (8 lsl 8);
+    mtc0 a Reg.t2 Insn.C0_index;
+    tlbwi a
+  | Map_call ->
+    li a Reg.t6 bb_map_va;
+    jalr a Reg.t6
+  | Map_poke (second, k) ->
+    let frame = if second then bb_frame2 else bb_frame1 in
+    li a Reg.t0
+      (Encode.encode ~pc:bb_map_va
+         (Insn.Alui (Insn.ADDIU, Reg.s6, Reg.s6, Insn.Imm k)));
+    li a Reg.t1 (Addr.kseg0_base lor frame);
+    sw a Reg.t0 0 Reg.t1
+  | Map_arith k -> addiu a Reg.s0 Reg.s0 k
+
+let bb_map_build ops a =
+  List.iter (bb_map_emit a) (Map_remap false :: ops);
+  halt a
+
+let bb_map_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat " "
+        (List.map
+           (function
+             | Map_remap b -> Printf.sprintf "remap%B" b
+             | Map_call -> "call"
+             | Map_poke (b, k) -> Printf.sprintf "poke%B<-%d" b k
+             | Map_arith k -> Printf.sprintf "arith%d" k)
+           ops))
+    QCheck.Gen.(
+      list_size (int_range 1 40)
+        (frequency
+           [
+             (3, map (fun b -> Map_remap b) bool);
+             (4, return Map_call);
+             (2, map2 (fun b k -> Map_poke (b, k)) bool (int_range 1 200));
+             (2, map (fun k -> Map_arith k) (int_range 1 100));
+           ]))
+
+let prop_bcache_tlb_remap =
+  QCheck.Test.make ~count:60
+    ~name:"block replay == step: TLB remaps over cached blocks"
+    bb_map_arb
+    (fun ops -> bb_run_both ~prepare:bb_map_prepare (bb_map_build ops))
+
+(* Clock interrupts at random intervals sweep the interrupt-arrival
+   point across every block-boundary alignment — including an irq
+   raised at the branch→delay-slot boundary, whose delivery [step]
+   defers by exactly one instruction (the regression that motivated
+   this property: block chaining must not defer it further). *)
+
+type bb_clk_op = Clk_arith of int | Clk_skip | Clk_loop of int * int | Clk_mem of int
+
+let bb_clk_build ops a =
+  let open Asm in
+  let fresh = fresh_label a in
+  li a Reg.t0 (0x401 lor (1 lsl (Addr.irq_clock + 8)));
+  mtc0 a Reg.t0 Insn.C0_status;
+  List.iter
+    (fun op ->
+      bb_emit_op a fresh
+        (match op with
+        | Clk_arith k -> Arith k
+        | Clk_skip -> Skip_fwd
+        | Clk_loop (n, k) -> Loop (n, k)
+        | Clk_mem k -> Mem_rw k))
+    ops;
+  halt a;
+  for s = 0 to bb_nslots - 1 do
+    label a (Printf.sprintf "slot%d" s);
+    addiu a Reg.s7 Reg.s7 1;
+    jr_ a Reg.ra
+  done
+
+let bb_clk_arb =
+  QCheck.make
+    ~print:(fun (iv, ops) -> Printf.sprintf "interval=%d <%d ops>" iv (List.length ops))
+    QCheck.Gen.(
+      (* Floor the interval above the handler's steady-state cost (~30
+         cycles: nine instructions plus the uncached ack store) — below
+         that the clock refires mid-handler forever and the *guest*
+         livelocks, on real hardware just as much as here. *)
+      pair (int_range 100 300)
+        (list_size (int_range 5 40)
+           (frequency
+              [
+                (4, map (fun k -> Clk_arith k) (int_range 1 100));
+                (3, return Clk_skip);
+                (4, map2 (fun n k -> Clk_loop (n, k)) (int_range 2 8) (int_range 1 9));
+                (2, map (fun k -> Clk_mem k) (int_range 0 63));
+              ])))
+
+let prop_bcache_clock_interrupts =
+  QCheck.Test.make ~count:60
+    ~name:"block replay == step: clock interrupts at random intervals"
+    bb_clk_arb
+    (fun (interval, ops) ->
+      bb_run_both
+        ~prepare:(fun m ->
+          m.Machine.clock_interval <- interval;
+          m.Machine.next_clock <- interval)
+        (bb_clk_build ops))
+
 let tests =
   tests
   @ [
       QCheck_alcotest.to_alcotest prop_tcache_matches_walk;
+      QCheck_alcotest.to_alcotest prop_bcache_matches_step;
+      QCheck_alcotest.to_alcotest prop_bcache_tlb_remap;
+      QCheck_alcotest.to_alcotest prop_bcache_clock_interrupts;
       Alcotest.test_case "alignment traps" `Quick test_alignment_traps;
       Alcotest.test_case "interrupt masking" `Quick test_interrupt_masking;
       Alcotest.test_case "store invalidates decode" `Quick
