@@ -9,15 +9,16 @@
                                                     time (and byte-identity)
    Experiments: table1 table2 figure3 table3 figure2 expansion dilation
                 kernel_cpi distortion buffer_sweep pagemap corruption
-                faults os_structure drain_ablation trace_format stream micro
+                faults os_structure drain_ablation trace_format stream
+                sweep micro
 
-   `micro`, `stream` and `table2 --timing` merge machine-readable results
-   into BENCH_micro.json at the repo root (one {target, name, unit,
-   value, jobs} object per benchmark, sorted by target/name) so the perf
-   trajectory is tracked across PRs; `--out F` redirects them to a named
-   file instead.  `--gate` checks the recorded results against the CI
-   perf floors after the requested experiments run and exits non-zero on
-   a breach. *)
+   `micro`, `stream`, `sweep` and `table2 --timing` merge
+   machine-readable results into BENCH_micro.json at the repo root (one
+   {target, name, unit, value, jobs} object per benchmark, sorted by
+   target/name) so the perf trajectory is tracked across PRs; `--out F`
+   redirects them to a named file instead.  `--gate` checks the recorded
+   results against the CI perf floors after the requested experiments
+   run and exits non-zero on a breach. *)
 
 open Systrace
 module Experiments = Systrace_validate.Experiments
@@ -85,12 +86,15 @@ let exp_table2_timing () =
     "\nmatrix wall time: serial %.1fs, parallel (%d jobs requested, %d \
      effective) %.1fs -> %.2fx speedup; tables byte-identical\n"
     t_serial !jobs eff t_parallel (t_serial /. t_parallel);
+  (* No "parallel speedup" entry: on a box where the pool degrades to one
+     worker the ratio measures noise, not scaling.  The wall times stand
+     on their own; the gated throughput claim is the sweep's work-saved
+     metric, which does not depend on the host's core count. *)
   let entry = Bench_json.entry ~target:"table2" ~jobs:eff in
   Bench_json.record
     [
       entry ~name:"matrix serial" ~unit_:"s" t_serial;
       entry ~name:"matrix parallel" ~unit_:"s" t_parallel;
-      entry ~name:"parallel speedup" ~unit_:"x" (t_serial /. t_parallel);
     ]
 
 let exp_figure3 () =
@@ -588,6 +592,85 @@ let exp_stream () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Single-pass multi-configuration sweep (Memsim.sweep)                 *)
+
+(* The honest unit of comparison is a single-configuration PASS:
+   generate the trace and analyse it online, which is what the streaming
+   pipeline does in real use (the trace is never materialized, and
+   generation dominates the wall).  Evaluating K configurations the old
+   way costs K such passes; the sweep costs one generation plus a
+   one-pass multi-configuration analysis.  "work saved"
+   = K * single-pass wall / sweep wall is the wall-clock reduction over
+   the K independent runs the sweep replaces — unlike the retired
+   "parallel speedup" entry it does not depend on how many domains the
+   host happens to have. *)
+let exp_sweep () =
+  heading "Multi-configuration sweep: one trace pass vs per-config passes";
+  let wname = if !quick then "egrep" else "tomcatv" in
+  let e = Workloads.Suite.find wname in
+  let (words, run), t_capture =
+    timed (fun () ->
+        capture_trace [ e.Workloads.Suite.program () ] e.Workloads.Suite.files)
+  in
+  let base = default_memsim_cfg ~system:run.system in
+  (* the 4 x 3 x 3 x 2 grid of the README results table *)
+  let grid =
+    Tracesim.Memsim.grid ~base
+      ~sizes:[ 4096; 8192; 16384; 65536 ]
+      ~lines:[ 4; 16; 32 ]
+      ~tlb_entries:[ 16; 32; 64 ]
+      ~wb_depths:[ 2; 4 ] ()
+  in
+  let cfgs = List.map snd grid in
+  let k = List.length cfgs in
+  let _, t_replay =
+    timed (fun () -> replay ~system:run.system ~memsim_cfg:base words)
+  in
+  let (swept, _, _), t_sweep_replay =
+    timed (fun () -> replay_sweep ~system:run.system ~memsim_cfgs:cfgs words)
+  in
+  (* spot-check the sweep against independent single-config replays on a
+     few grid points (the qcheck and validate suites prove the full
+     equivalence; this guards the numbers printed below) *)
+  List.iteri
+    (fun i cfg ->
+      if i mod (max 1 (k / 3)) = 0 then begin
+        let mem, _ = replay ~system:run.system ~memsim_cfg:cfg words in
+        if mem <> swept.(i) then
+          failwith
+            (Printf.sprintf
+               "sweep: config %d differs from its single-config replay" i)
+      end)
+    cfgs;
+  let t_single_pass = t_capture +. t_replay in
+  let t_sweep_pass = t_capture +. t_sweep_replay in
+  let ratio = t_sweep_pass /. t_single_pass in
+  let saved = float_of_int k *. t_single_pass /. t_sweep_pass in
+  Printf.printf
+    "workload %s: %d trace words, %d configurations\n\
+    \  single-config pass: generate %.2fs + analyse %.3fs = %.2fs\n\
+    \  sweep pass:         generate %.2fs + analyse %.3fs = %.2fs (%.2fx one \
+     pass)\n\
+    \  analysis alone: %.3fs for %d configs = %.2fx one config's analysis\n\
+    \  work saved over %d independent passes: %.1fx\n"
+    wname (Array.length words) k t_capture t_replay t_single_pass t_capture
+    t_sweep_replay t_sweep_pass ratio t_sweep_replay k
+    (t_sweep_replay /. t_replay) k saved;
+  (* the sweep is a single-domain pass by construction: record the jobs
+     that actually ran, not the -j request *)
+  let entry = Bench_json.entry ~target:"sweep" ~jobs:1 in
+  Bench_json.record
+    [
+      entry ~name:"configs" ~unit_:"configs" (float_of_int k);
+      entry ~name:"single-pass wall" ~unit_:"s" t_single_pass;
+      entry ~name:"sweep wall" ~unit_:"s" t_sweep_pass;
+      entry ~name:"sweep/single-pass" ~unit_:"x" ratio;
+      entry ~name:"work saved" ~unit_:"x" saved;
+      entry ~name:"sweep analysis/single analysis" ~unit_:"x"
+        (t_sweep_replay /. t_replay);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* CI perf gate: check the recorded results against hard floors.        *)
 
 let gate () =
@@ -605,23 +688,23 @@ let gate () =
   let floors =
     [
       (fun () ->
-        match Bench_json.find entries "table2" "parallel speedup" with
+        match Bench_json.find entries "sweep" "sweep/single-pass" with
         | None ->
-          check
-            "table2 'parallel speedup' missing (run `table2 --timing` first)"
-            false
+          check "sweep 'sweep/single-pass' missing (run `sweep` first)" false
         | Some e ->
-          (* With more than one effective domain the parallel matrix must
-             win outright.  When the pool degraded to one worker
-             (single-core box) the two runs are the same code path and only
-             noise separates them, so allow a tolerance instead of
-             pretending to measure scaling. *)
-          let floor = if e.Bench_json.jobs > 1 then 1.0 else 0.85 in
+          check
+            (Printf.sprintf "sweep pass %.2fx <= 2.00x one single-config pass"
+               e.Bench_json.value)
+            (e.Bench_json.value <= 2.0));
+      (fun () ->
+        match Bench_json.find entries "sweep" "work saved" with
+        | None -> check "sweep 'work saved' missing (run `sweep` first)" false
+        | Some e ->
           check
             (Printf.sprintf
-               "table2 parallel speedup %.2fx >= %.2fx (%d domains)"
-               e.Bench_json.value floor e.Bench_json.jobs)
-            (e.Bench_json.value >= floor));
+               "sweep work saved %.1fx >= 5.0x over independent passes"
+               e.Bench_json.value)
+            (e.Bench_json.value >= 5.0));
       (fun () ->
         match Bench_json.find entries "stream" "streamed/materialized" with
         | None ->
@@ -683,6 +766,7 @@ let experiments =
     ("trace_format", exp_trace_format);
     ("interp", exp_interp);
     ("stream", exp_stream);
+    ("sweep", exp_sweep);
     ("micro", exp_micro);
     ("allocprobe", fun () ->
       (* diagnostic: minor words allocated per interpreted instruction *)
@@ -734,11 +818,13 @@ let usage () =
      available: %s\n\
      -j N      run the experiment matrix on N domains (default %d)\n\
      --timing  (with table2) serial vs parallel wall time + byte-identity\n\
-     --quick   (with faults/stream/table2/micro) smaller runs, for CI smoke\n\
+     --quick   (with faults/stream/sweep/table2/micro) smaller runs, for CI\n\
+    \          smoke\n\
      --out F   merge machine-readable results into F, not BENCH_micro.json\n\
      --gate    after any requested experiment, fail if the recorded results\n\
-    \          breach the CI perf floors (table2 speedup, stream ratio,\n\
-    \          bcache >= 2x tcache interpreter throughput)\n"
+    \          breach the CI perf floors (sweep <= 2x single pass, sweep\n\
+    \          work saved >= 5x, stream ratio, bcache >= 2x tcache\n\
+    \          interpreter throughput)\n"
     Sys.argv.(0)
     (String.concat " " (List.map fst experiments))
     (Pool.default_jobs ());

@@ -7,6 +7,8 @@
      systrace validate WORKLOAD          -- measured vs predicted, one workload
      systrace matrix [-j N]              -- the full validation matrix on a
                                             pool of N domains
+     systrace sweep WORKLOAD FILE        -- evaluate a geometry grid over a
+                                            stored trace in one pass
      systrace check FILE [-w WORKLOAD]   -- validate a stored trace; print
                                             the defensive-tracing diagnoses
 *)
@@ -439,6 +441,111 @@ let analyze_cmd =
              matching block tables).")
     Term.(const run $ workload_arg $ os_arg $ seed_arg $ file)
 
+let sweep_cmd =
+  (* Evaluate a whole geometry grid from ONE streaming pass over a stored
+     trace: the trace is decoded and translated once and a
+     Tracesim.Memsim.sweep updates every configuration's cache/TLB/write-
+     buffer state from the shared decode, so the grid costs about one
+     replay instead of one per configuration. *)
+  let run name os seed file sizes lines tlbs wbs flat =
+    let e = find_workload name in
+    let open Systrace_kernel in
+    let cfg =
+      {
+        Builder.default_config with
+        Builder.traced = true;
+        seed;
+        personality =
+          (match os with Validate.Ultrix -> Kcfg.Ultrix
+                       | Validate.Mach -> Kcfg.Mach);
+        pagemap =
+          (match os with Validate.Ultrix -> Kcfg.Careful
+                       | Validate.Mach -> Kcfg.Random);
+      }
+    in
+    let programs =
+      match os with
+      | Validate.Ultrix -> [ e.Workloads.Suite.program () ]
+      | Validate.Mach ->
+        [
+          Builder.program ~is_server:true "uxserver"
+            [ Workloads.Ux_server.make
+                ~file_plan:(Builder.file_plan e.Workloads.Suite.files) ();
+              Workloads.Userlib.make () ];
+          e.Workloads.Suite.program ();
+        ]
+    in
+    let sys = Builder.build ~cfg ~programs ~files:e.Workloads.Suite.files () in
+    let base = default_memsim_cfg ~system:sys in
+    let grid =
+      try
+        Tracesim.Memsim.grid ~nested:(not flat) ~base
+          ~sizes:(List.map (fun k -> k * 1024) sizes)
+          ~lines ~tlb_entries:tlbs ~wb_depths:wbs ()
+      with Invalid_argument msg ->
+        Printf.eprintf "bad grid: %s\n" msg;
+        exit 1
+    in
+    let stats, accesses, parse =
+      try
+        replay_sweep_file ~system:sys ~memsim_cfgs:(List.map snd grid) file
+      with Tracing.Tracefile.Bad_file msg ->
+        Printf.eprintf "%s: UNREADABLE\n  %s\n" file msg;
+        exit 1
+    in
+    Printf.printf
+      "%s: %d words -> %d instructions, %d data refs; %d configurations in \
+       one pass\n\n"
+      file parse.Tracing.Parser.words parse.Tracing.Parser.insts
+      parse.Tracing.Parser.datas (List.length grid);
+    let pct m a = 100.0 *. float_of_int m /. float_of_int (max 1 a) in
+    Printf.printf "%-24s %10s %10s %12s %10s\n" "geometry" "ic miss%"
+      "dc miss%" "utlb misses" "wb stalls";
+    List.iteri
+      (fun i (label, _) ->
+        let s = stats.(i) in
+        let ic_acc, dc_acc = accesses.(i) in
+        Printf.printf "%-24s %10.3f %10.3f %12d %10d\n" label
+          (pct s.Tracesim.Memsim.icache_misses ic_acc)
+          (pct s.Tracesim.Memsim.dcache_read_misses dc_acc)
+          s.Tracesim.Memsim.utlb_misses s.Tracesim.Memsim.wb_stalls)
+      grid
+  in
+  let file =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Trace file from $(b,systrace dump).")
+  in
+  let sizes =
+    Arg.(value & opt (list int) [ 4; 8; 16; 64 ]
+         & info [ "sizes" ] ~docv:"KB,..."
+             ~doc:"Cache sizes in KB (both caches varied together).")
+  in
+  let lines =
+    Arg.(value & opt (list int) [ 4; 16; 32 ]
+         & info [ "lines" ] ~docv:"B,..." ~doc:"Cache line sizes in bytes.")
+  in
+  let tlbs =
+    Arg.(value & opt (list int) [ 16; 32; 64 ]
+         & info [ "tlb" ] ~docv:"N,..." ~doc:"TLB entry counts.")
+  in
+  let wbs =
+    Arg.(value & opt (list int) [ 2; 4 ]
+         & info [ "wb" ] ~docv:"N,..." ~doc:"Write-buffer depths.")
+  in
+  let flat =
+    Arg.(value & flag
+         & info [ "flat" ]
+             ~doc:"Direct-map every size instead of growing associativity \
+                   with size (disables the nested LRU-stack fast path).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Evaluate a (size x line x TLB x write-buffer) geometry grid \
+             over a stored trace in a single streaming pass; print the \
+             miss-ratio table.")
+    Term.(const run $ workload_arg $ os_arg $ seed_arg $ file $ sizes $ lines
+          $ tlbs $ wbs $ flat)
+
 let check_cmd =
   (* Validate a stored trace (defensive tracing, paper 4.3).  Always runs
      the table-free structural scan (marker kinds, drain framing,
@@ -599,4 +706,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "systrace" ~doc)
           [ list_cmd; run_cmd; trace_cmd; validate_cmd; matrix_cmd; profile_cmd;
-            disasm_cmd; dump_cmd; analyze_cmd; check_cmd ]))
+            disasm_cmd; dump_cmd; analyze_cmd; sweep_cmd; check_cmd ]))

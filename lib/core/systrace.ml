@@ -71,6 +71,7 @@ module Tracesim = struct
   module Sim_cache_assoc = Systrace_tracesim.Sim_cache_assoc
   module Sim_tlb = Systrace_tracesim.Sim_tlb
   module Sim_wb = Systrace_tracesim.Sim_wb
+  module Sim_stack = Systrace_tracesim.Sim_stack
 end
 
 module Workloads = struct
@@ -292,6 +293,65 @@ let replay_file ~(system : Systrace_kernel.Builder.t)
     ~(memsim_cfg : Systrace_tracesim.Memsim.config) path :
     Systrace_tracesim.Memsim.stats * Systrace_tracing.Parser.stats =
   let sink, result = replay_sink ~system ~memsim_cfg () in
+  Systrace_tracing.Tracefile.fold_words path ~init:() ~f:(fun () words ~len ->
+      sink.Systrace_tracing.Sink.on_words words ~len);
+  result ()
+
+(** Multi-configuration {!replay_sink}: one parser pass drives a
+    {!Tracesim.Memsim.sweep} over every configuration at once, so
+    replaying a trace through K memory systems costs roughly one replay,
+    not K (geometry and TLB state that can be shared or nested is).
+    Results come back in [memsim_cfgs] order, byte-identical to K
+    separate {!replay_sink} runs. *)
+let replay_sweep_sink ~(system : Systrace_kernel.Builder.t)
+    ~(memsim_cfgs : Systrace_tracesim.Memsim.config list) () :
+    Systrace_tracing.Sink.t
+    * (unit ->
+      Systrace_tracesim.Memsim.stats array
+      * (int * int) array
+      * Systrace_tracing.Parser.stats) =
+  let open Systrace_kernel in
+  let parser =
+    Systrace_tracing.Parser.create
+      ~kernel_bbs:(Option.get system.Builder.kernel_bbs) ()
+  in
+  List.iter
+    (fun (pi : Builder.proc_info) ->
+      Systrace_tracing.Parser.register_pid parser ~pid:pi.pid
+        (Option.get pi.bbs))
+    system.Builder.procs;
+  let sw = Systrace_tracesim.Memsim.sweep memsim_cfgs in
+  Systrace_tracing.Parser.set_handlers parser
+    (Systrace_tracesim.Memsim.sweep_handlers sw);
+  ( Systrace_tracing.Sink.make (fun words ~len ->
+        Systrace_tracing.Parser.feed parser words ~len),
+    fun () ->
+      ( Systrace_tracesim.Memsim.sweep_stats sw,
+        Systrace_tracesim.Memsim.sweep_accesses sw,
+        Systrace_tracing.Parser.stats parser ) )
+
+(** {!replay} across many configurations in one pass.  Returns, in
+    [memsim_cfgs] order, each configuration's stats and its
+    (icache, dcache-read) access counts — the miss-ratio denominators —
+    plus the shared parse stats. *)
+let replay_sweep ~(system : Systrace_kernel.Builder.t)
+    ~(memsim_cfgs : Systrace_tracesim.Memsim.config list) (words : int array) :
+    Systrace_tracesim.Memsim.stats array
+    * (int * int) array
+    * Systrace_tracing.Parser.stats =
+  let sink, result = replay_sweep_sink ~system ~memsim_cfgs () in
+  sink.Systrace_tracing.Sink.on_words words ~len:(Array.length words);
+  result ()
+
+(** {!replay_file} across many configurations in one pass: the stored
+    trace streams from disk once, in O(chunk) space, whatever the number
+    of configurations. *)
+let replay_sweep_file ~(system : Systrace_kernel.Builder.t)
+    ~(memsim_cfgs : Systrace_tracesim.Memsim.config list) path :
+    Systrace_tracesim.Memsim.stats array
+    * (int * int) array
+    * Systrace_tracing.Parser.stats =
+  let sink, result = replay_sweep_sink ~system ~memsim_cfgs () in
   Systrace_tracing.Tracefile.fold_words path ~init:() ~f:(fun () words ~len ->
       sink.Systrace_tracing.Sink.on_words words ~len);
   result ()

@@ -149,7 +149,9 @@ let kseg2_access t ~pid ~is_load va =
     end
   end
   else begin
-    ignore (Sim_cache_assoc.write t.dcache pa);
+    (* write-through/no-allocate: the returned hit/miss only moves the
+       cache's own write counters, which a qcheck property ties to it *)
+    let (_hit : bool) = Sim_cache_assoc.write t.dcache pa in
     t.s.wb_stalls <- t.s.wb_stalls + Sim_wb.store t.wb
   end
 
@@ -222,7 +224,7 @@ let on_data t addr pid kernel is_load _bytes =
       end
     end
     else begin
-      ignore (Sim_cache_assoc.write t.dcache pa);
+      let (_hit : bool) = Sim_cache_assoc.write t.dcache pa in
       let stall = Sim_wb.store t.wb in
       charge t ~kernel stall;
       t.s.wb_stalls <- t.s.wb_stalls + stall
@@ -249,3 +251,530 @@ let handlers t : Parser.handlers =
 let sink ?live t parser : Sink.t =
   Parser.set_handlers parser (handlers t);
   Sink.to_parser ?live parser
+
+(* ================================================================== *)
+(* Single-pass multi-configuration sweep.
+
+   Evaluating K configurations by K independent replays decodes and
+   translates the same trace K times; this sink does the shared work once
+   per reference and keeps only the per-configuration state that actually
+   differs.  The decomposition follows the dependence structure of the
+   single-configuration simulator above:
+
+   - Reference classification (kuseg/kseg0/kseg1/kseg2), the page-map
+     lookup and the per-mode instruction counts depend only on the trace:
+     they are computed once, globally.
+   - The TLB access stream — including the synthesized handler references
+     a miss injects — depends only on the trace and the TLB parameters,
+     so configurations sharing (tlb_entries, handler lengths) share one
+     TLB and one synthesized stream ("groups" below).
+   - Cache contents depend on the trace and the group's synthesized
+     stream; within a group, distinct geometries are simulated once each,
+     shared by every configuration that names them — and icache families
+     that nest (same line size and set count, ascending ways) collapse
+     into a single Mattson LRU stack ({!Sim_stack}), one state update for
+     the whole family.  The dcache's write-through/no-allocate write path
+     breaks the stack's inclusion property (DESIGN.md 5f), so dcache
+     geometries stay one unit each.
+   - The write buffer depends on everything above plus the penalties, but
+     its clock is a pure sum of counted events: rather than ticking every
+     lane's buffer on every reference, each lane derives its clock from
+     the shared counters on demand and only pays per store
+     ({!Sim_wb.ring_store}).
+
+   Per-configuration [stats] are assembled at the end as arithmetic over
+   the unit counters; a qcheck property in the test suite holds them
+   byte-identical to K independent {!create}/{!sink} runs. *)
+
+(* miss counters split by what the single-config simulator would have
+   charged: synthesized-handler references are never charged to
+   kernel/user stall, trace references are charged by mode *)
+type miss_ctr = {
+  mutable c_synth : int;
+  mutable c_kernel : int;
+  mutable c_user : int;
+}
+
+let ctr () = { c_synth = 0; c_kernel = 0; c_user = 0 }
+let ctr_total m = m.c_synth + m.c_kernel + m.c_user
+
+let ctx_synth = 0
+
+let bump m ctx =
+  if ctx = 0 then m.c_synth <- m.c_synth + 1
+  else if ctx = 1 then m.c_kernel <- m.c_kernel + 1
+  else m.c_user <- m.c_user + 1
+
+type ic_unit =
+  | Ic_plain of Sim_cache_assoc.t * miss_ctr
+  | Ic_stack of Sim_stack.t * miss_ctr array  (* counters in ways order *)
+
+type dc_unit = { du_cache : Sim_cache_assoc.t; du_ctr : miss_ctr }
+
+(* configurations whose TLB parameters agree see the same reference
+   stream (trace + synthesized handlers) and share everything below *)
+type group = {
+  gr_tlb : Sim_tlb.t;
+  gr_utlb_insns : int;
+  gr_ktlb_insns : int;
+  gr_ic : ic_unit array;
+  gr_dc : dc_unit array;
+  mutable gr_utlb : int;
+  mutable gr_ktlb : int;
+  mutable gr_synth : int;
+  mutable gr_unmapped : int;
+}
+
+(* one configuration's view: its group, its cache-unit counters, and its
+   own write buffer (the only state no two distinct configs can share) *)
+type lane = {
+  la_cfg : config;
+  la_group : group;
+  la_ic : miss_ctr;
+  la_dc : miss_ctr;
+  la_ring : Sim_wb.ring;
+  mutable la_stall_k : int;
+  mutable la_stall_u : int;
+}
+
+type sweep = {
+  sw_groups : group array;
+  sw_lanes : lane array;
+  sw_pagemap : int -> int -> int option;
+  sw_pt_base : int -> int;
+  (* trace-only counters, identical for every configuration *)
+  mutable sv_insts : int;
+  mutable sv_datas : int;
+  mutable sv_kernel_insts : int;
+  mutable sv_user_insts : int;
+  mutable sv_unc_ifetch : int;
+  mutable sv_unc_dload : int;
+  mutable sv_unc_dstore : int;
+  mutable sv_unc_kernel : int;  (* uncached events, by mode, for charging *)
+  mutable sv_unc_user : int;
+  mutable sv_dloads_cached : int;
+}
+
+let nsets_of ~what ~bytes ~line ~ways =
+  if bytes <= 0 || line <= 0 || ways <= 0 || bytes mod (line * ways) <> 0
+  then invalid_arg ("Memsim.sweep: bad " ^ what ^ " geometry")
+  else bytes / (line * ways)
+
+let sweep cfg_list : sweep =
+  let cfgs = Array.of_list cfg_list in
+  if Array.length cfgs = 0 then invalid_arg "Memsim.sweep: no configurations";
+  let c0 = cfgs.(0) in
+  Array.iter
+    (fun c ->
+      if c.pagemap != c0.pagemap || c.pt_base != c0.pt_base then
+        invalid_arg
+          "Memsim.sweep: all configurations must share pagemap and pt_base \
+           (translation is done once per reference)")
+    cfgs;
+  let gkey c = (c.tlb_entries, c.utlb_handler_insns, c.ktlb_handler_insns) in
+  let ic_geom c =
+    ( c.icache_line,
+      nsets_of ~what:"icache" ~bytes:c.icache_bytes ~line:c.icache_line
+        ~ways:c.icache_ways,
+      c.icache_ways )
+  in
+  let dc_geom c =
+    ( c.dcache_line,
+      nsets_of ~what:"dcache" ~bytes:c.dcache_bytes ~line:c.dcache_line
+        ~ways:c.dcache_ways,
+      c.dcache_ways )
+  in
+  let distinct l =
+    List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] l
+    |> List.rev
+  in
+  let keys = distinct (Array.to_list (Array.map gkey cfgs)) in
+  (* per group: the shared state plus lookup tables from a lane's cache
+     geometry to its member counter / unit *)
+  let built =
+    List.map
+      (fun ((tlb_entries, uh, kh) as key) ->
+        let members =
+          List.filter (fun c -> gkey c = key) (Array.to_list cfgs)
+        in
+        let dc_units =
+          List.map
+            (fun ((line, nsets, ways) as g) ->
+              ( g,
+                {
+                  du_cache =
+                    Sim_cache_assoc.create ~size_bytes:(line * nsets * ways)
+                      ~line_bytes:line ~ways ();
+                  du_ctr = ctr ();
+                } ))
+            (distinct (List.map dc_geom members))
+        in
+        (* icache units: nesting families (same line, same nsets, several
+           associativities) collapse into one LRU stack *)
+        let ic_geoms = distinct (List.map ic_geom members) in
+        let fam_keys =
+          distinct (List.map (fun (line, nsets, _) -> (line, nsets)) ic_geoms)
+        in
+        let ic_units =
+          List.map
+            (fun (line, nsets) ->
+              let ways =
+                List.sort compare
+                  (List.filter_map
+                     (fun (l, n, w) ->
+                       if l = line && n = nsets then Some w else None)
+                     ic_geoms)
+              in
+              match ways with
+              | [ w ] ->
+                let m = ctr () in
+                ( Ic_plain
+                    ( Sim_cache_assoc.create ~size_bytes:(line * nsets * w)
+                        ~line_bytes:line ~ways:w (),
+                      m ),
+                  [ ((line, nsets, w), m) ] )
+              | ways ->
+                let ms = Array.of_list (List.map (fun _ -> ctr ()) ways) in
+                ( Ic_stack
+                    ( Sim_stack.create ~line_bytes:line ~nsets
+                        ~ways:(Array.of_list ways),
+                      ms ),
+                  List.mapi (fun i w -> ((line, nsets, w), ms.(i))) ways ))
+            fam_keys
+        in
+        let g =
+          {
+            gr_tlb = Sim_tlb.create ~size:tlb_entries ();
+            gr_utlb_insns = uh;
+            gr_ktlb_insns = kh;
+            gr_ic = Array.of_list (List.map fst ic_units);
+            gr_dc = Array.of_list (List.map snd dc_units);
+            gr_utlb = 0;
+            gr_ktlb = 0;
+            gr_synth = 0;
+            gr_unmapped = 0;
+          }
+        in
+        (key, (g, List.concat_map snd ic_units, dc_units)))
+      keys
+  in
+  let lanes =
+    Array.map
+      (fun c ->
+        let g, ic_lookup, dc_lookup = List.assoc (gkey c) built in
+        {
+          la_cfg = c;
+          la_group = g;
+          la_ic = List.assoc (ic_geom c) ic_lookup;
+          la_dc = (List.assoc (dc_geom c) dc_lookup).du_ctr;
+          la_ring =
+            Sim_wb.ring_create ~depth:c.wb_depth ~drain_cycles:c.wb_drain;
+          la_stall_k = 0;
+          la_stall_u = 0;
+        })
+      cfgs
+  in
+  {
+    sw_groups = Array.of_list (List.map (fun (_, (g, _, _)) -> g) built);
+    sw_lanes = lanes;
+    sw_pagemap = c0.pagemap;
+    sw_pt_base = c0.pt_base;
+    sv_insts = 0;
+    sv_datas = 0;
+    sv_kernel_insts = 0;
+    sv_user_insts = 0;
+    sv_unc_ifetch = 0;
+    sv_unc_dload = 0;
+    sv_unc_dstore = 0;
+    sv_unc_kernel = 0;
+    sv_unc_user = 0;
+    sv_dloads_cached = 0;
+  }
+
+(* one icache read by every unit of a group.  These inner loops run once
+   per group per trace reference: plain [for] loops, not [Array.iter],
+   because an iter closure would capture [pa]/[ctx] and heap-allocate on
+   every reference. *)
+let g_ic_read g pa ctx =
+  let units = g.gr_ic in
+  for i = 0 to Array.length units - 1 do
+    match Array.unsafe_get units i with
+    | Ic_plain (c, m) -> if not (Sim_cache_assoc.read c pa) then bump m ctx
+    | Ic_stack (st, ms) ->
+      let mask = Sim_stack.read st pa in
+      if mask <> 0 then begin
+        let rec go i mask =
+          if mask <> 0 then begin
+            if mask land 1 = 1 then bump ms.(i) ctx;
+            go (i + 1) (mask lsr 1)
+          end
+        in
+        go 0 mask
+      end
+  done
+
+let g_dc_read g pa ctx =
+  let units = g.gr_dc in
+  for i = 0 to Array.length units - 1 do
+    let u = Array.unsafe_get units i in
+    if not (Sim_cache_assoc.read u.du_cache pa) then bump u.du_ctr ctx
+  done
+
+let g_translate sw g pid va =
+  match sw.sw_pagemap pid va with
+  | Some pa -> pa
+  | None ->
+    g.gr_unmapped <- g.gr_unmapped + 1;
+    va land 0x00FFFFFF
+
+(* the synthesized handler paths, exactly mirroring [synth_ktlb],
+   [kseg2_access ~is_load:true] and [synth_utlb] above, minus the eager
+   write-buffer ticks (derived from these same counters at store time) *)
+let g_synth_ktlb g =
+  g.gr_ktlb <- g.gr_ktlb + 1;
+  for k = 0 to g.gr_ktlb_insns - 1 do
+    g.gr_synth <- g.gr_synth + 1;
+    g_ic_read g (0x80 + (k * 4)) ctx_synth
+  done;
+  g_dc_read g 0x9000 ctx_synth
+
+let g_kseg2_load sw g pid va =
+  let vpn = va lsr 12 in
+  if not (Sim_tlb.access g.gr_tlb ~vpn ~asid:0 ~global:true ~user:false) then
+    g_synth_ktlb g;
+  let pa = g_translate sw g pid va in
+  g_dc_read g pa ctx_synth
+
+let g_synth_utlb sw g pid vpn =
+  g.gr_utlb <- g.gr_utlb + 1;
+  for k = 0 to g.gr_utlb_insns - 1 do
+    g.gr_synth <- g.gr_synth + 1;
+    g_ic_read g (k * 4) ctx_synth
+  done;
+  g_kseg2_load sw g pid (sw.sw_pt_base pid + (vpn * 4))
+
+(* A lane's write-buffer clock, derived on demand.  The eager simulator
+   ticks 1 per instruction (trace and synthesized, plus one extra before
+   each KTLB root-table load), the uncached penalty per uncached event,
+   and the read-miss penalty per cache read miss; stalls advance the
+   clock too.  All of those are already counted, so the clock is a sum. *)
+let lane_clock sw l =
+  let g = l.la_group in
+  sw.sv_insts + g.gr_synth + g.gr_ktlb
+  + ((sw.sv_unc_ifetch + sw.sv_unc_dload + sw.sv_unc_dstore)
+     * l.la_cfg.uncached_penalty)
+  + ((ctr_total l.la_ic + ctr_total l.la_dc) * l.la_cfg.read_miss_penalty)
+  + l.la_stall_k + l.la_stall_u
+
+let sweep_on_inst sw addr pid kernel =
+  sw.sv_insts <- sw.sv_insts + 1;
+  if kernel then sw.sv_kernel_insts <- sw.sv_kernel_insts + 1
+  else sw.sv_user_insts <- sw.sv_user_insts + 1;
+  let ctx = if kernel then 1 else 2 in
+  let groups = sw.sw_groups in
+  if addr < kuseg_limit then begin
+    let vpn = addr lsr 12 in
+    let asid = asid_of_pid pid in
+    let pa_opt = sw.sw_pagemap pid addr in
+    for i = 0 to Array.length groups - 1 do
+      let g = Array.unsafe_get groups i in
+      if not (Sim_tlb.access g.gr_tlb ~vpn ~asid ~global:false ~user:true)
+      then g_synth_utlb sw g pid vpn;
+      let pa =
+        match pa_opt with
+        | Some pa -> pa
+        | None ->
+          g.gr_unmapped <- g.gr_unmapped + 1;
+          addr land 0x00FFFFFF
+      in
+      g_ic_read g pa ctx
+    done
+  end
+  else if addr < kseg1_base then begin
+    let pa = addr - 0x80000000 in
+    for i = 0 to Array.length groups - 1 do
+      g_ic_read (Array.unsafe_get groups i) pa ctx
+    done
+  end
+  else if addr < kseg2_base then begin
+    sw.sv_unc_ifetch <- sw.sv_unc_ifetch + 1;
+    if kernel then sw.sv_unc_kernel <- sw.sv_unc_kernel + 1
+    else sw.sv_unc_user <- sw.sv_unc_user + 1
+  end
+  else begin
+    let vpn = addr lsr 12 in
+    let pa_opt = sw.sw_pagemap pid addr in
+    for i = 0 to Array.length groups - 1 do
+      let g = Array.unsafe_get groups i in
+      if not (Sim_tlb.access g.gr_tlb ~vpn ~asid:0 ~global:true ~user:false)
+      then g_synth_ktlb g;
+      let pa =
+        match pa_opt with
+        | Some pa -> pa
+        | None ->
+          g.gr_unmapped <- g.gr_unmapped + 1;
+          addr land 0x00FFFFFF
+      in
+      g_ic_read g pa ctx
+    done
+  end
+
+let sweep_on_data sw addr pid kernel is_load _bytes =
+  sw.sv_datas <- sw.sv_datas + 1;
+  if addr >= kseg1_base && addr < kseg2_base then begin
+    (* uncached: classification and charge are trace-only, no per-group
+       state is touched (matching [to_phys]'s `Uncached path) *)
+    if is_load then sw.sv_unc_dload <- sw.sv_unc_dload + 1
+    else sw.sv_unc_dstore <- sw.sv_unc_dstore + 1;
+    if kernel then sw.sv_unc_kernel <- sw.sv_unc_kernel + 1
+    else sw.sv_unc_user <- sw.sv_unc_user + 1
+  end
+  else begin
+    let ctx = if kernel then 1 else 2 in
+    if is_load then sw.sv_dloads_cached <- sw.sv_dloads_cached + 1;
+    let kuseg = addr < kuseg_limit in
+    let kseg2 = addr >= kseg2_base in
+    let pa_opt =
+      if kuseg || kseg2 then sw.sw_pagemap pid addr else None
+    in
+    let groups = sw.sw_groups in
+    for i = 0 to Array.length groups - 1 do
+      let g = Array.unsafe_get groups i in
+      (if kuseg then begin
+         let vpn = addr lsr 12 in
+         if
+           not
+             (Sim_tlb.access g.gr_tlb ~vpn ~asid:(asid_of_pid pid)
+                ~global:false ~user:true)
+         then g_synth_utlb sw g pid vpn
+       end
+       else if kseg2 then begin
+         let vpn = addr lsr 12 in
+         if
+           not (Sim_tlb.access g.gr_tlb ~vpn ~asid:0 ~global:true ~user:false)
+         then g_synth_ktlb g
+       end);
+      let pa =
+        if kuseg || kseg2 then
+          match pa_opt with
+          | Some pa -> pa
+          | None ->
+            g.gr_unmapped <- g.gr_unmapped + 1;
+            addr land 0x00FFFFFF
+        else addr - 0x80000000
+      in
+      if is_load then g_dc_read g pa ctx
+      else begin
+        let units = g.gr_dc in
+        for j = 0 to Array.length units - 1 do
+          let u = Array.unsafe_get units j in
+          let (_hit : bool) = Sim_cache_assoc.write u.du_cache pa in
+          ()
+        done
+      end
+    done;
+    (* stores issue to every lane's buffer after its group's TLB/cache
+       state (and hence its derived clock) is current for this event *)
+    if not is_load then begin
+      let lanes = sw.sw_lanes in
+      for i = 0 to Array.length lanes - 1 do
+        let l = Array.unsafe_get lanes i in
+        let stall = Sim_wb.ring_store l.la_ring ~clock:(lane_clock sw l) in
+        if kernel then l.la_stall_k <- l.la_stall_k + stall
+        else l.la_stall_u <- l.la_stall_u + stall
+      done
+    end
+  end
+
+let sweep_stats sw =
+  Array.map
+    (fun l ->
+      let g = l.la_group and c = l.la_cfg in
+      let rmp = c.read_miss_penalty and up = c.uncached_penalty in
+      {
+        insts = sw.sv_insts;
+        datas = sw.sv_datas;
+        kernel_insts = sw.sv_kernel_insts;
+        user_insts = sw.sv_user_insts;
+        kernel_stall =
+          ((l.la_ic.c_kernel + l.la_dc.c_kernel) * rmp)
+          + (sw.sv_unc_kernel * up) + l.la_stall_k;
+        user_stall =
+          ((l.la_ic.c_user + l.la_dc.c_user) * rmp)
+          + (sw.sv_unc_user * up) + l.la_stall_u;
+        synth_insts = g.gr_synth;
+        icache_misses = ctr_total l.la_ic;
+        dcache_read_misses = ctr_total l.la_dc;
+        uncached_reads = sw.sv_unc_ifetch + sw.sv_unc_dload;
+        uncached_writes = sw.sv_unc_dstore;
+        wb_stalls = l.la_stall_k + l.la_stall_u;
+        utlb_misses = g.gr_utlb;
+        ktlb_misses = g.gr_ktlb;
+        unmapped = g.gr_unmapped;
+      })
+    sw.sw_lanes
+
+let sweep_accesses sw =
+  Array.map
+    (fun l ->
+      let g = l.la_group in
+      ( sw.sv_insts - sw.sv_unc_ifetch + g.gr_synth,
+        sw.sv_dloads_cached + g.gr_utlb + g.gr_ktlb ))
+    sw.sw_lanes
+
+let sweep_handlers sw : Parser.handlers =
+  {
+    Parser.on_inst = (fun addr pid kernel -> sweep_on_inst sw addr pid kernel);
+    on_data =
+      (fun addr pid kernel is_load bytes ->
+        sweep_on_data sw addr pid kernel is_load bytes);
+  }
+
+let sweep_sink ?live sw parser : Sink.t =
+  Parser.set_handlers parser (sweep_handlers sw);
+  Sink.to_parser ?live parser
+
+(* A (size x line x TLB entries x WB depth) geometry grid over [base].
+   With [nested] (the default) associativity scales with size at a fixed
+   set count — ways = size / min size — so each (line, TLB) family of
+   sizes nests and the sweep's icache stack fast path covers the whole
+   size axis in one unit.  With [~nested:false] every size is
+   direct-mapped (set counts differ, nothing nests: one cache unit per
+   geometry). *)
+let grid ?(nested = true) ~base ~sizes ~lines ~tlb_entries ~wb_depths () :
+    (string * config) list =
+  if sizes = [] || lines = [] || tlb_entries = [] || wb_depths = [] then
+    invalid_arg "Memsim.grid: empty axis";
+  let min_size = List.fold_left min max_int sizes in
+  List.concat_map
+    (fun size ->
+      let ways =
+        if not nested then 1
+        else if size mod min_size <> 0 then
+          invalid_arg "Memsim.grid: nested sizes must be multiples of the \
+                       smallest"
+        else size / min_size
+      in
+      List.concat_map
+        (fun line ->
+          List.concat_map
+            (fun tlb ->
+              List.map
+                (fun wb ->
+                  ( Printf.sprintf "%dK/%dB/%dw tlb%d wb%d" (size / 1024) line
+                      ways tlb wb,
+                    {
+                      base with
+                      icache_bytes = size;
+                      icache_line = line;
+                      icache_ways = ways;
+                      dcache_bytes = size;
+                      dcache_line = line;
+                      dcache_ways = ways;
+                      tlb_entries = tlb;
+                      wb_depth = wb;
+                    } ))
+                wb_depths)
+            tlb_entries)
+        lines)
+    sizes

@@ -63,3 +63,57 @@ val sink : ?live:int list -> t -> Systrace_tracing.Parser.t -> Systrace_tracing.
     streaming word consumer ([Sink.to_parser ?live]): feed it raw trace
     chunks and the simulation runs online, during generation — peak
     resident words stay O(chunk) instead of O(trace). *)
+
+(** {2 Single-pass multi-configuration sweep}
+
+    [sweep cfgs] evaluates every configuration in one trace pass: word
+    decode, reference classification and page-map translation happen once
+    per reference; configurations sharing TLB parameters share one TLB
+    and one synthesized-handler stream; distinct cache geometries within
+    such a group are simulated once each, with nesting icache families
+    (same line size and set count, ascending ways) collapsed into a
+    single Mattson LRU stack ({!Sim_stack}).  [sweep_stats] returns, per
+    configuration and in list order, {b byte-identical} stats to an
+    independent {!create}/{!sink} run over the same trace (qcheck
+    properties in the test suite enforce this). *)
+
+type sweep
+
+val sweep : config list -> sweep
+(** @raise Invalid_argument on an empty list, a degenerate cache
+    geometry, or configurations that do not share (physically, [==]) the
+    same [pagemap] and [pt_base] — translation is done once per
+    reference, so per-configuration page maps cannot be honoured. *)
+
+val sweep_stats : sweep -> stats array
+(** Per-configuration stats, in the order the configs were given. *)
+
+val sweep_accesses : sweep -> (int * int) array
+(** Per-configuration [(icache_accesses, dcache_read_accesses)] —
+    the denominators for miss-ratio tables. *)
+
+val sweep_on_inst : sweep -> int -> int -> bool -> unit
+val sweep_on_data : sweep -> int -> int -> bool -> bool -> int -> unit
+
+val sweep_handlers : sweep -> Systrace_tracing.Parser.handlers
+
+val sweep_sink :
+  ?live:int list -> sweep -> Systrace_tracing.Parser.t -> Systrace_tracing.Sink.t
+(** Streaming multi-configuration consumer; the sweep analogue of
+    {!sink}. *)
+
+val grid :
+  ?nested:bool ->
+  base:config ->
+  sizes:int list ->
+  lines:int list ->
+  tlb_entries:int list ->
+  wb_depths:int list ->
+  unit ->
+  (string * config) list
+(** A labelled (cache size x line size x TLB entries x write-buffer
+    depth) geometry grid over [base], both caches varied together.  With
+    [nested] (default) associativity grows with size at a fixed set
+    count — ways = size / min size — so each size axis forms a nesting
+    family the sweep simulates as one LRU stack; with [~nested:false]
+    every point is direct-mapped. *)

@@ -13,8 +13,10 @@ type policy =
 
 type t = {
   line_bytes : int;
+  line_shift : int;  (** log2 [line_bytes], cached off the hot path *)
   ways : int;
   nsets : int;
+  set_mask : int;    (** [nsets - 1] when a power of two, else -1 *)
   policy : policy;
   tags : int array;
   stamps : int array;

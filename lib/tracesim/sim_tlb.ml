@@ -18,11 +18,23 @@ type t = {
   vpns : int array;       (* vpn of each entry, -1 invalid *)
   asids : int array;
   globals : bool array;
+  (* A small positive memo over [find]: slot [vpn land memo_mask] records
+     a (vpn, asid) pair known to match some entry.  TLB content only
+     changes on a refill, and every refill clears the memo, so a memo hit
+     is always a true hit and the hit/miss/replacement sequence is
+     bit-identical to the plain scan.  This matters because the
+     fully-associative scan is the top per-reference cost once the
+     multi-configuration sweep keeps several TLB models hot at once. *)
+  memo_vpns : int array;
+  memo_asids : int array;
   mutable refcount : int;
   mutable user_misses : int;
   mutable kernel_misses : int;  (* kseg2 *)
   mutable hits : int;
 }
+
+let memo_slots = 4
+let memo_mask = memo_slots - 1
 
 let create ?(size = 64) ?(wired = 8) () =
   if size <= wired then invalid_arg "Sim_tlb.create: size <= wired";
@@ -32,6 +44,8 @@ let create ?(size = 64) ?(wired = 8) () =
     vpns = Array.make size (-1);
     asids = Array.make size 0;
     globals = Array.make size false;
+    memo_vpns = Array.make memo_slots (-1);
+    memo_asids = Array.make memo_slots 0;
     refcount = 0;
     user_misses = 0;
     kernel_misses = 0;
@@ -40,6 +54,7 @@ let create ?(size = 64) ?(wired = 8) () =
 
 let reset t =
   Array.fill t.vpns 0 t.size (-1);
+  Array.fill t.memo_vpns 0 memo_slots (-1);
   t.refcount <- 0;
   t.user_misses <- 0;
   t.kernel_misses <- 0;
@@ -57,8 +72,18 @@ let find t ~vpn ~asid =
    refills exactly one entry). Returns [true] on hit. *)
 let access t ~vpn ~asid ~global ~user =
   t.refcount <- t.refcount + 1;
-  if find t ~vpn ~asid >= 0 then begin
+  let m = vpn land memo_mask in
+  if
+    Array.unsafe_get t.memo_vpns m = vpn
+    && Array.unsafe_get t.memo_asids m = asid
+  then begin
     t.hits <- t.hits + 1;
+    true
+  end
+  else if find t ~vpn ~asid >= 0 then begin
+    t.hits <- t.hits + 1;
+    Array.unsafe_set t.memo_vpns m vpn;
+    Array.unsafe_set t.memo_asids m asid;
     true
   end
   else begin
@@ -68,5 +93,7 @@ let access t ~vpn ~asid ~global ~user =
     t.vpns.(slot) <- vpn;
     t.asids.(slot) <- asid;
     t.globals.(slot) <- global;
+    (* the refill may overwrite the entry behind any memoed pair *)
+    Array.fill t.memo_vpns 0 memo_slots (-1);
     false
   end

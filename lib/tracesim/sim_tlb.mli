@@ -9,6 +9,10 @@ type t = {
   vpns : int array;
   asids : int array;
   globals : bool array;
+  memo_vpns : int array;
+      (** positive lookup memo, cleared on every refill — a pure
+          fast path over the associative scan *)
+  memo_asids : int array;
   mutable refcount : int;
   mutable user_misses : int;
   mutable kernel_misses : int;

@@ -47,3 +47,51 @@ let store t =
   t.retire <- t.retire @ [ max t.clock last + t.drain_cycles ];
   t.stall_cycles <- t.stall_cycles + stall;
   stall
+
+(* Absolute-clock variant for the multi-configuration sweep: the caller
+   owns the reference clock (derived lazily from shared event counters
+   instead of eagerly ticked), so between stores the buffer costs nothing.
+   Entries live in a fixed ring — the retire list never exceeds [depth] —
+   and the retire/stall/refill decisions are the same as [store]'s, with
+   [clock] standing in for the eagerly-advanced [t.clock].  The stall is
+   returned; the caller must fold it into later derived clocks exactly as
+   [store] folds it into [t.clock]. *)
+type ring = {
+  rdepth : int;
+  rdrain : int;
+  rbuf : int array;           (* circular, ascending retirement times *)
+  mutable rhead : int;
+  mutable rcount : int;
+}
+
+let ring_create ~depth ~drain_cycles =
+  if depth <= 0 then invalid_arg "Sim_wb.ring_create";
+  { rdepth = depth; rdrain = drain_cycles; rbuf = Array.make depth 0;
+    rhead = 0; rcount = 0 }
+
+let ring_store r ~clock =
+  (* entries at or before [clock] have retired *)
+  while r.rcount > 0 && r.rbuf.(r.rhead) <= clock do
+    r.rhead <- (r.rhead + 1) mod r.rdepth;
+    r.rcount <- r.rcount - 1
+  done;
+  let stall, clock =
+    if r.rcount < r.rdepth then (0, clock)
+    else begin
+      let oldest = r.rbuf.(r.rhead) in
+      r.rhead <- (r.rhead + 1) mod r.rdepth;
+      r.rcount <- r.rcount - 1;
+      (oldest - clock, oldest)
+    end
+  in
+  let last =
+    if r.rcount > 0 then r.rbuf.((r.rhead + r.rcount - 1) mod r.rdepth)
+    else clock
+  in
+  r.rbuf.((r.rhead + r.rcount) mod r.rdepth) <- max clock last + r.rdrain;
+  r.rcount <- r.rcount + 1;
+  stall
+
+let ring_reset r =
+  r.rhead <- 0;
+  r.rcount <- 0

@@ -19,3 +19,17 @@ val tick : t -> int -> unit
 
 val store : t -> int
 (** Issue a store; returns the stall charged (0 if a slot was free). *)
+
+(** Absolute-clock variant for the multi-configuration sweep: the caller
+    derives the reference clock from shared event counters instead of
+    ticking eagerly, so a buffer that sees no store costs nothing.  Given
+    the same clock values a [store]/[tick] sequence would have produced,
+    [ring_store] returns the same stalls (a qcheck property in the test
+    suite holds the two together).  After a stall the caller must advance
+    its derived clock by the returned stall, as [store] advances
+    [t.clock]. *)
+type ring
+
+val ring_create : depth:int -> drain_cycles:int -> ring
+val ring_store : ring -> clock:int -> int
+val ring_reset : ring -> unit

@@ -143,8 +143,37 @@ let measure ?pagemap ?machine_cfg ?(seed = 1) os spec : measurement =
 
 (* ------------------------------------------------------------------ *)
 
-let predict ?pagemap ?(seed = 1) ?(arith_stalls = -1) os spec : prediction =
+(* The memory-simulator configuration a machine geometry implies, with
+   the page map shared by reference so [Memsim.sweep] can translate once
+   per trace word for every geometry at once. *)
+let memsim_cfg ~pagemap (mcfg : Systrace_machine.Machine.config) =
+  {
+    Memsim.icache_bytes = mcfg.Systrace_machine.Machine.icache_bytes;
+    icache_line = mcfg.Systrace_machine.Machine.icache_line;
+    icache_ways = 1;
+    dcache_bytes = mcfg.Systrace_machine.Machine.dcache_bytes;
+    dcache_line = mcfg.Systrace_machine.Machine.dcache_line;
+    dcache_ways = 1;
+    read_miss_penalty = mcfg.Systrace_machine.Machine.read_miss_penalty;
+    uncached_penalty = mcfg.Systrace_machine.Machine.uncached_penalty;
+    wb_depth = mcfg.Systrace_machine.Machine.wb_depth;
+    wb_drain = mcfg.Systrace_machine.Machine.wb_drain;
+    pagemap;
+    pt_base = Kcfg.pt_base_va;
+    utlb_handler_insns = 8;
+    ktlb_handler_insns = 24;
+    tlb_entries = 64;
+  }
+
+let predict_sweep ?pagemap ?(seed = 1) ?(arith_stalls = -1) ?geometries os
+    spec : prediction array =
   let cfg = { (base_cfg os pagemap seed) with Builder.traced = true } in
+  let geometries =
+    match geometries with
+    | Some [] -> invalid_arg "predict_sweep: no geometries"
+    | Some gs -> gs
+    | None -> [ cfg.Builder.machine_cfg ]
+  in
   let t = Builder.build ~cfg ~programs:(all_programs os spec) ~files:spec.files () in
   let kernel_bbs = Option.get t.Builder.kernel_bbs in
   let parser = Parser.create ~kernel_bbs () in
@@ -152,32 +181,18 @@ let predict ?pagemap ?(seed = 1) ?(arith_stalls = -1) os spec : prediction =
     (fun (pi : Builder.proc_info) ->
       Parser.register_pid parser ~pid:pi.pid (Option.get pi.bbs))
     t.Builder.procs;
-  let mcfg = cfg.Builder.machine_cfg in
-  let sim =
-    Memsim.create
-      {
-        Memsim.icache_bytes = mcfg.Systrace_machine.Machine.icache_bytes;
-        icache_line = mcfg.Systrace_machine.Machine.icache_line;
-        icache_ways = 1;
-        dcache_bytes = mcfg.Systrace_machine.Machine.dcache_bytes;
-        dcache_line = mcfg.Systrace_machine.Machine.dcache_line;
-        dcache_ways = 1;
-        read_miss_penalty = mcfg.Systrace_machine.Machine.read_miss_penalty;
-        uncached_penalty = mcfg.Systrace_machine.Machine.uncached_penalty;
-        wb_depth = mcfg.Systrace_machine.Machine.wb_depth;
-        wb_drain = mcfg.Systrace_machine.Machine.wb_drain;
-        pagemap = Builder.extract_pagemap t;
-        pt_base = Kcfg.pt_base_va;
-        utlb_handler_insns = 8;
-        ktlb_handler_insns = 24;
-        tlb_entries = 64;
-      }
+  (* one extracted page map, shared (by reference) across every geometry:
+     the sweep translates each trace word once *)
+  let shared_pagemap = Builder.extract_pagemap t in
+  let sw =
+    Memsim.sweep (List.map (memsim_cfg ~pagemap:shared_pagemap) geometries)
   in
   (* The prediction is fully online (paper §4.3): each ANALYZE phase's
-     chunk drives the parser and memory simulation as it is drained, so
-     peak resident trace words is the largest chunk — O(in-kernel
-     buffer) — not the trace length.  The peak branch of the tee is the
-     witness the stream bench checks against the buffer size. *)
+     chunk drives the parser and memory simulation — all geometries at
+     once — as it is drained, so peak resident trace words is the largest
+     chunk — O(in-kernel buffer) — not the trace length.  The peak branch
+     of the tee is the witness the stream bench checks against the buffer
+     size. *)
   let live =
     List.filter_map
       (fun (pi : Builder.proc_info) ->
@@ -185,34 +200,51 @@ let predict ?pagemap ?(seed = 1) ?(arith_stalls = -1) os spec : prediction =
       t.Builder.procs
   in
   let peak_sink, peak_words = Sink.peak () in
-  let sink = Sink.tee [ peak_sink; Memsim.sink ~live sim parser ] in
+  let sink = Sink.tee [ peak_sink; Memsim.sweep_sink ~live sw parser ] in
   t.Builder.trace_sink <- Some (fun words len -> sink.Sink.on_words words ~len);
   run_to_halt t;
   Builder.drain_final t;
   sink.Sink.finish ();
   (* The arithmetic-stall estimate comes from the caller (usually the
-     measured pass's ideal-memory run) or is recomputed here. *)
+     measured pass's ideal-memory run) or is recomputed here; the ideal
+     run zeroes every memory penalty, so it is geometry-invariant and
+     shared by all predictions. *)
   let arith =
     if arith_stalls >= 0 then arith_stalls
     else (measure ?pagemap ~seed os spec).m_arith_ideal
   in
-  let breakdown =
-    Predict.make ~mem:(Memsim.stats sim) ~parse:(Parser.stats parser)
-      ~arith_stalls:arith ~dilation:Kcfg.time_dilation
-      ~read_miss_penalty:mcfg.Systrace_machine.Machine.read_miss_penalty
-      ~uncached_penalty:mcfg.Systrace_machine.Machine.uncached_penalty
+  let stats = Memsim.sweep_stats sw in
+  let parse = Parser.stats parser in
+  let console = Builder.console t in
+  let traced_insts =
+    t.Builder.machine.Systrace_machine.Machine.c.Systrace_machine.Machine.instructions
   in
-  {
-    p_breakdown = breakdown;
-    p_utlb = (Memsim.stats sim).Memsim.utlb_misses;
-    p_console = Builder.console t;
-    p_parse = Parser.stats parser;
-    p_mem = Memsim.stats sim;
-    p_traced_insts =
-      t.Builder.machine.Systrace_machine.Machine.c.Systrace_machine.Machine.instructions;
-    p_tlbdropins = Builder.tlbdropins t;
-    p_peak_words = peak_words ();
-  }
+  let tlbdropins = Builder.tlbdropins t in
+  let peak = peak_words () in
+  Array.of_list
+    (List.mapi
+       (fun i (mcfg : Systrace_machine.Machine.config) ->
+         let mem = stats.(i) in
+         let breakdown =
+           Predict.make ~mem ~parse ~arith_stalls:arith
+             ~dilation:Kcfg.time_dilation
+             ~read_miss_penalty:mcfg.Systrace_machine.Machine.read_miss_penalty
+             ~uncached_penalty:mcfg.Systrace_machine.Machine.uncached_penalty
+         in
+         {
+           p_breakdown = breakdown;
+           p_utlb = mem.Memsim.utlb_misses;
+           p_console = console;
+           p_parse = parse;
+           p_mem = mem;
+           p_traced_insts = traced_insts;
+           p_tlbdropins = tlbdropins;
+           p_peak_words = peak;
+         })
+       geometries)
+
+let predict ?pagemap ?seed ?arith_stalls os spec : prediction =
+  (predict_sweep ?pagemap ?seed ?arith_stalls os spec).(0)
 
 (* ------------------------------------------------------------------ *)
 
@@ -232,6 +264,32 @@ let run_workload ?machine_cfg ?pagemap ?(seed = 1) os spec : row =
          "%s/%s: traced and untraced runs disagree on output:\n%S\nvs\n%S"
          spec.wname (os_name os) m.m_console p.p_console);
   { r_name = spec.wname; r_os = os; r_measured = m; r_predicted = p }
+
+(* One measured pass per geometry (the "real machine" must actually be
+   built with each geometry), but a single traced pass predicting all of
+   them: the trace is collected and parsed once and [Memsim.sweep]
+   evaluates every geometry from the shared decode. *)
+let run_workload_sweep ?pagemap ?(seed = 1) ~geometries os spec : row list =
+  let ms =
+    List.map
+      (fun machine_cfg -> measure ~machine_cfg ?pagemap ~seed os spec)
+      geometries
+  in
+  let arith =
+    match ms with m :: _ -> m.m_arith_ideal | [] -> invalid_arg
+      "run_workload_sweep: no geometries"
+  in
+  let ps = predict_sweep ?pagemap ~seed ~arith_stalls:arith ~geometries os spec in
+  List.mapi
+    (fun i m ->
+      let p = ps.(i) in
+      if m.m_console <> p.p_console then
+        failwith
+          (Printf.sprintf
+             "%s/%s: traced and untraced runs disagree on output:\n%S\nvs\n%S"
+             spec.wname (os_name os) m.m_console p.p_console);
+      { r_name = spec.wname; r_os = os; r_measured = m; r_predicted = p })
+    ms
 
 let percent_error row =
   Systrace_util.Stats.percent_error ~measured:row.r_measured.m_seconds

@@ -63,6 +63,23 @@ val measure_with :
 val predict :
   ?pagemap:Kcfg.pagemap -> ?seed:int -> ?arith_stalls:int -> os -> spec ->
   prediction
+(** One traced pass, one prediction for the default machine geometry.
+    Implemented as a single-element {!predict_sweep}. *)
+
+val predict_sweep :
+  ?pagemap:Kcfg.pagemap ->
+  ?seed:int ->
+  ?arith_stalls:int ->
+  ?geometries:Systrace_machine.Machine.config list ->
+  os ->
+  spec ->
+  prediction array
+(** One traced pass predicting every geometry at once: the trace is
+    collected, parsed and translated once, and a {!Memsim.sweep} updates
+    per-geometry cache/TLB/write-buffer state from the shared decode.
+    Returns predictions in [geometries] order (default: the machine's
+    base configuration); each is byte-identical to what a dedicated
+    {!predict} pass with that geometry would produce. *)
 
 type row = {
   r_name : string;
@@ -82,6 +99,17 @@ val run_workload :
     disagree on program output.  [machine_cfg] overrides the measured
     pass's machine configuration (e.g. [bcache = false]); the predicted
     pass is a trace-driven model and takes no machine. *)
+
+val run_workload_sweep :
+  ?pagemap:Kcfg.pagemap ->
+  ?seed:int ->
+  geometries:Systrace_machine.Machine.config list ->
+  os ->
+  spec ->
+  row list
+(** {!run_workload} across a geometry family: one measured pass per
+    geometry (the machine must really be built with each), one traced
+    pass predicting all of them via {!predict_sweep}. *)
 
 val percent_error : row -> float
 (** The Figure 3 quantity. *)

@@ -417,3 +417,247 @@ let tests =
         test_assoc_write_back;
       QCheck_alcotest.to_alcotest prop_assoc_wb_traffic_bounded;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Multi-configuration sweep: the unit fast paths and the end-to-end    *)
+(* equivalence with independent single-configuration runs               *)
+
+let prop_stack_equals_assoc_family =
+  (* The .mli contract: a stack family member with associativity W is
+     read-for-read identical to an independent W-way Sim_cache_assoc over
+     the same sets. *)
+  QCheck.Test.make ~count:200 ~name:"LRU stack == independent assoc caches"
+    QCheck.(
+      triple
+        (pair (int_range 0 2) (int_range 0 4)) (* line = 16<<l, nsets = 1<<n *)
+        (list_of_size Gen.(int_range 1 4) (int_range 1 3)) (* way exponents *)
+        (list_of_size Gen.(int_range 1 400)
+           (map (fun a -> a land 0xFFFF) (int_bound max_int))))
+    (fun ((l, n), wexps, pas) ->
+      let line = 16 lsl l and nsets = 1 lsl n in
+      let ways =
+        Array.of_list (List.sort_uniq compare (List.map (fun e -> 1 lsl e) wexps))
+      in
+      let st = Sim_stack.create ~line_bytes:line ~nsets ~ways in
+      let members =
+        Array.map
+          (fun w ->
+            Sim_cache_assoc.create ~size_bytes:(line * nsets * w)
+              ~line_bytes:line ~ways:w ())
+          ways
+      in
+      List.for_all
+        (fun pa ->
+          let mask = Sim_stack.read st pa in
+          Array.to_list
+            (Array.mapi
+               (fun i c ->
+                 let hit = Sim_cache_assoc.read c pa in
+                 (mask lsr i) land 1 = if hit then 0 else 1)
+               members)
+          |> List.for_all Fun.id)
+        pas)
+
+let prop_ring_equals_wb =
+  (* The absolute-clock ring returns the same stall per store as the
+     eagerly-ticked list model, given the clock the latter would hold. *)
+  QCheck.Test.make ~count:200 ~name:"wb ring == eager wb model"
+    QCheck.(
+      pair
+        (pair (int_range 1 6) (int_range 0 10)) (* depth, drain *)
+        (list_of_size Gen.(int_range 1 300) (int_range 0 12) (* inter-store gaps *)))
+    (fun ((depth, drain), gaps) ->
+      let wb = Sim_wb.create ~depth ~drain_cycles:drain () in
+      let ring = Sim_wb.ring_create ~depth ~drain_cycles:drain in
+      let base = ref 0 (* sum of ticks *) and stalls = ref 0 in
+      List.for_all
+        (fun gap ->
+          Sim_wb.tick wb gap;
+          base := !base + gap;
+          let s_eager = Sim_wb.store wb in
+          let s_ring = Sim_wb.ring_store ring ~clock:(!base + !stalls) in
+          stalls := !stalls + s_ring;
+          s_eager = s_ring)
+        gaps)
+
+let prop_write_accounting =
+  (* The write path's returned hit/miss status must agree with the cache's
+     own write counters, store for store, under both policies — the audit
+     for the memsim call sites that drop the returned bool. *)
+  QCheck.Test.make ~count:200 ~name:"write status == write counter deltas"
+    QCheck.(
+      pair bool
+        (list_of_size Gen.(int_range 1 400)
+           (pair bool (map (fun a -> a land 0xFFF) (int_bound max_int)))))
+    (fun (write_back, accesses) ->
+      let policy =
+        if write_back then Sim_cache_assoc.Write_back
+        else Sim_cache_assoc.Write_through
+      in
+      let c =
+        Sim_cache_assoc.create ~policy ~size_bytes:512 ~line_bytes:16 ~ways:2 ()
+      in
+      List.for_all
+        (fun (is_read, pa) ->
+          if is_read then begin
+            ignore (Sim_cache_assoc.read c pa);
+            true
+          end
+          else begin
+            let h0 = c.Sim_cache_assoc.write_hits
+            and m0 = c.Sim_cache_assoc.write_misses in
+            let hit = Sim_cache_assoc.write c pa in
+            let dh = c.Sim_cache_assoc.write_hits - h0
+            and dm = c.Sim_cache_assoc.write_misses - m0 in
+            if hit then dh = 1 && dm = 0 else dh = 0 && dm = 1
+          end)
+        accesses)
+
+(* --- sweep == N independent runs, on synthetic event streams --- *)
+
+let sweep_pagemap _pid va =
+  (* deterministic, partial: some pages unmapped to exercise the
+     fallback-translation path *)
+  if va land 0xF000 = 0xF000 then None else Some (va land 0xFFFFF)
+
+let sweep_pt_base pid = 0xC0000000 + (pid * 0x200000)
+
+let sweep_base_cfg =
+  {
+    Memsim.icache_bytes = 1024;
+    icache_line = 16;
+    icache_ways = 1;
+    dcache_bytes = 1024;
+    dcache_line = 16;
+    dcache_ways = 1;
+    read_miss_penalty = 13;
+    uncached_penalty = 7;
+    wb_depth = 4;
+    wb_drain = 6;
+    pagemap = sweep_pagemap;
+    pt_base = sweep_pt_base;
+    utlb_handler_insns = 8;
+    ktlb_handler_insns = 24;
+    tlb_entries = 16;
+  }
+
+(* random references spread over all four segments, word-aligned *)
+let event_gen =
+  QCheck.Gen.(
+    let* seg = int_range 0 3 in
+    let* off = int_bound 0x3FFFF in
+    let off = off land lnot 3 in
+    let addr =
+      match seg with
+      | 0 -> 0x00400000 + off
+      | 1 -> 0x80000000 + off
+      | 2 -> 0xA0000000 + off
+      | _ -> 0xC0000000 + off
+    in
+    let* is_inst = bool and* pid = int_range 0 3 and* kernel = bool in
+    let* is_load = bool in
+    return (is_inst, addr, pid, kernel, is_load))
+
+let drive_events feed_inst feed_data events =
+  List.iter
+    (fun (is_inst, addr, pid, kernel, is_load) ->
+      if is_inst then feed_inst addr pid kernel
+      else feed_data addr pid kernel is_load 4)
+    events
+
+let stats_equal (a : Memsim.stats) (b : Memsim.stats) = a = b
+
+let check_sweep_matches_singles cfgs events =
+  let sw = Memsim.sweep cfgs in
+  drive_events (Memsim.sweep_on_inst sw) (Memsim.sweep_on_data sw) events;
+  let swept = Memsim.sweep_stats sw in
+  List.for_all2
+    (fun c s1 ->
+      let m = Memsim.create c in
+      drive_events (Memsim.on_inst m) (Memsim.on_data m) events;
+      stats_equal (Memsim.stats m) s1)
+    cfgs (Array.to_list swept)
+
+let prop_sweep_equals_independent =
+  (* The tentpole contract: Memsim.sweep over an arbitrary configuration
+     list produces stats identical to N independent single-config runs on
+     the same event stream.  Configurations are drawn with independent
+     random axes, so a run mixes TLB groups, plain and stacked icache
+     units, deduplicated identical configs, and distinct write buffers. *)
+  QCheck.Test.make ~count:60 ~name:"sweep == independent single-config runs"
+    (QCheck.make ~print:(fun (cfgs, events) ->
+         Printf.sprintf "%d cfgs, %d events" (List.length cfgs)
+           (List.length events))
+       QCheck.Gen.(
+         let cfg_gen =
+           let* is_exp = int_range 0 2 and* ds_exp = int_range 0 2 in
+           let* iline = oneofl [ 16; 32 ] and* dline = oneofl [ 4; 16 ] in
+           let* iways = oneofl [ 1; 2 ] and* dways = oneofl [ 1; 2 ] in
+           let* tlb = oneofl [ 16; 32; 64 ] in
+           let* wb = oneofl [ 2; 4 ] in
+           return
+             {
+               sweep_base_cfg with
+               Memsim.icache_bytes = 1024 lsl is_exp;
+               icache_line = iline;
+               icache_ways = iways;
+               dcache_bytes = 1024 lsl ds_exp;
+               dcache_line = dline;
+               dcache_ways = dways;
+               tlb_entries = tlb;
+               wb_depth = wb;
+             }
+         in
+         let* cfgs = list_size (int_range 1 6) cfg_gen in
+         let* events = list_size (int_range 1 500) event_gen in
+         return (cfgs, events)))
+    (fun (cfgs, events) -> check_sweep_matches_singles cfgs events)
+
+let prop_sweep_grid_equals_independent =
+  (* Same contract through Memsim.grid's nested families, where the size
+     axis is guaranteed to exercise the LRU-stack fast path. *)
+  QCheck.Test.make ~count:40 ~name:"sweep over nested grid == singles"
+    (QCheck.make ~print:(fun events ->
+         Printf.sprintf "%d events" (List.length events))
+       QCheck.Gen.(list_size (int_range 1 400) event_gen))
+    (fun events ->
+      let cfgs =
+        List.map snd
+          (Memsim.grid ~base:sweep_base_cfg ~sizes:[ 1024; 2048; 4096 ]
+             ~lines:[ 16 ] ~tlb_entries:[ 16; 64 ] ~wb_depths:[ 2; 4 ] ())
+      in
+      check_sweep_matches_singles cfgs events)
+
+let test_sweep_rejects_mixed_pagemaps () =
+  let other = { sweep_base_cfg with Memsim.pagemap = (fun _ va -> Some va) } in
+  Alcotest.check_raises "distinct pagemaps rejected"
+    (Invalid_argument
+       "Memsim.sweep: all configurations must share pagemap and pt_base \
+        (translation is done once per reference)") (fun () ->
+      ignore (Memsim.sweep [ sweep_base_cfg; other ]))
+
+let test_grid_shape () =
+  let g =
+    Memsim.grid ~base:sweep_base_cfg ~sizes:[ 1024; 4096 ] ~lines:[ 16; 32 ]
+      ~tlb_entries:[ 16; 64 ] ~wb_depths:[ 2 ] ()
+  in
+  Alcotest.(check int) "full cross product" 8 (List.length g);
+  (* nested: ways scale with size at fixed nsets *)
+  List.iter
+    (fun (_, c) ->
+      Alcotest.(check int) "fixed set count" (1024 / c.Memsim.icache_line)
+        (c.Memsim.icache_bytes / (c.Memsim.icache_line * c.Memsim.icache_ways)))
+    g
+
+let tests =
+  tests
+  @ [
+      QCheck_alcotest.to_alcotest prop_stack_equals_assoc_family;
+      QCheck_alcotest.to_alcotest prop_ring_equals_wb;
+      QCheck_alcotest.to_alcotest prop_write_accounting;
+      QCheck_alcotest.to_alcotest prop_sweep_equals_independent;
+      QCheck_alcotest.to_alcotest prop_sweep_grid_equals_independent;
+      Alcotest.test_case "sweep: rejects mixed pagemaps" `Quick
+        test_sweep_rejects_mixed_pagemaps;
+      Alcotest.test_case "grid: shape and nesting" `Quick test_grid_shape;
+    ]
