@@ -10,9 +10,9 @@
    Experiments: table1 table2 figure3 table3 figure2 expansion dilation
                 kernel_cpi distortion buffer_sweep pagemap corruption
                 faults os_structure drain_ablation trace_format stream
-                sweep micro
+                sweep store micro
 
-   `micro`, `stream`, `sweep` and `table2 --timing` merge
+   `micro`, `stream`, `sweep`, `store` and `table2 --timing` merge
    machine-readable results into BENCH_micro.json at the repo root (one
    {target, name, unit, value, jobs} object per benchmark, sorted by
    target/name) so the perf trajectory is tracked across PRs; `--out F`
@@ -671,6 +671,122 @@ let exp_sweep () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Trace store: v3 pack/unpack throughput, compression ratio, indexed   *)
+(* seek latency, and the parallel block decode.                         *)
+
+let exp_store () =
+  heading "Trace store: v3 throughput, ratio, seek latency, parallel decode";
+  let wname = if !quick then "egrep" else "tomcatv" in
+  let e = Workloads.Suite.find wname in
+  let (words, _run), t_capture =
+    timed (fun () ->
+        capture_trace [ e.Workloads.Suite.program () ] e.Workloads.Suite.files)
+  in
+  let n = Array.length words in
+  let nf = float_of_int n in
+  let path = Filename.temp_file "systrace_store" ".strc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* best-of-3 wall times: these floors gate CI on shared hosts *)
+      let best f =
+        let t = ref infinity in
+        for _ = 1 to 3 do
+          let _, dt = timed f in
+          if dt < !t then t := dt
+        done;
+        !t
+      in
+      let t_pack =
+        best (fun () ->
+            Tracing.Tracefile.save ~compress:true ~version:3 path words)
+      in
+      let bytes =
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        close_in ic;
+        len
+      in
+      let ratio = 4.0 *. nf /. float_of_int bytes in
+      let t_unpack =
+        best (fun () ->
+            if Array.length (Tracing.Tracefile.load path) <> n then
+              failwith "store: v3 load lost words")
+      in
+      (* full decode through the chunked readers, sequential vs parallel,
+         checksummed so a silently wrong decode fails the bench *)
+      let sum = Array.fold_left ( + ) 0 words in
+      let add acc (a : int array) ~len =
+        let s = ref acc in
+        for i = 0 to len - 1 do
+          s := !s + Array.unsafe_get a i
+        done;
+        !s
+      in
+      let t_seq =
+        best (fun () ->
+            if Tracing.Tracefile.fold_words path ~init:0 ~f:add <> sum then
+              failwith "store: sequential fold checksum mismatch")
+      in
+      let nblocks =
+        (n + Tracing.Tracefile.v3_block_words - 1)
+        / Tracing.Tracefile.v3_block_words
+      in
+      let eff = Pool.effective_jobs ~jobs:!jobs nblocks in
+      let t_par =
+        best (fun () ->
+            if
+              Tracing.Tracefile.fold_blocks_parallel ~jobs:!jobs path ~init:0
+                ~f:add
+              <> sum
+            then failwith "store: parallel fold checksum mismatch")
+      in
+      let speedup = t_seq /. t_par in
+      (* seek latency: a 1K-word window in the middle of the trace — the
+         index jumps to the covering block instead of decoding from the
+         start (open + index read + binary search + one or two blocks) *)
+      let from = n / 2 in
+      let until = min n (from + 1024) in
+      let window_sum =
+        Tracing.Tracefile.fold_words ~from ~until path ~init:0 ~f:add
+      in
+      let reps = 25 in
+      let t_seek =
+        best (fun () ->
+            for _ = 1 to reps do
+              if
+                Tracing.Tracefile.fold_words ~from ~until path ~init:0 ~f:add
+                <> window_sum
+              then failwith "store: seek window checksum mismatch"
+            done)
+        /. float_of_int reps
+      in
+      Printf.printf
+        "workload %s: %d trace words (capture %.2fs)\n\
+        \  v3 file: %d bytes, %.2fx smaller than raw\n\
+        \  pack %.3fs (%.2f Mwords/s), unpack %.3fs (%.2f Mwords/s)\n\
+        \  mid-trace 1K-word window: %.2f ms/seek vs %.3fs full decode\n\
+        \  full fold: sequential %.3fs, parallel (%d worker(s)) %.3fs -> \
+         %.2fx\n"
+        wname n t_capture bytes ratio t_pack
+        (nf /. t_pack /. 1e6)
+        t_unpack
+        (nf /. t_unpack /. 1e6)
+        (1e3 *. t_seek) t_seq t_seq eff t_par speedup;
+      let entry = Bench_json.entry ~target:"store" in
+      Bench_json.record
+        [
+          entry ~name:"trace words" ~unit_:"words" nf;
+          entry ~name:"compression ratio (v3)" ~unit_:"x" ratio;
+          entry ~name:"pack throughput" ~unit_:"words/s" (nf /. t_pack);
+          entry ~name:"unpack throughput" ~unit_:"words/s" (nf /. t_unpack);
+          entry ~name:"seek latency (1K window)" ~unit_:"s" t_seek;
+          entry ~name:"full decode (sequential)" ~unit_:"s" t_seq;
+          entry ~jobs:eff ~name:"full decode (parallel)" ~unit_:"s" t_par;
+          entry ~jobs:eff ~name:"parallel decode speedup" ~unit_:"x" speedup;
+        ])
+
+(* ------------------------------------------------------------------ *)
 (* CI perf gate: check the recorded results against hard floors.        *)
 
 let gate () =
@@ -735,6 +851,34 @@ let gate () =
             "micro interpreter throughput entries missing (run `micro` \
              first)"
             false);
+      (fun () ->
+        match Bench_json.find entries "store" "compression ratio (v3)" with
+        | None ->
+          check "store 'compression ratio (v3)' missing (run `store` first)"
+            false
+        | Some e ->
+          check
+            (Printf.sprintf "store v3 compression ratio %.2fx >= 4.50x"
+               e.Bench_json.value)
+            (e.Bench_json.value >= 4.5));
+      (fun () ->
+        match Bench_json.find entries "store" "parallel decode speedup" with
+        | None ->
+          check "store 'parallel decode speedup' missing (run `store` first)"
+            false
+        | Some e when e.Bench_json.jobs < 2 ->
+          (* a single-worker pool measures overhead, not scaling — the
+             floor only binds on hosts with >= 2 cores *)
+          Printf.printf
+            "  skip parallel decode speedup floor (ran with %d worker(s); \
+             needs >= 2)\n"
+            e.Bench_json.jobs
+        | Some e ->
+          check
+            (Printf.sprintf
+               "store parallel decode speedup %.2fx >= 1.50x (%d workers)"
+               e.Bench_json.value e.Bench_json.jobs)
+            (e.Bench_json.value >= 1.5));
     ]
   in
   List.iter (fun f -> f ()) floors;
@@ -767,6 +911,7 @@ let experiments =
     ("interp", exp_interp);
     ("stream", exp_stream);
     ("sweep", exp_sweep);
+    ("store", exp_store);
     ("micro", exp_micro);
     ("allocprobe", fun () ->
       (* diagnostic: minor words allocated per interpreted instruction *)
@@ -818,13 +963,14 @@ let usage () =
      available: %s\n\
      -j N      run the experiment matrix on N domains (default %d)\n\
      --timing  (with table2) serial vs parallel wall time + byte-identity\n\
-     --quick   (with faults/stream/sweep/table2/micro) smaller runs, for CI\n\
-    \          smoke\n\
+     --quick   (with faults/stream/sweep/store/table2/micro) smaller runs,\n\
+    \          for CI smoke\n\
      --out F   merge machine-readable results into F, not BENCH_micro.json\n\
      --gate    after any requested experiment, fail if the recorded results\n\
     \          breach the CI perf floors (sweep <= 2x single pass, sweep\n\
     \          work saved >= 5x, stream ratio, bcache >= 2x tcache\n\
-    \          interpreter throughput)\n"
+    \          interpreter throughput, store v3 ratio >= 4.5x, parallel\n\
+    \          decode >= 1.5x on >= 2 cores)\n"
     Sys.argv.(0)
     (String.concat " " (List.map fst experiments))
     (Pool.default_jobs ());

@@ -11,6 +11,9 @@
                                             stored trace in one pass
      systrace check FILE [-w WORKLOAD]   -- validate a stored trace; print
                                             the defensive-tracing diagnoses
+     systrace slice FILE --from A --until B [-o OUT]
+                                         -- extract a word window of a stored
+                                            trace without a full decode
 *)
 
 open Cmdliner
@@ -145,7 +148,7 @@ let trace_cmd =
     | None -> ()
     | Some path ->
       Printf.printf "trace words streamed to %s%s\n" path
-        (if compress then " (delta/varint)" else ""));
+        (if compress then " (compressed, format v3)" else ""));
     Printf.printf
       "trace: %d words, %d block records, %d markers\n\
        references: %d instructions (%d user / %d kernel, %d idle), %d data\n\
@@ -176,7 +179,9 @@ let trace_cmd =
     Arg.(
       value & flag
       & info [ "z"; "compress" ]
-          ~doc:"Delta/varint-compress the $(b,--trace-out) file (format v2).")
+          ~doc:
+            "Compress the $(b,--trace-out) file (format v3: indexed \
+             semantically-preconditioned blocks).")
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Run a workload traced; print trace statistics.")
@@ -354,14 +359,15 @@ let dump_cmd =
       (r.parse_stats.Tracing.Parser.insts + r.parse_stats.Tracing.Parser.datas)
       out
       (if compress then
-         let payload_bytes =
+         (* whole-file ratio: header, blocks and index trailer all count *)
+         let file_bytes =
            let ic = open_in_bin out in
            Fun.protect
              ~finally:(fun () -> close_in ic)
-             (fun () -> in_channel_length ic - 16)
+             (fun () -> in_channel_length ic)
          in
-         Printf.sprintf " (delta/varint, %.1fx smaller)"
-           (float_of_int (4 * words) /. float_of_int payload_bytes)
+         Printf.sprintf " (compressed, %.1fx smaller)"
+           (float_of_int (4 * words) /. float_of_int file_bytes)
        else "")
   in
   let out =
@@ -371,7 +377,9 @@ let dump_cmd =
   let compress =
     Arg.(value & flag
          & info [ "z"; "compress" ]
-             ~doc:"Delta/varint-compress the stored trace (format v2).")
+             ~doc:
+               "Compress the stored trace (format v3: indexed \
+                semantically-preconditioned blocks).")
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Capture a workload's system trace to a file.")
@@ -447,7 +455,7 @@ let sweep_cmd =
      Tracesim.Memsim.sweep updates every configuration's cache/TLB/write-
      buffer state from the shared decode, so the grid costs about one
      replay instead of one per configuration. *)
-  let run name os seed file sizes lines tlbs wbs flat =
+  let run name os seed file sizes lines tlbs wbs flat jobs =
     let e = find_workload name in
     let open Systrace_kernel in
     let cfg =
@@ -488,7 +496,8 @@ let sweep_cmd =
     in
     let stats, accesses, parse =
       try
-        replay_sweep_file ~system:sys ~memsim_cfgs:(List.map snd grid) file
+        replay_sweep_file ~jobs ~system:sys ~memsim_cfgs:(List.map snd grid)
+          file
       with Tracing.Tracefile.Bad_file msg ->
         Printf.eprintf "%s: UNREADABLE\n  %s\n" file msg;
         exit 1
@@ -538,13 +547,23 @@ let sweep_cmd =
              ~doc:"Direct-map every size instead of growing associativity \
                    with size (disables the nested LRU-stack fast path).")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Systrace_util.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Decode a version-3 trace's blocks on $(docv) domains (the \
+             simulation itself stays sequential, so results are identical \
+             whatever $(docv) is).")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Evaluate a (size x line x TLB x write-buffer) geometry grid \
              over a stored trace in a single streaming pass; print the \
              miss-ratio table.")
     Term.(const run $ workload_arg $ os_arg $ seed_arg $ file $ sizes $ lines
-          $ tlbs $ wbs $ flat)
+          $ tlbs $ wbs $ flat $ jobs)
 
 let check_cmd =
   (* Validate a stored trace (defensive tracing, paper 4.3).  Always runs
@@ -555,7 +574,7 @@ let check_cmd =
      are diagnosed too.  Both checkers are chunk-fed from one streaming
      pass over the file: a valid 2^26-word trace no longer costs a 256 MB
      up-front allocation. *)
-  let run file workload os seed =
+  let run file workload os seed jobs =
     (* Build the full-parse context (if requested) before touching the
        file, so a single [fold_words] pass can feed both checkers. *)
     let full =
@@ -601,14 +620,21 @@ let check_cmd =
         Some (name, p)
     in
     let c = Tracing.Parser.scanner () in
+    let feed n ws ~len =
+      Tracing.Parser.scan_feed c ws ~len;
+      (match full with
+      | Some (_, p) -> Tracing.Parser.feed p ws ~len
+      | None -> ());
+      n + len
+    in
     let words =
       try
-        Tracing.Tracefile.fold_words file ~init:0 ~f:(fun n ws ~len ->
-            Tracing.Parser.scan_feed c ws ~len;
-            (match full with
-            | Some (_, p) -> Tracing.Parser.feed p ws ~len
-            | None -> ());
-            n + len)
+        (* with -j > 1, a v3 trace's blocks decode on the domain pool;
+           the checkers still run sequentially in stream order, so the
+           diagnosis list is identical whatever -j is *)
+        if jobs > 1 then
+          Tracing.Tracefile.fold_blocks_parallel ~jobs file ~init:0 ~f:feed
+        else Tracing.Tracefile.fold_words file ~init:0 ~f:feed
       with Tracing.Tracefile.Bad_file msg ->
         Printf.printf "%s: UNREADABLE\n  %s\n" file msg;
         exit 1
@@ -657,12 +683,62 @@ let check_cmd =
              ~doc:"Also run the full recovery-mode parse against this \
                    workload's block tables (must match the dumped trace).")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Systrace_util.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Decode a version-3 trace's blocks on $(docv) domains; the \
+             checkers run in stream order, so the diagnosis list is \
+             identical whatever $(docv) is.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Validate a stored trace and print the diagnosis list \
              (defensive tracing, paper 4.3). Exit status 1 if any \
              diagnosis fires.")
-    Term.(const run $ file $ workload $ os_arg $ seed_arg)
+    Term.(const run $ file $ workload $ os_arg $ seed_arg $ jobs)
+
+let slice_cmd =
+  (* Cut a word window out of a stored trace into a fresh v3 file.  On a
+     v3 input only the blocks covering the window are read and decoded
+     (the index trailer makes the seek cheap); v1 seeks directly, v2
+     decodes from the start but stops at the window's end. *)
+  let run file from until out =
+    match Tracing.Tracefile.slice ?from ?until file out with
+    | n -> Printf.printf "wrote %d words to %s\n" n out
+    | exception Tracing.Tracefile.Bad_file msg ->
+      Printf.eprintf "%s: UNREADABLE\n  %s\n" file msg;
+      exit 1
+    | exception Invalid_argument msg ->
+      Printf.eprintf "bad window: %s\n" msg;
+      exit 1
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Trace file from $(b,systrace dump).")
+  in
+  let from =
+    Arg.(value & opt (some int) None
+         & info [ "from" ] ~docv:"WORD"
+             ~doc:"First word of the window (default 0).")
+  in
+  let until =
+    Arg.(value & opt (some int) None
+         & info [ "until" ] ~docv:"WORD"
+             ~doc:"Word after the window's last (default: end of trace).")
+  in
+  let out =
+    Arg.(value & opt string "slice.strc"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  Cmd.v
+    (Cmd.info "slice"
+       ~doc:"Extract the word window [FROM, UNTIL) of a stored trace into \
+             a fresh compressed trace file, decoding only the covering \
+             blocks.")
+    Term.(const run $ file $ from $ until $ out)
 
 let disasm_cmd =
   (* objdump-style listing of a workload binary, original or epoxie-
@@ -706,4 +782,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "systrace" ~doc)
           [ list_cmd; run_cmd; trace_cmd; validate_cmd; matrix_cmd; profile_cmd;
-            disasm_cmd; dump_cmd; analyze_cmd; sweep_cmd; check_cmd ]))
+            disasm_cmd; dump_cmd; analyze_cmd; sweep_cmd; check_cmd;
+            slice_cmd ]))

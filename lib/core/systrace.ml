@@ -345,15 +345,25 @@ let replay_sweep ~(system : Systrace_kernel.Builder.t)
 
 (** {!replay_file} across many configurations in one pass: the stored
     trace streams from disk once, in O(chunk) space, whatever the number
-    of configurations. *)
-let replay_sweep_file ~(system : Systrace_kernel.Builder.t)
+    of configurations.  With [?jobs], a version-3 trace's blocks are
+    decoded concurrently on the domain pool
+    ({!Tracing.Tracefile.fold_blocks_parallel}); the simulation itself
+    still runs on the calling domain in stream order, so results are
+    identical to the sequential read — decode just stops being the
+    bottleneck.  Other formats fall back to the sequential reader. *)
+let replay_sweep_file ?jobs ~(system : Systrace_kernel.Builder.t)
     ~(memsim_cfgs : Systrace_tracesim.Memsim.config list) path :
     Systrace_tracesim.Memsim.stats array
     * (int * int) array
     * Systrace_tracing.Parser.stats =
   let sink, result = replay_sweep_sink ~system ~memsim_cfgs () in
-  Systrace_tracing.Tracefile.fold_words path ~init:() ~f:(fun () words ~len ->
-      sink.Systrace_tracing.Sink.on_words words ~len);
+  (match jobs with
+  | Some jobs when jobs > 1 ->
+    Systrace_tracing.Tracefile.fold_blocks_parallel ~jobs path ~init:()
+      ~f:(fun () words ~len -> sink.Systrace_tracing.Sink.on_words words ~len)
+  | _ ->
+    Systrace_tracing.Tracefile.fold_words path ~init:()
+      ~f:(fun () words ~len -> sink.Systrace_tracing.Sink.on_words words ~len));
   result ()
 
 (** The memory-system configuration of the simulated DECstation, for

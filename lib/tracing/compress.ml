@@ -509,6 +509,211 @@ let lzss_unpack ?limit (src : string) : string =
   Buffer.contents out
 
 (* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven.
+
+   The v3 {!Tracefile} trailer stores one CRC per compressed block plus
+   one over the index itself, so a seeking reader can tell "this block
+   rotted on disk" apart from "this index is lying" before it decodes
+   anything.  Plain OCaml ints; the 32-bit result is always
+   non-negative. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_update crc (s : string) ~pos ~len =
+  let t = Lazy.force crc_table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c :=
+      Array.unsafe_get t ((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+      lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s = crc32_update 0 s ~pos:0 ~len:(String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Semantic preconditioning (v3 codec 1).
+
+   The delta stage above treats the trace as one undifferentiated word
+   sequence, so every kernel-word/user-word/marker interleave lands a
+   huge delta that costs 5 varint bytes and breaks the run detector.
+   But trace words HAVE structure the generic stage cannot see (the HMTT
+   "semantic gap"): markers cluster in a 64KB window, basic-block words
+   walk program text in small PC deltas, data addresses walk arrays in
+   fixed strides — each a beautifully compressible stream on its own,
+   ruined only by being shuffled together.
+
+   So: classify each word by the address-space region that produced it
+   (plus the drain protocol's count words, which are small integers, not
+   addresses), run-length encode the class sequence, and delta/varint
+   each class's words against its OWN predecessor.  PC-deltas stay small
+   because no data address intervenes; array strides become run tokens
+   because the stride is uninterrupted.  The classifier is heuristic and
+   encoder-only — the class runs are recorded on the wire, so a
+   misclassified word costs ratio, never correctness, and the decoder
+   needs no block tables.
+
+   Body layout (before the LZSS stage):
+
+     varint(nruns)
+     nruns x varint((run_length - 1) * 8 + class)
+     nclasses x varint(stream_bytes)
+     the class streams, concatenated in class order
+
+   Each class stream is exactly the incremental {!encoder}'s token
+   stream, started fresh (prev = 0), so blocks decode independently. *)
+
+let n_classes = 6
+
+(* Classes: 0 markers, 1 drain-count words, 2 user text (bb records),
+   3 user data/stack, 4 kseg0 (kernel text + data), 5 kseg1/kseg2
+   (devices, page tables).  The split points are the address-space
+   layout of the traced system; a foreign trace still round-trips, just
+   with whatever ratio its own layout earns. *)
+let class_of ~count_next w =
+  if count_next then 1
+  else if Format_.is_marker w then 0
+  else if w < 0x10000000 then 2
+  else if w < 0x80000000 then 3
+  else if w < 0xA0000000 then 4
+  else 5
+
+let encode_semantic (words : int array) ~pos ~len : string =
+  let runs = Buffer.create 256 in
+  let streams = Array.init n_classes (fun _ -> Buffer.create 256) in
+  let encs = Array.init n_classes (fun _ -> encoder ()) in
+  let nruns = ref 0 in
+  let run_class = ref (-1) and run_len = ref 0 in
+  let close_run () =
+    if !run_len > 0 then begin
+      put_varint runs (((!run_len - 1) lsl 3) lor !run_class);
+      incr nruns
+    end
+  in
+  let count_next = ref false in
+  for i = pos to pos + len - 1 do
+    let w = words.(i) in
+    let c = class_of ~count_next:!count_next w in
+    count_next :=
+      (not !count_next) && Format_.is_marker w
+      && Format_.marker_kind w = Format_.kind_drain;
+    if c = !run_class then incr run_len
+    else begin
+      close_run ();
+      run_class := c;
+      run_len := 1
+    end;
+    let e = encs.(c) and buf = streams.(c) in
+    let d = delta32 w e.e_prev in
+    e.e_prev <- w;
+    if e.e_count > 0 && d = e.e_delta then e.e_count <- e.e_count + 1
+    else begin
+      encoder_flush e buf;
+      e.e_delta <- d;
+      e.e_count <- 1
+    end
+  done;
+  close_run ();
+  Array.iteri (fun c e -> encoder_flush e streams.(c)) encs;
+  let out =
+    Buffer.create
+      (Buffer.length runs
+      + Array.fold_left (fun a b -> a + Buffer.length b) 64 streams)
+  in
+  put_varint out !nruns;
+  Buffer.add_buffer out runs;
+  Array.iter (fun b -> put_varint out (Buffer.length b)) streams;
+  Array.iter (fun b -> Buffer.add_buffer out b) streams;
+  Buffer.contents out
+
+let decode_semantic ~expect (s : string) : int array =
+  let n = String.length s in
+  let p = ref 0 in
+  let get_varint () =
+    let acc = ref 0 and shift = ref 0 and fin = ref false in
+    while not !fin do
+      if !p >= n then raise (Corrupt "semantic block: truncated varint");
+      if !shift > 62 then raise (Corrupt "semantic block: varint overflow");
+      let b = Char.code s.[!p] in
+      incr p;
+      acc := !acc lor ((b land 0x7F) lsl !shift);
+      if !acc < 0 then raise (Corrupt "semantic block: varint overflow");
+      if b land 0x80 = 0 then fin := true else shift := !shift + 7
+    done;
+    !acc
+  in
+  let nruns = get_varint () in
+  if nruns > expect then
+    raise
+      (Corrupt
+         (Printf.sprintf "semantic block: %d runs for %d words" nruns expect));
+  let run_class = Array.make (max nruns 1) 0 in
+  let run_len = Array.make (max nruns 1) 0 in
+  let counts = Array.make n_classes 0 in
+  let total = ref 0 in
+  for r = 0 to nruns - 1 do
+    let tok = get_varint () in
+    let c = tok land 7 and l = (tok lsr 3) + 1 in
+    if c >= n_classes then raise (Corrupt "semantic block: bad class");
+    run_class.(r) <- c;
+    run_len.(r) <- l;
+    counts.(c) <- counts.(c) + l;
+    total := !total + l;
+    if !total > expect then
+      raise
+        (Corrupt
+           (Printf.sprintf "semantic block: runs cover %d words, expected %d"
+              !total expect))
+  done;
+  if !total <> expect then
+    raise
+      (Corrupt
+         (Printf.sprintf "semantic block: runs cover %d words, expected %d"
+            !total expect));
+  let lens = Array.init n_classes (fun _ -> get_varint ()) in
+  let start = Array.make n_classes 0 in
+  let off = ref !p in
+  Array.iteri
+    (fun c l ->
+      start.(c) <- !off;
+      if l < 0 || !off + l > n then
+        raise (Corrupt "semantic block: stream lengths exceed block");
+      off := !off + l)
+    lens;
+  if !off <> n then raise (Corrupt "semantic block: trailing bytes");
+  (* decode each class stream into its own array, then interleave *)
+  let cls_words =
+    Array.init n_classes (fun c ->
+        let out = Array.make (max counts.(c) 1) 0 in
+        let k = ref 0 in
+        let d = decoder ~expect:counts.(c) ~emit:(fun w ->
+            out.(!k) <- w;
+            incr k) ()
+        in
+        decode_bytes d s ~pos:start.(c) ~len:lens.(c);
+        decode_finish d;
+        out)
+  in
+  let idx = Array.make n_classes 0 in
+  let out = Array.make (max expect 1) 0 in
+  let o = ref 0 in
+  for r = 0 to nruns - 1 do
+    let c = run_class.(r) in
+    let src = cls_words.(c) and i = idx.(c) in
+    Array.blit src i out !o run_len.(r);
+    idx.(c) <- i + run_len.(r);
+    o := !o + run_len.(r)
+  done;
+  if expect = 0 then [||] else out
+
+(* ------------------------------------------------------------------ *)
 
 (* Parallel pack.  The delta stream is split into fixed-size blocks and
    each block is LZSS-packed independently on the domain pool, then the

@@ -58,6 +58,48 @@ val ratio : int array -> float
 (** {!pack}ed bytes over raw bytes ([4 * length]); 1.0 for the empty
     stream. *)
 
+(** {1 Semantic preconditioning (v3 codec)}
+
+    The delta stage treats the trace as one undifferentiated sequence,
+    so every kernel/user/marker interleave lands a huge delta and breaks
+    the run detector.  Trace words have structure generic LZ cannot see
+    (the HMTT "semantic gap"): {!encode_semantic} classifies each word
+    by the address-space region that produced it (markers, drain counts,
+    user text, user data, kseg0, kseg1/2), run-length encodes the class
+    sequence, and delta/varint-encodes each class against its own
+    predecessor — PC deltas stay small, array strides become run tokens.
+    The classifier is heuristic and encoder-only: class runs are
+    recorded on the wire, so a misclassified word costs ratio, never
+    correctness.  Used by the version-3 {!Tracefile} blocks (with the
+    LZSS stage on top). *)
+
+val encode_semantic : int array -> pos:int -> len:int -> string
+(** Precondition [words.(pos .. pos+len-1)].  Self-contained: each call
+    starts every per-class predictor fresh, so v3 blocks decode
+    independently.  Total; never raises (beyond [Invalid_argument] on a
+    bad slice). *)
+
+val decode_semantic : expect:int -> string -> int array
+(** Inverse of {!encode_semantic}.  [expect] is the exact word count
+    (v3 readers know it from the block index); every structural field —
+    run totals, per-class stream lengths, trailing bytes — is validated
+    against it before any oversized allocation.
+    @raise Corrupt on malformed input. *)
+
+(** {1 CRC-32}
+
+    IEEE 802.3 CRC-32 over bytes, for the v3 {!Tracefile} block index:
+    one CRC per compressed block plus one over the index itself, so a
+    seeking reader can tell a rotted block from a lying index before it
+    decodes anything. *)
+
+val crc32 : string -> int
+(** CRC-32 of a whole string; always in [0, 0xFFFFFFFF]. *)
+
+val crc32_update : int -> string -> pos:int -> len:int -> int
+(** Incremental form: [crc32_update 0 s ~pos:0 ~len] over successive
+    slices chains to {!crc32} of the concatenation. *)
+
 (** {1 Incremental interfaces}
 
     The streaming trace pipeline ({!Tracefile.open_writer},

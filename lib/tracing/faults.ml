@@ -326,3 +326,105 @@ let mangle rng (s : string) : string =
     done;
     Bytes.to_string b
   | _ -> s ^ String.init 4 (fun _ -> Char.chr (Systrace_util.Rng.int rng 256))
+
+(* v3-trailer-targeted mangling.  Blind byte mangling almost always dies
+   on the first CRC check; the interesting decode-path bugs live behind
+   it, in the entry validation — so half these faults *recompute* the
+   index CRC after lying, forcing the reader to reject the entry on its
+   own merits (offsets past EOF, overlaps, non-monotone word offsets,
+   unknown codecs) rather than on a checksum.  Returns the mangled bytes
+   and a description of what was done; falls back to {!mangle} when the
+   input is not a well-formed v3 file. *)
+let mangle_v3 rng (s : string) : string * string =
+  let n = String.length s in
+  let u32 off = Int32.to_int (String.get_int32_le s off) land 0xFFFFFFFF in
+  let fallback () = (mangle rng s, "blind byte mangle") in
+  if
+    n < 28
+    || String.sub s 0 4 <> "STRC"
+    || u32 4 <> 3
+    || String.sub s (n - 4) 4 <> "SIDX"
+  then fallback ()
+  else begin
+    let nblocks = u32 (n - 12) in
+    let payload = u32 12 in
+    let index_off = 16 + payload in
+    let index_bytes = 17 * nblocks in
+    if index_off + index_bytes + 12 <> n then fallback ()
+    else begin
+      let b = Bytes.of_string s in
+      let set32 off v = Bytes.set_int32_le b off (Int32.of_int v) in
+      let flip_byte pos =
+        Bytes.set b pos
+          (Char.chr
+             (Char.code (Bytes.get b pos)
+             lxor (1 lsl Systrace_util.Rng.int rng 8)))
+      in
+      let fix_index_crc () =
+        set32 (n - 8)
+          (Compress.crc32_update 0
+             (Bytes.unsafe_to_string b)
+             ~pos:index_off ~len:index_bytes)
+      in
+      let entry k = index_off + (17 * k) in
+      match Systrace_util.Rng.int rng 9 with
+      | 0 ->
+        (* cut inside the trailer: index or footer goes missing *)
+        let cut = index_off + Systrace_util.Rng.int rng (index_bytes + 12) in
+        ( String.sub s 0 cut,
+          Printf.sprintf "trailer truncated at %d/%d" cut n )
+      | 1 when nblocks > 0 ->
+        flip_byte (index_off + Systrace_util.Rng.int rng index_bytes);
+        (Bytes.to_string b, "index bit rot (index CRC mismatch)")
+      | 2 when nblocks > 0 ->
+        let k = Systrace_util.Rng.int rng nblocks in
+        let off = entry k in
+        set32 (off + 8)
+          (u32 (off + 8) + payload + 1 + Systrace_util.Rng.int rng 1000);
+        fix_index_crc ();
+        ( Bytes.to_string b,
+          Printf.sprintf "block %d length past EOF (index CRC fixed)" k )
+      | 3 when nblocks > 1 ->
+        let k = 1 + Systrace_util.Rng.int rng (nblocks - 1) in
+        let off = entry k in
+        set32 (off + 4)
+          (max 16 (u32 (off + 4) - 1 - Systrace_util.Rng.int rng 16));
+        fix_index_crc ();
+        ( Bytes.to_string b,
+          Printf.sprintf "block %d overlaps its predecessor (index CRC fixed)"
+            k )
+      | 4 when nblocks > 0 && payload > 0 ->
+        flip_byte (16 + Systrace_util.Rng.int rng payload);
+        (Bytes.to_string b, "payload bit rot (block CRC mismatch)")
+      | 5 ->
+        let nb' =
+          match Systrace_util.Rng.int rng 3 with
+          | 0 -> nblocks + 1 + Systrace_util.Rng.int rng 100
+          | 1 -> (nblocks + 1) land 0xFFFFFF (* any different value *)
+          | _ -> 0x7FFFFFFF (* oversized: must be rejected pre-allocation *)
+        in
+        set32 (n - 12) (if nb' = nblocks then nblocks + 1 else nb');
+        ( Bytes.to_string b,
+          Printf.sprintf "footer block count %d -> %d" nblocks
+            (if nb' = nblocks then nblocks + 1 else nb') )
+      | 6 ->
+        flip_byte (n - 4 + Systrace_util.Rng.int rng 4);
+        (Bytes.to_string b, "footer magic scribbled")
+      | 7 when nblocks > 1 ->
+        let k = 1 + Systrace_util.Rng.int rng (nblocks - 1) in
+        set32 (entry k) (u32 (entry (k - 1)));
+        fix_index_crc ();
+        ( Bytes.to_string b,
+          Printf.sprintf "block %d word offset clamped to predecessor (index \
+                          CRC fixed)"
+            k )
+      | 8 when nblocks > 0 ->
+        let k = Systrace_util.Rng.int rng nblocks in
+        Bytes.set b (entry k + 12)
+          (Char.chr (3 + Systrace_util.Rng.int rng 253));
+        fix_index_crc ();
+        ( Bytes.to_string b,
+          Printf.sprintf "block %d codec byte invalid (index CRC fixed)" k )
+      | _ -> fallback ()
+    end
+  end

@@ -57,3 +57,13 @@ val mangle : Systrace_util.Rng.t -> string -> string
 (** Corrupt a stored trace file's bytes (header, compressed payload,
     anything): bit flips, truncation, appended garbage, overwritten
     windows.  For fuzzing [Tracefile.load]. *)
+
+val mangle_v3 : Systrace_util.Rng.t -> string -> string * string
+(** Corrupt a version-3 trace file's index trailer specifically:
+    truncated index, index/block CRC rot, and — with the index CRC
+    {e recomputed} so the checksum passes — lying entries (packed
+    lengths past EOF, overlapping blocks, non-monotone word offsets,
+    unknown codec bytes) and a rewritten footer block count, so the
+    reader's entry validation is exercised behind the checksum.
+    Returns the mangled bytes and a description of the fault; falls
+    back to {!mangle} when the input is not a well-formed v3 file. *)

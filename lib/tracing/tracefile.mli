@@ -1,7 +1,9 @@
 (** On-disk trace files — the "traces on tape" of the paper's §3.4, for
-    sharing and offline replay studies.  Two wire formats: raw words
-    (version 1) and {!Compress} delta/varint (version 2); {!load}
-    dispatches on the stored version. *)
+    sharing and offline replay studies.  Three wire formats: raw words
+    (version 1), {!Compress} delta/varint (version 2), and indexed
+    self-contained compressed blocks (version 3 — seekable, parallel
+    decodable, semantically preconditioned); {!load} dispatches on the
+    stored version, and v1/v2 files keep loading byte-identically. *)
 
 exception Bad_file of string
 
@@ -10,22 +12,32 @@ val max_words : int
     [Compress.decode]'s bound) — far beyond any real capture, so a
     corrupt header cannot force an oversized allocation. *)
 
-val save : ?compress:bool -> string -> int array -> unit
-(** Write a captured trace. [~compress:true] (default [false]) selects the
-    version-2 delta/varint format — typically 3-6x smaller on real system
-    traces.
+val v3_block_words : int
+(** Words per version-3 block (65536).  Each block compresses
+    independently — own codec choice, fresh predictors, own CRC — so
+    blocks seek and decode in isolation. *)
+
+val save : ?compress:bool -> ?version:int -> string -> int array -> unit
+(** Write a captured trace. [~compress:true] (default [false]) selects a
+    compressed format: version 3 by default (indexed blocks, typically
+    4-100x smaller on real system traces), or [~version:2] for the
+    legacy whole-stream delta/varint format.  [version] is ignored
+    without [~compress:true].
     @raise Invalid_argument naming the offending index if any word is
     outside the 32-bit trace-word range (a corrupted in-memory buffer
-    must not round-trip into a "valid" file). *)
+    must not round-trip into a "valid" file), or on an unsupported
+    [version]. *)
 
 val load : string -> int array
-(** Read back either format.  On ANY byte sequence this either returns a
+(** Read back any format.  On ANY byte sequence this either returns a
     word array or raises {!Bad_file} — never [End_of_file],
     [Invalid_argument], or an attacker-sized allocation; header counts
     are checked against {!max_words} and the actual file size before any
-    buffer is allocated (fuzzed in the test suite).
+    buffer is allocated, and a v3 file's index and per-block CRCs are
+    verified before its blocks are decoded (fuzzed in the test suite).
     @raise Bad_file on bad magic, version, truncation, oversized or
-    lying counts, or corrupt payload. *)
+    lying counts, index inconsistency (overlapping or gapped blocks,
+    offsets past EOF, CRC mismatch), or corrupt payload. *)
 
 (** {1 Streaming interfaces}
 
@@ -36,15 +48,18 @@ val load : string -> int array
 
 type writer
 
-val open_writer : ?compress:bool -> string -> writer
+val open_writer : ?compress:bool -> ?version:int -> string -> writer
 (** Start a trace file of the given format (the header's word count is
     patched on close, so the destination must be seekable — a regular
-    file, not a pipe).  With [~compress:true] the delta stream is
-    LZSS-packed in ~1 MB blocks as it grows; each block is group-aligned
-    by the packer, so concatenated blocks form a valid stream — {!load}
-    and {!fold_words} read the result with the same decoder, and a trace
-    whose delta stream fits one block is byte-for-byte what
-    [save ~compress:true] writes. *)
+    file, not a pipe).  With [~compress:true] (version 3 by default,
+    [~version:2] for the legacy format) the stream is compressed
+    incrementally: v3 packs a self-contained block every
+    {!v3_block_words} words and appends the index as a trailer on close;
+    v2 LZSS-packs the delta stream in ~1 MB blocks.  Either way block
+    boundaries depend only on the word stream, never on call chunking,
+    so the streamed file is byte-identical to [save] of the
+    concatenation.
+    @raise Invalid_argument on an unsupported [version]. *)
 
 val write : writer -> int array -> len:int -> unit
 (** Append [words.(0 .. len-1)].  The array is consumed before return
@@ -54,11 +69,16 @@ val write : writer -> int array -> len:int -> unit
     the writer is closed. *)
 
 val close_writer : writer -> int
-(** Flush the pending block, patch the header counts, close the file;
-    returns the total words written.  Idempotent. *)
+(** Flush the pending block, write the v3 index trailer, patch the
+    header counts, close the file; returns the total words written.
+    Idempotent.  A writer closed after zero words produces a valid
+    empty trace file (v3: header plus empty index trailer) that
+    round-trips through {!load} and {!fold_words}. *)
 
 val fold_words :
   ?chunk_words:int ->
+  ?from:int ->
+  ?until:int ->
   string ->
   init:'a ->
   f:('a -> int array -> len:int -> 'a) ->
@@ -70,4 +90,39 @@ val fold_words :
     delivered — a corrupt tail is only discovered when reached).  The
     chunk array is reused between calls; [f] must copy what it keeps.
     Exceptions raised by [f] itself propagate unchanged.
-    @raise Bad_file as {!load}. *)
+
+    [?from]/[?until] (word indices, default the whole trace, clamped to
+    the stored count) restrict the fold to the window [from, until):
+    v1 files seek straight to the window, v3 files seek to the covering
+    block via the index, v2 files decode from the start but emit only
+    the window and stop at [until].  With a window, bytes past what the
+    fold needed are not read, so corruption beyond the window goes
+    undetected — use {!load} or a full fold to audit a file.
+    @raise Bad_file as {!load}.
+    @raise Invalid_argument on a negative [from], [until < from], or
+    non-positive [chunk_words]. *)
+
+val fold_blocks_parallel :
+  ?jobs:int ->
+  string ->
+  init:'a ->
+  f:('a -> int array -> len:int -> 'a) ->
+  'a
+(** Like {!fold_words} over the whole trace, but v3 blocks are decoded
+    concurrently on the domain pool ([jobs] defaults to the hardware
+    core count, as [Pool.default_jobs]): blocks are read and CRC-checked
+    in batches, decoded in parallel, and [f] runs on the calling domain
+    in stream order — observationally identical to {!fold_words}, only
+    the decode is parallel.  Chunks are whole blocks (at most
+    {!v3_block_words} words).  Peak memory is O(jobs * block).  v1/v2
+    files fall back to the sequential reader.
+    @raise Bad_file as {!load}.
+    @raise Invalid_argument on non-positive [jobs]. *)
+
+val slice : ?from:int -> ?until:int -> string -> string -> int
+(** [slice ?from ?until src dst] extracts the window [from, until) of a
+    stored trace into a fresh version-3 trace file, decoding only the
+    covering blocks (the [systrace slice] back end).  Returns the
+    number of words written.
+    @raise Bad_file as {!load}; @raise Invalid_argument as
+    {!fold_words}. *)

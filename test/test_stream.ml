@@ -130,10 +130,42 @@ let test_run_traced_sink_tee () =
     true
     (peak_words () <= chunk)
 
+let test_v3_replay_matches_v2 () =
+  (* the v3 store is a pure container change: strict-mode parse results
+     and memory-system stats off a v3 file must be byte-identical to the
+     v2 file of the same capture — and the parallel block decode must
+     not change them either *)
+  let words, run, base = baseline () in
+  let with_tmp f =
+    let path = Filename.temp_file "systrace_v3" ".strc" in
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  in
+  with_tmp (fun p2 ->
+      with_tmp (fun p3 ->
+          Tracing.Tracefile.save ~compress:true ~version:2 p2 words;
+          Tracing.Tracefile.save ~compress:true ~version:3 p3 words;
+          let r2 = replay_file ~system:run.system ~memsim_cfg:(memsim_cfg run) p2 in
+          let r3 = replay_file ~system:run.system ~memsim_cfg:(memsim_cfg run) p3 in
+          Alcotest.(check bool) "v2 replay == baseline" true (r2 = base);
+          Alcotest.(check bool) "v3 replay == v2 replay" true (r3 = r2);
+          let cfgs = [ default_memsim_cfg ~system:run.system ] in
+          let sweep_seq =
+            replay_sweep_file ~system:run.system ~memsim_cfgs:cfgs p3
+          in
+          let sweep_par =
+            replay_sweep_file ~jobs:3 ~system:run.system ~memsim_cfgs:cfgs p3
+          in
+          Alcotest.(check bool)
+            "parallel-decode sweep == sequential sweep" true
+            (sweep_par = sweep_seq)))
+
 let tests =
   [
     Alcotest.test_case "replay_file == replay (both formats)" `Quick
       test_replay_file_matches_replay;
+    Alcotest.test_case "v3 store: strict parse/memsim identical to v2, \
+                        parallel decode identical" `Quick
+      test_v3_replay_matches_v2;
     QCheck_alcotest.to_alcotest prop_chunked_replay_matches;
     Alcotest.test_case "predict: online analysis, bounded peak" `Quick
       test_predict_streams_bounded;

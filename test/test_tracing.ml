@@ -1540,7 +1540,8 @@ let prop_writer_fold_roundtrip =
 
 let test_writer_byte_identical_to_save () =
   (* chunked writes produce byte-for-byte what the batch writer produces:
-     always for v1, and for v2 whenever the delta stream fits one block *)
+     always for v1 and v3 (v3 block boundaries depend only on the word
+     stream, never on call chunking) *)
   let words =
     Array.init 5000 (fun i ->
         if i mod 7 = 0 then 0xBFFF0000 + (8 * (i mod 6))
@@ -1558,7 +1559,7 @@ let test_writer_byte_identical_to_save () =
                 (cuts_of [ 33; 1; 500 ] (Array.length words));
               ignore (Tracefile.close_writer w);
               Alcotest.(check string)
-                (if compress then "v2 single-block" else "v1")
+                (if compress then "v3" else "v1")
                 (read_file p1) (read_file p2))))
     [ false; true ]
 
@@ -1657,4 +1658,403 @@ let tests =
       Alcotest.test_case "tracefile: fold_words lets callback exceptions \
                           through" `Quick test_fold_words_callback_exn;
       QCheck_alcotest.to_alcotest prop_fold_words_total;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Version-3 trace store: semantic codec, index trailer, seek windows,
+   parallel decode, slice — and the decode-path fuzz sweep against
+   trailer-targeted faults. *)
+
+(* Trace-like word mix covering every semantic class (markers, drain
+   protocol left out on purpose — classification is encoder-only) plus
+   raw salad so codec selection is exercised. *)
+let gen_v3_words =
+  QCheck.Gen.(
+    map Array.of_list
+      (list_size (int_range 0 500)
+         (oneof
+            [
+              map (fun i -> 0x00400000 + (4 * i)) (int_bound 8192);
+              map (fun i -> 0x10000000 + (4 * i)) (int_bound 65536);
+              map (fun i -> 0x80100000 + (4 * i)) (int_bound 4096);
+              map (fun i -> 0xBFFF0000 lor (1 lsl 12) lor (i land 0xFFF))
+                (int_bound 0xFFF);
+              map (fun i -> i land 0xFFFFFFFF) (int_bound max_int);
+            ])))
+
+let prop_semantic_roundtrip =
+  QCheck.Test.make ~count:300
+    ~name:"compress: semantic codec roundtrip on random slices"
+    (QCheck.make
+       ~print:(fun (ws, _, _) -> Printf.sprintf "<%d words>" (Array.length ws))
+       QCheck.Gen.(triple gen_v3_words (int_bound 100) (int_bound 100)))
+    (fun (words, a, b) ->
+      let n = Array.length words in
+      let pos = if n = 0 then 0 else a * n / 101 in
+      let len = min (n - pos) (b * n / 101) in
+      Compress.decode_semantic ~expect:len
+        (Compress.encode_semantic words ~pos ~len)
+      = Array.sub words pos len)
+
+let prop_v3_version_roundtrip =
+  (* both compressed formats, chunk-split writer == save, load intact *)
+  QCheck.Test.make ~count:200
+    ~name:"tracefile: v2/v3 chunked write + load roundtrip"
+    (QCheck.make
+       ~print:(fun (ws, _, v) ->
+         Printf.sprintf "<%d words, v%d>" (Array.length ws) v)
+       QCheck.Gen.(triple gen_v3_words gen_sizes (int_range 2 3)))
+    (fun (words, sizes, version) ->
+      with_temp (fun p1 ->
+          with_temp (fun p2 ->
+              Tracefile.save ~compress:true ~version p1 words;
+              let w = Tracefile.open_writer ~compress:true ~version p2 in
+              List.iter
+                (fun (pos, len) ->
+                  Tracefile.write w (Array.sub words pos len) ~len)
+                (cuts_of sizes (Array.length words));
+              ignore (Tracefile.close_writer w);
+              Tracefile.load p1 = words
+              && (version = 2 || read_file p1 = read_file p2)
+              && Tracefile.load p2 = words)))
+
+(* A multi-block v3 trace (several 64K-word blocks) shared by the tests
+   below; LCG-scrambled trace-like words so blocks are non-degenerate. *)
+let multiblock_words =
+  lazy
+    (let x = ref 7 in
+     Array.init 180_000 (fun i ->
+         x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+         match i mod 13 with
+         | 0 -> 0xBFFF0000 lor (1 lsl 12) lor (i land 0xFFF)
+         | 1 | 2 | 3 | 4 -> 0x00400000 + (4 * (!x mod 8192))
+         | 5 | 6 -> 0x10000000 + (4 * (!x mod 65536))
+         | 7 | 8 | 9 -> 0x80100000 + (4 * (!x mod 4096))
+         | _ -> !x))
+
+let multiblock_file =
+  lazy
+    (let path = Filename.temp_file "systrace_v3multi" ".strc" in
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     Tracefile.save ~compress:true path (Lazy.force multiblock_words);
+     path)
+
+let test_v3_multiblock () =
+  let words = Lazy.force multiblock_words in
+  let path = Lazy.force multiblock_file in
+  check "spans several blocks" true
+    (Array.length words > 2 * Tracefile.v3_block_words);
+  check "load intact" true (Tracefile.load path = words);
+  (* byte identity of save and an arbitrarily chunked writer across
+     block boundaries *)
+  with_temp (fun p2 ->
+      let w = Tracefile.open_writer ~compress:true p2 in
+      List.iter
+        (fun (pos, len) -> Tracefile.write w (Array.sub words pos len) ~len)
+        (cuts_of [ 40_000; 1; 65536; 13 ] (Array.length words));
+      ignore (Tracefile.close_writer w);
+      Alcotest.(check string)
+        "multi-block writer == save" (read_file path) (read_file p2));
+  (* a window crossing a block boundary seeks to the covering block *)
+  let from = Tracefile.v3_block_words - 7
+  and until = Tracefile.v3_block_words + 9 in
+  let got = ref [] in
+  ignore
+    (Tracefile.fold_words ~from ~until path ~init:()
+       ~f:(fun () c ~len -> got := Array.sub c 0 len :: !got));
+  check "boundary window == array window" true
+    (Array.concat (List.rev !got) = Array.sub words from (until - from))
+
+let prop_fold_window =
+  (* fold_words ?from ?until == the materialized window, all formats *)
+  QCheck.Test.make ~count:150
+    ~name:"tracefile: fold_words window == array window (v1/v2/v3)"
+    (QCheck.make
+       ~print:(fun (ws, a, b, v) ->
+         Printf.sprintf "<%d words, [%d,%d), v%d>" (Array.length ws) a b v)
+       QCheck.Gen.(
+         quad gen_v3_words (int_bound 600) (int_bound 600) (int_range 1 3)))
+    (fun (words, a, b, version) ->
+      let from = min a b and until = max a b in
+      with_temp (fun path ->
+          (if version = 1 then Tracefile.save path words
+           else Tracefile.save ~compress:true ~version path words);
+          let got = ref [] in
+          ignore
+            (Tracefile.fold_words ~chunk_words:23 ~from ~until path ~init:()
+               ~f:(fun () c ~len -> got := Array.sub c 0 len :: !got));
+          let n = Array.length words in
+          let from' = min from n and until' = min until n in
+          Array.concat (List.rev !got)
+          = Array.sub words from' (max 0 (until' - from'))))
+
+let prop_slice_matches_window =
+  QCheck.Test.make ~count:100
+    ~name:"tracefile: slice(from,until) == materialized array slice"
+    (QCheck.make
+       ~print:(fun (ws, a, b, v) ->
+         Printf.sprintf "<%d words, [%d,%d), v%d>" (Array.length ws) a b v)
+       QCheck.Gen.(
+         quad gen_v3_words (int_bound 600) (int_bound 600) (int_range 1 3)))
+    (fun (words, a, b, version) ->
+      let from = min a b and until = max a b in
+      with_temp (fun src ->
+          with_temp (fun dst ->
+              (if version = 1 then Tracefile.save src words
+               else Tracefile.save ~compress:true ~version src words);
+              let wrote = Tracefile.slice ~from ~until src dst in
+              let n = Array.length words in
+              let from' = min from n and until' = min until n in
+              wrote = max 0 (until' - from')
+              && Tracefile.load dst
+                 = Array.sub words from' (max 0 (until' - from')))))
+
+let prop_parallel_fold_identity =
+  QCheck.Test.make ~count:100
+    ~name:"tracefile: fold_blocks_parallel == fold_words (v1/v2/v3)"
+    (QCheck.make
+       ~print:(fun (ws, j, v) ->
+         Printf.sprintf "<%d words, jobs=%d, v%d>" (Array.length ws) j v)
+       QCheck.Gen.(triple gen_v3_words (int_range 1 4) (int_range 1 3)))
+    (fun (words, jobs, version) ->
+      with_temp (fun path ->
+          (if version = 1 then Tracefile.save path words
+           else Tracefile.save ~compress:true ~version path words);
+          let seq = ref [] in
+          ignore
+            (Tracefile.fold_words path ~init:()
+               ~f:(fun () c ~len -> seq := Array.sub c 0 len :: !seq));
+          let par = ref [] in
+          ignore
+            (Tracefile.fold_blocks_parallel ~jobs path ~init:()
+               ~f:(fun () c ~len -> par := Array.sub c 0 len :: !par));
+          Array.concat (List.rev !par) = Array.concat (List.rev !seq)))
+
+let test_parallel_fold_multiblock () =
+  (* several blocks decoded on the pool, folded in order, == sequential *)
+  let words = Lazy.force multiblock_words in
+  let path = Lazy.force multiblock_file in
+  let par = ref [] in
+  ignore
+    (Tracefile.fold_blocks_parallel ~jobs:3 path ~init:()
+       ~f:(fun () c ~len -> par := Array.sub c 0 len :: !par));
+  check "parallel multi-block == words" true
+    (Array.concat (List.rev !par) = words);
+  (* callback exceptions escape as themselves *)
+  match
+    Tracefile.fold_blocks_parallel ~jobs:2 path ~init:()
+      ~f:(fun () _ ~len:_ -> raise Exit)
+  with
+  | () -> Alcotest.fail "callback exception swallowed"
+  | exception Exit -> ()
+
+let test_empty_writer_roundtrip () =
+  (* a writer closed after zero words must produce a valid empty file in
+     every format: load = [||], fold delivers no chunks, the structural
+     scanner sees a clean empty trace *)
+  List.iter
+    (fun version ->
+      with_temp (fun path ->
+          let w =
+            if version = 1 then Tracefile.open_writer path
+            else Tracefile.open_writer ~compress:true ~version path
+          in
+          check_int "zero words" 0 (Tracefile.close_writer w);
+          check "empty load" true (Tracefile.load path = [||]);
+          ignore
+            (Tracefile.fold_words path ~init:()
+               ~f:(fun () _ ~len:_ -> Alcotest.fail "chunk on empty trace"));
+          ignore
+            (Tracefile.fold_blocks_parallel ~jobs:2 path ~init:()
+               ~f:(fun () _ ~len:_ -> Alcotest.fail "chunk on empty trace"));
+          let c = Parser.scanner () in
+          check "empty trace scans clean" true (Parser.scan_finish c = [])))
+    [ 1; 2; 3 ]
+
+let test_lzss_limit_pad_boundary () =
+  (* dist-0 group-padding items must be skipped BEFORE the output-limit
+     check: a complete stream unpacked with limit = exact plaintext size
+     must succeed even though pad items follow the last real byte, and
+     limit = size - 1 must still be Corrupt. *)
+  let cases =
+    [
+      "abc" (* 3 literal items + 5 pads in the final group *);
+      String.concat "" (List.init 50 (fun i -> Printf.sprintf "%d," i));
+      String.make 1000 'r' (* long match run, partial tail group *);
+    ]
+  in
+  List.iter
+    (fun s ->
+      let packed = Compress.lzss_pack s in
+      Alcotest.(check string)
+        "exact-fit limit succeeds" s
+        (Compress.lzss_unpack ~limit:(String.length s) packed);
+      match Compress.lzss_unpack ~limit:(String.length s - 1) packed with
+      | (_ : string) -> Alcotest.fail "limit - 1 not enforced"
+      | exception Compress.Corrupt _ -> ())
+    cases;
+  (* concatenated complete streams carry pads mid-stream (v2 writer block
+     flushes); the exact-fit limit must hold across the seam too *)
+  let s = "hello, trace words, hello, trace words" in
+  let packed2 = Compress.lzss_pack s ^ Compress.lzss_pack s in
+  Alcotest.(check string)
+    "exact-fit across block seam" (s ^ s)
+    (Compress.lzss_unpack ~limit:(2 * String.length s) packed2)
+
+(* --- decode-path fuzz sweep ---------------------------------------- *)
+
+let prop_v3_fuzz_total =
+  (* the PR-2 totality bar extended to v3: load and fold_words on any
+     trailer-mangled file either succeed or raise Bad_file, and always
+     agree with each other *)
+  QCheck.Test.make ~count:300
+    ~name:"tracefile: v3 trailer fuzz — load/fold total and equal"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let rng = Systrace_util.Rng.create seed in
+      let base =
+        with_temp (fun path ->
+            let words =
+              Array.init
+                (200 + Systrace_util.Rng.int rng 400)
+                (fun i -> (i * 2654435761) land 0xFFFFFFFF)
+            in
+            Tracefile.save ~compress:true path words;
+            read_file path)
+      in
+      let mangled, _what = Faults.mangle_v3 rng base in
+      with_temp (fun path ->
+          write_file path mangled;
+          let via_load =
+            match Tracefile.load path with
+            | ws -> Ok ws
+            | exception Tracefile.Bad_file _ -> Error ()
+          in
+          let via_fold =
+            match
+              Tracefile.fold_words ~chunk_words:31 path ~init:[]
+                ~f:(fun acc c ~len -> Array.sub c 0 len :: acc)
+            with
+            | chunks -> Ok (Array.concat (List.rev chunks))
+            | exception Tracefile.Bad_file _ -> Error ()
+          in
+          let via_par =
+            match
+              Tracefile.fold_blocks_parallel ~jobs:2 path ~init:[]
+                ~f:(fun acc c ~len -> Array.sub c 0 len :: acc)
+            with
+            | chunks -> Ok (Array.concat (List.rev chunks))
+            | exception Tracefile.Bad_file _ -> Error ()
+          in
+          via_load = via_fold && via_load = via_par))
+
+let test_v3_multiblock_trailer_fuzz () =
+  (* the same sweep against a file with several blocks, where entry
+     validation (overlap, tiling, monotone word offsets) has real work
+     to do; the base file is built once, mangled hundreds of ways *)
+  let base = read_file (Lazy.force multiblock_file) in
+  let rng = Systrace_util.Rng.create 424242 in
+  for _ = 1 to 300 do
+    let mangled, what = Faults.mangle_v3 rng base in
+    with_temp (fun path ->
+        write_file path mangled;
+        match Tracefile.load path with
+        | (_ : int array) -> ()
+        | exception Tracefile.Bad_file msg ->
+          if String.length msg = 0 then
+            Alcotest.failf "empty diagnosis for %s" what
+        | exception e ->
+          Alcotest.failf "%s escaped as %s" what (Printexc.to_string e))
+  done
+
+let test_v3_targeted_diagnoses () =
+  (* deterministic fault classes must produce Bad_file with the matching
+     structured diagnosis, not a generic failure: drive mangle_v3 until
+     every class has been seen, and check the message each time *)
+  let base = read_file (Lazy.force multiblock_file) in
+  let rng = Systrace_util.Rng.create 1337 in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 400 do
+    let mangled, what = Faults.mangle_v3 rng base in
+    let class_of w =
+      List.find_opt (fun p -> String.length w >= String.length p
+                              && String.sub w 0 (String.length p) = p)
+        [ "trailer truncated"; "index bit rot"; "payload bit rot";
+          "footer magic"; "footer block count" ]
+    in
+    let expect_substring =
+      (* classes whose diagnosis is deterministic *)
+      match class_of what with
+      | Some "index bit rot" -> Some "index CRC"
+      | Some "payload bit rot" -> Some "CRC mismatch"
+      | Some "footer magic" -> Some "footer"
+      | _ -> None
+    in
+    with_temp (fun path ->
+        write_file path mangled;
+        match Tracefile.load path with
+        | (_ : int array) -> Alcotest.failf "%s loaded clean" what
+        | exception Tracefile.Bad_file msg ->
+          Hashtbl.replace seen
+            (Option.value ~default:"entry lie" (class_of what)) ();
+          (match expect_substring with
+          | Some sub when not (contains msg sub) ->
+            Alcotest.failf "%s diagnosed as %S (wanted %S)" what msg sub
+          | _ -> ()))
+  done;
+  check "every targeted fault class exercised" true (Hashtbl.length seen >= 6)
+
+(* --- backward-compat fixtures -------------------------------------- *)
+
+(* MUST match scratch history: the fixture files in test/ were written by
+   this exact generator when the v3 format landed; v1/v2 decoding must
+   keep producing these words from those bytes forever. *)
+let fixture_words =
+  let x = ref 1 in
+  Array.init 5000 (fun i ->
+      x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+      match i mod 11 with
+      | 0 -> 0xBFFF0000 lor (1 lsl 12) lor (i land 0xFFF)
+      | 1 | 2 | 3 -> 0x00400000 + (4 * (!x mod 8192))
+      | 4 | 5 -> 0x10000000 + (4 * (!x mod 65536))
+      | 6 | 7 | 8 -> 0x80100000 + (4 * (!x mod 4096))
+      | _ -> !x)
+
+let test_backward_compat_fixtures () =
+  List.iter
+    (fun (file, version) ->
+      let words = Tracefile.load file in
+      check (Printf.sprintf "v%d fixture loads byte-identically" version) true
+        (words = fixture_words);
+      let folded = ref [] in
+      ignore
+        (Tracefile.fold_words file ~init:()
+           ~f:(fun () c ~len -> folded := Array.sub c 0 len :: !folded));
+      check (Printf.sprintf "v%d fixture folds identically" version) true
+        (Array.concat (List.rev !folded) = fixture_words))
+    [ ("fixture_v1.strc", 1); ("fixture_v2.strc", 2) ]
+
+let tests =
+  tests
+  @ [
+      QCheck_alcotest.to_alcotest prop_semantic_roundtrip;
+      QCheck_alcotest.to_alcotest prop_v3_version_roundtrip;
+      Alcotest.test_case "tracefile: v3 multi-block store" `Quick
+        test_v3_multiblock;
+      QCheck_alcotest.to_alcotest prop_fold_window;
+      QCheck_alcotest.to_alcotest prop_slice_matches_window;
+      QCheck_alcotest.to_alcotest prop_parallel_fold_identity;
+      Alcotest.test_case "tracefile: parallel fold across blocks" `Quick
+        test_parallel_fold_multiblock;
+      Alcotest.test_case "tracefile: empty writer round-trips (v1/v2/v3)"
+        `Quick test_empty_writer_roundtrip;
+      Alcotest.test_case "compress: lzss pad items skip the output limit"
+        `Quick test_lzss_limit_pad_boundary;
+      QCheck_alcotest.to_alcotest prop_v3_fuzz_total;
+      Alcotest.test_case "tracefile: v3 multi-block trailer fuzz" `Quick
+        test_v3_multiblock_trailer_fuzz;
+      Alcotest.test_case "tracefile: v3 targeted fault diagnoses" `Quick
+        test_v3_targeted_diagnoses;
+      Alcotest.test_case "tracefile: v1/v2 backward-compat fixtures" `Quick
+        test_backward_compat_fixtures;
     ]
