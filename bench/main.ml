@@ -195,18 +195,30 @@ let exp_trace_format () =
    mixes) — with text and data in kuseg behind wired TLB entries, so
    every fetch and data reference exercises the translation path the
    micro-cache accelerates. *)
-let spin_interp_test ~name ~tcache ~bcache =
+let spin_machine ~tier =
   let open Isa in
   let a = Asm.create "spin" in
   Asm.global a "_start";
   Asm.label a "_start";
   Asm.la a Reg.t2 "buf";
   Asm.label a "loop";
+  (* A counter-update loop: three load-modify-store triples (the
+     canonical fusion pattern), a lui+ori constant, an addiu pair, and
+     the closing j+nop — every fusion rule is exercised and the
+     memory/ALU mix matches a kernel stats loop. *)
   Asm.lw a Reg.t3 0 Reg.t2;
   Asm.addiu a Reg.t3 Reg.t3 1;
   Asm.sw a Reg.t3 0 Reg.t2;
-  Asm.addiu a Reg.t4 Reg.t4 2;
-  Asm.addiu a Reg.t5 Reg.t5 3;
+  Asm.lw a Reg.t4 4 Reg.t2;
+  Asm.addiu a Reg.t4 Reg.t4 1;
+  Asm.sw a Reg.t4 4 Reg.t2;
+  Asm.lw a Reg.t5 8 Reg.t2;
+  Asm.addiu a Reg.t5 Reg.t5 1;
+  Asm.sw a Reg.t5 8 Reg.t2;
+  Asm.i a (Insn.Lui (Reg.t6, Insn.Imm 0x12));
+  Asm.i a (Insn.Alui (Insn.ORI, Reg.t6, Reg.t6, Insn.Imm 0x34));
+  Asm.addiu a Reg.t8 Reg.t8 2;
+  Asm.addiu a Reg.t9 Reg.t9 3;
   Asm.i a (Insn.J (Sym "loop"));
   Asm.nop a;
   Asm.dlabel a "buf";
@@ -217,7 +229,7 @@ let spin_interp_test ~name ~tcache ~bcache =
   in
   let cfg =
     { Machine.Machine.default_config with
-      Machine.Machine.mem_bytes = 1 lsl 20; tcache; bcache }
+      Machine.Machine.mem_bytes = 1 lsl 20; tier }
   in
   let m = Machine.Machine.create ~cfg () in
   Machine.Machine.load_exe_phys m exe ~text_pa:0x1000 ~data_pa:0x8000;
@@ -227,6 +239,10 @@ let spin_interp_test ~name ~tcache ~bcache =
       ~hi:(Machine.Tlb.make_entryhi ~vpn ~asid:0)
       ~lo:(Machine.Tlb.make_entrylo ~dirty:true ~valid:true ~global:true ~pfn:vpn ())
   done;
+  (m, exe)
+
+let spin_interp_test ~name ~tier =
+  let m, exe = spin_machine ~tier in
   let open Bechamel in
   Test.make ~name
     (Staged.stage (fun () ->
@@ -292,20 +308,22 @@ let strip_group name =
   | Some k -> String.sub name (k + 1) (String.length name - k - 1)
   | None -> name
 
-(* The three interpreter configurations of the same 50k-insn mapped spin
-   loop: the block cache on top of the translation micro-cache, the
-   micro-cache alone, and the bare TLB walk. *)
+(* The four interpreter tiers on the same 50k-insn mapped spin loop:
+   superblock fusion on top of the block cache on top of the translation
+   micro-cache, and the bare TLB walk. *)
 let interp_tests () =
   [
+    spin_interp_test ~name:"machine: interpret 50k mapped insns (super)"
+      ~tier:Machine.Uop.Super;
     spin_interp_test ~name:"machine: interpret 50k mapped insns (bcache)"
-      ~tcache:true ~bcache:true;
+      ~tier:Machine.Uop.Bcache;
     spin_interp_test ~name:"machine: interpret 50k mapped insns (tcache)"
-      ~tcache:true ~bcache:false;
+      ~tier:Machine.Uop.Tcache;
     spin_interp_test ~name:"machine: interpret 50k mapped insns (no tcache)"
-      ~tcache:false ~bcache:false;
+      ~tier:Machine.Uop.Step;
   ]
 
-(* Derived interpreter throughput entries (insns/s) and the two speedup
+(* Derived interpreter throughput entries (insns/s) and the speedup
    ratios the perf gate floors. *)
 let micro_interp_entries estimates =
   let entry = Bench_json.entry ~target:"micro" in
@@ -313,30 +331,73 @@ let micro_interp_entries estimates =
     List.find_opt (fun (name, _) -> strip_group name = name') estimates
   in
   match
-    ( find_est "machine: interpret 50k mapped insns (bcache)",
+    ( find_est "machine: interpret 50k mapped insns (super)",
+      find_est "machine: interpret 50k mapped insns (bcache)",
       find_est "machine: interpret 50k mapped insns (tcache)",
       find_est "machine: interpret 50k mapped insns (no tcache)" )
   with
-  | Some (_, bc), Some (_, tc), Some (_, notc)
-    when bc > 0.0 && tc > 0.0 && notc > 0.0 ->
+  | Some (_, sp), Some (_, bc), Some (_, tc), Some (_, notc)
+    when sp > 0.0 && bc > 0.0 && tc > 0.0 && notc > 0.0 ->
     let ips est = interp_insns /. (est *. 1e-9) in
     Printf.printf
-      "\n  interpreter throughput: %.2f M insns/s block-cached, %.2f M \
-       insns/s with micro-cache, %.2f M insns/s without (bcache %.2fx over \
-       tcache; tcache %.2fx over walk)\n"
-      (ips bc /. 1e6) (ips tc /. 1e6) (ips notc /. 1e6) (tc /. bc)
-      (notc /. tc);
+      "\n  interpreter throughput: %.2f M insns/s superblock-fused, %.2f M \
+       insns/s block-cached, %.2f M insns/s with micro-cache, %.2f M \
+       insns/s without (super %.2fx / bcache %.2fx over tcache; tcache \
+       %.2fx over walk)\n"
+      (ips sp /. 1e6) (ips bc /. 1e6) (ips tc /. 1e6) (ips notc /. 1e6)
+      (tc /. sp) (tc /. bc) (notc /. tc);
     [
+      entry ~name:"machine: interpreter throughput (super)" ~unit_:"insns/s"
+        (ips sp);
       entry ~name:"machine: interpreter throughput (bcache)" ~unit_:"insns/s"
         (ips bc);
       entry ~name:"machine: interpreter throughput (tcache)" ~unit_:"insns/s"
         (ips tc);
       entry ~name:"machine: interpreter throughput (no tcache)"
         ~unit_:"insns/s" (ips notc);
+      entry ~name:"machine: super speedup" ~unit_:"x" (tc /. sp);
       entry ~name:"machine: bcache speedup" ~unit_:"x" (tc /. bc);
       entry ~name:"machine: tcache speedup" ~unit_:"x" (notc /. tc);
     ]
   | _ -> []
+
+(* Fused-run statistics of the spin loop's superblock blocks: how many
+   dispatches its steady state costs per instruction, and the run-length
+   histogram (1 = scalar uop).  Run the loop once at Super, then walk the
+   live block table. *)
+let fused_run_entries () =
+  let m, exe = spin_machine ~tier:Machine.Uop.Super in
+  m.Machine.Machine.pc <- exe.Isa.Exe.entry;
+  m.Machine.Machine.npc <- exe.Isa.Exe.entry + 4;
+  ignore (Machine.Machine.run m ~max_insns:50_000);
+  let hist = Array.make 4 0 in
+  let insns = ref 0 and dispatches = ref 0 in
+  List.iter
+    (fun (b : Machine.Uop.block) ->
+      let k = ref 0 in
+      let n = Array.length b.Machine.Uop.bb_uops in
+      while !k < n do
+        let w = Machine.Uop.width b.Machine.Uop.bb_uops.(!k) in
+        hist.(w) <- hist.(w) + 1;
+        insns := !insns + w;
+        incr dispatches;
+        k := !k + w
+      done)
+    (Machine.Machine.cached_blocks m);
+  Printf.printf
+    "  fused-run length histogram (spin blocks): 1x%d 2x%d 3x%d (%d insns \
+     in %d dispatches, %.2f insns/dispatch)\n"
+    hist.(1) hist.(2) hist.(3) !insns !dispatches
+    (float_of_int !insns /. float_of_int (max 1 !dispatches));
+  let entry = Bench_json.entry ~target:"micro" in
+  [
+    entry ~name:"machine: fused runs (len 2)" ~unit_:"runs"
+      (float_of_int hist.(2));
+    entry ~name:"machine: fused runs (len 3)" ~unit_:"runs"
+      (float_of_int hist.(3));
+    entry ~name:"machine: insns per dispatch (super)" ~unit_:"insns"
+      (float_of_int !insns /. float_of_int (max 1 !dispatches));
+  ]
 
 (* Dispatch-representation micro justifying the block cache's flat
    pre-decoded array (DESIGN.md §5e): the same pre-decoded 8-uop loop body
@@ -350,6 +411,10 @@ type dispatch_uop =
   | D_addi of int * int * int
   | D_load of int * int * int
   | D_store of int * int * int
+  | D_lms of int * int * int * int * int * int
+      (* fused load-modify-store: 3 insns, 1 dispatch *)
+  | D_add_addi of int * int * int * int * int * int
+      (* fused add+addi pair: 2 insns, 1 dispatch *)
 
 let dispatch_tests () =
   let regs = Array.make 32 0 in
@@ -361,6 +426,15 @@ let dispatch_tests () =
       D_addi (13, 13, 3); D_add (14, 13, 11);
     |]
   in
+  (* the same 8 instructions as [body], peephole-fused to 4 dispatches *)
+  let body_fused =
+    [|
+      D_lms (9, 8, 0, 9, 9, 1);
+      D_add_addi (10, 10, 9, 11, 11, 1);
+      D_add_addi (12, 12, 11, 13, 13, 3);
+      D_add (14, 13, 11);
+    |]
+  in
   let exec_flat u =
     match u with
     | D_add (rd, rs, rt) -> regs.(rd) <- regs.(rs) + regs.(rt)
@@ -368,6 +442,14 @@ let dispatch_tests () =
     | D_load (rt, base, off) -> regs.(rt) <- mem.((regs.(base) + off) land 255)
     | D_store (rt, base, off) ->
       mem.((regs.(base) + off) land 255) <- regs.(rt)
+    | D_lms (rt, base, off, rt2, rs2, i2) ->
+      let v = mem.((regs.(base) + off) land 255) in
+      regs.(rt) <- v;
+      regs.(rt2) <- regs.(rs2) + i2;
+      mem.((regs.(base) + off) land 255) <- regs.(rt)
+    | D_add_addi (rd, rs, rt, rt2, rs2, i2) ->
+      regs.(rd) <- regs.(rs) + regs.(rt);
+      regs.(rt2) <- regs.(rs2) + i2
   in
   let closure_of u =
     match u with
@@ -377,6 +459,10 @@ let dispatch_tests () =
       fun () -> regs.(rt) <- mem.((regs.(base) + off) land 255)
     | D_store (rt, base, off) ->
       fun () -> mem.((regs.(base) + off) land 255) <- regs.(rt)
+    | D_lms _ | D_add_addi _ ->
+      (* fused uops only appear in the fused body, which is dispatched
+         through the flat match *)
+      assert false
   in
   let closures = Array.map closure_of body in
   let n = Array.length body in
@@ -392,14 +478,22 @@ let dispatch_tests () =
            for k = 0 to 49_999 do
              (Array.unsafe_get closures (k land (n - 1))) ()
            done));
+    (* same 50k instructions, half the dispatches: the superblock bet *)
+    Test.make ~name:"machine: uop dispatch (fused runs)"
+      (Staged.stage (fun () ->
+           let nf = Array.length body_fused in
+           for k = 0 to 24_999 do
+             exec_flat (Array.unsafe_get body_fused (k land (nf - 1)))
+           done));
   ]
 
 let exp_micro () =
   heading "Microbenchmarks (Bechamel)";
   if !quick then begin
-    (* CI smoke: only the interpreter targets (tcache vs bcache), on a
+    (* CI smoke: only the interpreter targets (all four tiers), on a
        small quota.  Records the same derived entries the full run does,
-       so the bcache >= 2x tcache floor gates every push. *)
+       so the per-tier floors (bcache >= 2x, super >= 2.5x over tcache)
+       gate every push. *)
     let estimates = run_bechamel_min ~quota:0.5 ~rounds:3 (interp_tests ()) in
     let entry = Bench_json.entry ~target:"micro" in
     let entries =
@@ -407,7 +501,8 @@ let exp_micro () =
         (fun (name, est) -> entry ~name:(strip_group name) ~unit_:"ns/run" est)
         estimates
     in
-    Bench_json.record (entries @ micro_interp_entries estimates)
+    Bench_json.record
+      (entries @ micro_interp_entries estimates @ fused_run_entries ())
   end
   else begin
     let open Bechamel in
@@ -510,7 +605,9 @@ let exp_micro () =
           "compress: pack throughput (parallel)"
       @ [ entry ~name:"compress: ratio" ~unit_:"x" ratio ]
     in
-    Bench_json.record (entries @ micro_interp_entries estimates @ compress_derived)
+    Bench_json.record
+      (entries @ micro_interp_entries estimates @ fused_run_entries ()
+      @ compress_derived)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -521,10 +618,10 @@ let exp_micro () =
    memory simulation as it is drained), so peak resident trace words is
    bounded by the in-kernel buffer, not the trace length — and the stats
    must be exactly those of the materialized capture-then-replay path. *)
-(* Interpreter execution-mode ablation: host cost of step vs tcache vs
-   tcache+bcache on a full untraced run, counters asserted identical. *)
+(* Interpreter tier ablation: host cost of step vs tcache vs bcache vs
+   superblock on a full untraced run, counters asserted identical. *)
 let exp_interp () =
-  heading "Interpreter execution modes (step vs tcache vs bcache)";
+  heading "Interpreter execution tiers (step vs tcache vs bcache vs super)";
   Table.print (Experiments.interp_ablation_table ())
 
 let exp_stream () =
@@ -832,20 +929,31 @@ let gate () =
                e.Bench_json.value)
             (e.Bench_json.value <= 1.5));
       (fun () ->
+        (* per-tier interpreter floors, each printed on its own line so a
+           breach names the tier that slipped *)
         match
           ( Bench_json.find entries "micro"
+              "machine: interpreter throughput (super)",
+            Bench_json.find entries "micro"
               "machine: interpreter throughput (bcache)",
             Bench_json.find entries "micro"
               "machine: interpreter throughput (tcache)" )
         with
-        | Some b, Some tc ->
+        | Some s, Some b, Some tc ->
           check
             (Printf.sprintf
                "bcache interpreter throughput %.1fM insns/s >= 2x tcache \
                 %.1fM insns/s"
                (b.Bench_json.value /. 1e6)
                (tc.Bench_json.value /. 1e6))
-            (b.Bench_json.value >= 2.0 *. tc.Bench_json.value)
+            (b.Bench_json.value >= 2.0 *. tc.Bench_json.value);
+          check
+            (Printf.sprintf
+               "super interpreter throughput %.1fM insns/s >= 2.5x tcache \
+                %.1fM insns/s"
+               (s.Bench_json.value /. 1e6)
+               (tc.Bench_json.value /. 1e6))
+            (s.Bench_json.value >= 2.5 *. tc.Bench_json.value)
         | _ ->
           check
             "micro interpreter throughput entries missing (run `micro` \
@@ -916,7 +1024,7 @@ let experiments =
     ("allocprobe", fun () ->
       (* diagnostic: minor words allocated per interpreted instruction *)
       List.iter
-        (fun (label, bcache) ->
+        (fun (label, tier) ->
           let open Isa in
           let a = Asm.create "spin" in
           Asm.global a "_start";
@@ -936,7 +1044,7 @@ let experiments =
           in
           let cfg =
             { Machine.Machine.default_config with
-              Machine.Machine.mem_bytes = 1 lsl 20; tcache = true; bcache }
+              Machine.Machine.mem_bytes = 1 lsl 20; tier }
           in
           let m = Machine.Machine.create ~cfg () in
           Machine.Machine.load_exe_phys m exe ~text_pa:0x1000 ~data_pa:0x8000;
@@ -954,7 +1062,8 @@ let experiments =
           let w1 = Gc.minor_words () in
           Printf.printf "%s: %.3f minor words/insn\n" label
             ((w1 -. w0) /. 500_000.0))
-        [ ("bcache", true); ("tcache", false) ]);
+        [ ("super", Machine.Uop.Super); ("bcache", Machine.Uop.Bcache);
+          ("tcache", Machine.Uop.Tcache) ]);
   ]
 
 let usage () =
@@ -968,9 +1077,10 @@ let usage () =
      --out F   merge machine-readable results into F, not BENCH_micro.json\n\
      --gate    after any requested experiment, fail if the recorded results\n\
     \          breach the CI perf floors (sweep <= 2x single pass, sweep\n\
-    \          work saved >= 5x, stream ratio, bcache >= 2x tcache\n\
-    \          interpreter throughput, store v3 ratio >= 4.5x, parallel\n\
-    \          decode >= 1.5x on >= 2 cores)\n"
+    \          work saved >= 5x, stream ratio, per-tier interpreter\n\
+    \          throughput (bcache >= 2x, super >= 2.5x over tcache),\n\
+    \          store v3 ratio >= 4.5x, parallel decode >= 1.5x on >= 2\n\
+    \          cores)\n"
     Sys.argv.(0)
     (String.concat " " (List.map fst experiments))
     (Pool.default_jobs ());

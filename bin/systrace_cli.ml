@@ -31,21 +31,42 @@ let os_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Page-map / RNG seed.")
 
+let tier_conv =
+  Arg.enum
+    (List.map (fun t -> (Machine.Uop.tier_name t, t)) Machine.Uop.all_tiers)
+
+let tier_arg =
+  Arg.(
+    value
+    & opt (some tier_conv) None
+    & info [ "interp-tier" ] ~docv:"TIER"
+        ~doc:
+          "Interpreter execution tier: $(b,step) (step-at-a-time oracle, \
+           full TLB walk per access), $(b,tcache) (+ last-translation \
+           micro-cache), $(b,bcache) (+ decode-once basic-block execution \
+           cache), or $(b,super) (+ superblock fusion; the default).  \
+           Purely a host-side accelerator choice: simulation results are \
+           identical at every tier.")
+
 let no_bcache_arg =
   Arg.(
     value & flag
     & info [ "no-bcache" ]
         ~doc:
-          "Interpret step-at-a-time instead of through the basic-block \
-           execution cache (slower; simulation results are identical).")
+          "Deprecated alias for $(b,--interp-tier tcache): interpret \
+           without the basic-block execution cache (slower; simulation \
+           results are identical).")
 
-(* The block cache is purely a host-side accelerator, so the only thing
-   the flag changes is the machine config the system is built with. *)
-let machine_cfg_of ~no_bcache =
-  {
-    Machine.Machine.default_config with
-    Machine.Machine.bcache = not no_bcache;
-  }
+(* The tier is purely a host-side accelerator, so the only thing the
+   flag changes is the machine config the system is built with.  An
+   explicit --interp-tier wins over the deprecated --no-bcache. *)
+let machine_cfg_of ~tier ~no_bcache =
+  let tier =
+    match tier with
+    | Some t -> t
+    | None -> if no_bcache then Machine.Uop.Tcache else Machine.Uop.Super
+  in
+  { Machine.Machine.default_config with Machine.Machine.tier }
 
 let workload_arg =
   Arg.(
@@ -76,12 +97,12 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name os seed no_bcache =
+  let run name os seed tier no_bcache =
     let e = find_workload name in
     let config =
       {
         Systrace_kernel.Builder.default_config with
-        Systrace_kernel.Builder.machine_cfg = machine_cfg_of ~no_bcache;
+        Systrace_kernel.Builder.machine_cfg = machine_cfg_of ~tier ~no_bcache;
       }
     in
     let sys =
@@ -110,7 +131,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload untraced; print measured counters.")
-    Term.(const run $ workload_arg $ os_arg $ seed_arg $ no_bcache_arg)
+    Term.(const run $ workload_arg $ os_arg $ seed_arg $ tier_arg
+          $ no_bcache_arg)
 
 let trace_cmd =
   let run name os seed nshow trace_out compress =
@@ -273,7 +295,7 @@ let profile_cmd =
     Term.(const run $ workload_arg $ os_arg $ seed_arg $ topn)
 
 let validate_cmd =
-  let run name os seed no_bcache =
+  let run name os seed tier no_bcache =
     let e = find_workload name in
     let spec =
       {
@@ -283,8 +305,9 @@ let validate_cmd =
       }
     in
     let row =
-      Validate.run_workload ~machine_cfg:(machine_cfg_of ~no_bcache) ~seed os
-        spec
+      Validate.run_workload
+        ~machine_cfg:(machine_cfg_of ~tier ~no_bcache)
+        ~seed os spec
     in
     let m = row.Validate.r_measured and p = row.Validate.r_predicted in
     Printf.printf "%s under %s:\n" name (Validate.os_name os);
@@ -300,7 +323,8 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Measured vs predicted execution time for one workload.")
-    Term.(const run $ workload_arg $ os_arg $ seed_arg $ no_bcache_arg)
+    Term.(const run $ workload_arg $ os_arg $ seed_arg $ tier_arg
+          $ no_bcache_arg)
 
 let matrix_cmd =
   (* The full measured-vs-predicted matrix behind Tables 2/3 and Figure 3,

@@ -35,6 +35,7 @@ end
 module Machine = struct
   module Addr = Systrace_machine.Addr
   module Machine = Systrace_machine.Machine
+  module Uop = Systrace_machine.Uop
   module Tlb = Systrace_machine.Tlb
   module Cache = Systrace_machine.Cache
   module Disk = Systrace_machine.Disk

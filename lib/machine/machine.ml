@@ -12,6 +12,7 @@
    are generated purely by instrumented code running on the machine. *)
 
 open Systrace_isa
+open Uop
 
 exception Halted
 
@@ -47,8 +48,7 @@ type config = {
   disk_seek : int;
   disk_per_block : int;
   count_exec : bool;           (* per-instruction-word execution counts *)
-  tcache : bool;               (* last-translation micro-cache *)
-  bcache : bool;               (* basic-block execution cache *)
+  tier : Uop.tier;             (* interpreter tier: step|tcache|bcache|super *)
 }
 
 let default_config =
@@ -66,8 +66,7 @@ let default_config =
     disk_seek = 20000;
     disk_per_block = 4000;
     count_exec = false;
-    tcache = true;
-    bcache = true;
+    tier = Uop.Super;
   }
 
 type counters = {
@@ -117,76 +116,14 @@ type tcache = {
   mutable w_vpn : int;  mutable w_frame : int;  mutable w_cached : bool;
 }
 
-(* Pre-decoded instruction for the basic-block execution cache
-   (cfg.bcache): operands are resolved to plain ints at block-build time
-   (immediates applied, branch targets absolute) and dispatch is one flat
-   match, so replaying a block does no decode-cache probing and allocates
-   nothing.  DESIGN.md §5e records the micro-bench against the
-   closure-threaded alternative.  Anything without a specialised executor
-   falls back to [U_other] and the full interpreter dispatch. *)
-type uop =
-  | U_alu of Insn.alu * int * int * int    (* rd, rs, rt *)
-  | U_alui of Insn.alui * int * int * int  (* rt, rs, imm *)
-  | U_shift of Insn.shift * int * int * int
-  | U_lui of int * int
-  | U_lw of int * int * int                (* rt, base, off *)
-  | U_lh of int * int * int
-  | U_lhu of int * int * int
-  | U_lb of int * int * int
-  | U_lbu of int * int * int
-  | U_sw of int * int * int
-  | U_sh of int * int * int
-  | U_sb of int * int * int
-  | U_beq of int * int * int               (* rs, rt, absolute target *)
-  | U_bne of int * int * int
-  | U_blez of int * int
-  | U_bgtz of int * int
-  | U_bltz of int * int
-  | U_bgez of int * int
-  | U_bc1t of int
-  | U_bc1f of int
-  | U_j of int
-  | U_jal of int
-  | U_jr of int
-  | U_jalr of int * int
-  | U_other of Insn.t                      (* full interpreter dispatch *)
-
-(* One straight-line run of instructions: from a block-entry pc up to the
-   first control transfer (plus its delay slot) or block barrier, never
-   crossing a page boundary — so one fetch translation covers the whole
-   block.  Blocks are immutable; staleness is detected, never patched. *)
-type bblock = {
-  bb_pa : int;       (* physical address of the first instruction *)
-  bb_va : int;       (* pc it was decoded at: branch targets (and the
-                        shared per-word decode cache) depend on the va,
-                        so an aliased mapping must not reuse the block *)
-  bb_cached : bool;  (* cacheability of the fetch mapping at build time *)
-  bb_gen : int;      (* bgen of the text page at build: stale => rebuild *)
-  bb_uops : uop array;
-  mutable bb_next : bblock;
-      (* memoized chain successor (last block entered from this block's
-         end): re-validated on every use against the fetch micro-cache
-         and the successor's own page generation, so it is only ever a
-         shortcut past the block-table probe, never a source of truth *)
-}
-
-let rec bb_dummy =
-  {
-    bb_pa = -1;
-    bb_va = -1;
-    bb_cached = false;
-    bb_gen = -1;
-    bb_uops = [||];
-    bb_next = bb_dummy;
-  }
+(* The uop IR and block representation live in {!Uop} (opened above):
+   decode-to-uop lowering, superblock fusion, and the store-generation
+   invalidation contract are owned there; this module owns the
+   architectural state and the replay loop. *)
 
 (* Direct-mapped block table: 16K slots of one word each.  Indexed by the
    physical word address of the block entry; collisions just evict. *)
 let bcache_slots = 1 lsl 14
-
-(* Straight-line runs longer than this are split; the tail re-enters
-   through the table, so nothing is lost but one lookup. *)
-let bb_max_insns = 256
 
 type t = {
   cfg : config;
@@ -195,16 +132,17 @@ type t = {
      stores. *)
   dec : Insn.t array;
   dec_valid : Bytes.t;
-  (* Basic-block execution cache (cfg.bcache): direct-mapped block table
-     plus a per-physical-page store generation.  Every physical write
-     (stores, DMA, host pokes) bumps the page's generation; a block is
-     valid only while its text page's generation matches, which is what
-     makes self-modifying and newly-loaded code safe.  TLB remaps and
-     mode switches need no explicit flush: every block entry re-runs the
-     fetch translation and the block is keyed on its (pa, va, cached)
-     result. *)
-  bcache_tab : bblock array;
-  bgen : int array;
+  (* Basic-block execution cache (Bcache and Super tiers): direct-mapped
+     block table plus the per-physical-page store generations whose
+     invalidation contract {!Uop.Gens} owns — every physical write
+     (stores, DMA, host pokes) bumps the written page's generation, and
+     a block is valid only while its text page's generation matches,
+     which is what makes self-modifying and newly-loaded code safe.  TLB
+     remaps and mode switches need no explicit flush: every block entry
+     re-runs the fetch translation and the block is keyed on its
+     (pa, va, cached) result. *)
+  bcache_tab : Uop.block array;
+  bgen : Uop.Gens.t;
   regs : int array;              (* 32-bit values as 0..2^32-1 *)
   fregs : float array;
   mutable fcc : bool;
@@ -235,7 +173,7 @@ type t = {
   (* The block currently replaying (valid together with [bb_k]): replay
      chains across blocks without returning, so the trap handler cannot
      rely on the block [exec_block] was entered with. *)
-  mutable bb_blk : bblock;
+  mutable bb_blk : Uop.block;
   (* Set by [store_timed] when a store reached a device register (or a
      watchpoint fired): tells [exec_block] the interrupt lines and event
      horizon may have moved, so the post-store recheck must poll.  Plain
@@ -281,9 +219,10 @@ let create ?(cfg = default_config) () =
     dec = Array.make words Insn.nop;
     dec_valid = Bytes.make words '\000';
     bcache_tab =
-      (if cfg.bcache then Array.make bcache_slots bb_dummy else [||]);
-    bgen =
-      Array.make (max 1 ((cfg.mem_bytes + Addr.page_mask) lsr Addr.page_shift)) 0;
+      (if Uop.bcache_enabled cfg.tier then
+         Array.make bcache_slots Uop.dummy_block
+       else [||]);
+    bgen = Uop.Gens.create ~mem_bytes:cfg.mem_bytes;
     regs = Array.make 32 0;
     fregs = Array.make Reg.nfregs 0.0;
     fcc = false;
@@ -311,7 +250,7 @@ let create ?(cfg = default_config) () =
       };
     tr_cached = false;
     bb_k = 0;
-    bb_blk = bb_dummy;
+    bb_blk = Uop.dummy_block;
     bb_dev = false;
     bb_kf = 0;
     bb_um = false;
@@ -348,19 +287,15 @@ let asid t = (t.entryhi lsr 6) land 0x3F
 
 let phys_ok t pa len = pa >= 0 && pa + len <= t.cfg.mem_bytes
 
-(* Every physical write advances the page's store generation, which
-   invalidates any cached basic block decoded from that page (bounds
-   checked: callers validate [pa] against memory the same way the Bytes
-   accesses do). *)
+(* Every physical write advances the page's store generation
+   ({!Uop.Gens} owns the contract), which invalidates any cached basic
+   block decoded from that page (bounds checked: callers validate [pa]
+   against memory the same way the Bytes accesses do). *)
 let bgen_bump t pa =
   let p = pa lsr Addr.page_shift in
-  t.bgen.(p) <- t.bgen.(p) + 1
-
-let bgen_bump_range t pa len =
-  if len > 0 then
-    for p = pa lsr Addr.page_shift to (pa + len - 1) lsr Addr.page_shift do
-      t.bgen.(p) <- t.bgen.(p) + 1
-    done
+  let g = t.bgen in
+  Array.unsafe_set g p (Array.unsafe_get g p + 1)
+let bgen_bump_range t pa len = Uop.Gens.bump_range t.bgen pa len
 
 let read_phys_u32 t pa =
   Int32.to_int (Bytes.get_int32_le t.mem pa) land 0xFFFFFFFF
@@ -461,7 +396,7 @@ let translate_i t va ~write:w ~fetch =
   end
   else begin
     let pa, cached = translate_walk t va ~write:w ~fetch in
-    if t.cfg.tcache then begin
+    if Uop.tcache_enabled t.cfg.tier then begin
       let frame = pa land lnot Addr.page_mask in
       if fetch then begin
         tc.f_vpn <- vpn; tc.f_frame <- frame; tc.f_cached <- cached
@@ -1003,7 +938,7 @@ let step t =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Basic-block execution cache (cfg.bcache)                            *)
+(* Basic-block execution cache (the Bcache and Super tiers)            *)
 
 (* The block executor must be state-identical to [step] — [step] stays in
    as the qcheck oracle — so everything observable is kept per
@@ -1013,44 +948,6 @@ let step t =
    What a block amortises is only the work with no observable effect:
    the per-fetch alignment check, translation, bounds check, decode-cache
    probe, and the interpreter's per-[exec] closure allocations. *)
-
-let uop_of_insn (insn : Insn.t) : uop =
-  match insn with
-  | Alu (op, rd, rs, rt) -> U_alu (op, rd, rs, rt)
-  | Alui (op, rt, rs, Imm imm) -> U_alui (op, rt, rs, imm)
-  | Shift (op, rd, rt, sa) -> U_shift (op, rd, rt, sa)
-  | Lui (rt, Imm imm) -> U_lui (rt, imm)
-  | Load (W, rt, base, Imm off) -> U_lw (rt, base, off)
-  | Load (H, rt, base, Imm off) -> U_lh (rt, base, off)
-  | Load (HU, rt, base, Imm off) -> U_lhu (rt, base, off)
-  | Load (B, rt, base, Imm off) -> U_lb (rt, base, off)
-  | Load (BU, rt, base, Imm off) -> U_lbu (rt, base, off)
-  | Store (W, rt, base, Imm off) -> U_sw (rt, base, off)
-  | Store ((H | HU), rt, base, Imm off) -> U_sh (rt, base, off)
-  | Store ((B | BU), rt, base, Imm off) -> U_sb (rt, base, off)
-  | Beq (rs, rt, Abs a) -> U_beq (rs, rt, a)
-  | Bne (rs, rt, Abs a) -> U_bne (rs, rt, a)
-  | Blez (rs, Abs a) -> U_blez (rs, a)
-  | Bgtz (rs, Abs a) -> U_bgtz (rs, a)
-  | Bltz (rs, Abs a) -> U_bltz (rs, a)
-  | Bgez (rs, Abs a) -> U_bgez (rs, a)
-  | Bc1t (Abs a) -> U_bc1t a
-  | Bc1f (Abs a) -> U_bc1f a
-  | J (Abs a) -> U_j a
-  | Jal (Abs a) -> U_jal a
-  | Jr rs -> U_jr rs
-  | Jalr (rd, rs) -> U_jalr (rd, rs)
-  | _ -> U_other insn
-
-(* Instructions that can change fetch semantics for their successors
-   (mode, ASID, TLB contents, arbitrary host effects) end a block, so the
-   next instruction re-enters through a fresh translation.  [Tlbp] and
-   [Mfc0] only write the index register / a GPR; [Cache] only changes
-   timing, which is already charged per instruction. *)
-let bb_barrier (insn : Insn.t) =
-  match insn with
-  | Syscall | Break _ | Mtc0 _ | Tlbr | Tlbwi | Tlbwr | Rfe | Hcall _ -> true
-  | _ -> false
 
 (* Decode one word through the same per-word cache [fetch_timed] uses —
    the shared cache is what keeps block-mode and step-mode byte-identical
@@ -1066,39 +963,6 @@ let bb_decode t ~va ~pa =
     insn
   end
 
-let build_block t ~va ~pa ~cached =
-  let max_words =
-    let to_page_end = ((Addr.page_mask - (pa land Addr.page_mask)) lsr 2) + 1 in
-    if to_page_end < bb_max_insns then to_page_end else bb_max_insns
-  in
-  let buf = Array.make max_words (U_other Insn.nop) in
-  let n = ref 0 in
-  let in_delay = ref false in
-  let stop = ref false in
-  while not !stop && !n < max_words do
-    match bb_decode t ~va:(va + (!n * 4)) ~pa:(pa + (!n * 4)) with
-    | insn ->
-      buf.(!n) <- uop_of_insn insn;
-      incr n;
-      if !in_delay then stop := true
-      else if Insn.is_control insn then in_delay := true
-      else if bb_barrier insn then stop := true
-    | exception e ->
-      (* Decode failure past the entry word: end the block before it, so
-         the bad word raises exactly when step-at-a-time would reach
-         it.  At the entry word itself, raise now — [step] would too. *)
-      if !n = 0 then raise e;
-      stop := true
-  done;
-  {
-    bb_pa = pa;
-    bb_va = va;
-    bb_cached = cached;
-    bb_gen = t.bgen.(pa lsr Addr.page_shift);
-    bb_uops = (if !n = max_words then buf else Array.sub buf 0 !n);
-    bb_next = bb_dummy;
-  }
-
 let bb_lookup t ~va ~pa ~cached =
   let slot = (pa lsr 2) land (bcache_slots - 1) in
   let b = Array.unsafe_get t.bcache_tab slot in
@@ -1107,27 +971,23 @@ let bb_lookup t ~va ~pa ~cached =
     && b.bb_gen = t.bgen.(pa lsr Addr.page_shift)
   then b
   else begin
-    let b = build_block t ~va ~pa ~cached in
+    let b =
+      Uop.build
+        ~decode:(fun ~va ~pa -> bb_decode t ~va ~pa)
+        ~va ~pa ~cached
+        ~gen:(t.bgen.(pa lsr Addr.page_shift))
+        ~fuse:(Uop.fusion_enabled t.cfg.tier)
+    in
     Array.unsafe_set t.bcache_tab slot b;
     b
   end
 
-(* Replay a block: the loop body is [step] minus fetch, and between
-   instructions it performs exactly the checks of the [run]+[step] loop
-   (halt, budget, device poll, interrupt sample) plus one staleness test
-   of the block's text page.  A stale page just ends the replay between
-   instructions — state-neutral, [step] would simply refetch — and the
-   next [bb_step] rebuilds from fresh memory.
-
-   The between-instruction checks are folded into one compare on the hot
-   path: [next_ev] is the earliest cycle at which [poll_devices] could do
-   anything (clock tick or disk completion), so while [t.cycles] stays
-   below it the poll is a provable no-op — and then neither the interrupt
-   lines nor any page generation can have moved either, because inside a
-   block only stores and [U_other] instructions reach devices or memory
-   (TLB and CP0 writes are block barriers).  Those uop kinds take the
-   full poll + generation + interrupt recheck; everything else re-checks
-   only when the horizon expires. *)
+(* Event horizon: the earliest cycle at which [poll_devices] could do
+   anything (clock tick or disk completion).  While [t.cycles] stays
+   below it the per-instruction poll is a provable no-op, and neither
+   the interrupt lines nor any page generation can have moved either —
+   inside a block only stores and [U_other] reach devices or memory, and
+   those take the full recheck (see the [bb_fin_*] classes). *)
 let bb_horizon t =
   let d = Disk.next_event t.disk in
   if t.next_clock < d then t.next_clock else d
@@ -1154,30 +1014,116 @@ let bb_flush t b k =
   end;
   t.bb_kf <- k
 
-(* The replay loop is a top-level function, not a closure inside
-   [exec_block]: with its dozen-odd free variables it would otherwise be
-   heap-allocated on every block entry — ~5 minor words per instruction
-   on short blocks, the single largest cost of the replay path.  As a
-   self-tail-recursive toplevel function it compiles to a loop with the
-   state in registers and allocates nothing.
+(* Per-word execution counting (cfg.count_exec), as [step] does it. *)
+let bb_count t cur =
+  match translate_i t cur ~write:false ~fetch:true with
+  | cpa when cpa lsr 2 < Array.length t.exec_counts ->
+    t.exec_counts.(cpa lsr 2) <- t.exec_counts.(cpa lsr 2) + 1
+  | _ -> ()
+  | exception Trap _ -> ()
 
-   [um]: user mode after the last executed uop.  Only [U_other] can
-   change CP0 status inside a block, so it is recomputed exactly there
-   and carried otherwise.  Traps are caught once per [exec_block] call,
-   not per instruction: [t.bb_blk]/[t.bb_k] track the executing uop
-   ([bb_k] written only by uops that can trap) so the handler can
-   reconstruct the faulting pc and delay-slot flag.
+(* Icache probe for a sequential fetch that left the memoized line. *)
+let bb_fetch_probe t tg =
+  let ic = t.icache in
+  let idx = tg land (ic.Cache.nlines - 1) in
+  if Array.unsafe_get ic.Cache.tags idx = tg then
+    ic.Cache.hits <- ic.Cache.hits + 1
+  else begin
+    ic.Cache.misses <- ic.Cache.misses + 1;
+    Array.unsafe_set ic.Cache.tags idx tg;
+    t.cycles <- t.cycles + t.cfg.read_miss_penalty
+  end
 
-   [ptag]: the icache line tag of the previous fetch, or -1.  Sequential
-   fetches from a line just probed are hits by construction (only a
-   [U_other] uop can touch the icache, and it resets [ptag]), so the tag
-   compare replaces the whole probe.
+(* Seam prologue for the second/third element of a fused run: the fetch
+   timing, tracer callback and pc advance of the generic dispatch,
+   specialised on a cached fetch mapping (only cacheable text is ever
+   fused).  Returns the new resident line tag. *)
+let[@inline always] bb_seam t pa cur ptag =
+  let tg = pa lsr t.icache.Cache.line_shift in
+  if tg = ptag then t.icache.Cache.hits <- t.icache.Cache.hits + 1
+  else bb_fetch_probe t tg;
+  (match t.ref_tracer with Some f -> f 0 cur | None -> ());
+  t.pc <- t.npc;
+  t.npc <- t.npc + 4;
+  tg
 
-   [budget]/[lim]: instructions the caller still allows / how many of
-   them fall in this block.  When a block completes on a sequential pc
-   with budget left, replay chains straight into the successor block —
-   the same poll / interrupt / fetch-translation sequence [bb_step]
-   would run, minus the trip out and the horizon recomputation. *)
+(* Cached, in-RAM word load/store bodies shared by the scalar
+   [U_lw]/[U_sw] arms and the fused uops: micro-cache hit +
+   direct-mapped d-cache probe + raw access (write-through no-allocate
+   on the store side, so only the write buffer, memory, decode cache and
+   page generation are touched), falling back to the timed helpers for
+   every other case (unaligned, micro-cache miss, uncached, device, out
+   of range). *)
+let[@inline always] bb_load_word t rt va =
+  let tcc = t.tc in
+  if va land 3 = 0 && va lsr Addr.page_shift = tcc.r_vpn && tcc.r_cached
+  then begin
+    let pa = tcc.r_frame lor (va land Addr.page_mask) in
+    if pa + 4 <= t.cfg.mem_bytes && not (is_device_pa pa) then begin
+      let dc = t.dcache in
+      let tg = pa lsr dc.Cache.line_shift in
+      let idx = tg land (dc.Cache.nlines - 1) in
+      if Array.unsafe_get dc.Cache.tags idx = tg then
+        dc.Cache.hits <- dc.Cache.hits + 1
+      else begin
+        dc.Cache.misses <- dc.Cache.misses + 1;
+        Array.unsafe_set dc.Cache.tags idx tg;
+        t.cycles <- t.cycles + t.cfg.read_miss_penalty
+      end;
+      let v = Int32.to_int (Bytes.get_int32_le t.mem pa) land 0xFFFFFFFF in
+      (match t.ref_tracer with Some f -> f 1 va | None -> ());
+      reg_set t rt v
+    end
+    else begin
+      let v = load_word_timed t va in
+      (match t.ref_tracer with Some f -> f 1 va | None -> ());
+      reg_set t rt v
+    end
+  end
+  else begin
+    let v = load_word_timed t va in
+    (match t.ref_tracer with Some f -> f 1 va | None -> ());
+    reg_set t rt v
+  end
+
+let[@inline always] bb_store_word t v va =
+  let tcc = t.tc in
+  if va land 3 = 0 && va lsr Addr.page_shift = tcc.w_vpn && tcc.w_cached
+  then begin
+    let pa = tcc.w_frame lor (va land Addr.page_mask) in
+    if pa + 4 <= t.cfg.mem_bytes && not (is_device_pa pa) then begin
+      t.cycles <- t.cycles + Write_buffer.store t.wb ~now:t.cycles;
+      Bytes.set_int32_le t.mem pa (Int32.of_int (v land 0xFFFFFFFF));
+      Bytes.set t.dec_valid (pa lsr 2) '\000';
+      bgen_bump t pa;
+      (match t.watchpoint with
+      | Some f ->
+        t.bb_dev <- true;
+        f va v
+      | None -> ());
+      (match t.ref_tracer with Some f -> f 2 va | None -> ())
+    end
+    else begin
+      store_timed t va 4 v;
+      (match t.ref_tracer with Some f -> f 2 va | None -> ())
+    end
+  end
+  else begin
+    store_timed t va 4 v;
+    (match t.ref_tracer with Some f -> f 2 va | None -> ())
+  end
+
+(* The replay loop, as a self-tail-recursive toplevel function: it
+   compiles to a loop with the state in registers and allocates nothing
+   (a closure inside [exec_block] would be rebuilt per block entry).
+   Traps are caught once per [exec_block] call: [t.bb_blk]/[t.bb_k]
+   track the executing uop (written only by uops that can trap) so the
+   handler can reconstruct the faulting pc and delay-slot flag.  [ptag]
+   is the icache line tag of the previous fetch (or -1): sequential
+   fetches from a line just probed are hits by construction, so a tag
+   compare replaces the probe.  [budget]/[lim]: instructions the caller
+   still allows / how many fall in this block; a block completing on a
+   sequential pc with budget left chains straight into its successor. *)
 let rec bb_go t b lim budget k pa cur ce next_ev ptag =
     (* per-instruction fetch timing, as [fetch_timed] charges it *)
     let ptag =
@@ -1210,43 +1156,43 @@ let rec bb_go t b lim budget k pa cur ce next_ev ptag =
     t.pc <- t.npc;
     t.npc <- t.npc + 4;
     let u = Array.unsafe_get b.bb_uops k in
-    (* Execute the pre-decoded instruction.  Bodies mirror [exec] exactly
-       (including the order of traps, tracer callbacks and register
-       writes); operand resolution happened at block build.  Register
-       indices come from the 5-bit fields of [Encode.decode], hence the
-       unsafe reads.  Cached, in-RAM word loads and stores additionally
-       inline the translation micro-cache hit, the direct-mapped d-cache
-       probe and the raw memory access — the same state transitions
-       [load_word_timed]/[store_timed] perform, minus the call chain —
-       and fall back to those helpers for every other case (unaligned,
-       micro-cache miss, uncached, device, out of range). *)
-    (match u with
+    (* Execute the pre-decoded instruction, then tail into the epilogue
+       of its between-check class ([bb_fin] / [bb_fin_store] /
+       [bb_fin_other]; [_nc] when the base cycle was already charged).
+       Bodies mirror [exec] exactly; register indices come from the
+       5-bit fields of [Encode.decode], hence the unsafe reads.  The
+       fused arms ([U_li] and friends, Super tier only) execute 2–3
+       elements per dispatch, re-checking budget and event horizon at
+       each seam and bailing out to the scalar tail (covered slots keep
+       their original uops) whenever the next seam could be observable. *)
+    match u with
        | U_alu (op, rd, rs, rt) ->
          let a = Array.unsafe_get t.regs rs
-         and b = Array.unsafe_get t.regs rt in
+         and bv = Array.unsafe_get t.regs rt in
          let v =
            match (op : Insn.alu) with
-           | ADD | ADDU -> a + b
-           | SUB | SUBU -> a - b
-           | AND -> a land b
-           | OR -> a lor b
-           | XOR -> a lxor b
-           | NOR -> lnot (a lor b)
-           | SLT -> if s32 a < s32 b then 1 else 0
-           | SLTU -> if a < b then 1 else 0
-           | SLLV -> a lsl (b land 31)
-           | SRLV -> a lsr (b land 31)
-           | SRAV -> s32 a asr (b land 31)
-           | MUL -> s32 a * s32 b
+           | ADD | ADDU -> a + bv
+           | SUB | SUBU -> a - bv
+           | AND -> a land bv
+           | OR -> a lor bv
+           | XOR -> a lxor bv
+           | NOR -> lnot (a lor bv)
+           | SLT -> if s32 a < s32 bv then 1 else 0
+           | SLTU -> if a < bv then 1 else 0
+           | SLLV -> a lsl (bv land 31)
+           | SRLV -> a lsr (bv land 31)
+           | SRAV -> s32 a asr (bv land 31)
+           | MUL -> s32 a * s32 bv
            | MULH ->
              Int64.to_int
                (Int64.shift_right
-                  (Int64.mul (Int64.of_int (s32 a)) (Int64.of_int (s32 b)))
+                  (Int64.mul (Int64.of_int (s32 a)) (Int64.of_int (s32 bv)))
                   32)
-           | DIV -> if s32 b = 0 then 0 else s32 a / s32 b
-           | REM -> if s32 b = 0 then 0 else Stdlib.Int.rem (s32 a) (s32 b)
+           | DIV -> if s32 bv = 0 then 0 else s32 a / s32 bv
+           | REM -> if s32 bv = 0 then 0 else Stdlib.Int.rem (s32 a) (s32 bv)
          in
-         reg_set t rd v
+         reg_set t rd v;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_alui (op, rt, rs, imm) ->
          let a = Array.unsafe_get t.regs rs in
          let v =
@@ -1258,166 +1204,228 @@ let rec bb_go t b lim budget k pa cur ce next_ev ptag =
            | ORI -> a lor imm
            | XORI -> a lxor imm
          in
-         reg_set t rt v
+         reg_set t rt v;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_shift (op, rd, rt, sa) ->
          let v = Array.unsafe_get t.regs rt in
          reg_set t rd
            (match op with
            | SLL -> v lsl sa
            | SRL -> v lsr sa
-           | SRA -> s32 v asr sa)
-       | U_lui (rt, imm) -> reg_set t rt (imm lsl 16)
+           | SRA -> s32 v asr sa);
+         bb_fin t b lim budget k pa cur ce next_ev ptag
+       | U_lui (rt, imm) ->
+         reg_set t rt (imm lsl 16);
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_lw (rt, base, off) ->
          t.bb_k <- k;
-         let va = u32 (Array.unsafe_get t.regs base + off) in
-         let tcc = t.tc in
-         if
-           va land 3 = 0
-           && va lsr Addr.page_shift = tcc.r_vpn
-           && tcc.r_cached
-         then begin
-           let pa = tcc.r_frame lor (va land Addr.page_mask) in
-           if pa + 4 <= t.cfg.mem_bytes && not (is_device_pa pa) then begin
-             let dc = t.dcache in
-             let tg = pa lsr dc.Cache.line_shift in
-             let idx = tg land (dc.Cache.nlines - 1) in
-             if Array.unsafe_get dc.Cache.tags idx = tg then
-               dc.Cache.hits <- dc.Cache.hits + 1
-             else begin
-               dc.Cache.misses <- dc.Cache.misses + 1;
-               Array.unsafe_set dc.Cache.tags idx tg;
-               t.cycles <- t.cycles + t.cfg.read_miss_penalty
-             end;
-             let v =
-               Int32.to_int (Bytes.get_int32_le t.mem pa) land 0xFFFFFFFF
-             in
-             (match t.ref_tracer with Some f -> f 1 va | None -> ());
-             reg_set t rt v
-           end
-           else begin
-             let v = load_word_timed t va in
-             (match t.ref_tracer with Some f -> f 1 va | None -> ());
-             reg_set t rt v
-           end
-         end
-         else begin
-           let v = load_word_timed t va in
-           (match t.ref_tracer with Some f -> f 1 va | None -> ());
-           reg_set t rt v
-         end
+         bb_load_word t rt (u32 (Array.unsafe_get t.regs base + off));
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_lh (rt, base, off) ->
          t.bb_k <- k;
          let va = u32 (Array.unsafe_get t.regs base + off) in
          let v = load_timed t va 2 in
          let v = if v >= 0x8000 then v - 0x10000 else v in
          ref_trace t 1 va;
-         reg_set t rt v
+         reg_set t rt v;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_lhu (rt, base, off) ->
          t.bb_k <- k;
          let va = u32 (Array.unsafe_get t.regs base + off) in
          let v = load_timed t va 2 in
          ref_trace t 1 va;
-         reg_set t rt v
+         reg_set t rt v;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_lb (rt, base, off) ->
          t.bb_k <- k;
          let va = u32 (Array.unsafe_get t.regs base + off) in
          let v = load_timed t va 1 in
          let v = if v >= 0x80 then v - 0x100 else v in
          ref_trace t 1 va;
-         reg_set t rt v
+         reg_set t rt v;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_lbu (rt, base, off) ->
          t.bb_k <- k;
          let va = u32 (Array.unsafe_get t.regs base + off) in
          let v = load_timed t va 1 in
          ref_trace t 1 va;
-         reg_set t rt v
+         reg_set t rt v;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_sw (rt, base, off) ->
          t.bb_k <- k;
-         let va = u32 (Array.unsafe_get t.regs base + off) in
-         let tcc = t.tc in
-         if
-           va land 3 = 0
-           && va lsr Addr.page_shift = tcc.w_vpn
-           && tcc.w_cached
-         then begin
-           let pa = tcc.w_frame lor (va land Addr.page_mask) in
-           if pa + 4 <= t.cfg.mem_bytes && not (is_device_pa pa) then begin
-             (* write-through, no-allocate: the cache probe of
-                [store_timed] has no observable effect on a store, so
-                only the write buffer, memory, the decode cache and the
-                page generation are touched *)
-             t.cycles <- t.cycles + Write_buffer.store t.wb ~now:t.cycles;
-             let v = Array.unsafe_get t.regs rt in
-             Bytes.set_int32_le t.mem pa (Int32.of_int (v land 0xFFFFFFFF));
-             Bytes.set t.dec_valid (pa lsr 2) '\000';
-             bgen_bump t pa;
-             (match t.watchpoint with
-             | Some f ->
-               t.bb_dev <- true;
-               f va v
-             | None -> ());
-             (match t.ref_tracer with Some f -> f 2 va | None -> ())
-           end
-           else begin
-             store_timed t va 4 (Array.unsafe_get t.regs rt);
-             (match t.ref_tracer with Some f -> f 2 va | None -> ())
-           end
-         end
-         else begin
-           store_timed t va 4 (Array.unsafe_get t.regs rt);
-           (match t.ref_tracer with Some f -> f 2 va | None -> ())
-         end
+         bb_store_word t
+           (Array.unsafe_get t.regs rt)
+           (u32 (Array.unsafe_get t.regs base + off));
+         bb_fin_store t b lim budget k pa cur ce next_ev ptag
        | U_sh (rt, base, off) ->
          t.bb_k <- k;
          let va = u32 (Array.unsafe_get t.regs base + off) in
          store_timed t va 2 (Array.unsafe_get t.regs rt);
-         ref_trace t 2 va
+         ref_trace t 2 va;
+         bb_fin_store t b lim budget k pa cur ce next_ev ptag
        | U_sb (rt, base, off) ->
          t.bb_k <- k;
          let va = u32 (Array.unsafe_get t.regs base + off) in
          store_timed t va 1 (Array.unsafe_get t.regs rt);
-         ref_trace t 2 va
+         ref_trace t 2 va;
+         bb_fin_store t b lim budget k pa cur ce next_ev ptag
        | U_beq (rs, rt, a) ->
          t.next_is_delay <- true;
          if Array.unsafe_get t.regs rs = Array.unsafe_get t.regs rt then
-           t.npc <- a
+           t.npc <- a;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_bne (rs, rt, a) ->
          t.next_is_delay <- true;
          if Array.unsafe_get t.regs rs <> Array.unsafe_get t.regs rt then
-           t.npc <- a
+           t.npc <- a;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_blez (rs, a) ->
          t.next_is_delay <- true;
-         if s32 (Array.unsafe_get t.regs rs) <= 0 then t.npc <- a
+         if s32 (Array.unsafe_get t.regs rs) <= 0 then t.npc <- a;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_bgtz (rs, a) ->
          t.next_is_delay <- true;
-         if s32 (Array.unsafe_get t.regs rs) > 0 then t.npc <- a
+         if s32 (Array.unsafe_get t.regs rs) > 0 then t.npc <- a;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_bltz (rs, a) ->
          t.next_is_delay <- true;
-         if s32 (Array.unsafe_get t.regs rs) < 0 then t.npc <- a
+         if s32 (Array.unsafe_get t.regs rs) < 0 then t.npc <- a;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_bgez (rs, a) ->
          t.next_is_delay <- true;
-         if s32 (Array.unsafe_get t.regs rs) >= 0 then t.npc <- a
+         if s32 (Array.unsafe_get t.regs rs) >= 0 then t.npc <- a;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_bc1t a ->
          t.next_is_delay <- true;
-         if t.fcc then t.npc <- a
+         if t.fcc then t.npc <- a;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_bc1f a ->
          t.next_is_delay <- true;
-         if not t.fcc then t.npc <- a
+         if not t.fcc then t.npc <- a;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_j a ->
          t.next_is_delay <- true;
-         t.npc <- a
+         t.npc <- a;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_jal a ->
          reg_set t Reg.ra (cur + 8);
          t.next_is_delay <- true;
-         t.npc <- a
+         t.npc <- a;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_jr rs ->
          t.next_is_delay <- true;
-         t.npc <- Array.unsafe_get t.regs rs
+         t.npc <- Array.unsafe_get t.regs rs;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
        | U_jalr (rd, rs) ->
          let dest = Array.unsafe_get t.regs rs in
          reg_set t rd (cur + 8);
          t.next_is_delay <- true;
-         t.npc <- dest
+         t.npc <- dest;
+         bb_fin t b lim budget k pa cur ce next_ev ptag
+       | U_li (rt, imm) ->
+         (* lui+ori collapsed to one write; the bail-out path
+            materialises the architectural intermediate (high half) and
+            lets the scalar ori at the covered slot run. *)
+         t.cycles <- t.cycles + 1;
+         if ce then bb_count t cur;
+         if k + 2 <= lim && t.cycles < next_ev then begin
+           let cur = cur + 4 and pa = pa + 4 in
+           let ptag = bb_seam t pa cur ptag in
+           reg_set t rt imm;
+           bb_fin t b lim budget (k + 1) pa cur ce next_ev ptag
+         end
+         else begin
+           reg_set t rt (imm land 0xFFFF0000);
+           bb_fin_nc t b lim budget k pa cur ce next_ev ptag
+         end
+       | U_addiu2 (rt1, rs1, i1, rt2, rs2, i2) ->
+         reg_set t rt1 (Array.unsafe_get t.regs rs1 + i1);
+         t.cycles <- t.cycles + 1;
+         if ce then bb_count t cur;
+         if k + 2 <= lim && t.cycles < next_ev then begin
+           let cur = cur + 4 and pa = pa + 4 in
+           let ptag = bb_seam t pa cur ptag in
+           reg_set t rt2 (Array.unsafe_get t.regs rs2 + i2);
+           bb_fin t b lim budget (k + 1) pa cur ce next_ev ptag
+         end
+         else bb_fin_nc t b lim budget k pa cur ce next_ev ptag
+       | U_slt_b (unsigned, rd, rs, rt, on_ne, a) ->
+         (* compare+branch: the compare result stays in an OCaml local
+            for the branch decision, so the branch never reloads it. *)
+         let x = Array.unsafe_get t.regs rs
+         and y = Array.unsafe_get t.regs rt in
+         let v =
+           if unsigned then (if x < y then 1 else 0)
+           else if s32 x < s32 y then 1
+           else 0
+         in
+         reg_set t rd v;
+         t.cycles <- t.cycles + 1;
+         if ce then bb_count t cur;
+         if k + 2 <= lim && t.cycles < next_ev then begin
+           let cur = cur + 4 and pa = pa + 4 in
+           let ptag = bb_seam t pa cur ptag in
+           t.next_is_delay <- true;
+           if (v <> 0) = on_ne then t.npc <- a;
+           bb_fin t b lim budget (k + 1) pa cur ce next_ev ptag
+         end
+         else bb_fin_nc t b lim budget k pa cur ce next_ev ptag
+       | U_lw_addiu (rt, base, off, rt2, rs2, i2) ->
+         (* load+use: the dependent addiu issues in the same dispatch *)
+         t.bb_k <- k;
+         bb_load_word t rt (u32 (Array.unsafe_get t.regs base + off));
+         t.cycles <- t.cycles + 1;
+         if ce then bb_count t cur;
+         if k + 2 <= lim && t.cycles < next_ev then begin
+           let cur = cur + 4 and pa = pa + 4 in
+           let ptag = bb_seam t pa cur ptag in
+           reg_set t rt2 (Array.unsafe_get t.regs rs2 + i2);
+           bb_fin t b lim budget (k + 1) pa cur ce next_ev ptag
+         end
+         else bb_fin_nc t b lim budget k pa cur ce next_ev ptag
+       | U_lmw (rt, base, off, rt2, rs2, i2, rt3, base3, off3) ->
+         (* load-modify-store; the store is final, so [bb_fin_store]'s
+            generation recheck runs right after the dispatch — a fused
+            run never crosses a generation bump. *)
+         t.bb_k <- k;
+         bb_load_word t rt (u32 (Array.unsafe_get t.regs base + off));
+         t.cycles <- t.cycles + 1;
+         if ce then bb_count t cur;
+         if k + 2 <= lim && t.cycles < next_ev then begin
+           let cur = cur + 4 and pa = pa + 4 in
+           let ptag = bb_seam t pa cur ptag in
+           reg_set t rt2 (Array.unsafe_get t.regs rs2 + i2);
+           t.cycles <- t.cycles + 1;
+           if ce then bb_count t cur;
+           if k + 3 <= lim && t.cycles < next_ev then begin
+             let cur = cur + 4 and pa = pa + 4 in
+             let ptag = bb_seam t pa cur ptag in
+             t.bb_k <- k + 2;
+             bb_store_word t
+               (Array.unsafe_get t.regs rt3)
+               (u32 (Array.unsafe_get t.regs base3 + off3));
+             bb_fin_store t b lim budget (k + 2) pa cur ce next_ev ptag
+           end
+           else bb_fin_nc t b lim budget (k + 1) pa cur ce next_ev ptag
+         end
+         else bb_fin_nc t b lim budget k pa cur ce next_ev ptag
+       | U_j_nop a ->
+         (* j + empty delay slot: under the seam precondition the
+            delay-slot bookkeeping is unobservable, so the fast path
+            never materialises [next_is_delay]. *)
+         t.npc <- a;
+         t.cycles <- t.cycles + 1;
+         if ce then bb_count t cur;
+         if k + 2 <= lim && t.cycles < next_ev then begin
+           let cur = cur + 4 and pa = pa + 4 in
+           let ptag = bb_seam t pa cur ptag in
+           (* the delay slot is a nop: no body *)
+           bb_fin t b lim budget (k + 1) pa cur ce next_ev ptag
+         end
+         else begin
+           t.next_is_delay <- true;
+           bb_fin_nc t b lim budget k pa cur ce next_ev ptag
+         end
        | U_other insn ->
          t.bb_k <- k;
          (* [exec] (an hcall handler in particular) may observe the
@@ -1426,151 +1434,133 @@ let rec bb_go t b lim budget k pa cur ce next_ev ptag =
          exec t cur insn;
          (* the mode may have flipped; [exec] flushed up to this uop, so
             the new span (starting with this uop) carries the new mode *)
-         t.bb_um <- t.status land 0x2 <> 0);
-    t.cycles <- t.cycles + 1;
-    if ce then begin
-      match translate_i t cur ~write:false ~fetch:true with
-      | cpa when cpa lsr 2 < Array.length t.exec_counts ->
-        t.exec_counts.(cpa lsr 2) <- t.exec_counts.(cpa lsr 2) + 1
-      | _ -> ()
-      | exception Trap _ -> ()
-    end;
-    let k = k + 1 in
-    if k < lim then begin
-      if t.halted then bb_flush t b k
-      else begin
-        match u with
-        | U_sw _ | U_sh _ | U_sb _ ->
-          (* A store to RAM cannot reach a device: the interrupt lines
-             and the event horizon are unchanged, so only the block's own
-             text page needs re-validating (the store may have hit it).
-             A device store or a watchpoint callback sets [bb_dev] and
-             takes the full poll + interrupt recheck.  Stores never set
-             [next_is_delay]. *)
-          if t.bb_dev then begin
-            t.bb_dev <- false;
-            bb_flush t b k;
-            poll_devices t;
-            if
-              Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift)
-              = b.bb_gen
-            then begin
-              if interrupt_pending t then
-                enter_exception t ~code:Exc.interrupt ~badva:(-1)
-                  ~refill:false ~cur:t.pc ~in_delay:false
-              else
-                bb_go t b lim budget k (pa + 4) (cur + 4) ce (bb_horizon t)
-                  ptag
-            end
-          end
-          else if t.cycles >= next_ev then begin
-            bb_flush t b k;
-            poll_devices t;
-            if
-              Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift)
-              = b.bb_gen
-            then begin
-              if interrupt_pending t then
-                enter_exception t ~code:Exc.interrupt ~badva:(-1)
-                  ~refill:false ~cur:t.pc ~in_delay:false
-              else
-                bb_go t b lim budget k (pa + 4) (cur + 4) ce (bb_horizon t)
-                  ptag
-            end
-          end
-          else if
-              Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift)
-              = b.bb_gen
-          then bb_go t b lim budget k (pa + 4) (cur + 4) ce next_ev ptag
-          else bb_flush t b k
-        | U_other _ ->
-          (* may have done anything (CP0, hcall, devices, the icache):
-             full recheck, and forget the resident fetch line *)
-          bb_flush t b k;
-          t.bb_dev <- false;
-          poll_devices t;
-          if
-            Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift) = b.bb_gen
-          then begin
-            if t.next_is_delay then begin
-              (* The poll above may have raised an irq line whose
-                 delivery is deferred past the delay slot (exactly as in
-                 [step]); the delay slot is the block's last uop, so a
-                 zero horizon forces the chain boundary after it through
-                 the slow path, where the deferred interrupt sample
-                 runs. *)
-              t.next_is_delay <- false;
-              bb_go t b lim budget k (pa + 4) (cur + 4) ce 0 (-1)
-            end
-            else if interrupt_pending t then
-              enter_exception t ~code:Exc.interrupt ~badva:(-1) ~refill:false
-                ~cur:t.pc ~in_delay:false
-            else
-              bb_go t b lim budget k (pa + 4) (cur + 4) ce (bb_horizon t)
-                (-1)
-          end
-        | _ ->
-          if t.cycles >= next_ev then begin
-            bb_flush t b k;
-            poll_devices t;
-            if
-              Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift)
-              = b.bb_gen
-            then begin
-              if t.next_is_delay then begin
-                (* Deferred-interrupt case: see the [U_other] arm — the
-                   zero horizon makes the post-delay-slot chain boundary
-                   re-poll and sample [interrupt_pending]. *)
-                t.next_is_delay <- false;
-                bb_go t b lim budget k (pa + 4) (cur + 4) ce 0 ptag
-              end
-              else if interrupt_pending t then
-                enter_exception t ~code:Exc.interrupt ~badva:(-1)
-                  ~refill:false ~cur:t.pc ~in_delay:false
-              else
-                bb_go t b lim budget k (pa + 4) (cur + 4) ce (bb_horizon t)
-                  ptag
-            end
-          end
-          else if t.next_is_delay then begin
-            t.next_is_delay <- false;
-            bb_go t b lim budget k (pa + 4) (cur + 4) ce next_ev ptag
-          end
-          else bb_go t b lim budget k (pa + 4) (cur + 4) ce next_ev ptag
+         t.bb_um <- t.status land 0x2 <> 0;
+         bb_fin_other t b lim budget k pa cur ce
+
+(* Per-uop epilogue, split by between-check class: charge the base
+   cycle, count, then exactly the between-instruction checks of the
+   [run]+[step] loop for that class (halt, budget, device poll,
+   interrupt sample, text-page staleness).  The [_nc] variant skips the
+   charge — the fused arms charge each element before testing the seam
+   precondition. *)
+and bb_fin t b lim budget k pa cur ce next_ev ptag =
+  t.cycles <- t.cycles + 1;
+  if ce then bb_count t cur;
+  bb_fin_nc t b lim budget k pa cur ce next_ev ptag
+
+(* Default class (ALU/shift/load/branch): only the event horizon can
+   have expired; [next_is_delay] set by a branch is consumed on the next
+   iteration (the whole block was decoded, so the delay slot is there). *)
+and bb_fin_nc t b lim budget k pa cur ce next_ev ptag =
+  let k = k + 1 in
+  if k < lim then begin
+    (* no halted check: only [U_other] and device stores can halt, and
+       their classes ([bb_fin_other]/[bb_fin_store]) test it *)
+    if t.cycles >= next_ev then begin
+      bb_flush t b k;
+      poll_devices t;
+      if Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift) = b.bb_gen
+      then begin
+        if t.next_is_delay then begin
+          (* The poll may have raised an irq line whose delivery is
+             deferred past the delay slot (exactly as in [step]); a zero
+             horizon forces the post-delay-slot boundary through the
+             slow path, where the deferred sample runs. *)
+          t.next_is_delay <- false;
+          bb_go t b lim budget k (pa + 4) (cur + 4) ce 0 ptag
+        end
+        else if interrupt_pending t then
+          enter_exception t ~code:Exc.interrupt ~badva:(-1) ~refill:false
+            ~cur:t.pc ~in_delay:false
+        else bb_go t b lim budget k (pa + 4) (cur + 4) ce (bb_horizon t) ptag
       end
     end
-    else if
-        budget > lim
-        && (not t.halted)
-        && (not t.next_is_delay)
-        && t.npc = t.pc + 4
-    then begin
+    else begin
+      if t.next_is_delay then t.next_is_delay <- false;
+      bb_go t b lim budget k (pa + 4) (cur + 4) ce next_ev ptag
+    end
+  end
+  else bb_end t b lim budget k (t.cycles >= next_ev) next_ev ptag
+
+(* Store class.  A store to RAM cannot reach a device: the interrupt
+   lines and the event horizon are unchanged, so only the block's own
+   text page needs re-validating (the store may have hit it).  A device
+   store or a watchpoint callback sets [bb_dev] and takes the full
+   poll + interrupt recheck.  Stores never set [next_is_delay]. *)
+and bb_fin_store t b lim budget k pa cur ce next_ev ptag =
+  t.cycles <- t.cycles + 1;
+  if ce then bb_count t cur;
+  let k = k + 1 in
+  if k < lim then begin
+    if t.halted then bb_flush t b k
+    else if t.bb_dev || t.cycles >= next_ev then begin
+      t.bb_dev <- false;
       bb_flush t b k;
-      (* Block complete on a sequential pc with budget left: chain into
-         the successor block directly.  [budget > lim] implies the block
-         ran to its real end ([lim] = block length), so exactly [lim]
-         instructions were executed here.  The recheck mirrors the
-         between-instruction logic above, then the fetch checks of
-         [bb_step] run for the new pc. *)
-      let slow =
-        match u with
-        | U_sw _ | U_sh _ | U_sb _ -> t.bb_dev || t.cycles >= next_ev
-        | U_other _ -> true
-        | _ -> t.cycles >= next_ev
-      in
-      if slow then begin
-        t.bb_dev <- false;
-        poll_devices t;
+      poll_devices t;
+      if Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift) = b.bb_gen
+      then begin
         if interrupt_pending t then
           enter_exception t ~code:Exc.interrupt ~badva:(-1) ~refill:false
             ~cur:t.pc ~in_delay:false
-        else
-          bb_chain t b (budget - lim) (bb_horizon t)
-            (match u with U_other _ -> -1 | _ -> ptag)
+        else bb_go t b lim budget k (pa + 4) (cur + 4) ce (bb_horizon t) ptag
       end
-      else bb_chain t b (budget - lim) next_ev ptag
     end
+    else if Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift) = b.bb_gen
+    then bb_go t b lim budget k (pa + 4) (cur + 4) ce next_ev ptag
     else bb_flush t b k
+  end
+  else bb_end t b lim budget k (t.bb_dev || t.cycles >= next_ev) next_ev ptag
+
+(* [U_other] may have done anything (CP0, hcall, devices, the icache):
+   full recheck, and forget the resident fetch line (ptag := -1). *)
+and bb_fin_other t b lim budget k pa cur ce =
+  t.cycles <- t.cycles + 1;
+  if ce then bb_count t cur;
+  let k = k + 1 in
+  if k < lim then begin
+    if t.halted then bb_flush t b k
+    else begin
+      bb_flush t b k;
+      t.bb_dev <- false;
+      poll_devices t;
+      if Array.unsafe_get t.bgen (b.bb_pa lsr Addr.page_shift) = b.bb_gen
+      then begin
+        if t.next_is_delay then begin
+          (* deferred-interrupt case: see [bb_fin_nc] *)
+          t.next_is_delay <- false;
+          bb_go t b lim budget k (pa + 4) (cur + 4) ce 0 (-1)
+        end
+        else if interrupt_pending t then
+          enter_exception t ~code:Exc.interrupt ~badva:(-1) ~refill:false
+            ~cur:t.pc ~in_delay:false
+        else bb_go t b lim budget k (pa + 4) (cur + 4) ce (bb_horizon t) (-1)
+      end
+    end
+  end
+  else bb_end t b lim budget k true 0 (-1)
+
+(* Block complete on a sequential pc with budget left: chain into the
+   successor block directly.  [budget > lim] implies the block ran to its
+   real end ([lim] = block length), so exactly [lim] instructions were
+   executed here.  [slow] carries the class-specific recheck condition,
+   then the fetch checks of [bb_step] run for the new pc. *)
+and bb_end t b lim budget k slow next_ev ptag =
+  if
+    budget > lim && (not t.halted) && (not t.next_is_delay)
+    && t.npc = t.pc + 4
+  then begin
+    bb_flush t b k;
+    if slow then begin
+      t.bb_dev <- false;
+      poll_devices t;
+      if interrupt_pending t then
+        enter_exception t ~code:Exc.interrupt ~badva:(-1) ~refill:false
+          ~cur:t.pc ~in_delay:false
+      else bb_chain t b (budget - lim) (bb_horizon t) ptag
+    end
+    else bb_chain t b (budget - lim) next_ev ptag
+  end
+  else bb_flush t b k
 
 (* Enter the block at [t.pc]: the fetch checks of [bb_step], then replay.
    Tail-called from [bb_go] when chaining, so the fetch-trap handler here
@@ -1647,7 +1637,10 @@ let exec_block t b ~budget =
       k > 0
       && (match Array.unsafe_get blk.bb_uops (k - 1) with
          | U_beq _ | U_bne _ | U_blez _ | U_bgtz _ | U_bltz _ | U_bgez _
-         | U_bc1t _ | U_bc1f _ | U_j _ | U_jal _ | U_jr _ | U_jalr _ -> true
+         | U_bc1t _ | U_bc1f _ | U_j _ | U_jal _ | U_jr _ | U_jalr _
+         (* a fused [j]+nop that bailed after the jump: the next slot is
+            its delay slot *)
+         | U_j_nop _ -> true
          | U_other i -> Insn.is_control i
          | _ -> false)
     in
@@ -1705,7 +1698,7 @@ type stop_reason = Halt | Limit
 
 let run t ~max_insns =
   let start = t.c.instructions in
-  if t.cfg.bcache then
+  if Uop.bcache_enabled t.cfg.tier then
     let rec go () =
       if t.halted then Halt
       else begin
@@ -1747,6 +1740,11 @@ let load_exe_phys t (exe : Exe.t) ~text_pa ~data_pa =
   write_phys_bytes t data_pa (Bytes.to_string exe.Exe.data)
 
 let console_contents t = Buffer.contents t.console
+
+let cached_blocks t =
+  Array.fold_left
+    (fun acc (b : Uop.block) -> if b.bb_pa >= 0 then b :: acc else acc)
+    [] t.bcache_tab
 
 let arith_stalls t = t.fpu.Fpu.arith_stalls
 let wb_stalls t = t.wb.Write_buffer.stall_cycles

@@ -40,17 +40,17 @@ type config = {
   disk_seek : int;
   disk_per_block : int;
   count_exec : bool;  (** per-instruction-word execution counts (§4.3) *)
-  tcache : bool;
-      (** Last-translation micro-cache in front of the TLB walk (default
-          on; turn off to benchmark or to act as its own oracle). *)
-  bcache : bool;
-      (** Basic-block execution cache: decode a straight-line block once,
-          replay it with one fetch translation + bounds check per block
-          (default on).  Blocks are keyed by (physical address, pc,
-          cacheability) and invalidated by per-page store generations, so
+  tier : Uop.tier;
+      (** Interpreter tier (default {!Uop.Super}): [Step] is the
+          step-at-a-time oracle with a full TLB walk per access; [Tcache]
+          adds the last-translation micro-cache; [Bcache] adds the
+          decode-once basic-block execution cache (one fetch translation
+          + bounds check per block, keyed by (physical address, pc,
+          cacheability), invalidated by per-page store generations, so
           self-modifying code, DMA, TLB remaps and mode switches behave
-          exactly as in step-at-a-time execution; {!step} remains the
-          state-identical oracle (qcheck-enforced). *)
+          exactly as in step-at-a-time execution); [Super] adds
+          superblock peephole fusion over cached blocks.  {!step} remains
+          the state-identical oracle for every tier (qcheck-enforced). *)
 }
 
 val default_config : config
@@ -81,24 +81,16 @@ type tcache = {
   mutable w_vpn : int;  mutable w_frame : int;  mutable w_cached : bool;
 }
 
-type uop
-(** One pre-decoded instruction of a cached basic block: operands
-    resolved, dispatch pre-selected. *)
-
-type bblock
-(** A decoded straight-line block, keyed by (physical address, pc,
-    cacheability) and guarded by its text page's store generation. *)
-
 type t = {
   cfg : config;
   mem : Bytes.t;
   dec : Insn.t array;
   dec_valid : Bytes.t;
-  bcache_tab : bblock array;
-  bgen : int array;
+  bcache_tab : Uop.block array;
+  bgen : Uop.Gens.t;
       (** Per-physical-page store generation: bumped by every store, DMA
           and host poke; cached blocks are valid only while their page's
-          generation matches. *)
+          generation matches ({!Uop.Gens} owns the contract). *)
   regs : int array;
   fregs : float array;
   mutable fcc : bool;
@@ -122,7 +114,7 @@ type t = {
   mutable bb_k : int;
       (** Index of the uop currently replaying in block mode — lets the
           per-block trap handler recover the faulting pc. *)
-  mutable bb_blk : bblock;
+  mutable bb_blk : Uop.block;
       (** The block currently replaying (replay chains across blocks, so
           the trap handler tracks it here). *)
   mutable bb_dev : bool;
@@ -165,8 +157,8 @@ val asid : t -> int
 
 val translate : t -> int -> write:bool -> fetch:bool -> int * bool
 (** [translate t va ~write ~fetch] is [(pa, cached)]; raises {!Trap} on
-    failure.  Goes through the last-translation micro-cache when
-    [t.cfg.tcache] is set. *)
+    failure.  Goes through the last-translation micro-cache at every
+    tier above [Step]. *)
 
 val translate_walk : t -> int -> write:bool -> fetch:bool -> int * bool
 (** The full segment-check + TLB walk, never consulting the micro-cache —
@@ -199,6 +191,11 @@ val halt : t -> unit
 
 val load_exe_phys : t -> Exe.t -> text_pa:int -> data_pa:int -> unit
 val console_contents : t -> string
+
+val cached_blocks : t -> Uop.block list
+(** The live entries of the block table (bench introspection: fused-run
+    statistics). *)
+
 val arith_stalls : t -> int
 val wb_stalls : t -> int
 val icache_misses : t -> int

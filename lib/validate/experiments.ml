@@ -886,24 +886,23 @@ let drain_ablation_table ?(wname = "sed") () =
 (* ------------------------------------------------------------------ *)
 (* DESIGN.md Â§5e: interpreter execution-mode ablation                   *)
 
-(* Host cost of the three interpreter configurations on a full untraced
+(* Host cost of the four interpreter tiers on a full untraced
    boot + workload run.  The simulated machine must be bit-for-bit
    indifferent: every ground-truth counter and the console transcript are
-   asserted identical across modes before the timings are reported, which
+   asserted identical across tiers before the timings are reported, which
    exercises the block cache's invalidation machinery (kernel loads
    programs, remaps pages and switches modes constantly) at system
    scale. *)
 let interp_ablation_table ?(wname = "egrep") () =
   let e = Suite.find wname in
-  let run ~tcache ~bcache =
+  let run tier =
     let cfg =
       {
         Builder.default_config with
         Builder.machine_cfg =
           {
             Systrace_machine.Machine.default_config with
-            Systrace_machine.Machine.tcache;
-            bcache;
+            Systrace_machine.Machine.tier;
           };
       }
     in
@@ -934,15 +933,16 @@ let interp_ablation_table ?(wname = "egrep") () =
   in
   let modes =
     [
-      ("step (no caches)", false, false);
-      ("tcache", true, false);
-      ("tcache + bcache", true, true);
+      ("step (no caches)", Systrace_machine.Uop.Step);
+      ("tcache", Systrace_machine.Uop.Tcache);
+      ("tcache + bcache", Systrace_machine.Uop.Bcache);
+      ("superblock (fused)", Systrace_machine.Uop.Super);
     ]
   in
   let results =
     List.map
-      (fun (label, tcache, bcache) ->
-        let secs, b = run ~tcache ~bcache in
+      (fun (label, tier) ->
+        let secs, b = run tier in
         (label, secs, fingerprint b))
       modes
   in
@@ -962,8 +962,8 @@ let interp_ablation_table ?(wname = "egrep") () =
     Table.create
       ~title:
         (Printf.sprintf
-           "Interpreter execution modes: host cost of an untraced %s run \
-(identical simulated counters and console asserted across all three)"
+           "Interpreter execution tiers: host cost of an untraced %s run \
+(identical simulated counters and console asserted across all four)"
            wname)
       ~headers:[ "mode"; "host cpu s"; "speedup" ]
       ~aligns:[ Table.Left; Table.Right; Table.Right ]

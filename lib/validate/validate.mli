@@ -97,8 +97,8 @@ val run_workload :
   row
 (** Measured and predicted passes; fails if traced and untraced runs
     disagree on program output.  [machine_cfg] overrides the measured
-    pass's machine configuration (e.g. [bcache = false]); the predicted
-    pass is a trace-driven model and takes no machine. *)
+    pass's machine configuration (e.g. [tier = Uop.Tcache]); the
+    predicted pass is a trace-driven model and takes no machine. *)
 
 val run_workload_sweep :
   ?pagemap:Kcfg.pagemap ->

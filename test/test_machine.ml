@@ -903,13 +903,14 @@ let bb_install_vectors m =
   write Addr.general_vector (stub Addr.general_vector);
   write Addr.utlb_vector (stub Addr.utlb_vector)
 
-(* Run the same program under step-at-a-time and block-cached execution
-   with identical budgets; [prepare] pokes extra host-side state (mapped
-   routines, clock) into both machines identically. *)
+(* Run the same program under the step-at-a-time oracle and each block
+   tier (plain and superblock-fused) with identical budgets; [prepare]
+   pokes extra host-side state (mapped routines, clock) into every
+   machine identically. *)
 let bb_run_both ?(prepare = fun (_ : Machine.t) -> ()) ?(max_insns = 400_000)
     build =
-  let run_mode bcache =
-    let cfg = { Machine.default_config with Machine.bcache } in
+  let run_tier tier =
+    let cfg = { Machine.default_config with Machine.tier } in
     let m, _ = setup ~cfg build in
     bb_install_vectors m;
     prepare m;
@@ -919,14 +920,19 @@ let bb_run_both ?(prepare = fun (_ : Machine.t) -> ()) ?(max_insns = 400_000)
       QCheck.Test.fail_report "generated program hit the instruction limit");
     m
   in
-  let ms = run_mode false in
-  let mb = run_mode true in
-  if not (Bytes.equal ms.Machine.mem mb.Machine.mem) then
-    QCheck.Test.fail_report "block mode diverges from step mode in memory";
-  let fs = bb_fingerprint ms and fb = bb_fingerprint mb in
-  if fs <> fb then
-    QCheck.Test.fail_report
-      "block mode diverges from step mode in registers/counters";
+  let ms = run_tier Uop.Step in
+  let fs = bb_fingerprint ms in
+  List.iter
+    (fun tier ->
+      let mb = run_tier tier in
+      if not (Bytes.equal ms.Machine.mem mb.Machine.mem) then
+        QCheck.Test.fail_report
+          (Uop.tier_name tier ^ " tier diverges from step mode in memory");
+      if bb_fingerprint mb <> fs then
+        QCheck.Test.fail_report
+          (Uop.tier_name tier
+          ^ " tier diverges from step mode in registers/counters"))
+    [ Uop.Bcache; Uop.Super ];
   true
 
 (* Generated program fragments.  [Patch] stores a freshly encoded
@@ -1182,6 +1188,125 @@ let prop_bcache_clock_interrupts =
           m.Machine.next_clock <- interval)
         (bb_clk_build ops))
 
+(* Structural invariants of superblock fusion (DESIGN.md §5h), over
+   random lowered bodies salted with fusible idioms.  A store may only
+   be a run's *final* element, so a fused run never crosses a
+   store-generation bump — the post-store revalidation happens
+   immediately after the dispatch.  (The event-horizon half of the
+   contract is runtime behaviour: every seam re-checks the horizon, and
+   the clock-interrupt equality property above exercises it on the
+   Super tier.)  Covered slots must keep their scalar originals so a
+   mid-run bail-out resumes on the unfused tail, and runs never
+   overlap. *)
+
+let fuse_gen_insns =
+  let open QCheck.Gen in
+  let reg = int_range 0 7 in
+  let imm = map (fun i -> Insn.Imm i) (int_range (-64) 64) in
+  let tgt = map (fun a -> 4 * a) (int_range 0 1024) in
+  let insn =
+    frequency
+      [
+        (4, map3 (fun rt rs i -> Insn.Alui (Insn.ADDIU, rt, rs, i)) reg reg imm);
+        (2, map2 (fun rt i -> Insn.Lui (rt, i)) reg imm);
+        (2, map3 (fun rt rs i -> Insn.Alui (Insn.ORI, rt, rs, i)) reg reg imm);
+        (2, map3 (fun rd rs rt -> Insn.Alu (Insn.SLT, rd, rs, rt)) reg reg reg);
+        (2, map3 (fun rt b i -> Insn.Load (Insn.W, rt, b, i)) reg reg imm);
+        (2, map3 (fun rt b i -> Insn.Store (Insn.W, rt, b, i)) reg reg imm);
+        (2, map2 (fun rs a -> Insn.Bne (rs, 0, Insn.Abs a)) reg tgt);
+        (2, map2 (fun rs a -> Insn.Beq (rs, 0, Insn.Abs a)) reg tgt);
+        (1, map (fun a -> Insn.J (Insn.Abs a)) tgt);
+        (2, return (Insn.Shift (Insn.SLL, 0, 0, 0)));
+        (1, return Insn.Syscall);
+      ]
+  in
+  let chunk =
+    frequency
+      [
+        (5, map (fun i -> [ i ]) insn);
+        ( 2,
+          map3
+            (fun rd rs a ->
+              [ Insn.Alu (Insn.SLTU, rd, rs, rs); Insn.Bne (rd, 0, Insn.Abs a) ])
+            reg reg tgt );
+        ( 2,
+          map2
+            (fun rt i ->
+              [ Insn.Lui (rt, Insn.Imm 0x1234); Insn.Alui (Insn.ORI, rt, rt, i) ])
+            reg imm );
+        ( 2,
+          map3
+            (fun rt b i ->
+              [
+                Insn.Load (Insn.W, rt, b, i);
+                Insn.Alui (Insn.ADDIU, rt, rt, Insn.Imm 4);
+                Insn.Store (Insn.W, rt, b, i);
+              ])
+            reg reg imm );
+        (1, map (fun a -> [ Insn.J (Insn.Abs a); Insn.nop ]) tgt);
+      ]
+  in
+  map List.concat (list_size (int_range 1 20) chunk)
+
+let fuse_arb_insns =
+  QCheck.make
+    ~print:(fun insns -> Printf.sprintf "<%d insns>" (List.length insns))
+    fuse_gen_insns
+
+let prop_fusion_structure =
+  QCheck.Test.make ~count:500
+    ~name:
+      "superblock fusion: stores only final (no run crosses a generation \
+       bump), originals kept, runs disjoint"
+    fuse_arb_insns
+    (fun insns ->
+      let scal = Array.of_list (List.map Uop.of_insn insns) in
+      let out = Uop.fuse scal in
+      let n = Array.length out in
+      if n <> Array.length scal then
+        QCheck.Test.fail_report "fusion changed the block length";
+      Array.iter
+        (fun u ->
+          if Uop.is_fused u then
+            QCheck.Test.fail_report "of_insn produced a fused constructor")
+        scal;
+      let i = ref 0 in
+      while !i < n do
+        let u = out.(!i) in
+        let w = Uop.width u in
+        if w > 1 then begin
+          if !i + w > n then
+            QCheck.Test.fail_report "fused run extends past the block end";
+          for j = !i + 1 to !i + w - 1 do
+            if out.(j) <> scal.(j) then
+              QCheck.Test.fail_report
+                "covered slot lost its scalar original (bail-out could not \
+                 resume)"
+          done;
+          for j = !i to !i + w - 2 do
+            match scal.(j) with
+            | Uop.U_sw _ | Uop.U_sh _ | Uop.U_sb _ ->
+              QCheck.Test.fail_report
+                "store in a non-final fused position (run would cross a \
+                 store-generation bump)"
+            | Uop.U_other _ ->
+              QCheck.Test.fail_report "U_other inside a fused run"
+            | Uop.U_beq _ | Uop.U_bne _ | Uop.U_blez _ | Uop.U_bgtz _
+            | Uop.U_bltz _ | Uop.U_bgez _ | Uop.U_bc1t _ | Uop.U_bc1f _
+            | Uop.U_jal _ | Uop.U_jr _ | Uop.U_jalr _ ->
+              QCheck.Test.fail_report "branch in a non-final fused position"
+            | Uop.U_j _ -> (
+              match u with
+              | Uop.U_j_nop _ -> ()
+              | _ ->
+                QCheck.Test.fail_report "jump in a non-final fused position")
+            | _ -> ()
+          done
+        end;
+        i := !i + w
+      done;
+      true)
+
 let tests =
   tests
   @ [
@@ -1189,6 +1314,7 @@ let tests =
       QCheck_alcotest.to_alcotest prop_bcache_matches_step;
       QCheck_alcotest.to_alcotest prop_bcache_tlb_remap;
       QCheck_alcotest.to_alcotest prop_bcache_clock_interrupts;
+      QCheck_alcotest.to_alcotest prop_fusion_structure;
       Alcotest.test_case "alignment traps" `Quick test_alignment_traps;
       Alcotest.test_case "interrupt masking" `Quick test_interrupt_masking;
       Alcotest.test_case "store invalidates decode" `Quick

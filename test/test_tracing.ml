@@ -2007,7 +2007,7 @@ let test_v3_targeted_diagnoses () =
 (* --- backward-compat fixtures -------------------------------------- *)
 
 (* MUST match scratch history: the fixture files in test/ were written by
-   this exact generator when the v3 format landed; v1/v2 decoding must
+   this exact generator when each format version landed; decoding must
    keep producing these words from those bytes forever. *)
 let fixture_words =
   let x = ref 1 in
@@ -2032,7 +2032,7 @@ let test_backward_compat_fixtures () =
            ~f:(fun () c ~len -> folded := Array.sub c 0 len :: !folded));
       check (Printf.sprintf "v%d fixture folds identically" version) true
         (Array.concat (List.rev !folded) = fixture_words))
-    [ ("fixture_v1.strc", 1); ("fixture_v2.strc", 2) ]
+    [ ("fixture_v1.strc", 1); ("fixture_v2.strc", 2); ("fixture_v3.strc", 3) ]
 
 let tests =
   tests
@@ -2055,6 +2055,6 @@ let tests =
         test_v3_multiblock_trailer_fuzz;
       Alcotest.test_case "tracefile: v3 targeted fault diagnoses" `Quick
         test_v3_targeted_diagnoses;
-      Alcotest.test_case "tracefile: v1/v2 backward-compat fixtures" `Quick
+      Alcotest.test_case "tracefile: v1/v2/v3 backward-compat fixtures" `Quick
         test_backward_compat_fixtures;
     ]
