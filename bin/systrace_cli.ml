@@ -44,9 +44,10 @@ let tier_arg =
           "Interpreter execution tier: $(b,step) (step-at-a-time oracle, \
            full TLB walk per access), $(b,tcache) (+ last-translation \
            micro-cache), $(b,bcache) (+ decode-once basic-block execution \
-           cache), or $(b,super) (+ superblock fusion; the default).  \
-           Purely a host-side accelerator choice: simulation results are \
-           identical at every tier.")
+           cache), $(b,super) (+ superblock fusion; the default), or \
+           $(b,trace) (+ trace superblocks over the successor memo with \
+           cross-seam register caching).  Purely a host-side accelerator \
+           choice: simulation results are identical at every tier.")
 
 let no_bcache_arg =
   Arg.(
@@ -55,18 +56,36 @@ let no_bcache_arg =
         ~doc:
           "Deprecated alias for $(b,--interp-tier tcache): interpret \
            without the basic-block execution cache (slower; simulation \
-           results are identical).")
+           results are identical).  Rejected when $(b,--interp-tier) is \
+           also given.")
+
+let trace_len_arg =
+  Arg.(
+    value
+    & opt int Machine.Machine.default_config.Machine.Machine.trace_len
+    & info [ "trace-len" ] ~docv:"BLOCKS"
+        ~doc:
+          "Maximum basic blocks stitched into one trace superblock at \
+           $(b,--interp-tier trace) (4-16).  Ignored at lower tiers.")
 
 (* The tier is purely a host-side accelerator, so the only thing the
-   flag changes is the machine config the system is built with.  An
-   explicit --interp-tier wins over the deprecated --no-bcache. *)
-let machine_cfg_of ~tier ~no_bcache =
+   flags change is the machine config the system is built with.
+   [Uop.tier_of_cli] owns the --interp-tier / --no-bcache resolution
+   (both at once is an error: the alias used to lose silently). *)
+let machine_cfg_of ~tier ~no_bcache ~trace_len =
   let tier =
-    match tier with
-    | Some t -> t
-    | None -> if no_bcache then Machine.Uop.Tcache else Machine.Uop.Super
+    match Machine.Uop.tier_of_cli ~tier ~no_bcache with
+    | Ok t -> t
+    | Error msg ->
+      Printf.eprintf "systrace: %s\n" msg;
+      exit 2
   in
-  { Machine.Machine.default_config with Machine.Machine.tier }
+  if trace_len < 4 || trace_len > 16 then begin
+    Printf.eprintf "systrace: --trace-len must be in 4..16 (got %d)\n"
+      trace_len;
+    exit 2
+  end;
+  { Machine.Machine.default_config with Machine.Machine.tier; trace_len }
 
 let workload_arg =
   Arg.(
@@ -97,12 +116,13 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name os seed tier no_bcache =
+  let run name os seed tier no_bcache trace_len =
     let e = find_workload name in
     let config =
       {
         Systrace_kernel.Builder.default_config with
-        Systrace_kernel.Builder.machine_cfg = machine_cfg_of ~tier ~no_bcache;
+        Systrace_kernel.Builder.machine_cfg =
+          machine_cfg_of ~tier ~no_bcache ~trace_len;
       }
     in
     let sys =
@@ -132,7 +152,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload untraced; print measured counters.")
     Term.(const run $ workload_arg $ os_arg $ seed_arg $ tier_arg
-          $ no_bcache_arg)
+          $ no_bcache_arg $ trace_len_arg)
 
 let trace_cmd =
   let run name os seed nshow trace_out compress =
@@ -295,7 +315,7 @@ let profile_cmd =
     Term.(const run $ workload_arg $ os_arg $ seed_arg $ topn)
 
 let validate_cmd =
-  let run name os seed tier no_bcache =
+  let run name os seed tier no_bcache trace_len =
     let e = find_workload name in
     let spec =
       {
@@ -306,7 +326,7 @@ let validate_cmd =
     in
     let row =
       Validate.run_workload
-        ~machine_cfg:(machine_cfg_of ~tier ~no_bcache)
+        ~machine_cfg:(machine_cfg_of ~tier ~no_bcache ~trace_len)
         ~seed os spec
     in
     let m = row.Validate.r_measured and p = row.Validate.r_predicted in
@@ -324,7 +344,7 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:"Measured vs predicted execution time for one workload.")
     Term.(const run $ workload_arg $ os_arg $ seed_arg $ tier_arg
-          $ no_bcache_arg)
+          $ no_bcache_arg $ trace_len_arg)
 
 let matrix_cmd =
   (* The full measured-vs-predicted matrix behind Tables 2/3 and Figure 3,

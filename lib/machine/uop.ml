@@ -5,26 +5,54 @@
 
 open Systrace_isa
 
-type tier = Step | Tcache | Bcache | Super
+type tier = Step | Tcache | Bcache | Super | Trace
 
-let all_tiers = [ Step; Tcache; Bcache; Super ]
+let all_tiers = [ Step; Tcache; Bcache; Super; Trace ]
 
 let tier_name = function
   | Step -> "step"
   | Tcache -> "tcache"
   | Bcache -> "bcache"
   | Super -> "super"
+  | Trace -> "trace"
 
 let tier_of_string = function
   | "step" -> Some Step
   | "tcache" -> Some Tcache
   | "bcache" -> Some Bcache
   | "super" -> Some Super
+  | "trace" -> Some Trace
   | _ -> None
 
-let tcache_enabled = function Step -> false | Tcache | Bcache | Super -> true
-let bcache_enabled = function Step | Tcache -> false | Bcache | Super -> true
-let fusion_enabled = function Step | Tcache | Bcache -> false | Super -> true
+let tcache_enabled = function
+  | Step -> false
+  | Tcache | Bcache | Super | Trace -> true
+
+let bcache_enabled = function
+  | Step | Tcache -> false
+  | Bcache | Super | Trace -> true
+
+let fusion_enabled = function
+  | Step | Tcache | Bcache -> false
+  | Super | Trace -> true
+
+let trace_enabled = function
+  | Step | Tcache | Bcache | Super -> false
+  | Trace -> true
+
+(* CLI tier resolution, shared with the deprecated [--no-bcache] alias.
+   Combining the alias with an explicit tier used to resolve silently in
+   favour of [--interp-tier]; now it is a hard error, so scripts cannot
+   keep passing both and believe the alias still means something. *)
+let tier_of_cli ~tier ~no_bcache =
+  match (tier, no_bcache) with
+  | Some _, true ->
+    Error
+      "--no-bcache is a deprecated alias for --interp-tier tcache and \
+       cannot be combined with an explicit --interp-tier"
+  | Some t, false -> Ok t
+  | None, true -> Ok Tcache
+  | None, false -> Ok Super
 
 (* Pre-decoded instruction for the basic-block execution cache: operands
    are resolved to plain ints at block-build time (immediates applied,
@@ -178,6 +206,25 @@ type block = {
   bb_gen : int;
   bb_uops : t array;
   mutable bb_next : block;
+  mutable bb_hot : int;
+  mutable bb_trace : trace option;
+}
+
+(* A trace superblock: a hot path of chained blocks replayed with one
+   up-front budget/event-horizon/generation/residency check instead of
+   per-element re-tests, and with the hottest registers cached in OCaml
+   locals across the internal seams.  See the mli for the contract. *)
+and trace = {
+  tr_blocks : block array;
+  tr_insns : int;
+  tr_wc : int;
+  tr_pages : int array;
+  tr_gens : int array;
+  tr_pg_lo : int;
+  tr_pg_hi : int;
+  tr_lines : int array;
+  tr_regs : int array;
+  mutable tr_live : bool;
 }
 
 let rec dummy_block =
@@ -188,6 +235,24 @@ let rec dummy_block =
     bb_gen = -1;
     bb_uops = [||];
     bb_next = dummy_block;
+    bb_hot = 0;
+    bb_trace = None;
+  }
+
+(* Placeholder for the dispatcher's current-trace slot (never dispatched:
+   [tr_live] is false and it spans no blocks). *)
+let dummy_trace =
+  {
+    tr_blocks = [| dummy_block |];
+    tr_insns = 0;
+    tr_wc = 0;
+    tr_pages = [||];
+    tr_gens = [||];
+    tr_pg_lo = 1;
+    tr_pg_hi = 0;
+    tr_lines = [||];
+    tr_regs = [||];
+    tr_live = false;
   }
 
 let max_block_insns = 256
@@ -227,7 +292,176 @@ let build ~decode ~va ~pa ~cached ~gen ~fuse:do_fuse =
     bb_gen = gen;
     bb_uops = uops;
     bb_next = dummy_block;
+    bb_hot = 0;
+    bb_trace = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Trace superblocks                                                   *)
+
+let trace_hot_threshold = 8
+let trace_max_insns = 512
+
+(* A block can join a trace when replaying it cannot change fetch or
+   translation state mid-trace and cannot leave a control transfer
+   pending at the end:
+   - cached RAM text only (no device fetch, no uncached specialization);
+   - no [U_other] (excludes barriers, FP, hcalls — anything that could
+     switch mode, rewrite the TLB, or run arbitrary host effects);
+   - the final uop must not be an open control transfer, i.e. one whose
+     delay slot fell past the page-end clamp ([U_j_nop] carries its own
+     delay slot and is fine). *)
+let ends_open = function
+  | U_beq _ | U_bne _ | U_blez _ | U_bgtz _ | U_bltz _ | U_bgez _
+  | U_bc1t _ | U_bc1f _ | U_j _ | U_jal _ | U_jr _ | U_jalr _ | U_slt_b _ ->
+    true
+  | _ -> false
+
+let trace_eligible b =
+  let n = Array.length b.bb_uops in
+  b.bb_pa >= 0 && b.bb_cached && n > 0
+  && (not (ends_open b.bb_uops.(n - 1)))
+  && Array.for_all (function U_other _ -> false | _ -> true) b.bb_uops
+
+(* Def/use accounting for the cross-seam register cache: every register
+   operand read or written bumps its count.  Register 0 is never a
+   candidate (it must stay hardwired zero). *)
+let count_regs counts u =
+  let bump r = if r > 0 then counts.(r) <- counts.(r) + 1 in
+  match u with
+  | U_alu (_, rd, rs, rt) -> bump rd; bump rs; bump rt
+  | U_alui (_, rt, rs, _) -> bump rt; bump rs
+  | U_shift (_, rd, rt, _) -> bump rd; bump rt
+  | U_lui (rt, _) | U_li (rt, _) -> bump rt
+  | U_lw (rt, base, _) | U_lh (rt, base, _) | U_lhu (rt, base, _)
+  | U_lb (rt, base, _) | U_lbu (rt, base, _)
+  | U_sw (rt, base, _) | U_sh (rt, base, _) | U_sb (rt, base, _) ->
+    bump rt; bump base
+  | U_beq (rs, rt, _) | U_bne (rs, rt, _) -> bump rs; bump rt
+  | U_blez (rs, _) | U_bgtz (rs, _) | U_bltz (rs, _) | U_bgez (rs, _)
+  | U_jr rs ->
+    bump rs
+  | U_bc1t _ | U_bc1f _ | U_j _ | U_j_nop _ -> ()
+  | U_jal _ -> bump 31
+  | U_jalr (rd, rs) -> bump rd; bump rs
+  | U_addiu2 (rt1, rs1, _, rt2, rs2, _) ->
+    bump rt1; bump rs1; bump rt2; bump rs2
+  | U_slt_b (_, rd, rs, rt, _, _) -> bump rd; bump rs; bump rt
+  | U_lw_addiu (rt, base, _, rt2, rs2, _) ->
+    bump rt; bump base; bump rt2; bump rs2
+  | U_lmw (rt, base, _, rt2, rs2, _, rt3, base3, _) ->
+    bump rt; bump base; bump rt2; bump rs2; bump rt3; bump base3
+  | U_other _ -> ()
+
+(* Worst-case cycle cost of one slot (scalar view), used for the single
+   up-front event-horizon test: base 1 cycle per instruction plus the
+   machine-supplied worst memory stall for loads and stores. *)
+let wc_of_uop ~wc_load ~wc_store = function
+  | U_lmw _ -> 3 + wc_load + wc_store
+  | U_lw_addiu _ -> 2 + wc_load
+  | U_li _ | U_addiu2 _ | U_slt_b _ | U_j_nop _ -> 2
+  | U_lw _ | U_lh _ | U_lhu _ | U_lb _ | U_lbu _ -> 1 + wc_load
+  | U_sw _ | U_sh _ | U_sb _ -> 1 + wc_store
+  | _ -> 1
+
+let form_trace ~head ~max_blocks ~wc_load ~wc_store ~line_shift ~nlines =
+  if not (trace_eligible head) then None
+  else begin
+    (* Walk the successor memo greedily; a self-loop naturally unrolls
+       the loop body up to [max_blocks] times. *)
+    let rev = ref [ head ] in
+    let nb = ref 1 in
+    let insns = ref (Array.length head.bb_uops) in
+    let cur = ref head in
+    let go = ref true in
+    while !go && !nb < max_blocks do
+      let nxt = !cur.bb_next in
+      if
+        nxt != dummy_block && trace_eligible nxt
+        && !insns + Array.length nxt.bb_uops <= trace_max_insns
+      then begin
+        rev := nxt :: !rev;
+        incr nb;
+        insns := !insns + Array.length nxt.bb_uops;
+        cur := nxt
+      end
+      else go := false
+    done;
+    if !nb < 2 then None
+    else begin
+      let blocks = Array.of_list (List.rev !rev) in
+      (* Distinct text pages with a consistent generation snapshot, and
+         distinct icache lines that must map to distinct indexes so an
+         all-resident entry check guarantees every fetch hits. *)
+      let pages = ref [] and gens_ok = ref true in
+      let lines = ref [] in
+      let counts = Array.make 32 0 in
+      let wc = ref 0 in
+      Array.iter
+        (fun b ->
+          let p = b.bb_pa lsr Addr.page_shift in
+          (match List.assoc_opt p !pages with
+          | None -> pages := (p, b.bb_gen) :: !pages
+          | Some g -> if g <> b.bb_gen then gens_ok := false);
+          let n = Array.length b.bb_uops in
+          let t0 = b.bb_pa lsr line_shift in
+          let t1 = (b.bb_pa + ((n - 1) * 4)) lsr line_shift in
+          for tg = t0 to t1 do
+            if not (List.mem tg !lines) then lines := tg :: !lines
+          done;
+          let k = ref 0 in
+          while !k < n do
+            let u = b.bb_uops.(!k) in
+            count_regs counts u;
+            wc := !wc + wc_of_uop ~wc_load ~wc_store u;
+            k := !k + width u
+          done)
+        blocks;
+      let lines = !lines in
+      let mask = nlines - 1 in
+      let idx_distinct =
+        let seen = Array.make nlines false in
+        List.for_all
+          (fun tg ->
+            let i = tg land mask in
+            if seen.(i) then false
+            else begin
+              seen.(i) <- true;
+              true
+            end)
+          lines
+      in
+      if (not !gens_ok) || not idx_distinct then None
+      else begin
+        (* The <=4 hottest registers by def/use count; the executor pins
+           the top of this list in OCaml locals across internal seams. *)
+        let regs = ref [] in
+        for _ = 1 to 4 do
+          let best = ref 0 in
+          for r = 1 to 31 do
+            if counts.(r) > counts.(!best) then best := r
+          done;
+          if !best > 0 && counts.(!best) > 0 then begin
+            regs := !best :: !regs;
+            counts.(!best) <- 0
+          end
+        done;
+        Some
+          {
+            tr_blocks = blocks;
+            tr_insns = !insns;
+            tr_wc = !wc;
+            tr_pages = Array.of_list (List.map fst !pages);
+            tr_gens = Array.of_list (List.map snd !pages);
+            tr_pg_lo = List.fold_left (fun a (p, _) -> min a p) max_int !pages;
+            tr_pg_hi = List.fold_left (fun a (p, _) -> max a p) (-1) !pages;
+            tr_lines = Array.of_list lines;
+            tr_regs = Array.of_list (List.rev !regs);
+            tr_live = true;
+          }
+      end
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Store-generation invalidation (see the mli for the contract)        *)

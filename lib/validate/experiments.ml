@@ -937,6 +937,7 @@ let interp_ablation_table ?(wname = "egrep") () =
       ("tcache", Systrace_machine.Uop.Tcache);
       ("tcache + bcache", Systrace_machine.Uop.Bcache);
       ("superblock (fused)", Systrace_machine.Uop.Super);
+      ("trace superblocks", Systrace_machine.Uop.Trace);
     ]
   in
   let results =
@@ -963,7 +964,7 @@ let interp_ablation_table ?(wname = "egrep") () =
       ~title:
         (Printf.sprintf
            "Interpreter execution tiers: host cost of an untraced %s run \
-(identical simulated counters and console asserted across all four)"
+(identical simulated counters and console asserted across all five)"
            wname)
       ~headers:[ "mode"; "host cpu s"; "speedup" ]
       ~aligns:[ Table.Left; Table.Right; Table.Right ]
