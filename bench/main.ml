@@ -10,9 +10,9 @@
    Experiments: table1 table2 figure3 table3 figure2 expansion dilation
                 kernel_cpi distortion buffer_sweep pagemap corruption
                 faults os_structure drain_ablation trace_format stream
-                sweep store micro
+                sweep store serve micro
 
-   `micro`, `stream`, `sweep`, `store` and `table2 --timing` merge
+   `micro`, `stream`, `sweep`, `store`, `serve` and `table2 --timing` merge
    machine-readable results into BENCH_micro.json at the repo root (one
    {target, name, unit, value, jobs} object per benchmark, sorted by
    target/name) so the perf trajectory is tracked across PRs; `--out F`
@@ -604,20 +604,33 @@ let exp_micro () =
              ignore (Tracing.Compress.unpack ~expect:(Array.length words) packed)))
     in
     (* LZSS pack on the domain pool: 8 copies of the egrep trace give the
-       delta stream several 256K blocks to split across workers *)
+       delta stream several 256K blocks to split across workers.  With
+       fewer than 2 effective workers the "parallel" pack is just the
+       sequential pack over 8x the data — an 8x-slower ns/run row that
+       reads as a regression — so, like the store bench's speedup row,
+       it is skipped with a note instead of published. *)
     let big_words = Array.concat (List.init 8 (fun _ -> words)) in
     let pack_jobs = Pool.effective_jobs ~jobs:(max 2 !jobs) 8 in
-    let par_pack_test =
-      Test.make ~name:"compress: pack trace (parallel)"
-        (Staged.stage (fun () ->
-             ignore (Tracing.Compress.pack ~jobs:pack_jobs big_words)))
+    let par_pack_tests =
+      if pack_jobs < 2 then begin
+        Printf.printf
+          "  (parallel pack skipped: ran with %d worker(s); needs >= 2)\n"
+          pack_jobs;
+        []
+      end
+      else
+        [
+          Test.make ~name:"compress: pack trace (parallel)"
+            (Staged.stage (fun () ->
+                 ignore (Tracing.Compress.pack ~jobs:pack_jobs big_words)));
+        ]
     in
     let tests =
       [
         parse_test; parse_only_test; instr_test; compress_test;
-        uncompress_test; par_pack_test;
+        uncompress_test;
       ]
-      @ dispatch_tests ()
+      @ par_pack_tests @ dispatch_tests ()
     in
     let estimates =
       run_bechamel_min ~quota:1.0 ~rounds:3 (interp_tests ())
@@ -627,7 +640,14 @@ let exp_micro () =
     let entry = Bench_json.entry ~target:"micro" in
     let entries =
       List.rev_map
-        (fun (name, est) -> entry ~name:(strip_group name) ~unit_:"ns/run" est)
+        (fun (name, est) ->
+          let name = strip_group name in
+          (* parallel rows carry the worker count they actually ran
+             with, so speedup claims in BENCH_micro.json are auditable *)
+          let jobs =
+            if name = "compress: pack trace (parallel)" then pack_jobs else 1
+          in
+          entry ~jobs ~name ~unit_:"ns/run" est)
         estimates
     in
     let find_est name' =
@@ -947,6 +967,147 @@ let exp_store () =
         @ speedup_entries))
 
 (* ------------------------------------------------------------------ *)
+(* Trace-ingest daemon: loopback load generator                         *)
+
+(* The serving analog of the paper's keep-up problem, measured: N
+   concurrent clients replay a captured v3 trace file at `systrace
+   serve` over loopback TCP, each stream scanned online behind the
+   bounded per-connection queue.  Reports single-stream vs aggregate
+   ingest (the multiplexing win), streams/s, p99 drain latency, and
+   peak resident words, then runs a torn-frame fault suite against the
+   live daemon — all merged into BENCH_micro.json for the CI gate. *)
+let exp_serve () =
+  heading "Trace-ingest daemon: concurrent loopback streams";
+  let wname = if !quick then "egrep" else "tomcatv" in
+  let e = Workloads.Suite.find wname in
+  let (words, _run), t_capture =
+    timed (fun () ->
+        capture_trace [ e.Workloads.Suite.program () ] e.Workloads.Suite.files)
+  in
+  let n = Array.length words in
+  let nstreams = 8 in
+  let workers = Pool.effective_jobs ~jobs:(max 2 !jobs) nstreams in
+  let path = Filename.temp_file "systrace_serve" ".strc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tracing.Tracefile.save ~compress:true ~version:3 path words;
+      let cfg =
+        {
+          (Serve.Server.default_config Serve.Server.scan_pipeline) with
+          Serve.Server.tcp = Some ("127.0.0.1", 0);
+          workers;
+        }
+      in
+      let t = Serve.Server.start cfg in
+      Fun.protect
+        ~finally:(fun () -> Serve.Server.stop t)
+        (fun () ->
+          let port = Option.get (Serve.Server.tcp_port t) in
+          let addr = Serve.Client.Tcp ("127.0.0.1", port) in
+          let stream_file () =
+            match Serve.Client.run_file addr path with
+            | Some r when r.Serve.Client.r_words = n -> r
+            | Some r ->
+              failwith
+                (Printf.sprintf "serve: stream echoed %d of %d words"
+                   r.Serve.Client.r_words n)
+            | None -> failwith "serve: stream rejected"
+          in
+          (* single stream, best of 3: the per-connection pipeline's own
+             ingest ceiling *)
+          let t_single = ref infinity in
+          for _ = 1 to 3 do
+            let r, dt = timed stream_file in
+            if r.Serve.Client.r_dropped_words <> 0 then
+              failwith "serve: lossless single stream dropped words";
+            if dt < !t_single then t_single := dt
+          done;
+          (* N concurrent clients, one domain each, all replaying the
+             same stored trace *)
+          let replies, t_concurrent =
+            timed (fun () ->
+                let doms =
+                  List.init nstreams (fun _ -> Domain.spawn stream_file)
+                in
+                List.map Domain.join doms)
+          in
+          List.iter
+            (fun r ->
+              if r.Serve.Client.r_dropped_words <> 0 then
+                failwith "serve: lossless concurrent stream dropped words")
+            replies;
+          (* fault suite against the live daemon: truncated streams cut
+             at deterministic byte offsets must come back as structured
+             wire diagnoses, with clean streams still served after *)
+          let rng = Systrace_util.Rng.create 7 in
+          let bytes = Serve.Wire.encode ~frame_words:4096 words in
+          let faults = 10 in
+          for _ = 1 to faults do
+            let cut = Systrace_util.Rng.int rng (String.length bytes) in
+            ignore
+              (Serve.Client.send_raw addr (String.sub bytes 0 cut)
+                : string option)
+          done;
+          ignore (stream_file () : Serve.Client.reply);
+          (* wait for the fault-suite connections to finish server-side *)
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          let rec quiesce () =
+            let s = Serve.Server.stats t in
+            if s.Serve.Server.streams_active = 0 then s
+            else if Unix.gettimeofday () > deadline then
+              failwith "serve: daemon did not quiesce"
+            else begin
+              Unix.sleepf 0.02;
+              quiesce ()
+            end
+          in
+          let s = quiesce () in
+          if s.Serve.Server.streams_faulted < faults then
+            failwith "serve: torn streams not all diagnosed";
+          let nf = float_of_int n in
+          let single_wps = nf /. !t_single in
+          let agg_wps = float_of_int (nstreams * n) /. t_concurrent in
+          let sps = float_of_int nstreams /. t_concurrent in
+          Printf.printf
+            "workload %s: %d trace words (capture %.2fs), %d workers\n\
+            \  single stream: %.3fs (%.2f Mwords/s)\n\
+            \  %d concurrent streams: %.3fs -> %.2f streams/s, %.2f \
+             Mwords/s aggregate (%.2fx single)\n\
+            \  drain latency p50 %.3fms p99 %.3fms max %.3fms\n\
+            \  peak resident %d words/stream, %d drains, %d torn streams \
+             diagnosed\n"
+            wname n t_capture workers !t_single (single_wps /. 1e6) nstreams
+            t_concurrent sps (agg_wps /. 1e6) (agg_wps /. single_wps)
+            (1e3 *. s.Serve.Server.drain_p50)
+            (1e3 *. s.Serve.Server.drain_p99)
+            (1e3 *. s.Serve.Server.drain_max)
+            s.Serve.Server.peak_resident_words s.Serve.Server.drains
+            s.Serve.Server.streams_faulted;
+          let entry = Bench_json.entry ~target:"serve" in
+          Bench_json.record
+            [
+              entry ~name:"trace words per stream" ~unit_:"words" nf;
+              entry ~name:"concurrent streams" ~unit_:"streams"
+                (float_of_int nstreams);
+              entry ~name:"single-stream ingest" ~unit_:"words/s" single_wps;
+              entry ~jobs:workers ~name:"aggregate ingest" ~unit_:"words/s"
+                agg_wps;
+              entry ~jobs:workers ~name:"aggregate/single" ~unit_:"x"
+                (agg_wps /. single_wps);
+              entry ~jobs:workers ~name:"streams per second" ~unit_:"streams/s"
+                sps;
+              entry ~name:"p99 drain latency" ~unit_:"s"
+                s.Serve.Server.drain_p99;
+              entry ~name:"peak resident words" ~unit_:"words"
+                (float_of_int s.Serve.Server.peak_resident_words);
+              entry ~name:"dropped words" ~unit_:"words"
+                (float_of_int s.Serve.Server.words_dropped);
+              entry ~name:"faulted streams diagnosed" ~unit_:"streams"
+                (float_of_int s.Serve.Server.streams_faulted);
+            ]))
+
+(* ------------------------------------------------------------------ *)
 (* CI perf gate: check the recorded results against hard floors.        *)
 
 let gate () =
@@ -1089,6 +1250,64 @@ let gate () =
                "store parallel decode speedup %.2fx >= 1.50x (%d workers)"
                e.Bench_json.value e.Bench_json.jobs)
             (e.Bench_json.value >= 1.5));
+      (fun () ->
+        match Bench_json.find entries "serve" "dropped words" with
+        | None ->
+          check "serve 'dropped words' missing (run `serve` first)" false
+        | Some e ->
+          check
+            (Printf.sprintf "serve lossless run dropped %.0f word(s) (= 0)"
+               e.Bench_json.value)
+            (e.Bench_json.value = 0.0));
+      (fun () ->
+        match Bench_json.find entries "serve" "p99 drain latency" with
+        | None ->
+          check "serve 'p99 drain latency' missing (run `serve` first)" false
+        | Some e ->
+          check
+            (Printf.sprintf "serve p99 drain latency %.1fms <= 500.0ms"
+               (1e3 *. e.Bench_json.value))
+            (e.Bench_json.value <= 0.5));
+      (fun () ->
+        match Bench_json.find entries "serve" "streams per second" with
+        | None ->
+          check "serve 'streams per second' missing (run `serve` first)" false
+        | Some e ->
+          check
+            (Printf.sprintf "serve %.2f streams/s >= 0.50 streams/s"
+               e.Bench_json.value)
+            (e.Bench_json.value >= 0.5));
+      (fun () ->
+        match Bench_json.find entries "serve" "aggregate/single" with
+        | None ->
+          check "serve 'aggregate/single' missing (run `serve` first)" false
+        | Some e when e.Bench_json.jobs < 4 ->
+          (* concurrent scaling needs cores to scale onto: with this few
+             workers the aggregate measures multiplexing overhead, not
+             parallel ingest — same policy as the store speedup floor *)
+          Printf.printf
+            "  skip serve aggregate/single floor (ran with %d worker(s); \
+             needs >= 4)\n"
+            e.Bench_json.jobs
+        | Some e ->
+          check
+            (Printf.sprintf
+               "serve aggregate ingest %.2fx >= 2.00x single stream (%d \
+                workers)"
+               e.Bench_json.value e.Bench_json.jobs)
+            (e.Bench_json.value >= 2.0));
+      (fun () ->
+        match Bench_json.find entries "serve" "faulted streams diagnosed" with
+        | None ->
+          check
+            "serve 'faulted streams diagnosed' missing (run `serve` first)"
+            false
+        | Some e ->
+          check
+            (Printf.sprintf
+               "serve fault suite: %.0f torn stream(s) diagnosed >= 10"
+               e.Bench_json.value)
+            (e.Bench_json.value >= 10.0));
     ]
   in
   List.iter (fun f -> f ()) floors;
@@ -1122,6 +1341,7 @@ let experiments =
     ("stream", exp_stream);
     ("sweep", exp_sweep);
     ("store", exp_store);
+    ("serve", exp_serve);
     ("micro", exp_micro);
     ("allocprobe", fun () ->
       (* diagnostic: minor words allocated per interpreted instruction *)
@@ -1174,15 +1394,16 @@ let usage () =
      available: %s\n\
      -j N      run the experiment matrix on N domains (default %d)\n\
      --timing  (with table2) serial vs parallel wall time + byte-identity\n\
-     --quick   (with faults/stream/sweep/store/table2/micro) smaller runs,\n\
-    \          for CI smoke\n\
+     --quick   (with faults/stream/sweep/store/serve/table2/micro) smaller\n\
+    \          runs, for CI smoke\n\
      --out F   merge machine-readable results into F, not BENCH_micro.json\n\
      --gate    after any requested experiment, fail if the recorded results\n\
     \          breach the CI perf floors (sweep <= 2x single pass, sweep\n\
     \          work saved >= 5x, stream ratio, per-tier interpreter\n\
     \          throughput (bcache >= 2x, super >= 2.5x over tcache),\n\
     \          store v3 ratio >= 4.5x, parallel decode >= 1.5x on >= 2\n\
-    \          cores)\n"
+    \          cores, serve lossless/latency/fault-suite floors and\n\
+    \          aggregate ingest >= 2x single stream on >= 4 workers)\n"
     Sys.argv.(0)
     (String.concat " " (List.map fst experiments))
     (Pool.default_jobs ());

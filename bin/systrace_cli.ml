@@ -14,6 +14,13 @@
      systrace slice FILE --from A --until B [-o OUT]
                                          -- extract a word window of a stored
                                             trace without a full decode
+     systrace serve --unix PATH [--tcp PORT] [--ctl PATH]
+                                         -- trace-ingest daemon: concurrent
+                                            streams, online analysis,
+                                            bounded-queue backpressure
+     systrace serve --send FILE --connect unix:PATH
+                                         -- stream a stored trace at a daemon
+     systrace serve --stats --ctl PATH   -- a running daemon's counters
 *)
 
 open Cmdliner
@@ -820,6 +827,252 @@ let disasm_cmd =
     (Cmd.info "disasm" ~doc:"Disassemble a workload binary.")
     Term.(const run $ workload_arg $ instrumented $ symbol)
 
+let serve_cmd =
+  (* The trace-ingest daemon (and its client / control modes).  One
+     subcommand, three roles:
+       systrace serve --unix /tmp/s.sock --ctl /tmp/s.ctl   -- daemon
+       systrace serve --send FILE --connect unix:/tmp/s.sock -- client
+       systrace serve --stats --ctl /tmp/s.ctl               -- control *)
+  let parse_addr s =
+    match String.split_on_char ':' s with
+    | [ "unix"; p ] -> Ok (Serve.Client.Unix_path p)
+    | [ "tcp"; host; port ] -> (
+      match int_of_string_opt port with
+      | Some p -> Ok (Serve.Client.Tcp (host, p))
+      | None -> Error (Printf.sprintf "bad port in %S" s))
+    | [ "tcp"; port ] -> (
+      match int_of_string_opt port with
+      | Some p -> Ok (Serve.Client.Tcp ("127.0.0.1", p))
+      | None -> Error (Printf.sprintf "bad port in %S" s))
+    | _ -> Error (Printf.sprintf "bad address %S (unix:PATH or tcp:HOST:PORT)" s)
+  in
+  (* Control-socket request: one line out, print everything that comes
+     back (the stats reply is multi-line). *)
+  let ctl_request path cmd =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        ignore (Unix.write_substring fd (cmd ^ "\n") 0 (String.length cmd + 1));
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        let b = Bytes.create 4096 in
+        let rec go () =
+          match Unix.read fd b 0 4096 with
+          | 0 -> ()
+          | n ->
+            print_string (Bytes.sub_string b 0 n);
+            go ()
+        in
+        go ())
+  in
+  (* Full-parse pipeline factory: build the traced system once, then a
+     fresh recovery-mode parser per stream.  The shared block tables are
+     only read by the per-stream parsers, so sharing them across worker
+     domains is safe. *)
+  let parse_factory name os seed =
+    let e = find_workload name in
+    let open Systrace_kernel in
+    let cfg =
+      {
+        Builder.default_config with
+        Builder.traced = true;
+        seed;
+        personality =
+          (match os with Validate.Ultrix -> Kcfg.Ultrix
+                       | Validate.Mach -> Kcfg.Mach);
+        pagemap =
+          (match os with Validate.Ultrix -> Kcfg.Careful
+                       | Validate.Mach -> Kcfg.Random);
+      }
+    in
+    let programs =
+      match os with
+      | Validate.Ultrix -> [ e.Workloads.Suite.program () ]
+      | Validate.Mach ->
+        [
+          Builder.program ~is_server:true "uxserver"
+            [ Workloads.Ux_server.make
+                ~file_plan:(Builder.file_plan e.Workloads.Suite.files) ();
+              Workloads.Userlib.make () ];
+          e.Workloads.Suite.program ();
+        ]
+    in
+    let sys = Builder.build ~cfg ~programs ~files:e.Workloads.Suite.files () in
+    Serve.Server.to_parser_pipeline (fun () ->
+        let p =
+          Tracing.Parser.create ~recover:true
+            ~kernel_bbs:(Option.get sys.Builder.kernel_bbs) ()
+        in
+        List.iter
+          (fun (pi : Builder.proc_info) ->
+            Tracing.Parser.register_pid p ~pid:pi.pid (Option.get pi.bbs))
+          sys.Builder.procs;
+        p)
+  in
+  let run unix_path tcp_port_opt ctl_path workers queue_slots slot_words lossy
+      pipeline workload os seed send connect do_stats do_shutdown =
+    match (send, do_stats, do_shutdown) with
+    | Some file, false, false -> (
+      (* client: replay a stored trace at a running daemon *)
+      match connect with
+      | None ->
+        Printf.eprintf "--send needs --connect\n";
+        exit 2
+      | Some addr_s -> (
+        match parse_addr addr_s with
+        | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+        | Ok addr -> (
+          match Serve.Client.run_file addr file with
+          | Some r ->
+            Printf.printf
+              "ok words=%d frames=%d dropped_words=%d dropped_frames=%d \
+               diagnoses=%d\n"
+              r.Serve.Client.r_words r.Serve.Client.r_frames
+              r.Serve.Client.r_dropped_words r.Serve.Client.r_dropped_frames
+              r.Serve.Client.r_diagnoses
+          | None ->
+            Printf.eprintf "stream rejected or connection lost\n";
+            exit 1)))
+    | None, true, _ | None, false, true -> (
+      (* control: stats / shutdown against the control socket *)
+      match ctl_path with
+      | None ->
+        Printf.eprintf "--stats/--shutdown need --ctl PATH\n";
+        exit 2
+      | Some p -> ctl_request p (if do_stats then "stats" else "shutdown"))
+    | None, false, false ->
+      (* daemon *)
+      if unix_path = None && tcp_port_opt = None then begin
+        Printf.eprintf
+          "nothing to do: give --unix/--tcp to serve, --send to stream, \
+           or --stats/--shutdown to control\n";
+        exit 2
+      end;
+      let factory =
+        match pipeline with
+        | "null" -> Serve.Server.null_pipeline
+        | "scan" -> Serve.Server.scan_pipeline
+        | "parse" -> (
+          match workload with
+          | Some name -> parse_factory name os seed
+          | None ->
+            Printf.eprintf "--pipeline parse needs -w WORKLOAD\n";
+            exit 2)
+        | other ->
+          Printf.eprintf "unknown pipeline %S (null|scan|parse)\n" other;
+          exit 2
+      in
+      let cfg =
+        {
+          (Serve.Server.default_config factory) with
+          Serve.Server.unix_path;
+          tcp = Option.map (fun p -> ("127.0.0.1", p)) tcp_port_opt;
+          ctl_path;
+          workers;
+          queue_slots;
+          slot_words;
+          lossy;
+        }
+      in
+      let t = Serve.Server.start cfg in
+      Option.iter (Printf.printf "unix %s\n") unix_path;
+      Option.iter (Printf.printf "tcp 127.0.0.1:%d\n") (Serve.Server.tcp_port t);
+      Option.iter (Printf.printf "ctl %s\n") ctl_path;
+      Printf.printf "workers %d queue %dx%d words %s\n%!" (max 1 workers)
+        queue_slots slot_words
+        (if lossy then "lossy" else "lossless");
+      Serve.Server.wait t
+    | Some _, _, _ ->
+      Printf.eprintf "--send cannot be combined with --stats/--shutdown\n";
+      exit 2
+  in
+  let unix_path =
+    Arg.(value & opt (some string) None
+         & info [ "unix" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket.")
+  in
+  let tcp_port =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Listen on 127.0.0.1:$(docv) (0 picks an ephemeral port, \
+                   printed at startup).")
+  in
+  let ctl_path =
+    Arg.(value & opt (some string) None
+         & info [ "ctl" ] ~docv:"PATH"
+             ~doc:"Control socket: $(b,--stats) and $(b,--shutdown) talk to \
+                   it.")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue_slots =
+    Arg.(value & opt int 4
+         & info [ "queue-slots" ] ~docv:"N"
+             ~doc:"Bounded-queue ring slots per connection.")
+  in
+  let slot_words =
+    Arg.(value & opt int 16384
+         & info [ "slot-words" ] ~docv:"N"
+             ~doc:"Words per queue slot (peak resident words per stream = \
+                   slots x words).")
+  in
+  let lossy =
+    Arg.(value & flag
+         & info [ "lossy" ]
+             ~doc:"Drop-and-count instead of backpressure when a client \
+                   outruns analysis (the paper's lost-reference accounting).")
+  in
+  let pipeline =
+    Arg.(value & opt string "scan"
+         & info [ "pipeline" ] ~docv:"KIND"
+             ~doc:"Per-stream analysis: $(b,null) (ingest only), $(b,scan) \
+                   (structural trace check; default), or $(b,parse) (full \
+                   recovery-mode parse against a workload's tables; needs \
+                   $(b,-w)).")
+  in
+  let workload =
+    Arg.(value & opt (some string) None
+         & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+             ~doc:"Workload whose block tables the $(b,parse) pipeline \
+                   checks against.")
+  in
+  let send =
+    Arg.(value & opt (some string) None
+         & info [ "send" ] ~docv:"FILE"
+             ~doc:"Client mode: stream this stored trace at a daemon and \
+                   print its reply.")
+  in
+  let connect =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"Daemon address for $(b,--send): $(b,unix:PATH) or \
+                   $(b,tcp:HOST:PORT).")
+  in
+  let do_stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print a running daemon's aggregated counters (via \
+                   $(b,--ctl)).")
+  in
+  let do_shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Gracefully stop a running daemon (via $(b,--ctl)).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Trace-ingest daemon: accept concurrent trace streams over \
+             Unix/TCP sockets and run a per-stream analysis pipeline \
+             online, with bounded-queue backpressure (or $(b,--lossy) \
+             lost-reference accounting) and aggregated counters on a \
+             control socket.")
+    Term.(const run $ unix_path $ tcp_port $ ctl_path $ workers $ queue_slots
+          $ slot_words $ lossy $ pipeline $ workload $ os_arg $ seed_arg
+          $ send $ connect $ do_stats $ do_shutdown)
+
 let () =
   let doc = "software methods for system address tracing" in
   exit
@@ -827,4 +1080,4 @@ let () =
        (Cmd.group (Cmd.info "systrace" ~doc)
           [ list_cmd; run_cmd; trace_cmd; validate_cmd; matrix_cmd; profile_cmd;
             disasm_cmd; dump_cmd; analyze_cmd; sweep_cmd; check_cmd;
-            slice_cmd ]))
+            slice_cmd; serve_cmd ]))

@@ -81,6 +81,13 @@ module Workloads = struct
   module Ux_server = Systrace_workloads.Ux_server
 end
 
+module Serve = struct
+  module Wire = Systrace_serve.Wire
+  module Bqueue = Systrace_serve.Bqueue
+  module Server = Systrace_serve.Serve
+  module Client = Systrace_serve.Client
+end
+
 module Validate = Systrace_validate.Validate
 module Experiments = Systrace_validate.Experiments
 

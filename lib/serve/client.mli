@@ -1,0 +1,48 @@
+(** Client side of the serve wire protocol: stream trace words at a
+    daemon and read back its summary reply.  Used by the CLI's
+    [--send] mode, the loopback load-generator bench, and the
+    fault-injection test suite ({!send_raw} gives byte-level control
+    for torn-frame experiments). *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+val connect : addr -> Unix.file_descr
+(** A connected blocking socket.  @raise Unix.Unix_error on refusal. *)
+
+(** An open outgoing stream: magic already sent, words buffered into
+    frames and flushed in large writes. *)
+type stream
+
+val start : ?frame_words:int -> Unix.file_descr -> stream
+(** Begin a stream on a connected socket.  [frame_words] (default
+    65536) is the largest frame one {!send} range is split into. *)
+
+val send : stream -> int array -> off:int -> len:int -> unit
+(** Stream [len] words as one or more frames — the client-side drain. *)
+
+(** The server's end-of-stream summary line, parsed. *)
+type reply = {
+  r_words : int;
+  r_frames : int;
+  r_dropped_words : int;
+  r_dropped_frames : int;
+  r_diagnoses : int;
+}
+
+val finish_stream : stream -> reply option
+(** Flush, send END, half-close the write side, and read the reply:
+    [Some r] on an [ok] line, [None] if the server reported a wire
+    fault or the connection died first.  Closes the socket. *)
+
+val run : addr -> int array -> reply option
+(** Connect, stream the whole array, finish.  One bench client. *)
+
+val run_file : addr -> string -> reply option
+(** {!run} with the words of a trace file ({!Systrace_tracing.Tracefile}
+    load — any version), streamed chunk by chunk without materializing
+    more than one block beyond the frame buffer. *)
+
+val send_raw : addr -> string -> string option
+(** Fault-injection client: connect, write exactly these bytes (any
+    prefix/mangling of a valid stream), half-close, and return the
+    server's raw reply line if one comes back.  Closes the socket. *)

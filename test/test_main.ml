@@ -11,5 +11,6 @@ let () =
       ("tracesim", Test_tracesim.tests);
       ("workloads", Test_workloads.tests);
       ("validate", Test_validate.tests);
+      ("serve", Test_serve.tests);
       ("threads", Test_threads.tests);
     ]
